@@ -1,0 +1,150 @@
+//! Criterion microbenchmarks: real wall-clock performance of the
+//! substrates (complementing the simulated-time experiment binaries).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use endbox_click::element::ElementEnv;
+use endbox_click::Router;
+use endbox_crypto::aes::Aes128;
+use endbox_crypto::hmac::hmac_sha256;
+use endbox_crypto::modes::{cbc_decrypt, cbc_encrypt};
+use endbox_crypto::schnorr::SigningKey;
+use endbox_crypto::sha256::sha256;
+use endbox_crypto::x25519;
+use endbox_netsim::cost::{CostModel, CycleMeter};
+use endbox_netsim::Packet;
+use endbox_sgx::EnclaveBuilder;
+use endbox_snort::community;
+use endbox_snort::engine::{CompiledRules, PacketView};
+use endbox_vpn::channel::{CipherSuite, DataChannel, SessionKeys};
+use endbox_vpn::proto::Opcode;
+use rand::SeedableRng;
+use std::net::Ipv4Addr;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let data = vec![0xa5u8; 1500];
+
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("sha256_1500B", |b| b.iter(|| sha256(&data)));
+    g.bench_function("hmac_sha256_1500B", |b| b.iter(|| hmac_sha256(b"key", &data)));
+
+    let aes = Aes128::new(&[7u8; 16]);
+    let iv = [9u8; 16];
+    g.bench_function("aes128_cbc_encrypt_1500B", |b| b.iter(|| cbc_encrypt(&aes, &iv, &data)));
+    let ct = cbc_encrypt(&aes, &iv, &data);
+    g.bench_function("aes128_cbc_decrypt_1500B", |b| b.iter(|| cbc_decrypt(&aes, &iv, &ct)));
+    g.finish();
+
+    let mut g = c.benchmark_group("asymmetric");
+    g.bench_function("x25519_shared_secret", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let (sk, _) = x25519::keypair(&mut rng);
+        let (_, pk) = x25519::keypair(&mut rng);
+        b.iter(|| x25519::shared_secret(&sk, &pk))
+    });
+    g.bench_function("schnorr_sign", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let key = SigningKey::generate(&mut rng);
+        b.iter(|| key.sign(b"benchmark message", &mut rng))
+    });
+    g.bench_function("schnorr_verify", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let key = SigningKey::generate(&mut rng);
+        let sig = key.sign(b"benchmark message", &mut rng);
+        let vk = key.verifying_key();
+        b.iter(|| vk.verify(b"benchmark message", &sig))
+    });
+    g.finish();
+}
+
+fn bench_ids(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ids");
+    let rules = community::paper_rules();
+    let compiled = CompiledRules::compile(&rules);
+    let payload: Vec<u8> = (0..1460).map(|i| b'a' + (i % 26) as u8).collect();
+    let view = PacketView {
+        src: Ipv4Addr::new(10, 0, 0, 1),
+        dst: Ipv4Addr::new(10, 0, 1, 1),
+        protocol: 6,
+        src_port: Some(40000),
+        dst_port: Some(80),
+        payload: &payload,
+    };
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("scan_377_rules_1460B", |b| b.iter(|| compiled.scan(&view)));
+    g.bench_function("compile_377_rules", |b| b.iter(|| CompiledRules::compile(&rules)));
+    g.finish();
+}
+
+fn bench_click(c: &mut Criterion) {
+    let mut g = c.benchmark_group("click");
+    let pkt = Packet::tcp(
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 1, 1),
+        40000,
+        5001,
+        0,
+        &[b'x'; 1460],
+    );
+
+    for (name, config) in [
+        ("nop", endbox::use_cases::UseCase::Nop.click_config()),
+        ("firewall", endbox::use_cases::UseCase::Firewall.click_config()),
+        ("idps", endbox::use_cases::UseCase::Idps.click_config()),
+    ] {
+        let mut router = Router::from_config(&config, ElementEnv::default()).unwrap();
+        g.bench_function(format!("process_{name}_1460B"), |b| {
+            b.iter_batched(|| pkt.clone(), |p| router.process(p), BatchSize::SmallInput)
+        });
+    }
+
+    // Table II companion: real wall-clock hot-swap of a minimal config.
+    let mut router = Router::from_config(
+        "FromDevice(t) -> c :: Counter -> ToDevice(t);",
+        ElementEnv::default(),
+    )
+    .unwrap();
+    g.bench_function("hotswap_minimal_config", |b| {
+        b.iter(|| router.hot_swap("FromDevice(t) -> c :: Counter -> ToDevice(t);").unwrap())
+    });
+    g.finish();
+}
+
+fn bench_vpn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vpn");
+    let keys = SessionKeys::derive(&[7u8; 32], &[1u8; 32], &[2u8; 32]);
+    let cost = CostModel::calibrated();
+    let mut client =
+        DataChannel::client(&keys, CipherSuite::Aes128CbcHmac, CycleMeter::new(), cost.clone());
+    let mut server =
+        DataChannel::server(&keys, CipherSuite::Aes128CbcHmac, CycleMeter::new(), cost.clone());
+    let payload = vec![0xabu8; 1500];
+
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("seal_1500B", |b| b.iter(|| client.seal(Opcode::Data, 1, &payload)));
+    g.bench_function("seal_open_1500B", |b| {
+        b.iter(|| {
+            let rec = client.seal(Opcode::Data, 1, &payload);
+            server.open(&rec).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_enclave(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enclave");
+    let mut enclave = EnclaveBuilder::new(b"bench-enclave")
+        .declare_ecalls(["noop"])
+        .build(|_| 0u64);
+    g.bench_function("ecall_dispatch_overhead", |b| {
+        b.iter(|| enclave.ecall("noop", |s, _| *s += 1).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_crypto, bench_ids, bench_click, bench_vpn, bench_enclave
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Runs every experiment in sequence (the full §V evaluation).
+//!
+//! ```text
+//! cargo run --release -p endbox-bench --bin exp_all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let experiments = [
+        "exp_fig6_pageload",
+        "exp_fig7_redirection",
+        "exp_table1_https",
+        "exp_fig8_throughput",
+        "exp_fig9_usecases",
+        "exp_fig10_scalability",
+        "exp_table2_reconfig",
+        "exp_fig11_reconfig_latency",
+        "exp_optimizations",
+        "exp_attacks",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let bin_dir = exe.parent().expect("bin dir");
+    for name in experiments {
+        println!("\n{:=^78}\n", format!(" {name} "));
+        let status = Command::new(bin_dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            eprintln!("{name} failed");
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll experiments completed.");
+}

@@ -1,0 +1,26 @@
+//! §V-A: the security evaluation — every attack from the paper's
+//! discussion, mounted against a live deployment.
+
+use endbox::attacks::run_all;
+
+fn main() {
+    println!("=== §V-A: security evaluation (attack battery) ===\n");
+    let mut all_defended = true;
+    for (name, outcome) in run_all() {
+        let (verdict, why) = match &outcome {
+            endbox::attacks::AttackOutcome::Defended(why) => ("DEFENDED", *why),
+            endbox::attacks::AttackOutcome::Breached(why) => {
+                all_defended = false;
+                ("BREACHED", *why)
+            }
+        };
+        println!("{name:<26} {verdict:<10} {why}");
+    }
+    println!();
+    if all_defended {
+        println!("All attacks defended (paper: 'ENDBOX is secure against a wide range of attacks').");
+    } else {
+        println!("!!! Some attacks succeeded — reproduction bug.");
+        std::process::exit(1);
+    }
+}

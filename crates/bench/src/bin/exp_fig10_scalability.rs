@@ -1,0 +1,61 @@
+//! Fig. 10: server-side aggregated throughput and CPU usage for 1–60
+//! clients at 200 Mbps each.
+//!
+//! Paper reference: vanilla OpenVPN and EndBox plateau at ~6.5 Gbps;
+//! vanilla Click at ~5.5 Gbps; OpenVPN+Click peaks at ~2.5 Gbps (FW/LB)
+//! and ~1.7 Gbps (IDPS/DDoS), then decreases. EndBox wins 2.6x–3.8x at
+//! 60 clients.
+
+use endbox::eval::scalability::{client_counts, fig10a, fig10b, ScalabilityPoint};
+
+fn print_series(points: &[ScalabilityPoint]) {
+    let mut deployments: Vec<String> = Vec::new();
+    for p in points {
+        if !deployments.contains(&p.deployment) {
+            deployments.push(p.deployment.clone());
+        }
+    }
+    print!("{:<26}", "setup \\ clients");
+    for n in client_counts() {
+        print!("{n:>7}");
+    }
+    println!();
+    for d in &deployments {
+        print!("{d:<26}");
+        for n in client_counts() {
+            let p = points.iter().find(|p| &p.deployment == d && p.clients == n).unwrap();
+            print!("{:>7.2}", p.gbps);
+        }
+        println!();
+        print!("{:<26}", "  server CPU [%]");
+        for n in client_counts() {
+            let p = points.iter().find(|p| &p.deployment == d && p.clients == n).unwrap();
+            print!("{:>7.0}", p.server_cpu * 100.0);
+        }
+        println!();
+    }
+}
+
+fn main() {
+    println!("=== Fig. 10a: NOP use case, different deployments (Gbps) ===\n");
+    print_series(&fig10a());
+    println!("\n=== Fig. 10b: five use cases, EndBox vs OpenVPN+Click (Gbps) ===\n");
+    let b = fig10b();
+    print_series(&b);
+
+    // Headline factors (paper: 2.6x - 3.8x at 60 clients).
+    println!("\n=== EndBox advantage at 60 clients ===");
+    for uc in ["NOP", "LB", "FW", "IDPS", "DDoS"] {
+        let e = b
+            .iter()
+            .find(|p| p.deployment == format!("EndBox SGX[{uc}]") && p.clients == 60)
+            .unwrap()
+            .gbps;
+        let c = b
+            .iter()
+            .find(|p| p.deployment == format!("OpenVPN+Click[{uc}]") && p.clients == 60)
+            .unwrap()
+            .gbps;
+        println!("{uc:<6} EndBox {e:.2} Gbps vs central {c:.2} Gbps -> {:.1}x", e / c);
+    }
+}

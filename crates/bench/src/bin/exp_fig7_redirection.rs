@@ -1,0 +1,18 @@
+//! Fig. 7: average ping RTT for different redirection methods.
+//!
+//! Paper reference: no redirection 10.8 ms, local redirection 11.3 ms,
+//! EndBox SGX 11.5 ms (+6%), AWS eu-central 17.4 ms (+61%), AWS us-east
+//! 202.3 ms (+1773%).
+
+use endbox::eval::latency::fig7;
+
+fn main() {
+    println!("=== Fig. 7: ping RTT by redirection method ===\n");
+    let rows = fig7();
+    let baseline = rows[0].1;
+    println!("{:<20}{:>12}{:>12}", "method", "RTT [ms]", "overhead");
+    for (label, rtt) in rows {
+        println!("{label:<20}{rtt:>12.1}{:>11.0}%", (rtt / baseline - 1.0) * 100.0);
+    }
+    println!("\nPaper: 10.8 / 11.3 / 11.5 / 17.4 / 202.3 ms.");
+}

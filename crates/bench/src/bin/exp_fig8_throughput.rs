@@ -1,0 +1,32 @@
+//! Fig. 8: average maximum throughput of different set-ups for packet
+//! sizes 256 bytes to 64 kilobytes.
+//!
+//! Paper reference values (Mbps):
+//! vanilla OpenVPN  152 / 642 / 813 / 1541 / 2674 / 3168
+//! OpenVPN+Click    146 / 617 / 764 / 1288 / 1888 / 2132
+//! EndBox SIM       132 / 586 / 720 / 1514 / 2325 / 2813
+//! EndBox SGX        92 / 401 / 530 / 1044 / 1987 / 2659
+
+use endbox::eval::throughput::{fig8, fig8_sizes};
+
+fn main() {
+    println!("=== Fig. 8: throughput vs packet size (single client) ===\n");
+    let points = fig8();
+    print!("{:<24}", "setup \\ size [B]");
+    for s in fig8_sizes() {
+        print!("{s:>9}");
+    }
+    println!();
+    let mut current = String::new();
+    for p in &points {
+        if p.deployment != current {
+            if !current.is_empty() {
+                println!();
+            }
+            print!("{:<24}", p.deployment);
+            current = p.deployment.clone();
+        }
+        print!("{:>9.0}", p.mbps);
+    }
+    println!("\n\nAll values in Mbps. Paper: Fig. 8 (values above in the header comment).");
+}

@@ -1,0 +1,17 @@
+//! Fig. 9: average maximum throughput of the NOP, LB, FW, IDPS and DDoS
+//! use cases for OpenVPN+Click and EndBox (1 500-byte packets).
+//!
+//! Paper reference values (Mbps):
+//! OpenVPN+Click: NOP 764, LB 761, FW 747, IDPS 692, DDoS 662
+//! EndBox SGX:    NOP 530, LB 496, FW 527, IDPS 422, DDoS 414
+
+use endbox::eval::throughput::fig9;
+
+fn main() {
+    println!("=== Fig. 9: use-case throughput at 1500 B (single client) ===\n");
+    println!("{:<28}{:>12}", "setup", "Mbps");
+    for p in fig9() {
+        println!("{:<28}{:>12.0}", p.deployment, p.mbps);
+    }
+    println!("\nPaper: Fig. 9 (values in the header comment).");
+}

@@ -1,0 +1,28 @@
+//! Table I: HTTPS GET request latency for different response sizes and
+//! configurations.
+//!
+//! Paper reference (ms):
+//!   4 KB: 1.08 (w/ dec) / 1.04 (w/o dec) / 1.00 (vanilla)
+//!  16 KB: 1.34 / 1.29 / 1.26
+//!  32 KB: 1.78 / 1.75 / 1.70
+//! Overhead of key forwarding + decryption stays below 8%.
+
+use endbox::eval::latency::table1;
+
+fn main() {
+    println!("=== Table I: HTTPS GET latency ===\n");
+    println!(
+        "{:>12}{:>16}{:>16}{:>18}",
+        "resp. size", "w/ dec [ms]", "w/o dec [ms]", "vanilla [ms]"
+    );
+    for row in table1() {
+        println!(
+            "{:>9} KB{:>16.2}{:>16.2}{:>18.2}",
+            row.response_bytes / 1024,
+            row.with_decryption_ms,
+            row.without_decryption_ms,
+            row.vanilla_ms
+        );
+    }
+    println!("\nPaper: Table I (values in the header comment).");
+}

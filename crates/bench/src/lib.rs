@@ -1,0 +1,1 @@
+//! Experiment binaries and benchmarks for the EndBox reproduction; see `src/bin/`.

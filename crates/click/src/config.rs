@@ -1,0 +1,638 @@
+//! Parser for the Click configuration language (the subset EndBox uses).
+//!
+//! Supported syntax:
+//!
+//! ```text
+//! // line comment            /* block comment */
+//! name :: Class(arg1, arg2);           // declaration
+//! a -> b -> c;                          // connection chain
+//! a[1] -> [0]b;                         // explicit ports
+//! x :: Class;                           // no arguments
+//! a -> Counter -> b;                    // anonymous element in a chain
+//! a -> c2 :: Counter -> b;              // inline declaration in a chain
+//! ```
+
+use crate::error::ClickError;
+
+/// A declared element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementDecl {
+    /// Instance name (generated for anonymous elements, e.g. `Counter@2`).
+    pub name: String,
+    /// Element class.
+    pub class: String,
+    /// Configuration arguments (top-level comma-separated, quotes
+    /// respected).
+    pub args: Vec<String>,
+}
+
+/// A directed connection `from[from_port] -> [to_port]to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Connection {
+    /// Index into [`ConfigGraph::elements`].
+    pub from: usize,
+    /// Output port on `from`.
+    pub from_port: usize,
+    /// Index into [`ConfigGraph::elements`].
+    pub to: usize,
+    /// Input port on `to`.
+    pub to_port: usize,
+}
+
+/// A parsed configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConfigGraph {
+    /// Declared elements in declaration order.
+    pub elements: Vec<ElementDecl>,
+    /// Connections between them.
+    pub connections: Vec<Connection>,
+}
+
+impl ConfigGraph {
+    /// Parses configuration text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClickError::Parse`] with a line number on syntax errors,
+    /// or [`ClickError::DuplicateName`] / [`ClickError::BadConnection`] on
+    /// semantic errors.
+    pub fn parse(text: &str) -> Result<ConfigGraph, ClickError> {
+        let stripped = strip_comments(text);
+        let mut graph = ConfigGraph::default();
+        let mut anon_counter = 0usize;
+
+        for (stmt, line) in split_statements(&stripped) {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if contains_top_level_arrow(stmt) {
+                parse_chain(stmt, line, &mut graph, &mut anon_counter)?;
+            } else {
+                let decl = parse_declaration(stmt, line)?;
+                add_declaration(&mut graph, decl)?;
+            }
+        }
+        Ok(graph)
+    }
+
+    /// Looks up an element index by name.
+    pub fn element_index(&self, name: &str) -> Option<usize> {
+        self.elements.iter().position(|e| e.name == name)
+    }
+
+    /// Renders the graph back to configuration text (declarations first,
+    /// then one connection statement per edge). Parsing the result yields
+    /// an equivalent graph — the property the hot-swap tooling and the
+    /// round-trip tests rely on.
+    pub fn to_config_string(&self) -> String {
+        let mut out = String::new();
+        for decl in &self.elements {
+            let name = if decl.name.is_empty() { "anon".to_string() } else { decl.name.clone() };
+            out.push_str(&name);
+            out.push_str(" :: ");
+            out.push_str(&decl.class);
+            if !decl.args.is_empty() {
+                out.push('(');
+                for (i, arg) in decl.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(arg);
+                }
+                out.push(')');
+            }
+            out.push_str(";\n");
+        }
+        for conn in &self.connections {
+            let from = &self.elements[conn.from].name;
+            let to = &self.elements[conn.to].name;
+            out.push_str(&format!("{from}[{}] -> [{}]{to};\n", conn.from_port, conn.to_port));
+        }
+        out
+    }
+}
+
+/// Removes `//` and `/* */` comments, preserving newlines (for line
+/// numbers) and quoted strings.
+fn strip_comments(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = String::with_capacity(text.len());
+    let mut i = 0;
+    let mut in_string = false;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if in_string {
+            out.push(c);
+            if c == '\\' && i + 1 < bytes.len() {
+                out.push(bytes[i + 1] as char);
+                i += 2;
+                continue;
+            }
+            if c == '"' {
+                in_string = false;
+            }
+            i += 1;
+        } else if c == '"' {
+            in_string = true;
+            out.push(c);
+            i += 1;
+        } else if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                if bytes[i] == b'\n' {
+                    out.push('\n');
+                }
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Splits on `;` at top level (outside quotes/parens), tracking line
+/// numbers.
+fn split_statements(text: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut line = 1usize;
+    let mut stmt_line = 1usize;
+    let mut depth = 0i32;
+    let mut in_string = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\n' => {
+                line += 1;
+                current.push(c);
+            }
+            '\\' if in_string => {
+                current.push(c);
+                if let Some(n) = chars.next() {
+                    current.push(n);
+                }
+            }
+            '"' => {
+                in_string = !in_string;
+                current.push(c);
+            }
+            '(' if !in_string => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' if !in_string => {
+                depth -= 1;
+                current.push(c);
+            }
+            ';' if !in_string && depth == 0 => {
+                out.push((std::mem::take(&mut current), stmt_line));
+                stmt_line = line;
+            }
+            _ => {
+                if current.trim().is_empty() && !c.is_whitespace() {
+                    stmt_line = line;
+                }
+                current.push(c);
+            }
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push((current, stmt_line));
+    }
+    out
+}
+
+/// True if the statement has a `->` outside quotes/parens.
+fn contains_top_level_arrow(stmt: &str) -> bool {
+    !split_top_level(stmt, "->").1
+}
+
+/// Splits `stmt` on `sep` at top level; returns (parts, is_single).
+fn split_top_level(stmt: &str, sep: &str) -> (Vec<String>, bool) {
+    let bytes = stmt.as_bytes();
+    let sep_bytes = sep.as_bytes();
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut depth = 0i32;
+    let mut in_string = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_string {
+            if c == b'\\' {
+                i += 2;
+                continue;
+            }
+            if c == b'"' {
+                in_string = false;
+            }
+            i += 1;
+        } else {
+            match c {
+                b'"' => {
+                    in_string = true;
+                    i += 1;
+                }
+                b'(' => {
+                    depth += 1;
+                    i += 1;
+                }
+                b')' => {
+                    depth -= 1;
+                    i += 1;
+                }
+                _ if depth == 0 && bytes[i..].starts_with(sep_bytes) => {
+                    parts.push(stmt[start..i].to_string());
+                    i += sep_bytes.len();
+                    start = i;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+    let single = parts.is_empty();
+    parts.push(stmt[start..].to_string());
+    (parts, single)
+}
+
+/// Parses `name :: Class(args)` or bare `Class(args)` (anonymous).
+fn parse_declaration(stmt: &str, line: usize) -> Result<ElementDecl, ClickError> {
+    let (parts, _) = split_top_level(stmt, "::");
+    let (name, class_part) = match parts.len() {
+        1 => (None, parts[0].trim().to_string()),
+        2 => (Some(parts[0].trim().to_string()), parts[1].trim().to_string()),
+        _ => {
+            return Err(ClickError::Parse {
+                line,
+                message: format!("too many `::` in `{}`", stmt.trim()),
+            })
+        }
+    };
+    let (class, args) = parse_class_and_args(&class_part, line)?;
+    if let Some(ref n) = name {
+        validate_identifier(n, line)?;
+    }
+    Ok(ElementDecl { name: name.unwrap_or_default(), class, args })
+}
+
+fn parse_class_and_args(part: &str, line: usize) -> Result<(String, Vec<String>), ClickError> {
+    let part = part.trim();
+    if let Some(open) = part.find('(') {
+        if !part.ends_with(')') {
+            return Err(ClickError::Parse { line, message: format!("missing `)` in `{part}`") });
+        }
+        let class = part[..open].trim().to_string();
+        validate_class(&class, line)?;
+        let args_str = &part[open + 1..part.len() - 1];
+        Ok((class, split_args(args_str)))
+    } else {
+        validate_class(part, line)?;
+        Ok((part.to_string(), Vec::new()))
+    }
+}
+
+/// Splits arguments on top-level commas, trimming and unquoting.
+pub(crate) fn split_args(args: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut depth = 0i32;
+    let mut in_string = false;
+    let mut chars = args.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' if in_string => {
+                if let Some(n) = chars.next() {
+                    current.push(n);
+                }
+            }
+            '"' => in_string = !in_string,
+            '(' if !in_string => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' if !in_string => {
+                depth -= 1;
+                current.push(c);
+            }
+            ',' if !in_string && depth == 0 => {
+                out.push(current.trim().to_string());
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() || !out.is_empty() {
+        out.push(current.trim().to_string());
+    }
+    // Trailing empty args from "a," are kept; fully empty arg list is not.
+    if out.len() == 1 && out[0].is_empty() {
+        out.clear();
+    }
+    out
+}
+
+fn validate_identifier(name: &str, line: usize) -> Result<(), ClickError> {
+    let ok = !name.is_empty()
+        && name.chars().next().unwrap().is_ascii_alphabetic()
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '@');
+    if ok {
+        Ok(())
+    } else {
+        Err(ClickError::Parse { line, message: format!("invalid element name `{name}`") })
+    }
+}
+
+fn validate_class(class: &str, line: usize) -> Result<(), ClickError> {
+    let ok = !class.is_empty()
+        && class.chars().next().unwrap().is_ascii_uppercase()
+        && class.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if ok {
+        Ok(())
+    } else {
+        Err(ClickError::Parse { line, message: format!("invalid class name `{class}`") })
+    }
+}
+
+fn add_declaration(graph: &mut ConfigGraph, decl: ElementDecl) -> Result<usize, ClickError> {
+    if decl.name.is_empty() {
+        graph.elements.push(decl);
+        return Ok(graph.elements.len() - 1);
+    }
+    if graph.element_index(&decl.name).is_some() {
+        return Err(ClickError::DuplicateName(decl.name));
+    }
+    graph.elements.push(decl);
+    Ok(graph.elements.len() - 1)
+}
+
+/// One endpoint of a chain segment: `name`, `name[port]`, `[port]name`,
+/// `[in]name[out]`, `Class(args)`, or `name :: Class(args)`.
+#[derive(Debug)]
+struct ChainNode {
+    element: usize,
+    in_port: usize,
+    out_port: usize,
+}
+
+fn parse_chain(
+    stmt: &str,
+    line: usize,
+    graph: &mut ConfigGraph,
+    anon_counter: &mut usize,
+) -> Result<(), ClickError> {
+    let (parts, _) = split_top_level(stmt, "->");
+    let mut nodes: Vec<ChainNode> = Vec::with_capacity(parts.len());
+    for part in &parts {
+        nodes.push(parse_chain_node(part, line, graph, anon_counter)?);
+    }
+    for pair in nodes.windows(2) {
+        graph.connections.push(Connection {
+            from: pair[0].element,
+            from_port: pair[0].out_port,
+            to: pair[1].element,
+            to_port: pair[1].in_port,
+        });
+    }
+    Ok(())
+}
+
+fn parse_chain_node(
+    part: &str,
+    line: usize,
+    graph: &mut ConfigGraph,
+    anon_counter: &mut usize,
+) -> Result<ChainNode, ClickError> {
+    let mut s = part.trim().to_string();
+    let mut in_port = 0usize;
+    let mut out_port = 0usize;
+
+    // Leading [n] -> input port.
+    if s.starts_with('[') {
+        let close = s.find(']').ok_or_else(|| ClickError::Parse {
+            line,
+            message: format!("missing `]` in `{s}`"),
+        })?;
+        in_port = s[1..close].trim().parse().map_err(|_| ClickError::Parse {
+            line,
+            message: format!("bad input port in `{s}`"),
+        })?;
+        s = s[close + 1..].trim().to_string();
+    }
+    // Trailing [n] -> output port (only when not part of an arg list).
+    if s.ends_with(']') {
+        if let Some(open) = s.rfind('[') {
+            let inner = &s[open + 1..s.len() - 1];
+            if inner.chars().all(|c| c.is_ascii_digit()) && !inner.is_empty() {
+                out_port = inner.parse().unwrap();
+                s = s[..open].trim().to_string();
+            }
+        }
+    }
+
+    // Reference to an existing element, or an inline/anonymous declaration?
+    let element = if let Some(idx) = graph.element_index(&s) {
+        idx
+    } else if s.contains("::") {
+        let decl = parse_declaration(&s, line)?;
+        add_declaration(graph, decl)?
+    } else if s.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+        // Anonymous element: `Counter` or `Classifier(...)`.
+        let (class, args) = parse_class_and_args(&s, line)?;
+        *anon_counter += 1;
+        let name = format!("{class}@{anon_counter}");
+        add_declaration(graph, ElementDecl { name, class, args })?
+    } else {
+        return Err(ClickError::BadConnection(format!(
+            "line {line}: `{s}` is not a declared element"
+        )));
+    };
+    Ok(ChainNode { element, in_port, out_port })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declarations_and_chain() {
+        let g = ConfigGraph::parse(
+            "// EndBox NOP config\n\
+             in :: FromDevice(tun0);\n\
+             out :: ToDevice(tun0);\n\
+             in -> out;\n",
+        )
+        .unwrap();
+        assert_eq!(g.elements.len(), 2);
+        assert_eq!(g.elements[0].class, "FromDevice");
+        assert_eq!(g.elements[0].args, vec!["tun0"]);
+        assert_eq!(g.connections.len(), 1);
+        assert_eq!(g.connections[0].from, 0);
+        assert_eq!(g.connections[0].to, 1);
+    }
+
+    #[test]
+    fn parses_ports() {
+        let g = ConfigGraph::parse(
+            "a :: Tee(2); b :: Discard; c :: Discard;\n a[1] -> b; a[0] -> [0]c;",
+        )
+        .unwrap();
+        assert_eq!(g.connections[0].from_port, 1);
+        assert_eq!(g.connections[1].from_port, 0);
+        assert_eq!(g.connections[1].to_port, 0);
+    }
+
+    #[test]
+    fn anonymous_elements_in_chain() {
+        let g = ConfigGraph::parse("FromDevice(t) -> Counter -> ToDevice(t);").unwrap();
+        assert_eq!(g.elements.len(), 3);
+        assert!(g.elements[1].name.starts_with("Counter@"));
+        assert_eq!(g.connections.len(), 2);
+    }
+
+    #[test]
+    fn inline_declaration_in_chain() {
+        let g = ConfigGraph::parse("FromDevice(t) -> c :: Counter -> ToDevice(t); ").unwrap();
+        assert_eq!(g.element_index("c"), Some(1));
+    }
+
+    #[test]
+    fn quoted_args_with_commas_and_parens() {
+        let g = ConfigGraph::parse(
+            r#"ids :: IDSMatcher("alert tcp any any -> any any (msg:\"a,b\"; content:\"x\"; sid:1;)");"#,
+        )
+        .unwrap();
+        assert_eq!(g.elements[0].args.len(), 1);
+        assert!(g.elements[0].args[0].contains("a,b"));
+        assert!(g.elements[0].args[0].contains("sid:1"));
+    }
+
+    #[test]
+    fn multiple_args_split_at_top_level() {
+        let g = ConfigGraph::parse("f :: IPFilter(allow src host 10.0.0.1, drop all);").unwrap();
+        assert_eq!(
+            g.elements[0].args,
+            vec!["allow src host 10.0.0.1".to_string(), "drop all".to_string()]
+        );
+    }
+
+    #[test]
+    fn block_comments_stripped() {
+        let g = ConfigGraph::parse("/* hello \n world */ a :: Discard; ").unwrap();
+        assert_eq!(g.elements.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let e = ConfigGraph::parse("a :: Discard; a :: Counter;").unwrap_err();
+        assert_eq!(e, ClickError::DuplicateName("a".into()));
+    }
+
+    #[test]
+    fn undeclared_lowercase_reference_rejected() {
+        let e = ConfigGraph::parse("a :: Discard; b -> a;").unwrap_err();
+        assert!(matches!(e, ClickError::BadConnection(_)));
+    }
+
+    #[test]
+    fn error_line_numbers() {
+        let e = ConfigGraph::parse("a :: Discard;\n\nb ::: Counter;").unwrap_err();
+        match e {
+            ClickError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn long_chain() {
+        let g = ConfigGraph::parse("a :: Discard; b :: Discard; c :: Discard; d :: Tee(2);\n\
+                                    d -> Counter -> Counter -> a;")
+            .unwrap();
+        assert_eq!(g.connections.len(), 3);
+    }
+
+    #[test]
+    fn empty_config_ok() {
+        let g = ConfigGraph::parse("  // nothing\n").unwrap();
+        assert!(g.elements.is_empty());
+        assert!(g.connections.is_empty());
+    }
+
+    #[test]
+    fn class_without_parens_declared() {
+        let g = ConfigGraph::parse("c :: Counter;").unwrap();
+        assert_eq!(g.elements[0].class, "Counter");
+        assert!(g.elements[0].args.is_empty());
+    }
+
+    #[test]
+    fn printer_roundtrips_use_case_configs() {
+        for text in [
+            "in :: FromDevice(tun0); out :: ToDevice(tun0); in -> out;",
+            "a :: Tee(2); b :: Discard; c :: Discard; a[1] -> b; a[0] -> [0]c;",
+            "f :: IPFilter(allow src host 10.0.0.1, drop all); FromDevice(t) -> f -> ToDevice(t); f[1] -> Discard;",
+        ] {
+            let g = ConfigGraph::parse(text).unwrap();
+            let printed = g.to_config_string();
+            let reparsed = ConfigGraph::parse(&printed).unwrap();
+            assert_eq!(reparsed.connections.len(), g.connections.len(), "{printed}");
+            assert_eq!(reparsed.elements.len(), g.elements.len());
+            for (a, b) in g.elements.iter().zip(reparsed.elements.iter()) {
+                assert_eq!(a.class, b.class);
+                assert_eq!(a.args, b.args);
+            }
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        // Arbitrary text must never panic the parser — it either parses
+        // or returns an error.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            #[test]
+            fn parser_never_panics(text in "[ -~\\n]{0,200}") {
+                let _ = ConfigGraph::parse(&text);
+            }
+
+            #[test]
+            fn generated_graphs_roundtrip(
+                n_elements in 1usize..6,
+                edges in prop::collection::vec((0usize..6, 0usize..6), 0..8),
+            ) {
+                // Build a random Tee/Discard mesh (Tee has 4 outputs so
+                // ports stay in range; Discard takes any input port 0).
+                let mut text = String::new();
+                for i in 0..n_elements {
+                    text.push_str(&format!("t{i} :: Tee(4);\n"));
+                }
+                let mut used: std::collections::HashSet<(usize, usize)> =
+                    std::collections::HashSet::new();
+                let mut n_edges = 0;
+                for (from, port) in edges {
+                    let from = from % n_elements;
+                    let port = port % 4;
+                    if used.insert((from, port)) {
+                        text.push_str(&format!("t{from}[{port}] -> [0]t{}; \n", (from + 1) % n_elements));
+                        n_edges += 1;
+                    }
+                }
+                let g = ConfigGraph::parse(&text).unwrap();
+                prop_assert_eq!(g.connections.len(), n_edges);
+                let reparsed = ConfigGraph::parse(&g.to_config_string()).unwrap();
+                prop_assert_eq!(reparsed.elements.len(), g.elements.len());
+                prop_assert_eq!(reparsed.connections, g.connections);
+            }
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! Basic elements: device endpoints, counters, fan-out, annotations.
+
+use crate::element::{Element, ElementContext, ElementEnv, ElementState};
+use crate::error::ClickError;
+use endbox_netsim::Packet;
+
+/// Entry point of a router: receives packets handed over by the host
+/// (OpenVPN in EndBox, a tap device in vanilla Click).
+#[derive(Debug)]
+pub struct FromDevice {
+    device: String,
+}
+
+impl FromDevice {
+    /// Factory for the registry.
+    pub fn factory(args: &[String], _env: &ElementEnv) -> Result<Box<dyn Element>, String> {
+        let device = args.first().cloned().unwrap_or_else(|| "tun0".to_string());
+        if args.len() > 1 {
+            return Err("FromDevice takes at most one argument (device name)".into());
+        }
+        Ok(Box::new(FromDevice { device }))
+    }
+
+    /// The configured device name.
+    pub fn device(&self) -> &str {
+        &self.device
+    }
+}
+
+impl Element for FromDevice {
+    fn class_name(&self) -> &'static str {
+        "FromDevice"
+    }
+
+    fn n_inputs(&self) -> usize {
+        1 // fed by the router's entry path
+    }
+
+    fn process(&mut self, _port: usize, pkt: Packet, ctx: &mut ElementContext<'_>) {
+        if ctx.env.device_io {
+            // Vanilla Click owns the device: poll + read per packet.
+            ctx.env.meter.add(ctx.env.cost.device_io_per_packet);
+        }
+        ctx.output(0, pkt);
+    }
+
+    fn read_handler(&self, name: &str) -> Option<String> {
+        (name == "device").then(|| self.device.clone())
+    }
+}
+
+/// Exit point: emits packets out of the router. EndBox modification: "the
+/// ToDevice element is modified to signal OpenVPN when a packet was
+/// accepted or rejected" (§IV) — emission marks the packet accepted.
+#[derive(Debug)]
+pub struct ToDevice {
+    device: String,
+    emitted: u64,
+}
+
+impl ToDevice {
+    /// Factory for the registry.
+    pub fn factory(args: &[String], _env: &ElementEnv) -> Result<Box<dyn Element>, String> {
+        let device = args.first().cloned().unwrap_or_else(|| "tun0".to_string());
+        if args.len() > 1 {
+            return Err("ToDevice takes at most one argument (device name)".into());
+        }
+        Ok(Box::new(ToDevice { device, emitted: 0 }))
+    }
+}
+
+impl Element for ToDevice {
+    fn class_name(&self) -> &'static str {
+        "ToDevice"
+    }
+
+    fn n_outputs(&self) -> usize {
+        0
+    }
+
+    fn process(&mut self, _port: usize, pkt: Packet, ctx: &mut ElementContext<'_>) {
+        if ctx.env.device_io {
+            ctx.env.meter.add(ctx.env.cost.device_io_per_packet);
+        }
+        self.emitted += 1;
+        ctx.emit(pkt);
+    }
+
+    fn read_handler(&self, name: &str) -> Option<String> {
+        match name {
+            "device" => Some(self.device.clone()),
+            "emitted" => Some(self.emitted.to_string()),
+            _ => None,
+        }
+    }
+}
+
+/// Swallows packets (implicit reject).
+#[derive(Debug, Default)]
+pub struct Discard {
+    dropped: u64,
+}
+
+impl Discard {
+    /// Factory for the registry.
+    pub fn factory(args: &[String], _env: &ElementEnv) -> Result<Box<dyn Element>, String> {
+        if !args.is_empty() {
+            return Err("Discard takes no arguments".into());
+        }
+        Ok(Box::<Discard>::default())
+    }
+}
+
+impl Element for Discard {
+    fn class_name(&self) -> &'static str {
+        "Discard"
+    }
+
+    fn n_outputs(&self) -> usize {
+        0
+    }
+
+    fn process(&mut self, _port: usize, _pkt: Packet, _ctx: &mut ElementContext<'_>) {
+        self.dropped += 1;
+    }
+
+    fn read_handler(&self, name: &str) -> Option<String> {
+        (name == "count").then(|| self.dropped.to_string())
+    }
+}
+
+/// Counts packets and bytes; state survives hot-swaps.
+#[derive(Debug, Default)]
+pub struct Counter {
+    count: u64,
+    byte_count: u64,
+}
+
+impl Counter {
+    /// Factory for the registry.
+    pub fn factory(args: &[String], _env: &ElementEnv) -> Result<Box<dyn Element>, String> {
+        if !args.is_empty() {
+            return Err("Counter takes no arguments".into());
+        }
+        Ok(Box::<Counter>::default())
+    }
+}
+
+impl Element for Counter {
+    fn class_name(&self) -> &'static str {
+        "Counter"
+    }
+
+    fn process(&mut self, _port: usize, pkt: Packet, ctx: &mut ElementContext<'_>) {
+        self.count += 1;
+        self.byte_count += pkt.len() as u64;
+        ctx.output(0, pkt);
+    }
+
+    fn read_handler(&self, name: &str) -> Option<String> {
+        match name {
+            "count" => Some(self.count.to_string()),
+            "byte_count" => Some(self.byte_count.to_string()),
+            _ => None,
+        }
+    }
+
+    fn write_handler(&mut self, name: &str, _value: &str) -> Result<(), ClickError> {
+        if name == "reset" {
+            self.count = 0;
+            self.byte_count = 0;
+            Ok(())
+        } else {
+            Err(ClickError::Handler(format!("Counter has no write handler `{name}`")))
+        }
+    }
+
+    fn export_state(&self) -> Option<ElementState> {
+        Some(vec![
+            ("count".into(), self.count.to_string()),
+            ("byte_count".into(), self.byte_count.to_string()),
+        ])
+    }
+
+    fn import_state(&mut self, state: ElementState) {
+        for (k, v) in state {
+            match k.as_str() {
+                "count" => self.count = v.parse().unwrap_or(0),
+                "byte_count" => self.byte_count = v.parse().unwrap_or(0),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Duplicates each packet to all outputs.
+#[derive(Debug)]
+pub struct Tee {
+    n: usize,
+}
+
+impl Tee {
+    /// Factory for the registry.
+    pub fn factory(args: &[String], _env: &ElementEnv) -> Result<Box<dyn Element>, String> {
+        let n = match args {
+            [] => 2,
+            [n] => n.parse().map_err(|_| format!("bad Tee output count `{n}`"))?,
+            _ => return Err("Tee takes at most one argument".into()),
+        };
+        if n == 0 {
+            return Err("Tee needs at least one output".into());
+        }
+        Ok(Box::new(Tee { n }))
+    }
+}
+
+impl Element for Tee {
+    fn class_name(&self) -> &'static str {
+        "Tee"
+    }
+
+    fn n_outputs(&self) -> usize {
+        self.n
+    }
+
+    fn process(&mut self, _port: usize, pkt: Packet, ctx: &mut ElementContext<'_>) {
+        for port in 1..self.n {
+            ctx.output(port, pkt.clone());
+        }
+        ctx.output(0, pkt);
+    }
+}
+
+/// A FIFO stage. In this push-mode reproduction the queue forwards
+/// immediately but still enforces its capacity against bursts delivered
+/// within one router invocation (packets beyond capacity are dropped and
+/// counted).
+#[derive(Debug)]
+pub struct Queue {
+    capacity: usize,
+    drops: u64,
+    in_flight: usize,
+}
+
+impl Queue {
+    /// Factory for the registry.
+    pub fn factory(args: &[String], _env: &ElementEnv) -> Result<Box<dyn Element>, String> {
+        let capacity = match args {
+            [] => 1000,
+            [c] => c.parse().map_err(|_| format!("bad Queue capacity `{c}`"))?,
+            _ => return Err("Queue takes at most one argument".into()),
+        };
+        Ok(Box::new(Queue { capacity, drops: 0, in_flight: 0 }))
+    }
+}
+
+impl Element for Queue {
+    fn class_name(&self) -> &'static str {
+        "Queue"
+    }
+
+    fn process(&mut self, _port: usize, pkt: Packet, ctx: &mut ElementContext<'_>) {
+        if self.in_flight >= self.capacity {
+            self.drops += 1;
+            return;
+        }
+        // Forward immediately (push-to-pull conversion is a no-op here).
+        ctx.output(0, pkt);
+    }
+
+    fn read_handler(&self, name: &str) -> Option<String> {
+        match name {
+            "capacity" => Some(self.capacity.to_string()),
+            "drops" => Some(self.drops.to_string()),
+            _ => None,
+        }
+    }
+}
+
+/// Sets the paint annotation.
+#[derive(Debug)]
+pub struct Paint {
+    color: u8,
+}
+
+impl Paint {
+    /// Factory for the registry.
+    pub fn factory(args: &[String], _env: &ElementEnv) -> Result<Box<dyn Element>, String> {
+        match args {
+            [c] => Ok(Box::new(Paint {
+                color: parse_u8(c).ok_or_else(|| format!("bad paint color `{c}`"))?,
+            })),
+            _ => Err("Paint takes exactly one argument (color)".into()),
+        }
+    }
+}
+
+impl Element for Paint {
+    fn class_name(&self) -> &'static str {
+        "Paint"
+    }
+
+    fn process(&mut self, _port: usize, mut pkt: Packet, ctx: &mut ElementContext<'_>) {
+        pkt.meta.paint = Some(self.color);
+        ctx.output(0, pkt);
+    }
+}
+
+/// Forwards packets painted `color` to output 0, others to output 1.
+#[derive(Debug)]
+pub struct CheckPaint {
+    color: u8,
+}
+
+impl CheckPaint {
+    /// Factory for the registry.
+    pub fn factory(args: &[String], _env: &ElementEnv) -> Result<Box<dyn Element>, String> {
+        match args {
+            [c] => Ok(Box::new(CheckPaint {
+                color: parse_u8(c).ok_or_else(|| format!("bad paint color `{c}`"))?,
+            })),
+            _ => Err("CheckPaint takes exactly one argument (color)".into()),
+        }
+    }
+}
+
+impl Element for CheckPaint {
+    fn class_name(&self) -> &'static str {
+        "CheckPaint"
+    }
+
+    fn n_outputs(&self) -> usize {
+        2
+    }
+
+    fn process(&mut self, _port: usize, pkt: Packet, ctx: &mut ElementContext<'_>) {
+        let port = if pkt.meta.paint == Some(self.color) { 0 } else { 1 };
+        ctx.output(port, pkt);
+    }
+}
+
+/// Rewrites the IP TOS/QoS byte (EndBox uses value `0xeb` to flag packets
+/// already processed by a client-side Click instance, §IV-A).
+#[derive(Debug)]
+pub struct SetTos {
+    tos: u8,
+}
+
+impl SetTos {
+    /// Factory for the registry.
+    pub fn factory(args: &[String], _env: &ElementEnv) -> Result<Box<dyn Element>, String> {
+        match args {
+            [v] => Ok(Box::new(SetTos {
+                tos: parse_u8(v).ok_or_else(|| format!("bad TOS value `{v}`"))?,
+            })),
+            _ => Err("SetTOS takes exactly one argument".into()),
+        }
+    }
+}
+
+impl Element for SetTos {
+    fn class_name(&self) -> &'static str {
+        "SetTOS"
+    }
+
+    fn process(&mut self, _port: usize, mut pkt: Packet, ctx: &mut ElementContext<'_>) {
+        pkt.set_tos(self.tos);
+        ctx.output(0, pkt);
+    }
+}
+
+/// Counts packets and reports an average rate over the shared clock.
+#[derive(Debug)]
+pub struct AverageCounter {
+    count: u64,
+    bytes: u64,
+    start: Option<endbox_netsim::SimTime>,
+    clock: endbox_netsim::time::SharedClock,
+}
+
+impl AverageCounter {
+    /// Factory for the registry.
+    pub fn factory(args: &[String], env: &ElementEnv) -> Result<Box<dyn Element>, String> {
+        if !args.is_empty() {
+            return Err("AverageCounter takes no arguments".into());
+        }
+        Ok(Box::new(AverageCounter { count: 0, bytes: 0, start: None, clock: env.clock.clone() }))
+    }
+}
+
+impl Element for AverageCounter {
+    fn class_name(&self) -> &'static str {
+        "AverageCounter"
+    }
+
+    fn process(&mut self, _port: usize, pkt: Packet, ctx: &mut ElementContext<'_>) {
+        if self.start.is_none() {
+            self.start = Some(self.clock.now());
+        }
+        self.count += 1;
+        self.bytes += pkt.len() as u64;
+        ctx.output(0, pkt);
+    }
+
+    fn read_handler(&self, name: &str) -> Option<String> {
+        match name {
+            "count" => Some(self.count.to_string()),
+            "byte_rate" => {
+                let start = self.start?;
+                let elapsed = (self.clock.now() - start).as_secs_f64();
+                if elapsed <= 0.0 {
+                    return Some("0".into());
+                }
+                Some(format!("{:.0}", self.bytes as f64 / elapsed))
+            }
+            _ => None,
+        }
+    }
+}
+
+fn parse_u8(s: &str) -> Option<u8> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u8::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::ElementEnv;
+    use std::net::Ipv4Addr;
+
+    fn pkt() -> Packet {
+        Packet::udp(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 1, 1), 1, 2, b"data")
+    }
+
+    fn run(elem: &mut dyn Element, p: Packet) -> (Vec<(usize, Packet)>, Vec<Packet>) {
+        let env = ElementEnv::default();
+        let mut emitted = Vec::new();
+        let mut ctx = ElementContext::new(&mut emitted, &env);
+        elem.process(0, p, &mut ctx);
+        (ctx.outputs, emitted)
+    }
+
+    #[test]
+    fn counter_counts_and_resets() {
+        let env = ElementEnv::default();
+        let mut c = Counter::factory(&[], &env).unwrap();
+        run(c.as_mut(), pkt());
+        run(c.as_mut(), pkt());
+        assert_eq!(c.read_handler("count").as_deref(), Some("2"));
+        assert_eq!(c.read_handler("byte_count").as_deref(), Some("64"));
+        c.write_handler("reset", "").unwrap();
+        assert_eq!(c.read_handler("count").as_deref(), Some("0"));
+    }
+
+    #[test]
+    fn counter_state_transfer() {
+        let env = ElementEnv::default();
+        let mut a = Counter::factory(&[], &env).unwrap();
+        run(a.as_mut(), pkt());
+        let state = a.export_state().unwrap();
+        let mut b = Counter::factory(&[], &env).unwrap();
+        b.import_state(state);
+        assert_eq!(b.read_handler("count").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn tee_duplicates() {
+        let env = ElementEnv::default();
+        let mut t = Tee::factory(&["3".into()], &env).unwrap();
+        let (outs, _) = run(t.as_mut(), pkt());
+        assert_eq!(outs.len(), 3);
+        let ports: Vec<usize> = outs.iter().map(|(p, _)| *p).collect();
+        assert!(ports.contains(&0) && ports.contains(&1) && ports.contains(&2));
+    }
+
+    #[test]
+    fn paint_and_checkpaint() {
+        let env = ElementEnv::default();
+        let mut paint = Paint::factory(&["7".into()], &env).unwrap();
+        let (outs, _) = run(paint.as_mut(), pkt());
+        let painted = outs.into_iter().next().unwrap().1;
+        assert_eq!(painted.meta.paint, Some(7));
+
+        let mut check = CheckPaint::factory(&["7".into()], &env).unwrap();
+        let (outs, _) = run(check.as_mut(), painted);
+        assert_eq!(outs[0].0, 0);
+        let (outs, _) = run(check.as_mut(), pkt()); // unpainted
+        assert_eq!(outs[0].0, 1);
+    }
+
+    #[test]
+    fn set_tos_hex() {
+        let env = ElementEnv::default();
+        let mut s = SetTos::factory(&["0xEB".into()], &env).unwrap();
+        let (outs, _) = run(s.as_mut(), pkt());
+        assert_eq!(outs[0].1.tos(), 0xeb);
+    }
+
+    #[test]
+    fn todevice_emits_accepted() {
+        let env = ElementEnv::default();
+        let mut t = ToDevice::factory(&["tun0".into()], &env).unwrap();
+        let (_, emitted) = run(t.as_mut(), pkt());
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(emitted[0].meta.verdict, endbox_netsim::packet::Verdict::Accept);
+        assert_eq!(t.read_handler("emitted").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn discard_swallows() {
+        let env = ElementEnv::default();
+        let mut d = Discard::factory(&[], &env).unwrap();
+        let (outs, emitted) = run(d.as_mut(), pkt());
+        assert!(outs.is_empty());
+        assert!(emitted.is_empty());
+        assert_eq!(d.read_handler("count").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn factories_validate_args() {
+        let env = ElementEnv::default();
+        assert!(Counter::factory(&["x".into()], &env).is_err());
+        assert!(Tee::factory(&["0".into()], &env).is_err());
+        assert!(Paint::factory(&[], &env).is_err());
+        assert!(SetTos::factory(&["256".into()], &env).is_err());
+        assert!(Queue::factory(&["abc".into()], &env).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! Element implementations: Click standard elements plus EndBox's custom
+//! elements (§IV: "It uses elements shipped with Click to implement
+//! middlebox functions and extends Click by adding custom elements for an
+//! IDPS function, to decrypt application-level traffic, and to perform
+//! traffic shaping using a trusted time source provided by SGX").
+
+mod basic;
+mod classify;
+mod ids;
+mod ipfilter;
+mod rewrite;
+mod splitter;
+mod tlsdecrypt;
+
+pub use basic::{
+    AverageCounter, CheckPaint, Counter, Discard, FromDevice, Paint, Queue, SetTos, Tee, ToDevice,
+};
+pub use classify::{CheckIpHeader, Classifier, IpClassifier, RoundRobinSwitch};
+pub use ids::IdsMatcher;
+pub use ipfilter::{evaluation_rules, IpFilter};
+pub use rewrite::{IpAddrRewriter, Meter};
+pub use splitter::{TrustedSplitter, UntrustedSplitter};
+pub use tlsdecrypt::{open_record, seal_record, TlsDecrypt};
+
+use crate::registry::ElementRegistry;
+
+/// Registers every built-in element class.
+pub fn register_all(r: &mut ElementRegistry) {
+    r.register("FromDevice", basic::FromDevice::factory);
+    r.register("ToDevice", basic::ToDevice::factory);
+    r.register("Discard", basic::Discard::factory);
+    r.register("Counter", basic::Counter::factory);
+    r.register("Tee", basic::Tee::factory);
+    r.register("Queue", basic::Queue::factory);
+    r.register("Paint", basic::Paint::factory);
+    r.register("CheckPaint", basic::CheckPaint::factory);
+    r.register("SetTOS", basic::SetTos::factory);
+    r.register("AverageCounter", basic::AverageCounter::factory);
+    r.register("Classifier", classify::Classifier::factory);
+    r.register("IPClassifier", classify::IpClassifier::factory);
+    r.register("CheckIPHeader", classify::CheckIpHeader::factory);
+    r.register("RoundRobinSwitch", classify::RoundRobinSwitch::factory);
+    r.register("IPFilter", ipfilter::IpFilter::factory);
+    r.register("IPAddrRewriter", rewrite::IpAddrRewriter::factory);
+    r.register("Meter", rewrite::Meter::factory);
+    r.register("IDSMatcher", ids::IdsMatcher::factory);
+    r.register("TrustedSplitter", splitter::TrustedSplitter::factory);
+    r.register("UntrustedSplitter", splitter::UntrustedSplitter::factory);
+    r.register("TLSDecrypt", tlsdecrypt::TlsDecrypt::factory);
+}

@@ -1,0 +1,230 @@
+//! Traffic-manipulation elements: address rewriting (NAT-style) and rate
+//! metering — middleboxes "analysing, filtering, and manipulating network
+//! traffic" (§II-B).
+
+use crate::element::{Element, ElementContext, ElementEnv, ElementState};
+use endbox_netsim::time::SimTime;
+use endbox_netsim::Packet;
+use std::net::Ipv4Addr;
+
+/// Rewrites the source and/or destination address of every packet —
+/// a one-way NAT/redirection element (`IPAddrRewriter(SRC 10.0.0.99)`,
+/// `IPAddrRewriter(DST 10.1.0.5)`, or both). Checksums are fixed up.
+#[derive(Debug)]
+pub struct IpAddrRewriter {
+    src: Option<Ipv4Addr>,
+    dst: Option<Ipv4Addr>,
+    rewritten: u64,
+}
+
+impl IpAddrRewriter {
+    /// Factory for the registry.
+    pub fn factory(args: &[String], _env: &ElementEnv) -> Result<Box<dyn Element>, String> {
+        if args.is_empty() {
+            return Err("IPAddrRewriter needs SRC <ip> and/or DST <ip>".into());
+        }
+        let mut src = None;
+        let mut dst = None;
+        for arg in args {
+            let mut toks = arg.split_whitespace();
+            match (toks.next(), toks.next(), toks.next()) {
+                (Some("SRC"), Some(ip), None) => {
+                    src = Some(ip.parse().map_err(|_| format!("bad SRC `{ip}`"))?);
+                }
+                (Some("DST"), Some(ip), None) => {
+                    dst = Some(ip.parse().map_err(|_| format!("bad DST `{ip}`"))?);
+                }
+                _ => return Err(format!("bad IPAddrRewriter option `{arg}`")),
+            }
+        }
+        Ok(Box::new(IpAddrRewriter { src, dst, rewritten: 0 }))
+    }
+}
+
+impl Element for IpAddrRewriter {
+    fn class_name(&self) -> &'static str {
+        "IPAddrRewriter"
+    }
+
+    fn process(&mut self, _port: usize, mut pkt: Packet, ctx: &mut ElementContext<'_>) {
+        if let Some(src) = self.src {
+            pkt.set_src(src);
+        }
+        if let Some(dst) = self.dst {
+            pkt.set_dst(dst);
+        }
+        self.rewritten += 1;
+        ctx.output(0, pkt);
+    }
+
+    fn read_handler(&self, name: &str) -> Option<String> {
+        (name == "rewritten").then(|| self.rewritten.to_string())
+    }
+}
+
+/// Classifies packets by measured arrival rate (Click's `Meter`): packets
+/// while the exponentially-averaged rate is at or below the threshold go
+/// to output 0, the overload goes to output 1. Unlike the splitters, the
+/// meter does not shape: it only classifies.
+#[derive(Debug)]
+pub struct Meter {
+    rate_bps: u64,
+    /// Exponentially weighted moving average of the observed rate (bps).
+    ewma_bps: f64,
+    last: Option<SimTime>,
+    below: u64,
+    above: u64,
+}
+
+impl Meter {
+    /// Factory for the registry: `Meter(<bits per second>)`.
+    pub fn factory(args: &[String], _env: &ElementEnv) -> Result<Box<dyn Element>, String> {
+        let rate_bps = match args {
+            [r] => r.parse().map_err(|_| format!("bad Meter rate `{r}`"))?,
+            _ => return Err("Meter takes exactly one argument (bits/s)".into()),
+        };
+        if rate_bps == 0 {
+            return Err("Meter rate must be > 0".into());
+        }
+        Ok(Box::new(Meter { rate_bps, ewma_bps: 0.0, last: None, below: 0, above: 0 }))
+    }
+}
+
+impl Element for Meter {
+    fn class_name(&self) -> &'static str {
+        "Meter"
+    }
+
+    fn n_outputs(&self) -> usize {
+        2
+    }
+
+    fn process(&mut self, _port: usize, pkt: Packet, ctx: &mut ElementContext<'_>) {
+        let now = ctx.env.clock.now();
+        let bits = pkt.len() as f64 * 8.0;
+        if let Some(last) = self.last {
+            let dt = (now - last).as_secs_f64().max(1e-9);
+            let instant = bits / dt;
+            // EWMA with ~8-sample memory.
+            self.ewma_bps = self.ewma_bps * 0.875 + instant * 0.125;
+        } else {
+            self.ewma_bps = 0.0; // first packet: no rate estimate yet
+        }
+        self.last = Some(now);
+        if self.ewma_bps <= self.rate_bps as f64 {
+            self.below += 1;
+            ctx.output(0, pkt);
+        } else {
+            self.above += 1;
+            ctx.output(1, pkt);
+        }
+    }
+
+    fn read_handler(&self, name: &str) -> Option<String> {
+        match name {
+            "rate" => Some(format!("{:.0}", self.ewma_bps)),
+            "below" => Some(self.below.to_string()),
+            "above" => Some(self.above.to_string()),
+            _ => None,
+        }
+    }
+
+    fn export_state(&self) -> Option<ElementState> {
+        Some(vec![
+            ("below".into(), self.below.to_string()),
+            ("above".into(), self.above.to_string()),
+        ])
+    }
+
+    fn import_state(&mut self, state: ElementState) {
+        for (k, v) in state {
+            match k.as_str() {
+                "below" => self.below = v.parse().unwrap_or(0),
+                "above" => self.above = v.parse().unwrap_or(0),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use endbox_netsim::time::SimDuration;
+
+    fn pkt(len: usize) -> Packet {
+        Packet::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 1, 1),
+            1,
+            2,
+            &vec![b'm'; len],
+        )
+    }
+
+    fn run(elem: &mut dyn Element, p: Packet, env: &ElementEnv) -> (usize, Packet) {
+        let mut emitted = Vec::new();
+        let mut ctx = ElementContext::new(&mut emitted, env);
+        elem.process(0, p, &mut ctx);
+        ctx.outputs.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn rewriter_changes_addresses_and_fixes_checksums() {
+        let env = ElementEnv::default();
+        let mut e = IpAddrRewriter::factory(
+            &["SRC 192.0.2.7".into(), "DST 10.1.0.5".into()],
+            &env,
+        )
+        .unwrap();
+        let (_, out) = run(e.as_mut(), pkt(100), &env);
+        assert_eq!(out.header().src, Ipv4Addr::new(192, 0, 2, 7));
+        assert_eq!(out.header().dst, Ipv4Addr::new(10, 1, 0, 5));
+        // Packet stays wire-valid.
+        assert!(Packet::from_bytes(out.bytes().to_vec()).is_ok());
+        assert_eq!(e.read_handler("rewritten").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn rewriter_src_only() {
+        let env = ElementEnv::default();
+        let mut e = IpAddrRewriter::factory(&["SRC 192.0.2.7".into()], &env).unwrap();
+        let (_, out) = run(e.as_mut(), pkt(10), &env);
+        assert_eq!(out.header().src, Ipv4Addr::new(192, 0, 2, 7));
+        assert_eq!(out.header().dst, Ipv4Addr::new(10, 0, 1, 1), "dst untouched");
+    }
+
+    #[test]
+    fn meter_classifies_by_rate() {
+        let env = ElementEnv::default();
+        // 1 Mbps threshold.
+        let mut m = Meter::factory(&["1000000".into()], &env).unwrap();
+        // Slow traffic: one 128-byte packet per 10 ms ~ 100 kbps.
+        for _ in 0..20 {
+            env.clock.advance(SimDuration::from_millis(10));
+            let (port, _) = run(m.as_mut(), pkt(100), &env);
+            assert_eq!(port, 0, "slow traffic passes on port 0");
+        }
+        // Burst: packets every 100 us ~ 10 Mbps -> port 1 once EWMA rises.
+        let mut above = 0;
+        for _ in 0..50 {
+            env.clock.advance(SimDuration::from_micros(100));
+            let (port, _) = run(m.as_mut(), pkt(100), &env);
+            if port == 1 {
+                above += 1;
+            }
+        }
+        assert!(above > 20, "burst must overflow to port 1: {above}");
+    }
+
+    #[test]
+    fn factories_validate() {
+        let env = ElementEnv::default();
+        assert!(IpAddrRewriter::factory(&[], &env).is_err());
+        assert!(IpAddrRewriter::factory(&["SRC nonsense".into()], &env).is_err());
+        assert!(IpAddrRewriter::factory(&["FOO 1.2.3.4".into()], &env).is_err());
+        assert!(Meter::factory(&[], &env).is_err());
+        assert!(Meter::factory(&["0".into()], &env).is_err());
+        assert!(Meter::factory(&["fast".into()], &env).is_err());
+    }
+}

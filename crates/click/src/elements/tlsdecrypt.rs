@@ -1,0 +1,193 @@
+//! `TLSDecrypt`: in-enclave decryption of application TLS traffic
+//! (§III-D). The client's patched TLS library "forwards all negotiated
+//! session keys to the trusted Click instance … The keys are used to
+//! decrypt the packets inside a special Click element."
+//!
+//! Record format used by the reproduction's TLS shim: an 8-byte big-endian
+//! record sequence number followed by AES-128-CTR ciphertext keyed by the
+//! forwarded session key with the sequence number as nonce. Equal-length
+//! plaintext replaces ciphertext in place, so downstream elements (the
+//! IDS) inspect cleartext while packet sizes stay unchanged.
+
+use crate::element::{Element, ElementContext, ElementEnv, FlowId};
+use endbox_crypto::aes::Aes128;
+use endbox_crypto::modes::ctr_xor;
+use endbox_netsim::packet::IpProtocol;
+use endbox_netsim::Packet;
+
+/// Serialised record header length (sequence number).
+pub const RECORD_HEADER_LEN: usize = 8;
+
+fn nonce_for(seq: u64) -> [u8; 16] {
+    let mut n = [0u8; 16];
+    n[..8].copy_from_slice(b"endboxtl");
+    n[8..].copy_from_slice(&seq.to_be_bytes());
+    n
+}
+
+/// Encrypts `plaintext` into a record (used by the TLS shim on the client
+/// application side).
+pub fn seal_record(key: &[u8; 16], seq: u64, plaintext: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER_LEN + plaintext.len());
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(plaintext);
+    let aes = Aes128::new(key);
+    ctr_xor(&aes, &nonce_for(seq), &mut out[RECORD_HEADER_LEN..]);
+    out
+}
+
+/// Decrypts a record, returning `(seq, plaintext)`; `None` if too short.
+pub fn open_record(key: &[u8; 16], record: &[u8]) -> Option<(u64, Vec<u8>)> {
+    if record.len() < RECORD_HEADER_LEN {
+        return None;
+    }
+    let seq = u64::from_be_bytes(record[..RECORD_HEADER_LEN].try_into().unwrap());
+    let mut pt = record[RECORD_HEADER_LEN..].to_vec();
+    let aes = Aes128::new(key);
+    ctr_xor(&aes, &nonce_for(seq), &mut pt);
+    Some((seq, pt))
+}
+
+/// The decryption element. TCP packets whose flow has a registered session
+/// key get their payload decrypted in place; all other packets pass
+/// through unchanged.
+#[derive(Debug, Default)]
+pub struct TlsDecrypt {
+    decrypted: u64,
+    misses: u64,
+}
+
+impl TlsDecrypt {
+    /// Factory for the registry.
+    pub fn factory(args: &[String], _env: &ElementEnv) -> Result<Box<dyn Element>, String> {
+        if !args.is_empty() {
+            return Err("TLSDecrypt takes no arguments".into());
+        }
+        Ok(Box::<TlsDecrypt>::default())
+    }
+}
+
+impl Element for TlsDecrypt {
+    fn class_name(&self) -> &'static str {
+        "TLSDecrypt"
+    }
+
+    fn process(&mut self, _port: usize, mut pkt: Packet, ctx: &mut ElementContext<'_>) {
+        let header = pkt.header();
+        if header.protocol == IpProtocol::Tcp {
+            if let (Some(sport), Some(dport)) = (pkt.src_port(), pkt.dst_port()) {
+                let flow = FlowId::new(header.src, sport, header.dst, dport);
+                if let Some(key) = ctx.env.tls_keys.lookup(&flow) {
+                    let payload = pkt.app_payload();
+                    if let Some((seq, plaintext)) = open_record(&key, payload) {
+                        ctx.env
+                            .meter
+                            .add(ctx.env.cost.crypto_cycles(plaintext.len()));
+                        let mut rebuilt =
+                            Vec::with_capacity(RECORD_HEADER_LEN + plaintext.len());
+                        rebuilt.extend_from_slice(&seq.to_be_bytes());
+                        rebuilt.extend_from_slice(&plaintext);
+                        pkt.replace_app_payload(&rebuilt);
+                        self.decrypted += 1;
+                        ctx.output(0, pkt);
+                        return;
+                    }
+                }
+            }
+        }
+        self.misses += 1;
+        ctx.output(0, pkt);
+    }
+
+    fn read_handler(&self, name: &str) -> Option<String> {
+        match name {
+            "decrypted" => Some(self.decrypted.to_string()),
+            "misses" => Some(self.misses.to_string()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn run(elem: &mut dyn Element, p: Packet, env: &ElementEnv) -> Packet {
+        let mut emitted = Vec::new();
+        let mut ctx = ElementContext::new(&mut emitted, env);
+        elem.process(0, p, &mut ctx);
+        ctx.outputs.into_iter().next().unwrap().1
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let key = [0x42u8; 16];
+        let rec = seal_record(&key, 7, b"GET /secret HTTP/1.1");
+        let (seq, pt) = open_record(&key, &rec).unwrap();
+        assert_eq!(seq, 7);
+        assert_eq!(pt, b"GET /secret HTTP/1.1");
+        // Ciphertext differs from plaintext.
+        assert_ne!(&rec[8..], b"GET /secret HTTP/1.1".as_slice());
+    }
+
+    #[test]
+    fn different_seq_different_keystream() {
+        let key = [1u8; 16];
+        let a = seal_record(&key, 1, b"same plaintext");
+        let b = seal_record(&key, 2, b"same plaintext");
+        assert_ne!(a[8..], b[8..]);
+    }
+
+    #[test]
+    fn decrypts_registered_flow() {
+        let env = ElementEnv::default();
+        let key = [9u8; 16];
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(93, 184, 216, 34);
+        env.tls_keys.register(FlowId::new(src, 40000, dst, 443), key);
+
+        let record = seal_record(&key, 3, b"confidential request body!");
+        let pkt = Packet::tcp(src, dst, 40000, 443, 0, &record);
+        let mut elem = TlsDecrypt::factory(&[], &env).unwrap();
+        let out = run(elem.as_mut(), pkt, &env);
+        assert_eq!(&out.app_payload()[8..], b"confidential request body!");
+        assert_eq!(elem.read_handler("decrypted").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn unknown_flow_passes_through_unchanged() {
+        let env = ElementEnv::default();
+        let key = [9u8; 16];
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(93, 184, 216, 34);
+        let record = seal_record(&key, 3, b"still encrypted");
+        let pkt = Packet::tcp(src, dst, 40000, 443, 0, &record);
+        let original = pkt.clone();
+        let mut elem = TlsDecrypt::factory(&[], &env).unwrap();
+        let out = run(elem.as_mut(), pkt, &env);
+        assert_eq!(out.bytes(), original.bytes());
+        assert_eq!(elem.read_handler("misses").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn non_tcp_ignored() {
+        let env = ElementEnv::default();
+        let pkt = Packet::udp(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 1, 2, b"u");
+        let mut elem = TlsDecrypt::factory(&[], &env).unwrap();
+        let out = run(elem.as_mut(), pkt.clone(), &env);
+        assert_eq!(out.bytes(), pkt.bytes());
+    }
+
+    #[test]
+    fn short_record_is_a_miss() {
+        let env = ElementEnv::default();
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(2, 2, 2, 2);
+        env.tls_keys.register(FlowId::new(src, 1, dst, 443), [1u8; 16]);
+        let pkt = Packet::tcp(src, dst, 1, 443, 0, b"abc"); // < 8 bytes
+        let mut elem = TlsDecrypt::factory(&[], &env).unwrap();
+        run(elem.as_mut(), pkt, &env);
+        assert_eq!(elem.read_handler("misses").as_deref(), Some("1"));
+    }
+}

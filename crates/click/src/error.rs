@@ -1,0 +1,51 @@
+//! Errors for configuration parsing and router construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while parsing configurations or building routers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClickError {
+    /// Syntax error in the configuration text.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// A declared element class is not in the registry.
+    UnknownClass(String),
+    /// An element rejected its configuration arguments.
+    Configure {
+        /// Element name.
+        element: String,
+        /// Description.
+        message: String,
+    },
+    /// A connection references an undeclared element or an out-of-range
+    /// port.
+    BadConnection(String),
+    /// Duplicate element name.
+    DuplicateName(String),
+    /// A handler call failed (unknown handler or bad value).
+    Handler(String),
+}
+
+impl fmt::Display for ClickError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClickError::Parse { line, message } => {
+                write!(f, "config parse error at line {line}: {message}")
+            }
+            ClickError::UnknownClass(c) => write!(f, "unknown element class `{c}`"),
+            ClickError::Configure { element, message } => {
+                write!(f, "element `{element}` configuration error: {message}")
+            }
+            ClickError::BadConnection(msg) => write!(f, "bad connection: {msg}"),
+            ClickError::DuplicateName(n) => write!(f, "duplicate element name `{n}`"),
+            ClickError::Handler(msg) => write!(f, "handler error: {msg}"),
+        }
+    }
+}
+
+impl Error for ClickError {}

@@ -1,0 +1,439 @@
+//! The router: instantiates a parsed configuration into an element graph,
+//! pushes packets through it, and hot-swaps configurations at runtime.
+
+use crate::config::ConfigGraph;
+use crate::element::{Element, ElementContext, ElementEnv};
+use crate::error::ClickError;
+use crate::registry::ElementRegistry;
+use endbox_netsim::packet::Verdict;
+use endbox_netsim::Packet;
+use std::collections::VecDeque;
+
+/// Result of pushing one packet through the router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterOutput {
+    /// Packets emitted by `ToDevice` elements (verdict `Accept`).
+    pub emitted: Vec<Packet>,
+    /// True if at least one packet was emitted — the signal the modified
+    /// `ToDevice` gives OpenVPN (§IV).
+    pub accepted: bool,
+}
+
+/// A running Click router.
+pub struct Router {
+    elements: Vec<Box<dyn Element>>,
+    names: Vec<String>,
+    classes: Vec<String>,
+    /// `out_edges[element][out_port] = Some((to_element, to_port))`.
+    out_edges: Vec<Vec<Option<(usize, usize)>>>,
+    entry: Option<usize>,
+    env: ElementEnv,
+    config_text: String,
+    hotswaps: u64,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("elements", &self.names)
+            .field("hotswaps", &self.hotswaps)
+            .finish()
+    }
+}
+
+struct BuiltGraph {
+    elements: Vec<Box<dyn Element>>,
+    names: Vec<String>,
+    classes: Vec<String>,
+    out_edges: Vec<Vec<Option<(usize, usize)>>>,
+    entry: Option<usize>,
+}
+
+fn build(
+    graph: &ConfigGraph,
+    registry: &ElementRegistry,
+    env: &ElementEnv,
+) -> Result<BuiltGraph, ClickError> {
+    let mut elements = Vec::with_capacity(graph.elements.len());
+    let mut names = Vec::with_capacity(graph.elements.len());
+    let mut classes = Vec::with_capacity(graph.elements.len());
+    for decl in &graph.elements {
+        let element = registry.create(&decl.name, &decl.class, &decl.args, env)?;
+        names.push(decl.name.clone());
+        classes.push(decl.class.clone());
+        elements.push(element);
+    }
+
+    let mut out_edges: Vec<Vec<Option<(usize, usize)>>> =
+        elements.iter().map(|e| vec![None; e.n_outputs()]).collect();
+    for conn in &graph.connections {
+        let n_out = elements[conn.from].n_outputs();
+        if conn.from_port >= n_out {
+            return Err(ClickError::BadConnection(format!(
+                "`{}` has {} output(s), port {} out of range",
+                names[conn.from], n_out, conn.from_port
+            )));
+        }
+        let n_in = elements[conn.to].n_inputs();
+        if conn.to_port >= n_in {
+            return Err(ClickError::BadConnection(format!(
+                "`{}` has {} input(s), port {} out of range",
+                names[conn.to], n_in, conn.to_port
+            )));
+        }
+        if out_edges[conn.from][conn.from_port].is_some() {
+            return Err(ClickError::BadConnection(format!(
+                "output {}[{}] connected twice",
+                names[conn.from], conn.from_port
+            )));
+        }
+        out_edges[conn.from][conn.from_port] = Some((conn.to, conn.to_port));
+    }
+
+    let entry = classes.iter().position(|c| c == "FromDevice");
+    Ok(BuiltGraph { elements, names, classes, out_edges, entry })
+}
+
+impl Router {
+    /// Parses and instantiates `config_text` with the standard registry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse, class-lookup, configuration and connection
+    /// errors.
+    pub fn from_config(config_text: &str, env: ElementEnv) -> Result<Router, ClickError> {
+        Self::from_config_with_registry(config_text, env, &ElementRegistry::standard())
+    }
+
+    /// Same as [`Router::from_config`] with a caller-provided registry.
+    ///
+    /// # Errors
+    ///
+    /// See [`Router::from_config`].
+    pub fn from_config_with_registry(
+        config_text: &str,
+        env: ElementEnv,
+        registry: &ElementRegistry,
+    ) -> Result<Router, ClickError> {
+        let graph = ConfigGraph::parse(config_text)?;
+        let built = build(&graph, registry, &env)?;
+        Ok(Router {
+            elements: built.elements,
+            names: built.names,
+            classes: built.classes,
+            out_edges: built.out_edges,
+            entry: built.entry,
+            env,
+            config_text: config_text.to_string(),
+            hotswaps: 0,
+        })
+    }
+
+    /// Pushes one packet into the router at its `FromDevice` entry and runs
+    /// it to completion. Returns emitted packets and the accept/reject
+    /// verdict.
+    pub fn process(&mut self, pkt: Packet) -> RouterOutput {
+        let mut emitted = Vec::new();
+        let Some(entry) = self.entry else {
+            // No FromDevice: nothing to do, packet rejected.
+            return RouterOutput { emitted, accepted: false };
+        };
+        let mut queue: VecDeque<(usize, usize, Packet)> = VecDeque::with_capacity(4);
+        queue.push_back((entry, 0, pkt));
+        while let Some((idx, port, pkt)) = queue.pop_front() {
+            self.env.meter.add(self.env.cost.click_element_base);
+            let mut ctx = ElementContext::new(&mut emitted, &self.env);
+            self.elements[idx].process(port, pkt, &mut ctx);
+            for (out_port, mut out_pkt) in ctx.outputs {
+                match self.out_edges[idx].get(out_port).copied().flatten() {
+                    Some((to, to_port)) => queue.push_back((to, to_port, out_pkt)),
+                    None => {
+                        // Packet pushed to an unconnected port: dropped.
+                        out_pkt.meta.verdict = Verdict::Drop;
+                    }
+                }
+            }
+        }
+        let accepted = !emitted.is_empty();
+        RouterOutput { emitted, accepted }
+    }
+
+    /// Hot-swaps to a new configuration, transferring state between
+    /// same-name same-class elements ("we adapt the hot-swapping mechanism
+    /// to work with configuration files stored in memory", §IV). On error
+    /// the old configuration keeps running.
+    ///
+    /// # Errors
+    ///
+    /// Any parse/build error for the new configuration; the router is
+    /// unchanged in that case.
+    pub fn hot_swap(&mut self, new_config: &str) -> Result<(), ClickError> {
+        let registry = ElementRegistry::standard();
+        let graph = ConfigGraph::parse(new_config)?;
+        let mut built = build(&graph, &registry, &self.env)?;
+
+        // Charge the hot-swap cost model (Table II): parse + instantiate,
+        // plus device setup when this Click owns its devices (vanilla).
+        let cost = &self.env.cost;
+        let mut cycles =
+            cost.hotswap_base + cost.element_instantiate * built.elements.len() as u64;
+        if self.env.device_io {
+            cycles += cost.device_setup;
+        }
+        self.env.meter.add(cycles);
+
+        // State transfer: match by (name, class).
+        for (new_idx, name) in built.names.iter().enumerate() {
+            let matching_old = self
+                .names
+                .iter()
+                .position(|n| n == name)
+                .filter(|&old_idx| self.classes[old_idx] == built.classes[new_idx]);
+            if let Some(old_idx) = matching_old {
+                if let Some(state) = self.elements[old_idx].export_state() {
+                    built.elements[new_idx].import_state(state);
+                }
+            }
+        }
+
+        self.elements = built.elements;
+        self.names = built.names;
+        self.classes = built.classes;
+        self.out_edges = built.out_edges;
+        self.entry = built.entry;
+        self.config_text = new_config.to_string();
+        self.hotswaps += 1;
+        Ok(())
+    }
+
+    /// Reads a handler on a named element (e.g. `("counter", "count")`).
+    pub fn read_handler(&self, element: &str, handler: &str) -> Option<String> {
+        let idx = self.names.iter().position(|n| n == element)?;
+        self.elements[idx].read_handler(handler)
+    }
+
+    /// Writes a handler on a named element.
+    ///
+    /// # Errors
+    ///
+    /// [`ClickError::Handler`] if the element or handler does not exist.
+    pub fn write_handler(
+        &mut self,
+        element: &str,
+        handler: &str,
+        value: &str,
+    ) -> Result<(), ClickError> {
+        let idx = self
+            .names
+            .iter()
+            .position(|n| n == element)
+            .ok_or_else(|| ClickError::Handler(format!("no element `{element}`")))?;
+        self.elements[idx].write_handler(handler, value)
+    }
+
+    /// Element instance names in declaration order.
+    pub fn element_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The currently active configuration text.
+    pub fn config_text(&self) -> &str {
+        &self.config_text
+    }
+
+    /// Number of successful hot-swaps.
+    pub fn hotswap_count(&self) -> u64 {
+        self.hotswaps
+    }
+
+    /// The router's environment.
+    pub fn env(&self) -> &ElementEnv {
+        &self.env
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn pkt() -> Packet {
+        Packet::udp(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 1, 1), 1, 2, b"payload")
+    }
+
+    #[test]
+    fn nop_config_forwards() {
+        let mut r =
+            Router::from_config("FromDevice(tun0) -> ToDevice(tun0);", ElementEnv::default())
+                .unwrap();
+        let out = r.process(pkt());
+        assert!(out.accepted);
+        assert_eq!(out.emitted.len(), 1);
+        assert_eq!(out.emitted[0].meta.verdict, Verdict::Accept);
+    }
+
+    #[test]
+    fn discard_rejects() {
+        let mut r =
+            Router::from_config("FromDevice(tun0) -> Discard;", ElementEnv::default()).unwrap();
+        let out = r.process(pkt());
+        assert!(!out.accepted);
+        assert!(out.emitted.is_empty());
+    }
+
+    #[test]
+    fn unconnected_port_drops() {
+        // IPFilter's deny port (1) is unconnected: denied packets vanish.
+        let mut r = Router::from_config(
+            "FromDevice(t) -> f :: IPFilter(deny dst port 2, allow all) -> ToDevice(t);",
+            ElementEnv::default(),
+        )
+        .unwrap();
+        let out = r.process(pkt()); // dst port 2 -> denied
+        assert!(!out.accepted);
+        assert_eq!(r.read_handler("f", "denied").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn tee_emits_multiple() {
+        let mut r = Router::from_config(
+            "FromDevice(t) -> tee :: Tee(2); tee[0] -> ToDevice(t); tee[1] -> ToDevice(t);",
+            ElementEnv::default(),
+        )
+        .unwrap();
+        let out = r.process(pkt());
+        assert_eq!(out.emitted.len(), 2);
+    }
+
+    #[test]
+    fn handlers_reachable_by_name() {
+        let mut r = Router::from_config(
+            "FromDevice(t) -> c :: Counter -> ToDevice(t);",
+            ElementEnv::default(),
+        )
+        .unwrap();
+        r.process(pkt());
+        r.process(pkt());
+        assert_eq!(r.read_handler("c", "count").as_deref(), Some("2"));
+        r.write_handler("c", "reset", "").unwrap();
+        assert_eq!(r.read_handler("c", "count").as_deref(), Some("0"));
+        assert!(r.read_handler("nope", "count").is_none());
+        assert!(r.write_handler("c", "bogus", "").is_err());
+    }
+
+    #[test]
+    fn hotswap_preserves_counter_state() {
+        let mut r = Router::from_config(
+            "FromDevice(t) -> c :: Counter -> ToDevice(t);",
+            ElementEnv::default(),
+        )
+        .unwrap();
+        r.process(pkt());
+        r.hot_swap(
+            "FromDevice(t) -> c :: Counter -> f :: IPFilter(allow all) -> ToDevice(t);",
+        )
+        .unwrap();
+        assert_eq!(r.read_handler("c", "count").as_deref(), Some("1"), "state transferred");
+        r.process(pkt());
+        assert_eq!(r.read_handler("c", "count").as_deref(), Some("2"));
+        assert_eq!(r.hotswap_count(), 1);
+    }
+
+    #[test]
+    fn hotswap_failure_keeps_old_config() {
+        let mut r = Router::from_config(
+            "FromDevice(t) -> ToDevice(t);",
+            ElementEnv::default(),
+        )
+        .unwrap();
+        let old = r.config_text().to_string();
+        assert!(r.hot_swap("FromDevice(t) -> NoSuchElement -> ToDevice(t);").is_err());
+        assert_eq!(r.config_text(), old);
+        assert!(r.process(pkt()).accepted, "old config still works");
+        assert_eq!(r.hotswap_count(), 0);
+    }
+
+    #[test]
+    fn hotswap_charges_device_setup_only_for_vanilla() {
+        let cost = endbox_netsim::CostModel::calibrated();
+
+        let env_endbox = ElementEnv::default();
+        let meter_endbox = env_endbox.meter.clone();
+        let mut r1 = Router::from_config("FromDevice(t) -> ToDevice(t);", env_endbox).unwrap();
+        meter_endbox.take();
+        r1.hot_swap("FromDevice(t) -> ToDevice(t);").unwrap();
+        let endbox_cycles = meter_endbox.read();
+
+        let mut env_vanilla = ElementEnv::default();
+        env_vanilla.device_io = true;
+        let meter_vanilla = env_vanilla.meter.clone();
+        let mut r2 = Router::from_config("FromDevice(t) -> ToDevice(t);", env_vanilla).unwrap();
+        meter_vanilla.take();
+        r2.hot_swap("FromDevice(t) -> ToDevice(t);").unwrap();
+        let vanilla_cycles = meter_vanilla.read();
+
+        assert_eq!(vanilla_cycles - endbox_cycles, cost.device_setup);
+    }
+
+    #[test]
+    fn bad_port_connections_rejected() {
+        let err = Router::from_config(
+            "FromDevice(t) -> [1]ToDevice(t);",
+            ElementEnv::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClickError::BadConnection(_)));
+
+        let err = Router::from_config(
+            "a :: Discard; FromDevice(t)[2] -> a;",
+            ElementEnv::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClickError::BadConnection(_)));
+    }
+
+    #[test]
+    fn double_connection_rejected() {
+        let err = Router::from_config(
+            "f :: FromDevice(t); f -> Discard; f -> Discard;",
+            ElementEnv::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClickError::BadConnection(_)));
+    }
+
+    #[test]
+    fn full_use_case_chain() {
+        // The paper's DDoS prevention chain: IDS + rate limiting.
+        let mut r = Router::from_config(
+            "FromDevice(tun0) \
+             -> ids :: IDSMatcher(COMMUNITY 50) \
+             -> ts :: TrustedSplitter(RATE 1000000000, SAMPLE 100) \
+             -> ToDevice(tun0); \
+             ids[1] -> Discard; \
+             ts[1] -> Discard;",
+            ElementEnv::default(),
+        )
+        .unwrap();
+        let out = r.process(pkt());
+        assert!(out.accepted);
+        assert_eq!(r.read_handler("ids", "alerts").as_deref(), Some("0"));
+        assert_eq!(r.read_handler("ts", "conformed").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn element_base_cost_charged_per_traversal() {
+        let env = ElementEnv::default();
+        let meter = env.meter.clone();
+        let cost = env.cost.clone();
+        let mut r = Router::from_config(
+            "FromDevice(t) -> Counter -> Counter -> ToDevice(t);",
+            env,
+        )
+        .unwrap();
+        meter.take();
+        r.process(pkt());
+        // 4 elements traversed.
+        assert_eq!(meter.read(), 4 * cost.click_element_base);
+    }
+}

@@ -1,0 +1,38 @@
+//! Error type shared by all primitives in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by cryptographic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoError {
+    /// An input had a length the primitive cannot accept (e.g. a ciphertext
+    /// that is not a multiple of the block size).
+    InvalidLength,
+    /// CBC padding was malformed during decryption.
+    InvalidPadding,
+    /// A MAC or AEAD tag did not verify.
+    AuthenticationFailed,
+    /// A signature did not verify.
+    InvalidSignature,
+    /// A key or public value was out of range or otherwise malformed.
+    InvalidKey,
+    /// Hex input contained a non-hex character or had odd length.
+    InvalidHex,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            CryptoError::InvalidLength => "input has invalid length",
+            CryptoError::InvalidPadding => "invalid padding",
+            CryptoError::AuthenticationFailed => "authentication failed",
+            CryptoError::InvalidSignature => "invalid signature",
+            CryptoError::InvalidKey => "invalid key material",
+            CryptoError::InvalidHex => "invalid hex encoding",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl Error for CryptoError {}

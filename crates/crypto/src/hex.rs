@@ -1,0 +1,75 @@
+//! Minimal hex encoding/decoding used by tests and wire-format debugging.
+
+use crate::CryptoError;
+
+/// Encodes bytes as a lowercase hex string.
+///
+/// ```
+/// assert_eq!(endbox_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    s
+}
+
+/// Decodes a hex string (upper- or lowercase, no separators).
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidHex`] on odd length or non-hex characters.
+///
+/// ```
+/// let v = endbox_crypto::hex::decode("00ff").unwrap();
+/// assert_eq!(v, vec![0x00, 0xff]);
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
+    let s = s.as_bytes();
+    if s.len() % 2 != 0 {
+        return Err(CryptoError::InvalidHex);
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for chunk in s.chunks(2) {
+        let hi = (chunk[0] as char).to_digit(16).ok_or(CryptoError::InvalidHex)?;
+        let lo = (chunk[1] as char).to_digit(16).ok_or(CryptoError::InvalidHex)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+/// Decodes a hex string into a fixed-size array.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidHex`] if decoding fails and
+/// [`CryptoError::InvalidLength`] if the decoded length is not `N`.
+pub fn decode_array<const N: usize>(s: &str) -> Result<[u8; N], CryptoError> {
+    let v = decode(s)?;
+    v.try_into().map_err(|_| CryptoError::InvalidLength)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(decode("0"), Err(CryptoError::InvalidHex));
+        assert_eq!(decode("0g"), Err(CryptoError::InvalidHex));
+        assert_eq!(decode_array::<4>("0011"), Err(CryptoError::InvalidLength));
+    }
+
+    #[test]
+    fn uppercase_ok() {
+        assert_eq!(decode("DEADBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Block cipher modes for AES-128: CBC with PKCS#7 padding, and CTR.
+//!
+//! EndBox's data channel uses AES-128-CBC with an HMAC-SHA256 tag (matching
+//! OpenVPN's default static configuration in the paper); the TLS shim uses
+//! CTR for application-record protection.
+
+use crate::aes::{Aes128, BLOCK_LEN};
+use crate::CryptoError;
+
+/// Encrypts `plaintext` with AES-128-CBC and PKCS#7 padding.
+///
+/// The output is always a non-zero multiple of the block size.
+///
+/// ```
+/// use endbox_crypto::{aes::Aes128, modes};
+/// let aes = Aes128::new(&[7u8; 16]);
+/// let iv = [9u8; 16];
+/// let ct = modes::cbc_encrypt(&aes, &iv, b"attack at dawn");
+/// let pt = modes::cbc_decrypt(&aes, &iv, &ct).unwrap();
+/// assert_eq!(pt, b"attack at dawn");
+/// ```
+pub fn cbc_encrypt(aes: &Aes128, iv: &[u8; BLOCK_LEN], plaintext: &[u8]) -> Vec<u8> {
+    let pad = BLOCK_LEN - (plaintext.len() % BLOCK_LEN);
+    let mut data = Vec::with_capacity(plaintext.len() + pad);
+    data.extend_from_slice(plaintext);
+    data.extend(std::iter::repeat(pad as u8).take(pad));
+
+    let mut prev = *iv;
+    for chunk in data.chunks_exact_mut(BLOCK_LEN) {
+        for i in 0..BLOCK_LEN {
+            chunk[i] ^= prev[i];
+        }
+        let block: [u8; BLOCK_LEN] = (&*chunk).try_into().unwrap();
+        let ct = aes.encrypt_block(&block);
+        chunk.copy_from_slice(&ct);
+        prev = ct;
+    }
+    data
+}
+
+/// Decrypts AES-128-CBC ciphertext and strips PKCS#7 padding.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidLength`] if `ciphertext` is empty or not a
+/// multiple of the block size, and [`CryptoError::InvalidPadding`] if the
+/// padding is malformed.
+pub fn cbc_decrypt(
+    aes: &Aes128,
+    iv: &[u8; BLOCK_LEN],
+    ciphertext: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    if ciphertext.is_empty() || ciphertext.len() % BLOCK_LEN != 0 {
+        return Err(CryptoError::InvalidLength);
+    }
+    let mut out = Vec::with_capacity(ciphertext.len());
+    let mut prev = *iv;
+    for chunk in ciphertext.chunks_exact(BLOCK_LEN) {
+        let block: [u8; BLOCK_LEN] = chunk.try_into().unwrap();
+        let mut pt = aes.decrypt_block(&block);
+        for i in 0..BLOCK_LEN {
+            pt[i] ^= prev[i];
+        }
+        prev = block;
+        out.extend_from_slice(&pt);
+    }
+    let pad = *out.last().unwrap() as usize;
+    if pad == 0 || pad > BLOCK_LEN || pad > out.len() {
+        return Err(CryptoError::InvalidPadding);
+    }
+    if !out[out.len() - pad..].iter().all(|&b| b as usize == pad) {
+        return Err(CryptoError::InvalidPadding);
+    }
+    out.truncate(out.len() - pad);
+    Ok(out)
+}
+
+/// Applies AES-128-CTR keystream to `data` in place (encrypt == decrypt).
+///
+/// `nonce` provides the initial counter block; the low 32 bits are
+/// incremented big-endian per block.
+pub fn ctr_xor(aes: &Aes128, nonce: &[u8; BLOCK_LEN], data: &mut [u8]) {
+    let mut counter = *nonce;
+    for chunk in data.chunks_mut(BLOCK_LEN) {
+        let keystream = aes.encrypt_block(&counter);
+        for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+            *b ^= k;
+        }
+        // Increment the final 32-bit word (big-endian), carrying upward.
+        for i in (0..BLOCK_LEN).rev() {
+            counter[i] = counter[i].wrapping_add(1);
+            if counter[i] != 0 {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn nist_key() -> Aes128 {
+        Aes128::new(&hex::decode_array::<16>("2b7e151628aed2a6abf7158809cf4f3c").unwrap())
+    }
+
+    #[test]
+    fn sp800_38a_cbc() {
+        let aes = nist_key();
+        let iv = hex::decode_array::<16>("000102030405060708090a0b0c0d0e0f").unwrap();
+        let pt = hex::decode("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51")
+            .unwrap();
+        let ct = cbc_encrypt(&aes, &iv, &pt);
+        // First two blocks match the NIST vector; the third is our padding.
+        assert_eq!(
+            hex::encode(&ct[..32]),
+            "7649abac8119b246cee98e9b12e9197d5086cb9b507219ee95db113a917678b2"
+        );
+        assert_eq!(ct.len(), 48);
+        assert_eq!(cbc_decrypt(&aes, &iv, &ct).unwrap(), pt);
+    }
+
+    #[test]
+    fn sp800_38a_ctr() {
+        let aes = nist_key();
+        let nonce = hex::decode_array::<16>("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").unwrap();
+        let mut data =
+            hex::decode("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51")
+                .unwrap();
+        ctr_xor(&aes, &nonce, &mut data);
+        assert_eq!(
+            hex::encode(&data),
+            "874d6191b620e3261bef6864990db6ce9806f66b7970fdff8617187bb9fffdff"
+        );
+    }
+
+    #[test]
+    fn cbc_rejects_bad_lengths() {
+        let aes = nist_key();
+        let iv = [0u8; 16];
+        assert_eq!(cbc_decrypt(&aes, &iv, &[]), Err(CryptoError::InvalidLength));
+        assert_eq!(cbc_decrypt(&aes, &iv, &[0u8; 17]), Err(CryptoError::InvalidLength));
+    }
+
+    #[test]
+    fn cbc_rejects_corrupt_padding() {
+        let aes = nist_key();
+        let iv = [3u8; 16];
+        let mut ct = cbc_encrypt(&aes, &iv, b"hello world");
+        let n = ct.len();
+        ct[n - 1] ^= 0xff; // garble last block -> padding check must fail
+        assert!(cbc_decrypt(&aes, &iv, &ct).is_err());
+    }
+
+    #[test]
+    fn cbc_all_plaintext_lengths() {
+        let aes = nist_key();
+        let iv = [0x42u8; 16];
+        for len in 0..=48 {
+            let pt: Vec<u8> = (0..len as u8).collect();
+            let ct = cbc_encrypt(&aes, &iv, &pt);
+            assert_eq!(ct.len() % 16, 0);
+            assert!(ct.len() > pt.len(), "padding always added");
+            assert_eq!(cbc_decrypt(&aes, &iv, &ct).unwrap(), pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn ctr_roundtrip_and_counter_carry() {
+        let aes = nist_key();
+        // Nonce that forces a carry out of the low byte after one block.
+        let nonce = hex::decode_array::<16>("000000000000000000000000000000ff").unwrap();
+        let original: Vec<u8> = (0..100).collect();
+        let mut data = original.clone();
+        ctr_xor(&aes, &nonce, &mut data);
+        assert_ne!(data, original);
+        ctr_xor(&aes, &nonce, &mut data);
+        assert_eq!(data, original);
+    }
+}

@@ -1,0 +1,164 @@
+//! X25519 Diffie-Hellman (RFC 7748), built on the Montgomery ladder.
+//!
+//! Used by the EndBox control channel (VPN handshake) and by the TLS shim
+//! that forwards session keys into the enclave.
+
+use crate::u256::{P25519, U256};
+
+/// Length of scalars, coordinates and shared secrets.
+pub const KEY_LEN: usize = 32;
+
+/// The standard base point `u = 9`.
+pub const BASE_POINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+const A24: u64 = 121665; // (486662 - 2) / 4
+
+/// Clamps a 32-byte scalar per RFC 7748 §5.
+pub fn clamp_scalar(mut k: [u8; 32]) -> [u8; 32] {
+    k[0] &= 248;
+    k[31] &= 127;
+    k[31] |= 64;
+    k
+}
+
+/// Scalar multiplication on Curve25519: computes `k * u`.
+///
+/// `k` is clamped internally; `u` has its top bit masked, both per RFC 7748.
+pub fn x25519(k: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let k = clamp_scalar(*k);
+    let mut u = *u;
+    u[31] &= 0x7f;
+    let x1 = P25519.reduce(U256::from_bytes_le(&u));
+
+    let f = P25519;
+    let mut x2 = U256::ONE;
+    let mut z2 = U256::ZERO;
+    let mut x3 = x1;
+    let mut z3 = U256::ONE;
+    let mut swap = false;
+
+    for t in (0..255).rev() {
+        let kt = (k[t / 8] >> (t % 8)) & 1 == 1;
+        swap ^= kt;
+        if swap {
+            std::mem::swap(&mut x2, &mut x3);
+            std::mem::swap(&mut z2, &mut z3);
+        }
+        swap = kt;
+
+        let a = f.add(x2, z2);
+        let aa = f.square(a);
+        let b = f.sub(x2, z2);
+        let bb = f.square(b);
+        let e = f.sub(aa, bb);
+        let c = f.add(x3, z3);
+        let d = f.sub(x3, z3);
+        let da = f.mul(d, a);
+        let cb = f.mul(c, b);
+        x3 = f.square(f.add(da, cb));
+        z3 = f.mul(x1, f.square(f.sub(da, cb)));
+        x2 = f.mul(aa, bb);
+        z2 = f.mul(e, f.add(aa, f.mul(U256::from(A24), e)));
+    }
+    if swap {
+        std::mem::swap(&mut x2, &mut x3);
+        std::mem::swap(&mut z2, &mut z3);
+    }
+    f.mul(x2, f.invert(z2)).to_bytes_le()
+}
+
+/// Computes the public key for a secret scalar.
+pub fn public_key(secret: &[u8; 32]) -> [u8; 32] {
+    x25519(secret, &BASE_POINT)
+}
+
+/// Generates an (unclamped secret, public key) pair from `rng`.
+pub fn keypair(rng: &mut impl rand::RngCore) -> ([u8; 32], [u8; 32]) {
+    let mut sk = [0u8; 32];
+    rng.fill_bytes(&mut sk);
+    let pk = public_key(&sk);
+    (sk, pk)
+}
+
+/// Computes the shared secret between `secret` and a peer's `public`.
+pub fn shared_secret(secret: &[u8; 32], public: &[u8; 32]) -> [u8; 32] {
+    x25519(secret, public)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rfc7748_vector_1() {
+        let k = hex::decode_array::<32>(
+            "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4",
+        )
+        .unwrap();
+        let u = hex::decode_array::<32>(
+            "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c",
+        )
+        .unwrap();
+        assert_eq!(
+            hex::encode(&x25519(&k, &u)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    #[test]
+    fn rfc7748_dh_section_6_1() {
+        let alice_sk = hex::decode_array::<32>(
+            "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a",
+        )
+        .unwrap();
+        let bob_sk = hex::decode_array::<32>(
+            "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb",
+        )
+        .unwrap();
+        let alice_pk = public_key(&alice_sk);
+        let bob_pk = public_key(&bob_sk);
+        assert_eq!(
+            hex::encode(&alice_pk),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        assert_eq!(
+            hex::encode(&bob_pk),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+        let s1 = shared_secret(&alice_sk, &bob_pk);
+        let s2 = shared_secret(&bob_sk, &alice_pk);
+        assert_eq!(s1, s2);
+        assert_eq!(
+            hex::encode(&s1),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+    }
+
+    #[test]
+    fn dh_commutes_for_random_keys() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..8 {
+            let (a_sk, a_pk) = keypair(&mut rng);
+            let (b_sk, b_pk) = keypair(&mut rng);
+            assert_eq!(shared_secret(&a_sk, &b_pk), shared_secret(&b_sk, &a_pk));
+        }
+    }
+
+    #[test]
+    fn clamping_is_idempotent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut k = [0u8; 32];
+        rand::RngCore::fill_bytes(&mut rng, &mut k);
+        let once = clamp_scalar(k);
+        assert_eq!(clamp_scalar(once), once);
+        assert_eq!(once[0] & 7, 0);
+        assert_eq!(once[31] & 0x80, 0);
+        assert_eq!(once[31] & 0x40, 0x40);
+    }
+}

@@ -1,0 +1,303 @@
+//! The certificate authority and the remote-attestation enrollment
+//! workflow of Fig. 4.
+//!
+//! Steps: (1) the enclave generates a key pair; (2) it creates a report
+//! carrying the public keys and has the Quoting Enclave turn it into a
+//! quote; (3) the quote is forwarded to the CA; (4) the CA relays it to
+//! the IAS and receives a signed verification report; (5) if the verdict
+//! is positive and the measurement is known, the CA signs the public key,
+//! creating a certificate; (6) the certificate and a symmetric shared key
+//! encrypted with the enclave's public key are provisioned to the enclave;
+//! (7) the enclave seals the result.
+
+use crate::error::EndBoxError;
+use endbox_crypto::hmac::{hkdf, hmac_sha256};
+use endbox_crypto::schnorr::{SigningKey, VerifyingKey};
+use endbox_crypto::x25519;
+use endbox_sgx::attestation::{IasSimulator, Quote, QuoteStatus};
+use endbox_sgx::Measurement;
+use endbox_vpn::Certificate;
+use std::collections::HashSet;
+
+/// What the CA returns to a successfully attested enclave (step 6).
+#[derive(Debug, Clone)]
+pub struct EnrollmentResponse {
+    /// The CA-signed certificate over the enclave's signing key.
+    pub certificate: Certificate,
+    /// Ephemeral X25519 public key of the KEM wrapping the config key.
+    pub kem_public: [u8; 32],
+    /// The symmetric configuration key, XOR-wrapped under the KEM secret.
+    pub wrapped_config_key: [u8; 32],
+    /// MAC over the wrapped key.
+    pub wrap_mac: [u8; 32],
+}
+
+impl EnrollmentResponse {
+    /// Unwraps the config key inside the enclave using its X25519 secret.
+    /// Returns `None` if the MAC fails.
+    pub fn unwrap_config_key(&self, enclave_secret: &[u8; 32]) -> Option<[u8; 32]> {
+        let shared = x25519::shared_secret(enclave_secret, &self.kem_public);
+        let wrap: [u8; 32] = hkdf(b"endbox-kem", &shared, b"config-key-wrap");
+        let mac_key: [u8; 32] = hkdf(b"endbox-kem", &shared, b"config-key-mac");
+        if !endbox_crypto::ct_eq(&hmac_sha256(&mac_key, &self.wrapped_config_key), &self.wrap_mac)
+        {
+            return None;
+        }
+        let mut key = [0u8; 32];
+        for i in 0..32 {
+            key[i] = self.wrapped_config_key[i] ^ wrap[i];
+        }
+        Some(key)
+    }
+}
+
+/// The network operator's certificate authority.
+pub struct CertificateAuthority {
+    signing: SigningKey,
+    ias_public: VerifyingKey,
+    known_measurements: HashSet<[u8; 32]>,
+    config_key: [u8; 32],
+    cert_validity_secs: u64,
+    issued: u64,
+}
+
+impl std::fmt::Debug for CertificateAuthority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CertificateAuthority")
+            .field("known_measurements", &self.known_measurements.len())
+            .field("issued", &self.issued)
+            .finish()
+    }
+}
+
+impl CertificateAuthority {
+    /// Creates a CA trusting `ias_public` for attestation verdicts.
+    pub fn new(ias_public: VerifyingKey, rng: &mut impl rand::RngCore) -> Self {
+        let mut config_key = [0u8; 32];
+        rng.fill_bytes(&mut config_key);
+        CertificateAuthority {
+            signing: SigningKey::generate(rng),
+            ias_public,
+            known_measurements: HashSet::new(),
+            config_key,
+            cert_validity_secs: 365 * 24 * 3600,
+            issued: 0,
+        }
+    }
+
+    /// The CA public key, pre-deployed into enclave binaries (§III-C).
+    pub fn public_key(&self) -> VerifyingKey {
+        self.signing.verifying_key()
+    }
+
+    /// The symmetric key used to encrypt configuration files (shared with
+    /// every attested enclave).
+    pub fn config_key(&self) -> [u8; 32] {
+        self.config_key
+    }
+
+    /// Signing key reference for issuing server certificates and signing
+    /// configurations (the admin holds the CA).
+    pub fn signing_key(&self) -> &SigningKey {
+        &self.signing
+    }
+
+    /// Whitelists an enclave measurement (the known-good EndBox build).
+    pub fn allow_measurement(&mut self, m: Measurement) {
+        self.known_measurements.insert(*m.as_bytes());
+    }
+
+    /// Number of certificates issued.
+    pub fn issued_count(&self) -> u64 {
+        self.issued
+    }
+
+    /// Issues a certificate for a *trusted server* directly (servers are
+    /// under central administrative control, §II-D — no attestation).
+    pub fn issue_server_certificate(
+        &mut self,
+        subject: &str,
+        public_key: VerifyingKey,
+        now_secs: u64,
+        rng: &mut impl rand::RngCore,
+    ) -> Certificate {
+        self.issued += 1;
+        Certificate::issue(subject, public_key, now_secs + self.cert_validity_secs, &self.signing, rng)
+    }
+
+    /// Steps 3–6 of Fig. 4: verify the quote via the IAS, check the
+    /// measurement, issue a certificate and wrap the config key.
+    ///
+    /// # Errors
+    ///
+    /// [`EndBoxError::Enrollment`] on any attestation failure.
+    pub fn enroll(
+        &mut self,
+        subject: &str,
+        quote: &Quote,
+        ias: &IasSimulator,
+        now_secs: u64,
+        rng: &mut impl rand::RngCore,
+    ) -> Result<EnrollmentResponse, EndBoxError> {
+        // Step 4: relay to IAS, receive signed verification report.
+        let avr = ias.verify_quote(quote, rng);
+        avr.verify(&self.ias_public)
+            .map_err(|_| EndBoxError::Enrollment("IAS report signature invalid"))?;
+        if avr.status != QuoteStatus::Ok {
+            return Err(EndBoxError::Enrollment("IAS rejected the quote"));
+        }
+        // Step 5: only known (audited) EndBox builds get certificates.
+        if !self.known_measurements.contains(avr.measurement.as_bytes()) {
+            return Err(EndBoxError::Enrollment("unknown enclave measurement"));
+        }
+        // user_data binds the enclave's keys to the quote.
+        let signing_pk_bytes: [u8; 32] = avr.user_data[..32].try_into().unwrap();
+        let enc_pk: [u8; 32] = avr.user_data[32..].try_into().unwrap();
+        let public_key = VerifyingKey::from_bytes(&signing_pk_bytes)
+            .map_err(|_| EndBoxError::Enrollment("bad enclave public key"))?;
+
+        let certificate = Certificate::issue(
+            subject,
+            public_key,
+            now_secs + self.cert_validity_secs,
+            &self.signing,
+            rng,
+        );
+        self.issued += 1;
+
+        // Step 6: wrap the config key to the enclave's X25519 key.
+        let (eph_secret, kem_public) = x25519::keypair(rng);
+        let shared = x25519::shared_secret(&eph_secret, &enc_pk);
+        let wrap: [u8; 32] = hkdf(b"endbox-kem", &shared, b"config-key-wrap");
+        let mac_key: [u8; 32] = hkdf(b"endbox-kem", &shared, b"config-key-mac");
+        let mut wrapped_config_key = [0u8; 32];
+        for i in 0..32 {
+            wrapped_config_key[i] = self.config_key[i] ^ wrap[i];
+        }
+        let wrap_mac = hmac_sha256(&mac_key, &wrapped_config_key);
+        Ok(EnrollmentResponse { certificate, kem_public, wrapped_config_key, wrap_mac })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use endbox_sgx::attestation::{CpuIdentity, QuotingEnclave, Report};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(404)
+    }
+
+    struct World {
+        ias: IasSimulator,
+        ca: CertificateAuthority,
+        cpu: CpuIdentity,
+        qe: QuotingEnclave,
+        rng: rand::rngs::StdRng,
+    }
+
+    fn world() -> World {
+        let mut r = rng();
+        let cpu = CpuIdentity::from_seed([9u8; 32]);
+        let mut ias = IasSimulator::new(&mut r);
+        ias.register_platform(cpu.attestation_public());
+        let ca = CertificateAuthority::new(ias.public_key(), &mut r);
+        let qe = QuotingEnclave::new(cpu.clone());
+        World { ias, ca, cpu, qe, rng: r }
+    }
+
+    /// Simulates the enclave side: keys generated, report created.
+    fn enclave_keys_and_report(
+        w: &mut World,
+        measurement: Measurement,
+    ) -> (SigningKey, [u8; 32], Report) {
+        let identity = SigningKey::generate(&mut w.rng);
+        let (enc_secret, enc_public) = x25519::keypair(&mut w.rng);
+        let mut user_data = [0u8; 64];
+        user_data[..32].copy_from_slice(&identity.verifying_key().to_bytes());
+        user_data[32..].copy_from_slice(&enc_public);
+        // Only the platform can create valid reports; tests use the
+        // crate-internal constructor indirectly via a real enclave in the
+        // integration tests. Here we go through a scratch enclave.
+        let report = endbox_sgx::EnclaveBuilder::new(b"scratch")
+            .cpu(w.cpu.clone())
+            .declare_ecalls(["r"])
+            .build(|_| ())
+            .ecall("r", |_, svc| svc.create_report(user_data))
+            .unwrap();
+        let _ = measurement;
+        (identity, enc_secret, report)
+    }
+
+    #[test]
+    fn full_enrollment_flow() {
+        let mut w = world();
+        let (identity, enc_secret, report) =
+            enclave_keys_and_report(&mut w, Measurement::of(b"scratch", b""));
+        w.ca.allow_measurement(report.measurement);
+        let quote = w.qe.quote(&report, &mut w.rng).unwrap();
+        let resp = w.ca.enroll("client-1", &quote, &w.ias, 0, &mut w.rng).unwrap();
+        assert_eq!(resp.certificate.subject, "client-1");
+        assert_eq!(resp.certificate.public_key, identity.verifying_key());
+        resp.certificate.verify(&w.ca.public_key(), 0).unwrap();
+        // Enclave unwraps the config key.
+        let key = resp.unwrap_config_key(&enc_secret).unwrap();
+        assert_eq!(key, w.ca.config_key());
+        assert_eq!(w.ca.issued_count(), 1);
+    }
+
+    #[test]
+    fn unknown_measurement_rejected() {
+        let mut w = world();
+        let (_, _, report) = enclave_keys_and_report(&mut w, Measurement::of(b"scratch", b""));
+        // Measurement NOT whitelisted.
+        let quote = w.qe.quote(&report, &mut w.rng).unwrap();
+        assert_eq!(
+            w.ca.enroll("client-1", &quote, &w.ias, 0, &mut w.rng).unwrap_err(),
+            EndBoxError::Enrollment("unknown enclave measurement")
+        );
+    }
+
+    #[test]
+    fn unregistered_platform_rejected() {
+        let mut w = world();
+        let rogue_cpu = CpuIdentity::from_seed([66u8; 32]);
+        let rogue_qe = QuotingEnclave::new(rogue_cpu.clone());
+        let report = endbox_sgx::EnclaveBuilder::new(b"scratch")
+            .cpu(rogue_cpu)
+            .declare_ecalls(["r"])
+            .build(|_| ())
+            .ecall("r", |_, svc| svc.create_report([1u8; 64]))
+            .unwrap();
+        w.ca.allow_measurement(report.measurement);
+        let quote = rogue_qe.quote(&report, &mut w.rng).unwrap();
+        assert!(w.ca.enroll("x", &quote, &w.ias, 0, &mut w.rng).is_err());
+    }
+
+    #[test]
+    fn wrong_secret_cannot_unwrap_config_key() {
+        let mut w = world();
+        let (_, enc_secret, report) =
+            enclave_keys_and_report(&mut w, Measurement::of(b"scratch", b""));
+        w.ca.allow_measurement(report.measurement);
+        let quote = w.qe.quote(&report, &mut w.rng).unwrap();
+        let resp = w.ca.enroll("client-1", &quote, &w.ias, 0, &mut w.rng).unwrap();
+        let mut wrong = enc_secret;
+        wrong[5] ^= 1;
+        assert!(resp.unwrap_config_key(&wrong).is_none());
+    }
+
+    #[test]
+    fn server_certificates_issued_directly() {
+        let mut w = world();
+        let server_key = SigningKey::generate(&mut w.rng);
+        let cert = w.ca.issue_server_certificate(
+            "endbox-server",
+            server_key.verifying_key(),
+            0,
+            &mut w.rng,
+        );
+        cert.verify(&w.ca.public_key(), 100).unwrap();
+    }
+}

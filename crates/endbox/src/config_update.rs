@@ -1,0 +1,252 @@
+//! Signed, versioned, optionally encrypted Click configurations and the
+//! configuration file server (Fig. 5).
+//!
+//! §III-E: "The CA's public key and the pre-shared key are used to sign
+//! and optionally encrypt configuration files to, for example, hide IDPS
+//! rules from employees in the enterprise scenario. … To prevent clients
+//! from replaying old configuration files, the version number of the
+//! update is incorporated inside the update itself. Version numbers
+//! increase monotonically with each update."
+
+use endbox_crypto::aes::Aes128;
+use endbox_crypto::hmac::{hkdf, HmacSha256};
+use endbox_crypto::modes::{cbc_decrypt, cbc_encrypt};
+use endbox_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
+use endbox_crypto::CryptoError;
+use std::collections::BTreeMap;
+
+/// A published configuration: signed by the CA; payload optionally
+/// encrypted under the shared config key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignedConfig {
+    /// Version number (monotonically increasing).
+    pub version: u64,
+    /// True if `payload` is encrypted (enterprise scenario; the ISP
+    /// scenario publishes plaintext so customers can inspect rules).
+    pub encrypted: bool,
+    /// The configuration body (or its ciphertext).
+    pub payload: Vec<u8>,
+    signature: Signature,
+}
+
+fn signing_bytes(version: u64, encrypted: bool, payload: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(14 + 9 + payload.len());
+    v.extend_from_slice(b"endbox-config");
+    v.extend_from_slice(&version.to_be_bytes());
+    v.push(encrypted as u8);
+    v.extend_from_slice(payload);
+    v
+}
+
+fn config_keys(shared: &[u8; 32]) -> ([u8; 16], [u8; 32]) {
+    (hkdf(b"endbox-config", shared, b"enc"), hkdf(b"endbox-config", shared, b"mac"))
+}
+
+impl SignedConfig {
+    /// Builds the inner body: `version || click_text` — the version is
+    /// "incorporated inside the update itself".
+    fn inner_bytes(version: u64, click_text: &str) -> Vec<u8> {
+        let mut v = Vec::with_capacity(8 + click_text.len());
+        v.extend_from_slice(&version.to_be_bytes());
+        v.extend_from_slice(click_text.as_bytes());
+        v
+    }
+
+    /// Splits an inner body back into `(version, click_text)`.
+    pub fn split_inner(inner: &[u8]) -> Option<(u64, &str)> {
+        if inner.len() < 8 {
+            return None;
+        }
+        let version = u64::from_be_bytes(inner[..8].try_into().unwrap());
+        let text = std::str::from_utf8(&inner[8..]).ok()?;
+        Some((version, text))
+    }
+
+    /// Publishes a new configuration: sign (and optionally encrypt) it.
+    pub fn publish(
+        click_text: &str,
+        version: u64,
+        admin_key: &SigningKey,
+        encrypt_with: Option<&[u8; 32]>,
+        rng: &mut impl rand::RngCore,
+    ) -> SignedConfig {
+        let inner = Self::inner_bytes(version, click_text);
+        let (encrypted, payload) = match encrypt_with {
+            None => (false, inner),
+            Some(shared) => {
+                let (enc_key, mac_key) = config_keys(shared);
+                let mut iv = [0u8; 16];
+                rng.fill_bytes(&mut iv);
+                let aes = Aes128::new(&enc_key);
+                let ct = cbc_encrypt(&aes, &iv, &inner);
+                let mut body = Vec::with_capacity(16 + ct.len() + 32);
+                body.extend_from_slice(&iv);
+                body.extend_from_slice(&ct);
+                let mut mac = HmacSha256::new(&mac_key);
+                mac.update(&body);
+                let tag = mac.finalize();
+                body.extend_from_slice(&tag);
+                (true, body)
+            }
+        };
+        let signature = admin_key.sign(&signing_bytes(version, encrypted, &payload), rng);
+        SignedConfig { version, encrypted, payload, signature }
+    }
+
+    /// Verifies the CA signature.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::InvalidSignature`] if it does not verify.
+    pub fn verify(&self, ca_public: &VerifyingKey) -> Result<(), CryptoError> {
+        ca_public.verify(
+            &signing_bytes(self.version, self.encrypted, &self.payload),
+            &self.signature,
+        )
+    }
+
+    /// Decrypts an encrypted payload with the shared config key; `None` on
+    /// MAC/padding failure or if the config is not encrypted.
+    pub fn decrypt(&self, shared: &[u8; 32]) -> Option<Vec<u8>> {
+        if !self.encrypted || self.payload.len() < 16 + 16 + 32 {
+            return None;
+        }
+        let (enc_key, mac_key) = config_keys(shared);
+        let (body, tag) = self.payload.split_at(self.payload.len() - 32);
+        let mut mac = HmacSha256::new(&mac_key);
+        mac.update(body);
+        if !mac.verify(tag) {
+            return None;
+        }
+        let iv: [u8; 16] = body[..16].try_into().unwrap();
+        let aes = Aes128::new(&enc_key);
+        cbc_decrypt(&aes, &iv, &body[16..]).ok()
+    }
+
+    /// Convenience: the plaintext Click text for unencrypted configs.
+    pub fn plaintext_click(&self) -> Option<&str> {
+        if self.encrypted {
+            return None;
+        }
+        Self::split_inner(&self.payload).map(|(_, text)| text)
+    }
+}
+
+/// The trusted configuration file server ("The files are stored on a
+/// trusted server located in the managed network that is publicly
+/// accessible", §III-E).
+#[derive(Debug, Default)]
+pub struct ConfigServer {
+    configs: BTreeMap<u64, SignedConfig>,
+}
+
+impl ConfigServer {
+    /// Empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Uploads a new configuration (Fig. 5 step 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the version is not strictly newer than everything
+    /// published (admin error).
+    pub fn upload(&mut self, config: SignedConfig) {
+        if let Some((&latest, _)) = self.configs.iter().next_back() {
+            assert!(config.version > latest, "config versions must increase");
+        }
+        self.configs.insert(config.version, config);
+    }
+
+    /// Fetches a configuration by version (Fig. 5 steps 6–7).
+    pub fn fetch(&self, version: u64) -> Option<&SignedConfig> {
+        self.configs.get(&version)
+    }
+
+    /// The newest published version (0 if none).
+    pub fn latest_version(&self) -> u64 {
+        self.configs.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Size in bytes of the stored config (for fetch-latency modelling).
+    pub fn config_size(&self, version: u64) -> Option<usize> {
+        self.configs.get(&version).map(|c| c.payload.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(3030)
+    }
+
+    #[test]
+    fn plaintext_publish_verify() {
+        let mut r = rng();
+        let ca = SigningKey::generate(&mut r);
+        let cfg = SignedConfig::publish("FromDevice(t) -> ToDevice(t);", 3, &ca, None, &mut r);
+        cfg.verify(&ca.verifying_key()).unwrap();
+        assert_eq!(cfg.plaintext_click(), Some("FromDevice(t) -> ToDevice(t);"));
+        let (v, text) = SignedConfig::split_inner(&cfg.payload).unwrap();
+        assert_eq!(v, 3);
+        assert_eq!(text, "FromDevice(t) -> ToDevice(t);");
+    }
+
+    #[test]
+    fn encrypted_publish_roundtrip() {
+        let mut r = rng();
+        let ca = SigningKey::generate(&mut r);
+        let key = [0x55u8; 32];
+        let cfg = SignedConfig::publish("secret ids rules", 9, &ca, Some(&key), &mut r);
+        cfg.verify(&ca.verifying_key()).unwrap();
+        assert!(cfg.encrypted);
+        assert!(cfg.plaintext_click().is_none());
+        // Rules are hidden from the employee (§III-E).
+        assert!(!cfg.payload.windows(6).any(|w| w == b"secret"));
+        let inner = cfg.decrypt(&key).unwrap();
+        let (v, text) = SignedConfig::split_inner(&inner).unwrap();
+        assert_eq!((v, text), (9, "secret ids rules"));
+    }
+
+    #[test]
+    fn wrong_key_fails_decrypt() {
+        let mut r = rng();
+        let ca = SigningKey::generate(&mut r);
+        let cfg = SignedConfig::publish("x", 1, &ca, Some(&[1u8; 32]), &mut r);
+        assert!(cfg.decrypt(&[2u8; 32]).is_none());
+    }
+
+    #[test]
+    fn tampered_config_fails_verification() {
+        let mut r = rng();
+        let ca = SigningKey::generate(&mut r);
+        let mut cfg = SignedConfig::publish("benign", 1, &ca, None, &mut r);
+        cfg.payload[9] ^= 1;
+        assert!(cfg.verify(&ca.verifying_key()).is_err());
+        // Version swap also breaks the signature.
+        let mut cfg2 = SignedConfig::publish("benign", 1, &ca, None, &mut r);
+        cfg2.version = 2;
+        assert!(cfg2.verify(&ca.verifying_key()).is_err());
+    }
+
+    #[test]
+    fn server_enforces_monotonic_uploads() {
+        let mut r = rng();
+        let ca = SigningKey::generate(&mut r);
+        let mut server = ConfigServer::new();
+        server.upload(SignedConfig::publish("a", 1, &ca, None, &mut r));
+        server.upload(SignedConfig::publish("b", 2, &ca, None, &mut r));
+        assert_eq!(server.latest_version(), 2);
+        assert!(server.fetch(1).is_some());
+        assert!(server.fetch(3).is_none());
+        assert!(server.config_size(2).unwrap() > 0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            server.upload(SignedConfig::publish("c", 2, &ca, None, &mut r));
+        }));
+        assert!(result.is_err(), "non-monotonic upload must panic");
+    }
+}

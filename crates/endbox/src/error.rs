@@ -1,0 +1,62 @@
+//! Unified error type for the EndBox crate.
+
+use endbox_click::ClickError;
+use endbox_sgx::EnclaveError;
+use endbox_vpn::VpnError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by EndBox operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EndBoxError {
+    /// VPN-layer failure.
+    Vpn(VpnError),
+    /// Enclave failure.
+    Enclave(EnclaveError),
+    /// Click failure.
+    Click(ClickError),
+    /// Attestation/enrollment failure.
+    Enrollment(&'static str),
+    /// Configuration update failure (bad signature, replayed version…).
+    ConfigUpdate(&'static str),
+    /// The client is not in the right state (e.g. sending before
+    /// connecting).
+    NotReady(&'static str),
+    /// The middlebox dropped the packet (not an error per se; surfaced so
+    /// callers can count drops).
+    PacketDropped,
+}
+
+impl fmt::Display for EndBoxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EndBoxError::Vpn(e) => write!(f, "vpn: {e}"),
+            EndBoxError::Enclave(e) => write!(f, "enclave: {e}"),
+            EndBoxError::Click(e) => write!(f, "click: {e}"),
+            EndBoxError::Enrollment(why) => write!(f, "enrollment failed: {why}"),
+            EndBoxError::ConfigUpdate(why) => write!(f, "config update failed: {why}"),
+            EndBoxError::NotReady(why) => write!(f, "not ready: {why}"),
+            EndBoxError::PacketDropped => f.write_str("packet dropped by middlebox"),
+        }
+    }
+}
+
+impl Error for EndBoxError {}
+
+impl From<VpnError> for EndBoxError {
+    fn from(e: VpnError) -> Self {
+        EndBoxError::Vpn(e)
+    }
+}
+
+impl From<EnclaveError> for EndBoxError {
+    fn from(e: EnclaveError) -> Self {
+        EndBoxError::Enclave(e)
+    }
+}
+
+impl From<ClickError> for EndBoxError {
+    fn from(e: ClickError) -> Self {
+        EndBoxError::Click(e)
+    }
+}

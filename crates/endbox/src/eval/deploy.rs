@@ -1,0 +1,238 @@
+//! Deployments under evaluation and per-packet charge measurement.
+//!
+//! [`measure_charge`] builds the *real* functional stack (CA, attestation,
+//! handshake, enclave, Click), pushes sample packets through it, and reads
+//! the cycle meters — the resulting [`PacketCharge`] is then replayed
+//! through the [`endbox_netsim::pipeline`] timing layer. This keeps every
+//! reported number tied to the actual protocol/middlebox code.
+
+use crate::client::TrustLevel;
+use crate::scenario::Scenario;
+use crate::use_cases::UseCase;
+use endbox_click::element::ElementEnv;
+use endbox_click::Router;
+use endbox_netsim::cost::{CostModel, CycleMeter};
+use endbox_netsim::pipeline::PacketCharge;
+use endbox_netsim::traffic::benign_payload;
+use endbox_netsim::Packet;
+use rand::SeedableRng;
+
+/// Cycles a plain (non-VPN) sender spends per packet in the kernel path —
+/// used only by the vanilla-Click deployment where clients run bare iperf.
+const KERNEL_SEND_FIXED: u64 = 3_500;
+/// Per-byte kernel copy cost for the same path.
+const KERNEL_SEND_PER_BYTE: f64 = 0.5;
+
+/// A middlebox deployment from §V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Deployment {
+    /// Unmodified OpenVPN, no middlebox (baseline).
+    VanillaOpenVpn,
+    /// OpenVPN with a server-side Click instance (centralised middlebox).
+    OpenVpnClick(UseCase),
+    /// Server-side Click without any VPN (single process).
+    VanillaClick(UseCase),
+    /// EndBox in SDK simulation mode.
+    EndBoxSim(UseCase),
+    /// EndBox on SGX hardware.
+    EndBoxSgx(UseCase),
+}
+
+impl Deployment {
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> String {
+        match self {
+            Deployment::VanillaOpenVpn => "vanilla OpenVPN".to_string(),
+            Deployment::OpenVpnClick(uc) => format!("OpenVPN+Click[{uc}]"),
+            Deployment::VanillaClick(uc) => format!("vanilla Click[{uc}]"),
+            Deployment::EndBoxSim(uc) => format!("EndBox SIM[{uc}]"),
+            Deployment::EndBoxSgx(uc) => format!("EndBox SGX[{uc}]"),
+        }
+    }
+
+    /// Whether the server runs one extra process per client (the attached
+    /// Click instance of OpenVPN+Click).
+    pub fn server_procs_per_client(&self) -> usize {
+        match self {
+            Deployment::OpenVpnClick(_) => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether all server work serialises in one process (vanilla Click).
+    pub fn server_single_process(&self) -> bool {
+        matches!(self, Deployment::VanillaClick(_))
+    }
+}
+
+/// Measures the per-packet cycle charges of `deployment` for tunnel
+/// payloads of `payload_len` bytes by running `samples` packets through
+/// the real stack.
+///
+/// # Panics
+///
+/// Panics if the deployment cannot be constructed (a bug in the harness).
+pub fn measure_charge(deployment: Deployment, payload_len: usize, samples: usize) -> PacketCharge {
+    match deployment {
+        Deployment::VanillaClick(uc) => measure_vanilla_click(uc, payload_len, samples),
+        _ => measure_vpn_stack(deployment, payload_len, samples),
+    }
+}
+
+fn measure_vpn_stack(deployment: Deployment, payload_len: usize, samples: usize) -> PacketCharge {
+    let (trust, use_case, server_click) = match deployment {
+        Deployment::VanillaOpenVpn => (TrustLevel::Untrusted, UseCase::Nop, None),
+        Deployment::OpenVpnClick(uc) => {
+            (TrustLevel::Untrusted, UseCase::Nop, Some(uc.server_click_config()))
+        }
+        Deployment::EndBoxSim(uc) => (TrustLevel::Simulation, uc, None),
+        Deployment::EndBoxSgx(uc) => (TrustLevel::Hardware, uc, None),
+        Deployment::VanillaClick(_) => unreachable!("handled by caller"),
+    };
+
+    let mut builder = Scenario::enterprise(1, use_case).trust(trust).seed(0xbe9c);
+    if let Some(cfg) = &server_click {
+        builder = builder.server_click(cfg);
+    }
+    let mut scenario = builder.build().expect("deployment must build");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let payload = benign_payload(payload_len, &mut rng);
+    let client_meter = scenario.clients[0].meter().clone();
+    let server_meter = scenario.server_meter.clone();
+
+    // Warm-up packet (first-use costs stay out of the steady state).
+    scenario.send_from_client(0, &payload).expect("warm-up");
+    client_meter.take();
+    server_meter.take();
+
+    let mut wire_bytes_total = 0usize;
+    let mut fragments_total = 0usize;
+    for _ in 0..samples {
+        let packet = Packet::tcp(
+            Scenario::client_addr(0),
+            Scenario::network_addr(),
+            40_000,
+            5001,
+            0,
+            &payload,
+        );
+        let datagrams = scenario.clients[0].send_packet(packet).expect("send");
+        fragments_total += datagrams.len();
+        for d in &datagrams {
+            wire_bytes_total += d.len();
+            scenario.server.receive_datagram(0, d).expect("deliver");
+        }
+    }
+
+    PacketCharge {
+        payload_bytes: payload_len + 40, // payload + IP/TCP headers
+        wire_bytes: wire_bytes_total / samples,
+        fragments: (fragments_total / samples).max(1),
+        client_cycles: client_meter.take() / samples as u64,
+        server_cycles: server_meter.take() / samples as u64,
+        dropped: false,
+    }
+}
+
+/// Vanilla Click: clients send plain traffic (no VPN); the server runs one
+/// Click process that every packet traverses.
+fn measure_vanilla_click(use_case: UseCase, payload_len: usize, samples: usize) -> PacketCharge {
+    let cost = CostModel::calibrated();
+    let meter = CycleMeter::new();
+    let env = ElementEnv {
+        cost: cost.clone(),
+        meter: meter.clone(),
+        device_io: true,
+        ..ElementEnv::default()
+    };
+    let mut router =
+        Router::from_config(&use_case.server_click_config(), env).expect("use case config");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+    let payload = benign_payload(payload_len.min(65_000), &mut rng);
+    let pkt = Packet::tcp(
+        Scenario::client_addr(0),
+        Scenario::network_addr(),
+        40_000,
+        5001,
+        0,
+        &payload,
+    );
+    router.process(pkt.clone()); // warm-up
+    meter.take();
+    for _ in 0..samples {
+        // Kernel hands the packet to the Click process and back.
+        meter.add(
+            cost.click_fetch_per_packet + (cost.click_fetch_per_byte * pkt.len() as f64) as u64,
+        );
+        router.process(pkt.clone());
+    }
+    let server_cycles = meter.take() / samples as u64;
+
+    let wire = pkt.len() + 28; // UDP-less raw Ethernet-ish overhead stand-in
+    PacketCharge {
+        payload_bytes: pkt.len(),
+        wire_bytes: wire,
+        fragments: cost.fragments(pkt.len()),
+        client_cycles: KERNEL_SEND_FIXED + (KERNEL_SEND_PER_BYTE * pkt.len() as f64) as u64,
+        server_cycles,
+        dropped: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endbox_sgx_costs_more_than_sim_than_vanilla() {
+        let vanilla = measure_charge(Deployment::VanillaOpenVpn, 1500, 8);
+        let sim = measure_charge(Deployment::EndBoxSim(UseCase::Nop), 1500, 8);
+        let sgx = measure_charge(Deployment::EndBoxSgx(UseCase::Nop), 1500, 8);
+        assert!(
+            vanilla.client_cycles < sim.client_cycles,
+            "vanilla {} < sim {}",
+            vanilla.client_cycles,
+            sim.client_cycles
+        );
+        assert!(
+            sim.client_cycles < sgx.client_cycles,
+            "sim {} < sgx {}",
+            sim.client_cycles,
+            sgx.client_cycles
+        );
+        // Server-side work identical for all three (no server Click).
+        let tol = vanilla.server_cycles / 5;
+        assert!(sgx.server_cycles.abs_diff(vanilla.server_cycles) < tol.max(2000));
+    }
+
+    #[test]
+    fn openvpn_click_moves_cost_to_server() {
+        let vanilla = measure_charge(Deployment::VanillaOpenVpn, 1500, 8);
+        let with_click = measure_charge(Deployment::OpenVpnClick(UseCase::Idps), 1500, 8);
+        assert!(with_click.server_cycles > vanilla.server_cycles + 3_000);
+        // Client side stays vanilla.
+        assert!(with_click.client_cycles.abs_diff(vanilla.client_cycles) < 4_000);
+    }
+
+    #[test]
+    fn idps_costs_more_than_nop_on_endbox() {
+        let nop = measure_charge(Deployment::EndBoxSgx(UseCase::Nop), 1500, 8);
+        let idps = measure_charge(Deployment::EndBoxSgx(UseCase::Idps), 1500, 8);
+        assert!(idps.client_cycles > nop.client_cycles + 10_000);
+    }
+
+    #[test]
+    fn large_payloads_fragment() {
+        let charge = measure_charge(Deployment::VanillaOpenVpn, 32_768, 4);
+        assert!(charge.fragments >= 4, "32KB spans several datagrams: {}", charge.fragments);
+        assert!(charge.wire_bytes > 32_768);
+    }
+
+    #[test]
+    fn vanilla_click_is_server_bound() {
+        let c = measure_charge(Deployment::VanillaClick(UseCase::Nop), 1500, 8);
+        assert!(c.server_cycles > c.client_cycles);
+    }
+}

@@ -1,0 +1,13 @@
+//! Evaluation harness: deployments, per-packet charge measurement on the
+//! real code paths, and runners regenerating every table and figure of
+//! §V. The `endbox-bench` crate contains one binary per experiment that
+//! prints these results in the paper's format.
+
+pub mod deploy;
+pub mod latency;
+pub mod optimizations;
+pub mod reconfig;
+pub mod scalability;
+pub mod throughput;
+
+pub use deploy::{measure_charge, Deployment};

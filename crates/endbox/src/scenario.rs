@@ -1,0 +1,519 @@
+//! Scenario builders wiring up a complete EndBox deployment: IAS, CA,
+//! config server, VPN server and N clients (§II-A's enterprise and ISP
+//! scenarios).
+
+use crate::ca::CertificateAuthority;
+use crate::client::{EndBoxClient, EndBoxClientConfig, TrustLevel};
+use crate::config_update::{ConfigServer, SignedConfig};
+use crate::error::EndBoxError;
+use crate::server::{Delivery, EndBoxServer, EndBoxServerConfig};
+use crate::use_cases::UseCase;
+use endbox_crypto::schnorr::SigningKey;
+use endbox_netsim::cost::{CostModel, CycleMeter};
+use endbox_netsim::time::SharedClock;
+use endbox_netsim::Packet;
+use endbox_sgx::attestation::{CpuIdentity, IasSimulator};
+use endbox_vpn::channel::CipherSuite;
+use endbox_vpn::handshake::HandshakeConfig;
+use endbox_vpn::{PROTOCOL_V1, PROTOCOL_V2};
+use rand::SeedableRng;
+use std::net::Ipv4Addr;
+
+/// Which §II-A scenario a deployment models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Enterprise network: encrypted configs (IDPS rules hidden from
+    /// employees), full packet encryption.
+    Enterprise,
+    /// ISP network: plaintext configs (customers may inspect rules),
+    /// integrity-only traffic protection (§IV-A).
+    Isp,
+}
+
+/// Builder for [`Scenario`].
+#[derive(Debug)]
+pub struct ScenarioBuilder {
+    kind: ScenarioKind,
+    n_clients: usize,
+    use_case: UseCase,
+    trust: TrustLevel,
+    c2c_flagging: bool,
+    batched_ecalls: bool,
+    seed: u64,
+    suite_override: Option<CipherSuite>,
+    server_click: Option<String>,
+    custom_client_click: Option<String>,
+}
+
+impl ScenarioBuilder {
+    /// Protection level for the clients (default hardware).
+    pub fn trust(mut self, trust: TrustLevel) -> Self {
+        self.trust = trust;
+        self
+    }
+
+    /// Enables the client-to-client QoS flagging optimisation.
+    pub fn c2c_flagging(mut self, on: bool) -> Self {
+        self.c2c_flagging = on;
+        self
+    }
+
+    /// Toggles the one-ecall-per-packet optimisation (§IV-A).
+    pub fn batched_ecalls(mut self, on: bool) -> Self {
+        self.batched_ecalls = on;
+        self
+    }
+
+    /// Deterministic seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the data-channel suite (the default follows the
+    /// scenario kind).
+    pub fn suite(mut self, suite: CipherSuite) -> Self {
+        self.suite_override = Some(suite);
+        self
+    }
+
+    /// Attaches a server-side Click instance (the OpenVPN+Click baseline).
+    pub fn server_click(mut self, config: &str) -> Self {
+        self.server_click = Some(config.to_string());
+        self
+    }
+
+    /// Replaces the use case's client Click configuration with a custom
+    /// one (e.g. a TLSDecrypt + IDS chain for the encrypted-DPI tests).
+    pub fn custom_client_click(mut self, config: &str) -> Self {
+        self.custom_client_click = Some(config.to_string());
+        self
+    }
+
+    /// Builds the scenario: creates the IAS/CA, enrolls and connects every
+    /// client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enrollment/handshake failures.
+    pub fn build(self) -> Result<Scenario, EndBoxError> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let clock = SharedClock::new();
+        let cost = CostModel::calibrated();
+        let mut ias = IasSimulator::new(&mut rng);
+        let mut ca = CertificateAuthority::new(ias.public_key(), &mut rng);
+
+        let suite = self.suite_override.unwrap_or(match self.kind {
+            ScenarioKind::Enterprise => CipherSuite::Aes128CbcHmac,
+            ScenarioKind::Isp => CipherSuite::IntegrityOnly,
+        });
+        let client_click =
+            self.custom_client_click.clone().unwrap_or_else(|| self.use_case.click_config());
+
+        // VPN server (trusted machine; certificate issued directly).
+        let server_meter = CycleMeter::new();
+        let server_key = SigningKey::generate(&mut rng);
+        let now_secs = clock.now().as_secs_f64() as u64;
+        let server_cert = ca.issue_server_certificate(
+            "endbox-server",
+            server_key.verifying_key(),
+            now_secs,
+            &mut rng,
+        );
+        let mut server = EndBoxServer::new(EndBoxServerConfig {
+            handshake: HandshakeConfig {
+                identity: server_key,
+                certificate: server_cert,
+                ca_public: ca.public_key(),
+                min_version: PROTOCOL_V1,
+            },
+            suite,
+            server_click: self.server_click.clone(),
+            cost: cost.clone(),
+            meter: server_meter.clone(),
+            clock: clock.clone(),
+            rng_seed: self.seed ^ 0x5e44eu64,
+        })?;
+
+        // Publish the initial configuration (version 1).
+        let mut config_server = ConfigServer::new();
+        let encrypt = match self.kind {
+            ScenarioKind::Enterprise => Some(ca.config_key()),
+            ScenarioKind::Isp => None,
+        };
+        let initial = SignedConfig::publish(
+            &client_click,
+            1,
+            ca.signing_key(),
+            encrypt.as_ref(),
+            &mut rng,
+        );
+        config_server.upload(initial);
+
+        // Clients: enroll (Fig. 4) and connect.
+        let mut clients = Vec::with_capacity(self.n_clients);
+        let mut session_ids = Vec::with_capacity(self.n_clients);
+        for i in 0..self.n_clients {
+            let mut cpu_seed = [0u8; 32];
+            cpu_seed[..8].copy_from_slice(&(self.seed ^ i as u64).to_be_bytes());
+            cpu_seed[8] = 0xcc;
+            let cpu = CpuIdentity::from_seed(cpu_seed);
+            ias.register_platform(cpu.attestation_public());
+
+            let subject = format!("endbox-client-{i}");
+            let mut cfg = EndBoxClientConfig::new(&subject, ca.public_key(), cpu);
+            cfg.trust = self.trust;
+            cfg.suite = suite;
+            cfg.click_config = Some(client_click.clone());
+            cfg.config_version = 1;
+            cfg.offered_version = PROTOCOL_V2;
+            cfg.min_version = PROTOCOL_V1;
+            cfg.c2c_flagging = self.c2c_flagging;
+            cfg.batched_ecalls = self.batched_ecalls;
+            cfg.cost = cost.clone();
+            cfg.clock = clock.clone();
+            cfg.rng_seed = self.seed ^ (i as u64) << 8;
+            let mut client = EndBoxClient::new(cfg)?;
+
+            // Whitelist this build's measurement once.
+            if i == 0 {
+                ca.allow_measurement(client.enclave_app().measurement());
+            }
+            client.enroll(&subject, &mut ca, &ias, &mut rng)?;
+
+            // Connect through the server.
+            let hello_frags = client.connect_start()?;
+            let mut established = None;
+            for frag in &hello_frags {
+                match server.receive_datagram(i as u64, frag)? {
+                    Delivery::Pending => {}
+                    Delivery::Established { session_id, response } => {
+                        established = Some((session_id, response));
+                    }
+                    other => {
+                        let _ = other;
+                        return Err(EndBoxError::NotReady("unexpected handshake reply"));
+                    }
+                }
+            }
+            let (session_id, response) =
+                established.ok_or(EndBoxError::NotReady("handshake did not complete"))?;
+            for frag in &response {
+                client.connect_complete(frag)?;
+            }
+            session_ids.push(session_id);
+            clients.push(client);
+        }
+
+        Ok(Scenario {
+            kind: self.kind,
+            use_case: self.use_case,
+            ias,
+            ca,
+            server,
+            server_meter,
+            config_server,
+            clients,
+            session_ids,
+            clock,
+            rng,
+            next_version: 1,
+        })
+    }
+}
+
+/// A running deployment: server + clients + management plane.
+pub struct Scenario {
+    /// Scenario flavour.
+    pub kind: ScenarioKind,
+    /// Middlebox function deployed.
+    pub use_case: UseCase,
+    /// Attestation service.
+    pub ias: IasSimulator,
+    /// Certificate authority.
+    pub ca: CertificateAuthority,
+    /// The VPN server.
+    pub server: EndBoxServer,
+    /// Server machine meter.
+    pub server_meter: CycleMeter,
+    /// Configuration file server.
+    pub config_server: ConfigServer,
+    /// Connected clients.
+    pub clients: Vec<EndBoxClient>,
+    session_ids: Vec<u64>,
+    /// Shared simulation clock.
+    pub clock: SharedClock,
+    rng: rand::rngs::StdRng,
+    next_version: u64,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("kind", &self.kind)
+            .field("use_case", &self.use_case)
+            .field("clients", &self.clients.len())
+            .finish()
+    }
+}
+
+impl Scenario {
+    /// Starts building an enterprise scenario (Fig. 2a).
+    pub fn enterprise(n_clients: usize, use_case: UseCase) -> ScenarioBuilder {
+        ScenarioBuilder {
+            kind: ScenarioKind::Enterprise,
+            n_clients,
+            use_case,
+            trust: TrustLevel::Hardware,
+            c2c_flagging: false,
+            batched_ecalls: true,
+            seed: 0xe17e4,
+            suite_override: None,
+            server_click: None,
+            custom_client_click: None,
+        }
+    }
+
+    /// Starts building an ISP scenario (Fig. 2b).
+    pub fn isp(n_clients: usize, use_case: UseCase) -> ScenarioBuilder {
+        ScenarioBuilder {
+            kind: ScenarioKind::Isp,
+            n_clients,
+            use_case,
+            trust: TrustLevel::Hardware,
+            c2c_flagging: false,
+            batched_ecalls: true,
+            seed: 0x15b,
+            suite_override: None,
+            server_click: None,
+            custom_client_click: None,
+        }
+    }
+
+    /// IP address of client `idx`.
+    pub fn client_addr(idx: usize) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, (idx / 250) as u8, (idx % 250 + 1) as u8)
+    }
+
+    /// A server-side address inside the managed network.
+    pub fn network_addr() -> Ipv4Addr {
+        Ipv4Addr::new(10, 1, 0, 1)
+    }
+
+    /// The session id of client `idx`.
+    pub fn session_id(&self, idx: usize) -> u64 {
+        self.session_ids[idx]
+    }
+
+    /// Sends an application payload from a client into the managed
+    /// network; returns the packet as delivered by the server.
+    ///
+    /// # Errors
+    ///
+    /// [`EndBoxError::PacketDropped`] when the middlebox rejects it.
+    pub fn send_from_client(&mut self, idx: usize, payload: &[u8]) -> Result<Packet, EndBoxError> {
+        let packet = Packet::tcp(
+            Self::client_addr(idx),
+            Self::network_addr(),
+            40_000 + idx as u16,
+            5001,
+            0,
+            payload,
+        );
+        self.send_packet_from_client(idx, packet)
+    }
+
+    /// Sends a pre-built IP packet from a client through the tunnel.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scenario::send_from_client`].
+    pub fn send_packet_from_client(
+        &mut self,
+        idx: usize,
+        packet: Packet,
+    ) -> Result<Packet, EndBoxError> {
+        let datagrams = self.clients[idx].send_packet(packet)?;
+        if datagrams.is_empty() {
+            return Err(EndBoxError::PacketDropped);
+        }
+        let mut delivered = None;
+        for d in &datagrams {
+            match self.server.receive_datagram(idx as u64, d)? {
+                Delivery::Pending => {}
+                Delivery::Packet { packet, .. } => delivered = Some(packet),
+                other => {
+                    let _ = other;
+                    return Err(EndBoxError::NotReady("unexpected delivery type"));
+                }
+            }
+        }
+        delivered.ok_or(EndBoxError::PacketDropped)
+    }
+
+    /// Sends a payload from one client to another through the server
+    /// (client-to-client path, §IV-A).
+    ///
+    /// # Errors
+    ///
+    /// Middlebox drops and VPN failures.
+    pub fn client_to_client(
+        &mut self,
+        from: usize,
+        to: usize,
+        payload: &[u8],
+    ) -> Result<Option<Packet>, EndBoxError> {
+        let packet = Packet::tcp(
+            Self::client_addr(from),
+            Self::client_addr(to),
+            40_000 + from as u16,
+            40_000 + to as u16,
+            0,
+            payload,
+        );
+        let forwarded = self.send_packet_from_client(from, packet)?;
+        let datagrams = self.server.send_to_client(self.session_ids[to], &forwarded)?;
+        let mut delivered = None;
+        for d in &datagrams {
+            if let Some(p) = self.clients[to].receive_datagram(d)? {
+                delivered = Some(p);
+            }
+        }
+        Ok(delivered)
+    }
+
+    /// Publishes a configuration update and runs the full Fig. 5 cycle:
+    /// upload, announce, ping, fetch, hot-swap, proof ping. Returns the
+    /// new version number.
+    ///
+    /// # Errors
+    ///
+    /// Any verification failure along the way.
+    pub fn update_config(
+        &mut self,
+        click_text: &str,
+        grace_period_secs: u32,
+    ) -> Result<u64, EndBoxError> {
+        self.next_version += 1;
+        let version = self.next_version;
+        let encrypt = match self.kind {
+            ScenarioKind::Enterprise => Some(self.ca.config_key()),
+            ScenarioKind::Isp => None,
+        };
+        // Step 1: admin uploads to the config server.
+        let signed = SignedConfig::publish(
+            click_text,
+            version,
+            self.ca.signing_key(),
+            encrypt.as_ref(),
+            &mut self.rng,
+        );
+        self.config_server.upload(signed);
+        // Steps 2–3: announce at the VPN server, grace timer starts.
+        self.server.announce_config(version, grace_period_secs);
+        // Steps 4–9 per client: ping, fetch, apply, proof.
+        for idx in 0..self.clients.len() {
+            self.ping_and_update_client(idx)?;
+        }
+        Ok(version)
+    }
+
+    /// Runs the ping/fetch/apply/proof cycle for one client.
+    ///
+    /// # Errors
+    ///
+    /// Verification failures.
+    pub fn ping_and_update_client(&mut self, idx: usize) -> Result<(), EndBoxError> {
+        // Step 4: server ping announces the version.
+        let ping = self.server.make_ping(self.session_ids[idx])?;
+        for frag in &ping {
+            self.clients[idx].receive_datagram(frag)?;
+        }
+        // Steps 5–8: client fetches and applies.
+        self.clients[idx].fetch_and_apply_update(&self.config_server)?;
+        // Step 9: client proves the new version.
+        let proof = self.clients[idx].build_ping()?;
+        for frag in &proof {
+            self.server.receive_datagram(idx as u64, frag)?;
+        }
+        Ok(())
+    }
+
+    /// Current config version of client `idx`.
+    pub fn client_version(&mut self, idx: usize) -> u64 {
+        self.clients[idx].config_version()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enterprise_scenario_end_to_end() {
+        let mut s = Scenario::enterprise(2, UseCase::Firewall).build().unwrap();
+        assert_eq!(s.server.session_count(), 2);
+        let delivered = s.send_from_client(0, b"hello from client zero").unwrap();
+        assert_eq!(delivered.app_payload(), b"hello from client zero");
+        let delivered = s.send_from_client(1, b"hello from client one").unwrap();
+        assert_eq!(delivered.app_payload(), b"hello from client one");
+    }
+
+    #[test]
+    fn isp_scenario_uses_integrity_only() {
+        let mut s = Scenario::isp(1, UseCase::Nop).build().unwrap();
+        let delivered = s.send_from_client(0, b"isp traffic").unwrap();
+        assert_eq!(delivered.app_payload(), b"isp traffic");
+    }
+
+    #[test]
+    fn idps_scenario_blocks_malicious_payloads() {
+        let mut s = Scenario::enterprise(1, UseCase::Idps).build().unwrap();
+        // Benign passes.
+        s.send_from_client(0, b"innocuous lowercase payload").unwrap();
+        // Rule 0 (sid 1000000) is a drop rule matching EB-MAL-0000 on
+        // tcp dst port 80.
+        let evil = Packet::tcp(
+            Scenario::client_addr(0),
+            Scenario::network_addr(),
+            40_000,
+            80,
+            0,
+            b"xx EB-MAL-0000 xx",
+        );
+        let err = s.send_packet_from_client(0, evil).unwrap_err();
+        assert_eq!(err, EndBoxError::PacketDropped);
+        assert_eq!(s.clients[0].stats.dropped_egress, 1);
+    }
+
+    #[test]
+    fn config_update_cycle() {
+        let mut s = Scenario::enterprise(2, UseCase::Nop).build().unwrap();
+        assert_eq!(s.client_version(0), 1);
+        let v = s.update_config(&UseCase::Firewall.click_config(), 30).unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(s.client_version(0), 2);
+        assert_eq!(s.client_version(1), 2);
+        assert_eq!(s.server.client_config_version(s.session_id(0)), Some(2));
+        // Traffic still flows after the swap.
+        s.send_from_client(0, b"post-update traffic").unwrap();
+    }
+
+    #[test]
+    fn client_to_client_delivery() {
+        let mut s = Scenario::enterprise(2, UseCase::Nop).build().unwrap();
+        let delivered = s.client_to_client(0, 1, b"hi neighbour").unwrap().unwrap();
+        assert_eq!(delivered.app_payload(), b"hi neighbour");
+    }
+
+    #[test]
+    fn c2c_flagging_bypasses_second_click() {
+        let mut s = Scenario::enterprise(2, UseCase::Idps)
+            .c2c_flagging(true)
+            .build()
+            .unwrap();
+        s.client_to_client(0, 1, b"flagged once-processed packet").unwrap().unwrap();
+        let (_, _, bypassed) = s.clients[1].enclave_app().packet_counters();
+        assert_eq!(bypassed, 1, "receiver must skip Click for flagged packets");
+    }
+}

@@ -1,0 +1,301 @@
+//! The EndBox server: the sole entry point into the managed network.
+//!
+//! Only traffic sealed by a correctly attested client decrypts here, so
+//! bypassing the client-side middlebox yields traffic the firewall drops
+//! (§III-A, R2). The server also sanitises the client-to-client QoS flag
+//! on packets entering from outside ("the ENDBOX server removes the QoS
+//! byte if it is set to 0xeb", §IV-A) and optionally runs a *server-side*
+//! Click instance (the OpenVPN+Click baseline of §V).
+
+use crate::error::EndBoxError;
+use endbox_click::element::ElementEnv;
+use endbox_click::Router;
+use endbox_netsim::cost::{CostModel, CycleMeter};
+use endbox_netsim::packet::QOS_ENDBOX_PROCESSED;
+use endbox_netsim::time::SharedClock;
+use endbox_netsim::Packet;
+use endbox_vpn::channel::CipherSuite;
+use endbox_vpn::frag::{Fragmenter, Reassembler};
+use endbox_vpn::handshake::HandshakeConfig;
+use endbox_vpn::ping::PingMessage;
+use endbox_vpn::proto::{Opcode, Record};
+use endbox_vpn::server::{ServerEvent, VpnServer};
+use std::collections::HashMap;
+
+/// Server configuration.
+#[derive(Debug)]
+pub struct EndBoxServerConfig {
+    /// Handshake identity/policy (certificate issued by the CA).
+    pub handshake: HandshakeConfig,
+    /// Data-channel suite.
+    pub suite: CipherSuite,
+    /// Optional server-side Click configuration (OpenVPN+Click baseline).
+    pub server_click: Option<String>,
+    /// Cost model.
+    pub cost: CostModel,
+    /// Server machine cycle meter.
+    pub meter: CycleMeter,
+    /// Simulation clock.
+    pub clock: SharedClock,
+    /// Deterministic seed.
+    pub rng_seed: u64,
+}
+
+/// What the server did with a received datagram.
+#[derive(Debug)]
+pub enum Delivery {
+    /// Incomplete record (more fragments pending).
+    Pending,
+    /// Handshake finished; send these datagrams back to the client.
+    Established {
+        /// New session id.
+        session_id: u64,
+        /// Response datagrams for the client.
+        response: Vec<Vec<u8>>,
+    },
+    /// A tunnel packet was delivered into the managed network.
+    Packet {
+        /// Originating session.
+        session_id: u64,
+        /// The decapsulated IP packet.
+        packet: Packet,
+    },
+    /// A client ping arrived (config-version proof).
+    Ping {
+        /// Originating session.
+        session_id: u64,
+        /// Contents.
+        message: PingMessage,
+    },
+    /// The session disconnected.
+    Disconnected {
+        /// Session that ended.
+        session_id: u64,
+    },
+}
+
+/// The EndBox VPN server.
+pub struct EndBoxServer {
+    vpn: VpnServer,
+    reassemblers: HashMap<u64, Reassembler>,
+    fragmenter: Fragmenter,
+    server_click: Option<Router>,
+    cost: CostModel,
+    meter: CycleMeter,
+    clock: SharedClock,
+    delivered: u64,
+    click_dropped: u64,
+    rejected: u64,
+}
+
+impl std::fmt::Debug for EndBoxServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EndBoxServer")
+            .field("sessions", &self.vpn.session_count())
+            .field("delivered", &self.delivered)
+            .finish()
+    }
+}
+
+impl EndBoxServer {
+    /// Builds the server.
+    ///
+    /// # Errors
+    ///
+    /// [`EndBoxError::Click`] if the server-side Click config is invalid.
+    pub fn new(cfg: EndBoxServerConfig) -> Result<EndBoxServer, EndBoxError> {
+        let server_click = match &cfg.server_click {
+            None => None,
+            Some(text) => {
+                let env = ElementEnv {
+                    cost: cfg.cost.clone(),
+                    meter: cfg.meter.clone(),
+                    clock: cfg.clock.clone(),
+                    in_enclave: false,
+                    hardware_mode: false,
+                    // The attached Click receives packets over a socket
+                    // from OpenVPN; it does not own devices (fetch/IPC
+                    // costs are charged on delivery instead).
+                    device_io: false,
+                    tls_keys: Default::default(),
+                };
+                Some(Router::from_config(text, env)?)
+            }
+        };
+        let vpn = VpnServer::new(
+            cfg.handshake,
+            cfg.suite,
+            cfg.meter.clone(),
+            cfg.cost.clone(),
+            cfg.rng_seed,
+        );
+        Ok(EndBoxServer {
+            vpn,
+            reassemblers: HashMap::new(),
+            fragmenter: Fragmenter::new(),
+            server_click,
+            cost: cfg.cost,
+            meter: cfg.meter,
+            clock: cfg.clock,
+            delivered: 0,
+            click_dropped: 0,
+            rejected: 0,
+        })
+    }
+
+    /// Receives one wire datagram from peer `peer_id` (a socket-address
+    /// analogue used to separate fragment streams).
+    ///
+    /// # Errors
+    ///
+    /// Every authentication/policy failure; callers drop the traffic.
+    pub fn receive_datagram(
+        &mut self,
+        peer_id: u64,
+        datagram: &[u8],
+    ) -> Result<Delivery, EndBoxError> {
+        self.meter.add(self.cost.vpn_server_per_fragment);
+        let reasm = self.reassemblers.entry(peer_id).or_default();
+        let Some(bytes) = reasm.push(datagram).map_err(|e| {
+            self.rejected += 1;
+            EndBoxError::Vpn(e)
+        })?
+        else {
+            return Ok(Delivery::Pending);
+        };
+        let record = Record::from_bytes(&bytes)?;
+        let now_secs = self.clock.now().as_secs_f64() as u64;
+        let event = self.vpn.handle_record(&record, now_secs).map_err(|e| {
+            self.rejected += 1;
+            EndBoxError::Vpn(e)
+        })?;
+        match event {
+            ServerEvent::Established { session_id, response, .. } => {
+                let datagrams = self.fragment(&response);
+                Ok(Delivery::Established { session_id, response: datagrams })
+            }
+            ServerEvent::Data { session_id, payload } => {
+                let mut packet = Packet::from_bytes(payload).map_err(|_| {
+                    EndBoxError::Vpn(endbox_vpn::VpnError::Malformed("bad tunnelled packet"))
+                })?;
+                // Server-side Click (OpenVPN+Click baseline): fetch cost +
+                // element processing.
+                if let Some(click) = self.server_click.as_mut() {
+                    // Handing the packet to the Click process and back:
+                    // fetch copies plus inter-process crossings.
+                    self.meter.add(
+                        self.cost.click_fetch_per_packet
+                            + self.cost.click_ipc_per_packet
+                            + (self.cost.click_fetch_per_byte * packet.len() as f64) as u64,
+                    );
+                    let out = click.process(packet);
+                    if !out.accepted {
+                        self.click_dropped += 1;
+                        return Err(EndBoxError::PacketDropped);
+                    }
+                    packet = out.emitted.into_iter().next().expect("accepted");
+                }
+                // Deliver into the managed network.
+                self.meter.add(self.cost.vpn_per_write);
+                self.delivered += 1;
+                Ok(Delivery::Packet { session_id, packet })
+            }
+            ServerEvent::Ping { session_id, message } => Ok(Delivery::Ping { session_id, message }),
+            ServerEvent::Disconnected { session_id } => {
+                self.reassemblers.remove(&peer_id);
+                Ok(Delivery::Disconnected { session_id })
+            }
+        }
+    }
+
+    /// Seals and fragments a packet towards a client (ingress direction).
+    ///
+    /// # Errors
+    ///
+    /// [`EndBoxError::Vpn`] for unknown sessions.
+    pub fn send_to_client(
+        &mut self,
+        session_id: u64,
+        packet: &Packet,
+    ) -> Result<Vec<Vec<u8>>, EndBoxError> {
+        self.meter.add(
+            self.cost.vpn_per_write + (self.cost.memcpy_per_byte * packet.len() as f64) as u64,
+        );
+        let record = self.vpn.seal_to_client(session_id, Opcode::Data, packet.bytes())?;
+        Ok(self.fragment(&record))
+    }
+
+    /// Sanitises a packet arriving from *outside* the managed network:
+    /// clears a spoofed `0xeb` QoS flag so external traffic cannot skip
+    /// client-side Click processing (§IV-A).
+    pub fn sanitize_external(&self, packet: &mut Packet) {
+        if packet.tos() == QOS_ENDBOX_PROCESSED {
+            packet.set_tos(0);
+        }
+    }
+
+    /// Announces a configuration update (Fig. 5 steps 2–3).
+    pub fn announce_config(&mut self, version: u64, grace_period_secs: u32) {
+        let now_secs = self.clock.now().as_secs_f64() as u64;
+        self.vpn.announce_config(version, grace_period_secs, now_secs);
+    }
+
+    /// Builds the periodic server ping for a session (Fig. 5 step 4).
+    ///
+    /// # Errors
+    ///
+    /// [`EndBoxError::Vpn`] for unknown sessions.
+    pub fn make_ping(&mut self, session_id: u64) -> Result<Vec<Vec<u8>>, EndBoxError> {
+        let record = self.vpn.make_ping(session_id, self.clock.now().as_nanos())?;
+        Ok(self.fragment(&record))
+    }
+
+    /// Connected session ids.
+    pub fn session_ids(&self) -> Vec<u64> {
+        self.vpn.session_ids()
+    }
+
+    /// Connected client count.
+    pub fn session_count(&self) -> usize {
+        self.vpn.session_count()
+    }
+
+    /// The config version a session has proved via ping.
+    pub fn client_config_version(&self, session_id: u64) -> Option<u64> {
+        self.vpn.session(session_id).map(|s| s.reported_config_version)
+    }
+
+    /// (delivered, click-dropped, rejected) counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.delivered, self.click_dropped, self.rejected)
+    }
+
+    /// Reads a handler on the server-side Click instance, if any.
+    pub fn server_click_handler(&self, element: &str, handler: &str) -> Option<String> {
+        self.server_click.as_ref()?.read_handler(element, handler)
+    }
+
+    /// Hot-swaps the server-side Click configuration (used by the vanilla
+    /// Click reconfiguration baseline of Table II).
+    ///
+    /// # Errors
+    ///
+    /// [`EndBoxError::Click`] on invalid configs or if no server-side
+    /// Click exists.
+    pub fn hot_swap_server_click(&mut self, config: &str) -> Result<(), EndBoxError> {
+        match self.server_click.as_mut() {
+            Some(router) => {
+                router.hot_swap(config)?;
+                Ok(())
+            }
+            None => Err(EndBoxError::NotReady("no server-side Click instance")),
+        }
+    }
+
+    fn fragment(&mut self, record: &Record) -> Vec<Vec<u8>> {
+        let bytes = record.to_bytes();
+        let frags = self.fragmenter.fragment(&bytes, self.cost.mtu_payload);
+        self.meter.add(self.cost.vpn_server_per_fragment * frags.len() as u64);
+        frags
+    }
+}

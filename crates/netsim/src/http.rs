@@ -1,0 +1,149 @@
+//! HTTP(S) workload models for the latency experiments.
+//!
+//! * [`PageCatalogue`] — a synthetic substitute for the Alexa top-1 000
+//!   page list used in Fig. 6 (the 2017 list is unavailable; a heavy-tailed
+//!   size distribution fitted to published page-weight statistics preserves
+//!   the CDF shape the figure depends on).
+//! * [`PageLoadModel`] — converts a page description plus a connection RTT
+//!   into a load time.
+
+use crate::time::SimDuration;
+use rand::Rng;
+
+/// One synthetic web page.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Page {
+    /// Total transfer size in bytes (document + subresources).
+    pub total_bytes: u64,
+    /// Number of subresource requests.
+    pub n_resources: u32,
+}
+
+/// A catalogue of synthetic pages standing in for the Alexa top list.
+#[derive(Debug, Clone)]
+pub struct PageCatalogue {
+    pages: Vec<Page>,
+}
+
+impl PageCatalogue {
+    /// Generates `n` pages. Sizes follow a log-normal distribution with
+    /// median ≈ 1.6 MB (HTTP Archive page-weight statistics for 2017-era
+    /// pages); subresource counts correlate with size around a mean of ~75.
+    pub fn synthetic(n: usize, rng: &mut impl Rng) -> Self {
+        let pages = (0..n)
+            .map(|_| {
+                // Box-Muller from two uniforms: ln(size) ~ N(ln 1.6MB, 0.8^2)
+                let u1: f64 = rng.gen_range(1e-9..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let total_bytes = (1.6e6 * (0.8 * z).exp()).clamp(2e4, 3e7) as u64;
+                let n_resources =
+                    ((total_bytes as f64 / 1.6e6) * 75.0).clamp(3.0, 400.0) as u32;
+                Page { total_bytes, n_resources }
+            })
+            .collect();
+        PageCatalogue { pages }
+    }
+
+    /// The pages.
+    pub fn pages(&self) -> &[Page] {
+        &self.pages
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True if the catalogue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+/// Connection-level model turning pages into load times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageLoadModel {
+    /// Round-trip time to the content server.
+    pub rtt: SimDuration,
+    /// Downstream bandwidth in bits/s.
+    pub bandwidth_bps: u64,
+    /// Concurrent connections the browser opens.
+    pub parallel_connections: u32,
+    /// Server + client processing overhead per request.
+    pub per_request_overhead: SimDuration,
+}
+
+impl PageLoadModel {
+    /// A typical broadband client: 50 Mbps, 6 connections.
+    pub fn broadband(rtt: SimDuration) -> Self {
+        PageLoadModel {
+            rtt,
+            bandwidth_bps: 50_000_000,
+            parallel_connections: 6,
+            per_request_overhead: SimDuration::from_millis(5),
+        }
+    }
+
+    /// Page load time: DNS (1 RTT) + TCP (1 RTT) + TLS (2 RTT) + request
+    /// rounds batched over the parallel connections + transfer time.
+    pub fn load_time(&self, page: &Page) -> SimDuration {
+        let handshakes = SimDuration::from_nanos(4 * self.rtt.as_nanos());
+        let rounds = page.n_resources.div_ceil(self.parallel_connections).max(1) as u64;
+        let request_rounds = SimDuration::from_nanos(
+            rounds * (self.rtt.as_nanos() + self.per_request_overhead.as_nanos()),
+        );
+        let transfer = SimDuration::from_secs_f64(
+            page.total_bytes as f64 * 8.0 / self.bandwidth_bps as f64,
+        );
+        handshakes + request_rounds + transfer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(6)
+    }
+
+    #[test]
+    fn catalogue_sizes_are_heavy_tailed() {
+        let cat = PageCatalogue::synthetic(1000, &mut rng());
+        assert_eq!(cat.len(), 1000);
+        let mut sizes: Vec<u64> = cat.pages().iter().map(|p| p.total_bytes).collect();
+        sizes.sort_unstable();
+        let median = sizes[500];
+        let p95 = sizes[950];
+        // Median around 1.6MB; tail several times the median.
+        assert!((0.8e6..3.0e6).contains(&(median as f64)), "median {median}");
+        assert!(p95 as f64 > 2.5 * median as f64, "p95 {p95} median {median}");
+    }
+
+    #[test]
+    fn load_time_increases_with_rtt() {
+        let cat = PageCatalogue::synthetic(10, &mut rng());
+        let fast = PageLoadModel::broadband(SimDuration::from_millis(10));
+        let slow = PageLoadModel::broadband(SimDuration::from_millis(100));
+        for p in cat.pages() {
+            assert!(slow.load_time(p) > fast.load_time(p));
+        }
+    }
+
+    #[test]
+    fn load_time_increases_with_size() {
+        let model = PageLoadModel::broadband(SimDuration::from_millis(20));
+        let small = Page { total_bytes: 100_000, n_resources: 10 };
+        let large = Page { total_bytes: 10_000_000, n_resources: 10 };
+        assert!(model.load_time(&large) > model.load_time(&small));
+    }
+
+    #[test]
+    fn deterministic_catalogue() {
+        let a = PageCatalogue::synthetic(50, &mut rng());
+        let b = PageCatalogue::synthetic(50, &mut rng());
+        assert_eq!(a.pages(), b.pages());
+    }
+}

@@ -1,0 +1,116 @@
+//! Deterministic link impairments: loss, duplication and reordering.
+//!
+//! The paper's testbed uses clean 10 Gbps LAN links, but a client-side
+//! deployment also serves remote workers "connect[ing] remotely (e.g.
+//! employees in home office)" (§III-A) over lossy paths. This module
+//! impairs a sequence of datagrams deterministically (seeded) so the
+//! robustness tests can assert the stack survives real-world wire
+//! behaviour.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Impairment configuration (per-datagram probabilities).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Impairment {
+    /// Probability a datagram is dropped.
+    pub loss: f64,
+    /// Probability a datagram is duplicated.
+    pub duplication: f64,
+    /// Probability a datagram is swapped with its successor.
+    pub reorder: f64,
+}
+
+impl Impairment {
+    /// A clean link.
+    pub fn none() -> Self {
+        Impairment { loss: 0.0, duplication: 0.0, reorder: 0.0 }
+    }
+
+    /// A typical flaky home-office path.
+    pub fn flaky() -> Self {
+        Impairment { loss: 0.05, duplication: 0.02, reorder: 0.10 }
+    }
+
+    /// Applies the impairment to `datagrams`, returning the delivered
+    /// sequence. Deterministic for a given `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn apply(&self, datagrams: Vec<Vec<u8>>, seed: u64) -> Vec<Vec<u8>> {
+        for p in [self.loss, self.duplication, self.reorder] {
+            assert!((0.0..=1.0).contains(&p), "probability out of range");
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(datagrams.len());
+        for d in datagrams {
+            if rng.gen_bool(self.loss) {
+                continue; // dropped
+            }
+            if rng.gen_bool(self.duplication) {
+                out.push(d.clone());
+            }
+            out.push(d);
+            if out.len() >= 2 && rng.gen_bool(self.reorder) {
+                let n = out.len();
+                out.swap(n - 1, n - 2);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn datagrams(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| vec![i as u8; 8]).collect()
+    }
+
+    #[test]
+    fn clean_link_is_identity() {
+        let input = datagrams(50);
+        assert_eq!(Impairment::none().apply(input.clone(), 1), input);
+    }
+
+    #[test]
+    fn loss_removes_duplication_adds() {
+        let input = datagrams(1000);
+        let lossy = Impairment { loss: 0.5, duplication: 0.0, reorder: 0.0 };
+        let survived = lossy.apply(input.clone(), 2).len();
+        assert!((300..700).contains(&survived), "{survived}");
+
+        let duppy = Impairment { loss: 0.0, duplication: 0.5, reorder: 0.0 };
+        let delivered = duppy.apply(input, 3).len();
+        assert!((1300..1700).contains(&delivered), "{delivered}");
+    }
+
+    #[test]
+    fn reorder_preserves_multiset() {
+        let input = datagrams(200);
+        let reordered =
+            Impairment { loss: 0.0, duplication: 0.0, reorder: 0.5 }.apply(input.clone(), 4);
+        assert_ne!(reordered, input, "some swaps must happen");
+        let mut a = reordered.clone();
+        let mut b = input;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "no datagram lost or invented");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let input = datagrams(100);
+        let imp = Impairment::flaky();
+        assert_eq!(imp.apply(input.clone(), 7), imp.apply(input.clone(), 7));
+        assert_ne!(imp.apply(input.clone(), 7), imp.apply(input, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn rejects_bad_probability() {
+        Impairment { loss: 1.5, duplication: 0.0, reorder: 0.0 }.apply(vec![], 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic network and queueing simulator for the EndBox reproduction.
+//!
+//! The EndBox paper evaluates on a 7-machine testbed (five SGX-capable
+//! 4-core Xeon v5 "class A" machines, two 4-core Xeon v2 "class B"
+//! machines, 10 Gbps links, MTU 9000). This crate substitutes that testbed
+//! with a simulator:
+//!
+//! * [`packet`] — real IPv4/TCP/UDP/ICMP packets with checksums; this is the
+//!   packet type that flows through the real Click router and VPN code.
+//! * [`time`] — virtual nanosecond clock ([`time::SimTime`]).
+//! * [`cost`] — the calibrated cycle-cost model ([`cost::CostModel`]) and
+//!   the [`cost::CycleMeter`] that functional components charge as they
+//!   process packets.
+//! * [`resource`] — machines (multi-core, earliest-free-core scheduling)
+//!   and links (rate + propagation delay).
+//! * [`pipeline`] — replays per-packet cycle charges through the machines
+//!   and links, producing throughput, latency and CPU-utilisation figures.
+//! * [`traffic`] — iperf-style bulk generators, ping trains.
+//! * [`http`] — the page-load and HTTPS GET latency models (Fig. 6,
+//!   Table I).
+//! * [`impair`] — deterministic loss/duplication/reordering for
+//!   robustness tests over flaky (home-office) paths.
+//! * [`stats`] — summary statistics and CDF helpers.
+//!
+//! Everything is deterministic: all randomness comes from caller-seeded
+//! RNGs, so every experiment is reproducible bit-for-bit.
+
+pub mod cost;
+pub mod http;
+pub mod impair;
+pub mod packet;
+pub mod pipeline;
+pub mod resource;
+pub mod stats;
+pub mod time;
+pub mod traffic;
+
+pub use cost::{CostModel, CycleMeter};
+pub use packet::Packet;
+pub use time::SimTime;

@@ -1,0 +1,132 @@
+//! Summary statistics and CDF helpers for experiment output.
+
+/// Summary statistics over a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics; returns `None` for empty input.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Some(Summary {
+            count: sorted.len(),
+            mean,
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+            p50: percentile(&sorted, 0.50),
+            p90: percentile(&sorted, 0.90),
+            p99: percentile(&sorted, 0.99),
+        })
+    }
+}
+
+/// Percentile of an already-sorted sample (nearest-rank with interpolation).
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Evenly spaced points of the empirical CDF, as `(value, fraction)` pairs —
+/// the format of the paper's Fig. 6.
+pub fn cdf_points(values: &[f64], n_points: usize) -> Vec<(f64, f64)> {
+    if values.is_empty() || n_points == 0 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    (1..=n_points)
+        .map(|i| {
+            let frac = i as f64 / n_points as f64;
+            (percentile(&sorted, frac.min(1.0)), frac)
+        })
+        .collect()
+}
+
+/// Formats a bits-per-second value like the paper's axes (Mbps/Gbps).
+pub fn format_bps(bps: f64) -> String {
+    if bps >= 1e9 {
+        format!("{:.2} Gbps", bps / 1e9)
+    } else if bps >= 1e6 {
+        format!("{:.0} Mbps", bps / 1e6)
+    } else if bps >= 1e3 {
+        format!("{:.0} kbps", bps / 1e3)
+    } else {
+        format!("{bps:.0} bps")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&v).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.mean, 50.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.p50 - 50.5).abs() < 1e-9);
+        assert!((s.p99 - 99.01).abs() < 0.02);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn cdf_monotonic() {
+        let v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        let cdf = cdf_points(&v, 10);
+        assert_eq!(cdf.len(), 10);
+        for w in cdf.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        assert_eq!(cdf.last().unwrap().0, 5.0);
+    }
+
+    #[test]
+    fn bps_formatting() {
+        assert_eq!(format_bps(6.5e9), "6.50 Gbps");
+        assert_eq!(format_bps(813e6), "813 Mbps");
+        assert_eq!(format_bps(5e3), "5 kbps");
+        assert_eq!(format_bps(12.0), "12 bps");
+    }
+}

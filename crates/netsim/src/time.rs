@@ -1,0 +1,277 @@
+//! Virtual time for the simulator: nanosecond-resolution instants and
+//! durations, independent of wall-clock time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant `secs` seconds after start.
+    pub fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Creates an instant `ms` milliseconds after start.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates an instant `us` microseconds after start.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Nanoseconds since start.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since start as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds since start as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating difference between two instants.
+    pub fn saturating_sub(self, other: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// From milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// From microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// From nanoseconds.
+    pub fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// From fractional seconds (saturating at zero for negatives).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration((secs.max(0.0) * 1e9) as u64)
+    }
+
+    /// The time it takes to execute `cycles` CPU cycles at `freq_hz`.
+    pub fn from_cycles(cycles: u64, freq_hz: u64) -> Self {
+        // ns = cycles / freq * 1e9, computed in f64: exact enough for a
+        // simulator (sub-nanosecond error at realistic magnitudes).
+        SimDuration((cycles as f64 * 1e9 / freq_hz as f64).round() as u64)
+    }
+
+    /// Nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Microseconds as a float.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// A monotonically advancing simulated clock.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: SimTime,
+}
+
+impl SimClock {
+    /// New clock at time zero.
+    pub fn new() -> Self {
+        SimClock { now: SimTime::ZERO }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.now = self.now + d;
+    }
+
+    /// Advances the clock to `t` if `t` is in the future.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+/// A clock shared between simulation components (e.g. the experiment
+/// harness, SGX trusted time, and Click rate limiters). Clones observe the
+/// same time. Monotonic: `advance_to` never moves backwards.
+#[derive(Debug, Clone, Default)]
+pub struct SharedClock(std::sync::Arc<std::sync::atomic::AtomicU64>);
+
+impl SharedClock {
+    /// Creates a shared clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current time.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.0.load(std::sync::atomic::Ordering::Relaxed))
+    }
+
+    /// Advances to `t` if it is in the future.
+    pub fn advance_to(&self, t: SimTime) {
+        self.0.fetch_max(t.0, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Advances by `d`.
+    pub fn advance(&self, d: SimDuration) {
+        self.0.fetch_add(d.0, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_clock_is_shared_and_monotonic() {
+        let c = SharedClock::new();
+        let c2 = c.clone();
+        c.advance(SimDuration::from_millis(3));
+        assert_eq!(c2.now(), SimTime::from_millis(3));
+        c2.advance_to(SimTime::from_millis(1)); // past: no-op
+        assert_eq!(c.now(), SimTime::from_millis(3));
+        c2.advance_to(SimTime::from_millis(7));
+        assert_eq!(c.now(), SimTime::from_millis(7));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(5) + SimDuration::from_micros(250);
+        assert_eq!(t.as_nanos(), 5_250_000);
+        assert_eq!((t - SimTime::from_millis(5)).as_micros_f64(), 250.0);
+    }
+
+    #[test]
+    fn cycles_to_duration() {
+        // 3.5 GHz: 35 000 cycles = 10 us.
+        let d = SimDuration::from_cycles(35_000, 3_500_000_000);
+        assert_eq!(d.as_nanos(), 10_000);
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut c = SimClock::new();
+        c.advance(SimDuration::from_millis(1));
+        c.advance_to(SimTime::from_micros(10)); // in the past: no-op
+        assert_eq!(c.now(), SimTime::from_millis(1));
+        c.advance_to(SimTime::from_millis(2));
+        assert_eq!(c.now(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(12)), "12.000s");
+    }
+}

@@ -1,0 +1,149 @@
+//! Workload generators: iperf-style bulk payloads and ping trains.
+//!
+//! The paper's evaluation traffic deliberately does **not** match any
+//! firewall or IDPS rule (§V-B), so the generators here produce benign
+//! payloads by construction; [`malicious_payload`] exists for the tests
+//! that verify detection.
+
+use crate::packet::Packet;
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+/// Generates a benign payload of `len` bytes: printable ASCII drawn from a
+/// seeded RNG, guaranteed free of the `EB-` prefix used by the synthetic
+/// Snort rule set.
+pub fn benign_payload(len: usize, rng: &mut impl Rng) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        // 'a'..='z' only: the synthetic rule set requires at least one
+        // uppercase or digit character in every pattern.
+        out.push(rng.gen_range(b'a'..=b'z'));
+    }
+    out
+}
+
+/// Embeds `pattern` into an otherwise benign payload at `offset`.
+pub fn malicious_payload(len: usize, pattern: &[u8], offset: usize, rng: &mut impl Rng) -> Vec<u8> {
+    assert!(offset + pattern.len() <= len, "pattern must fit payload");
+    let mut payload = benign_payload(len, rng);
+    payload[offset..offset + pattern.len()].copy_from_slice(pattern);
+    payload
+}
+
+/// An iperf-style bulk flow: `count` TCP packets of `payload_len` bytes
+/// from `src` to `dst:5001`.
+pub struct BulkFlow {
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    payload_len: usize,
+    seq: u32,
+    remaining: usize,
+    payload: Vec<u8>,
+}
+
+impl BulkFlow {
+    /// iperf's default port.
+    pub const IPERF_PORT: u16 = 5001;
+
+    /// Creates a flow of `count` packets, payload generated once from `rng`
+    /// (iperf repeats its buffer, so does this).
+    pub fn new(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload_len: usize,
+        count: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        BulkFlow {
+            src,
+            dst,
+            payload_len,
+            seq: 0,
+            remaining: count,
+            payload: benign_payload(payload_len, rng),
+        }
+    }
+}
+
+impl Iterator for BulkFlow {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let p = Packet::tcp(self.src, self.dst, 40_000, Self::IPERF_PORT, self.seq, &self.payload);
+        self.seq = self.seq.wrapping_add(self.payload_len as u32);
+        Some(p)
+    }
+}
+
+/// A train of ICMP echo requests (the paper's latency workload).
+pub fn ping_train(src: Ipv4Addr, dst: Ipv4Addr, count: u16) -> Vec<Packet> {
+    (0..count)
+        .map(|seq| Packet::icmp_echo_request(src, dst, 0x4242, seq, &[0x61; 56]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn benign_payload_is_lowercase_ascii() {
+        let p = benign_payload(1000, &mut rng());
+        assert_eq!(p.len(), 1000);
+        assert!(p.iter().all(|b| b.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn malicious_payload_embeds_pattern() {
+        let p = malicious_payload(100, b"EB-MAL-0001", 20, &mut rng());
+        assert_eq!(&p[20..31], b"EB-MAL-0001");
+        assert_eq!(p.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern must fit")]
+    fn malicious_payload_bounds_checked() {
+        malicious_payload(10, b"0123456789abc", 0, &mut rng());
+    }
+
+    #[test]
+    fn bulk_flow_generates_count_packets() {
+        let flow = BulkFlow::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 1, 1),
+            1460,
+            5,
+            &mut rng(),
+        );
+        let packets: Vec<Packet> = flow.collect();
+        assert_eq!(packets.len(), 5);
+        assert!(packets.iter().all(|p| p.dst_port() == Some(BulkFlow::IPERF_PORT)));
+        // Sequence numbers advance by payload length.
+        assert_eq!(packets[0].app_payload().len(), 1460);
+    }
+
+    #[test]
+    fn ping_train_sequencing() {
+        let pings = ping_train(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 1, 1), 10);
+        assert_eq!(pings.len(), 10);
+        for p in &pings {
+            assert_eq!(p.header().protocol, crate::packet::IpProtocol::Icmp);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = benign_payload(64, &mut rng());
+        let b = benign_payload(64, &mut rng());
+        assert_eq!(a, b);
+    }
+}

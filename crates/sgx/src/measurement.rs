@@ -1,0 +1,76 @@
+//! MRENCLAVE-style enclave measurements.
+
+use endbox_crypto::sha256::Sha256;
+use std::fmt;
+
+/// An enclave measurement: the hash of the enclave's code and initial
+/// configuration ("measurements, which basically are hashes of the
+/// enclaves", §II-C).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Measurement([u8; 32]);
+
+impl Measurement {
+    /// Measures enclave code identity plus build-time configuration (e.g.
+    /// the CA public key pre-deployed into the binary, §III-C).
+    pub fn of(code_identity: &[u8], embedded_config: &[u8]) -> Self {
+        let mut h = Sha256::new();
+        h.update(b"mrenclave");
+        h.update(&(code_identity.len() as u64).to_be_bytes());
+        h.update(code_identity);
+        h.update(embedded_config);
+        Measurement(h.finalize())
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// From raw bytes (e.g. parsed from a quote).
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Measurement(bytes)
+    }
+}
+
+impl fmt::Debug for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mr:{}", &endbox_crypto::hex::encode(&self.0)[..16])
+    }
+}
+
+impl fmt::Display for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mr:{}", &endbox_crypto::hex::encode(&self.0)[..16])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        let a = Measurement::of(b"endbox-client-v1", b"ca-key-1");
+        let b = Measurement::of(b"endbox-client-v1", b"ca-key-1");
+        let c = Measurement::of(b"endbox-client-v2", b"ca-key-1");
+        let d = Measurement::of(b"endbox-client-v1", b"ca-key-2");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn length_prefix_prevents_ambiguity() {
+        let a = Measurement::of(b"ab", b"c");
+        let b = Measurement::of(b"a", b"bc");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_is_short_hex() {
+        let m = Measurement::of(b"x", b"y");
+        let s = format!("{m}");
+        assert!(s.starts_with("mr:"));
+        assert_eq!(s.len(), 3 + 16);
+    }
+}

@@ -1,0 +1,134 @@
+//! SGX sealing: encrypt-then-MAC storage bound to the CPU fuse key and the
+//! enclave measurement (§III-C step 7: "the enclave persistently stores the
+//! generated key pair as well as the certificate using the SGX sealing
+//! feature").
+
+use crate::error::EnclaveError;
+use crate::measurement::Measurement;
+use endbox_crypto::aes::Aes128;
+use endbox_crypto::hmac::{hkdf, hmac_sha256, HmacSha256};
+use endbox_crypto::modes::{cbc_decrypt, cbc_encrypt};
+
+const TAG_LEN: usize = 32;
+const IV_LEN: usize = 16;
+
+/// Derives the per-enclave sealing keys (MRENCLAVE policy: only the same
+/// enclave code on the same CPU can unseal).
+fn sealing_keys(fuse_seed: &[u8; 32], measurement: &Measurement) -> ([u8; 16], [u8; 32]) {
+    let base = hmac_sha256(fuse_seed, measurement.as_bytes());
+    let enc: [u8; 16] = hkdf(&base, b"seal-enc", b"endbox-sgx");
+    let mac: [u8; 32] = hkdf(&base, b"seal-mac", b"endbox-sgx");
+    (enc, mac)
+}
+
+/// Seals `plaintext`. Output layout: `iv || ciphertext || tag`.
+pub fn seal(
+    fuse_seed: &[u8; 32],
+    measurement: &Measurement,
+    plaintext: &[u8],
+    rng: &mut impl rand::RngCore,
+) -> Vec<u8> {
+    let (enc_key, mac_key) = sealing_keys(fuse_seed, measurement);
+    let mut iv = [0u8; IV_LEN];
+    rng.fill_bytes(&mut iv);
+    let aes = Aes128::new(&enc_key);
+    let ct = cbc_encrypt(&aes, &iv, plaintext);
+    let mut out = Vec::with_capacity(IV_LEN + ct.len() + TAG_LEN);
+    out.extend_from_slice(&iv);
+    out.extend_from_slice(&ct);
+    let mut mac = HmacSha256::new(&mac_key);
+    mac.update(&out);
+    out.extend_from_slice(&mac.finalize());
+    out
+}
+
+/// Unseals a blob produced by [`seal`] with the same CPU + measurement.
+///
+/// # Errors
+///
+/// Returns [`EnclaveError::UnsealFailed`] if the blob is malformed, was
+/// sealed by a different enclave/CPU, or was tampered with.
+pub fn unseal(
+    fuse_seed: &[u8; 32],
+    measurement: &Measurement,
+    blob: &[u8],
+) -> Result<Vec<u8>, EnclaveError> {
+    if blob.len() < IV_LEN + 16 + TAG_LEN {
+        return Err(EnclaveError::UnsealFailed);
+    }
+    let (enc_key, mac_key) = sealing_keys(fuse_seed, measurement);
+    let (body, tag) = blob.split_at(blob.len() - TAG_LEN);
+    let mut mac = HmacSha256::new(&mac_key);
+    mac.update(body);
+    if !mac.verify(tag) {
+        return Err(EnclaveError::UnsealFailed);
+    }
+    let iv: [u8; IV_LEN] = body[..IV_LEN].try_into().unwrap();
+    let aes = Aes128::new(&enc_key);
+    cbc_decrypt(&aes, &iv, &body[IV_LEN..]).map_err(|_| EnclaveError::UnsealFailed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    fn mr(tag: &str) -> Measurement {
+        Measurement::of(tag.as_bytes(), b"")
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut rng = rng();
+        let fuse = [1u8; 32];
+        let blob = seal(&fuse, &mr("enclave-a"), b"vpn private key", &mut rng);
+        assert_eq!(unseal(&fuse, &mr("enclave-a"), &blob).unwrap(), b"vpn private key");
+    }
+
+    #[test]
+    fn different_enclave_cannot_unseal() {
+        let mut rng = rng();
+        let fuse = [1u8; 32];
+        let blob = seal(&fuse, &mr("enclave-a"), b"secret", &mut rng);
+        assert_eq!(
+            unseal(&fuse, &mr("enclave-b"), &blob),
+            Err(EnclaveError::UnsealFailed)
+        );
+    }
+
+    #[test]
+    fn different_cpu_cannot_unseal() {
+        let mut rng = rng();
+        let blob = seal(&[1u8; 32], &mr("enclave-a"), b"secret", &mut rng);
+        assert_eq!(
+            unseal(&[2u8; 32], &mr("enclave-a"), &blob),
+            Err(EnclaveError::UnsealFailed)
+        );
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let mut rng = rng();
+        let fuse = [1u8; 32];
+        let mut blob = seal(&fuse, &mr("e"), b"secret", &mut rng);
+        for i in [0, IV_LEN + 1, 40] {
+            let mut t = blob.clone();
+            t[i] ^= 0x80;
+            assert!(unseal(&fuse, &mr("e"), &t).is_err(), "tamper at {i}");
+        }
+        blob.truncate(10);
+        assert!(unseal(&fuse, &mr("e"), &blob).is_err());
+    }
+
+    #[test]
+    fn empty_plaintext_roundtrips() {
+        let mut rng = rng();
+        let fuse = [9u8; 32];
+        let blob = seal(&fuse, &mr("e"), b"", &mut rng);
+        assert_eq!(unseal(&fuse, &mr("e"), &blob).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,284 @@
+//! Aho–Corasick multi-pattern string matching, built from scratch
+//! (Aho & Corasick, CACM 1975 — the paper's reference [41]).
+//!
+//! The automaton is built with a dense goto table and BFS-resolved failure
+//! transitions, yielding a deterministic automaton with O(1) per-byte
+//! scanning — the property that makes IDS scanning cost linear in payload
+//! size (which the EndBox cost model depends on).
+
+/// A match: pattern `pattern` ends at byte offset `end` (exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// Index of the matched pattern (insertion order).
+    pub pattern: usize,
+    /// Exclusive end offset in the haystack.
+    pub end: usize,
+}
+
+const NONE: u32 = u32::MAX;
+
+/// A compiled Aho–Corasick automaton.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    /// Dense transition table: `delta[state * 256 + byte]`.
+    delta: Vec<u32>,
+    /// Pattern indices terminating at each state (flattened).
+    out_start: Vec<u32>,
+    out_items: Vec<u32>,
+    pattern_lens: Vec<usize>,
+    case_insensitive: bool,
+}
+
+impl AhoCorasick {
+    /// Builds an automaton over `patterns`. Empty patterns are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern is empty or if there are ≥ `u32::MAX` states.
+    pub fn new<P: AsRef<[u8]>>(patterns: &[P], case_insensitive: bool) -> Self {
+        assert!(
+            patterns.iter().all(|p| !p.as_ref().is_empty()),
+            "empty patterns are not allowed"
+        );
+
+        // --- Trie construction -------------------------------------------
+        let mut goto: Vec<[u32; 256]> = vec![[NONE; 256]];
+        let mut outputs: Vec<Vec<u32>> = vec![Vec::new()];
+        let norm = |b: u8| if case_insensitive { b.to_ascii_lowercase() } else { b };
+
+        for (pid, pat) in patterns.iter().enumerate() {
+            let mut state = 0usize;
+            for &b in pat.as_ref() {
+                let b = norm(b) as usize;
+                if goto[state][b] == NONE {
+                    goto.push([NONE; 256]);
+                    outputs.push(Vec::new());
+                    let new_state = (goto.len() - 1) as u32;
+                    goto[state][b] = new_state;
+                }
+                state = goto[state][b] as usize;
+            }
+            outputs[state].push(pid as u32);
+        }
+
+        // --- BFS: failure links and automaton completion ------------------
+        let n = goto.len();
+        let mut fail = vec![0u32; n];
+        let mut queue = std::collections::VecDeque::new();
+        for b in 0..256 {
+            match goto[0][b] {
+                NONE => goto[0][b] = 0,
+                s => {
+                    fail[s as usize] = 0;
+                    queue.push_back(s);
+                }
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            let s = s as usize;
+            for b in 0..256 {
+                let t = goto[s][b];
+                if t == NONE {
+                    goto[s][b] = goto[fail[s] as usize][b];
+                } else {
+                    fail[t as usize] = goto[fail[s] as usize][b];
+                    // Merge outputs from the failure target.
+                    let inherited = outputs[fail[t as usize] as usize].clone();
+                    outputs[t as usize].extend(inherited);
+                    queue.push_back(t);
+                }
+            }
+        }
+
+        // --- Flatten ------------------------------------------------------
+        let mut delta = Vec::with_capacity(n * 256);
+        for row in &goto {
+            delta.extend_from_slice(row);
+        }
+        let mut out_start = Vec::with_capacity(n + 1);
+        let mut out_items = Vec::new();
+        out_start.push(0u32);
+        for o in &outputs {
+            out_items.extend_from_slice(o);
+            out_start.push(out_items.len() as u32);
+        }
+
+        AhoCorasick {
+            delta,
+            out_start,
+            out_items,
+            pattern_lens: patterns.iter().map(|p| p.as_ref().len()).collect(),
+            case_insensitive,
+        }
+    }
+
+    /// Number of patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_lens.len()
+    }
+
+    /// Number of automaton states.
+    pub fn state_count(&self) -> usize {
+        self.delta.len() / 256
+    }
+
+    /// Approximate heap footprint in bytes (for EPC accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.delta.len() * 4 + self.out_start.len() * 4 + self.out_items.len() * 4
+    }
+
+    #[inline]
+    fn step(&self, state: u32, byte: u8) -> u32 {
+        let b = if self.case_insensitive { byte.to_ascii_lowercase() } else { byte };
+        self.delta[state as usize * 256 + b as usize]
+    }
+
+    /// Finds all matches in `haystack`.
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        let mut state = 0u32;
+        let mut matches = Vec::new();
+        for (i, &b) in haystack.iter().enumerate() {
+            state = self.step(state, b);
+            let (lo, hi) =
+                (self.out_start[state as usize] as usize, self.out_start[state as usize + 1] as usize);
+            for &pid in &self.out_items[lo..hi] {
+                matches.push(Match { pattern: pid as usize, end: i + 1 });
+            }
+        }
+        matches
+    }
+
+    /// Returns the set of distinct patterns occurring in `haystack`
+    /// (deduplicated, sorted).
+    pub fn distinct_patterns(&self, haystack: &[u8]) -> Vec<usize> {
+        let mut seen = vec![false; self.pattern_count()];
+        let mut state = 0u32;
+        for &b in haystack {
+            state = self.step(state, b);
+            let (lo, hi) =
+                (self.out_start[state as usize] as usize, self.out_start[state as usize + 1] as usize);
+            for &pid in &self.out_items[lo..hi] {
+                seen[pid as usize] = true;
+            }
+        }
+        seen.iter().enumerate().filter(|(_, &s)| s).map(|(i, _)| i).collect()
+    }
+
+    /// True if any pattern occurs.
+    pub fn matches_any(&self, haystack: &[u8]) -> bool {
+        let mut state = 0u32;
+        for &b in haystack {
+            state = self.step(state, b);
+            if self.out_start[state as usize] != self.out_start[state as usize + 1] {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_example() {
+        // The canonical {he, she, his, hers} example from the 1975 paper.
+        let ac = AhoCorasick::new(&["he", "she", "his", "hers"], false);
+        let m = ac.find_all(b"ushers");
+        let found: Vec<(usize, usize)> = m.iter().map(|m| (m.pattern, m.end)).collect();
+        assert!(found.contains(&(1, 4))); // she @ 4
+        assert!(found.contains(&(0, 4))); // he @ 4
+        assert!(found.contains(&(3, 6))); // hers @ 6
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn overlapping_and_nested() {
+        let ac = AhoCorasick::new(&["aa", "aaa"], false);
+        let m = ac.find_all(b"aaaa");
+        // aa at 2,3,4; aaa at 3,4
+        assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    fn case_insensitive_matching() {
+        let ac = AhoCorasick::new(&["Attack"], true);
+        assert!(ac.matches_any(b"aTTaCK at dawn"));
+        let exact = AhoCorasick::new(&["Attack"], false);
+        assert!(!exact.matches_any(b"aTTaCK at dawn"));
+        assert!(exact.matches_any(b"Attack at dawn"));
+    }
+
+    #[test]
+    fn no_match() {
+        let ac = AhoCorasick::new(&["xyz", "evil"], false);
+        assert!(!ac.matches_any(b"perfectly benign payload"));
+        assert!(ac.find_all(b"perfectly benign payload").is_empty());
+    }
+
+    #[test]
+    fn distinct_patterns_dedupes() {
+        let ac = AhoCorasick::new(&["ab", "cd"], false);
+        assert_eq!(ac.distinct_patterns(b"ab ab cd ab"), vec![0, 1]);
+    }
+
+    #[test]
+    fn binary_patterns() {
+        let ac = AhoCorasick::new(&[&[0x00u8, 0xff, 0x00][..], &[0xeb, 0xfe][..]], false);
+        assert!(ac.matches_any(&[1, 2, 0x00, 0xff, 0x00, 3]));
+        assert!(ac.matches_any(&[0xeb, 0xfe]));
+        assert!(!ac.matches_any(&[0xff, 0x00, 0xfe]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty patterns")]
+    fn empty_pattern_rejected() {
+        AhoCorasick::new(&[""], false);
+    }
+
+    /// Naive oracle: all (pattern, end) pairs by brute force.
+    fn naive_find_all(patterns: &[Vec<u8>], haystack: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        for (pid, p) in patterns.iter().enumerate() {
+            if p.is_empty() || p.len() > haystack.len() {
+                continue;
+            }
+            for end in p.len()..=haystack.len() {
+                if &haystack[end - p.len()..end] == p.as_slice() {
+                    out.push(Match { pattern: pid, end });
+                }
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn matches_naive_oracle(
+            patterns in prop::collection::vec(
+                prop::collection::vec(0u8..4, 1..5), 1..6),
+            haystack in prop::collection::vec(0u8..4, 0..60),
+        ) {
+            let ac = AhoCorasick::new(&patterns, false);
+            let mut got = ac.find_all(&haystack);
+            let mut want = naive_find_all(&patterns, &haystack);
+            got.sort_by_key(|m| (m.end, m.pattern));
+            want.sort_by_key(|m| (m.end, m.pattern));
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn matches_any_agrees_with_find_all(
+            patterns in prop::collection::vec(
+                prop::collection::vec(any::<u8>(), 1..4), 1..5),
+            haystack in prop::collection::vec(any::<u8>(), 0..40),
+        ) {
+            let ac = AhoCorasick::new(&patterns, false);
+            prop_assert_eq!(ac.matches_any(&haystack), !ac.find_all(&haystack).is_empty());
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The matching engine: compiles a rule set into Aho–Corasick automatons
+//! plus header predicates, and scans packets.
+
+use crate::aho::AhoCorasick;
+use crate::rule::{ContentPattern, ProtoPattern, Rule, RuleAction};
+use std::net::Ipv4Addr;
+
+/// Packet fields the engine needs (kept independent of the packet crate so
+/// this substrate has no simulator dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketView<'a> {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// IP protocol number.
+    pub protocol: u8,
+    /// Source port (TCP/UDP only).
+    pub src_port: Option<u16>,
+    /// Destination port (TCP/UDP only).
+    pub dst_port: Option<u16>,
+    /// Application payload to scan.
+    pub payload: &'a [u8],
+}
+
+/// One fired rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alert {
+    /// Snort rule id.
+    pub sid: u32,
+    /// Rule message.
+    pub msg: String,
+    /// Action requested by the rule.
+    pub action: RuleAction,
+}
+
+/// Result of scanning one packet.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScanOutcome {
+    /// All rules that fired.
+    pub alerts: Vec<Alert>,
+    /// True if any fired rule requests a drop.
+    pub drop: bool,
+}
+
+/// A compiled rule set ready for per-packet scanning.
+#[derive(Debug, Clone)]
+pub struct CompiledRules {
+    rules: Vec<Rule>,
+    /// Case-sensitive automaton over all case-sensitive contents.
+    exact: Option<AhoCorasick>,
+    /// Case-insensitive automaton over all `nocase` contents.
+    nocase: Option<AhoCorasick>,
+    /// Maps exact-automaton pattern id -> (rule idx, content idx).
+    exact_map: Vec<(usize, usize)>,
+    /// Maps nocase-automaton pattern id -> (rule idx, content idx).
+    nocase_map: Vec<(usize, usize)>,
+}
+
+impl CompiledRules {
+    /// Compiles `rules` into scanning automatons.
+    pub fn compile(rules: &[Rule]) -> Self {
+        let mut exact_patterns: Vec<Vec<u8>> = Vec::new();
+        let mut nocase_patterns: Vec<Vec<u8>> = Vec::new();
+        let mut exact_map = Vec::new();
+        let mut nocase_map = Vec::new();
+        for (ri, rule) in rules.iter().enumerate() {
+            for (ci, ContentPattern { bytes, nocase }) in rule.contents.iter().enumerate() {
+                if *nocase {
+                    nocase_patterns.push(bytes.clone());
+                    nocase_map.push((ri, ci));
+                } else {
+                    exact_patterns.push(bytes.clone());
+                    exact_map.push((ri, ci));
+                }
+            }
+        }
+        CompiledRules {
+            rules: rules.to_vec(),
+            exact: (!exact_patterns.is_empty()).then(|| AhoCorasick::new(&exact_patterns, false)),
+            nocase: (!nocase_patterns.is_empty())
+                .then(|| AhoCorasick::new(&nocase_patterns, true)),
+            exact_map,
+            nocase_map,
+        }
+    }
+
+    /// Number of rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Total automaton memory (for EPC accounting inside the enclave).
+    pub fn memory_bytes(&self) -> usize {
+        self.exact.as_ref().map_or(0, AhoCorasick::memory_bytes)
+            + self.nocase.as_ref().map_or(0, AhoCorasick::memory_bytes)
+    }
+
+    fn header_matches(rule: &Rule, pkt: &PacketView<'_>) -> bool {
+        let proto_ok = match rule.proto {
+            ProtoPattern::Ip => true,
+            ProtoPattern::Tcp => pkt.protocol == 6,
+            ProtoPattern::Udp => pkt.protocol == 17,
+            ProtoPattern::Icmp => pkt.protocol == 1,
+        };
+        if !proto_ok {
+            return false;
+        }
+        let forward = rule.src.matches(pkt.src)
+            && rule.dst.matches(pkt.dst)
+            && rule.src_port.matches(pkt.src_port)
+            && rule.dst_port.matches(pkt.dst_port);
+        if forward {
+            return true;
+        }
+        rule.bidirectional
+            && rule.src.matches(pkt.dst)
+            && rule.dst.matches(pkt.src)
+            && rule.src_port.matches(pkt.dst_port)
+            && rule.dst_port.matches(pkt.src_port)
+    }
+
+    /// Scans one packet: a rule fires when its header predicates match and
+    /// *all* of its content patterns occur in the payload (content-less
+    /// rules fire on header match alone).
+    pub fn scan(&self, pkt: &PacketView<'_>) -> ScanOutcome {
+        // Which (rule, content) pairs were seen in the payload?
+        let mut seen: Vec<u64> = vec![0; self.rules.len()]; // bitmap per rule (≤64 contents)
+        if let Some(exact) = &self.exact {
+            for pid in exact.distinct_patterns(pkt.payload) {
+                let (ri, ci) = self.exact_map[pid];
+                seen[ri] |= 1 << ci.min(63);
+            }
+        }
+        if let Some(nocase) = &self.nocase {
+            for pid in nocase.distinct_patterns(pkt.payload) {
+                let (ri, ci) = self.nocase_map[pid];
+                seen[ri] |= 1 << ci.min(63);
+            }
+        }
+
+        let mut outcome = ScanOutcome::default();
+        for (ri, rule) in self.rules.iter().enumerate() {
+            let needed = rule.contents.len();
+            let have = seen[ri].count_ones() as usize;
+            if have < needed {
+                continue;
+            }
+            if !Self::header_matches(rule, pkt) {
+                continue;
+            }
+            if rule.action == RuleAction::Pass {
+                // Snort pass rules short-circuit subsequent matches.
+                return ScanOutcome::default();
+            }
+            if rule.action == RuleAction::Drop {
+                outcome.drop = true;
+            }
+            if rule.action != RuleAction::Log {
+                outcome.alerts.push(Alert {
+                    sid: rule.sid,
+                    msg: rule.msg.clone(),
+                    action: rule.action,
+                });
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::parse_rules;
+
+    fn view<'a>(payload: &'a [u8], dst_port: u16) -> PacketView<'a> {
+        PacketView {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(10, 0, 1, 1),
+            protocol: 6,
+            src_port: Some(40000),
+            dst_port: Some(dst_port),
+            payload,
+        }
+    }
+
+    fn compile(text: &str) -> CompiledRules {
+        CompiledRules::compile(&parse_rules(text).unwrap())
+    }
+
+    #[test]
+    fn content_and_header_must_both_match() {
+        let c = compile(r#"alert tcp any any -> any 80 (msg:"evil"; content:"evil"; sid:1;)"#);
+        assert_eq!(c.scan(&view(b"an evil payload", 80)).alerts.len(), 1);
+        assert!(c.scan(&view(b"an evil payload", 81)).alerts.is_empty()); // wrong port
+        assert!(c.scan(&view(b"a benign payload", 80)).alerts.is_empty()); // no content
+    }
+
+    #[test]
+    fn all_contents_required() {
+        let c = compile(
+            r#"alert tcp any any -> any any (msg:"two"; content:"aaa"; content:"bbb"; sid:2;)"#,
+        );
+        assert!(c.scan(&view(b"aaa only", 80)).alerts.is_empty());
+        assert!(c.scan(&view(b"bbb only", 80)).alerts.is_empty());
+        assert_eq!(c.scan(&view(b"aaa and bbb", 80)).alerts.len(), 1);
+    }
+
+    #[test]
+    fn drop_action_sets_drop_flag() {
+        let c = compile(r#"drop tcp any any -> any any (msg:"bad"; content:"bad"; sid:3;)"#);
+        let out = c.scan(&view(b"bad stuff", 80));
+        assert!(out.drop);
+        assert_eq!(out.alerts[0].action, RuleAction::Drop);
+    }
+
+    #[test]
+    fn alert_does_not_drop() {
+        let c = compile(r#"alert tcp any any -> any any (msg:"sus"; content:"sus"; sid:4;)"#);
+        let out = c.scan(&view(b"sus payload", 80));
+        assert!(!out.drop);
+        assert_eq!(out.alerts.len(), 1);
+    }
+
+    #[test]
+    fn nocase_rules_match_any_case() {
+        let c = compile(r#"alert tcp any any -> any any (msg:"nc"; content:"EVIL"; nocase; sid:5;)"#);
+        assert_eq!(c.scan(&view(b"some eViL here", 80)).alerts.len(), 1);
+    }
+
+    #[test]
+    fn pass_rule_short_circuits() {
+        let c = compile(
+            "pass tcp any any -> any 22 (msg:\"ssh ok\"; sid:6;)\n\
+             alert tcp any any -> any any (msg:\"all\"; content:\"x\"; sid:7;)\n",
+        );
+        assert!(c.scan(&view(b"x", 22)).alerts.is_empty()); // pass wins
+        assert_eq!(c.scan(&view(b"x", 23)).alerts.len(), 1);
+    }
+
+    #[test]
+    fn bidirectional_matches_reverse() {
+        let c = compile(r#"alert tcp any any <> any 80 (msg:"bi"; content:"q"; sid:8;)"#);
+        // Reverse direction: src_port = 80.
+        let pkt = PacketView {
+            src: Ipv4Addr::new(10, 0, 1, 1),
+            dst: Ipv4Addr::new(10, 0, 0, 1),
+            protocol: 6,
+            src_port: Some(80),
+            dst_port: Some(40000),
+            payload: b"q",
+        };
+        assert_eq!(c.scan(&pkt).alerts.len(), 1);
+    }
+
+    #[test]
+    fn icmp_rules_ignore_ports() {
+        let c = compile(r#"alert icmp any any -> any any (msg:"ping"; sid:9;)"#);
+        let pkt = PacketView {
+            src: Ipv4Addr::new(1, 1, 1, 1),
+            dst: Ipv4Addr::new(2, 2, 2, 2),
+            protocol: 1,
+            src_port: None,
+            dst_port: None,
+            payload: b"",
+        };
+        assert_eq!(c.scan(&pkt).alerts.len(), 1);
+    }
+
+    #[test]
+    fn multiple_rules_can_fire() {
+        let c = compile(
+            "alert tcp any any -> any any (msg:\"a\"; content:\"aa\"; sid:10;)\n\
+             drop tcp any any -> any any (msg:\"b\"; content:\"bb\"; sid:11;)\n",
+        );
+        let out = c.scan(&view(b"aa bb", 80));
+        assert_eq!(out.alerts.len(), 2);
+        assert!(out.drop);
+    }
+
+    #[test]
+    fn content_less_rule_fires_on_header() {
+        let c = compile(r#"alert tcp any any -> any 23 (msg:"telnet"; sid:12;)"#);
+        assert_eq!(c.scan(&view(b"whatever", 23)).alerts.len(), 1);
+    }
+}

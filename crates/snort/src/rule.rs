@@ -1,0 +1,485 @@
+//! Parser for a practical subset of the Snort rule language.
+//!
+//! Supported: `alert|drop|pass|log <proto> <src> <sport> -> <dst> <dport>
+//! (msg:"..."; content:"..."; content:"|AB CD|..."; nocase; sid:N; rev:N;
+//! classtype:...;)`. This covers the header predicates and content
+//! matching that the paper's `IDSMatcher` element needs; unsupported
+//! option keywords are preserved but ignored by the engine.
+
+use std::error::Error;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Action taken when a rule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleAction {
+    /// Report the match, let the packet pass (IDS mode).
+    Alert,
+    /// Report and drop the packet (IPS mode).
+    Drop,
+    /// Explicitly allow.
+    Pass,
+    /// Log only.
+    Log,
+}
+
+/// Protocol selector in a rule header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtoPattern {
+    /// Matches TCP.
+    Tcp,
+    /// Matches UDP.
+    Udp,
+    /// Matches ICMP.
+    Icmp,
+    /// Matches any IP packet.
+    Ip,
+}
+
+/// Address selector: `any`, a host, or a CIDR network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrPattern {
+    /// Matches every address.
+    Any,
+    /// Matches one host.
+    Host(Ipv4Addr),
+    /// Matches a network: (base, prefix length).
+    Net(Ipv4Addr, u8),
+}
+
+impl AddrPattern {
+    /// Tests an address against the pattern.
+    pub fn matches(&self, addr: Ipv4Addr) -> bool {
+        match *self {
+            AddrPattern::Any => true,
+            AddrPattern::Host(h) => addr == h,
+            AddrPattern::Net(base, prefix) => {
+                let mask = if prefix == 0 { 0 } else { u32::MAX << (32 - prefix as u32) };
+                (u32::from(addr) & mask) == (u32::from(base) & mask)
+            }
+        }
+    }
+}
+
+/// Port selector: `any`, one port, or an inclusive range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortPattern {
+    /// Every port.
+    Any,
+    /// Exactly one port.
+    Port(u16),
+    /// An inclusive range (Snort `lo:hi`, `:hi`, `lo:`).
+    Range(u16, u16),
+}
+
+impl PortPattern {
+    /// Tests a port. `None` (non-TCP/UDP packet) only matches `Any`.
+    pub fn matches(&self, port: Option<u16>) -> bool {
+        match (*self, port) {
+            (PortPattern::Any, _) => true,
+            (PortPattern::Port(p), Some(q)) => p == q,
+            (PortPattern::Range(lo, hi), Some(q)) => (lo..=hi).contains(&q),
+            (_, None) => false,
+        }
+    }
+}
+
+/// One `content:"..."` pattern with its modifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentPattern {
+    /// Raw bytes to search for (hex escapes already decoded).
+    pub bytes: Vec<u8>,
+    /// Case-insensitive matching (`nocase` modifier).
+    pub nocase: bool,
+}
+
+/// A parsed rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Action on match.
+    pub action: RuleAction,
+    /// Protocol selector.
+    pub proto: ProtoPattern,
+    /// Source address selector.
+    pub src: AddrPattern,
+    /// Source port selector.
+    pub src_port: PortPattern,
+    /// Destination address selector.
+    pub dst: AddrPattern,
+    /// Destination port selector.
+    pub dst_port: PortPattern,
+    /// Bidirectional (`<>`) rule.
+    pub bidirectional: bool,
+    /// Human-readable message.
+    pub msg: String,
+    /// Snort rule id.
+    pub sid: u32,
+    /// Content patterns; a rule fires only if *all* are present.
+    pub contents: Vec<ContentPattern>,
+}
+
+/// Errors from rule parsing, with 1-based line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleParseError {
+    /// Line the error occurred on.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for RuleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for RuleParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> RuleParseError {
+    RuleParseError { line, message: message.into() }
+}
+
+/// Parses a rule file: one rule per line, `#` comments, blank lines
+/// ignored.
+///
+/// # Errors
+///
+/// Returns the first [`RuleParseError`] encountered.
+pub fn parse_rules(text: &str) -> Result<Vec<Rule>, RuleParseError> {
+    let mut rules = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        rules.push(parse_rule_line(trimmed, line_no)?);
+    }
+    Ok(rules)
+}
+
+/// Parses a single rule.
+///
+/// # Errors
+///
+/// Returns a [`RuleParseError`] (line number 1) on malformed input.
+pub fn parse_rule(line: &str) -> Result<Rule, RuleParseError> {
+    parse_rule_line(line.trim(), 1)
+}
+
+fn parse_rule_line(line: &str, line_no: usize) -> Result<Rule, RuleParseError> {
+    let open = line.find('(').ok_or_else(|| err(line_no, "missing option block '('"))?;
+    if !line.trim_end().ends_with(')') {
+        return Err(err(line_no, "missing closing ')'"));
+    }
+    let header = &line[..open];
+    let options = &line.trim_end()[open + 1..line.trim_end().len() - 1];
+
+    let toks: Vec<&str> = header.split_whitespace().collect();
+    if toks.len() != 7 {
+        return Err(err(
+            line_no,
+            format!("header must have 7 fields (action proto src sport dir dst dport), got {}", toks.len()),
+        ));
+    }
+    let action = match toks[0] {
+        "alert" => RuleAction::Alert,
+        "drop" | "reject" => RuleAction::Drop,
+        "pass" => RuleAction::Pass,
+        "log" => RuleAction::Log,
+        other => return Err(err(line_no, format!("unknown action `{other}`"))),
+    };
+    let proto = match toks[1] {
+        "tcp" => ProtoPattern::Tcp,
+        "udp" => ProtoPattern::Udp,
+        "icmp" => ProtoPattern::Icmp,
+        "ip" => ProtoPattern::Ip,
+        other => return Err(err(line_no, format!("unknown protocol `{other}`"))),
+    };
+    let src = parse_addr(toks[2], line_no)?;
+    let src_port = parse_port(toks[3], line_no)?;
+    let bidirectional = match toks[4] {
+        "->" => false,
+        "<>" => true,
+        other => return Err(err(line_no, format!("bad direction `{other}`"))),
+    };
+    let dst = parse_addr(toks[5], line_no)?;
+    let dst_port = parse_port(toks[6], line_no)?;
+
+    let mut msg = String::new();
+    let mut sid = 0u32;
+    let mut contents: Vec<ContentPattern> = Vec::new();
+    for raw_opt in split_options(options) {
+        let opt = raw_opt.trim();
+        if opt.is_empty() {
+            continue;
+        }
+        if let Some((key, value)) = opt.split_once(':') {
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "msg" => msg = unquote(value, line_no)?,
+                "sid" => {
+                    sid = value
+                        .parse()
+                        .map_err(|_| err(line_no, format!("bad sid `{value}`")))?
+                }
+                "content" => {
+                    let text = unquote(value, line_no)?;
+                    let bytes = decode_content(&text, line_no)?;
+                    if bytes.is_empty() {
+                        return Err(err(line_no, "empty content pattern"));
+                    }
+                    contents.push(ContentPattern { bytes, nocase: false });
+                }
+                // Recognised but ignored modifiers/metadata.
+                "rev" | "classtype" | "reference" | "metadata" | "depth" | "offset"
+                | "distance" | "within" | "flow" | "priority" => {}
+                other => return Err(err(line_no, format!("unsupported option `{other}`"))),
+            }
+        } else {
+            match opt {
+                "nocase" => {
+                    let last = contents
+                        .last_mut()
+                        .ok_or_else(|| err(line_no, "`nocase` before any content"))?;
+                    last.nocase = true;
+                }
+                other => return Err(err(line_no, format!("unsupported flag `{other}`"))),
+            }
+        }
+    }
+    if sid == 0 {
+        return Err(err(line_no, "rule requires a non-zero sid"));
+    }
+    Ok(Rule { action, proto, src, src_port, dst, dst_port, bidirectional, msg, sid, contents })
+}
+
+/// Splits the option block on `;`, respecting quoted strings.
+fn split_options(options: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for c in options.chars() {
+        if escaped {
+            current.push(c);
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => {
+                current.push(c);
+                escaped = true;
+            }
+            '"' => {
+                in_quotes = !in_quotes;
+                current.push(c);
+            }
+            ';' if !in_quotes => {
+                out.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn unquote(value: &str, line_no: usize) -> Result<String, RuleParseError> {
+    let v = value.trim();
+    if v.len() < 2 || !v.starts_with('"') || !v.ends_with('"') {
+        return Err(err(line_no, format!("expected quoted string, got `{v}`")));
+    }
+    let inner = &v[1..v.len() - 1];
+    let mut out = String::with_capacity(inner.len());
+    let mut escaped = false;
+    for c in inner.chars() {
+        if escaped {
+            out.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes Snort content syntax: literal text with `|AB CD|` hex islands.
+fn decode_content(text: &str, line_no: usize) -> Result<Vec<u8>, RuleParseError> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    loop {
+        match rest.find('|') {
+            None => {
+                out.extend_from_slice(rest.as_bytes());
+                return Ok(out);
+            }
+            Some(start) => {
+                out.extend_from_slice(rest[..start].as_bytes());
+                let after = &rest[start + 1..];
+                let end = after
+                    .find('|')
+                    .ok_or_else(|| err(line_no, "unterminated hex block in content"))?;
+                for hexbyte in after[..end].split_whitespace() {
+                    let b = u8::from_str_radix(hexbyte, 16)
+                        .map_err(|_| err(line_no, format!("bad hex byte `{hexbyte}`")))?;
+                    out.push(b);
+                }
+                rest = &after[end + 1..];
+            }
+        }
+    }
+}
+
+fn parse_addr(tok: &str, line_no: usize) -> Result<AddrPattern, RuleParseError> {
+    if tok == "any" {
+        return Ok(AddrPattern::Any);
+    }
+    if let Some((base, prefix)) = tok.split_once('/') {
+        let base: Ipv4Addr =
+            base.parse().map_err(|_| err(line_no, format!("bad address `{tok}`")))?;
+        let prefix: u8 =
+            prefix.parse().map_err(|_| err(line_no, format!("bad prefix `{tok}`")))?;
+        if prefix > 32 {
+            return Err(err(line_no, format!("prefix out of range `{tok}`")));
+        }
+        return Ok(AddrPattern::Net(base, prefix));
+    }
+    let host: Ipv4Addr = tok.parse().map_err(|_| err(line_no, format!("bad address `{tok}`")))?;
+    Ok(AddrPattern::Host(host))
+}
+
+fn parse_port(tok: &str, line_no: usize) -> Result<PortPattern, RuleParseError> {
+    if tok == "any" {
+        return Ok(PortPattern::Any);
+    }
+    if let Some((lo, hi)) = tok.split_once(':') {
+        let lo: u16 = if lo.is_empty() {
+            0
+        } else {
+            lo.parse().map_err(|_| err(line_no, format!("bad port `{tok}`")))?
+        };
+        let hi: u16 = if hi.is_empty() {
+            u16::MAX
+        } else {
+            hi.parse().map_err(|_| err(line_no, format!("bad port `{tok}`")))?
+        };
+        if lo > hi {
+            return Err(err(line_no, format!("inverted port range `{tok}`")));
+        }
+        return Ok(PortPattern::Range(lo, hi));
+    }
+    let p: u16 = tok.parse().map_err(|_| err(line_no, format!("bad port `{tok}`")))?;
+    Ok(PortPattern::Port(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_rule() {
+        let r = parse_rule(
+            r#"alert tcp any any -> 10.0.0.0/8 80 (msg:"http attack"; content:"evil"; sid:1001; rev:2;)"#,
+        )
+        .unwrap();
+        assert_eq!(r.action, RuleAction::Alert);
+        assert_eq!(r.proto, ProtoPattern::Tcp);
+        assert_eq!(r.src, AddrPattern::Any);
+        assert_eq!(r.dst, AddrPattern::Net(Ipv4Addr::new(10, 0, 0, 0), 8));
+        assert_eq!(r.dst_port, PortPattern::Port(80));
+        assert_eq!(r.msg, "http attack");
+        assert_eq!(r.sid, 1001);
+        assert_eq!(r.contents.len(), 1);
+        assert_eq!(r.contents[0].bytes, b"evil");
+    }
+
+    #[test]
+    fn parses_hex_content() {
+        let r = parse_rule(
+            r#"drop udp any any -> any 53 (msg:"dns"; content:"abc|00 01|def|ff|"; sid:2;)"#,
+        )
+        .unwrap();
+        assert_eq!(r.action, RuleAction::Drop);
+        assert_eq!(r.contents[0].bytes, b"abc\x00\x01def\xff");
+    }
+
+    #[test]
+    fn parses_nocase_and_multiple_contents() {
+        let r = parse_rule(
+            r#"alert tcp any any -> any any (msg:"m"; content:"AAA"; nocase; content:"bbb"; sid:3;)"#,
+        )
+        .unwrap();
+        assert_eq!(r.contents.len(), 2);
+        assert!(r.contents[0].nocase);
+        assert!(!r.contents[1].nocase);
+    }
+
+    #[test]
+    fn parses_port_ranges_and_bidirectional() {
+        let r = parse_rule(r#"alert tcp any 1024: <> any :80 (msg:"m"; sid:4;)"#).unwrap();
+        assert!(r.bidirectional);
+        assert_eq!(r.src_port, PortPattern::Range(1024, u16::MAX));
+        assert_eq!(r.dst_port, PortPattern::Range(0, 80));
+    }
+
+    #[test]
+    fn escaped_quotes_and_semicolons_in_msg() {
+        let r = parse_rule(r#"alert ip any any -> any any (msg:"say \"hi\"; ok"; sid:5;)"#)
+            .unwrap();
+        assert_eq!(r.msg, r#"say "hi"; ok"#);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let rules = parse_rules(
+            "# comment\n\nalert ip any any -> any any (msg:\"a\"; sid:1;)\n# more\n",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 1);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = parse_rules("# fine\nbogus tcp any any -> any any (sid:1;)\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown action"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_rule("alert tcp any any -> any any").is_err()); // no options
+        assert!(parse_rule("alert tcp any -> any any (sid:1;)").is_err()); // bad header
+        assert!(parse_rule(r#"alert tcp any any -> any any (content:"x"; sid:0;)"#).is_err()); // sid 0
+        assert!(parse_rule(r#"alert tcp any any -> any any (content:""; sid:1;)"#).is_err()); // empty content
+        assert!(parse_rule(r#"alert tcp any any -> any 99999 (sid:1;)"#).is_err()); // bad port
+        assert!(parse_rule(r#"alert tcp any/40 any -> any any (sid:1;)"#).is_err()); // bad addr
+        assert!(parse_rule(r#"alert tcp 10.0.0.0/33 any -> any any (sid:1;)"#).is_err());
+        assert!(parse_rule(r#"alert tcp any 90:80 -> any any (sid:1;)"#).is_err()); // inverted
+        assert!(parse_rule(r#"alert tcp any any -> any any (content:"|zz|"; sid:1;)"#).is_err());
+        assert!(parse_rule(r#"alert tcp any any -> any any (nocase; sid:1;)"#).is_err());
+    }
+
+    #[test]
+    fn addr_pattern_matching() {
+        let net = AddrPattern::Net(Ipv4Addr::new(192, 168, 0, 0), 16);
+        assert!(net.matches(Ipv4Addr::new(192, 168, 55, 1)));
+        assert!(!net.matches(Ipv4Addr::new(192, 169, 0, 1)));
+        assert!(AddrPattern::Any.matches(Ipv4Addr::new(1, 2, 3, 4)));
+        let zero = AddrPattern::Net(Ipv4Addr::new(0, 0, 0, 0), 0);
+        assert!(zero.matches(Ipv4Addr::new(255, 255, 255, 255)));
+    }
+
+    #[test]
+    fn port_pattern_matching() {
+        assert!(PortPattern::Any.matches(None));
+        assert!(!PortPattern::Port(80).matches(None));
+        assert!(PortPattern::Range(10, 20).matches(Some(15)));
+        assert!(!PortPattern::Range(10, 20).matches(Some(21)));
+    }
+}

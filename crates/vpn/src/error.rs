@@ -1,0 +1,64 @@
+//! VPN error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the VPN layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VpnError {
+    /// A wire message could not be parsed.
+    Malformed(&'static str),
+    /// MAC verification failed.
+    AuthenticationFailed,
+    /// A packet id was replayed or too old.
+    Replay,
+    /// Certificate validation failed.
+    BadCertificate(&'static str),
+    /// Handshake signature failed.
+    BadSignature,
+    /// The peer offered a protocol version below the enforced minimum
+    /// (downgrade attempt, §V-A).
+    VersionTooLow {
+        /// Version offered by the peer.
+        offered: u8,
+        /// Minimum this endpoint accepts.
+        minimum: u8,
+    },
+    /// Record for an unknown session.
+    UnknownSession(u64),
+    /// The client's configuration version is stale and the grace period
+    /// has expired (§III-E).
+    StaleConfiguration {
+        /// Version the client runs.
+        client: u64,
+        /// Version the server requires.
+        required: u64,
+    },
+    /// Fragment reassembly failed.
+    Fragmentation(&'static str),
+    /// Session is not in a state that allows the operation.
+    BadState(&'static str),
+}
+
+impl fmt::Display for VpnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VpnError::Malformed(what) => write!(f, "malformed message: {what}"),
+            VpnError::AuthenticationFailed => f.write_str("packet authentication failed"),
+            VpnError::Replay => f.write_str("replayed packet rejected"),
+            VpnError::BadCertificate(why) => write!(f, "certificate invalid: {why}"),
+            VpnError::BadSignature => f.write_str("handshake signature invalid"),
+            VpnError::VersionTooLow { offered, minimum } => {
+                write!(f, "protocol version {offered} below enforced minimum {minimum}")
+            }
+            VpnError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            VpnError::StaleConfiguration { client, required } => {
+                write!(f, "stale configuration {client}, server requires {required}")
+            }
+            VpnError::Fragmentation(why) => write!(f, "fragmentation error: {why}"),
+            VpnError::BadState(why) => write!(f, "bad session state: {why}"),
+        }
+    }
+}
+
+impl Error for VpnError {}

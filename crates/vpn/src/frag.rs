@@ -1,0 +1,280 @@
+//! Fragmentation and encapsulation of sealed records into MTU-sized
+//! datagrams.
+//!
+//! Runs in the *untrusted* half of the EndBox client ("Other parts that
+//! are not important for security (such as packet encapsulation and
+//! fragmentation) are executed outside of the enclave", §III-B) —
+//! fragmentation operates on ciphertext, so it needs no keys, and a
+//! tampered fragment is caught later by the record MAC.
+
+use crate::error::VpnError;
+use crate::wire::{Reader, Writer};
+use std::collections::HashMap;
+
+/// Per-datagram fragment header size.
+pub const FRAG_HEADER_LEN: usize = 4 + 2 + 2;
+
+/// Splits sealed record bytes into numbered datagrams.
+#[derive(Debug, Default)]
+pub struct Fragmenter {
+    next_id: u32,
+}
+
+impl Fragmenter {
+    /// New fragmenter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Splits `record_bytes` into datagrams of at most `mtu_payload`
+    /// payload bytes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mtu_payload` is zero.
+    pub fn fragment(&mut self, record_bytes: &[u8], mtu_payload: usize) -> Vec<Vec<u8>> {
+        assert!(mtu_payload > 0, "mtu must be positive");
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        let chunks: Vec<&[u8]> = if record_bytes.is_empty() {
+            vec![&[][..]]
+        } else {
+            record_bytes.chunks(mtu_payload).collect()
+        };
+        let total = chunks.len() as u16;
+        chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, chunk)| {
+                let mut w = Writer::new();
+                w.u32(id).u16(i as u16).u16(total).raw(chunk);
+                w.finish()
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug)]
+struct Partial {
+    pieces: Vec<Option<Vec<u8>>>,
+    received: usize,
+    /// Insertion order, for eviction.
+    seq: u64,
+}
+
+/// Maximum records pending reassembly per peer — bounds the memory an
+/// attacker can pin by spraying first-fragments that never complete.
+pub const MAX_PENDING: usize = 64;
+
+/// Reassembles datagrams back into record bytes. Tolerates reordering and
+/// duplication; interleaved records are reassembled independently. At
+/// most [`MAX_PENDING`] incomplete records are kept; beyond that the
+/// oldest is evicted (its record is lost, like a dropped packet).
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    partials: HashMap<u32, Partial>,
+    next_seq: u64,
+    evictions: u64,
+}
+
+impl Reassembler {
+    /// New reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of incomplete records evicted under memory pressure.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Feeds one datagram. Returns the full record bytes once all pieces
+    /// of a record have arrived.
+    ///
+    /// # Errors
+    ///
+    /// [`VpnError::Fragmentation`] on malformed or inconsistent fragments.
+    pub fn push(&mut self, datagram: &[u8]) -> Result<Option<Vec<u8>>, VpnError> {
+        let mut r = Reader::new(datagram);
+        let id = r.u32().map_err(|_| VpnError::Fragmentation("truncated header"))?;
+        let index = r.u16().map_err(|_| VpnError::Fragmentation("truncated header"))? as usize;
+        let total = r.u16().map_err(|_| VpnError::Fragmentation("truncated header"))? as usize;
+        let chunk = r.rest().to_vec();
+        if total == 0 || index >= total {
+            return Err(VpnError::Fragmentation("index out of range"));
+        }
+        if !self.partials.contains_key(&id) && self.partials.len() >= MAX_PENDING {
+            // Evict the oldest incomplete record (fragment-flood defence).
+            if let Some((&oldest, _)) =
+                self.partials.iter().min_by_key(|(_, p)| p.seq)
+            {
+                self.partials.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        let seq = self.next_seq;
+        let partial = self.partials.entry(id).or_insert_with(|| {
+            Partial { pieces: vec![None; total], received: 0, seq }
+        });
+        if partial.seq == seq {
+            self.next_seq += 1;
+        }
+        if partial.pieces.len() != total {
+            return Err(VpnError::Fragmentation("total mismatch across fragments"));
+        }
+        if partial.pieces[index].is_none() {
+            partial.pieces[index] = Some(chunk);
+            partial.received += 1;
+        }
+        if partial.received == total {
+            let partial = self.partials.remove(&id).unwrap();
+            let mut out = Vec::new();
+            for piece in partial.pieces {
+                out.extend_from_slice(&piece.unwrap());
+            }
+            return Ok(Some(out));
+        }
+        Ok(None)
+    }
+
+    /// Number of records awaiting completion.
+    pub fn pending(&self) -> usize {
+        self.partials.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_fragment_roundtrip() {
+        let mut f = Fragmenter::new();
+        let mut r = Reassembler::new();
+        let frags = f.fragment(b"short record", 1000);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(r.push(&frags[0]).unwrap().unwrap(), b"short record");
+    }
+
+    #[test]
+    fn multi_fragment_roundtrip() {
+        let mut f = Fragmenter::new();
+        let mut r = Reassembler::new();
+        let data: Vec<u8> = (0..2500u16).map(|i| (i % 251) as u8).collect();
+        let frags = f.fragment(&data, 1000);
+        assert_eq!(frags.len(), 3);
+        assert!(r.push(&frags[0]).unwrap().is_none());
+        assert!(r.push(&frags[1]).unwrap().is_none());
+        assert_eq!(r.push(&frags[2]).unwrap().unwrap(), data);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn reordering_and_duplicates_tolerated() {
+        let mut f = Fragmenter::new();
+        let mut r = Reassembler::new();
+        let data = vec![9u8; 2100];
+        let frags = f.fragment(&data, 1000);
+        assert!(r.push(&frags[2]).unwrap().is_none());
+        assert!(r.push(&frags[0]).unwrap().is_none());
+        assert!(r.push(&frags[0]).unwrap().is_none()); // duplicate
+        assert_eq!(r.push(&frags[1]).unwrap().unwrap(), data);
+    }
+
+    #[test]
+    fn interleaved_records() {
+        let mut f = Fragmenter::new();
+        let mut r = Reassembler::new();
+        let a = vec![1u8; 1500];
+        let b = vec![2u8; 1500];
+        let fa = f.fragment(&a, 1000);
+        let fb = f.fragment(&b, 1000);
+        assert!(r.push(&fa[0]).unwrap().is_none());
+        assert!(r.push(&fb[0]).unwrap().is_none());
+        assert_eq!(r.push(&fb[1]).unwrap().unwrap(), b);
+        assert_eq!(r.push(&fa[1]).unwrap().unwrap(), a);
+    }
+
+    #[test]
+    fn malformed_fragments_rejected() {
+        let mut r = Reassembler::new();
+        assert!(r.push(&[1, 2]).is_err()); // truncated header
+        // index >= total
+        let mut w = Writer::new();
+        w.u32(1).u16(3).u16(2).raw(b"x");
+        assert!(r.push(&w.finish()).is_err());
+        // total = 0
+        let mut w = Writer::new();
+        w.u32(1).u16(0).u16(0).raw(b"x");
+        assert!(r.push(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn inconsistent_total_rejected() {
+        let mut r = Reassembler::new();
+        let mut w1 = Writer::new();
+        w1.u32(5).u16(0).u16(2).raw(b"a");
+        let mut w2 = Writer::new();
+        w2.u32(5).u16(1).u16(3).raw(b"b"); // different total for same id
+        assert!(r.push(&w1.finish()).unwrap().is_none());
+        assert!(r.push(&w2.finish()).is_err());
+    }
+
+    #[test]
+    fn fragment_flood_is_bounded() {
+        let mut r = Reassembler::new();
+        // Spray first-fragments of records that never complete.
+        for id in 0..(MAX_PENDING as u32 * 4) {
+            let mut w = Writer::new();
+            w.u32(id).u16(0).u16(2).raw(b"never completes");
+            assert!(r.push(&w.finish()).unwrap().is_none());
+        }
+        assert!(r.pending() <= MAX_PENDING, "pending bounded: {}", r.pending());
+        assert_eq!(r.evictions(), MAX_PENDING as u64 * 3);
+        // A fresh record still reassembles fine under pressure.
+        let mut f = Fragmenter::new();
+        let mut frags = f.fragment(b"legit", 2);
+        // Give it a high id so it does not collide with the flood ids.
+        let last = frags.pop().unwrap();
+        for frag in &frags {
+            r.push(frag).unwrap();
+        }
+        assert_eq!(r.push(&last).unwrap().unwrap(), b"legit");
+    }
+
+    #[test]
+    fn empty_record_roundtrips() {
+        let mut f = Fragmenter::new();
+        let mut r = Reassembler::new();
+        let frags = f.fragment(b"", 100);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(r.push(&frags[0]).unwrap().unwrap(), Vec::<u8>::new());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn fragment_reassemble_any_order(
+            data in prop::collection::vec(any::<u8>(), 0..5000),
+            mtu in 1usize..1500,
+            seed in any::<u64>(),
+        ) {
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let mut f = Fragmenter::new();
+            let mut r = Reassembler::new();
+            let mut frags = f.fragment(&data, mtu);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            frags.shuffle(&mut rng);
+            let mut result = None;
+            for frag in &frags {
+                if let Some(rec) = r.push(frag).unwrap() {
+                    result = Some(rec);
+                }
+            }
+            prop_assert_eq!(result.unwrap(), data);
+        }
+    }
+}

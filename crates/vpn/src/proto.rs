@@ -1,0 +1,132 @@
+//! The wire record format: every datagram between an EndBox client and the
+//! server is one record.
+
+use crate::error::VpnError;
+use crate::wire::{Reader, Writer};
+
+/// Record type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Control channel: client hello.
+    HandshakeInit,
+    /// Control channel: server hello.
+    HandshakeResp,
+    /// Data channel payload (sealed).
+    Data,
+    /// Keepalive/ping (sealed; §III-E extension carries config version).
+    Ping,
+    /// Orderly teardown.
+    Disconnect,
+}
+
+impl Opcode {
+    fn to_u8(self) -> u8 {
+        match self {
+            Opcode::HandshakeInit => 1,
+            Opcode::HandshakeResp => 2,
+            Opcode::Data => 3,
+            Opcode::Ping => 4,
+            Opcode::Disconnect => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, VpnError> {
+        Ok(match v {
+            1 => Opcode::HandshakeInit,
+            2 => Opcode::HandshakeResp,
+            3 => Opcode::Data,
+            4 => Opcode::Ping,
+            5 => Opcode::Disconnect,
+            _ => return Err(VpnError::Malformed("unknown opcode")),
+        })
+    }
+}
+
+/// A wire record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Record type.
+    pub opcode: Opcode,
+    /// Session the record belongs to (0 during handshake init).
+    pub session_id: u64,
+    /// Monotonic packet id for replay protection (data/ping).
+    pub packet_id: u64,
+    /// Opaque payload (sealed for data/ping records).
+    pub payload: Vec<u8>,
+}
+
+/// Bytes of framing added around each payload on the wire.
+pub const RECORD_OVERHEAD: usize = 1 + 8 + 8 + 4;
+
+impl Record {
+    /// Serialises to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u8(self.opcode.to_u8()).u64(self.session_id).u64(self.packet_id).bytes(&self.payload);
+        w.finish()
+    }
+
+    /// Parses from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`VpnError::Malformed`] on truncation or unknown opcodes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Record, VpnError> {
+        let mut r = Reader::new(bytes);
+        let opcode = Opcode::from_u8(r.u8()?)?;
+        let session_id = r.u64()?;
+        let packet_id = r.u64()?;
+        let payload = r.bytes()?.to_vec();
+        if !r.is_empty() {
+            return Err(VpnError::Malformed("trailing bytes after record"));
+        }
+        Ok(Record { opcode, session_id, packet_id, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let rec = Record {
+            opcode: Opcode::Data,
+            session_id: 42,
+            packet_id: 7,
+            payload: vec![1, 2, 3],
+        };
+        let bytes = rec.to_bytes();
+        assert_eq!(bytes.len(), RECORD_OVERHEAD + 3);
+        assert_eq!(Record::from_bytes(&bytes).unwrap(), rec);
+    }
+
+    #[test]
+    fn all_opcodes_roundtrip() {
+        for op in [
+            Opcode::HandshakeInit,
+            Opcode::HandshakeResp,
+            Opcode::Data,
+            Opcode::Ping,
+            Opcode::Disconnect,
+        ] {
+            let rec = Record { opcode: op, session_id: 1, packet_id: 2, payload: vec![] };
+            assert_eq!(Record::from_bytes(&rec.to_bytes()).unwrap().opcode, op);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Record::from_bytes(&[]).is_err());
+        assert!(Record::from_bytes(&[9; 30]).is_err()); // opcode 9
+        let mut ok = Record {
+            opcode: Opcode::Data,
+            session_id: 1,
+            packet_id: 1,
+            payload: vec![5],
+        }
+        .to_bytes();
+        ok.push(0); // trailing byte
+        assert_eq!(Record::from_bytes(&ok), Err(VpnError::Malformed("trailing bytes after record")));
+    }
+}

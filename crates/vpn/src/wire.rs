@@ -1,0 +1,177 @@
+//! Minimal byte-level reader/writer for wire formats.
+
+use crate::error::VpnError;
+
+/// Sequential writer producing length-delimited wire structures.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a big-endian u16.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends raw bytes (fixed-size field).
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(bytes);
+        self
+    }
+
+    /// Appends a u32-length-prefixed byte string.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.u32(bytes.len() as u32);
+        self.buf.extend_from_slice(bytes);
+        self
+    }
+
+    /// Appends a u32-length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.bytes(s.as_bytes())
+    }
+
+    /// Finishes, returning the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Sequential reader over a wire buffer.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], VpnError> {
+        if self.pos + n > self.buf.len() {
+            return Err(VpnError::Malformed("truncated"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a byte.
+    pub fn u8(&mut self) -> Result<u8, VpnError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian u16.
+    pub fn u16(&mut self) -> Result<u16, VpnError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian u32.
+    pub fn u32(&mut self) -> Result<u32, VpnError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian u64.
+    pub fn u64(&mut self) -> Result<u64, VpnError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads `N` raw bytes into an array.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], VpnError> {
+        Ok(self.take(N)?.try_into().unwrap())
+    }
+
+    /// Reads a u32-length-prefixed byte string (capped at 1 MiB to bound
+    /// malicious length fields).
+    pub fn bytes(&mut self) -> Result<&'a [u8], VpnError> {
+        let len = self.u32()? as usize;
+        if len > 1 << 20 {
+            return Err(VpnError::Malformed("length field too large"));
+        }
+        self.take(len)
+    }
+
+    /// Reads a u32-length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, VpnError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| VpnError::Malformed("invalid utf-8"))
+    }
+
+    /// Remaining unread bytes.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    /// True when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = Writer::new();
+        w.u8(7).u16(300).u32(70_000).u64(1 << 40).bytes(b"hello").string("world").raw(&[1, 2]);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.string().unwrap(), "world");
+        assert_eq!(r.rest(), &[1, 2]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_reads_fail() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(r.u32().is_err());
+        let mut r = Reader::new(&[0, 0, 0, 10, 1, 2]); // claims 10 bytes, has 2
+        assert_eq!(r.bytes(), Err(VpnError::Malformed("truncated")));
+    }
+
+    #[test]
+    fn oversized_length_field_rejected() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bytes(), Err(VpnError::Malformed("length field too large")));
+    }
+}

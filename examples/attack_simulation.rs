@@ -1,0 +1,29 @@
+//! The §V-A security evaluation as a runnable demo: every attack from the
+//! paper mounted against live deployments.
+//!
+//! ```text
+//! cargo run --example attack_simulation
+//! ```
+
+use endbox::attacks::{run_all, AttackOutcome};
+
+fn main() {
+    println!("EndBox attack simulation (§V-A)");
+    println!("===============================\n");
+    let results = run_all();
+    let mut defended = 0;
+    for (name, outcome) in &results {
+        match outcome {
+            AttackOutcome::Defended(why) => {
+                defended += 1;
+                println!("[defended] {name}");
+                println!("           {why}\n");
+            }
+            AttackOutcome::Breached(why) => {
+                println!("[BREACHED] {name}: {why}\n");
+            }
+        }
+    }
+    println!("{defended}/{} attacks defended.", results.len());
+    assert_eq!(defended, results.len(), "all attacks must be defended");
+}

@@ -1,0 +1,5 @@
+//! Umbrella crate for the EndBox reproduction: hosts the runnable examples
+//! in `examples/` and the cross-crate integration tests in `tests/`.
+//!
+//! See the individual crates (`endbox`, `endbox-vpn`, `endbox-click`, …)
+//! for the actual library code.

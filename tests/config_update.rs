@@ -1,0 +1,178 @@
+//! Integration: the Fig. 5 configuration-update protocol end to end —
+//! versioning, grace periods, encryption, replay defence and state
+//! preservation across hot swaps.
+
+use endbox::config_update::SignedConfig;
+use endbox::error::EndBoxError;
+use endbox::scenario::Scenario;
+use endbox::use_cases::UseCase;
+use endbox_vpn::VpnError;
+use rand::SeedableRng;
+
+#[test]
+fn full_update_cycle_over_the_wire() {
+    let mut s = Scenario::enterprise(3, UseCase::Nop).build().unwrap();
+    assert_eq!(s.client_version(0), 1);
+    let v = s.update_config(&UseCase::Firewall.click_config(), 60).unwrap();
+    for i in 0..3 {
+        assert_eq!(s.client_version(i), v, "client {i}");
+        assert_eq!(s.server.client_config_version(s.session_id(i)), Some(v));
+    }
+    // The new middlebox is live: firewall handlers exist now.
+    assert_eq!(s.clients[0].click_handler("fw", "rules").as_deref(), Some("16"));
+}
+
+#[test]
+fn enterprise_configs_are_encrypted_isp_configs_are_not() {
+    let mut ent = Scenario::enterprise(1, UseCase::Nop).build().unwrap();
+    ent.update_config(&UseCase::Firewall.click_config(), 0).unwrap();
+    assert!(ent.config_server.fetch(2).unwrap().encrypted);
+
+    let mut isp = Scenario::isp(1, UseCase::Nop).build().unwrap();
+    isp.update_config(&UseCase::Firewall.click_config(), 0).unwrap();
+    let cfg = isp.config_server.fetch(2).unwrap();
+    assert!(!cfg.encrypted);
+    assert!(cfg.plaintext_click().unwrap().contains("IPFilter"));
+}
+
+#[test]
+fn version_replay_rejected_by_enclave() {
+    let mut s = Scenario::enterprise(1, UseCase::Nop).build().unwrap();
+    s.update_config(&UseCase::Firewall.click_config(), 0).unwrap(); // v2
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    // Replay v1-style config (signed by the genuine CA, old version).
+    let old = SignedConfig::publish(
+        &UseCase::Nop.click_config(),
+        2, // same version as current -> not newer
+        s.ca.signing_key(),
+        None,
+        &mut rng,
+    );
+    let err = s.clients[0].enclave_app().apply_config(&old).unwrap_err();
+    assert_eq!(err, EndBoxError::ConfigUpdate("version not newer (replay?)"));
+}
+
+#[test]
+fn forged_signature_rejected() {
+    let mut s = Scenario::enterprise(1, UseCase::Nop).build().unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let attacker_key = endbox_crypto::schnorr::SigningKey::generate(&mut rng);
+    let forged = SignedConfig::publish(
+        "FromDevice(t) -> ToDevice(t);",
+        99,
+        &attacker_key, // not the CA
+        None,
+        &mut rng,
+    );
+    let err = s.clients[0].enclave_app().apply_config(&forged).unwrap_err();
+    assert_eq!(err, EndBoxError::ConfigUpdate("signature invalid"));
+}
+
+#[test]
+fn version_mismatch_inside_payload_rejected() {
+    // An attacker splices a valid old payload under a new version header;
+    // the version embedded *inside* the (signed) body must match.
+    let mut s = Scenario::enterprise(1, UseCase::Nop).build().unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let good = SignedConfig::publish(
+        &UseCase::Firewall.click_config(),
+        7,
+        s.ca.signing_key(),
+        None,
+        &mut rng,
+    );
+    // Manually altering the version breaks the outer signature first.
+    let mut spliced = good.clone();
+    spliced.version = 8;
+    let err = s.clients[0].enclave_app().apply_config(&spliced).unwrap_err();
+    assert_eq!(err, EndBoxError::ConfigUpdate("signature invalid"));
+}
+
+#[test]
+fn grace_period_allows_old_then_blocks() {
+    let mut s = Scenario::enterprise(1, UseCase::Nop).build().unwrap();
+    // Announce v2 with a 30 s grace period but DON'T update the client.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let signed = SignedConfig::publish(
+        &UseCase::Firewall.click_config(),
+        2,
+        s.ca.signing_key(),
+        Some(&s.ca.config_key()),
+        &mut rng,
+    );
+    s.config_server.upload(signed);
+    s.server.announce_config(2, 30);
+
+    // During grace: old config still accepted.
+    s.send_from_client(0, b"during grace").unwrap();
+
+    // Advance past the grace period.
+    s.clock.advance(endbox_netsim::time::SimDuration::from_secs(31));
+    let err = s.send_from_client(0, b"after grace").unwrap_err();
+    assert!(matches!(
+        err,
+        EndBoxError::Vpn(VpnError::StaleConfiguration { client: 1, required: 2 })
+    ));
+
+    // Client finally updates (ping -> fetch -> apply -> proof) and is
+    // readmitted.
+    s.ping_and_update_client(0).unwrap();
+    assert_eq!(s.client_version(0), 2);
+    s.send_from_client(0, b"after update").unwrap();
+}
+
+#[test]
+fn hot_swap_preserves_element_state() {
+    let mut s = Scenario::enterprise(1, UseCase::Nop).build().unwrap();
+    let counted_config = "FromDevice(tun0) -> c :: Counter -> ToDevice(tun0);";
+    s.update_config(counted_config, 0).unwrap();
+    for _ in 0..5 {
+        s.send_from_client(0, b"count me").unwrap();
+    }
+    assert_eq!(s.clients[0].click_handler("c", "count").as_deref(), Some("5"));
+    // Swap to a config that keeps the same named Counter: state carries
+    // over ("Click's hot-swapping transfers state").
+    let extended = "FromDevice(tun0) -> c :: Counter -> f :: IPFilter(allow all) -> ToDevice(tun0);\nf[1] -> Discard;";
+    s.update_config(extended, 0).unwrap();
+    assert_eq!(s.clients[0].click_handler("c", "count").as_deref(), Some("5"));
+    s.send_from_client(0, b"count me too").unwrap();
+    assert_eq!(s.clients[0].click_handler("c", "count").as_deref(), Some("6"));
+}
+
+#[test]
+fn broken_config_leaves_old_one_running() {
+    let mut s = Scenario::enterprise(1, UseCase::Firewall).build().unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    // Admin fat-fingers a config: signed and versioned correctly but not
+    // valid Click text.
+    let broken = SignedConfig::publish(
+        "FromDevice(tun0) -> NoSuchElement -> ToDevice(tun0);",
+        2,
+        s.ca.signing_key(),
+        Some(&s.ca.config_key()),
+        &mut rng,
+    );
+    let err = s.clients[0].enclave_app().apply_config(&broken).unwrap_err();
+    assert_eq!(err, EndBoxError::ConfigUpdate("config rejected by Click"));
+    // Old config still in force.
+    assert_eq!(s.client_version(0), 1);
+    s.send_from_client(0, b"still running v1").unwrap();
+}
+
+#[test]
+fn wrong_config_key_cannot_decrypt() {
+    // A client from a different deployment (different CA/config key)
+    // cannot decrypt this deployment's encrypted configs.
+    let mut s1 = Scenario::enterprise(1, UseCase::Nop).seed(100).build().unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let foreign_key = [0xaau8; 32]; // not s1's config key
+    let cfg = SignedConfig::publish(
+        &UseCase::Firewall.click_config(),
+        2,
+        s1.ca.signing_key(),
+        Some(&foreign_key),
+        &mut rng,
+    );
+    let err = s1.clients[0].enclave_app().apply_config(&cfg).unwrap_err();
+    assert_eq!(err, EndBoxError::ConfigUpdate("decryption failed"));
+}

@@ -1,0 +1,105 @@
+//! Integration: encrypted-traffic analysis (§III-D) across the TLS shim,
+//! the enclave key registry, the `TLSDecrypt` element and the IDS.
+
+use endbox::scenario::Scenario;
+use endbox::tls_shim::{TlsClientSession, TlsServer};
+use endbox::use_cases::UseCase;
+use rand::SeedableRng;
+use std::net::Ipv4Addr;
+
+const DPI_CONFIG: &str = "FromDevice(tun0) \
+     -> tls :: TLSDecrypt \
+     -> ids :: IDSMatcher(COMMUNITY 377) \
+     -> ToDevice(tun0);\n\
+     ids[1] -> Discard;";
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(0xd81)
+}
+
+fn dpi_scenario(seed: u64) -> Scenario {
+    Scenario::enterprise(1, UseCase::Nop)
+        .custom_client_click(DPI_CONFIG)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn forwarded_key_enables_plaintext_inspection() {
+    let mut r = rng();
+    let mut s = dpi_scenario(1);
+    let server = TlsServer::new(Ipv4Addr::new(203, 0, 113, 10), 443, &mut r);
+    let mut session = TlsClientSession::connect(Scenario::client_addr(0), 40_443, &server, &mut r);
+    session.forward_key_to_endbox(&mut s.clients[0]).unwrap();
+
+    // Benign encrypted request passes and is counted as decrypted.
+    let req = session.encrypt_request(b"GET /public HTTP/1.1");
+    let datagrams = s.clients[0].send_packet(req).unwrap();
+    assert!(!datagrams.is_empty());
+    assert_eq!(s.clients[0].click_handler("tls", "decrypted").as_deref(), Some("1"));
+
+    // Malicious content hidden in TLS is caught (rule 11: drop on 443).
+    let mut evil = b"POST /x ".to_vec();
+    evil.extend_from_slice(&endbox_snort::community::triggering_payload(11));
+    let pkt = session.encrypt_request(&evil);
+    let datagrams = s.clients[0].send_packet(pkt).unwrap();
+    assert!(datagrams.is_empty(), "decrypted malware must be dropped");
+    assert_eq!(s.clients[0].click_handler("ids", "alerts").as_deref(), Some("1"));
+}
+
+#[test]
+fn without_key_ciphertext_is_opaque() {
+    let mut r = rng();
+    let mut s = dpi_scenario(2);
+    let server = TlsServer::new(Ipv4Addr::new(203, 0, 113, 11), 443, &mut r);
+    let mut session = TlsClientSession::connect(Scenario::client_addr(0), 40_500, &server, &mut r);
+    // Key NOT forwarded.
+    let mut evil = b"POST /x ".to_vec();
+    evil.extend_from_slice(&endbox_snort::community::triggering_payload(11));
+    let pkt = session.encrypt_request(&evil);
+    let datagrams = s.clients[0].send_packet(pkt).unwrap();
+    assert!(!datagrams.is_empty(), "without the key the IDS sees only ciphertext");
+    assert_eq!(s.clients[0].click_handler("tls", "misses").as_deref(), Some("1"));
+}
+
+#[test]
+fn wire_format_never_carries_plaintext() {
+    let mut r = rng();
+    let mut s = dpi_scenario(3);
+    let server = TlsServer::new(Ipv4Addr::new(203, 0, 113, 12), 443, &mut r);
+    let mut session = TlsClientSession::connect(Scenario::client_addr(0), 40_600, &server, &mut r);
+    session.forward_key_to_endbox(&mut s.clients[0]).unwrap();
+
+    let secret = b"super secret credit card 4111111111111111";
+    let pkt = session.encrypt_request(secret);
+    // On the wire (before the tunnel): ciphertext.
+    assert!(!pkt.bytes().windows(10).any(|w| w == &secret[..10]));
+    // Inside the tunnel: sealed again with the VPN keys; the datagrams
+    // must not leak the TLS plaintext either (the enclave decrypts only
+    // for inspection; the packet sent onwards is re-protected).
+    let datagrams = s.clients[0].send_packet(pkt).unwrap();
+    for d in &datagrams {
+        assert!(!d.windows(10).any(|w| w == &secret[..10]));
+    }
+}
+
+#[test]
+fn multiple_sessions_use_distinct_keys() {
+    let mut r = rng();
+    let mut s = dpi_scenario(4);
+    let server_a = TlsServer::new(Ipv4Addr::new(203, 0, 113, 13), 443, &mut r);
+    let server_b = TlsServer::new(Ipv4Addr::new(203, 0, 113, 14), 443, &mut r);
+    let mut sess_a = TlsClientSession::connect(Scenario::client_addr(0), 41_000, &server_a, &mut r);
+    let mut sess_b = TlsClientSession::connect(Scenario::client_addr(0), 41_001, &server_b, &mut r);
+    assert_ne!(sess_a.session_key(), sess_b.session_key());
+    sess_a.forward_key_to_endbox(&mut s.clients[0]).unwrap();
+    sess_b.forward_key_to_endbox(&mut s.clients[0]).unwrap();
+    // Both sessions decrypt correctly in the enclave.
+    for sess in [&mut sess_a, &mut sess_b] {
+        let pkt = sess.encrypt_request(b"GET / HTTP/1.1");
+        let datagrams = s.clients[0].send_packet(pkt).unwrap();
+        assert!(!datagrams.is_empty());
+    }
+    assert_eq!(s.clients[0].click_handler("tls", "decrypted").as_deref(), Some("2"));
+}
