@@ -12,6 +12,7 @@ use endbox_crypto::sha256::sha256;
 use endbox_crypto::x25519;
 use endbox_netsim::cost::{CostModel, CycleMeter};
 use endbox_netsim::Packet;
+use endbox_netsim::{BufferPool, PacketBatch};
 use endbox_sgx::EnclaveBuilder;
 use endbox_snort::community;
 use endbox_snort::engine::{CompiledRules, PacketView};
@@ -26,13 +27,19 @@ fn bench_crypto(c: &mut Criterion) {
 
     g.throughput(Throughput::Bytes(1500));
     g.bench_function("sha256_1500B", |b| b.iter(|| sha256(&data)));
-    g.bench_function("hmac_sha256_1500B", |b| b.iter(|| hmac_sha256(b"key", &data)));
+    g.bench_function("hmac_sha256_1500B", |b| {
+        b.iter(|| hmac_sha256(b"key", &data))
+    });
 
     let aes = Aes128::new(&[7u8; 16]);
     let iv = [9u8; 16];
-    g.bench_function("aes128_cbc_encrypt_1500B", |b| b.iter(|| cbc_encrypt(&aes, &iv, &data)));
+    g.bench_function("aes128_cbc_encrypt_1500B", |b| {
+        b.iter(|| cbc_encrypt(&aes, &iv, &data))
+    });
     let ct = cbc_encrypt(&aes, &iv, &data);
-    g.bench_function("aes128_cbc_decrypt_1500B", |b| b.iter(|| cbc_decrypt(&aes, &iv, &ct)));
+    g.bench_function("aes128_cbc_decrypt_1500B", |b| {
+        b.iter(|| cbc_decrypt(&aes, &iv, &ct))
+    });
     g.finish();
 
     let mut g = c.benchmark_group("asymmetric");
@@ -72,7 +79,9 @@ fn bench_ids(c: &mut Criterion) {
     };
     g.throughput(Throughput::Bytes(payload.len() as u64));
     g.bench_function("scan_377_rules_1460B", |b| b.iter(|| compiled.scan(&view)));
-    g.bench_function("compile_377_rules", |b| b.iter(|| CompiledRules::compile(&rules)));
+    g.bench_function("compile_377_rules", |b| {
+        b.iter(|| CompiledRules::compile(&rules))
+    });
     g.finish();
 }
 
@@ -89,7 +98,10 @@ fn bench_click(c: &mut Criterion) {
 
     for (name, config) in [
         ("nop", endbox::use_cases::UseCase::Nop.click_config()),
-        ("firewall", endbox::use_cases::UseCase::Firewall.click_config()),
+        (
+            "firewall",
+            endbox::use_cases::UseCase::Firewall.click_config(),
+        ),
         ("idps", endbox::use_cases::UseCase::Idps.click_config()),
     ] {
         let mut router = Router::from_config(&config, ElementEnv::default()).unwrap();
@@ -105,8 +117,115 @@ fn bench_click(c: &mut Criterion) {
     )
     .unwrap();
     g.bench_function("hotswap_minimal_config", |b| {
-        b.iter(|| router.hot_swap("FromDevice(t) -> c :: Counter -> ToDevice(t);").unwrap())
+        b.iter(|| {
+            router
+                .hot_swap("FromDevice(t) -> c :: Counter -> ToDevice(t);")
+                .unwrap()
+        })
     });
+    g.finish();
+}
+
+/// The tentpole measurement: N packets pushed one at a time vs as one
+/// `PacketBatch`, through the router and through the VPN data channel,
+/// plus pooled vs plain packet construction. Demonstrates (rather than
+/// asserts) the fewer-allocations / lower per-packet-cost claim.
+fn bench_batch_vs_single(c: &mut Criterion) {
+    const BATCH: usize = 32;
+    let mut g = c.benchmark_group("batch_vs_single");
+    g.throughput(Throughput::Elements(BATCH as u64));
+
+    let mk_packet = |i: u32| {
+        Packet::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 1, 1),
+            40000,
+            5001,
+            i,
+            &[b'x'; 1460],
+        )
+    };
+
+    // Router: firewall use case, 32 packets per iteration.
+    let config = endbox::use_cases::UseCase::Firewall.click_config();
+    let mut router = Router::from_config(&config, ElementEnv::default()).unwrap();
+    g.bench_function("router_single_32pkts", |b| {
+        b.iter_batched(
+            || (0..BATCH as u32).map(mk_packet).collect::<Vec<_>>(),
+            |pkts| {
+                for p in pkts {
+                    router.process(p);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut router = Router::from_config(&config, ElementEnv::default()).unwrap();
+    g.bench_function("router_batch_32pkts", |b| {
+        b.iter_batched(
+            || (0..BATCH as u32).map(mk_packet).collect::<PacketBatch>(),
+            |batch| router.process_batch(batch),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // VPN channel: 32 records vs 1 batched record.
+    let keys = SessionKeys::derive(&[7u8; 32], &[1u8; 32], &[2u8; 32]);
+    let cost = CostModel::calibrated();
+    let payloads = vec![vec![0xabu8; 1460]; BATCH];
+    let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+    let mut chan = DataChannel::client(
+        &keys,
+        CipherSuite::Aes128CbcHmac,
+        CycleMeter::new(),
+        cost.clone(),
+    );
+    g.bench_function("vpn_seal_single_32x1460B", |b| {
+        b.iter(|| {
+            for p in &refs {
+                chan.seal(Opcode::Data, 1, p);
+            }
+        })
+    });
+    let mut chan = DataChannel::client(
+        &keys,
+        CipherSuite::Aes128CbcHmac,
+        CycleMeter::new(),
+        cost.clone(),
+    );
+    g.bench_function("vpn_seal_batch_32x1460B", |b| {
+        b.iter(|| chan.seal_batch(1, &refs))
+    });
+
+    // Packet construction: fresh heap allocation vs pool recycling.
+    g.bench_function("packet_build_fresh_32", |b| {
+        b.iter(|| (0..BATCH as u32).map(mk_packet).collect::<Vec<_>>())
+    });
+    let pool = BufferPool::new();
+    g.bench_function("packet_build_pooled_32", |b| {
+        b.iter(|| {
+            (0..BATCH as u32)
+                .map(|i| {
+                    Packet::tcp_in(
+                        &pool,
+                        Ipv4Addr::new(10, 0, 0, 1),
+                        Ipv4Addr::new(10, 0, 1, 1),
+                        40000,
+                        5001,
+                        i,
+                        &[b'x'; 1460],
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    let stats = pool.stats();
+    println!(
+        "  [pool] fresh_allocs={} reused={} (reuse ratio {:.1}%)",
+        stats.fresh_allocs,
+        stats.reused,
+        100.0 * stats.reused as f64 / (stats.reused + stats.fresh_allocs).max(1) as f64
+    );
     g.finish();
 }
 
@@ -114,14 +233,24 @@ fn bench_vpn(c: &mut Criterion) {
     let mut g = c.benchmark_group("vpn");
     let keys = SessionKeys::derive(&[7u8; 32], &[1u8; 32], &[2u8; 32]);
     let cost = CostModel::calibrated();
-    let mut client =
-        DataChannel::client(&keys, CipherSuite::Aes128CbcHmac, CycleMeter::new(), cost.clone());
-    let mut server =
-        DataChannel::server(&keys, CipherSuite::Aes128CbcHmac, CycleMeter::new(), cost.clone());
+    let mut client = DataChannel::client(
+        &keys,
+        CipherSuite::Aes128CbcHmac,
+        CycleMeter::new(),
+        cost.clone(),
+    );
+    let mut server = DataChannel::server(
+        &keys,
+        CipherSuite::Aes128CbcHmac,
+        CycleMeter::new(),
+        cost.clone(),
+    );
     let payload = vec![0xabu8; 1500];
 
     g.throughput(Throughput::Bytes(1500));
-    g.bench_function("seal_1500B", |b| b.iter(|| client.seal(Opcode::Data, 1, &payload)));
+    g.bench_function("seal_1500B", |b| {
+        b.iter(|| client.seal(Opcode::Data, 1, &payload))
+    });
     g.bench_function("seal_open_1500B", |b| {
         b.iter(|| {
             let rec = client.seal(Opcode::Data, 1, &payload);
@@ -145,6 +274,7 @@ fn bench_enclave(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_crypto, bench_ids, bench_click, bench_vpn, bench_enclave
+    targets = bench_crypto, bench_ids, bench_click, bench_batch_vs_single, bench_vpn,
+        bench_enclave
 }
 criterion_main!(benches);

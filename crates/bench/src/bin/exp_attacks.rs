@@ -18,7 +18,9 @@ fn main() {
     }
     println!();
     if all_defended {
-        println!("All attacks defended (paper: 'ENDBOX is secure against a wide range of attacks').");
+        println!(
+            "All attacks defended (paper: 'ENDBOX is secure against a wide range of attacks')."
+        );
     } else {
         println!("!!! Some attacks succeeded — reproduction bug.");
         std::process::exit(1);

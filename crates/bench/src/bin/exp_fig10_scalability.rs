@@ -23,13 +23,19 @@ fn print_series(points: &[ScalabilityPoint]) {
     for d in &deployments {
         print!("{d:<26}");
         for n in client_counts() {
-            let p = points.iter().find(|p| &p.deployment == d && p.clients == n).unwrap();
+            let p = points
+                .iter()
+                .find(|p| &p.deployment == d && p.clients == n)
+                .unwrap();
             print!("{:>7.2}", p.gbps);
         }
         println!();
         print!("{:<26}", "  server CPU [%]");
         for n in client_counts() {
-            let p = points.iter().find(|p| &p.deployment == d && p.clients == n).unwrap();
+            let p = points
+                .iter()
+                .find(|p| &p.deployment == d && p.clients == n)
+                .unwrap();
             print!("{:>7.0}", p.server_cpu * 100.0);
         }
         println!();
@@ -56,6 +62,9 @@ fn main() {
             .find(|p| p.deployment == format!("OpenVPN+Click[{uc}]") && p.clients == 60)
             .unwrap()
             .gbps;
-        println!("{uc:<6} EndBox {e:.2} Gbps vs central {c:.2} Gbps -> {:.1}x", e / c);
+        println!(
+            "{uc:<6} EndBox {e:.2} Gbps vs central {c:.2} Gbps -> {:.1}x",
+            e / c
+        );
     }
 }

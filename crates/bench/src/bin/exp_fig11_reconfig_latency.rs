@@ -10,13 +10,21 @@ fn main() {
     println!("=== Fig. 11: ping latency around a configuration update ===\n");
     let endbox = fig11(true);
     let central = fig11(false);
-    println!("{:>10}{:>18}{:>22}", "t [s]", "EndBox [ms]", "OpenVPN+Click [ms]");
+    println!(
+        "{:>10}{:>18}{:>22}",
+        "t [s]", "EndBox [ms]", "OpenVPN+Click [ms]"
+    );
     for (e, c) in endbox.iter().zip(central.iter()) {
         let fmt = |v: Option<f64>| match v {
             Some(ms) => format!("{ms:.3}"),
             None => "LOST".to_string(),
         };
-        println!("{:>10.1}{:>18}{:>22}", e.t_ms / 1000.0, fmt(e.rtt_ms), fmt(c.rtt_ms));
+        println!(
+            "{:>10.1}{:>18}{:>22}",
+            e.t_ms / 1000.0,
+            fmt(e.rtt_ms),
+            fmt(c.rtt_ms)
+        );
     }
     let lost_e = endbox.iter().filter(|s| s.rtt_ms.is_none()).count();
     let lost_c = central.iter().filter(|s| s.rtt_ms.is_none()).count();

@@ -12,7 +12,10 @@ fn main() {
     let baseline = rows[0].1;
     println!("{:<20}{:>12}{:>12}", "method", "RTT [ms]", "overhead");
     for (label, rtt) in rows {
-        println!("{label:<20}{rtt:>12.1}{:>11.0}%", (rtt / baseline - 1.0) * 100.0);
+        println!(
+            "{label:<20}{rtt:>12.1}{:>11.0}%",
+            (rtt / baseline - 1.0) * 100.0
+        );
     }
     println!("\nPaper: 10.8 / 11.3 / 11.5 / 17.4 / 202.3 ms.");
 }

@@ -7,26 +7,33 @@
 //! EndBox SIM       132 / 586 / 720 / 1514 / 2325 / 2813
 //! EndBox SGX        92 / 401 / 530 / 1044 / 1987 / 2659
 
-use endbox::eval::throughput::{fig8, fig8_sizes};
+use endbox::eval::throughput::{fig8, fig8_batched, fig8_sizes, ThroughputPoint, BATCH_SIZE};
 
-fn main() {
-    println!("=== Fig. 8: throughput vs packet size (single client) ===\n");
-    let points = fig8();
-    print!("{:<24}", "setup \\ size [B]");
-    for s in fig8_sizes() {
-        print!("{s:>9}");
-    }
-    println!();
+fn print_table(points: &[ThroughputPoint]) {
     let mut current = String::new();
-    for p in &points {
+    for p in points {
         if p.deployment != current {
             if !current.is_empty() {
                 println!();
             }
-            print!("{:<24}", p.deployment);
+            print!("{:<28}", p.deployment);
             current = p.deployment.clone();
         }
         print!("{:>9.0}", p.mbps);
     }
-    println!("\n\nAll values in Mbps. Paper: Fig. 8 (values above in the header comment).");
+    println!();
+}
+
+fn main() {
+    println!("=== Fig. 8: throughput vs packet size (single client) ===\n");
+    print!("{:<28}", "setup \\ size [B]");
+    for s in fig8_sizes() {
+        print!("{s:>9}");
+    }
+    println!();
+    print_table(&fig8());
+    println!("\n--- batched datapath ({BATCH_SIZE} packets per record/enclave transition) ---");
+    print_table(&fig8_batched());
+    println!("\nAll values in Mbps. Paper: Fig. 8 (values above in the header comment).");
+    println!("Batched rows: this repo's PacketBatch datapath, beyond the paper's per-packet path.");
 }

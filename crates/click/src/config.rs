@@ -88,7 +88,11 @@ impl ConfigGraph {
     pub fn to_config_string(&self) -> String {
         let mut out = String::new();
         for decl in &self.elements {
-            let name = if decl.name.is_empty() { "anon".to_string() } else { decl.name.clone() };
+            let name = if decl.name.is_empty() {
+                "anon".to_string()
+            } else {
+                decl.name.clone()
+            };
             out.push_str(&name);
             out.push_str(" :: ");
             out.push_str(&decl.class);
@@ -107,7 +111,10 @@ impl ConfigGraph {
         for conn in &self.connections {
             let from = &self.elements[conn.from].name;
             let to = &self.elements[conn.to].name;
-            out.push_str(&format!("{from}[{}] -> [{}]{to};\n", conn.from_port, conn.to_port));
+            out.push_str(&format!(
+                "{from}[{}] -> [{}]{to};\n",
+                conn.from_port, conn.to_port
+            ));
         }
         out
     }
@@ -268,7 +275,10 @@ fn parse_declaration(stmt: &str, line: usize) -> Result<ElementDecl, ClickError>
     let (parts, _) = split_top_level(stmt, "::");
     let (name, class_part) = match parts.len() {
         1 => (None, parts[0].trim().to_string()),
-        2 => (Some(parts[0].trim().to_string()), parts[1].trim().to_string()),
+        2 => (
+            Some(parts[0].trim().to_string()),
+            parts[1].trim().to_string(),
+        ),
         _ => {
             return Err(ClickError::Parse {
                 line,
@@ -280,14 +290,21 @@ fn parse_declaration(stmt: &str, line: usize) -> Result<ElementDecl, ClickError>
     if let Some(ref n) = name {
         validate_identifier(n, line)?;
     }
-    Ok(ElementDecl { name: name.unwrap_or_default(), class, args })
+    Ok(ElementDecl {
+        name: name.unwrap_or_default(),
+        class,
+        args,
+    })
 }
 
 fn parse_class_and_args(part: &str, line: usize) -> Result<(String, Vec<String>), ClickError> {
     let part = part.trim();
     if let Some(open) = part.find('(') {
         if !part.ends_with(')') {
-            return Err(ClickError::Parse { line, message: format!("missing `)` in `{part}`") });
+            return Err(ClickError::Parse {
+                line,
+                message: format!("missing `)` in `{part}`"),
+            });
         }
         let class = part[..open].trim().to_string();
         validate_class(&class, line)?;
@@ -342,11 +359,16 @@ pub(crate) fn split_args(args: &str) -> Vec<String> {
 fn validate_identifier(name: &str, line: usize) -> Result<(), ClickError> {
     let ok = !name.is_empty()
         && name.chars().next().unwrap().is_ascii_alphabetic()
-        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '@');
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '@');
     if ok {
         Ok(())
     } else {
-        Err(ClickError::Parse { line, message: format!("invalid element name `{name}`") })
+        Err(ClickError::Parse {
+            line,
+            message: format!("invalid element name `{name}`"),
+        })
     }
 }
 
@@ -357,7 +379,10 @@ fn validate_class(class: &str, line: usize) -> Result<(), ClickError> {
     if ok {
         Ok(())
     } else {
-        Err(ClickError::Parse { line, message: format!("invalid class name `{class}`") })
+        Err(ClickError::Parse {
+            line,
+            message: format!("invalid class name `{class}`"),
+        })
     }
 }
 
@@ -454,7 +479,11 @@ fn parse_chain_node(
             "line {line}: `{s}` is not a declared element"
         )));
     };
-    Ok(ChainNode { element, in_port, out_port })
+    Ok(ChainNode {
+        element,
+        in_port,
+        out_port,
+    })
 }
 
 #[cfg(test)]
@@ -519,7 +548,10 @@ mod tests {
         let g = ConfigGraph::parse("f :: IPFilter(allow src host 10.0.0.1, drop all);").unwrap();
         assert_eq!(
             g.elements[0].args,
-            vec!["allow src host 10.0.0.1".to_string(), "drop all".to_string()]
+            vec![
+                "allow src host 10.0.0.1".to_string(),
+                "drop all".to_string()
+            ]
         );
     }
 
@@ -552,9 +584,11 @@ mod tests {
 
     #[test]
     fn long_chain() {
-        let g = ConfigGraph::parse("a :: Discard; b :: Discard; c :: Discard; d :: Tee(2);\n\
-                                    d -> Counter -> Counter -> a;")
-            .unwrap();
+        let g = ConfigGraph::parse(
+            "a :: Discard; b :: Discard; c :: Discard; d :: Tee(2);\n\
+                                    d -> Counter -> Counter -> a;",
+        )
+        .unwrap();
         assert_eq!(g.connections.len(), 3);
     }
 

@@ -3,7 +3,7 @@
 use crate::error::ClickError;
 use endbox_netsim::cost::{CostModel, CycleMeter};
 use endbox_netsim::time::SharedClock;
-use endbox_netsim::Packet;
+use endbox_netsim::{Packet, PacketBatch};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -102,11 +102,17 @@ impl Default for ElementEnv {
     }
 }
 
-/// Per-invocation context handed to [`Element::process`].
+/// Per-invocation context handed to [`Element::process`] and
+/// [`Element::process_batch`].
+///
+/// Both scratch vectors are *borrowed* from the router so their
+/// allocations persist across packets and batches — the hot path performs
+/// no per-invocation allocation.
 #[derive(Debug)]
 pub struct ElementContext<'a> {
-    /// Packets pushed to output ports this invocation.
-    pub(crate) outputs: Vec<(usize, Packet)>,
+    /// Packets pushed to output ports this invocation (router-owned
+    /// scratch, drained by the router after each element call).
+    pub(crate) outputs: &'a mut Vec<(usize, Packet)>,
     /// Packets emitted by `ToDevice` (left the router, accepted).
     pub(crate) emitted: &'a mut Vec<Packet>,
     /// Shared environment.
@@ -114,8 +120,17 @@ pub struct ElementContext<'a> {
 }
 
 impl<'a> ElementContext<'a> {
-    pub(crate) fn new(emitted: &'a mut Vec<Packet>, env: &'a ElementEnv) -> Self {
-        ElementContext { outputs: Vec::with_capacity(1), emitted, env }
+    /// Builds a context over caller-owned scratch/result vectors.
+    pub fn new(
+        outputs: &'a mut Vec<(usize, Packet)>,
+        emitted: &'a mut Vec<Packet>,
+        env: &'a ElementEnv,
+    ) -> Self {
+        ElementContext {
+            outputs,
+            emitted,
+            env,
+        }
     }
 
     /// Pushes `pkt` to output `port`.
@@ -158,6 +173,26 @@ pub trait Element: std::fmt::Debug + Send {
 
     /// Processes a packet arriving on `port`.
     fn process(&mut self, port: usize, pkt: Packet, ctx: &mut ElementContext<'_>);
+
+    /// Processes a whole batch arriving on `port`, draining `batch`.
+    ///
+    /// The default implementation loops over [`Element::process`] in
+    /// order, so overriding is purely an optimisation. Overrides (the hot
+    /// elements: `Classifier`, `IPFilter`, `CheckIPHeader`, `IDSMatcher`)
+    /// must stay observably equivalent to the sequential loop: same
+    /// outputs in the same order, same handler-visible state, and the
+    /// same *total* cycle charge (batching may coalesce meter updates,
+    /// not change their sum).
+    fn process_batch(
+        &mut self,
+        port: usize,
+        batch: &mut PacketBatch,
+        ctx: &mut ElementContext<'_>,
+    ) {
+        for pkt in batch.drain() {
+            self.process(port, pkt, ctx);
+        }
+    }
 
     /// Reads a named handler (Click's read handlers, e.g. `Counter.count`).
     fn read_handler(&self, _name: &str) -> Option<String> {

@@ -171,7 +171,9 @@ impl Element for Counter {
             self.byte_count = 0;
             Ok(())
         } else {
-            Err(ClickError::Handler(format!("Counter has no write handler `{name}`")))
+            Err(ClickError::Handler(format!(
+                "Counter has no write handler `{name}`"
+            )))
         }
     }
 
@@ -204,7 +206,9 @@ impl Tee {
     pub fn factory(args: &[String], _env: &ElementEnv) -> Result<Box<dyn Element>, String> {
         let n = match args {
             [] => 2,
-            [n] => n.parse().map_err(|_| format!("bad Tee output count `{n}`"))?,
+            [n] => n
+                .parse()
+                .map_err(|_| format!("bad Tee output count `{n}`"))?,
             _ => return Err("Tee takes at most one argument".into()),
         };
         if n == 0 {
@@ -250,7 +254,11 @@ impl Queue {
             [c] => c.parse().map_err(|_| format!("bad Queue capacity `{c}`"))?,
             _ => return Err("Queue takes at most one argument".into()),
         };
-        Ok(Box::new(Queue { capacity, drops: 0, in_flight: 0 }))
+        Ok(Box::new(Queue {
+            capacity,
+            drops: 0,
+            in_flight: 0,
+        }))
     }
 }
 
@@ -334,7 +342,11 @@ impl Element for CheckPaint {
     }
 
     fn process(&mut self, _port: usize, pkt: Packet, ctx: &mut ElementContext<'_>) {
-        let port = if pkt.meta.paint == Some(self.color) { 0 } else { 1 };
+        let port = if pkt.meta.paint == Some(self.color) {
+            0
+        } else {
+            1
+        };
         ctx.output(port, pkt);
     }
 }
@@ -384,7 +396,12 @@ impl AverageCounter {
         if !args.is_empty() {
             return Err("AverageCounter takes no arguments".into());
         }
-        Ok(Box::new(AverageCounter { count: 0, bytes: 0, start: None, clock: env.clock.clone() }))
+        Ok(Box::new(AverageCounter {
+            count: 0,
+            bytes: 0,
+            start: None,
+            clock: env.clock.clone(),
+        }))
     }
 }
 
@@ -433,15 +450,22 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn pkt() -> Packet {
-        Packet::udp(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 1, 1), 1, 2, b"data")
+        Packet::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 1, 1),
+            1,
+            2,
+            b"data",
+        )
     }
 
     fn run(elem: &mut dyn Element, p: Packet) -> (Vec<(usize, Packet)>, Vec<Packet>) {
         let env = ElementEnv::default();
+        let mut outputs = Vec::new();
         let mut emitted = Vec::new();
-        let mut ctx = ElementContext::new(&mut emitted, &env);
+        let mut ctx = ElementContext::new(&mut outputs, &mut emitted, &env);
         elem.process(0, p, &mut ctx);
-        (ctx.outputs, emitted)
+        (outputs, emitted)
     }
 
     #[test]
@@ -506,7 +530,10 @@ mod tests {
         let mut t = ToDevice::factory(&["tun0".into()], &env).unwrap();
         let (_, emitted) = run(t.as_mut(), pkt());
         assert_eq!(emitted.len(), 1);
-        assert_eq!(emitted[0].meta.verdict, endbox_netsim::packet::Verdict::Accept);
+        assert_eq!(
+            emitted[0].meta.verdict,
+            endbox_netsim::packet::Verdict::Accept
+        );
         assert_eq!(t.read_handler("emitted").as_deref(), Some("1"));
     }
 

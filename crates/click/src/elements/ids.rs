@@ -3,7 +3,7 @@
 //! backed by the [`endbox_snort`] engine.
 
 use crate::element::{Element, ElementContext, ElementEnv, ElementState};
-use endbox_netsim::Packet;
+use endbox_netsim::{Packet, PacketBatch};
 use endbox_snort::engine::{CompiledRules, PacketView};
 use endbox_snort::rule::parse_rules;
 
@@ -39,9 +39,7 @@ impl IdsMatcher {
                     .map_err(|_| format!("bad COMMUNITY count `{trimmed}`"))?;
                 rules.extend(endbox_snort::community::synthetic_rules(n));
             } else {
-                rules.extend(
-                    parse_rules(trimmed).map_err(|e| format!("bad inline rule: {e}"))?,
-                );
+                rules.extend(parse_rules(trimmed).map_err(|e| format!("bad inline rule: {e}"))?);
             }
         }
         if rules.is_empty() {
@@ -59,23 +57,11 @@ impl IdsMatcher {
     pub fn rule_count(&self) -> usize {
         self.compiled.rule_count()
     }
-}
 
-impl Element for IdsMatcher {
-    fn class_name(&self) -> &'static str {
-        "IDSMatcher"
-    }
-
-    fn n_outputs(&self) -> usize {
-        2
-    }
-
-    fn process(&mut self, _port: usize, pkt: Packet, ctx: &mut ElementContext<'_>) {
+    /// Scans one packet and routes it (no meter charge — callers charge).
+    fn scan_one(&mut self, pkt: Packet, ctx: &mut ElementContext<'_>) {
         let payload = pkt.app_payload();
-        let amplified = ctx.env.in_enclave && ctx.env.hardware_mode;
-        ctx.env.meter.add(ctx.env.cost.ids_cycles(payload.len(), amplified));
         self.scanned_bytes += payload.len() as u64;
-
         let header = pkt.header();
         let view = PacketView {
             src: header.src,
@@ -92,6 +78,44 @@ impl Element for IdsMatcher {
             ctx.output(1, pkt);
         } else {
             ctx.output(0, pkt);
+        }
+    }
+}
+
+impl Element for IdsMatcher {
+    fn class_name(&self) -> &'static str {
+        "IDSMatcher"
+    }
+
+    fn n_outputs(&self) -> usize {
+        2
+    }
+
+    fn process(&mut self, _port: usize, pkt: Packet, ctx: &mut ElementContext<'_>) {
+        let amplified = ctx.env.in_enclave && ctx.env.hardware_mode;
+        ctx.env
+            .meter
+            .add(ctx.env.cost.ids_cycles(pkt.app_payload().len(), amplified));
+        self.scan_one(pkt, ctx);
+    }
+
+    /// Vectorised fast path: the per-packet scan costs are summed and
+    /// charged in one meter update, and the Aho–Corasick automaton stays
+    /// hot in cache across the batch.
+    fn process_batch(
+        &mut self,
+        _port: usize,
+        batch: &mut PacketBatch,
+        ctx: &mut ElementContext<'_>,
+    ) {
+        let amplified = ctx.env.in_enclave && ctx.env.hardware_mode;
+        let cycles: u64 = batch
+            .iter()
+            .map(|pkt| ctx.env.cost.ids_cycles(pkt.app_payload().len(), amplified))
+            .sum();
+        ctx.env.meter.add(cycles);
+        for pkt in batch.drain() {
+            self.scan_one(pkt, ctx);
         }
     }
 
@@ -132,18 +156,67 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn tcp(payload: &[u8]) -> Packet {
-        Packet::tcp(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 1, 1), 40000, 80, 0, payload)
+        Packet::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 1, 1),
+            40000,
+            80,
+            0,
+            payload,
+        )
     }
 
-    fn run_with_env(
-        elem: &mut dyn Element,
-        p: Packet,
-        env: &ElementEnv,
-    ) -> Vec<(usize, Packet)> {
+    fn run_with_env(elem: &mut dyn Element, p: Packet, env: &ElementEnv) -> Vec<(usize, Packet)> {
+        let mut outputs = Vec::new();
         let mut emitted = Vec::new();
-        let mut ctx = ElementContext::new(&mut emitted, env);
+        let mut ctx = ElementContext::new(&mut outputs, &mut emitted, env);
         elem.process(0, p, &mut ctx);
-        ctx.outputs
+        outputs
+    }
+
+    #[test]
+    fn batch_scan_matches_sequential_costs_and_outcomes() {
+        let env_a = ElementEnv::default();
+        let env_b = ElementEnv::default();
+        let rule = r#"drop tcp any any -> any any (msg:"worm"; content:"EB-WORM"; sid:7777;)"#;
+        let mut seq = IdsMatcher::factory(&[rule.to_string()], &env_a).unwrap();
+        let mut bat = IdsMatcher::factory(&[rule.to_string()], &env_b).unwrap();
+        let packets = [
+            tcp(b"benign data"),
+            tcp(b"xx EB-WORM xx"),
+            tcp(b"more benign bytes here"),
+        ];
+
+        env_a.meter.take();
+        let mut seq_ports = Vec::new();
+        for p in packets.iter().cloned() {
+            seq_ports.extend(
+                run_with_env(seq.as_mut(), p, &env_a)
+                    .into_iter()
+                    .map(|(port, _)| port),
+            );
+        }
+        let seq_cycles = env_a.meter.take();
+
+        env_b.meter.take();
+        let mut outputs = Vec::new();
+        let mut emitted = Vec::new();
+        let mut ctx = ElementContext::new(&mut outputs, &mut emitted, &env_b);
+        let mut batch: PacketBatch = packets.into_iter().collect();
+        bat.process_batch(0, &mut batch, &mut ctx);
+        let bat_cycles = env_b.meter.take();
+        let bat_ports: Vec<usize> = outputs.iter().map(|(port, _)| *port).collect();
+
+        assert_eq!(bat_ports, seq_ports);
+        assert_eq!(
+            bat_cycles, seq_cycles,
+            "summed batch charge equals per-packet charges"
+        );
+        assert_eq!(seq.read_handler("drops"), bat.read_handler("drops"));
+        assert_eq!(
+            seq.read_handler("scanned_bytes"),
+            bat.read_handler("scanned_bytes")
+        );
     }
 
     #[test]
@@ -166,8 +239,10 @@ mod tests {
     fn malicious_content_detected_and_dropped() {
         let env = ElementEnv::default();
         let mut ids = IdsMatcher::factory(
-            &[r#"drop tcp any any -> any any (msg:"worm"; content:"EB-WORM"; sid:7777;)"#
-                .to_string()],
+            &[
+                r#"drop tcp any any -> any any (msg:"worm"; content:"EB-WORM"; sid:7777;)"#
+                    .to_string(),
+            ],
             &env,
         )
         .unwrap();
@@ -181,8 +256,10 @@ mod tests {
     fn alert_rules_pass_but_count() {
         let env = ElementEnv::default();
         let mut ids = IdsMatcher::factory(
-            &[r#"alert tcp any any -> any any (msg:"sus"; content:"EB-SUS"; sid:7778;)"#
-                .to_string()],
+            &[
+                r#"alert tcp any any -> any any (msg:"sus"; content:"EB-SUS"; sid:7778;)"#
+                    .to_string(),
+            ],
             &env,
         )
         .unwrap();
@@ -194,9 +271,11 @@ mod tests {
     #[test]
     fn enclave_hardware_mode_amplifies_cost() {
         let native_env = ElementEnv::default();
-        let mut enclave_env = ElementEnv::default();
-        enclave_env.in_enclave = true;
-        enclave_env.hardware_mode = true;
+        let enclave_env = ElementEnv {
+            in_enclave: true,
+            hardware_mode: true,
+            ..ElementEnv::default()
+        };
 
         let mut ids_n = IdsMatcher::factory(&["COMMUNITY 10".into()], &native_env).unwrap();
         let mut ids_e = IdsMatcher::factory(&["COMMUNITY 10".into()], &enclave_env).unwrap();
@@ -210,7 +289,10 @@ mod tests {
         let enclave_cost = enclave_env.meter.read();
 
         let ratio = enclave_cost as f64 / native_cost as f64;
-        assert!((ratio - native_env.cost.epc_amplification).abs() < 0.1, "ratio {ratio}");
+        assert!(
+            (ratio - native_env.cost.epc_amplification).abs() < 0.1,
+            "ratio {ratio}"
+        );
     }
 
     #[test]

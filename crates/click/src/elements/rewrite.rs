@@ -37,7 +37,11 @@ impl IpAddrRewriter {
                 _ => return Err(format!("bad IPAddrRewriter option `{arg}`")),
             }
         }
-        Ok(Box::new(IpAddrRewriter { src, dst, rewritten: 0 }))
+        Ok(Box::new(IpAddrRewriter {
+            src,
+            dst,
+            rewritten: 0,
+        }))
     }
 }
 
@@ -86,7 +90,13 @@ impl Meter {
         if rate_bps == 0 {
             return Err("Meter rate must be > 0".into());
         }
-        Ok(Box::new(Meter { rate_bps, ewma_bps: 0.0, last: None, below: 0, above: 0 }))
+        Ok(Box::new(Meter {
+            rate_bps,
+            ewma_bps: 0.0,
+            last: None,
+            below: 0,
+            above: 0,
+        }))
     }
 }
 
@@ -163,20 +173,18 @@ mod tests {
     }
 
     fn run(elem: &mut dyn Element, p: Packet, env: &ElementEnv) -> (usize, Packet) {
+        let mut outputs = Vec::new();
         let mut emitted = Vec::new();
-        let mut ctx = ElementContext::new(&mut emitted, env);
+        let mut ctx = ElementContext::new(&mut outputs, &mut emitted, env);
         elem.process(0, p, &mut ctx);
-        ctx.outputs.into_iter().next().unwrap()
+        outputs.into_iter().next().unwrap()
     }
 
     #[test]
     fn rewriter_changes_addresses_and_fixes_checksums() {
         let env = ElementEnv::default();
-        let mut e = IpAddrRewriter::factory(
-            &["SRC 192.0.2.7".into(), "DST 10.1.0.5".into()],
-            &env,
-        )
-        .unwrap();
+        let mut e = IpAddrRewriter::factory(&["SRC 192.0.2.7".into(), "DST 10.1.0.5".into()], &env)
+            .unwrap();
         let (_, out) = run(e.as_mut(), pkt(100), &env);
         assert_eq!(out.header().src, Ipv4Addr::new(192, 0, 2, 7));
         assert_eq!(out.header().dst, Ipv4Addr::new(10, 1, 0, 5));
@@ -191,7 +199,11 @@ mod tests {
         let mut e = IpAddrRewriter::factory(&["SRC 192.0.2.7".into()], &env).unwrap();
         let (_, out) = run(e.as_mut(), pkt(10), &env);
         assert_eq!(out.header().src, Ipv4Addr::new(192, 0, 2, 7));
-        assert_eq!(out.header().dst, Ipv4Addr::new(10, 0, 1, 1), "dst untouched");
+        assert_eq!(
+            out.header().dst,
+            Ipv4Addr::new(10, 0, 1, 1),
+            "dst untouched"
+        );
     }
 
     #[test]

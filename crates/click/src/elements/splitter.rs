@@ -184,7 +184,9 @@ pub struct UntrustedSplitter {
 impl UntrustedSplitter {
     /// Factory for the registry.
     pub fn factory(args: &[String], _env: &ElementEnv) -> Result<Box<dyn Element>, String> {
-        Ok(Box::new(UntrustedSplitter { shaper: parse_shaper_args(args, 1)? }))
+        Ok(Box::new(UntrustedSplitter {
+            shaper: parse_shaper_args(args, 1)?,
+        }))
     }
 }
 
@@ -242,21 +244,19 @@ mod tests {
     }
 
     fn run(elem: &mut dyn Element, p: Packet, env: &ElementEnv) -> usize {
+        let mut outputs = Vec::new();
         let mut emitted = Vec::new();
-        let mut ctx = ElementContext::new(&mut emitted, env);
+        let mut ctx = ElementContext::new(&mut outputs, &mut emitted, env);
         elem.process(0, p, &mut ctx);
-        ctx.outputs[0].0
+        outputs[0].0
     }
 
     #[test]
     fn burst_then_throttle() {
         let env = ElementEnv::default();
         // 800 kbps -> 1000 bytes of burst (10 ms default burst).
-        let mut s = TrustedSplitter::factory(
-            &["RATE 800000".into(), "SAMPLE 1".into()],
-            &env,
-        )
-        .unwrap();
+        let mut s =
+            TrustedSplitter::factory(&["RATE 800000".into(), "SAMPLE 1".into()], &env).unwrap();
         // A 128-byte packet fits the burst; seven more drain it; the ninth
         // exceeds (9 * 128 = 1152 > 1000).
         for i in 0..7 {
@@ -279,17 +279,19 @@ mod tests {
         assert_eq!(run(s.as_mut(), pkt(1100), &env), 1, "bucket drained");
         // Advance 5 ms -> ~5 KB refilled.
         env.clock.advance(SimDuration::from_millis(5));
-        assert_eq!(run(s.as_mut(), pkt(1100), &env), 0, "refilled after time passes");
+        assert_eq!(
+            run(s.as_mut(), pkt(1100), &env),
+            0,
+            "refilled after time passes"
+        );
     }
 
     #[test]
     fn trusted_sampling_reduces_time_reads() {
         let env = ElementEnv::default();
-        let mut s = TrustedSplitter::factory(
-            &["RATE 1000000000".into(), "SAMPLE 100".into()],
-            &env,
-        )
-        .unwrap();
+        let mut s =
+            TrustedSplitter::factory(&["RATE 1000000000".into(), "SAMPLE 100".into()], &env)
+                .unwrap();
         env.meter.take();
         for _ in 0..100 {
             run(s.as_mut(), pkt(100), &env);

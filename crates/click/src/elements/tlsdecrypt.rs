@@ -83,8 +83,7 @@ impl Element for TlsDecrypt {
                         ctx.env
                             .meter
                             .add(ctx.env.cost.crypto_cycles(plaintext.len()));
-                        let mut rebuilt =
-                            Vec::with_capacity(RECORD_HEADER_LEN + plaintext.len());
+                        let mut rebuilt = Vec::with_capacity(RECORD_HEADER_LEN + plaintext.len());
                         rebuilt.extend_from_slice(&seq.to_be_bytes());
                         rebuilt.extend_from_slice(&plaintext);
                         pkt.replace_app_payload(&rebuilt);
@@ -114,10 +113,11 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn run(elem: &mut dyn Element, p: Packet, env: &ElementEnv) -> Packet {
+        let mut outputs = Vec::new();
         let mut emitted = Vec::new();
-        let mut ctx = ElementContext::new(&mut emitted, env);
+        let mut ctx = ElementContext::new(&mut outputs, &mut emitted, env);
         elem.process(0, p, &mut ctx);
-        ctx.outputs.into_iter().next().unwrap().1
+        outputs.into_iter().next().unwrap().1
     }
 
     #[test]
@@ -145,7 +145,8 @@ mod tests {
         let key = [9u8; 16];
         let src = Ipv4Addr::new(10, 0, 0, 1);
         let dst = Ipv4Addr::new(93, 184, 216, 34);
-        env.tls_keys.register(FlowId::new(src, 40000, dst, 443), key);
+        env.tls_keys
+            .register(FlowId::new(src, 40000, dst, 443), key);
 
         let record = seal_record(&key, 3, b"confidential request body!");
         let pkt = Packet::tcp(src, dst, 40000, 443, 0, &record);
@@ -173,7 +174,13 @@ mod tests {
     #[test]
     fn non_tcp_ignored() {
         let env = ElementEnv::default();
-        let pkt = Packet::udp(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 1, 2, b"u");
+        let pkt = Packet::udp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            1,
+            2,
+            b"u",
+        );
         let mut elem = TlsDecrypt::factory(&[], &env).unwrap();
         let out = run(elem.as_mut(), pkt.clone(), &env);
         assert_eq!(out.bytes(), pkt.bytes());
@@ -184,7 +191,8 @@ mod tests {
         let env = ElementEnv::default();
         let src = Ipv4Addr::new(10, 0, 0, 1);
         let dst = Ipv4Addr::new(2, 2, 2, 2);
-        env.tls_keys.register(FlowId::new(src, 1, dst, 443), [1u8; 16]);
+        env.tls_keys
+            .register(FlowId::new(src, 1, dst, 443), [1u8; 16]);
         let pkt = Packet::tcp(src, dst, 1, 443, 0, b"abc"); // < 8 bytes
         let mut elem = TlsDecrypt::factory(&[], &env).unwrap();
         run(elem.as_mut(), pkt, &env);

@@ -19,7 +19,9 @@ impl std::fmt::Debug for ElementRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut classes: Vec<&str> = self.factories.keys().map(String::as_str).collect();
         classes.sort_unstable();
-        f.debug_struct("ElementRegistry").field("classes", &classes).finish()
+        f.debug_struct("ElementRegistry")
+            .field("classes", &classes)
+            .finish()
     }
 }
 
@@ -51,8 +53,10 @@ impl ElementRegistry {
             .factories
             .get(class)
             .ok_or_else(|| ClickError::UnknownClass(class.to_string()))?;
-        factory(args, env)
-            .map_err(|message| ClickError::Configure { element: name.to_string(), message })
+        factory(args, env).map_err(|message| ClickError::Configure {
+            element: name.to_string(),
+            message,
+        })
     }
 
     /// True if `class` is registered.
@@ -112,7 +116,9 @@ mod tests {
     #[test]
     fn unknown_class_rejected() {
         let r = ElementRegistry::standard();
-        let err = r.create("x", "NoSuchElement", &[], &ElementEnv::default()).unwrap_err();
+        let err = r
+            .create("x", "NoSuchElement", &[], &ElementEnv::default())
+            .unwrap_err();
         assert_eq!(err, ClickError::UnknownClass("NoSuchElement".into()));
     }
 

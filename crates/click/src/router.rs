@@ -1,12 +1,36 @@
 //! The router: instantiates a parsed configuration into an element graph,
-//! pushes packets through it, and hot-swaps configurations at runtime.
+//! pushes packets (singly or as whole batches) through it, and hot-swaps
+//! configurations at runtime.
+//!
+//! # Batched datapath
+//!
+//! [`Router::process`] pushes one packet; [`Router::process_batch`]
+//! pushes a whole [`PacketBatch`] with one graph traversal, calling each
+//! element's [`Element::process_batch`] over every packet queued at that
+//! element. All per-traversal state (the work queues, the per-element
+//! pending queues, the output scratch) lives in the `Router` and is
+//! recycled across calls, so the steady-state hot path allocates nothing.
+//!
+//! Batch processing is equivalent to pushing the same packets one at a
+//! time for **linear pipelines** (every evaluation use case): per-element
+//! arrival order preserves the input order, handler-visible element state
+//! evolves identically, total cycle charges match, and the emitted packet
+//! sequence is byte-identical — property-tested in
+//! `tests/batch_parity.rs`. For fan-out configurations the batched
+//! scheduler processes per element rather than depth-first per packet, so
+//! emission order differs (`Tee` into several `ToDevice`s groups
+//! emissions per exit element), and where fan-out paths *re-merge* into
+//! an order-sensitive stateful element (e.g. two `Tee` branches feeding
+//! one `RoundRobinSwitch`) the interleaving seen by that element — and
+//! hence its routing decisions — can diverge from the single-packet
+//! path's.
 
 use crate::config::ConfigGraph;
 use crate::element::{Element, ElementContext, ElementEnv};
 use crate::error::ClickError;
 use crate::registry::ElementRegistry;
 use endbox_netsim::packet::Verdict;
-use endbox_netsim::Packet;
+use endbox_netsim::{Packet, PacketBatch};
 use std::collections::VecDeque;
 
 /// Result of pushing one packet through the router.
@@ -17,6 +41,55 @@ pub struct RouterOutput {
     /// True if at least one packet was emitted — the signal the modified
     /// `ToDevice` gives OpenVPN (§IV).
     pub accepted: bool,
+    /// Packets discarded because an element pushed them to an unconnected
+    /// output port. Previously these vanished silently; the counter makes
+    /// configuration gaps observable.
+    pub dropped: u64,
+}
+
+/// Result of pushing a [`PacketBatch`] through the router.
+#[derive(Debug)]
+pub struct BatchOutput {
+    /// Packets emitted by `ToDevice` elements, each carrying the
+    /// `batch_slot` annotation of the input packet it originated from.
+    pub emitted: PacketBatch,
+    /// Per input packet (by batch position): `Accept` if at least one
+    /// emission originated from it, `Drop` otherwise.
+    pub verdicts: Vec<Verdict>,
+    /// Number of input packets with verdict `Accept`.
+    pub accepted: usize,
+    /// Packets discarded at unconnected output ports.
+    pub dropped: u64,
+}
+
+impl BatchOutput {
+    /// First emitted packet per input slot (slot-indexed; `None` for
+    /// inputs with no emission), with the batch-slot annotation cleared.
+    ///
+    /// This mirrors the single-packet hot path, which seals exactly the
+    /// *first* emission of each accepted packet.
+    pub fn first_emissions_by_slot(self) -> Vec<Option<Packet>> {
+        let mut by_slot: Vec<Option<Packet>> = (0..self.verdicts.len()).map(|_| None).collect();
+        for mut pkt in self.emitted {
+            if let Some(slot) = pkt.meta.batch_slot {
+                let cell = &mut by_slot[slot as usize];
+                if cell.is_none() {
+                    pkt.meta.batch_slot = None;
+                    *cell = Some(pkt);
+                }
+            }
+        }
+        by_slot
+    }
+
+    /// First emitted packet of each accepted input, in input order, with
+    /// the batch-slot annotation cleared.
+    pub fn into_first_emissions(self) -> Vec<Packet> {
+        self.first_emissions_by_slot()
+            .into_iter()
+            .flatten()
+            .collect()
+    }
 }
 
 /// A running Click router.
@@ -30,6 +103,14 @@ pub struct Router {
     env: ElementEnv,
     config_text: String,
     hotswaps: u64,
+    /// Single-packet traversal worklist (allocation reused across calls).
+    scratch_queue: VecDeque<(usize, usize, Packet)>,
+    /// Element-output scratch handed to every `ElementContext`.
+    scratch_outputs: Vec<(usize, Packet)>,
+    /// Per-element pending queues for batch traversal.
+    pending: Vec<VecDeque<(usize, Packet)>>,
+    /// Batch handed to `Element::process_batch` (allocation reused).
+    scratch_batch: PacketBatch,
 }
 
 impl std::fmt::Debug for Router {
@@ -91,7 +172,13 @@ fn build(
     }
 
     let entry = classes.iter().position(|c| c == "FromDevice");
-    Ok(BuiltGraph { elements, names, classes, out_edges, entry })
+    Ok(BuiltGraph {
+        elements,
+        names,
+        classes,
+        out_edges,
+        entry,
+    })
 }
 
 impl Router {
@@ -117,6 +204,9 @@ impl Router {
     ) -> Result<Router, ClickError> {
         let graph = ConfigGraph::parse(config_text)?;
         let built = build(&graph, registry, &env)?;
+        let n = built.elements.len();
+        let mut pending = Vec::with_capacity(n);
+        pending.resize_with(n, VecDeque::new);
         Ok(Router {
             elements: built.elements,
             names: built.names,
@@ -126,36 +216,134 @@ impl Router {
             env,
             config_text: config_text.to_string(),
             hotswaps: 0,
+            scratch_queue: VecDeque::with_capacity(4),
+            scratch_outputs: Vec::with_capacity(4),
+            pending,
+            scratch_batch: PacketBatch::new(),
         })
     }
 
     /// Pushes one packet into the router at its `FromDevice` entry and runs
-    /// it to completion. Returns emitted packets and the accept/reject
-    /// verdict.
+    /// it to completion. Returns emitted packets, the accept/reject
+    /// verdict, and the unconnected-port drop count.
     pub fn process(&mut self, pkt: Packet) -> RouterOutput {
         let mut emitted = Vec::new();
+        let mut dropped = 0u64;
         let Some(entry) = self.entry else {
             // No FromDevice: nothing to do, packet rejected.
-            return RouterOutput { emitted, accepted: false };
+            return RouterOutput {
+                emitted,
+                accepted: false,
+                dropped,
+            };
         };
-        let mut queue: VecDeque<(usize, usize, Packet)> = VecDeque::with_capacity(4);
+        // Scratch buffers are moved out of `self` for the traversal so the
+        // element calls can borrow `self.elements` mutably; their
+        // allocations return afterwards.
+        let mut queue = std::mem::take(&mut self.scratch_queue);
+        let mut outputs = std::mem::take(&mut self.scratch_outputs);
         queue.push_back((entry, 0, pkt));
         while let Some((idx, port, pkt)) = queue.pop_front() {
             self.env.meter.add(self.env.cost.click_element_base);
-            let mut ctx = ElementContext::new(&mut emitted, &self.env);
+            let mut ctx = ElementContext::new(&mut outputs, &mut emitted, &self.env);
             self.elements[idx].process(port, pkt, &mut ctx);
-            for (out_port, mut out_pkt) in ctx.outputs {
+            for (out_port, mut out_pkt) in outputs.drain(..) {
                 match self.out_edges[idx].get(out_port).copied().flatten() {
                     Some((to, to_port)) => queue.push_back((to, to_port, out_pkt)),
                     None => {
                         // Packet pushed to an unconnected port: dropped.
                         out_pkt.meta.verdict = Verdict::Drop;
+                        dropped += 1;
                     }
                 }
             }
         }
+        self.scratch_queue = queue;
+        self.scratch_outputs = outputs;
         let accepted = !emitted.is_empty();
-        RouterOutput { emitted, accepted }
+        RouterOutput {
+            emitted,
+            accepted,
+            dropped,
+        }
+    }
+
+    /// Pushes a whole batch through the router in one traversal.
+    ///
+    /// Packets are queued per element and handed to
+    /// [`Element::process_batch`] together, so hot elements amortise their
+    /// fixed costs across the batch. See the module docs for the
+    /// equivalence guarantees relative to N single [`Router::process`]
+    /// calls.
+    pub fn process_batch(&mut self, mut batch: PacketBatch) -> BatchOutput {
+        let n_in = batch.len();
+        let mut emitted: Vec<Packet> = Vec::with_capacity(n_in);
+        let mut dropped = 0u64;
+        let Some(entry) = self.entry else {
+            batch.clear();
+            return BatchOutput {
+                emitted: PacketBatch::new(),
+                verdicts: vec![Verdict::Drop; n_in],
+                accepted: 0,
+                dropped,
+            };
+        };
+
+        let mut pending = std::mem::take(&mut self.pending);
+        if pending.len() != self.elements.len() {
+            pending.clear();
+            pending.resize_with(self.elements.len(), VecDeque::new);
+        }
+        for (slot, mut pkt) in batch.drain().enumerate() {
+            pkt.meta.batch_slot = Some(slot as u32);
+            pending[entry].push_back((0usize, pkt));
+        }
+
+        let mut outputs = std::mem::take(&mut self.scratch_outputs);
+        let mut work = std::mem::take(&mut self.scratch_batch);
+        while let Some(idx) = (0..self.elements.len()).find(|&i| !pending[i].is_empty()) {
+            // Longest same-input-port run currently queued at `idx`.
+            let port = pending[idx].front().expect("non-empty").0;
+            work.clear();
+            while pending[idx].front().is_some_and(|&(p, _)| p == port) {
+                work.push(pending[idx].pop_front().expect("checked front").1);
+            }
+            self.env
+                .meter
+                .add(self.env.cost.click_element_base * work.len() as u64);
+            let mut ctx = ElementContext::new(&mut outputs, &mut emitted, &self.env);
+            self.elements[idx].process_batch(port, &mut work, &mut ctx);
+            for (out_port, mut out_pkt) in outputs.drain(..) {
+                match self.out_edges[idx].get(out_port).copied().flatten() {
+                    Some((to, to_port)) => pending[to].push_back((to_port, out_pkt)),
+                    None => {
+                        out_pkt.meta.verdict = Verdict::Drop;
+                        dropped += 1;
+                    }
+                }
+            }
+        }
+        self.pending = pending;
+        self.scratch_outputs = outputs;
+        self.scratch_batch = work;
+
+        let mut verdicts = vec![Verdict::Drop; n_in];
+        let mut accepted = 0usize;
+        for pkt in &emitted {
+            if let Some(slot) = pkt.meta.batch_slot {
+                let v = &mut verdicts[slot as usize];
+                if *v != Verdict::Accept {
+                    *v = Verdict::Accept;
+                    accepted += 1;
+                }
+            }
+        }
+        BatchOutput {
+            emitted: PacketBatch::from(emitted),
+            verdicts,
+            accepted,
+            dropped,
+        }
     }
 
     /// Hot-swaps to a new configuration, transferring state between
@@ -175,8 +363,7 @@ impl Router {
         // Charge the hot-swap cost model (Table II): parse + instantiate,
         // plus device setup when this Click owns its devices (vanilla).
         let cost = &self.env.cost;
-        let mut cycles =
-            cost.hotswap_base + cost.element_instantiate * built.elements.len() as u64;
+        let mut cycles = cost.hotswap_base + cost.element_instantiate * built.elements.len() as u64;
         if self.env.device_io {
             cycles += cost.device_setup;
         }
@@ -203,6 +390,9 @@ impl Router {
         self.entry = built.entry;
         self.config_text = new_config.to_string();
         self.hotswaps += 1;
+        // The per-element pending queues must track the new graph size.
+        self.pending.clear();
+        self.pending.resize_with(self.elements.len(), VecDeque::new);
         Ok(())
     }
 
@@ -258,7 +448,13 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn pkt() -> Packet {
-        Packet::udp(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 1, 1), 1, 2, b"payload")
+        Packet::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 1, 1),
+            1,
+            2,
+            b"payload",
+        )
     }
 
     #[test]
@@ -283,7 +479,8 @@ mod tests {
 
     #[test]
     fn unconnected_port_drops() {
-        // IPFilter's deny port (1) is unconnected: denied packets vanish.
+        // IPFilter's deny port (1) is unconnected: denied packets are
+        // dropped — and now counted instead of vanishing silently.
         let mut r = Router::from_config(
             "FromDevice(t) -> f :: IPFilter(deny dst port 2, allow all) -> ToDevice(t);",
             ElementEnv::default(),
@@ -291,7 +488,124 @@ mod tests {
         .unwrap();
         let out = r.process(pkt()); // dst port 2 -> denied
         assert!(!out.accepted);
+        assert_eq!(out.dropped, 1, "unconnected-port drop must be observable");
         assert_eq!(r.read_handler("f", "denied").as_deref(), Some("1"));
+
+        // Accepted packets record no drops.
+        let ok = Packet::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 1, 1),
+            1,
+            99,
+            b"x",
+        );
+        let out = r.process(ok);
+        assert!(out.accepted);
+        assert_eq!(out.dropped, 0);
+    }
+
+    #[test]
+    fn batch_matches_single_packet_path() {
+        let config = "FromDevice(t) -> c :: Counter \
+                      -> f :: IPFilter(deny dst port 2, allow all) -> ToDevice(t);";
+        let mut single = Router::from_config(config, ElementEnv::default()).unwrap();
+        let mut batched = Router::from_config(config, ElementEnv::default()).unwrap();
+
+        let packets: Vec<Packet> = (0..8)
+            .map(|i| {
+                Packet::udp(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    Ipv4Addr::new(10, 0, 1, 1),
+                    1,
+                    if i % 3 == 0 { 2 } else { 40 + i }, // every third denied
+                    b"payload",
+                )
+            })
+            .collect();
+
+        let mut single_emitted = Vec::new();
+        let mut single_verdicts = Vec::new();
+        for p in packets.iter().cloned() {
+            let out = single.process(p);
+            single_verdicts.push(if out.accepted {
+                Verdict::Accept
+            } else {
+                Verdict::Drop
+            });
+            single_emitted.extend(out.emitted);
+        }
+
+        let out = batched.process_batch(PacketBatch::from(packets));
+        assert_eq!(out.verdicts, single_verdicts);
+        assert_eq!(out.accepted, 5);
+        assert_eq!(out.dropped, 3);
+        let batch_bytes: Vec<&[u8]> = out.emitted.iter().map(Packet::bytes).collect();
+        let single_bytes: Vec<&[u8]> = single_emitted.iter().map(Packet::bytes).collect();
+        assert_eq!(batch_bytes, single_bytes);
+        // Element state (Counter) evolved identically.
+        assert_eq!(
+            single.read_handler("c", "count"),
+            batched.read_handler("c", "count")
+        );
+    }
+
+    #[test]
+    fn batch_charges_same_cycles_as_singles() {
+        let config = "FromDevice(t) -> f :: IPFilter(deny dst port 2, allow all) \
+                      -> ids :: IDSMatcher(COMMUNITY 20) -> ToDevice(t); ids[1] -> Discard;";
+        let env_a = ElementEnv::default();
+        let meter_a = env_a.meter.clone();
+        let mut single = Router::from_config(config, env_a).unwrap();
+        let env_b = ElementEnv::default();
+        let meter_b = env_b.meter.clone();
+        let mut batched = Router::from_config(config, env_b).unwrap();
+
+        let packets: Vec<Packet> = (0..6).map(|_| pkt()).collect();
+        meter_a.take();
+        for p in packets.iter().cloned() {
+            single.process(p);
+        }
+        meter_b.take();
+        batched.process_batch(PacketBatch::from(packets));
+        assert_eq!(
+            meter_a.take(),
+            meter_b.take(),
+            "batching must not change cycle totals"
+        );
+    }
+
+    #[test]
+    fn batch_emitted_carry_slot_annotations() {
+        let mut r =
+            Router::from_config("FromDevice(t) -> ToDevice(t);", ElementEnv::default()).unwrap();
+        let batch: PacketBatch = (0..3).map(|_| pkt()).collect();
+        let out = r.process_batch(batch);
+        let slots: Vec<Option<u32>> = out.emitted.iter().map(|p| p.meta.batch_slot).collect();
+        assert_eq!(slots, vec![Some(0), Some(1), Some(2)]);
+        assert!(out
+            .emitted
+            .iter()
+            .all(|p| p.meta.verdict == Verdict::Accept));
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut r =
+            Router::from_config("FromDevice(t) -> ToDevice(t);", ElementEnv::default()).unwrap();
+        let out = r.process_batch(PacketBatch::new());
+        assert_eq!(out.accepted, 0);
+        assert!(out.emitted.is_empty());
+        assert!(out.verdicts.is_empty());
+    }
+
+    #[test]
+    fn batch_after_hotswap_uses_new_graph() {
+        let mut r =
+            Router::from_config("FromDevice(t) -> ToDevice(t);", ElementEnv::default()).unwrap();
+        r.process_batch((0..4).map(|_| pkt()).collect());
+        r.hot_swap("FromDevice(t) -> Discard;").unwrap();
+        let out = r.process_batch((0..4).map(|_| pkt()).collect());
+        assert_eq!(out.accepted, 0, "new config discards everything");
     }
 
     #[test]
@@ -329,11 +643,13 @@ mod tests {
         )
         .unwrap();
         r.process(pkt());
-        r.hot_swap(
-            "FromDevice(t) -> c :: Counter -> f :: IPFilter(allow all) -> ToDevice(t);",
-        )
-        .unwrap();
-        assert_eq!(r.read_handler("c", "count").as_deref(), Some("1"), "state transferred");
+        r.hot_swap("FromDevice(t) -> c :: Counter -> f :: IPFilter(allow all) -> ToDevice(t);")
+            .unwrap();
+        assert_eq!(
+            r.read_handler("c", "count").as_deref(),
+            Some("1"),
+            "state transferred"
+        );
         r.process(pkt());
         assert_eq!(r.read_handler("c", "count").as_deref(), Some("2"));
         assert_eq!(r.hotswap_count(), 1);
@@ -341,13 +657,12 @@ mod tests {
 
     #[test]
     fn hotswap_failure_keeps_old_config() {
-        let mut r = Router::from_config(
-            "FromDevice(t) -> ToDevice(t);",
-            ElementEnv::default(),
-        )
-        .unwrap();
+        let mut r =
+            Router::from_config("FromDevice(t) -> ToDevice(t);", ElementEnv::default()).unwrap();
         let old = r.config_text().to_string();
-        assert!(r.hot_swap("FromDevice(t) -> NoSuchElement -> ToDevice(t);").is_err());
+        assert!(r
+            .hot_swap("FromDevice(t) -> NoSuchElement -> ToDevice(t);")
+            .is_err());
         assert_eq!(r.config_text(), old);
         assert!(r.process(pkt()).accepted, "old config still works");
         assert_eq!(r.hotswap_count(), 0);
@@ -364,8 +679,10 @@ mod tests {
         r1.hot_swap("FromDevice(t) -> ToDevice(t);").unwrap();
         let endbox_cycles = meter_endbox.read();
 
-        let mut env_vanilla = ElementEnv::default();
-        env_vanilla.device_io = true;
+        let env_vanilla = ElementEnv {
+            device_io: true,
+            ..ElementEnv::default()
+        };
         let meter_vanilla = env_vanilla.meter.clone();
         let mut r2 = Router::from_config("FromDevice(t) -> ToDevice(t);", env_vanilla).unwrap();
         meter_vanilla.take();
@@ -377,11 +694,8 @@ mod tests {
 
     #[test]
     fn bad_port_connections_rejected() {
-        let err = Router::from_config(
-            "FromDevice(t) -> [1]ToDevice(t);",
-            ElementEnv::default(),
-        )
-        .unwrap_err();
+        let err = Router::from_config("FromDevice(t) -> [1]ToDevice(t);", ElementEnv::default())
+            .unwrap_err();
         assert!(matches!(err, ClickError::BadConnection(_)));
 
         let err = Router::from_config(
@@ -426,11 +740,8 @@ mod tests {
         let env = ElementEnv::default();
         let meter = env.meter.clone();
         let cost = env.cost.clone();
-        let mut r = Router::from_config(
-            "FromDevice(t) -> Counter -> Counter -> ToDevice(t);",
-            env,
-        )
-        .unwrap();
+        let mut r = Router::from_config("FromDevice(t) -> Counter -> Counter -> ToDevice(t);", env)
+            .unwrap();
         meter.take();
         r.process(pkt());
         // 4 elements traversed.

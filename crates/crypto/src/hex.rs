@@ -28,13 +28,17 @@ pub fn encode(bytes: &[u8]) -> String {
 /// ```
 pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
     let s = s.as_bytes();
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(CryptoError::InvalidHex);
     }
     let mut out = Vec::with_capacity(s.len() / 2);
     for chunk in s.chunks(2) {
-        let hi = (chunk[0] as char).to_digit(16).ok_or(CryptoError::InvalidHex)?;
-        let lo = (chunk[1] as char).to_digit(16).ok_or(CryptoError::InvalidHex)?;
+        let hi = (chunk[0] as char)
+            .to_digit(16)
+            .ok_or(CryptoError::InvalidHex)?;
+        let lo = (chunk[1] as char)
+            .to_digit(16)
+            .ok_or(CryptoError::InvalidHex)?;
         out.push(((hi << 4) | lo) as u8);
     }
     Ok(out)

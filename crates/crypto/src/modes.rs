@@ -23,7 +23,7 @@ pub fn cbc_encrypt(aes: &Aes128, iv: &[u8; BLOCK_LEN], plaintext: &[u8]) -> Vec<
     let pad = BLOCK_LEN - (plaintext.len() % BLOCK_LEN);
     let mut data = Vec::with_capacity(plaintext.len() + pad);
     data.extend_from_slice(plaintext);
-    data.extend(std::iter::repeat(pad as u8).take(pad));
+    data.extend(std::iter::repeat_n(pad as u8, pad));
 
     let mut prev = *iv;
     for chunk in data.chunks_exact_mut(BLOCK_LEN) {
@@ -50,7 +50,7 @@ pub fn cbc_decrypt(
     iv: &[u8; BLOCK_LEN],
     ciphertext: &[u8],
 ) -> Result<Vec<u8>, CryptoError> {
-    if ciphertext.is_empty() || ciphertext.len() % BLOCK_LEN != 0 {
+    if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(BLOCK_LEN) {
         return Err(CryptoError::InvalidLength);
     }
     let mut out = Vec::with_capacity(ciphertext.len());
@@ -140,7 +140,10 @@ mod tests {
         let aes = nist_key();
         let iv = [0u8; 16];
         assert_eq!(cbc_decrypt(&aes, &iv, &[]), Err(CryptoError::InvalidLength));
-        assert_eq!(cbc_decrypt(&aes, &iv, &[0u8; 17]), Err(CryptoError::InvalidLength));
+        assert_eq!(
+            cbc_decrypt(&aes, &iv, &[0u8; 17]),
+            Err(CryptoError::InvalidLength)
+        );
     }
 
     #[test]

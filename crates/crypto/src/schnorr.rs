@@ -210,7 +210,9 @@ mod tests {
         let mut rng = rng();
         let key = SigningKey::generate(&mut rng);
         let sig = key.sign(b"hello middleboxes", &mut rng);
-        key.verifying_key().verify(b"hello middleboxes", &sig).unwrap();
+        key.verifying_key()
+            .verify(b"hello middleboxes", &sig)
+            .unwrap();
     }
 
     #[test]
@@ -263,7 +265,9 @@ mod tests {
         let restored = SigningKey::from_bytes(&key.to_bytes()).unwrap();
         assert_eq!(restored.verifying_key(), key.verifying_key());
         let sig = restored.sign(b"signed by the restored key", &mut rng);
-        key.verifying_key().verify(b"signed by the restored key", &sig).unwrap();
+        key.verifying_key()
+            .verify(b"signed by the restored key", &sig)
+            .unwrap();
         assert!(SigningKey::from_bytes(&[0u8; 32]).is_err());
         assert!(SigningKey::from_bytes(&[0xff; 32]).is_err());
     }

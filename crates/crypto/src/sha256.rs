@@ -46,7 +46,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Sha256 { state: H0, buffer: [0; BLOCK_LEN], buffered: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buffer: [0; BLOCK_LEN],
+            buffered: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorbs `data` into the hash state.
@@ -178,8 +183,14 @@ mod tests {
 
     #[test]
     fn fips_vectors() {
-        check(b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
-        check(b"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+        check(
+            b"",
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+        );
+        check(
+            b"abc",
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+        );
         check(
             b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",

@@ -121,10 +121,10 @@ impl U256 {
     pub fn overflowing_add(self, other: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (s1, c1) = self.0[i].overflowing_add(other.0[i]);
             let (s2, c2) = s1.overflowing_add(carry);
-            out[i] = s2;
+            *limb = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         (U256(out), carry != 0)
@@ -134,10 +134,10 @@ impl U256 {
     pub fn overflowing_sub(self, other: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (d1, b1) = self.0[i].overflowing_sub(other.0[i]);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *limb = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
         (U256(out), borrow != 0)
@@ -192,7 +192,10 @@ impl SpecialModulus {
         // 2^255 - c: low limb underflows from 0 - c with the 2^255 bit set
         // at limb 3.
         let low = 0u64.wrapping_sub(c);
-        SpecialModulus { c, modulus: U256([low, u64::MAX, u64::MAX, (1u64 << 63) - 1]) }
+        SpecialModulus {
+            c,
+            modulus: U256([low, u64::MAX, u64::MAX, (1u64 << 63) - 1]),
+        }
     }
 
     /// The modulus value `2^255 - c`.
@@ -224,17 +227,16 @@ impl SpecialModulus {
     pub fn reduce_wide(&self, mut w: [u64; 8]) -> U256 {
         // While bits at or above 255 are present, fold them down.
         loop {
-            let has_high =
-                w[4] != 0 || w[5] != 0 || w[6] != 0 || w[7] != 0 || (w[3] >> 63) != 0;
+            let has_high = w[4] != 0 || w[5] != 0 || w[6] != 0 || w[7] != 0 || (w[3] >> 63) != 0;
             if !has_high {
                 break;
             }
             // hi = w >> 255 (shift right 3 limbs + 63 bits).
             let mut hi = [0u64; 8];
-            for i in 0..5 {
+            for (i, limb) in hi.iter_mut().enumerate().take(5) {
                 let lo_part = w.get(i + 3).copied().unwrap_or(0) >> 63;
                 let hi_part = w.get(i + 4).copied().unwrap_or(0) << 1;
-                hi[i] = lo_part | hi_part;
+                *limb = lo_part | hi_part;
             }
             // lo = w & (2^255 - 1).
             let lo = [w[0], w[1], w[2], w[3] & ((1u64 << 63) - 1), 0, 0, 0, 0];

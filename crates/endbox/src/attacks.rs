@@ -181,14 +181,14 @@ pub fn enclave_dos(scenario: &mut Scenario) -> AttackOutcome {
     let self_harmed = matches!(send, Err(EndBoxError::Enclave(EnclaveError::Destroyed)));
     // Other clients are unaffected.
     let others_fine = if scenario.clients.len() > 1 {
-        scenario.send_from_client(1, b"unaffected neighbour").is_ok()
+        scenario
+            .send_from_client(1, b"unaffected neighbour")
+            .is_ok()
     } else {
         true
     };
     if self_harmed && others_fine {
-        AttackOutcome::Defended(
-            "killing the enclave only disconnects the attacker's own machine",
-        )
+        AttackOutcome::Defended("killing the enclave only disconnects the attacker's own machine")
     } else if !self_harmed {
         AttackOutcome::Breached("client kept network access without its enclave")
     } else {
@@ -216,7 +216,9 @@ pub fn downgrade_attack() -> AttackOutcome {
     cfg.offered_version = endbox_vpn::PROTOCOL_V2;
     let mut client = EndBoxClient::new(cfg).expect("client");
     ca.allow_measurement(client.enclave_app().measurement());
-    client.enroll("victim", &mut ca, &ias, &mut rng).expect("enroll");
+    client
+        .enroll("victim", &mut ca, &ias, &mut rng)
+        .expect("enroll");
 
     let server_key = SigningKey::generate(&mut rng);
     let server_cert =
@@ -283,7 +285,10 @@ pub fn downgrade_attack() -> AttackOutcome {
 /// feeding malformed parameters.
 pub fn interface_attack(scenario: &mut Scenario) -> AttackOutcome {
     // 1. Undeclared ecall (arbitrary code-path probing).
-    match scenario.clients[0].enclave_app().try_raw_ecall("ecall_read_arbitrary_memory") {
+    match scenario.clients[0]
+        .enclave_app()
+        .try_raw_ecall("ecall_read_arbitrary_memory")
+    {
         Err(EndBoxError::Enclave(EnclaveError::UndeclaredCall(_))) => {}
         _ => return AttackOutcome::Breached("undeclared ecall reachable"),
     }
@@ -343,9 +348,9 @@ pub fn crafted_ping(scenario: &mut Scenario) -> AttackOutcome {
     };
     match scenario.clients[0].enclave_app().process_ping(&record) {
         Ok(_) => AttackOutcome::Breached("crafted ping accepted"),
-        Err(EndBoxError::Vpn(VpnError::AuthenticationFailed)) => AttackOutcome::Defended(
-            "ping authenticity is validated inside the enclave",
-        ),
+        Err(EndBoxError::Vpn(VpnError::AuthenticationFailed)) => {
+            AttackOutcome::Defended("ping authenticity is validated inside the enclave")
+        }
         Err(_) => AttackOutcome::Defended("crafted ping rejected"),
     }
 }
@@ -354,7 +359,9 @@ pub fn crafted_ping(scenario: &mut Scenario) -> AttackOutcome {
 /// global policy or destroy enclaves run on their own fresh deployments.
 pub fn run_all() -> Vec<(&'static str, AttackOutcome)> {
     let mut results = Vec::new();
-    let mut s = Scenario::enterprise(2, UseCase::Firewall).build().expect("scenario");
+    let mut s = Scenario::enterprise(2, UseCase::Firewall)
+        .build()
+        .expect("scenario");
     results.push(("bypass_middlebox", bypass_middlebox(&mut s)));
     results.push(("replay_traffic", replay_traffic(&mut s)));
     results.push(("config_rollback", config_rollback(&mut s)));
@@ -362,10 +369,19 @@ pub fn run_all() -> Vec<(&'static str, AttackOutcome)> {
     results.push(("crafted_ping", crafted_ping(&mut s)));
     results.push(("interface_attack", interface_attack(&mut s)));
 
-    let mut s2 = Scenario::enterprise(2, UseCase::Firewall).seed(0xa77).build().expect("scenario");
-    results.push(("stale_config_after_grace", stale_config_after_grace(&mut s2)));
+    let mut s2 = Scenario::enterprise(2, UseCase::Firewall)
+        .seed(0xa77)
+        .build()
+        .expect("scenario");
+    results.push((
+        "stale_config_after_grace",
+        stale_config_after_grace(&mut s2),
+    ));
 
-    let mut s3 = Scenario::enterprise(2, UseCase::Firewall).seed(0xa78).build().expect("scenario");
+    let mut s3 = Scenario::enterprise(2, UseCase::Firewall)
+        .seed(0xa78)
+        .build()
+        .expect("scenario");
     results.push(("enclave_dos", enclave_dos(&mut s3)));
 
     results.push(("downgrade_attack", downgrade_attack()));

@@ -39,8 +39,10 @@ impl EnrollmentResponse {
         let shared = x25519::shared_secret(enclave_secret, &self.kem_public);
         let wrap: [u8; 32] = hkdf(b"endbox-kem", &shared, b"config-key-wrap");
         let mac_key: [u8; 32] = hkdf(b"endbox-kem", &shared, b"config-key-mac");
-        if !endbox_crypto::ct_eq(&hmac_sha256(&mac_key, &self.wrapped_config_key), &self.wrap_mac)
-        {
+        if !endbox_crypto::ct_eq(
+            &hmac_sha256(&mac_key, &self.wrapped_config_key),
+            &self.wrap_mac,
+        ) {
             return None;
         }
         let mut key = [0u8; 32];
@@ -122,7 +124,13 @@ impl CertificateAuthority {
         rng: &mut impl rand::RngCore,
     ) -> Certificate {
         self.issued += 1;
-        Certificate::issue(subject, public_key, now_secs + self.cert_validity_secs, &self.signing, rng)
+        Certificate::issue(
+            subject,
+            public_key,
+            now_secs + self.cert_validity_secs,
+            &self.signing,
+            rng,
+        )
     }
 
     /// Steps 3–6 of Fig. 4: verify the quote via the IAS, check the
@@ -175,7 +183,12 @@ impl CertificateAuthority {
             wrapped_config_key[i] = self.config_key[i] ^ wrap[i];
         }
         let wrap_mac = hmac_sha256(&mac_key, &wrapped_config_key);
-        Ok(EnrollmentResponse { certificate, kem_public, wrapped_config_key, wrap_mac })
+        Ok(EnrollmentResponse {
+            certificate,
+            kem_public,
+            wrapped_config_key,
+            wrap_mac,
+        })
     }
 }
 
@@ -204,7 +217,13 @@ mod tests {
         ias.register_platform(cpu.attestation_public());
         let ca = CertificateAuthority::new(ias.public_key(), &mut r);
         let qe = QuotingEnclave::new(cpu.clone());
-        World { ias, ca, cpu, qe, rng: r }
+        World {
+            ias,
+            ca,
+            cpu,
+            qe,
+            rng: r,
+        }
     }
 
     /// Simulates the enclave side: keys generated, report created.
@@ -237,7 +256,9 @@ mod tests {
             enclave_keys_and_report(&mut w, Measurement::of(b"scratch", b""));
         w.ca.allow_measurement(report.measurement);
         let quote = w.qe.quote(&report, &mut w.rng).unwrap();
-        let resp = w.ca.enroll("client-1", &quote, &w.ias, 0, &mut w.rng).unwrap();
+        let resp =
+            w.ca.enroll("client-1", &quote, &w.ias, 0, &mut w.rng)
+                .unwrap();
         assert_eq!(resp.certificate.subject, "client-1");
         assert_eq!(resp.certificate.public_key, identity.verifying_key());
         resp.certificate.verify(&w.ca.public_key(), 0).unwrap();
@@ -254,7 +275,8 @@ mod tests {
         // Measurement NOT whitelisted.
         let quote = w.qe.quote(&report, &mut w.rng).unwrap();
         assert_eq!(
-            w.ca.enroll("client-1", &quote, &w.ias, 0, &mut w.rng).unwrap_err(),
+            w.ca.enroll("client-1", &quote, &w.ias, 0, &mut w.rng)
+                .unwrap_err(),
             EndBoxError::Enrollment("unknown enclave measurement")
         );
     }
@@ -282,7 +304,9 @@ mod tests {
             enclave_keys_and_report(&mut w, Measurement::of(b"scratch", b""));
         w.ca.allow_measurement(report.measurement);
         let quote = w.qe.quote(&report, &mut w.rng).unwrap();
-        let resp = w.ca.enroll("client-1", &quote, &w.ias, 0, &mut w.rng).unwrap();
+        let resp =
+            w.ca.enroll("client-1", &quote, &w.ias, 0, &mut w.rng)
+                .unwrap();
         let mut wrong = enc_secret;
         wrong[5] ^= 1;
         assert!(resp.unwrap_config_key(&wrong).is_none());

@@ -15,6 +15,7 @@ use endbox_crypto::schnorr::VerifyingKey;
 use endbox_netsim::cost::{CostModel, CycleMeter};
 use endbox_netsim::time::SharedClock;
 use endbox_netsim::Packet;
+use endbox_netsim::PacketBatch;
 use endbox_sgx::attestation::{CpuIdentity, IasSimulator, QuotingEnclave};
 use endbox_sgx::SgxMode;
 use endbox_vpn::channel::CipherSuite;
@@ -284,8 +285,98 @@ impl EndBoxClient {
         }
     }
 
+    /// Sends a whole batch of IP packets through the middlebox and tunnel
+    /// as **one** unit: one enclave transition, one Click traversal, one
+    /// sealed `DataBatch` record (then fragmented as usual). Returns the
+    /// wire datagrams, empty when the middlebox dropped every packet.
+    ///
+    /// Per-packet tun reads still cost what they cost on the untrusted
+    /// side; the batching win is on the enclave boundary, the record
+    /// framing and the crypto fixed costs.
+    ///
+    /// # Errors
+    ///
+    /// [`EndBoxError::NotReady`] before connecting.
+    pub fn send_batch(&mut self, packets: Vec<Packet>) -> Result<Vec<Vec<u8>>, EndBoxError> {
+        if packets.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.stats.sent += packets.len() as u64;
+        let total_bytes: usize = packets.iter().map(Packet::len).sum();
+        // Untrusted side: one tun read + bookkeeping per packet.
+        self.meter.add(
+            self.cost.vpn_per_write * packets.len() as u64
+                + (self.cost.memcpy_per_byte * total_bytes as f64) as u64,
+        );
+        let result = self.app.process_egress_batch(PacketBatch::from(packets))?;
+        self.stats.dropped_egress += result.dropped as u64;
+        match result.record {
+            None => Ok(Vec::new()),
+            Some(record) => Ok(self.fragment_record(&record)),
+        }
+    }
+
+    /// Receives one wire datagram on the batched path; returns every
+    /// packet delivered once a full record reassembles. Handles plain
+    /// `Data`, batched `DataBatch` and `Ping` records, so a receive loop
+    /// can be pointed at a mixed stream.
+    ///
+    /// # Errors
+    ///
+    /// Authentication/replay/fragmentation failures.
+    pub fn receive_datagram_batch(&mut self, datagram: &[u8]) -> Result<Vec<Packet>, EndBoxError> {
+        self.meter.add(self.cost.vpn_per_fragment);
+        let Some(bytes) = self.reassembler.push(datagram)? else {
+            return Ok(Vec::new());
+        };
+        let record = Record::from_bytes(&bytes)?;
+        self.dispatch_record(&record)
+    }
+
+    /// Shared data-path dispatch for reassembled records (both receive
+    /// entry points), including stats/meter accounting.
+    fn dispatch_record(&mut self, record: &Record) -> Result<Vec<Packet>, EndBoxError> {
+        match record.opcode {
+            Opcode::DataBatch => {
+                let result = self.app.process_ingress_batch(record)?;
+                let delivered = result.packets;
+                self.stats.received += delivered.len() as u64;
+                self.stats.dropped_ingress += (result.frames - delivered.len()) as u64;
+                // Untrusted side: one tun write per delivered packet.
+                self.meter
+                    .add(self.cost.vpn_per_write * delivered.len() as u64);
+                Ok(delivered)
+            }
+            Opcode::Data => {
+                let delivered = self.app.process_ingress(record)?;
+                match delivered {
+                    Some(pkt) => {
+                        self.stats.received += 1;
+                        // Untrusted side: write to the application/tun.
+                        self.meter.add(self.cost.vpn_per_write);
+                        Ok(vec![pkt])
+                    }
+                    None => {
+                        self.stats.dropped_ingress += 1;
+                        Ok(Vec::new())
+                    }
+                }
+            }
+            Opcode::Ping => {
+                let msg = self.app.process_ping(record)?;
+                self.note_announcement(&msg);
+                Ok(Vec::new())
+            }
+            _ => Err(EndBoxError::Vpn(endbox_vpn::VpnError::Malformed(
+                "unexpected record on data path",
+            ))),
+        }
+    }
+
     /// Receives one wire datagram; returns a packet when a full record
-    /// reassembles, decrypts, and passes the middlebox.
+    /// reassembles, decrypts, and passes the middlebox. (Batched
+    /// `DataBatch` records go through
+    /// [`EndBoxClient::receive_datagram_batch`].)
     ///
     /// # Errors
     ///
@@ -296,31 +387,15 @@ impl EndBoxClient {
             return Ok(None);
         };
         let record = Record::from_bytes(&bytes)?;
-        match record.opcode {
-            Opcode::Data => {
-                let delivered = self.app.process_ingress(&record)?;
-                match delivered {
-                    Some(pkt) => {
-                        self.stats.received += 1;
-                        // Untrusted side: write to the application/tun.
-                        self.meter.add(self.cost.vpn_per_write);
-                        Ok(Some(pkt))
-                    }
-                    None => {
-                        self.stats.dropped_ingress += 1;
-                        Ok(None)
-                    }
-                }
-            }
-            Opcode::Ping => {
-                let msg = self.app.process_ping(&record)?;
-                self.note_announcement(&msg);
-                Ok(None)
-            }
-            _ => Err(EndBoxError::Vpn(endbox_vpn::VpnError::Malformed(
-                "unexpected record on data path",
-            ))),
+        if record.opcode == Opcode::DataBatch {
+            // A batched record can deliver several packets; this
+            // single-packet entry point cannot represent that without
+            // silently dropping the rest.
+            return Err(EndBoxError::Vpn(endbox_vpn::VpnError::Malformed(
+                "batched record on single-packet receive path",
+            )));
         }
+        Ok(self.dispatch_record(&record)?.pop())
     }
 
     fn note_announcement(&mut self, msg: &PingMessage) {
@@ -351,7 +426,9 @@ impl EndBoxClient {
         };
         let signed = config_server
             .fetch(version)
-            .ok_or(EndBoxError::ConfigUpdate("announced version not on config server"))?;
+            .ok_or(EndBoxError::ConfigUpdate(
+                "announced version not on config server",
+            ))?;
         self.app.apply_config(signed)?;
         self.pending_update = None;
         Ok(true)
@@ -408,7 +485,8 @@ impl EndBoxClient {
         // sealed bytes (Fig. 3).
         let bytes = record.to_bytes();
         let frags = self.fragmenter.fragment(&bytes, self.cost.mtu_payload);
-        self.meter.add(self.cost.vpn_per_fragment * frags.len() as u64);
+        self.meter
+            .add(self.cost.vpn_per_fragment * frags.len() as u64);
         self.stats.datagrams_out += frags.len() as u64;
         frags
     }

@@ -39,7 +39,10 @@ fn signing_bytes(version: u64, encrypted: bool, payload: &[u8]) -> Vec<u8> {
 }
 
 fn config_keys(shared: &[u8; 32]) -> ([u8; 16], [u8; 32]) {
-    (hkdf(b"endbox-config", shared, b"enc"), hkdf(b"endbox-config", shared, b"mac"))
+    (
+        hkdf(b"endbox-config", shared, b"enc"),
+        hkdf(b"endbox-config", shared, b"mac"),
+    )
 }
 
 impl SignedConfig {
@@ -90,7 +93,12 @@ impl SignedConfig {
             }
         };
         let signature = admin_key.sign(&signing_bytes(version, encrypted, &payload), rng);
-        SignedConfig { version, encrypted, payload, signature }
+        SignedConfig {
+            version,
+            encrypted,
+            payload,
+            signature,
+        }
     }
 
     /// Verifies the CA signature.

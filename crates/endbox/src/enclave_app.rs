@@ -20,7 +20,7 @@ use endbox_crypto::x25519;
 use endbox_netsim::cost::{CostModel, CycleMeter};
 use endbox_netsim::packet::QOS_ENDBOX_PROCESSED;
 use endbox_netsim::time::SharedClock;
-use endbox_netsim::Packet;
+use endbox_netsim::{Packet, PacketBatch};
 use endbox_sgx::attestation::{CpuIdentity, Report};
 use endbox_sgx::{Enclave, EnclaveBuilder, SgxMode};
 use endbox_vpn::channel::{CipherSuite, DataChannel};
@@ -76,6 +76,27 @@ pub enum EgressResult {
     Sealed(Record),
     /// Packet rejected by the middlebox (firewall/IDS drop).
     Dropped,
+}
+
+/// Result of processing an egress batch in one enclave transition.
+#[derive(Debug)]
+pub struct EgressBatchResult {
+    /// One sealed `DataBatch` record covering every accepted packet, or
+    /// `None` when the middlebox dropped the whole batch.
+    pub record: Option<Record>,
+    /// Input packets accepted by the middlebox.
+    pub accepted: usize,
+    /// Input packets rejected by the middlebox.
+    pub dropped: usize,
+}
+
+/// Result of processing an ingress batch record.
+#[derive(Debug)]
+pub struct IngressBatchResult {
+    /// Packets delivered to the application, in batch order.
+    pub packets: Vec<Packet>,
+    /// Packets the record carried (delivered + middlebox-dropped).
+    pub frames: usize,
 }
 
 /// Trusted state living inside the enclave.
@@ -178,7 +199,11 @@ impl EnclaveApp {
                 services.epc_alloc(48 * 1024 * 1024);
                 state
             });
-        Ok(EnclaveApp { enclave, batched: cfg.batched_ecalls, cost: cfg.cost })
+        Ok(EnclaveApp {
+            enclave,
+            batched: cfg.batched_ecalls,
+            cost: cfg.cost,
+        })
     }
 
     // --- enrollment (Fig. 4) ----------------------------------------------
@@ -190,24 +215,27 @@ impl EnclaveApp {
     ///
     /// Enclave interface errors.
     pub fn begin_enrollment(&mut self) -> Result<Report, EndBoxError> {
-        self.enclave.ecall("ecall_keypair_generate", |state, services| {
-            let identity = SigningKey::generate(services.rng());
-            let (enc_secret, enc_public) = x25519::keypair(services.rng());
-            let mut user_data = [0u8; 64];
-            user_data[..32].copy_from_slice(&identity.verifying_key().to_bytes());
-            user_data[32..].copy_from_slice(&enc_public);
-            state.identity = Some(identity);
-            state.enc_secret = Some(enc_secret);
-            user_data
-        })?;
-        let report = self.enclave.ecall("ecall_report_create", |state, services| {
-            let identity = state.identity.as_ref().expect("generated above");
-            let enc_public = x25519::public_key(state.enc_secret.as_ref().unwrap());
-            let mut user_data = [0u8; 64];
-            user_data[..32].copy_from_slice(&identity.verifying_key().to_bytes());
-            user_data[32..].copy_from_slice(&enc_public);
-            services.create_report(user_data)
-        })?;
+        self.enclave
+            .ecall("ecall_keypair_generate", |state, services| {
+                let identity = SigningKey::generate(services.rng());
+                let (enc_secret, enc_public) = x25519::keypair(services.rng());
+                let mut user_data = [0u8; 64];
+                user_data[..32].copy_from_slice(&identity.verifying_key().to_bytes());
+                user_data[32..].copy_from_slice(&enc_public);
+                state.identity = Some(identity);
+                state.enc_secret = Some(enc_secret);
+                user_data
+            })?;
+        let report = self
+            .enclave
+            .ecall("ecall_report_create", |state, services| {
+                let identity = state.identity.as_ref().expect("generated above");
+                let enc_public = x25519::public_key(state.enc_secret.as_ref().unwrap());
+                let mut user_data = [0u8; 64];
+                user_data[..32].copy_from_slice(&identity.verifying_key().to_bytes());
+                user_data[32..].copy_from_slice(&enc_public);
+                services.create_report(user_data)
+            })?;
         Ok(report)
     }
 
@@ -223,42 +251,47 @@ impl EnclaveApp {
         response: &EnrollmentResponse,
         now_secs: u64,
     ) -> Result<Vec<u8>, EndBoxError> {
-        self.enclave.ecall("ecall_enrollment_finish", |state, services| {
-            let identity =
-                state.identity.as_ref().ok_or(EndBoxError::Enrollment("no key pair"))?;
-            if response.certificate.public_key != identity.verifying_key() {
-                return Err(EndBoxError::Enrollment("certificate key mismatch"));
-            }
-            if response.certificate.subject != state.subject {
-                return Err(EndBoxError::Enrollment("certificate subject mismatch"));
-            }
-            response
-                .certificate
-                .verify(&state.ca_public, now_secs)
-                .map_err(|_| EndBoxError::Enrollment("CA signature invalid"))?;
-            // Unwrap the symmetric config key (X25519 KEM).
-            let enc_secret =
-                *state.enc_secret.as_ref().ok_or(EndBoxError::Enrollment("no enc key"))?;
-            let config_key = response
-                .unwrap_config_key(&enc_secret)
-                .ok_or(EndBoxError::Enrollment("config key unwrap failed"))?;
-            state.certificate = Some(response.certificate.clone());
-            state.config_key = Some(config_key);
+        self.enclave
+            .ecall("ecall_enrollment_finish", |state, services| {
+                let identity = state
+                    .identity
+                    .as_ref()
+                    .ok_or(EndBoxError::Enrollment("no key pair"))?;
+                if response.certificate.public_key != identity.verifying_key() {
+                    return Err(EndBoxError::Enrollment("certificate key mismatch"));
+                }
+                if response.certificate.subject != state.subject {
+                    return Err(EndBoxError::Enrollment("certificate subject mismatch"));
+                }
+                response
+                    .certificate
+                    .verify(&state.ca_public, now_secs)
+                    .map_err(|_| EndBoxError::Enrollment("CA signature invalid"))?;
+                // Unwrap the symmetric config key (X25519 KEM).
+                let enc_secret = *state
+                    .enc_secret
+                    .as_ref()
+                    .ok_or(EndBoxError::Enrollment("no enc key"))?;
+                let config_key = response
+                    .unwrap_config_key(&enc_secret)
+                    .ok_or(EndBoxError::Enrollment("config key unwrap failed"))?;
+                state.certificate = Some(response.certificate.clone());
+                state.config_key = Some(config_key);
 
-            // Seal (identity secret, certificate, config key) — §III-C
-            // step 7: "the enclave persistently stores the generated key
-            // pair as well as the certificate using the SGX sealing
-            // feature". The blob only unseals on the same CPU inside the
-            // same enclave code.
-            let mut blob = Vec::new();
-            blob.extend_from_slice(&identity.to_bytes());
-            blob.extend_from_slice(&enc_secret);
-            blob.extend_from_slice(&config_key);
-            let cert_bytes = response.certificate.to_bytes();
-            blob.extend_from_slice(&(cert_bytes.len() as u32).to_be_bytes());
-            blob.extend_from_slice(&cert_bytes);
-            Ok(services.seal(&blob))
-        })?
+                // Seal (identity secret, certificate, config key) — §III-C
+                // step 7: "the enclave persistently stores the generated key
+                // pair as well as the certificate using the SGX sealing
+                // feature". The blob only unseals on the same CPU inside the
+                // same enclave code.
+                let mut blob = Vec::new();
+                blob.extend_from_slice(&identity.to_bytes());
+                blob.extend_from_slice(&enc_secret);
+                blob.extend_from_slice(&config_key);
+                let cert_bytes = response.certificate.to_bytes();
+                blob.extend_from_slice(&(cert_bytes.len() as u32).to_be_bytes());
+                blob.extend_from_slice(&cert_bytes);
+                Ok(services.seal(&blob))
+            })?
     }
 
     /// Restores enrollment state from a sealed blob produced by
@@ -271,38 +304,41 @@ impl EnclaveApp {
     /// [`EndBoxError::Enrollment`] if the blob fails to unseal (wrong CPU
     /// or different enclave code) or is malformed.
     pub fn restore_enrollment(&mut self, sealed: &[u8]) -> Result<(), EndBoxError> {
-        self.enclave.ecall("ecall_sealed_state_restore", |state, services| {
-            let blob = services
-                .unseal(sealed)
-                .map_err(|_| EndBoxError::Enrollment("sealed state failed to unseal"))?;
-            if blob.len() < 32 + 32 + 32 + 4 {
-                return Err(EndBoxError::Enrollment("sealed state truncated"));
-            }
-            let identity = SigningKey::from_bytes(&blob[..32].try_into().unwrap())
-                .map_err(|_| EndBoxError::Enrollment("sealed identity invalid"))?;
-            let enc_secret: [u8; 32] = blob[32..64].try_into().unwrap();
-            let config_key: [u8; 32] = blob[64..96].try_into().unwrap();
-            let cert_len = u32::from_be_bytes(blob[96..100].try_into().unwrap()) as usize;
-            if blob.len() < 100 + cert_len {
-                return Err(EndBoxError::Enrollment("sealed state truncated"));
-            }
-            let certificate = Certificate::from_bytes(&blob[100..100 + cert_len])
-                .map_err(|_| EndBoxError::Enrollment("sealed certificate invalid"))?;
-            if certificate.public_key != identity.verifying_key() {
-                return Err(EndBoxError::Enrollment("sealed state inconsistent"));
-            }
-            state.identity = Some(identity);
-            state.enc_secret = Some(enc_secret);
-            state.config_key = Some(config_key);
-            state.certificate = Some(certificate);
-            Ok(())
-        })?
+        self.enclave
+            .ecall("ecall_sealed_state_restore", |state, services| {
+                let blob = services
+                    .unseal(sealed)
+                    .map_err(|_| EndBoxError::Enrollment("sealed state failed to unseal"))?;
+                if blob.len() < 32 + 32 + 32 + 4 {
+                    return Err(EndBoxError::Enrollment("sealed state truncated"));
+                }
+                let identity = SigningKey::from_bytes(&blob[..32].try_into().unwrap())
+                    .map_err(|_| EndBoxError::Enrollment("sealed identity invalid"))?;
+                let enc_secret: [u8; 32] = blob[32..64].try_into().unwrap();
+                let config_key: [u8; 32] = blob[64..96].try_into().unwrap();
+                let cert_len = u32::from_be_bytes(blob[96..100].try_into().unwrap()) as usize;
+                if blob.len() < 100 + cert_len {
+                    return Err(EndBoxError::Enrollment("sealed state truncated"));
+                }
+                let certificate = Certificate::from_bytes(&blob[100..100 + cert_len])
+                    .map_err(|_| EndBoxError::Enrollment("sealed certificate invalid"))?;
+                if certificate.public_key != identity.verifying_key() {
+                    return Err(EndBoxError::Enrollment("sealed state inconsistent"));
+                }
+                state.identity = Some(identity);
+                state.enc_secret = Some(enc_secret);
+                state.config_key = Some(config_key);
+                state.certificate = Some(certificate);
+                Ok(())
+            })?
     }
 
     /// True once enrolled (certificate installed).
     pub fn is_enrolled(&mut self) -> bool {
         self.enclave
-            .ecall("ecall_certificate_read", |state, _| state.certificate.is_some())
+            .ecall("ecall_certificate_read", |state, _| {
+                state.certificate.is_some()
+            })
             .unwrap_or(false)
     }
 
@@ -314,35 +350,36 @@ impl EnclaveApp {
     ///
     /// [`EndBoxError::NotReady`] before enrollment.
     pub fn handshake_start(&mut self) -> Result<Record, EndBoxError> {
-        self.enclave.ecall("ecall_handshake_start", |state, services| {
-            let identity = state
-                .identity
-                .clone()
-                .ok_or(EndBoxError::NotReady("not enrolled: no identity"))?;
-            let certificate = state
-                .certificate
-                .clone()
-                .ok_or(EndBoxError::NotReady("not enrolled: no certificate"))?;
-            let cfg = HandshakeConfig {
-                identity,
-                certificate,
-                ca_public: state.ca_public,
-                min_version: state.min_version,
-            };
-            let (hello, pending) = client_start(
-                &cfg,
-                state.offered_version,
-                state.config_version,
-                services.rng(),
-            );
-            state.pending_handshake = Some(pending);
-            Ok(Record {
-                opcode: Opcode::HandshakeInit,
-                session_id: 0,
-                packet_id: 0,
-                payload: hello.to_bytes(),
-            })
-        })?
+        self.enclave
+            .ecall("ecall_handshake_start", |state, services| {
+                let identity = state
+                    .identity
+                    .clone()
+                    .ok_or(EndBoxError::NotReady("not enrolled: no identity"))?;
+                let certificate = state
+                    .certificate
+                    .clone()
+                    .ok_or(EndBoxError::NotReady("not enrolled: no certificate"))?;
+                let cfg = HandshakeConfig {
+                    identity,
+                    certificate,
+                    ca_public: state.ca_public,
+                    min_version: state.min_version,
+                };
+                let (hello, pending) = client_start(
+                    &cfg,
+                    state.offered_version,
+                    state.config_version,
+                    services.rng(),
+                );
+                state.pending_handshake = Some(pending);
+                Ok(Record {
+                    opcode: Opcode::HandshakeInit,
+                    session_id: 0,
+                    packet_id: 0,
+                    payload: hello.to_bytes(),
+                })
+            })?
     }
 
     /// Completes the handshake from the server's response. The minimum
@@ -354,33 +391,37 @@ impl EnclaveApp {
     /// Handshake validation failures.
     pub fn handshake_complete(&mut self, response: &Record) -> Result<u64, EndBoxError> {
         let cost = self.cost.clone();
-        self.enclave.ecall("ecall_handshake_complete", |state, services| {
-            let hello = ServerHello::from_bytes(&response.payload)?;
-            let pending = state
-                .pending_handshake
-                .take()
-                .ok_or(EndBoxError::NotReady("no handshake in progress"))?;
-            let cfg = HandshakeConfig {
-                identity: state.identity.clone().ok_or(EndBoxError::NotReady("no identity"))?,
-                certificate: state
-                    .certificate
-                    .clone()
-                    .ok_or(EndBoxError::NotReady("no certificate"))?,
-                ca_public: state.ca_public,
-                min_version: state.min_version,
-            };
-            let now_secs = services.trusted_now().as_secs_f64() as u64;
-            let keys = client_complete(&cfg, &pending, &hello, now_secs)?;
-            state.channel = Some(DataChannel::client(
-                &keys,
-                state.suite,
-                services_meter(services),
-                cost.clone(),
-            ));
-            state.session_id = hello.session_id;
-            state.server_required_version = hello.required_config_version;
-            Ok(hello.session_id)
-        })?
+        self.enclave
+            .ecall("ecall_handshake_complete", |state, services| {
+                let hello = ServerHello::from_bytes(&response.payload)?;
+                let pending = state
+                    .pending_handshake
+                    .take()
+                    .ok_or(EndBoxError::NotReady("no handshake in progress"))?;
+                let cfg = HandshakeConfig {
+                    identity: state
+                        .identity
+                        .clone()
+                        .ok_or(EndBoxError::NotReady("no identity"))?,
+                    certificate: state
+                        .certificate
+                        .clone()
+                        .ok_or(EndBoxError::NotReady("no certificate"))?,
+                    ca_public: state.ca_public,
+                    min_version: state.min_version,
+                };
+                let now_secs = services.trusted_now().as_secs_f64() as u64;
+                let keys = client_complete(&cfg, &pending, &hello, now_secs)?;
+                state.channel = Some(DataChannel::client(
+                    &keys,
+                    state.suite,
+                    services_meter(services),
+                    cost.clone(),
+                ));
+                state.session_id = hello.session_id;
+                state.server_required_version = hello.required_config_version;
+                Ok(hello.session_id)
+            })?
     }
 
     // --- data path ----------------------------------------------------------
@@ -392,36 +433,104 @@ impl EnclaveApp {
     ///
     /// [`EndBoxError::NotReady`] before the handshake completes.
     pub fn process_egress(&mut self, packet: Packet) -> Result<EgressResult, EndBoxError> {
-        let result = self.enclave.ecall("ecall_packet_encrypt", |state, services| {
-            if state.channel.is_none() {
-                return Err(EndBoxError::NotReady("no established channel"));
-            }
-            // Copying the packet across the boundary costs partition
-            // overhead plus EPC traffic in hardware mode.
-            services.charge(
-                services.cost_model().partition_per_packet
-                    + (services.cost_model().partition_per_byte * packet.len() as f64) as u64,
-            );
-            services.charge_epc_traffic(packet.len());
+        let result = self
+            .enclave
+            .ecall("ecall_packet_encrypt", |state, services| {
+                if state.channel.is_none() {
+                    return Err(EndBoxError::NotReady("no established channel"));
+                }
+                // Copying the packet across the boundary costs partition
+                // overhead plus EPC traffic in hardware mode.
+                services.charge(
+                    services.cost_model().partition_per_packet
+                        + (services.cost_model().partition_per_byte * packet.len() as f64) as u64,
+                );
+                services.charge_epc_traffic(packet.len());
 
-            let out = state.click.process(packet);
-            if !out.accepted {
-                state.dropped += 1;
-                return Ok(EgressResult::Dropped);
-            }
-            state.accepted += 1;
-            let mut accepted_packet =
-                out.emitted.into_iter().next().expect("accepted implies one emitted");
-            if state.c2c_flagging {
-                // Mark as already-processed so a receiving EndBox client
-                // can skip Click (§IV-A).
-                accepted_packet.set_tos(QOS_ENDBOX_PROCESSED);
-            }
-            let channel = state.channel.as_mut().unwrap();
-            let record =
-                channel.seal(Opcode::Data, state.session_id, accepted_packet.bytes());
-            Ok(EgressResult::Sealed(record))
-        })?;
+                let out = state.click.process(packet);
+                if !out.accepted {
+                    state.dropped += 1;
+                    return Ok(EgressResult::Dropped);
+                }
+                state.accepted += 1;
+                let mut accepted_packet = out
+                    .emitted
+                    .into_iter()
+                    .next()
+                    .expect("accepted implies one emitted");
+                if state.c2c_flagging {
+                    // Mark as already-processed so a receiving EndBox client
+                    // can skip Click (§IV-A).
+                    accepted_packet.set_tos(QOS_ENDBOX_PROCESSED);
+                }
+                let channel = state.channel.as_mut().unwrap();
+                let record = channel.seal(Opcode::Data, state.session_id, accepted_packet.bytes());
+                Ok(EgressResult::Sealed(record))
+            })?;
+        if !self.batched {
+            self.charge_unbatched_crypto_calls()?;
+        }
+        result
+    }
+
+    /// Processes a whole egress batch in **one** enclave transition: the
+    /// batch crosses the boundary once (amortising the fixed partition
+    /// cost), traverses Click as one [`PacketBatch`], and every accepted
+    /// packet is sealed into a single `DataBatch` record (one IV/MAC and
+    /// one fixed crypto charge for the whole batch — the §IV batching
+    /// optimisation taken from "one ecall per packet" to "one ecall per
+    /// batch").
+    ///
+    /// # Errors
+    ///
+    /// [`EndBoxError::NotReady`] before the handshake completes.
+    pub fn process_egress_batch(
+        &mut self,
+        batch: PacketBatch,
+    ) -> Result<EgressBatchResult, EndBoxError> {
+        let result = self
+            .enclave
+            .ecall("ecall_packet_encrypt", |state, services| {
+                if state.channel.is_none() {
+                    return Err(EndBoxError::NotReady("no established channel"));
+                }
+                let n = batch.len();
+                let total_bytes = batch.total_bytes();
+                // One boundary crossing for the whole batch: fixed partition
+                // overhead paid once, the copy cost per byte as usual.
+                services.charge(
+                    services.cost_model().partition_per_packet
+                        + (services.cost_model().partition_per_byte * total_bytes as f64) as u64,
+                );
+                services.charge_epc_traffic(total_bytes);
+
+                let out = state.click.process_batch(batch);
+                let accepted = out.accepted;
+                let dropped = n - accepted;
+                state.accepted += accepted as u64;
+                state.dropped += dropped as u64;
+                if accepted == 0 {
+                    return Ok(EgressBatchResult {
+                        record: None,
+                        accepted,
+                        dropped,
+                    });
+                }
+                let mut emitted = out.into_first_emissions();
+                if state.c2c_flagging {
+                    for pkt in &mut emitted {
+                        pkt.set_tos(QOS_ENDBOX_PROCESSED);
+                    }
+                }
+                let payloads: Vec<&[u8]> = emitted.iter().map(Packet::bytes).collect();
+                let channel = state.channel.as_mut().unwrap();
+                let record = channel.seal_batch(state.session_id, &payloads);
+                Ok(EgressBatchResult {
+                    record: Some(record),
+                    accepted,
+                    dropped,
+                })
+            })?;
         if !self.batched {
             self.charge_unbatched_crypto_calls()?;
         }
@@ -435,35 +544,112 @@ impl EnclaveApp {
     ///
     /// Authentication/replay failures from the channel.
     pub fn process_ingress(&mut self, record: &Record) -> Result<Option<Packet>, EndBoxError> {
-        let result = self.enclave.ecall("ecall_packet_decrypt", |state, services| {
-            let channel = state
-                .channel
-                .as_mut()
-                .ok_or(EndBoxError::NotReady("no established channel"))?;
-            let payload = channel.open(record)?;
-            services.charge(
-                services.cost_model().partition_per_packet
-                    + (services.cost_model().partition_per_byte * payload.len() as f64) as u64,
-            );
-            services.charge_epc_traffic(payload.len());
-            let packet = Packet::from_bytes(payload)
-                .map_err(|_| EndBoxError::Vpn(VpnError::Malformed("bad tunnelled packet")))?;
+        let result = self
+            .enclave
+            .ecall("ecall_packet_decrypt", |state, services| {
+                let channel = state
+                    .channel
+                    .as_mut()
+                    .ok_or(EndBoxError::NotReady("no established channel"))?;
+                let payload = channel.open(record)?;
+                services.charge(
+                    services.cost_model().partition_per_packet
+                        + (services.cost_model().partition_per_byte * payload.len() as f64) as u64,
+                );
+                services.charge_epc_traffic(payload.len());
+                let packet = Packet::from_bytes(payload)
+                    .map_err(|_| EndBoxError::Vpn(VpnError::Malformed("bad tunnelled packet")))?;
 
-            if state.c2c_flagging && packet.tos() == QOS_ENDBOX_PROCESSED {
-                // Flagged by the sending EndBox client: skip re-processing.
-                // The flag is trustworthy because all records are
-                // integrity-protected (§IV-A).
-                state.c2c_bypassed += 1;
-                return Ok(Some(packet));
-            }
-            let out = state.click.process(packet);
-            if !out.accepted {
-                state.dropped += 1;
-                return Ok(None);
-            }
-            state.accepted += 1;
-            Ok(out.emitted.into_iter().next())
-        })?;
+                if state.c2c_flagging && packet.tos() == QOS_ENDBOX_PROCESSED {
+                    // Flagged by the sending EndBox client: skip re-processing.
+                    // The flag is trustworthy because all records are
+                    // integrity-protected (§IV-A).
+                    state.c2c_bypassed += 1;
+                    return Ok(Some(packet));
+                }
+                let out = state.click.process(packet);
+                if !out.accepted {
+                    state.dropped += 1;
+                    return Ok(None);
+                }
+                state.accepted += 1;
+                Ok(out.emitted.into_iter().next())
+            })?;
+        if !self.batched {
+            self.charge_unbatched_crypto_calls()?;
+        }
+        result
+    }
+
+    /// Processes an ingress `DataBatch` record in **one** enclave
+    /// transition: open once, then run every non-bypassed packet through
+    /// Click as a single batch. Delivered packets keep the batch's
+    /// original order.
+    ///
+    /// # Errors
+    ///
+    /// Authentication/replay/framing failures from the channel.
+    pub fn process_ingress_batch(
+        &mut self,
+        record: &Record,
+    ) -> Result<IngressBatchResult, EndBoxError> {
+        let result = self
+            .enclave
+            .ecall("ecall_packet_decrypt", |state, services| {
+                let channel = state
+                    .channel
+                    .as_mut()
+                    .ok_or(EndBoxError::NotReady("no established channel"))?;
+                let payloads = channel.open_batch(record)?;
+                let frames = payloads.len();
+                let total_bytes: usize = payloads.iter().map(Vec::len).sum();
+                services.charge(
+                    services.cost_model().partition_per_packet
+                        + (services.cost_model().partition_per_byte * total_bytes as f64) as u64,
+                );
+                services.charge_epc_traffic(total_bytes);
+
+                // Parse every frame before touching any counters, so a
+                // malformed frame aborts the batch without leaving partial
+                // statistics behind.
+                let packets = payloads
+                    .into_iter()
+                    .map(|payload| {
+                        Packet::from_bytes(payload).map_err(|_| {
+                            EndBoxError::Vpn(VpnError::Malformed("bad tunnelled packet"))
+                        })
+                    })
+                    .collect::<Result<Vec<Packet>, _>>()?;
+
+                // Split the batch into flagged (client-to-client bypass) and
+                // Click-bound packets, remembering each Click packet's
+                // original position so delivery order is preserved.
+                let mut delivered: Vec<Option<Packet>> = (0..frames).map(|_| None).collect();
+                let mut to_click = PacketBatch::with_capacity(frames);
+                let mut click_origin = Vec::with_capacity(frames);
+                for (i, packet) in packets.into_iter().enumerate() {
+                    if state.c2c_flagging && packet.tos() == QOS_ENDBOX_PROCESSED {
+                        state.c2c_bypassed += 1;
+                        delivered[i] = Some(packet);
+                    } else {
+                        click_origin.push(i);
+                        to_click.push(packet);
+                    }
+                }
+                let n_click = to_click.len();
+                let out = state.click.process_batch(to_click);
+                state.accepted += out.accepted as u64;
+                state.dropped += (n_click - out.accepted) as u64;
+                for (slot, pkt) in out.first_emissions_by_slot().into_iter().enumerate() {
+                    if let Some(pkt) = pkt {
+                        delivered[click_origin[slot]] = Some(pkt);
+                    }
+                }
+                Ok(IngressBatchResult {
+                    packets: delivered.into_iter().flatten().collect(),
+                    frames,
+                })
+            })?;
         if !self.batched {
             self.charge_unbatched_crypto_calls()?;
         }
@@ -504,8 +690,10 @@ impl EnclaveApp {
                 timestamp_ns: now,
             };
             let session_id = state.session_id;
-            let channel =
-                state.channel.as_mut().ok_or(EndBoxError::NotReady("no channel"))?;
+            let channel = state
+                .channel
+                .as_mut()
+                .ok_or(EndBoxError::NotReady("no channel"))?;
             Ok(channel.seal(Opcode::Ping, session_id, &msg.to_bytes()))
         })?
     }
@@ -518,8 +706,10 @@ impl EnclaveApp {
     /// Authentication failures for crafted pings.
     pub fn process_ping(&mut self, record: &Record) -> Result<PingMessage, EndBoxError> {
         self.enclave.ecall("ecall_ping_process", |state, _| {
-            let channel =
-                state.channel.as_mut().ok_or(EndBoxError::NotReady("no channel"))?;
+            let channel = state
+                .channel
+                .as_mut()
+                .ok_or(EndBoxError::NotReady("no channel"))?;
             let payload = channel.open(record)?;
             let msg = PingMessage::from_bytes(&payload)?;
             if msg.config_version > state.server_required_version {
@@ -532,7 +722,9 @@ impl EnclaveApp {
     /// Latest configuration version announced by the server.
     pub fn server_required_version(&mut self) -> u64 {
         self.enclave
-            .ecall("ecall_config_version_read", |state, _| state.server_required_version)
+            .ecall("ecall_config_version_read", |state, _| {
+                state.server_required_version
+            })
             .unwrap_or(0)
     }
 
@@ -544,42 +736,43 @@ impl EnclaveApp {
     /// [`EndBoxError::ConfigUpdate`] on bad signatures, version replay, or
     /// undecryptable payloads.
     pub fn apply_config(&mut self, signed: &SignedConfig) -> Result<(), EndBoxError> {
-        self.enclave.ecall("ecall_config_apply", |state, services| {
-            services.charge(services.cost_model().sig_verify);
-            signed
-                .verify(&state.ca_public)
-                .map_err(|_| EndBoxError::ConfigUpdate("signature invalid"))?;
-            // Monotonic version check: rejecting old versions prevents
-            // replaying stale configurations (§III-E).
-            if signed.version <= state.config_version {
-                return Err(EndBoxError::ConfigUpdate("version not newer (replay?)"));
-            }
-            let inner = if signed.encrypted {
-                let key = state
-                    .config_key
-                    .as_ref()
-                    .ok_or(EndBoxError::ConfigUpdate("no config key installed"))?;
-                services.charge(services.cost_model().crypto_cycles(signed.payload.len()));
+        self.enclave
+            .ecall("ecall_config_apply", |state, services| {
+                services.charge(services.cost_model().sig_verify);
                 signed
-                    .decrypt(key)
-                    .ok_or(EndBoxError::ConfigUpdate("decryption failed"))?
-            } else {
-                signed.payload.clone()
-            };
-            // The version is also embedded *inside* the (possibly
-            // encrypted) payload; both must agree.
-            let (inner_version, click_text) = SignedConfig::split_inner(&inner)
-                .ok_or(EndBoxError::ConfigUpdate("malformed config body"))?;
-            if inner_version != signed.version {
-                return Err(EndBoxError::ConfigUpdate("inner/outer version mismatch"));
-            }
-            state
-                .click
-                .hot_swap(click_text)
-                .map_err(|_| EndBoxError::ConfigUpdate("config rejected by Click"))?;
-            state.config_version = signed.version;
-            Ok(())
-        })?
+                    .verify(&state.ca_public)
+                    .map_err(|_| EndBoxError::ConfigUpdate("signature invalid"))?;
+                // Monotonic version check: rejecting old versions prevents
+                // replaying stale configurations (§III-E).
+                if signed.version <= state.config_version {
+                    return Err(EndBoxError::ConfigUpdate("version not newer (replay?)"));
+                }
+                let inner = if signed.encrypted {
+                    let key = state
+                        .config_key
+                        .as_ref()
+                        .ok_or(EndBoxError::ConfigUpdate("no config key installed"))?;
+                    services.charge(services.cost_model().crypto_cycles(signed.payload.len()));
+                    signed
+                        .decrypt(key)
+                        .ok_or(EndBoxError::ConfigUpdate("decryption failed"))?
+                } else {
+                    signed.payload.clone()
+                };
+                // The version is also embedded *inside* the (possibly
+                // encrypted) payload; both must agree.
+                let (inner_version, click_text) = SignedConfig::split_inner(&inner)
+                    .ok_or(EndBoxError::ConfigUpdate("malformed config body"))?;
+                if inner_version != signed.version {
+                    return Err(EndBoxError::ConfigUpdate("inner/outer version mismatch"));
+                }
+                state
+                    .click
+                    .hot_swap(click_text)
+                    .map_err(|_| EndBoxError::ConfigUpdate("config rejected by Click"))?;
+                state.config_version = signed.version;
+                Ok(())
+            })?
     }
 
     /// The config version currently applied.

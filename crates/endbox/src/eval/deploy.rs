@@ -80,11 +80,47 @@ pub fn measure_charge(deployment: Deployment, payload_len: usize, samples: usize
 }
 
 fn measure_vpn_stack(deployment: Deployment, payload_len: usize, samples: usize) -> PacketCharge {
+    measure_vpn_stack_batched(deployment, payload_len, samples, 1)
+}
+
+/// Like [`measure_charge`], but pushes `batch_size` packets per batch
+/// through the batched datapath (`send_batch` / batched server delivery).
+/// `batch_size == 1` degrades to the single-packet path. Returned charges
+/// are per packet.
+///
+/// # Panics
+///
+/// Panics if the deployment cannot be constructed, or for
+/// [`Deployment::VanillaClick`] with `batch_size > 1` (that deployment
+/// has no VPN; batch it at the router level instead).
+pub fn measure_charge_batched(
+    deployment: Deployment,
+    payload_len: usize,
+    samples: usize,
+    batch_size: usize,
+) -> PacketCharge {
+    match deployment {
+        Deployment::VanillaClick(uc) => {
+            assert_eq!(batch_size, 1, "vanilla Click has no VPN record batching");
+            measure_vanilla_click(uc, payload_len, samples)
+        }
+        _ => measure_vpn_stack_batched(deployment, payload_len, samples, batch_size),
+    }
+}
+
+fn measure_vpn_stack_batched(
+    deployment: Deployment,
+    payload_len: usize,
+    samples: usize,
+    batch_size: usize,
+) -> PacketCharge {
     let (trust, use_case, server_click) = match deployment {
         Deployment::VanillaOpenVpn => (TrustLevel::Untrusted, UseCase::Nop, None),
-        Deployment::OpenVpnClick(uc) => {
-            (TrustLevel::Untrusted, UseCase::Nop, Some(uc.server_click_config()))
-        }
+        Deployment::OpenVpnClick(uc) => (
+            TrustLevel::Untrusted,
+            UseCase::Nop,
+            Some(uc.server_click_config()),
+        ),
         Deployment::EndBoxSim(uc) => (TrustLevel::Simulation, uc, None),
         Deployment::EndBoxSgx(uc) => (TrustLevel::Hardware, uc, None),
         Deployment::VanillaClick(_) => unreachable!("handled by caller"),
@@ -106,31 +142,47 @@ fn measure_vpn_stack(deployment: Deployment, payload_len: usize, samples: usize)
     client_meter.take();
     server_meter.take();
 
-    let mut wire_bytes_total = 0usize;
-    let mut fragments_total = 0usize;
-    for _ in 0..samples {
-        let packet = Packet::tcp(
+    let build_packet = || {
+        Packet::tcp(
             Scenario::client_addr(0),
             Scenario::network_addr(),
             40_000,
             5001,
             0,
             &payload,
-        );
-        let datagrams = scenario.clients[0].send_packet(packet).expect("send");
+        )
+    };
+
+    let mut wire_bytes_total = 0usize;
+    let mut fragments_total = 0usize;
+    for _ in 0..samples {
+        let datagrams = if batch_size == 1 {
+            let datagrams = scenario.clients[0]
+                .send_packet(build_packet())
+                .expect("send");
+            for d in &datagrams {
+                scenario.server.receive_datagram(0, d).expect("deliver");
+            }
+            datagrams
+        } else {
+            let packets: Vec<Packet> = (0..batch_size).map(|_| build_packet()).collect();
+            let datagrams = scenario.clients[0].send_batch(packets).expect("send batch");
+            for d in &datagrams {
+                scenario.server.receive_datagram(0, d).expect("deliver");
+            }
+            datagrams
+        };
         fragments_total += datagrams.len();
-        for d in &datagrams {
-            wire_bytes_total += d.len();
-            scenario.server.receive_datagram(0, d).expect("deliver");
-        }
+        wire_bytes_total += datagrams.iter().map(Vec::len).sum::<usize>();
     }
 
+    let packets_total = (samples * batch_size) as u64;
     PacketCharge {
         payload_bytes: payload_len + 40, // payload + IP/TCP headers
-        wire_bytes: wire_bytes_total / samples,
-        fragments: (fragments_total / samples).max(1),
-        client_cycles: client_meter.take() / samples as u64,
-        server_cycles: server_meter.take() / samples as u64,
+        wire_bytes: wire_bytes_total / packets_total as usize,
+        fragments: (fragments_total.div_ceil(samples * batch_size)).max(1),
+        client_cycles: client_meter.take() / packets_total,
+        server_cycles: server_meter.take() / packets_total,
         dropped: false,
     }
 }
@@ -226,7 +278,11 @@ mod tests {
     #[test]
     fn large_payloads_fragment() {
         let charge = measure_charge(Deployment::VanillaOpenVpn, 32_768, 4);
-        assert!(charge.fragments >= 4, "32KB spans several datagrams: {}", charge.fragments);
+        assert!(
+            charge.fragments >= 4,
+            "32KB spans several datagrams: {}",
+            charge.fragments
+        );
         assert!(charge.wire_bytes > 32_768);
     }
 

@@ -79,8 +79,14 @@ pub fn ping_rtt(method: Redirection) -> SimDuration {
             let charge = measure_charge(deployment, 64, 8);
             for _ in 0..2 {
                 legs.push(Leg::Fixed(LOCAL_DETOUR_ONE_WAY));
-                legs.push(Leg::Cycles { cycles: charge.client_cycles, freq_hz: CLASS_A_HZ });
-                legs.push(Leg::Cycles { cycles: charge.server_cycles, freq_hz: CLASS_B_HZ });
+                legs.push(Leg::Cycles {
+                    cycles: charge.client_cycles,
+                    freq_hz: CLASS_A_HZ,
+                });
+                legs.push(Leg::Cycles {
+                    cycles: charge.server_cycles,
+                    freq_hz: CLASS_B_HZ,
+                });
             }
         }
         Redirection::AwsEuCentral | Redirection::AwsUsEast => {
@@ -92,8 +98,14 @@ pub fn ping_rtt(method: Redirection) -> SimDuration {
             let charge = measure_charge(Deployment::OpenVpnClick(UseCase::Nop), 64, 8);
             for _ in 0..2 {
                 legs.push(Leg::Fixed(extra));
-                legs.push(Leg::Cycles { cycles: charge.client_cycles, freq_hz: CLASS_A_HZ });
-                legs.push(Leg::Cycles { cycles: charge.server_cycles, freq_hz: CLASS_B_HZ });
+                legs.push(Leg::Cycles {
+                    cycles: charge.client_cycles,
+                    freq_hz: CLASS_A_HZ,
+                });
+                legs.push(Leg::Cycles {
+                    cycles: charge.server_cycles,
+                    freq_hz: CLASS_B_HZ,
+                });
             }
         }
     }
@@ -108,9 +120,12 @@ pub fn fig7() -> Vec<(&'static str, f64)> {
         .collect()
 }
 
+/// A CDF as `(value, cumulative fraction)` points.
+pub type Cdf = Vec<(f64, f64)>;
+
 /// Fig. 6: page-load-time CDFs (seconds, fraction) for direct and
 /// EndBox-tunnelled browsing over the synthetic Alexa-like catalogue.
-pub fn fig6(n_pages: usize) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+pub fn fig6(n_pages: usize) -> (Cdf, Cdf) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xa1e8a);
     let catalogue = PageCatalogue::synthetic(n_pages, &mut rng);
 
@@ -125,10 +140,16 @@ pub fn fig6(n_pages: usize) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
     let direct_model = PageLoadModel::broadband(base_rtt);
     let endbox_model = PageLoadModel::broadband(endbox_rtt);
 
-    let direct: Vec<f64> =
-        catalogue.pages().iter().map(|p| direct_model.load_time(p).as_secs_f64()).collect();
-    let tunnelled: Vec<f64> =
-        catalogue.pages().iter().map(|p| endbox_model.load_time(p).as_secs_f64()).collect();
+    let direct: Vec<f64> = catalogue
+        .pages()
+        .iter()
+        .map(|p| direct_model.load_time(p).as_secs_f64())
+        .collect();
+    let tunnelled: Vec<f64> = catalogue
+        .pages()
+        .iter()
+        .map(|p| endbox_model.load_time(p).as_secs_f64())
+        .collect();
     (cdf_points(&tunnelled, 100), cdf_points(&direct, 100))
 }
 
@@ -195,12 +216,32 @@ pub fn fig11(endbox: bool) -> Vec<PingSample> {
         measure_charge(Deployment::OpenVpnClick(UseCase::Firewall), 64, 8)
     };
     let base_rtt_ms = unloaded_latency(&[
-        Leg::Cycles { cycles: charge.client_cycles, freq_hz: CLASS_A_HZ },
-        Leg::Cycles { cycles: charge.server_cycles, freq_hz: CLASS_B_HZ },
-        Leg::Wire { bytes: 150, rate_bps: 10_000_000_000, delay: SimDuration::from_micros(30) },
-        Leg::Cycles { cycles: charge.server_cycles, freq_hz: CLASS_B_HZ },
-        Leg::Cycles { cycles: charge.client_cycles, freq_hz: CLASS_A_HZ },
-        Leg::Wire { bytes: 150, rate_bps: 10_000_000_000, delay: SimDuration::from_micros(30) },
+        Leg::Cycles {
+            cycles: charge.client_cycles,
+            freq_hz: CLASS_A_HZ,
+        },
+        Leg::Cycles {
+            cycles: charge.server_cycles,
+            freq_hz: CLASS_B_HZ,
+        },
+        Leg::Wire {
+            bytes: 150,
+            rate_bps: 10_000_000_000,
+            delay: SimDuration::from_micros(30),
+        },
+        Leg::Cycles {
+            cycles: charge.server_cycles,
+            freq_hz: CLASS_B_HZ,
+        },
+        Leg::Cycles {
+            cycles: charge.client_cycles,
+            freq_hz: CLASS_A_HZ,
+        },
+        Leg::Wire {
+            bytes: 150,
+            rate_bps: 10_000_000_000,
+            delay: SimDuration::from_micros(30),
+        },
     ])
     .as_millis_f64();
 
@@ -216,7 +257,10 @@ pub fn fig11(endbox: bool) -> Vec<PingSample> {
         .map(|i| {
             let t_ms = i as f64 * 100.0;
             let lost = t_ms >= 0.0 && t_ms < outage_ms;
-            PingSample { t_ms, rtt_ms: (!lost).then_some(base_rtt_ms) }
+            PingSample {
+                t_ms,
+                rtt_ms: (!lost).then_some(base_rtt_ms),
+            }
         })
         .collect()
 }
@@ -260,8 +304,7 @@ mod tests {
     #[test]
     fn table1_overhead_below_eight_percent() {
         for row in table1() {
-            let overhead =
-                (row.with_decryption_ms - row.vanilla_ms) / row.vanilla_ms;
+            let overhead = (row.with_decryption_ms - row.vanilla_ms) / row.vanilla_ms;
             assert!(overhead < 0.08, "paper: <8% overhead; got {overhead:.3}");
             assert!(row.without_decryption_ms < row.with_decryption_ms);
             assert!(row.vanilla_ms < row.without_decryption_ms);

@@ -67,7 +67,7 @@ fn replay_mbps(charge: PacketCharge) -> f64 {
         MachineSpec::class_a(),
         MachineSpec::class_a(),
         &mut link,
-        std::iter::repeat(charge).take(2_000),
+        std::iter::repeat_n(charge, 2_000),
     )
     .mbps
 }
@@ -76,8 +76,14 @@ fn replay_mbps(charge: PacketCharge) -> f64 {
 /// (paper: "Reducing the number of enclave transitions per packet results
 /// in a substantially higher throughput of 342%").
 pub fn transition_ablation() -> TransitionAblation {
-    let mut batched = Scenario::enterprise(1, UseCase::Nop).batched_ecalls(true).build().unwrap();
-    let mut per_op = Scenario::enterprise(1, UseCase::Nop).batched_ecalls(false).build().unwrap();
+    let mut batched = Scenario::enterprise(1, UseCase::Nop)
+        .batched_ecalls(true)
+        .build()
+        .unwrap();
+    let mut per_op = Scenario::enterprise(1, UseCase::Nop)
+        .batched_ecalls(false)
+        .build()
+        .unwrap();
     let batched_mbps = replay_mbps(measure_with(&mut batched, 1_500, 16));
     let per_op_mbps = replay_mbps(measure_with(&mut per_op, 1_500, 16));
     TransitionAblation {
@@ -172,6 +178,46 @@ pub fn c2c_ablation() -> C2cAblation {
     }
 }
 
+/// Result of the batched-datapath ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchingAblation {
+    /// Packets per record/enclave transition on the batched path.
+    pub batch_size: usize,
+    /// Single-packet datapath throughput (Mbps).
+    pub single_mbps: f64,
+    /// Batched datapath throughput (Mbps).
+    pub batched_mbps: f64,
+    /// Relative improvement of batching.
+    pub improvement_percent: f64,
+}
+
+/// Ablation 6: the batched datapath. Where the §IV-A optimisation took
+/// EndBox from one enclave transition per *crypto op* to one per
+/// *packet*, the batched datapath amortises further: one transition, one
+/// Click traversal and one sealed record per **batch**. Measured on
+/// EndBox-SGX NOP at 1 500 B, like the transition ablation.
+pub fn batching_ablation(batch_size: usize) -> BatchingAblation {
+    use crate::eval::deploy::{measure_charge_batched, Deployment};
+    let single = replay_mbps(measure_charge_batched(
+        Deployment::EndBoxSgx(crate::use_cases::UseCase::Nop),
+        1_500,
+        16,
+        1,
+    ));
+    let batched = replay_mbps(measure_charge_batched(
+        Deployment::EndBoxSgx(crate::use_cases::UseCase::Nop),
+        1_500,
+        16,
+        batch_size,
+    ));
+    BatchingAblation {
+        batch_size,
+        single_mbps: single,
+        batched_mbps: batched,
+        improvement_percent: (batched / single - 1.0) * 100.0,
+    }
+}
+
 /// One point of the EPC-pressure ablation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EpcPoint {
@@ -203,9 +249,14 @@ pub fn epc_ablation() -> Vec<EpcPoint> {
                     services.epc_alloc(48 * 1024 * 1024);
                 });
             let paging_cycles = meter.take();
-            let page_faults =
-                enclave.ecall("touch", |_, svc| svc.epc().page_faults()).unwrap();
-            EpcPoint { epc_mib: mib, page_faults, paging_cycles }
+            let page_faults = enclave
+                .ecall("touch", |_, svc| svc.epc().page_faults())
+                .unwrap();
+            EpcPoint {
+                epc_mib: mib,
+                page_faults,
+                paging_cycles,
+            }
         })
         .collect()
 }
@@ -278,6 +329,26 @@ mod tests {
     }
 
     #[test]
+    fn batched_datapath_beats_single_packet() {
+        let r = batching_ablation(16);
+        assert!(
+            r.improvement_percent > 20.0,
+            "batch of 16 must clearly win: single={} batched={} (+{:.0}%)",
+            r.single_mbps,
+            r.batched_mbps,
+            r.improvement_percent
+        );
+        // Larger batches amortise more.
+        let r4 = batching_ablation(4);
+        assert!(
+            r.batched_mbps > r4.batched_mbps,
+            "16={} 4={}",
+            r.batched_mbps,
+            r4.batched_mbps
+        );
+    }
+
+    #[test]
     fn integrity_only_helps_moderately() {
         let r = isp_ablation();
         // Paper: +11%. Accept 4%..20%.
@@ -305,7 +376,11 @@ mod tests {
     fn sampling_interval_amortises_trusted_time() {
         let sweep = sampling_sweep();
         let per_packet = |interval: u64| {
-            sweep.iter().find(|p| p.sample_interval == interval).unwrap().cycles_per_packet
+            sweep
+                .iter()
+                .find(|p| p.sample_interval == interval)
+                .unwrap()
+                .cycles_per_packet
         };
         // Reading time every packet is dramatically more expensive than
         // the paper's 500k interval.
@@ -319,9 +394,16 @@ mod tests {
     fn epc_pressure_grows_below_the_working_set() {
         let sweep = epc_ablation();
         let at = |mib: usize| sweep.iter().find(|p| p.epc_mib == mib).unwrap();
-        assert_eq!(at(128).page_faults, 0, "48 MiB enclave fits the 128 MiB EPC");
+        assert_eq!(
+            at(128).page_faults,
+            0,
+            "48 MiB enclave fits the 128 MiB EPC"
+        );
         assert_eq!(at(64).page_faults, 0);
-        assert!(at(32).page_faults > 0, "paging starts below the working set");
+        assert!(
+            at(32).page_faults > 0,
+            "paging starts below the working set"
+        );
         assert!(at(16).page_faults > at(32).page_faults);
         assert!(at(16).paging_cycles > at(32).paging_cycles);
     }

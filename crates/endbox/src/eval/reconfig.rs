@@ -37,16 +37,26 @@ pub fn minimal_config() -> &'static str {
 pub fn fetch_latency(config_bytes: usize) -> SimDuration {
     unloaded_latency(&[
         // Request out, response back.
-        Leg::Wire { bytes: 200, rate_bps: 10_000_000_000, delay: SimDuration::from_micros(30) },
+        Leg::Wire {
+            bytes: 200,
+            rate_bps: 10_000_000_000,
+            delay: SimDuration::from_micros(30),
+        },
         Leg::Wire {
             bytes: config_bytes + 300,
             rate_bps: 10_000_000_000,
             delay: SimDuration::from_micros(30),
         },
         // Config server request handling (file lookup + HTTP).
-        Leg::Cycles { cycles: 2_200_000, freq_hz: CLASS_B_HZ },
+        Leg::Cycles {
+            cycles: 2_200_000,
+            freq_hz: CLASS_B_HZ,
+        },
         // Client-side socket + buffer handling.
-        Leg::Cycles { cycles: 450_000, freq_hz: CLASS_A_HZ },
+        Leg::Cycles {
+            cycles: 450_000,
+            freq_hz: CLASS_A_HZ,
+        },
     ])
 }
 
@@ -54,7 +64,9 @@ pub fn fetch_latency(config_bytes: usize) -> SimDuration {
 /// into the Table II phases.
 pub fn endbox_breakdown() -> ReconfigBreakdown {
     let cost = CostModel::calibrated();
-    let mut scenario = Scenario::enterprise(1, UseCase::Nop).build().expect("scenario");
+    let mut scenario = Scenario::enterprise(1, UseCase::Nop)
+        .build()
+        .expect("scenario");
     let meter = scenario.clients[0].meter().clone();
 
     // Run the genuine Fig. 5 cycle against the real enclave and verify the
@@ -96,7 +108,10 @@ pub fn vanilla_click_breakdown() -> ReconfigBreakdown {
     use endbox_click::element::ElementEnv;
     use endbox_click::Router;
 
-    let env = ElementEnv { device_io: true, ..ElementEnv::default() };
+    let env = ElementEnv {
+        device_io: true,
+        ..ElementEnv::default()
+    };
     let meter = env.meter.clone();
     let mut router = Router::from_config(minimal_config(), env).expect("config");
     meter.take();
@@ -130,10 +145,26 @@ mod tests {
         let ratio = endbox.hotswap_ms / vanilla.hotswap_ms;
         assert!(ratio < 0.45, "hot-swap ratio {ratio:.2} (paper ~0.31)");
         // Paper magnitudes: vanilla 2.4 ms, EndBox phases 0.86/0.07/0.74.
-        assert!((vanilla.hotswap_ms - 2.4).abs() < 0.4, "{}", vanilla.hotswap_ms);
-        assert!((endbox.fetch_ms.unwrap() - 0.86).abs() < 0.2, "{:?}", endbox.fetch_ms);
-        assert!((endbox.decrypt_ms.unwrap() - 0.07).abs() < 0.04, "{:?}", endbox.decrypt_ms);
-        assert!((endbox.hotswap_ms - 0.74).abs() < 0.15, "{}", endbox.hotswap_ms);
+        assert!(
+            (vanilla.hotswap_ms - 2.4).abs() < 0.4,
+            "{}",
+            vanilla.hotswap_ms
+        );
+        assert!(
+            (endbox.fetch_ms.unwrap() - 0.86).abs() < 0.2,
+            "{:?}",
+            endbox.fetch_ms
+        );
+        assert!(
+            (endbox.decrypt_ms.unwrap() - 0.07).abs() < 0.04,
+            "{:?}",
+            endbox.decrypt_ms
+        );
+        assert!(
+            (endbox.hotswap_ms - 0.74).abs() < 0.15,
+            "{}",
+            endbox.hotswap_ms
+        );
     }
 
     #[test]

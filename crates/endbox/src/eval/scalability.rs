@@ -49,8 +49,8 @@ fn charge_at_scale(
         // The Click-side share of the per-packet work (fetch + IPC +
         // elements) is what the scheduler pressure amplifies.
         let click_side = base.server_cycles.saturating_sub(vanilla_server_cycles);
-        charge.server_cycles =
-            base.server_cycles + (click_side as f64 * SCHED_PENALTY_PER_EXCESS_PROC * excess) as u64;
+        charge.server_cycles = base.server_cycles
+            + (click_side as f64 * SCHED_PENALTY_PER_EXCESS_PROC * excess) as u64;
     }
     charge
 }
@@ -131,7 +131,12 @@ mod tests {
         let points = sweep(Deployment::EndBoxSgx(UseCase::Nop));
         let at = |n| gbps_at(&points, &Deployment::EndBoxSgx(UseCase::Nop).name(), n).unwrap();
         // Linear region: 5 -> 10 -> 20 clients roughly doubles.
-        assert!((at(10) / at(5) - 2.0).abs() < 0.2, "{} vs {}", at(10), at(5));
+        assert!(
+            (at(10) / at(5) - 2.0).abs() < 0.2,
+            "{} vs {}",
+            at(10),
+            at(5)
+        );
         assert!((at(20) / at(10) - 2.0).abs() < 0.2);
         // Plateau at roughly the paper's 6.5 Gbps (±20%).
         let plateau = at(60);
@@ -155,13 +160,20 @@ mod tests {
         let heavy = sweep(Deployment::OpenVpnClick(UseCase::Idps));
         let l = light.last().unwrap().gbps;
         let h = heavy.last().unwrap().gbps;
-        assert!(h < l, "IDPS saturates the central server earlier: {h} vs {l}");
+        assert!(
+            h < l,
+            "IDPS saturates the central server earlier: {h} vs {l}"
+        );
     }
 
     #[test]
     fn server_cpu_saturates_for_central_deployments() {
         let points = sweep(Deployment::OpenVpnClick(UseCase::Idps));
         let last = points.last().unwrap();
-        assert!(last.server_cpu > 0.9, "central middlebox CPU-bound: {}", last.server_cpu);
+        assert!(
+            last.server_cpu > 0.9,
+            "central middlebox CPU-bound: {}",
+            last.server_cpu
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Single-flow throughput experiments: Fig. 8 (packet-size sweep) and
 //! Fig. 9 (per-use-case throughput at 1 500 B).
 
-use super::deploy::{measure_charge, Deployment};
+use super::deploy::{measure_charge, measure_charge_batched, Deployment};
 use crate::use_cases::UseCase;
 use endbox_netsim::pipeline::{run_single_flow, ThroughputResult};
 use endbox_netsim::resource::{Link, MachineSpec};
@@ -10,6 +10,8 @@ use endbox_netsim::resource::{Link, MachineSpec};
 const REPLAY_PACKETS: usize = 2_000;
 /// Real packets pushed through the functional stack per data point.
 const MEASURE_SAMPLES: usize = 16;
+/// Packets coalesced per record on the batched datapath data points.
+pub const BATCH_SIZE: usize = 16;
 
 /// One measured point.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,7 +33,21 @@ pub fn single_flow_mbps(deployment: Deployment, payload: usize) -> f64 {
         MachineSpec::class_a(),
         MachineSpec::class_a(),
         &mut link,
-        std::iter::repeat(charge).take(REPLAY_PACKETS),
+        std::iter::repeat_n(charge, REPLAY_PACKETS),
+    );
+    result.mbps
+}
+
+/// Like [`single_flow_mbps`], but on the batched datapath: `batch`
+/// packets per enclave transition and per sealed record.
+pub fn single_flow_mbps_batched(deployment: Deployment, payload: usize, batch: usize) -> f64 {
+    let charge = measure_charge_batched(deployment, payload, MEASURE_SAMPLES, batch);
+    let mut link = Link::ten_gbps();
+    let result: ThroughputResult = run_single_flow(
+        MachineSpec::class_a(),
+        MachineSpec::class_a(),
+        &mut link,
+        std::iter::repeat_n(charge, REPLAY_PACKETS),
     );
     result.mbps
 }
@@ -61,6 +77,27 @@ pub fn fig8() -> Vec<ThroughputPoint> {
                 deployment: deployment.name(),
                 payload,
                 mbps: single_flow_mbps(deployment, payload),
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 8 companion: the same sweep on the batched datapath
+/// ([`BATCH_SIZE`] packets per record) for the two bracketing set-ups —
+/// vanilla OpenVPN (record coalescing only) and EndBox SGX (record
+/// coalescing + one enclave transition per batch).
+pub fn fig8_batched() -> Vec<ThroughputPoint> {
+    let mut out = Vec::new();
+    for deployment in [
+        Deployment::VanillaOpenVpn,
+        Deployment::EndBoxSgx(UseCase::Nop),
+    ] {
+        for payload in fig8_sizes() {
+            out.push(ThroughputPoint {
+                deployment: format!("{} +batch{BATCH_SIZE}", deployment.name()),
+                payload,
+                mbps: single_flow_mbps_batched(deployment, payload, BATCH_SIZE),
             });
         }
     }
@@ -101,11 +138,39 @@ mod tests {
         let vanilla = single_flow_mbps(Deployment::VanillaOpenVpn, 1_500);
         let sim = single_flow_mbps(Deployment::EndBoxSim(UseCase::Nop), 1_500);
         let sgx = single_flow_mbps(Deployment::EndBoxSgx(UseCase::Nop), 1_500);
-        assert!(vanilla > sim && sim > sgx, "vanilla={vanilla} sim={sim} sgx={sgx}");
+        assert!(
+            vanilla > sim && sim > sgx,
+            "vanilla={vanilla} sim={sim} sgx={sgx}"
+        );
         // Paper: 813 / 720 / 530 Mbps. Accept ±25%.
         assert!((vanilla - 813.0).abs() / 813.0 < 0.25, "vanilla={vanilla}");
         assert!((sim - 720.0).abs() / 720.0 < 0.25, "sim={sim}");
         assert!((sgx - 530.0).abs() / 530.0 < 0.25, "sgx={sgx}");
+    }
+
+    #[test]
+    fn batched_path_outperforms_single_for_small_packets() {
+        // Per-packet fixed costs dominate at small payloads, so batching
+        // must help most there — on SGX especially, where the enclave
+        // transition is the largest fixed cost.
+        let single = single_flow_mbps(Deployment::EndBoxSgx(UseCase::Nop), 256);
+        let batched =
+            single_flow_mbps_batched(Deployment::EndBoxSgx(UseCase::Nop), 256, BATCH_SIZE);
+        assert!(
+            batched > 1.5 * single,
+            "batched={batched} single={single}: batching must amortise fixed costs"
+        );
+    }
+
+    #[test]
+    fn batch_of_one_matches_single_path() {
+        let single = single_flow_mbps(Deployment::EndBoxSgx(UseCase::Nop), 1_500);
+        let batch1 = single_flow_mbps_batched(Deployment::EndBoxSgx(UseCase::Nop), 1_500, 1);
+        let diff = (single - batch1).abs() / single;
+        assert!(
+            diff < 0.02,
+            "batch=1 must degrade to the single path: {single} vs {batch1}"
+        );
     }
 
     #[test]

@@ -124,7 +124,11 @@ pub const OCALLS: [&str; 20] = [
 
 /// Every declared ecall name (70 total).
 pub fn all_ecalls() -> Vec<&'static str> {
-    RUNTIME_ECALLS.iter().chain(INIT_ECALLS.iter()).copied().collect()
+    RUNTIME_ECALLS
+        .iter()
+        .chain(INIT_ECALLS.iter())
+        .copied()
+        .collect()
 }
 
 #[cfg(test)]

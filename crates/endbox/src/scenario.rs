@@ -107,8 +107,10 @@ impl ScenarioBuilder {
             ScenarioKind::Enterprise => CipherSuite::Aes128CbcHmac,
             ScenarioKind::Isp => CipherSuite::IntegrityOnly,
         });
-        let client_click =
-            self.custom_client_click.clone().unwrap_or_else(|| self.use_case.click_config());
+        let client_click = self
+            .custom_client_click
+            .clone()
+            .unwrap_or_else(|| self.use_case.click_config());
 
         // VPN server (trusted machine; certificate issued directly).
         let server_meter = CycleMeter::new();
@@ -187,7 +189,10 @@ impl ScenarioBuilder {
             for frag in &hello_frags {
                 match server.receive_datagram(i as u64, frag)? {
                     Delivery::Pending => {}
-                    Delivery::Established { session_id, response } => {
+                    Delivery::Established {
+                        session_id,
+                        response,
+                    } => {
                         established = Some((session_id, response));
                     }
                     other => {
@@ -351,6 +356,66 @@ impl Scenario {
         delivered.ok_or(EndBoxError::PacketDropped)
     }
 
+    /// Sends several application payloads from a client as **one** batch:
+    /// one enclave transition, one Click traversal and one sealed record
+    /// on the client; one batched delivery at the server. Returns the
+    /// packets the server delivered (middlebox-dropped packets are
+    /// omitted).
+    ///
+    /// # Errors
+    ///
+    /// VPN failures; unlike [`Scenario::send_from_client`], a middlebox
+    /// drop of *some* packets is not an error — the survivors are
+    /// returned.
+    pub fn send_batch_from_client(
+        &mut self,
+        idx: usize,
+        payloads: &[Vec<u8>],
+    ) -> Result<Vec<Packet>, EndBoxError> {
+        let packets: Vec<Packet> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                Packet::tcp(
+                    Self::client_addr(idx),
+                    Self::network_addr(),
+                    40_000 + idx as u16,
+                    5_001,
+                    i as u32,
+                    p,
+                )
+            })
+            .collect();
+        self.send_packet_batch_from_client(idx, packets)
+    }
+
+    /// Sends pre-built IP packets from a client through the tunnel as one
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scenario::send_batch_from_client`].
+    pub fn send_packet_batch_from_client(
+        &mut self,
+        idx: usize,
+        packets: Vec<Packet>,
+    ) -> Result<Vec<Packet>, EndBoxError> {
+        let datagrams = self.clients[idx].send_batch(packets)?;
+        let mut delivered = Vec::new();
+        for d in &datagrams {
+            match self.server.receive_datagram(idx as u64, d)? {
+                Delivery::Pending => {}
+                Delivery::PacketBatch { packets, .. } => delivered.extend(packets),
+                Delivery::Packet { packet, .. } => delivered.push(packet),
+                other => {
+                    let _ = other;
+                    return Err(EndBoxError::NotReady("unexpected delivery type"));
+                }
+            }
+        }
+        Ok(delivered)
+    }
+
     /// Sends a payload from one client to another through the server
     /// (client-to-client path, §IV-A).
     ///
@@ -372,7 +437,9 @@ impl Scenario {
             payload,
         );
         let forwarded = self.send_packet_from_client(from, packet)?;
-        let datagrams = self.server.send_to_client(self.session_ids[to], &forwarded)?;
+        let datagrams = self
+            .server
+            .send_to_client(self.session_ids[to], &forwarded)?;
         let mut delivered = None;
         for d in &datagrams {
             if let Some(p) = self.clients[to].receive_datagram(d)? {
@@ -470,7 +537,8 @@ mod tests {
     fn idps_scenario_blocks_malicious_payloads() {
         let mut s = Scenario::enterprise(1, UseCase::Idps).build().unwrap();
         // Benign passes.
-        s.send_from_client(0, b"innocuous lowercase payload").unwrap();
+        s.send_from_client(0, b"innocuous lowercase payload")
+            .unwrap();
         // Rule 0 (sid 1000000) is a drop rule matching EB-MAL-0000 on
         // tcp dst port 80.
         let evil = Packet::tcp(
@@ -487,10 +555,127 @@ mod tests {
     }
 
     #[test]
+    fn batched_send_delivers_everything_in_order() {
+        let mut s = Scenario::enterprise(1, UseCase::Firewall).build().unwrap();
+        let payloads: Vec<Vec<u8>> = (0..10)
+            .map(|i| format!("batched payload {i}").into_bytes())
+            .collect();
+        let datagrams_before = s.clients[0].stats.datagrams_out;
+        let delivered = s.send_batch_from_client(0, &payloads).unwrap();
+        assert_eq!(delivered.len(), 10);
+        for (i, pkt) in delivered.iter().enumerate() {
+            assert_eq!(pkt.app_payload(), payloads[i].as_slice());
+        }
+        assert_eq!(s.clients[0].stats.sent, 10);
+        assert_eq!(
+            s.clients[0].stats.datagrams_out - datagrams_before,
+            1,
+            "one record for the whole batch"
+        );
+    }
+
+    #[test]
+    fn batched_send_filters_malicious_packets_only() {
+        let mut s = Scenario::enterprise(1, UseCase::Idps).build().unwrap();
+        let packets = vec![
+            Packet::tcp(
+                Scenario::client_addr(0),
+                Scenario::network_addr(),
+                40_000,
+                80,
+                0,
+                b"benign one",
+            ),
+            Packet::tcp(
+                Scenario::client_addr(0),
+                Scenario::network_addr(),
+                40_000,
+                80,
+                1,
+                b"xx EB-MAL-0000 xx",
+            ),
+            Packet::tcp(
+                Scenario::client_addr(0),
+                Scenario::network_addr(),
+                40_000,
+                80,
+                2,
+                b"benign two",
+            ),
+        ];
+        let delivered = s.send_packet_batch_from_client(0, packets).unwrap();
+        assert_eq!(delivered.len(), 2, "malicious middle packet dropped");
+        assert_eq!(delivered[0].app_payload(), b"benign one");
+        assert_eq!(delivered[1].app_payload(), b"benign two");
+        assert_eq!(s.clients[0].stats.dropped_egress, 1);
+    }
+
+    #[test]
+    fn batched_path_is_cheaper_per_packet_than_single() {
+        let payloads: Vec<Vec<u8>> = (0..16).map(|_| vec![0xa5u8; 1000]).collect();
+
+        let mut single = Scenario::enterprise(1, UseCase::Nop).build().unwrap();
+        let meter = single.clients[0].meter().clone();
+        single.send_from_client(0, &payloads[0]).unwrap(); // warm-up
+        meter.take();
+        for p in &payloads {
+            single.send_from_client(0, p).unwrap();
+        }
+        let single_cycles = meter.take();
+
+        let mut batched = Scenario::enterprise(1, UseCase::Nop).build().unwrap();
+        let meter = batched.clients[0].meter().clone();
+        batched.send_from_client(0, &payloads[0]).unwrap(); // warm-up
+        meter.take();
+        let delivered = batched.send_batch_from_client(0, &payloads).unwrap();
+        assert_eq!(delivered.len(), 16);
+        let batch_cycles = meter.take();
+
+        assert!(
+            batch_cycles < single_cycles,
+            "batched client path must be cheaper: {batch_cycles} vs {single_cycles}"
+        );
+    }
+
+    #[test]
+    fn batched_ingress_to_client_roundtrips() {
+        let mut s = Scenario::enterprise(2, UseCase::Nop).build().unwrap();
+        // Client 0 sends a batch addressed to client 1; the server relays
+        // it as one batched record.
+        let packets: Vec<Packet> = (0..5)
+            .map(|i| {
+                Packet::tcp(
+                    Scenario::client_addr(0),
+                    Scenario::client_addr(1),
+                    40_000,
+                    40_001,
+                    i as u32,
+                    format!("c2c batch {i}").as_bytes(),
+                )
+            })
+            .collect();
+        let forwarded = s.send_packet_batch_from_client(0, packets).unwrap();
+        assert_eq!(forwarded.len(), 5);
+        let sid = s.session_id(1);
+        let datagrams = s.server.send_batch_to_client(sid, &forwarded).unwrap();
+        let mut delivered = Vec::new();
+        for d in &datagrams {
+            delivered.extend(s.clients[1].receive_datagram_batch(d).unwrap());
+        }
+        assert_eq!(delivered.len(), 5);
+        for (i, pkt) in delivered.iter().enumerate() {
+            assert_eq!(pkt.app_payload(), format!("c2c batch {i}").as_bytes());
+        }
+        assert_eq!(s.clients[1].stats.received, 5);
+    }
+
+    #[test]
     fn config_update_cycle() {
         let mut s = Scenario::enterprise(2, UseCase::Nop).build().unwrap();
         assert_eq!(s.client_version(0), 1);
-        let v = s.update_config(&UseCase::Firewall.click_config(), 30).unwrap();
+        let v = s
+            .update_config(&UseCase::Firewall.click_config(), 30)
+            .unwrap();
         assert_eq!(v, 2);
         assert_eq!(s.client_version(0), 2);
         assert_eq!(s.client_version(1), 2);
@@ -512,7 +697,9 @@ mod tests {
             .c2c_flagging(true)
             .build()
             .unwrap();
-        s.client_to_client(0, 1, b"flagged once-processed packet").unwrap().unwrap();
+        s.client_to_client(0, 1, b"flagged once-processed packet")
+            .unwrap()
+            .unwrap();
         let (_, _, bypassed) = s.clients[1].enclave_app().packet_counters();
         assert_eq!(bypassed, 1, "receiver must skip Click for flagged packets");
     }

@@ -13,7 +13,7 @@ use endbox_click::Router;
 use endbox_netsim::cost::{CostModel, CycleMeter};
 use endbox_netsim::packet::QOS_ENDBOX_PROCESSED;
 use endbox_netsim::time::SharedClock;
-use endbox_netsim::Packet;
+use endbox_netsim::{Packet, PacketBatch};
 use endbox_vpn::channel::CipherSuite;
 use endbox_vpn::frag::{Fragmenter, Reassembler};
 use endbox_vpn::handshake::HandshakeConfig;
@@ -59,6 +59,15 @@ pub enum Delivery {
         session_id: u64,
         /// The decapsulated IP packet.
         packet: Packet,
+    },
+    /// A batched record delivered several tunnel packets at once (§IV
+    /// batching). Packets the server-side Click dropped are already
+    /// filtered out (see `counters`).
+    PacketBatch {
+        /// Originating session.
+        session_id: u64,
+        /// The decapsulated IP packets, in batch order.
+        packets: Vec<Packet>,
     },
     /// A client ping arrived (config-version proof).
     Ping {
@@ -170,11 +179,21 @@ impl EndBoxServer {
             EndBoxError::Vpn(e)
         })?;
         match event {
-            ServerEvent::Established { session_id, response, .. } => {
+            ServerEvent::Established {
+                session_id,
+                response,
+                ..
+            } => {
                 let datagrams = self.fragment(&response);
-                Ok(Delivery::Established { session_id, response: datagrams })
+                Ok(Delivery::Established {
+                    session_id,
+                    response: datagrams,
+                })
             }
-            ServerEvent::Data { session_id, payload } => {
+            ServerEvent::Data {
+                session_id,
+                payload,
+            } => {
                 let mut packet = Packet::from_bytes(payload).map_err(|_| {
                     EndBoxError::Vpn(endbox_vpn::VpnError::Malformed("bad tunnelled packet"))
                 })?;
@@ -200,7 +219,47 @@ impl EndBoxServer {
                 self.delivered += 1;
                 Ok(Delivery::Packet { session_id, packet })
             }
-            ServerEvent::Ping { session_id, message } => Ok(Delivery::Ping { session_id, message }),
+            ServerEvent::DataBatch {
+                session_id,
+                payloads,
+            } => {
+                let mut packets = Vec::with_capacity(payloads.len());
+                for payload in payloads {
+                    packets.push(Packet::from_bytes(payload).map_err(|_| {
+                        EndBoxError::Vpn(endbox_vpn::VpnError::Malformed("bad tunnelled packet"))
+                    })?);
+                }
+                if let Some(click) = self.server_click.as_mut() {
+                    // Handing the whole batch to the Click process at
+                    // once: the IPC crossing is paid once per batch, the
+                    // fetch copies per packet/byte as before.
+                    let total: usize = packets.iter().map(Packet::len).sum();
+                    self.meter.add(
+                        self.cost.click_fetch_per_packet * packets.len() as u64
+                            + self.cost.click_ipc_per_packet
+                            + (self.cost.click_fetch_per_byte * total as f64) as u64,
+                    );
+                    let n = packets.len();
+                    let out = click.process_batch(PacketBatch::from(packets));
+                    self.click_dropped += (n - out.accepted) as u64;
+                    packets = out.into_first_emissions();
+                }
+                // Deliver into the managed network: one write per packet.
+                self.meter
+                    .add(self.cost.vpn_per_write * packets.len() as u64);
+                self.delivered += packets.len() as u64;
+                Ok(Delivery::PacketBatch {
+                    session_id,
+                    packets,
+                })
+            }
+            ServerEvent::Ping {
+                session_id,
+                message,
+            } => Ok(Delivery::Ping {
+                session_id,
+                message,
+            }),
             ServerEvent::Disconnected { session_id } => {
                 self.reassemblers.remove(&peer_id);
                 Ok(Delivery::Disconnected { session_id })
@@ -221,7 +280,30 @@ impl EndBoxServer {
         self.meter.add(
             self.cost.vpn_per_write + (self.cost.memcpy_per_byte * packet.len() as f64) as u64,
         );
-        let record = self.vpn.seal_to_client(session_id, Opcode::Data, packet.bytes())?;
+        let record = self
+            .vpn
+            .seal_to_client(session_id, Opcode::Data, packet.bytes())?;
+        Ok(self.fragment(&record))
+    }
+
+    /// Seals several packets towards a client as **one** `DataBatch`
+    /// record (ingress direction, §IV batching), then fragments it.
+    ///
+    /// # Errors
+    ///
+    /// [`EndBoxError::Vpn`] for unknown sessions.
+    pub fn send_batch_to_client(
+        &mut self,
+        session_id: u64,
+        packets: &[Packet],
+    ) -> Result<Vec<Vec<u8>>, EndBoxError> {
+        let total: usize = packets.iter().map(Packet::len).sum();
+        self.meter.add(
+            self.cost.vpn_per_write * packets.len() as u64
+                + (self.cost.memcpy_per_byte * total as f64) as u64,
+        );
+        let payloads: Vec<&[u8]> = packets.iter().map(Packet::bytes).collect();
+        let record = self.vpn.seal_batch_to_client(session_id, &payloads)?;
         Ok(self.fragment(&record))
     }
 
@@ -237,7 +319,8 @@ impl EndBoxServer {
     /// Announces a configuration update (Fig. 5 steps 2–3).
     pub fn announce_config(&mut self, version: u64, grace_period_secs: u32) {
         let now_secs = self.clock.now().as_secs_f64() as u64;
-        self.vpn.announce_config(version, grace_period_secs, now_secs);
+        self.vpn
+            .announce_config(version, grace_period_secs, now_secs);
     }
 
     /// Builds the periodic server ping for a session (Fig. 5 step 4).
@@ -246,7 +329,9 @@ impl EndBoxServer {
     ///
     /// [`EndBoxError::Vpn`] for unknown sessions.
     pub fn make_ping(&mut self, session_id: u64) -> Result<Vec<Vec<u8>>, EndBoxError> {
-        let record = self.vpn.make_ping(session_id, self.clock.now().as_nanos())?;
+        let record = self
+            .vpn
+            .make_ping(session_id, self.clock.now().as_nanos())?;
         Ok(self.fragment(&record))
     }
 
@@ -262,7 +347,9 @@ impl EndBoxServer {
 
     /// The config version a session has proved via ping.
     pub fn client_config_version(&self, session_id: u64) -> Option<u64> {
-        self.vpn.session(session_id).map(|s| s.reported_config_version)
+        self.vpn
+            .session(session_id)
+            .map(|s| s.reported_config_version)
     }
 
     /// (delivered, click-dropped, rejected) counters.
@@ -295,7 +382,8 @@ impl EndBoxServer {
     fn fragment(&mut self, record: &Record) -> Vec<Vec<u8>> {
         let bytes = record.to_bytes();
         let frags = self.fragmenter.fragment(&bytes, self.cost.mtu_payload);
-        self.meter.add(self.cost.vpn_server_per_fragment * frags.len() as u64);
+        self.meter
+            .add(self.cost.vpn_server_per_fragment * frags.len() as u64);
         frags
     }
 }

@@ -148,11 +148,8 @@ mod tests {
 
     #[test]
     fn firewall_has_sixteen_rules() {
-        let mut router = Router::from_config(
-            &UseCase::Firewall.click_config(),
-            ElementEnv::default(),
-        )
-        .unwrap();
+        let mut router =
+            Router::from_config(&UseCase::Firewall.click_config(), ElementEnv::default()).unwrap();
         assert_eq!(router.read_handler("fw", "rules").as_deref(), Some("16"));
         router.process(pkt());
         assert_eq!(router.read_handler("fw", "allowed").as_deref(), Some("1"));

@@ -37,9 +37,11 @@ impl PageCatalogue {
                 let u2: f64 = rng.gen_range(0.0..1.0);
                 let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                 let total_bytes = (1.6e6 * (0.8 * z).exp()).clamp(2e4, 3e7) as u64;
-                let n_resources =
-                    ((total_bytes as f64 / 1.6e6) * 75.0).clamp(3.0, 400.0) as u32;
-                Page { total_bytes, n_resources }
+                let n_resources = ((total_bytes as f64 / 1.6e6) * 75.0).clamp(3.0, 400.0) as u32;
+                Page {
+                    total_bytes,
+                    n_resources,
+                }
             })
             .collect();
         PageCatalogue { pages }
@@ -93,9 +95,8 @@ impl PageLoadModel {
         let request_rounds = SimDuration::from_nanos(
             rounds * (self.rtt.as_nanos() + self.per_request_overhead.as_nanos()),
         );
-        let transfer = SimDuration::from_secs_f64(
-            page.total_bytes as f64 * 8.0 / self.bandwidth_bps as f64,
-        );
+        let transfer =
+            SimDuration::from_secs_f64(page.total_bytes as f64 * 8.0 / self.bandwidth_bps as f64);
         handshakes + request_rounds + transfer
     }
 }
@@ -119,7 +120,10 @@ mod tests {
         let p95 = sizes[950];
         // Median around 1.6MB; tail several times the median.
         assert!((0.8e6..3.0e6).contains(&(median as f64)), "median {median}");
-        assert!(p95 as f64 > 2.5 * median as f64, "p95 {p95} median {median}");
+        assert!(
+            p95 as f64 > 2.5 * median as f64,
+            "p95 {p95} median {median}"
+        );
     }
 
     #[test]
@@ -135,8 +139,14 @@ mod tests {
     #[test]
     fn load_time_increases_with_size() {
         let model = PageLoadModel::broadband(SimDuration::from_millis(20));
-        let small = Page { total_bytes: 100_000, n_resources: 10 };
-        let large = Page { total_bytes: 10_000_000, n_resources: 10 };
+        let small = Page {
+            total_bytes: 100_000,
+            n_resources: 10,
+        };
+        let large = Page {
+            total_bytes: 10_000_000,
+            n_resources: 10,
+        };
         assert!(model.load_time(&large) > model.load_time(&small));
     }
 

@@ -24,12 +24,20 @@ pub struct Impairment {
 impl Impairment {
     /// A clean link.
     pub fn none() -> Self {
-        Impairment { loss: 0.0, duplication: 0.0, reorder: 0.0 }
+        Impairment {
+            loss: 0.0,
+            duplication: 0.0,
+            reorder: 0.0,
+        }
     }
 
     /// A typical flaky home-office path.
     pub fn flaky() -> Self {
-        Impairment { loss: 0.05, duplication: 0.02, reorder: 0.10 }
+        Impairment {
+            loss: 0.05,
+            duplication: 0.02,
+            reorder: 0.10,
+        }
     }
 
     /// Applies the impairment to `datagrams`, returning the delivered
@@ -78,11 +86,19 @@ mod tests {
     #[test]
     fn loss_removes_duplication_adds() {
         let input = datagrams(1000);
-        let lossy = Impairment { loss: 0.5, duplication: 0.0, reorder: 0.0 };
+        let lossy = Impairment {
+            loss: 0.5,
+            duplication: 0.0,
+            reorder: 0.0,
+        };
         let survived = lossy.apply(input.clone(), 2).len();
         assert!((300..700).contains(&survived), "{survived}");
 
-        let duppy = Impairment { loss: 0.0, duplication: 0.5, reorder: 0.0 };
+        let duppy = Impairment {
+            loss: 0.0,
+            duplication: 0.5,
+            reorder: 0.0,
+        };
         let delivered = duppy.apply(input, 3).len();
         assert!((1300..1700).contains(&delivered), "{delivered}");
     }
@@ -90,8 +106,12 @@ mod tests {
     #[test]
     fn reorder_preserves_multiset() {
         let input = datagrams(200);
-        let reordered =
-            Impairment { loss: 0.0, duplication: 0.0, reorder: 0.5 }.apply(input.clone(), 4);
+        let reordered = Impairment {
+            loss: 0.0,
+            duplication: 0.0,
+            reorder: 0.5,
+        }
+        .apply(input.clone(), 4);
         assert_ne!(reordered, input, "some swaps must happen");
         let mut a = reordered.clone();
         let mut b = input;
@@ -111,6 +131,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "probability out of range")]
     fn rejects_bad_probability() {
-        Impairment { loss: 1.5, duplication: 0.0, reorder: 0.0 }.apply(vec![], 0);
+        Impairment {
+            loss: 1.5,
+            duplication: 0.0,
+            reorder: 0.0,
+        }
+        .apply(vec![], 0);
     }
 }

@@ -7,6 +7,10 @@
 //!
 //! * [`packet`] — real IPv4/TCP/UDP/ICMP packets with checksums; this is the
 //!   packet type that flows through the real Click router and VPN code.
+//! * [`buffer`] — the batched zero-copy datapath substrate:
+//!   [`buffer::BufferPool`] recycles packet backing stores and
+//!   [`buffer::PacketBatch`] moves many packets through each layer
+//!   boundary (router, enclave, VPN record) as one unit.
 //! * [`time`] — virtual nanosecond clock ([`time::SimTime`]).
 //! * [`cost`] — the calibrated cycle-cost model ([`cost::CostModel`]) and
 //!   the [`cost::CycleMeter`] that functional components charge as they
@@ -25,6 +29,7 @@
 //! Everything is deterministic: all randomness comes from caller-seeded
 //! RNGs, so every experiment is reproducible bit-for-bit.
 
+pub mod buffer;
 pub mod cost;
 pub mod http;
 pub mod impair;
@@ -35,6 +40,7 @@ pub mod stats;
 pub mod time;
 pub mod traffic;
 
+pub use buffer::{BufferPool, PacketBatch};
 pub use cost::{CostModel, CycleMeter};
 pub use packet::Packet;
 pub use time::SimTime;

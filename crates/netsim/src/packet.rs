@@ -4,7 +4,21 @@
 //! Headers are serialised to real wire format with real Internet checksums,
 //! so Click elements (e.g. `CheckIPHeader`, `IPFilter`) operate on byte
 //! layouts identical to the ones the paper's Click elements saw.
+//!
+//! # Pool-aware buffers
+//!
+//! A [`Packet`] owns its bytes, but the backing store is *pool-aware*: the
+//! `*_in` constructors ([`Packet::udp_in`], [`Packet::tcp_in`],
+//! [`Packet::from_vec_in`], ...) draw the buffer from a
+//! [`crate::buffer::BufferPool`] and return it there when the packet is
+//! dropped, so a steady-state forwarding loop recycles buffers instead of
+//! allocating per packet. Cloning a pooled packet also draws from the
+//! pool. Pool attachment never changes observable behaviour: equality,
+//! hashing of bytes, headers and checksums are identical for pooled and
+//! plain packets, and the parity tests in `tests/batch_parity.rs` hold the
+//! batched pooled datapath to byte-identical outputs.
 
+use crate::buffer::BufferPool;
 use crate::time::SimTime;
 use std::error::Error;
 use std::fmt;
@@ -191,6 +205,11 @@ pub struct PacketMeta {
     pub verdict: Verdict,
     /// When the packet entered the current processing context.
     pub ingress_time: SimTime,
+    /// Position of this packet within the batch currently traversing the
+    /// router (set by the batched datapath so emissions and drops can be
+    /// attributed to their originating input packet; `None` outside batch
+    /// processing). An annotation only — never serialised to the wire.
+    pub batch_slot: Option<u32>,
 }
 
 /// Outcome of middlebox processing for one packet.
@@ -206,11 +225,70 @@ pub enum Verdict {
 }
 
 /// An IPv4 packet: owned bytes plus simulation annotations.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The backing store may be attached to a [`BufferPool`] (see the module
+/// docs); pool attachment is invisible to equality and hashing.
 pub struct Packet {
     data: Vec<u8>,
+    /// Pool the backing store returns to on drop (`None` = plain heap).
+    pool: Option<BufferPool>,
     /// Annotations (paint, verdict, timestamps).
     pub meta: PacketMeta,
+}
+
+impl Clone for Packet {
+    fn clone(&self) -> Self {
+        let data = match &self.pool {
+            Some(pool) => {
+                let mut buf = pool.take(self.data.len());
+                buf.extend_from_slice(&self.data);
+                buf
+            }
+            None => self.data.clone(),
+        };
+        Packet {
+            data,
+            pool: self.pool.clone(),
+            meta: self.meta,
+        }
+    }
+}
+
+impl Drop for Packet {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            let buf = std::mem::take(&mut self.data);
+            if buf.capacity() > 0 {
+                pool.give(buf);
+            }
+        }
+    }
+}
+
+impl PartialEq for Packet {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data && self.meta == other.meta
+    }
+}
+
+impl Eq for Packet {}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Packet")
+            .field("data", &self.data)
+            .field("meta", &self.meta)
+            .field("pooled", &self.pool.is_some())
+            .finish()
+    }
+}
+
+/// Takes a build buffer from `pool` or the heap.
+fn alloc_buffer(pool: Option<&BufferPool>, capacity: usize) -> Vec<u8> {
+    match pool {
+        Some(pool) => pool.take(capacity),
+        None => Vec::with_capacity(capacity),
+    }
 }
 
 impl Packet {
@@ -221,11 +299,71 @@ impl Packet {
     /// Returns a [`PacketError`] if the header is malformed.
     pub fn from_bytes(data: Vec<u8>) -> Result<Packet, PacketError> {
         Ipv4Header::parse(&data)?;
-        Ok(Packet { data, meta: PacketMeta::default() })
+        Ok(Packet {
+            data,
+            pool: None,
+            meta: PacketMeta::default(),
+        })
+    }
+
+    /// Like [`Packet::from_bytes`], but adopts the vector into `pool`'s
+    /// recycling (zero-copy: the buffer itself becomes pool-managed and
+    /// returns to the free list when the packet drops).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PacketError`] if the header is malformed.
+    pub fn from_vec_in(pool: &BufferPool, data: Vec<u8>) -> Result<Packet, PacketError> {
+        Ipv4Header::parse(&data)?;
+        Ok(Packet {
+            data,
+            pool: Some(pool.clone()),
+            meta: PacketMeta::default(),
+        })
+    }
+
+    /// Like [`Packet::from_bytes`], but copies `bytes` into a recycled
+    /// buffer drawn from `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PacketError`] if the header is malformed.
+    pub fn from_bytes_in(pool: &BufferPool, bytes: &[u8]) -> Result<Packet, PacketError> {
+        Ipv4Header::parse(bytes)?;
+        let mut data = pool.take(bytes.len());
+        data.extend_from_slice(bytes);
+        Ok(Packet {
+            data,
+            pool: Some(pool.clone()),
+            meta: PacketMeta::default(),
+        })
     }
 
     /// Builds a UDP packet.
     pub fn udp(src: Ipv4Addr, dst: Ipv4Addr, sport: u16, dport: u16, payload: &[u8]) -> Packet {
+        Self::udp_impl(None, src, dst, sport, dport, payload)
+    }
+
+    /// Builds a UDP packet in a buffer recycled through `pool`.
+    pub fn udp_in(
+        pool: &BufferPool,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        sport: u16,
+        dport: u16,
+        payload: &[u8],
+    ) -> Packet {
+        Self::udp_impl(Some(pool), src, dst, sport, dport, payload)
+    }
+
+    fn udp_impl(
+        pool: Option<&BufferPool>,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        sport: u16,
+        dport: u16,
+        payload: &[u8],
+    ) -> Packet {
         let udp_len = UDP_HEADER_LEN + payload.len();
         let header = Ipv4Header {
             tos: 0,
@@ -236,7 +374,7 @@ impl Packet {
             src,
             dst,
         };
-        let mut data = Vec::with_capacity(header.total_len as usize);
+        let mut data = alloc_buffer(pool, header.total_len as usize);
         data.extend_from_slice(&header.to_bytes());
         data.extend_from_slice(&sport.to_be_bytes());
         data.extend_from_slice(&dport.to_be_bytes());
@@ -245,11 +383,42 @@ impl Packet {
         data.extend_from_slice(payload);
         let csum = l4_checksum(&header, &data[IPV4_HEADER_LEN..]);
         data[IPV4_HEADER_LEN + 6..IPV4_HEADER_LEN + 8].copy_from_slice(&csum.to_be_bytes());
-        Packet { data, meta: PacketMeta::default() }
+        Packet {
+            data,
+            pool: pool.cloned(),
+            meta: PacketMeta::default(),
+        }
     }
 
     /// Builds a TCP packet (header flags: PSH|ACK, fixed window).
     pub fn tcp(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        sport: u16,
+        dport: u16,
+        seq: u32,
+        payload: &[u8],
+    ) -> Packet {
+        Self::tcp_impl(None, src, dst, sport, dport, seq, payload)
+    }
+
+    /// Builds a TCP packet in a buffer recycled through `pool`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tcp_in(
+        pool: &BufferPool,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        sport: u16,
+        dport: u16,
+        seq: u32,
+        payload: &[u8],
+    ) -> Packet {
+        Self::tcp_impl(Some(pool), src, dst, sport, dport, seq, payload)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn tcp_impl(
+        pool: Option<&BufferPool>,
         src: Ipv4Addr,
         dst: Ipv4Addr,
         sport: u16,
@@ -267,7 +436,7 @@ impl Packet {
             src,
             dst,
         };
-        let mut data = Vec::with_capacity(header.total_len as usize);
+        let mut data = alloc_buffer(pool, header.total_len as usize);
         data.extend_from_slice(&header.to_bytes());
         data.extend_from_slice(&sport.to_be_bytes());
         data.extend_from_slice(&dport.to_be_bytes());
@@ -280,7 +449,11 @@ impl Packet {
         data.extend_from_slice(payload);
         let csum = l4_checksum(&header, &data[IPV4_HEADER_LEN..]);
         data[IPV4_HEADER_LEN + 16..IPV4_HEADER_LEN + 18].copy_from_slice(&csum.to_be_bytes());
-        Packet { data, meta: PacketMeta::default() }
+        Packet {
+            data,
+            pool: pool.cloned(),
+            meta: PacketMeta::default(),
+        }
     }
 
     /// Builds an ICMP echo request.
@@ -333,7 +506,16 @@ impl Packet {
         data.extend_from_slice(payload);
         let csum = internet_checksum(&data[IPV4_HEADER_LEN..]);
         data[IPV4_HEADER_LEN + 2..IPV4_HEADER_LEN + 4].copy_from_slice(&csum.to_be_bytes());
-        Packet { data, meta: PacketMeta::default() }
+        Packet {
+            data,
+            pool: None,
+            meta: PacketMeta::default(),
+        }
+    }
+
+    /// The pool this packet's buffer recycles through, if any.
+    pub fn buffer_pool(&self) -> Option<&BufferPool> {
+        self.pool.as_ref()
     }
 
     /// Parsed IPv4 header.
@@ -361,9 +543,11 @@ impl Packet {
         &self.data
     }
 
-    /// Consumes the packet, returning its bytes.
-    pub fn into_bytes(self) -> Vec<u8> {
-        self.data
+    /// Consumes the packet, returning its bytes. The buffer leaves pool
+    /// management (the caller owns it outright).
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.pool = None;
+        std::mem::take(&mut self.data)
     }
 
     /// The TOS/QoS byte.
@@ -572,7 +756,10 @@ mod tests {
 
     #[test]
     fn truncated_rejected() {
-        assert_eq!(Packet::from_bytes(vec![0x45, 0, 0]), Err(PacketError::Truncated));
+        assert_eq!(
+            Packet::from_bytes(vec![0x45, 0, 0]),
+            Err(PacketError::Truncated)
+        );
     }
 
     #[test]

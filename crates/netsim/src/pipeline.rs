@@ -61,7 +61,8 @@ pub fn run_single_flow(
     let mut last_event = SimTime::ZERO;
 
     for charge in charges {
-        let done_client = client.run_job_flow(SimTime::ZERO, charge.client_cycles, &mut client_flow);
+        let done_client =
+            client.run_job_flow(SimTime::ZERO, charge.client_cycles, &mut client_flow);
         last_event = last_event.max(done_client);
         if charge.dropped {
             dropped += 1;
@@ -167,8 +168,9 @@ pub fn run_scalability(
     let excess = n_procs.saturating_sub(hw_threads);
     server.set_contention(1.0 + excess as f64 * cfg.contention_per_excess_process);
 
-    let mut client_machines: Vec<Machine> =
-        (0..cfg.n_client_machines).map(|_| Machine::new(client_spec.clone())).collect();
+    let mut client_machines: Vec<Machine> = (0..cfg.n_client_machines)
+        .map(|_| Machine::new(client_spec.clone()))
+        .collect();
     let mut link = Link::ten_gbps();
 
     let interval =
@@ -179,13 +181,11 @@ pub fn run_scalability(
     // by a fraction of the interval so arrivals interleave.
     let mut events: Vec<(SimTime, usize)> = Vec::with_capacity(packets_per_client * cfg.n_clients);
     for c in 0..cfg.n_clients {
-        let offset = SimDuration::from_nanos(
-            interval.as_nanos() * c as u64 / cfg.n_clients.max(1) as u64,
-        );
+        let offset =
+            SimDuration::from_nanos(interval.as_nanos() * c as u64 / cfg.n_clients.max(1) as u64);
         for i in 0..packets_per_client {
-            let t = SimTime::ZERO
-                + offset
-                + SimDuration::from_nanos(interval.as_nanos() * i as u64);
+            let t =
+                SimTime::ZERO + offset + SimDuration::from_nanos(interval.as_nanos() * i as u64);
             events.push((t, c));
         }
     }
@@ -225,11 +225,14 @@ pub fn run_scalability(
         gbps: delivered_bits as f64 / elapsed.as_secs_f64() / 1e9,
         server_cpu: server.utilisation(elapsed),
         client_cpu: {
-            let total: f64 =
-                client_machines.iter().map(|m| m.utilisation(elapsed)).sum();
+            let total: f64 = client_machines.iter().map(|m| m.utilisation(elapsed)).sum();
             total / client_machines.len() as f64
         },
-        delivery_ratio: if offered == 0 { 0.0 } else { delivered as f64 / offered as f64 },
+        delivery_ratio: if offered == 0 {
+            0.0
+        } else {
+            delivered as f64 / offered as f64
+        },
     }
 }
 
@@ -263,9 +266,11 @@ pub fn unloaded_latency(legs: &[Leg]) -> SimDuration {
     for leg in legs {
         total += match *leg {
             Leg::Cycles { cycles, freq_hz } => SimDuration::from_cycles(cycles, freq_hz),
-            Leg::Wire { bytes, rate_bps, delay } => {
-                SimDuration::from_secs_f64(bytes as f64 * 8.0 / rate_bps as f64) + delay
-            }
+            Leg::Wire {
+                bytes,
+                rate_bps,
+                delay,
+            } => SimDuration::from_secs_f64(bytes as f64 * 8.0 / rate_bps as f64) + delay,
             Leg::Fixed(d) => d,
         };
     }
@@ -294,7 +299,7 @@ mod tests {
             MachineSpec::class_a(),
             MachineSpec::class_a(),
             &mut link,
-            std::iter::repeat(charge(1500, 50_000, 10_000)).take(2_000),
+            std::iter::repeat_n(charge(1500, 50_000, 10_000), 2_000),
         );
         // Client at 50k cycles on a full-speed 3.5GHz slot: ~14.3us/packet
         // -> ~840 Mbps.
@@ -311,7 +316,7 @@ mod tests {
             MachineSpec::class_a(),
             MachineSpec::class_a(),
             &mut link,
-            std::iter::repeat(c).take(100),
+            std::iter::repeat_n(c, 100),
         );
         assert_eq!(r.delivered, 0);
         assert_eq!(r.dropped, 100);
@@ -333,13 +338,20 @@ mod tests {
             charge(1500, 20_000, 29_000),
             &cfg,
         );
-        assert!(r.server_cpu > 0.95, "server should be saturated: {}", r.server_cpu);
+        assert!(
+            r.server_cpu > 0.95,
+            "server should be saturated: {}",
+            r.server_cpu
+        );
         assert!(r.gbps < 12.0 * 0.8, "cannot exceed offered load");
         assert!(r.gbps > 4.0, "should deliver several Gbps: {}", r.gbps);
 
         // With few clients the server is underutilised and throughput
         // follows the offered load.
-        let cfg_small = ScalabilityConfig { n_clients: 5, ..cfg };
+        let cfg_small = ScalabilityConfig {
+            n_clients: 5,
+            ..cfg
+        };
         let r_small = run_scalability(
             MachineSpec::class_a(),
             MachineSpec::class_b(),
@@ -347,7 +359,11 @@ mod tests {
             &cfg_small,
         );
         assert!(r_small.server_cpu < 0.5);
-        assert!((r_small.gbps - 1.0).abs() < 0.15, "5 x 200Mbps: {}", r_small.gbps);
+        assert!(
+            (r_small.gbps - 1.0).abs() < 0.15,
+            "5 x 200Mbps: {}",
+            r_small.gbps
+        );
     }
 
     #[test]
@@ -357,7 +373,10 @@ mod tests {
             ..ScalabilityConfig::default()
         };
         let tput = |n| {
-            let cfg = ScalabilityConfig { n_clients: n, ..base.clone() };
+            let cfg = ScalabilityConfig {
+                n_clients: n,
+                ..base.clone()
+            };
             run_scalability(
                 MachineSpec::class_a(),
                 MachineSpec::class_b(),
@@ -374,8 +393,15 @@ mod tests {
     #[test]
     fn unloaded_latency_sums() {
         let d = unloaded_latency(&[
-            Leg::Cycles { cycles: 35_000, freq_hz: 3_500_000_000 },
-            Leg::Wire { bytes: 1_250, rate_bps: 10_000_000_000, delay: SimDuration::from_micros(30) },
+            Leg::Cycles {
+                cycles: 35_000,
+                freq_hz: 3_500_000_000,
+            },
+            Leg::Wire {
+                bytes: 1_250,
+                rate_bps: 10_000_000_000,
+                delay: SimDuration::from_micros(30),
+            },
             Leg::Fixed(SimDuration::from_millis(5)),
         ]);
         // 10us + 1us + 30us + 5ms

@@ -26,12 +26,22 @@ pub struct MachineSpec {
 impl MachineSpec {
     /// Class A: SGX-capable 4-core Xeon v5 (§V-B).
     pub fn class_a() -> Self {
-        MachineSpec { name: "class A (Xeon v5, SGX)", cores: 4, freq_hz: 3_500_000_000, ht_factor: 1.3 }
+        MachineSpec {
+            name: "class A (Xeon v5, SGX)",
+            cores: 4,
+            freq_hz: 3_500_000_000,
+            ht_factor: 1.3,
+        }
     }
 
     /// Class B: non-SGX 4-core Xeon v2 (§V-B).
     pub fn class_b() -> Self {
-        MachineSpec { name: "class B (Xeon v2)", cores: 4, freq_hz: 3_300_000_000, ht_factor: 1.3 }
+        MachineSpec {
+            name: "class B (Xeon v2)",
+            cores: 4,
+            freq_hz: 3_300_000_000,
+            ht_factor: 1.3,
+        }
     }
 
     /// Number of execution slots the simulator models: hyper-threading
@@ -64,7 +74,12 @@ impl Machine {
     pub fn new(spec: MachineSpec) -> Self {
         let n_slots = spec.slots();
         let slots = (0..n_slots).map(|_| Reverse(SimTime::ZERO)).collect();
-        Machine { spec, slots, busy: SimDuration::ZERO, contention: 1.0 }
+        Machine {
+            spec,
+            slots,
+            busy: SimDuration::ZERO,
+            contention: 1.0,
+        }
     }
 
     /// The machine's spec.
@@ -155,7 +170,12 @@ pub struct Link {
 impl Link {
     /// Creates a link with `rate_bps` capacity and `delay` propagation.
     pub fn new(rate_bps: u64, delay: SimDuration) -> Self {
-        Link { rate_bps, delay, free_at: SimTime::ZERO, busy: SimDuration::ZERO }
+        Link {
+            rate_bps,
+            delay,
+            free_at: SimTime::ZERO,
+            busy: SimDuration::ZERO,
+        }
     }
 
     /// The paper's testbed link: 10 Gbps, 30 µs one-way.
@@ -194,8 +214,9 @@ mod tests {
         let n = MachineSpec::class_a().slots();
         assert_eq!(n, 6, "4 cores x 1.3 HT -> 6 slots");
         // All slots run equal jobs in parallel.
-        let ends: Vec<SimTime> =
-            (0..n).map(|_| m.run_job(SimTime::ZERO, 1_000_000)).collect();
+        let ends: Vec<SimTime> = (0..n)
+            .map(|_| m.run_job(SimTime::ZERO, 1_000_000))
+            .collect();
         assert!(ends.iter().all(|&e| e == ends[0]));
         // One more job queues behind them.
         let extra = m.run_job(SimTime::ZERO, 1_000_000);

@@ -188,7 +188,7 @@ impl SimClock {
 
     /// Advances the clock by `d`.
     pub fn advance(&mut self, d: SimDuration) {
-        self.now = self.now + d;
+        self.now += d;
     }
 
     /// Advances the clock to `t` if `t` is in the future.

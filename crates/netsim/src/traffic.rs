@@ -73,7 +73,14 @@ impl Iterator for BulkFlow {
             return None;
         }
         self.remaining -= 1;
-        let p = Packet::tcp(self.src, self.dst, 40_000, Self::IPERF_PORT, self.seq, &self.payload);
+        let p = Packet::tcp(
+            self.src,
+            self.dst,
+            40_000,
+            Self::IPERF_PORT,
+            self.seq,
+            &self.payload,
+        );
         self.seq = self.seq.wrapping_add(self.payload_len as u32);
         Some(p)
     }
@@ -126,7 +133,9 @@ mod tests {
         );
         let packets: Vec<Packet> = flow.collect();
         assert_eq!(packets.len(), 5);
-        assert!(packets.iter().all(|p| p.dst_port() == Some(BulkFlow::IPERF_PORT)));
+        assert!(packets
+            .iter()
+            .all(|p| p.dst_port() == Some(BulkFlow::IPERF_PORT)));
         // Sequence numbers advance by payload length.
         assert_eq!(packets[0].app_payload().len(), 1460);
     }

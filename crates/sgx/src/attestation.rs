@@ -80,12 +80,19 @@ impl Report {
         user_data: [u8; USER_DATA_LEN],
     ) -> Report {
         let mac = report_mac(cpu, &measurement, &user_data);
-        Report { measurement, user_data, mac }
+        Report {
+            measurement,
+            user_data,
+            mac,
+        }
     }
 
     /// Verifies the MAC against the platform's report key.
     fn verify(&self, cpu: &CpuIdentity) -> bool {
-        endbox_crypto::ct_eq(&report_mac(cpu, &self.measurement, &self.user_data), &self.mac)
+        endbox_crypto::ct_eq(
+            &report_mac(cpu, &self.measurement, &self.user_data),
+            &self.mac,
+        )
     }
 }
 
@@ -139,7 +146,11 @@ impl QuotingEnclave {
     ///
     /// Returns [`EnclaveError::AttestationFailed`] if the report was not
     /// produced on this platform (bad MAC).
-    pub fn quote(&self, report: &Report, rng: &mut impl rand::RngCore) -> Result<Quote, EnclaveError> {
+    pub fn quote(
+        &self,
+        report: &Report,
+        rng: &mut impl rand::RngCore,
+    ) -> Result<Quote, EnclaveError> {
         if !report.verify(&self.cpu) {
             return Err(EnclaveError::AttestationFailed("report MAC invalid"));
         }
@@ -183,7 +194,10 @@ impl IasReport {
     /// Verifies the IAS signature with the service's public key.
     pub fn verify(&self, ias_key: &VerifyingKey) -> Result<(), EnclaveError> {
         ias_key
-            .verify(&ias_report_message(self.status, &self.measurement, &self.user_data), &self.signature)
+            .verify(
+                &ias_report_message(self.status, &self.measurement, &self.user_data),
+                &self.signature,
+            )
             .map_err(|_| EnclaveError::AttestationFailed("IAS report signature invalid"))
     }
 }
@@ -257,10 +271,16 @@ impl IasSimulator {
                 Err(_) => QuoteStatus::SignatureInvalid,
             }
         };
-        let signature = self
-            .signing
-            .sign(&ias_report_message(status, &quote.measurement, &quote.user_data), rng);
-        IasReport { status, measurement: quote.measurement, user_data: quote.user_data, signature }
+        let signature = self.signing.sign(
+            &ias_report_message(status, &quote.measurement, &quote.user_data),
+            rng,
+        );
+        IasReport {
+            status,
+            measurement: quote.measurement,
+            user_data: quote.user_data,
+            signature,
+        }
     }
 }
 
@@ -273,7 +293,12 @@ mod tests {
         rand::rngs::StdRng::seed_from_u64(21)
     }
 
-    fn setup() -> (CpuIdentity, QuotingEnclave, IasSimulator, rand::rngs::StdRng) {
+    fn setup() -> (
+        CpuIdentity,
+        QuotingEnclave,
+        IasSimulator,
+        rand::rngs::StdRng,
+    ) {
         let mut r = rng();
         let cpu = CpuIdentity::from_seed([3u8; 32]);
         let qe = QuotingEnclave::new(cpu.clone());
@@ -283,7 +308,11 @@ mod tests {
     }
 
     fn report(cpu: &CpuIdentity, mr: &str, data: u8) -> Report {
-        Report::create(cpu, Measurement::of(mr.as_bytes(), b""), [data; USER_DATA_LEN])
+        Report::create(
+            cpu,
+            Measurement::of(mr.as_bytes(), b""),
+            [data; USER_DATA_LEN],
+        )
     }
 
     #[test]
@@ -312,7 +341,10 @@ mod tests {
         let qe = QuotingEnclave::new(cpu.clone());
         let ias = IasSimulator::new(&mut r); // platform never registered
         let quote = qe.quote(&report(&cpu, "e", 1), &mut r).unwrap();
-        assert_eq!(ias.verify_quote(&quote, &mut r).status, QuoteStatus::UnknownPlatform);
+        assert_eq!(
+            ias.verify_quote(&quote, &mut r).status,
+            QuoteStatus::UnknownPlatform
+        );
     }
 
     #[test]
@@ -320,7 +352,10 @@ mod tests {
         let (cpu, qe, mut ias, mut r) = setup();
         ias.revoke_platform(&cpu.attestation_public());
         let quote = qe.quote(&report(&cpu, "e", 1), &mut r).unwrap();
-        assert_eq!(ias.verify_quote(&quote, &mut r).status, QuoteStatus::PlatformRevoked);
+        assert_eq!(
+            ias.verify_quote(&quote, &mut r).status,
+            QuoteStatus::PlatformRevoked
+        );
     }
 
     #[test]
@@ -328,7 +363,10 @@ mod tests {
         let (cpu, qe, ias, mut r) = setup();
         let mut quote = qe.quote(&report(&cpu, "e", 1), &mut r).unwrap();
         quote.user_data[0] ^= 1; // tamper after signing
-        assert_eq!(ias.verify_quote(&quote, &mut r).status, QuoteStatus::SignatureInvalid);
+        assert_eq!(
+            ias.verify_quote(&quote, &mut r).status,
+            QuoteStatus::SignatureInvalid
+        );
     }
 
     #[test]

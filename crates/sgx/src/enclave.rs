@@ -63,7 +63,8 @@ impl EnclaveServices {
     /// the enclave (hardware mode only).
     pub fn charge_epc_traffic(&self, bytes: usize) {
         if self.mode == SgxMode::Hardware {
-            self.meter.add((self.cost.epc_per_byte * bytes as f64) as u64);
+            self.meter
+                .add((self.cost.epc_per_byte * bytes as f64) as u64);
         }
     }
 
@@ -103,7 +104,12 @@ impl EnclaveServices {
     /// Seals data to this enclave identity.
     pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
         self.charge(self.cost.crypto_cycles(plaintext.len()));
-        sealing::seal(self.cpu.fuse_seed(), &self.measurement, plaintext, &mut self.rng)
+        sealing::seal(
+            self.cpu.fuse_seed(),
+            &self.measurement,
+            plaintext,
+            &mut self.rng,
+        )
     }
 
     /// Unseals data previously sealed by this enclave identity.
@@ -276,13 +282,15 @@ impl EnclaveBuilder {
 
     /// Declares the ecall interface.
     pub fn declare_ecalls<'a>(mut self, names: impl IntoIterator<Item = &'a str>) -> Self {
-        self.declared_ecalls.extend(names.into_iter().map(str::to_string));
+        self.declared_ecalls
+            .extend(names.into_iter().map(str::to_string));
         self
     }
 
     /// Declares the ocall interface.
     pub fn declare_ocalls<'a>(mut self, names: impl IntoIterator<Item = &'a str>) -> Self {
-        self.declared_ocalls.extend(names.into_iter().map(str::to_string));
+        self.declared_ocalls
+            .extend(names.into_iter().map(str::to_string));
         self
     }
 
@@ -326,7 +334,11 @@ impl EnclaveBuilder {
     /// the trusted state.
     pub fn build<T>(self, init: impl FnOnce(&mut EnclaveServices) -> T) -> Enclave<T> {
         let measurement = Measurement::of(&self.code_identity, &self.embedded_config);
-        let epc = EpcAllocator::new(self.epc_capacity, self.cost.epc_page_fault, self.meter.clone());
+        let epc = EpcAllocator::new(
+            self.epc_capacity,
+            self.cost.epc_page_fault,
+            self.meter.clone(),
+        );
         let trusted_time =
             TrustedTime::new(self.clock, self.cost.trusted_time_read, self.meter.clone());
         let mut services = EnclaveServices {
@@ -387,8 +399,11 @@ mod tests {
     #[test]
     fn undeclared_ocall_rejected() {
         let (mut e, _) = enclave();
-        let res =
-            e.ecall("increment", |_, svc| svc.ocall("exfiltrate", || ()).is_err()).unwrap();
+        let res = e
+            .ecall("increment", |_, svc| {
+                svc.ocall("exfiltrate", || ()).is_err()
+            })
+            .unwrap();
         assert!(res);
     }
 
@@ -396,7 +411,8 @@ mod tests {
     fn declared_ocall_charges_transition() {
         let (mut e, meter) = enclave();
         meter.take();
-        e.ecall("increment", |_, svc| svc.ocall("log", || 42).unwrap()).unwrap();
+        e.ecall("increment", |_, svc| svc.ocall("log", || 42).unwrap())
+            .unwrap();
         let cost = CostModel::calibrated();
         assert_eq!(meter.read(), 2 * cost.ecall_hw); // 1 ecall + 1 ocall
         assert_eq!(e.counters().ocalls, 1);
@@ -426,15 +442,21 @@ mod tests {
     #[test]
     fn seal_unseal_through_services() {
         let (mut e, _) = enclave();
-        let blob = e.ecall("increment", |_, svc| svc.seal(b"key material")).unwrap();
+        let blob = e
+            .ecall("increment", |_, svc| svc.seal(b"key material"))
+            .unwrap();
         let out = e.ecall("get", |_, svc| svc.unseal(&blob)).unwrap().unwrap();
         assert_eq!(out, b"key material");
     }
 
     #[test]
     fn measurement_depends_on_embedded_config() {
-        let a = EnclaveBuilder::new(b"code").embedded_config(b"ca1").build(|_| ());
-        let b = EnclaveBuilder::new(b"code").embedded_config(b"ca2").build(|_| ());
+        let a = EnclaveBuilder::new(b"code")
+            .embedded_config(b"ca1")
+            .build(|_| ());
+        let b = EnclaveBuilder::new(b"code")
+            .embedded_config(b"ca2")
+            .build(|_| ());
         assert_ne!(a.measurement(), b.measurement());
     }
 
@@ -442,7 +464,9 @@ mod tests {
     fn report_carries_measurement() {
         let (mut e, _) = enclave();
         let mr = e.measurement();
-        let rep = e.ecall("get", |_, svc| svc.create_report([5u8; 64])).unwrap();
+        let rep = e
+            .ecall("get", |_, svc| svc.create_report([5u8; 64]))
+            .unwrap();
         assert_eq!(rep.measurement, mr);
     }
 
@@ -454,9 +478,13 @@ mod tests {
             .meter(meter_hw.clone())
             .build(|_| ());
         meter_hw.take();
-        hw.ecall("f", |_, svc| svc.charge_epc_traffic(100_000)).unwrap();
+        hw.ecall("f", |_, svc| svc.charge_epc_traffic(100_000))
+            .unwrap();
         let cost = CostModel::calibrated();
-        assert_eq!(meter_hw.read(), cost.ecall_hw + (cost.epc_per_byte * 100_000.0) as u64);
+        assert_eq!(
+            meter_hw.read(),
+            cost.ecall_hw + (cost.epc_per_byte * 100_000.0) as u64
+        );
 
         let meter_sim = CycleMeter::new();
         let mut sim = EnclaveBuilder::new(b"x")
@@ -465,7 +493,8 @@ mod tests {
             .meter(meter_sim.clone())
             .build(|_| ());
         meter_sim.take();
-        sim.ecall("f", |_, svc| svc.charge_epc_traffic(100_000)).unwrap();
+        sim.ecall("f", |_, svc| svc.charge_epc_traffic(100_000))
+            .unwrap();
         assert_eq!(meter_sim.read(), cost.ecall_sim);
     }
 }

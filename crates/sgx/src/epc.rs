@@ -28,7 +28,14 @@ pub struct EpcAllocator {
 impl EpcAllocator {
     /// New allocator with the given capacity.
     pub fn new(capacity: usize, page_fault_cycles: u64, meter: CycleMeter) -> Self {
-        EpcAllocator { capacity, used: 0, peak: 0, page_faults: 0, page_fault_cycles, meter }
+        EpcAllocator {
+            capacity,
+            used: 0,
+            peak: 0,
+            page_faults: 0,
+            page_fault_cycles,
+            meter,
+        }
     }
 
     /// New allocator with the SGXv1 default capacity.

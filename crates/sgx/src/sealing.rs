@@ -86,7 +86,10 @@ mod tests {
         let mut rng = rng();
         let fuse = [1u8; 32];
         let blob = seal(&fuse, &mr("enclave-a"), b"vpn private key", &mut rng);
-        assert_eq!(unseal(&fuse, &mr("enclave-a"), &blob).unwrap(), b"vpn private key");
+        assert_eq!(
+            unseal(&fuse, &mr("enclave-a"), &blob).unwrap(),
+            b"vpn private key"
+        );
     }
 
     #[test]

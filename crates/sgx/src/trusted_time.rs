@@ -31,7 +31,8 @@ impl TrustedTime {
     /// Reads trusted time, charging the (expensive) platform-service cost.
     pub fn now(&self) -> SimTime {
         self.meter.add(self.read_cycles);
-        self.reads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.reads
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.clock.now()
     }
 

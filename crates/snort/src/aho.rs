@@ -44,7 +44,13 @@ impl AhoCorasick {
         // --- Trie construction -------------------------------------------
         let mut goto: Vec<[u32; 256]> = vec![[NONE; 256]];
         let mut outputs: Vec<Vec<u32>> = vec![Vec::new()];
-        let norm = |b: u8| if case_insensitive { b.to_ascii_lowercase() } else { b };
+        let norm = |b: u8| {
+            if case_insensitive {
+                b.to_ascii_lowercase()
+            } else {
+                b
+            }
+        };
 
         for (pid, pat) in patterns.iter().enumerate() {
             let mut state = 0usize;
@@ -65,9 +71,9 @@ impl AhoCorasick {
         let n = goto.len();
         let mut fail = vec![0u32; n];
         let mut queue = std::collections::VecDeque::new();
-        for b in 0..256 {
-            match goto[0][b] {
-                NONE => goto[0][b] = 0,
+        for slot in goto[0].iter_mut() {
+            match *slot {
+                NONE => *slot = 0,
                 s => {
                     fail[s as usize] = 0;
                     queue.push_back(s);
@@ -76,6 +82,9 @@ impl AhoCorasick {
         }
         while let Some(s) = queue.pop_front() {
             let s = s as usize;
+            // Indexing two rows of `goto` (the state's and its failure
+            // target's) at once; iter_mut cannot borrow both.
+            #[allow(clippy::needless_range_loop)]
             for b in 0..256 {
                 let t = goto[s][b];
                 if t == NONE {
@@ -129,7 +138,11 @@ impl AhoCorasick {
 
     #[inline]
     fn step(&self, state: u32, byte: u8) -> u32 {
-        let b = if self.case_insensitive { byte.to_ascii_lowercase() } else { byte };
+        let b = if self.case_insensitive {
+            byte.to_ascii_lowercase()
+        } else {
+            byte
+        };
         self.delta[state as usize * 256 + b as usize]
     }
 
@@ -139,10 +152,15 @@ impl AhoCorasick {
         let mut matches = Vec::new();
         for (i, &b) in haystack.iter().enumerate() {
             state = self.step(state, b);
-            let (lo, hi) =
-                (self.out_start[state as usize] as usize, self.out_start[state as usize + 1] as usize);
+            let (lo, hi) = (
+                self.out_start[state as usize] as usize,
+                self.out_start[state as usize + 1] as usize,
+            );
             for &pid in &self.out_items[lo..hi] {
-                matches.push(Match { pattern: pid as usize, end: i + 1 });
+                matches.push(Match {
+                    pattern: pid as usize,
+                    end: i + 1,
+                });
             }
         }
         matches
@@ -155,13 +173,19 @@ impl AhoCorasick {
         let mut state = 0u32;
         for &b in haystack {
             state = self.step(state, b);
-            let (lo, hi) =
-                (self.out_start[state as usize] as usize, self.out_start[state as usize + 1] as usize);
+            let (lo, hi) = (
+                self.out_start[state as usize] as usize,
+                self.out_start[state as usize + 1] as usize,
+            );
             for &pid in &self.out_items[lo..hi] {
                 seen[pid as usize] = true;
             }
         }
-        seen.iter().enumerate().filter(|(_, &s)| s).map(|(i, _)| i).collect()
+        seen.iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// True if any pattern occurs.

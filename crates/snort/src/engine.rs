@@ -78,8 +78,7 @@ impl CompiledRules {
         CompiledRules {
             rules: rules.to_vec(),
             exact: (!exact_patterns.is_empty()).then(|| AhoCorasick::new(&exact_patterns, false)),
-            nocase: (!nocase_patterns.is_empty())
-                .then(|| AhoCorasick::new(&nocase_patterns, true)),
+            nocase: (!nocase_patterns.is_empty()).then(|| AhoCorasick::new(&nocase_patterns, true)),
             exact_map,
             nocase_map,
         }
@@ -224,7 +223,8 @@ mod tests {
 
     #[test]
     fn nocase_rules_match_any_case() {
-        let c = compile(r#"alert tcp any any -> any any (msg:"nc"; content:"EVIL"; nocase; sid:5;)"#);
+        let c =
+            compile(r#"alert tcp any any -> any any (msg:"nc"; content:"EVIL"; nocase; sid:5;)"#);
         assert_eq!(c.scan(&view(b"some eViL here", 80)).alerts.len(), 1);
     }
 

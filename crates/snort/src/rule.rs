@@ -54,7 +54,11 @@ impl AddrPattern {
             AddrPattern::Any => true,
             AddrPattern::Host(h) => addr == h,
             AddrPattern::Net(base, prefix) => {
-                let mask = if prefix == 0 { 0 } else { u32::MAX << (32 - prefix as u32) };
+                let mask = if prefix == 0 {
+                    0
+                } else {
+                    u32::MAX << (32 - prefix as u32)
+                };
                 (u32::from(addr) & mask) == (u32::from(base) & mask)
             }
         }
@@ -129,14 +133,21 @@ pub struct RuleParseError {
 
 impl fmt::Display for RuleParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "rule parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "rule parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
 impl Error for RuleParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> RuleParseError {
-    RuleParseError { line, message: message.into() }
+    RuleParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses a rule file: one rule per line, `#` comments, blank lines
@@ -168,7 +179,9 @@ pub fn parse_rule(line: &str) -> Result<Rule, RuleParseError> {
 }
 
 fn parse_rule_line(line: &str, line_no: usize) -> Result<Rule, RuleParseError> {
-    let open = line.find('(').ok_or_else(|| err(line_no, "missing option block '('"))?;
+    let open = line
+        .find('(')
+        .ok_or_else(|| err(line_no, "missing option block '('"))?;
     if !line.trim_end().ends_with(')') {
         return Err(err(line_no, "missing closing ')'"));
     }
@@ -179,7 +192,10 @@ fn parse_rule_line(line: &str, line_no: usize) -> Result<Rule, RuleParseError> {
     if toks.len() != 7 {
         return Err(err(
             line_no,
-            format!("header must have 7 fields (action proto src sport dir dst dport), got {}", toks.len()),
+            format!(
+                "header must have 7 fields (action proto src sport dir dst dport), got {}",
+                toks.len()
+            ),
         ));
     }
     let action = match toks[0] {
@@ -230,7 +246,10 @@ fn parse_rule_line(line: &str, line_no: usize) -> Result<Rule, RuleParseError> {
                     if bytes.is_empty() {
                         return Err(err(line_no, "empty content pattern"));
                     }
-                    contents.push(ContentPattern { bytes, nocase: false });
+                    contents.push(ContentPattern {
+                        bytes,
+                        nocase: false,
+                    });
                 }
                 // Recognised but ignored modifiers/metadata.
                 "rev" | "classtype" | "reference" | "metadata" | "depth" | "offset"
@@ -252,7 +271,18 @@ fn parse_rule_line(line: &str, line_no: usize) -> Result<Rule, RuleParseError> {
     if sid == 0 {
         return Err(err(line_no, "rule requires a non-zero sid"));
     }
-    Ok(Rule { action, proto, src, src_port, dst, dst_port, bidirectional, msg, sid, contents })
+    Ok(Rule {
+        action,
+        proto,
+        src,
+        src_port,
+        dst,
+        dst_port,
+        bidirectional,
+        msg,
+        sid,
+        contents,
+    })
 }
 
 /// Splits the option block on `;`, respecting quoted strings.
@@ -320,7 +350,7 @@ fn decode_content(text: &str, line_no: usize) -> Result<Vec<u8>, RuleParseError>
                 return Ok(out);
             }
             Some(start) => {
-                out.extend_from_slice(rest[..start].as_bytes());
+                out.extend_from_slice(&rest.as_bytes()[..start]);
                 let after = &rest[start + 1..];
                 let end = after
                     .find('|')
@@ -341,16 +371,20 @@ fn parse_addr(tok: &str, line_no: usize) -> Result<AddrPattern, RuleParseError> 
         return Ok(AddrPattern::Any);
     }
     if let Some((base, prefix)) = tok.split_once('/') {
-        let base: Ipv4Addr =
-            base.parse().map_err(|_| err(line_no, format!("bad address `{tok}`")))?;
-        let prefix: u8 =
-            prefix.parse().map_err(|_| err(line_no, format!("bad prefix `{tok}`")))?;
+        let base: Ipv4Addr = base
+            .parse()
+            .map_err(|_| err(line_no, format!("bad address `{tok}`")))?;
+        let prefix: u8 = prefix
+            .parse()
+            .map_err(|_| err(line_no, format!("bad prefix `{tok}`")))?;
         if prefix > 32 {
             return Err(err(line_no, format!("prefix out of range `{tok}`")));
         }
         return Ok(AddrPattern::Net(base, prefix));
     }
-    let host: Ipv4Addr = tok.parse().map_err(|_| err(line_no, format!("bad address `{tok}`")))?;
+    let host: Ipv4Addr = tok
+        .parse()
+        .map_err(|_| err(line_no, format!("bad address `{tok}`")))?;
     Ok(AddrPattern::Host(host))
 }
 
@@ -362,19 +396,23 @@ fn parse_port(tok: &str, line_no: usize) -> Result<PortPattern, RuleParseError> 
         let lo: u16 = if lo.is_empty() {
             0
         } else {
-            lo.parse().map_err(|_| err(line_no, format!("bad port `{tok}`")))?
+            lo.parse()
+                .map_err(|_| err(line_no, format!("bad port `{tok}`")))?
         };
         let hi: u16 = if hi.is_empty() {
             u16::MAX
         } else {
-            hi.parse().map_err(|_| err(line_no, format!("bad port `{tok}`")))?
+            hi.parse()
+                .map_err(|_| err(line_no, format!("bad port `{tok}`")))?
         };
         if lo > hi {
             return Err(err(line_no, format!("inverted port range `{tok}`")));
         }
         return Ok(PortPattern::Range(lo, hi));
     }
-    let p: u16 = tok.parse().map_err(|_| err(line_no, format!("bad port `{tok}`")))?;
+    let p: u16 = tok
+        .parse()
+        .map_err(|_| err(line_no, format!("bad port `{tok}`")))?;
     Ok(PortPattern::Port(p))
 }
 
@@ -430,17 +468,16 @@ mod tests {
 
     #[test]
     fn escaped_quotes_and_semicolons_in_msg() {
-        let r = parse_rule(r#"alert ip any any -> any any (msg:"say \"hi\"; ok"; sid:5;)"#)
-            .unwrap();
+        let r =
+            parse_rule(r#"alert ip any any -> any any (msg:"say \"hi\"; ok"; sid:5;)"#).unwrap();
         assert_eq!(r.msg, r#"say "hi"; ok"#);
     }
 
     #[test]
     fn comments_and_blanks_skipped() {
-        let rules = parse_rules(
-            "# comment\n\nalert ip any any -> any any (msg:\"a\"; sid:1;)\n# more\n",
-        )
-        .unwrap();
+        let rules =
+            parse_rules("# comment\n\nalert ip any any -> any any (msg:\"a\"; sid:1;)\n# more\n")
+                .unwrap();
         assert_eq!(rules.len(), 1);
     }
 

@@ -20,7 +20,10 @@ pub struct Certificate {
 
 fn tbs_bytes(subject: &str, public_key: &VerifyingKey, not_after_secs: u64) -> Vec<u8> {
     let mut w = Writer::new();
-    w.raw(b"endbox-cert-v1").string(subject).raw(&public_key.to_bytes()).u64(not_after_secs);
+    w.raw(b"endbox-cert-v1")
+        .string(subject)
+        .raw(&public_key.to_bytes())
+        .u64(not_after_secs);
     w.finish()
 }
 
@@ -34,7 +37,12 @@ impl Certificate {
         rng: &mut impl rand::RngCore,
     ) -> Certificate {
         let signature = ca.sign(&tbs_bytes(subject, &public_key, not_after_secs), rng);
-        Certificate { subject: subject.to_string(), public_key, not_after_secs, signature }
+        Certificate {
+            subject: subject.to_string(),
+            public_key,
+            not_after_secs,
+            signature,
+        }
     }
 
     /// Verifies issuer signature and expiry.
@@ -80,7 +88,12 @@ impl Certificate {
         let sig: [u8; SIGNATURE_LEN] = r.array()?;
         let signature =
             Signature::from_bytes(&sig).map_err(|_| VpnError::BadCertificate("bad signature"))?;
-        Ok(Certificate { subject, public_key, not_after_secs, signature })
+        Ok(Certificate {
+            subject,
+            public_key,
+            not_after_secs,
+            signature,
+        })
     }
 }
 
@@ -98,8 +111,13 @@ mod tests {
         let mut rng = rng();
         let ca = SigningKey::generate(&mut rng);
         let subject_key = SigningKey::generate(&mut rng);
-        let cert =
-            Certificate::issue("client-1", subject_key.verifying_key(), 1_000, &ca, &mut rng);
+        let cert = Certificate::issue(
+            "client-1",
+            subject_key.verifying_key(),
+            1_000,
+            &ca,
+            &mut rng,
+        );
         cert.verify(&ca.verifying_key(), 500).unwrap();
         assert_eq!(
             cert.verify(&ca.verifying_key(), 1_001),

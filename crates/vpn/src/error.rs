@@ -49,11 +49,17 @@ impl fmt::Display for VpnError {
             VpnError::BadCertificate(why) => write!(f, "certificate invalid: {why}"),
             VpnError::BadSignature => f.write_str("handshake signature invalid"),
             VpnError::VersionTooLow { offered, minimum } => {
-                write!(f, "protocol version {offered} below enforced minimum {minimum}")
+                write!(
+                    f,
+                    "protocol version {offered} below enforced minimum {minimum}"
+                )
             }
             VpnError::UnknownSession(id) => write!(f, "unknown session {id}"),
             VpnError::StaleConfiguration { client, required } => {
-                write!(f, "stale configuration {client}, server requires {required}")
+                write!(
+                    f,
+                    "stale configuration {client}, server requires {required}"
+                )
             }
             VpnError::Fragmentation(why) => write!(f, "fragmentation error: {why}"),
             VpnError::BadState(why) => write!(f, "bad session state: {why}"),

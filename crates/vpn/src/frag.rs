@@ -96,25 +96,31 @@ impl Reassembler {
     /// [`VpnError::Fragmentation`] on malformed or inconsistent fragments.
     pub fn push(&mut self, datagram: &[u8]) -> Result<Option<Vec<u8>>, VpnError> {
         let mut r = Reader::new(datagram);
-        let id = r.u32().map_err(|_| VpnError::Fragmentation("truncated header"))?;
-        let index = r.u16().map_err(|_| VpnError::Fragmentation("truncated header"))? as usize;
-        let total = r.u16().map_err(|_| VpnError::Fragmentation("truncated header"))? as usize;
+        let id = r
+            .u32()
+            .map_err(|_| VpnError::Fragmentation("truncated header"))?;
+        let index = r
+            .u16()
+            .map_err(|_| VpnError::Fragmentation("truncated header"))? as usize;
+        let total = r
+            .u16()
+            .map_err(|_| VpnError::Fragmentation("truncated header"))? as usize;
         let chunk = r.rest().to_vec();
         if total == 0 || index >= total {
             return Err(VpnError::Fragmentation("index out of range"));
         }
         if !self.partials.contains_key(&id) && self.partials.len() >= MAX_PENDING {
             // Evict the oldest incomplete record (fragment-flood defence).
-            if let Some((&oldest, _)) =
-                self.partials.iter().min_by_key(|(_, p)| p.seq)
-            {
+            if let Some((&oldest, _)) = self.partials.iter().min_by_key(|(_, p)| p.seq) {
                 self.partials.remove(&oldest);
                 self.evictions += 1;
             }
         }
         let seq = self.next_seq;
-        let partial = self.partials.entry(id).or_insert_with(|| {
-            Partial { pieces: vec![None; total], received: 0, seq }
+        let partial = self.partials.entry(id).or_insert_with(|| Partial {
+            pieces: vec![None; total],
+            received: 0,
+            seq,
         });
         if partial.seq == seq {
             self.next_seq += 1;
@@ -200,7 +206,7 @@ mod tests {
     fn malformed_fragments_rejected() {
         let mut r = Reassembler::new();
         assert!(r.push(&[1, 2]).is_err()); // truncated header
-        // index >= total
+                                           // index >= total
         let mut w = Writer::new();
         w.u32(1).u16(3).u16(2).raw(b"x");
         assert!(r.push(&w.finish()).is_err());
@@ -230,7 +236,11 @@ mod tests {
             w.u32(id).u16(0).u16(2).raw(b"never completes");
             assert!(r.push(&w.finish()).unwrap().is_none());
         }
-        assert!(r.pending() <= MAX_PENDING, "pending bounded: {}", r.pending());
+        assert!(
+            r.pending() <= MAX_PENDING,
+            "pending bounded: {}",
+            r.pending()
+        );
         assert_eq!(r.evictions(), MAX_PENDING as u64 * 3);
         // A fresh record still reassembles fine under pressure.
         let mut f = Fragmenter::new();

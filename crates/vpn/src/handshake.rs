@@ -136,8 +136,13 @@ pub fn client_start(
     let (eph_secret, eph_pub) = x25519::keypair(rng);
     let mut nonce = [0u8; 32];
     rng.fill_bytes(&mut nonce);
-    let transcript =
-        client_transcript(offered_version, &eph_pub, &nonce, &cfg.certificate, config_version);
+    let transcript = client_transcript(
+        offered_version,
+        &eph_pub,
+        &nonce,
+        &cfg.certificate,
+        config_version,
+    );
     let signature = cfg.identity.sign(&transcript, rng);
     (
         ClientHello {
@@ -148,7 +153,11 @@ pub fn client_start(
             config_version,
             signature,
         },
-        ClientState { eph_secret, nonce, offered_version },
+        ClientState {
+            eph_secret,
+            nonce,
+            offered_version,
+        },
     )
 }
 
@@ -291,7 +300,14 @@ impl ClientHello {
         let sig: [u8; SIGNATURE_LEN] = r.array()?;
         let signature =
             Signature::from_bytes(&sig).map_err(|_| VpnError::Malformed("bad signature"))?;
-        Ok(ClientHello { offered_version, eph_pub, nonce, certificate, config_version, signature })
+        Ok(ClientHello {
+            offered_version,
+            eph_pub,
+            nonce,
+            certificate,
+            config_version,
+            signature,
+        })
     }
 }
 
@@ -354,8 +370,13 @@ mod tests {
         let server_key = SigningKey::generate(&mut r);
         let client_cert =
             Certificate::issue("client-1", client_key.verifying_key(), 10_000, &ca, &mut r);
-        let server_cert =
-            Certificate::issue("endbox-server", server_key.verifying_key(), 10_000, &ca, &mut r);
+        let server_cert = Certificate::issue(
+            "endbox-server",
+            server_key.verifying_key(),
+            10_000,
+            &ca,
+            &mut r,
+        );
         (
             HandshakeConfig {
                 identity: client_key,
@@ -377,11 +398,16 @@ mod tests {
         let (ccfg, scfg) = configs(PROTOCOL_V1, PROTOCOL_V1);
         let mut r = rng();
         let (hello, state) = client_start(&ccfg, PROTOCOL_V2, 3, &mut r);
-        let (shello, server_keys, info) =
-            server_respond(&scfg, &hello, 1, 5, 100, &mut r).unwrap();
+        let (shello, server_keys, info) = server_respond(&scfg, &hello, 1, 5, 100, &mut r).unwrap();
         let client_keys = client_complete(&ccfg, &state, &shello, 100).unwrap();
-        assert_eq!(client_keys.client_to_server.enc, server_keys.client_to_server.enc);
-        assert_eq!(client_keys.server_to_client.mac, server_keys.server_to_client.mac);
+        assert_eq!(
+            client_keys.client_to_server.enc,
+            server_keys.client_to_server.enc
+        );
+        assert_eq!(
+            client_keys.server_to_client.mac,
+            server_keys.server_to_client.mac
+        );
         assert_eq!(info.subject, "client-1");
         assert_eq!(info.config_version, 3);
         assert_eq!(shello.required_config_version, 5);
@@ -393,7 +419,13 @@ mod tests {
         let mut r = rng();
         let (hello, _) = client_start(&ccfg, PROTOCOL_V1, 0, &mut r);
         let err = server_respond(&scfg, &hello, 1, 0, 0, &mut r).unwrap_err();
-        assert_eq!(err, VpnError::VersionTooLow { offered: 1, minimum: 2 });
+        assert_eq!(
+            err,
+            VpnError::VersionTooLow {
+                offered: 1,
+                minimum: 2
+            }
+        );
     }
 
     #[test]
@@ -407,7 +439,13 @@ mod tests {
         let (mut shello, _, _) = server_respond(&scfg, &hello, 1, 0, 0, &mut r).unwrap();
         shello.chosen_version = PROTOCOL_V1;
         let err = client_complete(&ccfg, &state, &shello, 0).unwrap_err();
-        assert_eq!(err, VpnError::VersionTooLow { offered: 1, minimum: 2 });
+        assert_eq!(
+            err,
+            VpnError::VersionTooLow {
+                offered: 1,
+                minimum: 2
+            }
+        );
     }
 
     #[test]
@@ -431,8 +469,7 @@ mod tests {
             min_version: PROTOCOL_V1,
         };
         let (hello, state) = client_start(&ccfg, PROTOCOL_V1, 0, &mut r);
-        let (shello, _, _) =
-            server_respond(&attacker_cfg, &hello, 1, 0, 0, &mut r).unwrap();
+        let (shello, _, _) = server_respond(&attacker_cfg, &hello, 1, 0, 0, &mut r).unwrap();
         assert!(matches!(
             client_complete(&ccfg, &state, &shello, 0),
             Err(VpnError::BadCertificate(_))
@@ -448,8 +485,13 @@ mod tests {
         let mut r = rng();
         let rogue_key = SigningKey::generate(&mut r);
         let rogue_ca = SigningKey::generate(&mut r);
-        let rogue_cert =
-            Certificate::issue("intruder", rogue_key.verifying_key(), 10_000, &rogue_ca, &mut r);
+        let rogue_cert = Certificate::issue(
+            "intruder",
+            rogue_key.verifying_key(),
+            10_000,
+            &rogue_ca,
+            &mut r,
+        );
         let rogue_cfg = HandshakeConfig {
             identity: rogue_key,
             certificate: rogue_cert,

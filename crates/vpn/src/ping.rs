@@ -26,7 +26,9 @@ impl PingMessage {
     /// Serialises to wire bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        w.u64(self.config_version).u32(self.grace_period_secs).u64(self.timestamp_ns);
+        w.u64(self.config_version)
+            .u32(self.grace_period_secs)
+            .u64(self.timestamp_ns);
         w.finish()
     }
 
@@ -55,13 +57,21 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let p = PingMessage { config_version: 17, grace_period_secs: 30, timestamp_ns: 12345 };
+        let p = PingMessage {
+            config_version: 17,
+            grace_period_secs: 30,
+            timestamp_ns: 12345,
+        };
         assert_eq!(PingMessage::from_bytes(&p.to_bytes()).unwrap(), p);
     }
 
     #[test]
     fn rejects_truncation_and_trailing() {
-        let p = PingMessage { config_version: 1, grace_period_secs: 2, timestamp_ns: 3 };
+        let p = PingMessage {
+            config_version: 1,
+            grace_period_secs: 2,
+            timestamp_ns: 3,
+        };
         let mut b = p.to_bytes();
         assert!(PingMessage::from_bytes(&b[..10]).is_err());
         b.push(0);

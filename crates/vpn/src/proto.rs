@@ -13,6 +13,10 @@ pub enum Opcode {
     HandshakeResp,
     /// Data channel payload (sealed).
     Data,
+    /// Data channel batch: several tun-level packets coalesced into one
+    /// sealed record (the §IV batching optimisation). The payload is a
+    /// [`frame`]-encoded sequence of packets.
+    DataBatch,
     /// Keepalive/ping (sealed; §III-E extension carries config version).
     Ping,
     /// Orderly teardown.
@@ -20,13 +24,16 @@ pub enum Opcode {
 }
 
 impl Opcode {
-    fn to_u8(self) -> u8 {
+    /// Wire byte for this opcode — also bound into data-channel MACs, so
+    /// there is exactly one opcode/byte table in the crate.
+    pub(crate) fn to_u8(self) -> u8 {
         match self {
             Opcode::HandshakeInit => 1,
             Opcode::HandshakeResp => 2,
             Opcode::Data => 3,
             Opcode::Ping => 4,
             Opcode::Disconnect => 5,
+            Opcode::DataBatch => 6,
         }
     }
 
@@ -37,8 +44,121 @@ impl Opcode {
             3 => Opcode::Data,
             4 => Opcode::Ping,
             5 => Opcode::Disconnect,
+            6 => Opcode::DataBatch,
             _ => return Err(VpnError::Malformed("unknown opcode")),
         })
+    }
+}
+
+/// Framing for [`Opcode::DataBatch`] payloads: `u32` packet count, then
+/// each packet as `u32` length + bytes. Kept deliberately simple — the
+/// whole blob is sealed/authenticated as one unit by the data channel.
+pub mod frame {
+    use crate::error::VpnError;
+
+    /// Bytes of framing overhead for a batch of `n` packets.
+    pub fn overhead(n: usize) -> usize {
+        4 + 4 * n
+    }
+
+    /// Encodes `payloads` into one blob, appending to `out` (which is
+    /// cleared first so callers can recycle the buffer).
+    pub fn encode_into(out: &mut Vec<u8>, payloads: &[&[u8]]) {
+        out.clear();
+        let total: usize = payloads.iter().map(|p| p.len()).sum();
+        out.reserve(overhead(payloads.len()) + total);
+        out.extend_from_slice(&(payloads.len() as u32).to_be_bytes());
+        for p in payloads {
+            out.extend_from_slice(&(p.len() as u32).to_be_bytes());
+            out.extend_from_slice(p);
+        }
+    }
+
+    /// Encodes `payloads` into a fresh blob.
+    pub fn encode(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_into(&mut out, payloads);
+        out
+    }
+
+    /// Decodes a blob produced by [`encode`], yielding each packet's byte
+    /// range within `blob` (zero-copy; callers slice the blob).
+    ///
+    /// # Errors
+    ///
+    /// [`VpnError::Malformed`] on truncation, trailing garbage, or a
+    /// count/length mismatch.
+    pub fn decode(blob: &[u8]) -> Result<Vec<std::ops::Range<usize>>, VpnError> {
+        if blob.len() < 4 {
+            return Err(VpnError::Malformed("batch blob too short"));
+        }
+        let count = u32::from_be_bytes(blob[..4].try_into().unwrap()) as usize;
+        // Each frame needs at least its 4-byte length header, so any count
+        // beyond blob.len()/4 is malformed — checking here also keeps a
+        // hostile count field from driving a huge pre-allocation.
+        if count > (blob.len() - 4) / 4 {
+            return Err(VpnError::Malformed("batch count exceeds blob size"));
+        }
+        let mut ranges = Vec::with_capacity(count);
+        let mut off = 4usize;
+        for _ in 0..count {
+            if blob.len() < off + 4 {
+                return Err(VpnError::Malformed("batch frame header truncated"));
+            }
+            let len = u32::from_be_bytes(blob[off..off + 4].try_into().unwrap()) as usize;
+            off += 4;
+            if blob.len() < off + len {
+                return Err(VpnError::Malformed("batch frame body truncated"));
+            }
+            ranges.push(off..off + len);
+            off += len;
+        }
+        if off != blob.len() {
+            return Err(VpnError::Malformed("trailing bytes after batch frames"));
+        }
+        Ok(ranges)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrip() {
+            let payloads: Vec<&[u8]> = vec![b"one", b"", b"three33"];
+            let blob = encode(&payloads);
+            assert_eq!(blob.len(), overhead(3) + 3 + 7);
+            let ranges = decode(&blob).unwrap();
+            let decoded: Vec<&[u8]> = ranges.into_iter().map(|r| &blob[r]).collect();
+            assert_eq!(decoded, payloads);
+        }
+
+        #[test]
+        fn empty_batch_roundtrips() {
+            let blob = encode(&[]);
+            assert!(decode(&blob).unwrap().is_empty());
+        }
+
+        #[test]
+        fn rejects_malformed() {
+            assert!(decode(&[]).is_err());
+            assert!(decode(&[0, 0, 0, 2, 0, 0, 0, 1]).is_err()); // body truncated
+            let mut blob = encode(&[b"x"]);
+            blob.push(9); // trailing garbage
+            assert!(decode(&blob).is_err());
+            blob.pop();
+            blob[3] = 2; // count says 2, only 1 frame present
+            assert!(decode(&blob).is_err());
+        }
+
+        #[test]
+        fn encode_into_recycles_buffer() {
+            let mut buf = encode(&[b"aaaa"]);
+            let cap = buf.capacity();
+            encode_into(&mut buf, &[b"b"]);
+            assert_eq!(decode(&buf).unwrap().len(), 1);
+            assert!(buf.capacity() >= cap.min(buf.len()));
+        }
     }
 }
 
@@ -62,7 +182,10 @@ impl Record {
     /// Serialises to wire bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        w.u8(self.opcode.to_u8()).u64(self.session_id).u64(self.packet_id).bytes(&self.payload);
+        w.u8(self.opcode.to_u8())
+            .u64(self.session_id)
+            .u64(self.packet_id)
+            .bytes(&self.payload);
         w.finish()
     }
 
@@ -80,7 +203,12 @@ impl Record {
         if !r.is_empty() {
             return Err(VpnError::Malformed("trailing bytes after record"));
         }
-        Ok(Record { opcode, session_id, packet_id, payload })
+        Ok(Record {
+            opcode,
+            session_id,
+            packet_id,
+            payload,
+        })
     }
 }
 
@@ -110,7 +238,12 @@ mod tests {
             Opcode::Ping,
             Opcode::Disconnect,
         ] {
-            let rec = Record { opcode: op, session_id: 1, packet_id: 2, payload: vec![] };
+            let rec = Record {
+                opcode: op,
+                session_id: 1,
+                packet_id: 2,
+                payload: vec![],
+            };
             assert_eq!(Record::from_bytes(&rec.to_bytes()).unwrap().opcode, op);
         }
     }
@@ -127,6 +260,9 @@ mod tests {
         }
         .to_bytes();
         ok.push(0); // trailing byte
-        assert_eq!(Record::from_bytes(&ok), Err(VpnError::Malformed("trailing bytes after record")));
+        assert_eq!(
+            Record::from_bytes(&ok),
+            Err(VpnError::Malformed("trailing bytes after record"))
+        );
     }
 }

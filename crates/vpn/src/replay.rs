@@ -27,7 +27,11 @@ impl ReplayWindow {
         }
         if id > self.highest {
             let shift = id - self.highest;
-            self.mask = if shift >= WINDOW { 0 } else { self.mask << shift };
+            self.mask = if shift >= WINDOW {
+                0
+            } else {
+                self.mask << shift
+            };
             self.mask |= 1; // bit 0 = current highest
             self.highest = id;
             return true;

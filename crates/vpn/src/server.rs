@@ -54,6 +54,14 @@ pub enum ServerEvent {
         /// Decrypted tunnel payload (an IP packet).
         payload: Vec<u8>,
     },
+    /// An authenticated batch record arrived: several tunnel packets
+    /// sealed as one record (§IV batching).
+    DataBatch {
+        /// Session it arrived on.
+        session_id: u64,
+        /// Decrypted tunnel payloads, in batch order.
+        payloads: Vec<Vec<u8>>,
+    },
     /// An authenticated ping arrived (client status update).
     Ping {
         /// Session it arrived on.
@@ -140,10 +148,14 @@ impl VpnServer {
     /// # Errors
     ///
     /// All authentication/policy failures; the caller drops the traffic.
-    pub fn handle_record(&mut self, record: &Record, now_secs: u64) -> Result<ServerEvent, VpnError> {
+    pub fn handle_record(
+        &mut self,
+        record: &Record,
+        now_secs: u64,
+    ) -> Result<ServerEvent, VpnError> {
         match record.opcode {
             Opcode::HandshakeInit => self.handle_handshake(record, now_secs),
-            Opcode::Data => self.handle_data(record, now_secs),
+            Opcode::Data | Opcode::DataBatch => self.handle_data(record, now_secs),
             Opcode::Ping => self.handle_ping(record),
             Opcode::Disconnect => {
                 let session_id = record.session_id;
@@ -187,7 +199,11 @@ impl VpnServer {
             packet_id: 0,
             payload: server_hello.to_bytes(),
         };
-        Ok(ServerEvent::Established { session_id, response, info })
+        Ok(ServerEvent::Established {
+            session_id,
+            response,
+            info,
+        })
     }
 
     fn handle_data(&mut self, record: &Record, now_secs: u64) -> Result<ServerEvent, VpnError> {
@@ -211,8 +227,18 @@ impl VpnServer {
                 required: policy.required_version,
             });
         }
+        if record.opcode == Opcode::DataBatch {
+            let payloads = session.channel.open_batch(record)?;
+            return Ok(ServerEvent::DataBatch {
+                session_id: record.session_id,
+                payloads,
+            });
+        }
         let payload = session.channel.open(record)?;
-        Ok(ServerEvent::Data { session_id: record.session_id, payload })
+        Ok(ServerEvent::Data {
+            session_id: record.session_id,
+            payload,
+        })
     }
 
     fn handle_ping(&mut self, record: &Record) -> Result<ServerEvent, VpnError> {
@@ -225,7 +251,10 @@ impl VpnServer {
         // The ping proves which configuration the client runs (§III-E
         // step 9).
         session.reported_config_version = message.config_version;
-        Ok(ServerEvent::Ping { session_id: record.session_id, message })
+        Ok(ServerEvent::Ping {
+            session_id: record.session_id,
+            message,
+        })
     }
 
     /// Seals a payload to a client.
@@ -244,6 +273,24 @@ impl VpnServer {
             .get_mut(&session_id)
             .ok_or(VpnError::UnknownSession(session_id))?;
         Ok(session.channel.seal(opcode, session_id, payload))
+    }
+
+    /// Seals several payloads to a client as one `DataBatch` record (§IV
+    /// batching, server-to-client direction).
+    ///
+    /// # Errors
+    ///
+    /// [`VpnError::UnknownSession`] for bad ids.
+    pub fn seal_batch_to_client(
+        &mut self,
+        session_id: u64,
+        payloads: &[&[u8]],
+    ) -> Result<Record, VpnError> {
+        let session = self
+            .sessions
+            .get_mut(&session_id)
+            .ok_or(VpnError::UnknownSession(session_id))?;
+        Ok(session.channel.seal_batch(session_id, payloads))
     }
 
     /// Builds the periodic server ping for a session, carrying the current
@@ -302,8 +349,13 @@ mod tests {
         let client_key = SigningKey::generate(&mut rng);
         let server_cert =
             Certificate::issue("server", server_key.verifying_key(), 1 << 40, &ca, &mut rng);
-        let client_cert =
-            Certificate::issue("client-1", client_key.verifying_key(), 1 << 40, &ca, &mut rng);
+        let client_cert = Certificate::issue(
+            "client-1",
+            client_key.verifying_key(),
+            1 << 40,
+            &ca,
+            &mut rng,
+        );
         let server = VpnServer::new(
             HandshakeConfig {
                 identity: server_key,
@@ -322,13 +374,16 @@ mod tests {
             ca_public: ca.verifying_key(),
             min_version: PROTOCOL_V1,
         };
-        Harness { server, client_cfg, rng }
+        Harness {
+            server,
+            client_cfg,
+            rng,
+        }
     }
 
     /// Connects a client, returning (session id, client channel).
     fn connect(h: &mut Harness, config_version: u64) -> (u64, DataChannel) {
-        let (hello, state) =
-            client_start(&h.client_cfg, PROTOCOL_V1, config_version, &mut h.rng);
+        let (hello, state) = client_start(&h.client_cfg, PROTOCOL_V1, config_version, &mut h.rng);
         let record = Record {
             opcode: Opcode::HandshakeInit,
             session_id: 0,
@@ -336,7 +391,12 @@ mod tests {
             payload: hello.to_bytes(),
         };
         let event = h.server.handle_record(&record, 0).unwrap();
-        let ServerEvent::Established { session_id, response, .. } = event else {
+        let ServerEvent::Established {
+            session_id,
+            response,
+            ..
+        } = event
+        else {
             panic!("expected Established");
         };
         let shello = crate::handshake::ServerHello::from_bytes(&response.payload).unwrap();
@@ -357,7 +417,10 @@ mod tests {
         assert_eq!(h.server.session_count(), 1);
         let rec = chan.seal(Opcode::Data, sid, b"an ip packet");
         match h.server.handle_record(&rec, 1).unwrap() {
-            ServerEvent::Data { session_id, payload } => {
+            ServerEvent::Data {
+                session_id,
+                payload,
+            } => {
                 assert_eq!(session_id, sid);
                 assert_eq!(payload, b"an ip packet");
             }
@@ -375,12 +438,50 @@ mod tests {
     }
 
     #[test]
+    fn batch_records_deliver_all_payloads() {
+        let mut h = harness();
+        let (sid, mut chan) = connect(&mut h, 1);
+        let payloads: Vec<&[u8]> = vec![b"pkt one", b"pkt two", b"pkt three"];
+        let rec = chan.seal_batch(sid, &payloads);
+        match h.server.handle_record(&rec, 1).unwrap() {
+            ServerEvent::DataBatch {
+                session_id,
+                payloads: got,
+            } => {
+                assert_eq!(session_id, sid);
+                assert_eq!(got, payloads);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Batch records share the replay window with single records.
+        assert_eq!(
+            h.server.handle_record(&rec, 1).unwrap_err(),
+            VpnError::Replay
+        );
+    }
+
+    #[test]
+    fn batch_records_respect_config_policy() {
+        let mut h = harness();
+        let (sid, mut chan) = connect(&mut h, 1);
+        h.server.announce_config(2, 0, 100);
+        let rec = chan.seal_batch(sid, &[b"stale batch"]);
+        assert!(matches!(
+            h.server.handle_record(&rec, 101),
+            Err(VpnError::StaleConfiguration { .. })
+        ));
+    }
+
+    #[test]
     fn replayed_data_rejected() {
         let mut h = harness();
         let (sid, mut chan) = connect(&mut h, 1);
         let rec = chan.seal(Opcode::Data, sid, b"pkt");
         h.server.handle_record(&rec, 1).unwrap();
-        assert_eq!(h.server.handle_record(&rec, 1).unwrap_err(), VpnError::Replay);
+        assert_eq!(
+            h.server.handle_record(&rec, 1).unwrap_err(),
+            VpnError::Replay
+        );
     }
 
     #[test]
@@ -412,12 +513,19 @@ mod tests {
         let rec = chan.seal(Opcode::Data, sid, b"after grace");
         assert_eq!(
             h.server.handle_record(&rec, 131).unwrap_err(),
-            VpnError::StaleConfiguration { client: 1, required: 2 }
+            VpnError::StaleConfiguration {
+                client: 1,
+                required: 2
+            }
         );
 
         // Client proves the update via ping (Fig. 5 step 9) and traffic
         // flows again.
-        let ping = PingMessage { config_version: 2, grace_period_secs: 0, timestamp_ns: 0 };
+        let ping = PingMessage {
+            config_version: 2,
+            grace_period_secs: 0,
+            timestamp_ns: 0,
+        };
         let rec = chan.seal(Opcode::Ping, sid, &ping.to_bytes());
         h.server.handle_record(&rec, 132).unwrap();
         let rec = chan.seal(Opcode::Data, sid, b"updated");
@@ -434,7 +542,11 @@ mod tests {
         h.server.announce_config(6, 0, 100);
         // A malicious client replays an old config and reports version 3 —
         // monotonicity check at the server refuses it after the deadline.
-        let ping = PingMessage { config_version: 3, grace_period_secs: 0, timestamp_ns: 0 };
+        let ping = PingMessage {
+            config_version: 3,
+            grace_period_secs: 0,
+            timestamp_ns: 0,
+        };
         let rec = chan.seal(Opcode::Ping, sid, &ping.to_bytes());
         h.server.handle_record(&rec, 101).unwrap();
         let rec = chan.seal(Opcode::Data, sid, b"rollback traffic");
@@ -460,8 +572,12 @@ mod tests {
     fn disconnect_removes_session() {
         let mut h = harness();
         let (sid, _) = connect(&mut h, 1);
-        let rec =
-            Record { opcode: Opcode::Disconnect, session_id: sid, packet_id: 0, payload: vec![] };
+        let rec = Record {
+            opcode: Opcode::Disconnect,
+            session_id: sid,
+            packet_id: 0,
+            payload: vec![],
+        };
         h.server.handle_record(&rec, 1).unwrap();
         assert_eq!(h.server.session_count(), 0);
     }
@@ -476,9 +592,12 @@ mod tests {
             session_id: sid,
             packet_id: 50,
             payload: {
-                let mut p =
-                    PingMessage { config_version: 999, grace_period_secs: 0, timestamp_ns: 0 }
-                        .to_bytes();
+                let mut p = PingMessage {
+                    config_version: 999,
+                    grace_period_secs: 0,
+                    timestamp_ns: 0,
+                }
+                .to_bytes();
                 p.extend_from_slice(&[0u8; 32]); // fake tag
                 p
             },

@@ -145,7 +145,13 @@ mod tests {
     #[test]
     fn roundtrip_all_types() {
         let mut w = Writer::new();
-        w.u8(7).u16(300).u32(70_000).u64(1 << 40).bytes(b"hello").string("world").raw(&[1, 2]);
+        w.u8(7)
+            .u16(300)
+            .u32(70_000)
+            .u64(1 << 40)
+            .bytes(b"hello")
+            .string("world")
+            .raw(&[1, 2]);
         let buf = w.finish();
         let mut r = Reader::new(&buf);
         assert_eq!(r.u8().unwrap(), 7);
@@ -172,6 +178,9 @@ mod tests {
         w.u32(u32::MAX);
         let buf = w.finish();
         let mut r = Reader::new(&buf);
-        assert_eq!(r.bytes(), Err(VpnError::Malformed("length field too large")));
+        assert_eq!(
+            r.bytes(),
+            Err(VpnError::Malformed("length field too large"))
+        );
     }
 }

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // An innocuous encrypted request passes.
     let request = session.encrypt_request(b"GET /index.html HTTP/1.1");
-    assert!(!request.app_payload().windows(4).any(|w| w == b"GET "), "wire is ciphertext");
+    assert!(
+        !request.app_payload().windows(4).any(|w| w == b"GET "),
+        "wire is ciphertext"
+    );
     let datagrams = scenario.clients[0].send_packet(request)?;
     assert!(!datagrams.is_empty());
     println!("benign HTTPS request passed DPI (decrypted + scanned inside the enclave)");
@@ -62,13 +65,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "\nDPI element counters: decrypted={}, IDS alerts={}",
-        scenario.clients[0].click_handler("tls", "decrypted").unwrap_or_default(),
-        scenario.clients[0].click_handler("ids", "alerts").unwrap_or_default(),
+        scenario.clients[0]
+            .click_handler("tls", "decrypted")
+            .unwrap_or_default(),
+        scenario.clients[0]
+            .click_handler("ids", "alerts")
+            .unwrap_or_default(),
     );
 
     // Without key forwarding, the IDS only sees ciphertext: nothing fires.
-    let mut blind =
-        Scenario::enterprise(1, UseCase::Nop).custom_client_click(DPI_CONFIG).seed(3).build()?;
+    let mut blind = Scenario::enterprise(1, UseCase::Nop)
+        .custom_client_click(DPI_CONFIG)
+        .seed(3)
+        .build()?;
     let mut session2 =
         TlsClientSession::connect(Scenario::client_addr(0), 40_444, &web_server, &mut rng);
     // (no forward_key_to_endbox call)
@@ -76,7 +85,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     exfil2.extend_from_slice(&endbox_snort::community::triggering_payload(11));
     let evil2 = session2.encrypt_request(&exfil2);
     let datagrams = blind.clients[0].send_packet(evil2)?;
-    assert!(!datagrams.is_empty(), "without the key the IDS cannot see the plaintext");
+    assert!(
+        !datagrams.is_empty(),
+        "without the key the IDS cannot see the plaintext"
+    );
     println!("\ncontrol run without key forwarding: ciphertext passes (as expected)");
     println!("-> DPI on encrypted traffic requires only the forwarded session key.");
     Ok(())

@@ -45,7 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "client 1 IDS alerts: {}",
-        scenario.clients[1].click_handler("ids", "alerts").unwrap_or_default()
+        scenario.clients[1]
+            .click_handler("ids", "alerts")
+            .unwrap_or_default()
     );
 
     // The admin pushes an updated (encrypted!) rule set with a 30 s grace

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Customers can inspect the rules: ISP configs are NOT encrypted.
     let stored = scenario.config_server.fetch(1).unwrap();
-    println!("\nconfig on the file server is plaintext: encrypted={}", stored.encrypted);
+    println!(
+        "\nconfig on the file server is plaintext: encrypted={}",
+        stored.encrypted
+    );
     let click_text = stored.plaintext_click().unwrap();
     println!("first line of the inspectable config:");
     println!("  {}", click_text.lines().next().unwrap_or_default());
@@ -53,8 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nflood from customer 1: {sent} packets sent, {delivered} passed the rate limiter");
     println!(
         "splitter counters: conformed={}, exceeded={}",
-        scenario.clients[1].click_handler("shaper", "conformed").unwrap_or_default(),
-        scenario.clients[1].click_handler("shaper", "exceeded").unwrap_or_default(),
+        scenario.clients[1]
+            .click_handler("shaper", "conformed")
+            .unwrap_or_default(),
+        scenario.clients[1]
+            .click_handler("shaper", "exceeded")
+            .unwrap_or_default(),
     );
     assert!(delivered < sent, "the shaper must throttle the flood");
 

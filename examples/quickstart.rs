@@ -18,8 +18,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // creation, key generation inside the enclave, quoting, IAS
     // verification, certificate issuance and the VPN handshake.
     let mut scenario = Scenario::enterprise(1, UseCase::Firewall).build()?;
-    println!("client 0 enrolled + connected (session {})", scenario.session_id(0));
-    println!("enclave measurement: {}", scenario.clients[0].enclave_app().measurement());
+    println!(
+        "client 0 enrolled + connected (session {})",
+        scenario.session_id(0)
+    );
+    println!(
+        "enclave measurement: {}",
+        scenario.clients[0].enclave_app().measurement()
+    );
 
     // Send application traffic into the managed network.
     let delivered = scenario.send_from_client(0, b"hello managed network")?;
@@ -33,18 +39,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Inspect the in-enclave firewall through the management interface.
     println!(
         "\nfirewall counters: allowed={}, denied={} (of {} rules)",
-        scenario.clients[0].click_handler("fw", "allowed").unwrap_or_default(),
-        scenario.clients[0].click_handler("fw", "denied").unwrap_or_default(),
-        scenario.clients[0].click_handler("fw", "rules").unwrap_or_default(),
+        scenario.clients[0]
+            .click_handler("fw", "allowed")
+            .unwrap_or_default(),
+        scenario.clients[0]
+            .click_handler("fw", "denied")
+            .unwrap_or_default(),
+        scenario.clients[0]
+            .click_handler("fw", "rules")
+            .unwrap_or_default(),
     );
 
     // Push a configuration update through the Fig. 5 protocol.
-    let new_version =
-        scenario.update_config(&UseCase::Idps.click_config(), 30)?;
+    let new_version = scenario.update_config(&UseCase::Idps.click_config(), 30)?;
     println!("\nhot-swapped to IDPS config, version {new_version}");
     println!(
         "IDS now active with {} rules",
-        scenario.clients[0].click_handler("ids", "rules").unwrap_or_default()
+        scenario.clients[0]
+            .click_handler("ids", "rules")
+            .unwrap_or_default()
     );
 
     // Traffic still flows after the swap.

@@ -81,7 +81,9 @@ fn wrong_ca_key_in_binary_rejects_enrollment_response() {
     let cfg = EndBoxClientConfig::new("confused", other_ca.public_key(), cpu);
     let mut client = EndBoxClient::new(cfg).unwrap();
     ca.allow_measurement(client.enclave_app().measurement());
-    let err = client.enroll("confused", &mut ca, &ias, &mut r).unwrap_err();
+    let err = client
+        .enroll("confused", &mut ca, &ias, &mut r)
+        .unwrap_err();
     assert_eq!(err, EndBoxError::Enrollment("CA signature invalid"));
 }
 
@@ -92,7 +94,10 @@ fn client_cannot_connect_before_enrollment() {
     let ca = CertificateAuthority::new(ias.public_key(), &mut r);
     let cfg = EndBoxClientConfig::new("eager", ca.public_key(), CpuIdentity::from_seed([5; 32]));
     let mut client = EndBoxClient::new(cfg).unwrap();
-    assert!(matches!(client.connect_start(), Err(EndBoxError::NotReady(_))));
+    assert!(matches!(
+        client.connect_start(),
+        Err(EndBoxError::NotReady(_))
+    ));
 }
 
 #[test]
@@ -114,7 +119,10 @@ fn sending_before_handshake_fails() {
         2,
         b"too early",
     );
-    assert!(matches!(client.send_packet(pkt), Err(EndBoxError::NotReady(_))));
+    assert!(matches!(
+        client.send_packet(pkt),
+        Err(EndBoxError::NotReady(_))
+    ));
 }
 
 #[test]

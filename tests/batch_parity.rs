@@ -1,0 +1,205 @@
+//! Batch/single parity: pushing N packets as one `PacketBatch` must yield
+//! byte-identical emitted packets and identical verdicts to N single
+//! `Router::process` calls — across the quickstart (firewall), IDS and
+//! IPFilter configurations, for arbitrary traffic (property-tested), and
+//! regardless of whether the packets are pool-backed.
+
+use endbox::use_cases::UseCase;
+use endbox_click::element::ElementEnv;
+use endbox_click::Router;
+use endbox_netsim::packet::Verdict;
+use endbox_netsim::{BufferPool, Packet, PacketBatch};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// The three configurations the parity guarantee is specified over:
+/// the quickstart example's firewall, the IDPS chain, and a plain
+/// IPFilter with both ports wired up.
+fn parity_configs() -> Vec<(&'static str, String)> {
+    vec![
+        ("quickstart-firewall", UseCase::Firewall.click_config()),
+        ("idps", UseCase::Idps.click_config()),
+        (
+            "ipfilter",
+            "FromDevice(tun0) -> f :: IPFilter(deny dst port 23, deny src port 7, allow all) \
+             -> ToDevice(tun0); f[1] -> Discard;"
+                .to_string(),
+        ),
+    ]
+}
+
+/// Runs `packets` through `config` both ways and asserts byte/verdict
+/// equality plus identical element state and cycle totals.
+fn assert_parity(name: &str, config: &str, packets: Vec<Packet>) {
+    let env_single = ElementEnv::default();
+    let meter_single = env_single.meter.clone();
+    let mut router_single = Router::from_config(config, env_single).unwrap();
+
+    let env_batch = ElementEnv::default();
+    let meter_batch = env_batch.meter.clone();
+    let mut router_batch = Router::from_config(config, env_batch).unwrap();
+
+    meter_single.take();
+    let mut single_emitted: Vec<Vec<u8>> = Vec::new();
+    let mut single_verdicts = Vec::new();
+    let mut single_dropped = 0u64;
+    for pkt in packets.iter().cloned() {
+        let out = router_single.process(pkt);
+        single_verdicts.push(if out.accepted {
+            Verdict::Accept
+        } else {
+            Verdict::Drop
+        });
+        single_dropped += out.dropped;
+        single_emitted.extend(out.emitted.iter().map(|p| p.bytes().to_vec()));
+    }
+    let single_cycles = meter_single.take();
+
+    meter_batch.take();
+    let out = router_batch.process_batch(PacketBatch::from(packets));
+    let batch_cycles = meter_batch.take();
+
+    let batch_emitted: Vec<Vec<u8>> = out.emitted.iter().map(|p| p.bytes().to_vec()).collect();
+    assert_eq!(
+        batch_emitted, single_emitted,
+        "[{name}] emitted packet bytes must match"
+    );
+    assert_eq!(
+        out.verdicts, single_verdicts,
+        "[{name}] per-packet verdicts must match"
+    );
+    assert_eq!(
+        out.dropped, single_dropped,
+        "[{name}] unconnected-port drops must match"
+    );
+    assert_eq!(
+        batch_cycles, single_cycles,
+        "[{name}] total cycle charges must match"
+    );
+
+    // Handler-visible element state evolved identically.
+    for element in router_single.element_names().to_vec() {
+        for handler in [
+            "count",
+            "allowed",
+            "denied",
+            "alerts",
+            "drops",
+            "scanned_bytes",
+        ] {
+            assert_eq!(
+                router_single.read_handler(&element, handler),
+                router_batch.read_handler(&element, handler),
+                "[{name}] handler {element}.{handler} must match"
+            );
+        }
+    }
+}
+
+fn mixed_traffic(n: usize) -> Vec<Packet> {
+    (0..n)
+        .map(|i| {
+            let src = Ipv4Addr::new(10, 0, 0, 1 + (i % 5) as u8);
+            let dst = Ipv4Addr::new(10, 0, 1, 1);
+            match i % 4 {
+                // Telnet traffic the IPFilter config denies.
+                0 => Packet::tcp(src, dst, 40_000 + i as u16, 23, i as u32, b"telnet-ish"),
+                // The synthetic IDS rule set's drop content on port 80.
+                1 => Packet::tcp(src, dst, 40_000, 80, i as u32, b"xx EB-MAL-0000 xx"),
+                2 => Packet::udp(src, dst, 7, 53, b"dns query"),
+                _ => Packet::tcp(src, dst, 40_000, 443, i as u32, b"benign payload bytes"),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn batch_parity_on_mixed_traffic() {
+    for (name, config) in parity_configs() {
+        assert_parity(name, &config, mixed_traffic(24));
+    }
+}
+
+#[test]
+fn batch_parity_with_pooled_packets() {
+    let pool = BufferPool::new();
+    for (name, config) in parity_configs() {
+        let packets: Vec<Packet> = (0..16)
+            .map(|i| {
+                Packet::tcp_in(
+                    &pool,
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    Ipv4Addr::new(10, 0, 1, 1),
+                    41_000,
+                    if i % 2 == 0 { 80 } else { 23 },
+                    i as u32,
+                    b"pooled parity packet",
+                )
+            })
+            .collect();
+        assert_parity(name, &config, packets);
+    }
+    let stats = pool.stats();
+    assert!(
+        stats.reused > 0,
+        "steady-state rounds must recycle buffers: {stats:?}"
+    );
+}
+
+#[test]
+fn pool_recycling_reaches_steady_state_through_the_router() {
+    let pool = BufferPool::new();
+    let mut router =
+        Router::from_config(&UseCase::Firewall.click_config(), ElementEnv::default()).unwrap();
+    for _round in 0..10 {
+        let batch: PacketBatch = (0..8)
+            .map(|i| {
+                Packet::udp_in(
+                    &pool,
+                    Ipv4Addr::new(10, 0, 0, 3),
+                    Ipv4Addr::new(10, 0, 1, 1),
+                    5_000,
+                    6_000 + i as u16,
+                    b"recycled",
+                )
+            })
+            .collect();
+        let out = router.process_batch(batch);
+        assert_eq!(out.accepted, 8);
+        drop(out);
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.fresh_allocs, 8, "only the first round allocates");
+    assert_eq!(stats.reused, 72, "remaining nine rounds reuse every buffer");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary traffic shapes: ports and payloads randomised, batch
+    /// size 1..32, across all three parity configurations.
+    #[test]
+    fn batch_parity_holds_for_arbitrary_traffic(
+        specs in prop::collection::vec(
+            (any::<u16>(), any::<u16>(), prop::collection::vec(any::<u8>(), 0..200)),
+            1..32,
+        ),
+        config_idx in 0usize..3,
+    ) {
+        let (name, config) = parity_configs().swap_remove(config_idx);
+        let packets: Vec<Packet> = specs
+            .iter()
+            .map(|(sport, dport, payload)| {
+                Packet::tcp(
+                    Ipv4Addr::new(10, 0, 0, 9),
+                    Ipv4Addr::new(10, 0, 1, 1),
+                    *sport,
+                    *dport,
+                    0,
+                    payload,
+                )
+            })
+            .collect();
+        assert_parity(name, &config, packets);
+    }
+}

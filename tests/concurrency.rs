@@ -21,7 +21,9 @@ fn threaded_clients_stream_through_channel_server() {
     const CLIENTS: usize = 4;
     const PACKETS_PER_CLIENT: u32 = 50;
 
-    let mut scenario = Scenario::enterprise(CLIENTS, UseCase::Firewall).build().unwrap();
+    let mut scenario = Scenario::enterprise(CLIENTS, UseCase::Firewall)
+        .build()
+        .unwrap();
     let (tx, rx) = channel::bounded::<Wire>(256);
 
     // Move the clients out onto worker threads, keep the server here.
@@ -41,7 +43,11 @@ fn threaded_clients_stream_through_channel_server() {
                     payload.as_bytes(),
                 );
                 for datagram in client.send_packet(pkt).unwrap() {
-                    tx.send(Wire { peer: i as u64, bytes: datagram }).unwrap();
+                    tx.send(Wire {
+                        peer: i as u64,
+                        bytes: datagram,
+                    })
+                    .unwrap();
                 }
             }
             client
@@ -50,13 +56,16 @@ fn threaded_clients_stream_through_channel_server() {
     drop(tx);
 
     // The server consumes interleaved datagrams from all clients.
-    let mut delivered_per_client = vec![0u32; CLIENTS];
+    let mut delivered_per_client = [0u32; CLIENTS];
     while let Ok(wire) = rx.recv() {
-        match scenario.server.receive_datagram(wire.peer, &wire.bytes).unwrap() {
+        match scenario
+            .server
+            .receive_datagram(wire.peer, &wire.bytes)
+            .unwrap()
+        {
             Delivery::Packet { packet, .. } => {
                 let text = String::from_utf8(packet.app_payload().to_vec()).unwrap();
-                let who: usize =
-                    text.split_whitespace().nth(1).unwrap().parse().unwrap();
+                let who: usize = text.split_whitespace().nth(1).unwrap().parse().unwrap();
                 delivered_per_client[who] += 1;
             }
             Delivery::Pending => {}
@@ -97,7 +106,12 @@ fn bidirectional_threads_echo_through_server() {
                 format!("c2c message {seq}").as_bytes(),
             );
             for datagram in client_0.send_packet(pkt).unwrap() {
-                to_server.send(Wire { peer: 0, bytes: datagram }).unwrap();
+                to_server
+                    .send(Wire {
+                        peer: 0,
+                        bytes: datagram,
+                    })
+                    .unwrap();
             }
         }
     });
@@ -115,8 +129,10 @@ fn bidirectional_threads_echo_through_server() {
 
     // Server thread body (runs inline): forward deliveries to client 1.
     while let Ok(wire) = from_clients.recv() {
-        if let Delivery::Packet { packet, .. } =
-            scenario.server.receive_datagram(wire.peer, &wire.bytes).unwrap()
+        if let Delivery::Packet { packet, .. } = scenario
+            .server
+            .receive_datagram(wire.peer, &wire.bytes)
+            .unwrap()
         {
             for d in scenario.server.send_to_client(session_1, &packet).unwrap() {
                 to_client_1.send(d).unwrap();

@@ -13,23 +13,30 @@ use rand::SeedableRng;
 fn full_update_cycle_over_the_wire() {
     let mut s = Scenario::enterprise(3, UseCase::Nop).build().unwrap();
     assert_eq!(s.client_version(0), 1);
-    let v = s.update_config(&UseCase::Firewall.click_config(), 60).unwrap();
+    let v = s
+        .update_config(&UseCase::Firewall.click_config(), 60)
+        .unwrap();
     for i in 0..3 {
         assert_eq!(s.client_version(i), v, "client {i}");
         assert_eq!(s.server.client_config_version(s.session_id(i)), Some(v));
     }
     // The new middlebox is live: firewall handlers exist now.
-    assert_eq!(s.clients[0].click_handler("fw", "rules").as_deref(), Some("16"));
+    assert_eq!(
+        s.clients[0].click_handler("fw", "rules").as_deref(),
+        Some("16")
+    );
 }
 
 #[test]
 fn enterprise_configs_are_encrypted_isp_configs_are_not() {
     let mut ent = Scenario::enterprise(1, UseCase::Nop).build().unwrap();
-    ent.update_config(&UseCase::Firewall.click_config(), 0).unwrap();
+    ent.update_config(&UseCase::Firewall.click_config(), 0)
+        .unwrap();
     assert!(ent.config_server.fetch(2).unwrap().encrypted);
 
     let mut isp = Scenario::isp(1, UseCase::Nop).build().unwrap();
-    isp.update_config(&UseCase::Firewall.click_config(), 0).unwrap();
+    isp.update_config(&UseCase::Firewall.click_config(), 0)
+        .unwrap();
     let cfg = isp.config_server.fetch(2).unwrap();
     assert!(!cfg.encrypted);
     assert!(cfg.plaintext_click().unwrap().contains("IPFilter"));
@@ -38,7 +45,8 @@ fn enterprise_configs_are_encrypted_isp_configs_are_not() {
 #[test]
 fn version_replay_rejected_by_enclave() {
     let mut s = Scenario::enterprise(1, UseCase::Nop).build().unwrap();
-    s.update_config(&UseCase::Firewall.click_config(), 0).unwrap(); // v2
+    s.update_config(&UseCase::Firewall.click_config(), 0)
+        .unwrap(); // v2
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     // Replay v1-style config (signed by the genuine CA, old version).
     let old = SignedConfig::publish(
@@ -49,7 +57,10 @@ fn version_replay_rejected_by_enclave() {
         &mut rng,
     );
     let err = s.clients[0].enclave_app().apply_config(&old).unwrap_err();
-    assert_eq!(err, EndBoxError::ConfigUpdate("version not newer (replay?)"));
+    assert_eq!(
+        err,
+        EndBoxError::ConfigUpdate("version not newer (replay?)")
+    );
 }
 
 #[test]
@@ -64,7 +75,10 @@ fn forged_signature_rejected() {
         None,
         &mut rng,
     );
-    let err = s.clients[0].enclave_app().apply_config(&forged).unwrap_err();
+    let err = s.clients[0]
+        .enclave_app()
+        .apply_config(&forged)
+        .unwrap_err();
     assert_eq!(err, EndBoxError::ConfigUpdate("signature invalid"));
 }
 
@@ -84,7 +98,10 @@ fn version_mismatch_inside_payload_rejected() {
     // Manually altering the version breaks the outer signature first.
     let mut spliced = good.clone();
     spliced.version = 8;
-    let err = s.clients[0].enclave_app().apply_config(&spliced).unwrap_err();
+    let err = s.clients[0]
+        .enclave_app()
+        .apply_config(&spliced)
+        .unwrap_err();
     assert_eq!(err, EndBoxError::ConfigUpdate("signature invalid"));
 }
 
@@ -107,11 +124,15 @@ fn grace_period_allows_old_then_blocks() {
     s.send_from_client(0, b"during grace").unwrap();
 
     // Advance past the grace period.
-    s.clock.advance(endbox_netsim::time::SimDuration::from_secs(31));
+    s.clock
+        .advance(endbox_netsim::time::SimDuration::from_secs(31));
     let err = s.send_from_client(0, b"after grace").unwrap_err();
     assert!(matches!(
         err,
-        EndBoxError::Vpn(VpnError::StaleConfiguration { client: 1, required: 2 })
+        EndBoxError::Vpn(VpnError::StaleConfiguration {
+            client: 1,
+            required: 2
+        })
     ));
 
     // Client finally updates (ping -> fetch -> apply -> proof) and is
@@ -129,14 +150,23 @@ fn hot_swap_preserves_element_state() {
     for _ in 0..5 {
         s.send_from_client(0, b"count me").unwrap();
     }
-    assert_eq!(s.clients[0].click_handler("c", "count").as_deref(), Some("5"));
+    assert_eq!(
+        s.clients[0].click_handler("c", "count").as_deref(),
+        Some("5")
+    );
     // Swap to a config that keeps the same named Counter: state carries
     // over ("Click's hot-swapping transfers state").
     let extended = "FromDevice(tun0) -> c :: Counter -> f :: IPFilter(allow all) -> ToDevice(tun0);\nf[1] -> Discard;";
     s.update_config(extended, 0).unwrap();
-    assert_eq!(s.clients[0].click_handler("c", "count").as_deref(), Some("5"));
+    assert_eq!(
+        s.clients[0].click_handler("c", "count").as_deref(),
+        Some("5")
+    );
     s.send_from_client(0, b"count me too").unwrap();
-    assert_eq!(s.clients[0].click_handler("c", "count").as_deref(), Some("6"));
+    assert_eq!(
+        s.clients[0].click_handler("c", "count").as_deref(),
+        Some("6")
+    );
 }
 
 #[test]
@@ -152,7 +182,10 @@ fn broken_config_leaves_old_one_running() {
         Some(&s.ca.config_key()),
         &mut rng,
     );
-    let err = s.clients[0].enclave_app().apply_config(&broken).unwrap_err();
+    let err = s.clients[0]
+        .enclave_app()
+        .apply_config(&broken)
+        .unwrap_err();
     assert_eq!(err, EndBoxError::ConfigUpdate("config rejected by Click"));
     // Old config still in force.
     assert_eq!(s.client_version(0), 1);
@@ -163,7 +196,10 @@ fn broken_config_leaves_old_one_running() {
 fn wrong_config_key_cannot_decrypt() {
     // A client from a different deployment (different CA/config key)
     // cannot decrypt this deployment's encrypted configs.
-    let mut s1 = Scenario::enterprise(1, UseCase::Nop).seed(100).build().unwrap();
+    let mut s1 = Scenario::enterprise(1, UseCase::Nop)
+        .seed(100)
+        .build()
+        .unwrap();
     let mut rng = rand::rngs::StdRng::seed_from_u64(6);
     let foreign_key = [0xaau8; 32]; // not s1's config key
     let cfg = SignedConfig::publish(

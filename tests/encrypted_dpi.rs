@@ -37,7 +37,10 @@ fn forwarded_key_enables_plaintext_inspection() {
     let req = session.encrypt_request(b"GET /public HTTP/1.1");
     let datagrams = s.clients[0].send_packet(req).unwrap();
     assert!(!datagrams.is_empty());
-    assert_eq!(s.clients[0].click_handler("tls", "decrypted").as_deref(), Some("1"));
+    assert_eq!(
+        s.clients[0].click_handler("tls", "decrypted").as_deref(),
+        Some("1")
+    );
 
     // Malicious content hidden in TLS is caught (rule 11: drop on 443).
     let mut evil = b"POST /x ".to_vec();
@@ -45,7 +48,10 @@ fn forwarded_key_enables_plaintext_inspection() {
     let pkt = session.encrypt_request(&evil);
     let datagrams = s.clients[0].send_packet(pkt).unwrap();
     assert!(datagrams.is_empty(), "decrypted malware must be dropped");
-    assert_eq!(s.clients[0].click_handler("ids", "alerts").as_deref(), Some("1"));
+    assert_eq!(
+        s.clients[0].click_handler("ids", "alerts").as_deref(),
+        Some("1")
+    );
 }
 
 #[test]
@@ -59,8 +65,14 @@ fn without_key_ciphertext_is_opaque() {
     evil.extend_from_slice(&endbox_snort::community::triggering_payload(11));
     let pkt = session.encrypt_request(&evil);
     let datagrams = s.clients[0].send_packet(pkt).unwrap();
-    assert!(!datagrams.is_empty(), "without the key the IDS sees only ciphertext");
-    assert_eq!(s.clients[0].click_handler("tls", "misses").as_deref(), Some("1"));
+    assert!(
+        !datagrams.is_empty(),
+        "without the key the IDS sees only ciphertext"
+    );
+    assert_eq!(
+        s.clients[0].click_handler("tls", "misses").as_deref(),
+        Some("1")
+    );
 }
 
 #[test]
@@ -101,5 +113,8 @@ fn multiple_sessions_use_distinct_keys() {
         let datagrams = s.clients[0].send_packet(pkt).unwrap();
         assert!(!datagrams.is_empty());
     }
-    assert_eq!(s.clients[0].click_handler("tls", "decrypted").as_deref(), Some("2"));
+    assert_eq!(
+        s.clients[0].click_handler("tls", "decrypted").as_deref(),
+        Some("2")
+    );
 }

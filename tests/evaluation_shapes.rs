@@ -66,7 +66,10 @@ fn small_packet_overhead_is_worst_case() {
         small_overhead > large_overhead,
         "overhead must shrink with packet size: {small_overhead:.2} vs {large_overhead:.2}"
     );
-    assert!((0.25..=0.55).contains(&small_overhead), "paper: ~39%; got {small_overhead:.2}");
+    assert!(
+        (0.25..=0.55).contains(&small_overhead),
+        "paper: ~39%; got {small_overhead:.2}"
+    );
 }
 
 /// Fig. 7: EndBox's latency overhead is ~6%, cloud redirection is 61% to
@@ -76,9 +79,16 @@ fn redirection_latency_shape() {
     let rows = fig7();
     let get = |l: &str| rows.iter().find(|(label, _)| *label == l).unwrap().1;
     let baseline = get("no redirection");
-    assert!((get("EndBox SGX") / baseline - 1.0) < 0.10, "EndBox ~6% overhead");
+    assert!(
+        (get("EndBox SGX") / baseline - 1.0) < 0.10,
+        "EndBox ~6% overhead"
+    );
     let eu = get("AWS eu-central") / baseline - 1.0;
-    assert!((0.4..1.0).contains(&eu), "paper: +61%; got {:.0}%", eu * 100.0);
+    assert!(
+        (0.4..1.0).contains(&eu),
+        "paper: +61%; got {:.0}%",
+        eu * 100.0
+    );
     let us = get("AWS us-east") / baseline - 1.0;
     assert!(us > 10.0, "paper: +1773%; got {:.0}%", us * 100.0);
 }
@@ -110,10 +120,19 @@ fn fig10a_deployment_shapes() {
     // Vanilla Click plateaus below the VPN plateau (single process).
     let click_plateau = click.last().unwrap().gbps;
     let vpn_plateau = vanilla.last().unwrap().gbps;
-    assert!(click_plateau < vpn_plateau, "{click_plateau} < {vpn_plateau}");
-    assert!((4.0..6.5).contains(&click_plateau), "paper: ~5.5 Gbps; got {click_plateau:.1}");
+    assert!(
+        click_plateau < vpn_plateau,
+        "{click_plateau} < {vpn_plateau}"
+    );
+    assert!(
+        (4.0..6.5).contains(&click_plateau),
+        "paper: ~5.5 Gbps; got {click_plateau:.1}"
+    );
     // OpenVPN+Click decreases after its peak.
     let peak = central.iter().map(|p| p.gbps).fold(0.0f64, f64::max);
     let last = central.last().unwrap().gbps;
-    assert!(last < peak * 0.95, "central middlebox declines: peak {peak:.2}, 60cl {last:.2}");
+    assert!(
+        last < peak * 0.95,
+        "central middlebox declines: peak {peak:.2}, 60cl {last:.2}"
+    );
 }

@@ -47,7 +47,16 @@ fn clean_wire_delivers_everything() {
 
 #[test]
 fn lossy_wire_degrades_gracefully() {
-    let (sent, delivered) = run_over(Impairment { loss: 0.10, duplication: 0.0, reorder: 0.0 }, 200, 1000, 2);
+    let (sent, delivered) = run_over(
+        Impairment {
+            loss: 0.10,
+            duplication: 0.0,
+            reorder: 0.0,
+        },
+        200,
+        1000,
+        2,
+    );
     // Single-fragment records: ~10% loss -> ~90% delivery, never more
     // than sent.
     assert!(delivered < sent);
@@ -56,8 +65,16 @@ fn lossy_wire_degrades_gracefully() {
 
 #[test]
 fn duplicated_datagrams_never_deliver_twice() {
-    let (sent, delivered) =
-        run_over(Impairment { loss: 0.0, duplication: 0.5, reorder: 0.0 }, 200, 1000, 3);
+    let (sent, delivered) = run_over(
+        Impairment {
+            loss: 0.0,
+            duplication: 0.5,
+            reorder: 0.0,
+        },
+        200,
+        1000,
+        3,
+    );
     // Duplicates either fail fragment-level dedup or the replay window;
     // exactly one delivery per original packet.
     assert_eq!(delivered, sent);
@@ -66,8 +83,16 @@ fn duplicated_datagrams_never_deliver_twice() {
 #[test]
 fn reordered_multifragment_records_reassemble() {
     // 20 KB payloads -> 3 fragments each; heavy reordering.
-    let (sent, delivered) =
-        run_over(Impairment { loss: 0.0, duplication: 0.0, reorder: 0.8 }, 50, 20_000, 4);
+    let (sent, delivered) = run_over(
+        Impairment {
+            loss: 0.0,
+            duplication: 0.0,
+            reorder: 0.8,
+        },
+        50,
+        20_000,
+        4,
+    );
     assert_eq!(delivered, sent, "reordering alone must not lose records");
 }
 
@@ -77,6 +102,9 @@ fn fully_flaky_wire_keeps_the_session_alive() {
     assert!(delivered > 0);
     assert!(delivered <= sent);
     // And after all that abuse a clean send still works:
-    let mut s = Scenario::enterprise(1, UseCase::Firewall).seed(77).build().unwrap();
+    let mut s = Scenario::enterprise(1, UseCase::Firewall)
+        .seed(77)
+        .build()
+        .unwrap();
     s.send_from_client(0, b"session still healthy").unwrap();
 }

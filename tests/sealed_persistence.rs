@@ -38,7 +38,8 @@ fn client(w: &World, subject: &str) -> EndBoxClient {
 
 fn server(w: &mut World) -> EndBoxServer {
     let key = SigningKey::generate(&mut w.rng);
-    let cert = w.ca.issue_server_certificate("endbox-server", key.verifying_key(), 0, &mut w.rng);
+    let cert =
+        w.ca.issue_server_certificate("endbox-server", key.verifying_key(), 0, &mut w.rng);
     EndBoxServer::new(EndBoxServerConfig {
         handshake: HandshakeConfig {
             identity: key,
@@ -60,7 +61,8 @@ fn connect(client: &mut EndBoxClient, server: &mut EndBoxServer, peer: u64) {
     let hello = client.connect_start().unwrap();
     let mut response = None;
     for frag in &hello {
-        if let Delivery::Established { response: r, .. } = server.receive_datagram(peer, frag).unwrap()
+        if let Delivery::Established { response: r, .. } =
+            server.receive_datagram(peer, frag).unwrap()
         {
             response = Some(r);
         }
@@ -76,7 +78,9 @@ fn restart_reconnects_without_reattestation() {
     // First boot: full attestation.
     let mut first = client(&w, "laptop-1");
     w.ca.allow_measurement(first.enclave_app().measurement());
-    let sealed = first.enroll("laptop-1", &mut w.ca, &w.ias, &mut w.rng).unwrap();
+    let sealed = first
+        .enroll("laptop-1", &mut w.ca, &w.ias, &mut w.rng)
+        .unwrap();
     assert_eq!(w.ca.issued_count(), 1);
 
     // "Reboot": a brand-new client process on the same machine restores
@@ -112,14 +116,19 @@ fn sealed_blob_is_bound_to_the_cpu() {
     let mut w = world(11);
     let mut first = client(&w, "laptop-2");
     w.ca.allow_measurement(first.enclave_app().measurement());
-    let sealed = first.enroll("laptop-2", &mut w.ca, &w.ias, &mut w.rng).unwrap();
+    let sealed = first
+        .enroll("laptop-2", &mut w.ca, &w.ias, &mut w.rng)
+        .unwrap();
 
     // An attacker copies the blob to a different machine.
     let other_cpu = CpuIdentity::from_seed([0x99; 32]);
     let cfg = EndBoxClientConfig::new("laptop-2", w.ca.public_key(), other_cpu);
     let mut thief = EndBoxClient::new(cfg).unwrap();
     let err = thief.restore_enrollment(&sealed).unwrap_err();
-    assert_eq!(err, EndBoxError::Enrollment("sealed state failed to unseal"));
+    assert_eq!(
+        err,
+        EndBoxError::Enrollment("sealed state failed to unseal")
+    );
 }
 
 #[test]
@@ -127,7 +136,9 @@ fn sealed_blob_is_bound_to_the_enclave_code() {
     let mut w = world(12);
     let mut first = client(&w, "laptop-3");
     w.ca.allow_measurement(first.enclave_app().measurement());
-    let sealed = first.enroll("laptop-3", &mut w.ca, &w.ias, &mut w.rng).unwrap();
+    let sealed = first
+        .enroll("laptop-3", &mut w.ca, &w.ias, &mut w.rng)
+        .unwrap();
 
     // Same CPU, but a client binary built with a different CA key — its
     // measurement differs, so the sealing key differs.
@@ -142,7 +153,9 @@ fn tampered_blob_rejected() {
     let mut w = world(13);
     let mut first = client(&w, "laptop-4");
     w.ca.allow_measurement(first.enclave_app().measurement());
-    let sealed = first.enroll("laptop-4", &mut w.ca, &w.ias, &mut w.rng).unwrap();
+    let sealed = first
+        .enroll("laptop-4", &mut w.ca, &w.ias, &mut w.rng)
+        .unwrap();
     for i in [0usize, 16, sealed.len() / 2, sealed.len() - 1] {
         let mut t = sealed.clone();
         t[i] ^= 0x01;

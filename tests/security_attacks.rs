@@ -17,15 +17,15 @@ fn full_attack_battery_defended() {
 fn battery_names_cover_the_papers_discussion() {
     let names: Vec<&str> = run_all().into_iter().map(|(n, _)| n).collect();
     for expected in [
-        "bypass_middlebox",        // §V-A bypassing middlebox functions
-        "config_rollback",         // §V-A old or invalid configurations
+        "bypass_middlebox", // §V-A bypassing middlebox functions
+        "config_rollback",  // §V-A old or invalid configurations
         "stale_config_after_grace",
-        "replay_traffic",          // §V-A replaying traffic
-        "enclave_dos",             // §V-A denial-of-service
-        "downgrade_attack",        // §V-A downgrade attacks
-        "interface_attack",        // §V-A interface attacks
-        "qos_spoofing",            // §IV-A flag sanitisation
-        "crafted_ping",            // §III-E ping authenticity
+        "replay_traffic",   // §V-A replaying traffic
+        "enclave_dos",      // §V-A denial-of-service
+        "downgrade_attack", // §V-A downgrade attacks
+        "interface_attack", // §V-A interface attacks
+        "qos_spoofing",     // §IV-A flag sanitisation
+        "crafted_ping",     // §III-E ping authenticity
     ] {
         assert!(names.contains(&expected), "missing attack {expected}");
     }
@@ -106,7 +106,10 @@ fn client_ingress_rejects_garbage_without_panicking() {
 fn dos_on_own_enclave_is_self_limiting() {
     let mut s = Scenario::enterprise(2, UseCase::Firewall).build().unwrap();
     s.clients[0].enclave_app().destroy();
-    assert!(s.send_from_client(0, b"x").is_err(), "destroyed enclave cannot send");
+    assert!(
+        s.send_from_client(0, b"x").is_err(),
+        "destroyed enclave cannot send"
+    );
     // The neighbour and the network are unaffected.
     s.send_from_client(1, b"neighbour unaffected").unwrap();
     assert_eq!(s.server.session_count(), 2);

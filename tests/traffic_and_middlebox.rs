@@ -43,7 +43,11 @@ fn jumbo_packets_fragment_and_reassemble() {
         &payload,
     );
     let datagrams = s.clients[0].send_packet(pkt).unwrap();
-    assert!(datagrams.len() >= 4, "30 KB spans multiple datagrams: {}", datagrams.len());
+    assert!(
+        datagrams.len() >= 4,
+        "30 KB spans multiple datagrams: {}",
+        datagrams.len()
+    );
     let mut delivered = None;
     for d in &datagrams {
         if let endbox::server::Delivery::Packet { packet, .. } =
@@ -113,7 +117,10 @@ fn idps_drops_at_source_and_counts() {
         0,
         &endbox_snort::community::triggering_payload(0),
     );
-    assert_eq!(s.send_packet_from_client(0, evil).unwrap_err(), EndBoxError::PacketDropped);
+    assert_eq!(
+        s.send_packet_from_client(0, evil).unwrap_err(),
+        EndBoxError::PacketDropped
+    );
     let (_, dropped, _) = s.clients[0].enclave_app().packet_counters();
     assert_eq!(dropped, 1);
     // Nothing reached the server.
@@ -123,8 +130,14 @@ fn idps_drops_at_source_and_counts() {
 
 #[test]
 fn client_to_client_roundtrip_and_flagging() {
-    let mut s = Scenario::enterprise(3, UseCase::Idps).c2c_flagging(true).build().unwrap();
-    let msg = s.client_to_client(0, 2, b"direct message").unwrap().unwrap();
+    let mut s = Scenario::enterprise(3, UseCase::Idps)
+        .c2c_flagging(true)
+        .build()
+        .unwrap();
+    let msg = s
+        .client_to_client(0, 2, b"direct message")
+        .unwrap()
+        .unwrap();
     assert_eq!(msg.app_payload(), b"direct message");
     // Receiver skipped Click thanks to the flag.
     let (_, _, bypassed) = s.clients[2].enclave_app().packet_counters();
@@ -135,8 +148,13 @@ fn client_to_client_roundtrip_and_flagging() {
 
 #[test]
 fn without_flagging_receiver_processes_again() {
-    let mut s = Scenario::enterprise(2, UseCase::Idps).c2c_flagging(false).build().unwrap();
-    s.client_to_client(0, 1, b"processed twice").unwrap().unwrap();
+    let mut s = Scenario::enterprise(2, UseCase::Idps)
+        .c2c_flagging(false)
+        .build()
+        .unwrap();
+    s.client_to_client(0, 1, b"processed twice")
+        .unwrap()
+        .unwrap();
     let (_, _, bypassed) = s.clients[1].enclave_app().packet_counters();
     assert_eq!(bypassed, 0);
 }

@@ -1,0 +1,114 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module is provided, backed by `std::sync::mpsc`.
+//! Crossbeam's channels are MPMC; the tests in this workspace only ever
+//! use one consumer, which mpsc covers. `Sender`/`Receiver` keep
+//! crossbeam's names and `Result`-returning API.
+
+/// MPSC channels with crossbeam's module layout.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a channel.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// Sending half of an unbounded channel.
+    pub struct UnboundedSender<T>(mpsc::Sender<T>);
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(Inner<T>);
+
+    enum Inner<T> {
+        Bounded(mpsc::Receiver<T>),
+        Unbounded(mpsc::Receiver<T>),
+    }
+
+    /// Error returned when the channel has disconnected.
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// A channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(Inner::Bounded(rx)))
+    }
+
+    /// A channel with unlimited capacity.
+    pub fn unbounded<T>() -> (UnboundedSender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (UnboundedSender(tx), Receiver(Inner::Unbounded(rx)))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> UnboundedSender<T> {
+        /// Sends a message without blocking.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Clone for UnboundedSender<T> {
+        fn clone(&self) -> Self {
+            UnboundedSender(self.0.clone())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            match &self.0 {
+                Inner::Bounded(rx) | Inner::Unbounded(rx) => rx.recv(),
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            match &self.0 {
+                Inner::Bounded(rx) | Inner::Unbounded(rx) => rx.try_recv(),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_roundtrip_across_threads() {
+            let (tx, rx) = bounded::<u32>(4);
+            let tx2 = tx.clone();
+            let h = std::thread::spawn(move || {
+                for i in 0..8 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            drop(tx);
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            h.join().unwrap();
+            assert_eq!(got, (0..8).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn unbounded_roundtrip() {
+            let (tx, rx) = unbounded::<&'static str>();
+            tx.send("hi").unwrap();
+            drop(tx);
+            assert_eq!(rx.recv().unwrap(), "hi");
+            assert!(rx.recv().is_err());
+        }
+    }
+}

@@ -1,0 +1,575 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! re-implements the subset of proptest this workspace uses: the
+//! `proptest!` macro, `ProptestConfig::with_cases`, `any::<T>()`,
+//! range/tuple strategies, `prop::collection::vec`, `prop::array::uniform4`,
+//! `prop::sample::Index`, `Strategy::prop_map`, and the `prop_assert*`
+//! macros. Inputs are drawn from a deterministic seeded RNG; there is no
+//! shrinking — a failing case panics with the assertion message directly,
+//! which is enough signal for this repository's property tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Runner configuration (`cases` = inputs generated per property).
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` inputs.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// The RNG handed to strategies by the generated test runner.
+pub type TestRng = StdRng;
+
+/// Creates the deterministic per-test RNG. Seeded from the test name so
+/// different properties explore different input streams, but every run of
+/// the same test is reproducible.
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A value generator. Unlike real proptest there is no shrinking: a
+/// strategy is just a function from an RNG to a value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values for which `f` returns true (bounded retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive values");
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Ranges are strategies, e.g. `0usize..3` or `1u64..2000`.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident/$idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+/// String literals are regex strategies (a small subset: literal chars,
+/// escapes, `[..]` classes with ranges, and `{m,n}` / `{m}` / `*` / `+` /
+/// `?` quantifiers — enough for the patterns in this workspace).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex_gen::generate(self, rng)
+    }
+}
+
+mod regex_gen {
+    use super::TestRng;
+    use rand::Rng;
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<(char, char)>),
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    /// Generates one string matching the regex subset described on the
+    /// `Strategy` impl for `&str`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on constructs outside the subset (alternation, groups, ...),
+    /// which is a test-authoring error, not an input-dependent failure.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            unescape(chars[i])
+                        } else {
+                            chars[i]
+                        };
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let hi = if chars[i + 2] == '\\' {
+                                i += 1;
+                                unescape(chars[i + 2])
+                            } else {
+                                chars[i + 2]
+                            };
+                            ranges.push((lo, hi));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(
+                        i < chars.len(),
+                        "unterminated character class in `{pattern}`"
+                    );
+                    i += 1; // consume ']'
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = unescape(chars[i]);
+                    i += 1;
+                    Atom::Literal(c)
+                }
+                '(' | ')' | '|' => panic!("unsupported regex construct in `{pattern}`"),
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Optional quantifier.
+            let (lo, hi): (usize, usize) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .expect("unterminated quantifier")
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((m, n)) => (m.trim().parse().unwrap(), n.trim().parse().unwrap()),
+                            None => {
+                                let m: usize = body.trim().parse().unwrap();
+                                (m, m)
+                            }
+                        }
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            let n = if lo >= hi { lo } else { rng.gen_range(lo..=hi) };
+            for _ in 0..n {
+                match &atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let (a, b) = ranges[rng.gen_range(0..ranges.len())];
+                        out.push(rng.gen_range(a as u32..=b as u32).try_into().unwrap_or(a));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Strategy combinators grouped like the real crate's `prop` module.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy for `Vec<T>` with a length drawn from `len`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: core::ops::Range<usize>,
+        }
+
+        /// `vec(element, len_range)`: vectors whose length is in the range.
+        pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = if self.len.start >= self.len.end {
+                    self.len.start
+                } else {
+                    rng.gen_range(self.len.clone())
+                };
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Fixed-size array strategies.
+    pub mod array {
+        use super::super::{Strategy, TestRng};
+
+        macro_rules! uniform_n {
+            ($($name:ident => $n:literal),*) => {$(
+                /// Strategy for `[T; N]` drawing each slot from `element`.
+                pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                    UniformArray { element }
+                }
+            )*};
+        }
+
+        /// Strategy for fixed-size arrays.
+        #[derive(Debug, Clone)]
+        pub struct UniformArray<S, const N: usize> {
+            element: S,
+        }
+
+        impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+            type Value = [S::Value; N];
+
+            fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+                core::array::from_fn(|_| self.element.generate(rng))
+            }
+        }
+
+        uniform_n!(uniform2 => 2, uniform4 => 4, uniform8 => 8, uniform16 => 16, uniform32 => 32);
+    }
+
+    /// Sampling helpers.
+    pub mod sample {
+        use super::super::{Arbitrary, TestRng};
+        use rand::RngCore;
+
+        /// An index into a not-yet-known-length collection (proptest's
+        /// `prop::sample::Index`).
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Resolves the index against a collection of `len` elements.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `len` is zero.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Index {
+                Index(rng.next_u64())
+            }
+        }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use super::{any, prop, Arbitrary, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assertion that aborts the current case (no shrinking here, so it is a
+/// plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Binds `name in strategy` parameters inside the generated test loop.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $arg:ident in $strat:expr) => {
+        let $arg = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// The `proptest! { .. }` block: expands each contained
+/// `#[test] fn name(arg in strategy, ..) { body }` into a normal test that
+/// runs the body for `config.cases` deterministic random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let mut rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    $crate::__proptest_bind!(rng; $($params)*);
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 0usize..3, y in 1u64..2000) {
+            prop_assert!(x < 3);
+            prop_assert!((1..2000).contains(&y));
+        }
+
+        /// Doc comments on properties are accepted.
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn tuples_and_arrays(
+            pair in (0usize..6, 0usize..6),
+            arr in prop::array::uniform4(any::<u64>()),
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(pair.0 < 6 && pair.1 < 6);
+            prop_assert_eq!(arr.len(), 4);
+            prop_assert!(idx.index(10) < 10);
+        }
+    }
+
+    #[test]
+    fn regex_strategy_respects_class_and_counts() {
+        let mut rng = super::rng_for("regex");
+        for _ in 0..200 {
+            let s = "[ -~\\n]{0,200}".generate(&mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+            let t = "[a-c]{2}x?y+".generate(&mut rng);
+            assert!(t.starts_with(|c| ('a'..='c').contains(&c)));
+            assert!(t.ends_with('y'));
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let strat = prop::array::uniform2(any::<u8>()).prop_map(|[a, b]| a as u16 + b as u16);
+        let mut rng = super::rng_for("prop_map_transforms");
+        for _ in 0..64 {
+            assert!(strat.generate(&mut rng) <= 510);
+        }
+    }
+
+    #[test]
+    fn deterministic_between_runs() {
+        let strat = prop::collection::vec(any::<u8>(), 0..16);
+        let a: Vec<_> = {
+            let mut rng = super::rng_for("same-name");
+            (0..8).map(|_| strat.generate(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = super::rng_for("same-name");
+            (0..8).map(|_| strat.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}
