@@ -229,6 +229,68 @@ fn bench_batch_vs_single(c: &mut Criterion) {
     g.finish();
 }
 
+/// The sharded-server measurement: a real [`ShardedEndBoxServer`] with
+/// 1/2/4/8 worker threads receives one multi-client round of batched
+/// records (8 clients x 16 packets x 1460 B). The timed routine is the
+/// server-side dispatch only — client-side sealing happens in the
+/// (untimed) setup — so the numbers show the wall-clock win of running
+/// record decryption/authentication on parallel shard workers.
+fn bench_shard_scaling(c: &mut Criterion) {
+    use endbox::scenario::Scenario;
+    const CLIENTS: usize = 8;
+    const BATCH: usize = 16;
+
+    let mut g = c.benchmark_group("shard_scaling");
+    g.throughput(Throughput::Elements((CLIENTS * BATCH) as u64));
+    for workers in [1usize, 2, 4, 8] {
+        let mut scenario = Scenario::enterprise(CLIENTS, endbox::use_cases::UseCase::Nop)
+            .build_sharded(workers)
+            .unwrap();
+        let (clients, server) = (&mut scenario.clients, &mut scenario.server);
+        g.bench_function(
+            format!("recv_{CLIENTS}clients_x{BATCH}pkts_{workers}workers"),
+            |b| {
+                b.iter_batched(
+                    || {
+                        // Fresh sealed batches per iteration (replay
+                        // protection forbids re-sending records).
+                        let mut datagrams: Vec<(u64, Vec<u8>)> = Vec::new();
+                        for (idx, client) in clients.iter_mut().enumerate() {
+                            let packets: Vec<Packet> = (0..BATCH as u32)
+                                .map(|i| {
+                                    Packet::tcp(
+                                        Scenario::client_addr(idx),
+                                        Scenario::network_addr(),
+                                        40_000 + idx as u16,
+                                        5001,
+                                        i,
+                                        &[b'x'; 1460],
+                                    )
+                                })
+                                .collect();
+                            for d in client.send_batch(packets).unwrap() {
+                                datagrams.push((idx as u64, d));
+                            }
+                        }
+                        datagrams
+                    },
+                    |datagrams| {
+                        let refs: Vec<(u64, &[u8])> = datagrams
+                            .iter()
+                            .map(|(peer, d)| (*peer, d.as_slice()))
+                            .collect();
+                        let results = server.receive_datagrams(&refs);
+                        assert!(results.iter().all(Result::is_ok));
+                        results
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_vpn(c: &mut Criterion) {
     let mut g = c.benchmark_group("vpn");
     let keys = SessionKeys::derive(&[7u8; 32], &[1u8; 32], &[2u8; 32]);
@@ -274,7 +336,7 @@ fn bench_enclave(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_crypto, bench_ids, bench_click, bench_batch_vs_single, bench_vpn,
-        bench_enclave
+    targets = bench_crypto, bench_ids, bench_click, bench_batch_vs_single, bench_shard_scaling,
+        bench_vpn, bench_enclave
 }
 criterion_main!(benches);

@@ -5,8 +5,21 @@
 //! vanilla Click at ~5.5 Gbps; OpenVPN+Click peaks at ~2.5 Gbps (FW/LB)
 //! and ~1.7 Gbps (IDPS/DDoS), then decreases. EndBox wins 2.6x–3.8x at
 //! 60 clients.
+//!
+//! Beyond the paper: the **sharded multi-worker** extension sweeps the
+//! batched EndBox-SGX path with the server as one process running
+//! 1/2/4/8 worker shards, and emits the grid (clients × workers × Mpps)
+//! as machine-readable `BENCH_fig10.json`.
+//!
+//! Pass `--smoke` for a CI-sized run (few client counts, sharded grid +
+//! JSON only).
 
-use endbox::eval::scalability::{client_counts, fig10a, fig10b, ScalabilityPoint};
+use endbox::eval::scalability::{
+    client_counts, fig10_sharded, fig10a, fig10b, ScalabilityPoint, ShardedScalabilityPoint,
+};
+
+/// Packets per sealed record on the sharded/batched rows.
+const BATCH: usize = 16;
 
 fn print_series(points: &[ScalabilityPoint]) {
     let mut deployments: Vec<String> = Vec::new();
@@ -42,29 +55,121 @@ fn print_series(points: &[ScalabilityPoint]) {
     }
 }
 
-fn main() {
-    println!("=== Fig. 10a: NOP use case, different deployments (Gbps) ===\n");
-    print_series(&fig10a());
-    println!("\n=== Fig. 10b: five use cases, EndBox vs OpenVPN+Click (Gbps) ===\n");
-    let b = fig10b();
-    print_series(&b);
-
-    // Headline factors (paper: 2.6x - 3.8x at 60 clients).
-    println!("\n=== EndBox advantage at 60 clients ===");
-    for uc in ["NOP", "LB", "FW", "IDPS", "DDoS"] {
-        let e = b
-            .iter()
-            .find(|p| p.deployment == format!("EndBox SGX[{uc}]") && p.clients == 60)
-            .unwrap()
-            .gbps;
-        let c = b
-            .iter()
-            .find(|p| p.deployment == format!("OpenVPN+Click[{uc}]") && p.clients == 60)
-            .unwrap()
-            .gbps;
-        println!(
-            "{uc:<6} EndBox {e:.2} Gbps vs central {c:.2} Gbps -> {:.1}x",
-            e / c
-        );
+fn print_sharded(points: &[ShardedScalabilityPoint], clients: &[usize]) {
+    let mut workers: Vec<usize> = Vec::new();
+    for p in points {
+        if !workers.contains(&p.workers) {
+            workers.push(p.workers);
+        }
     }
+    print!("{:<26}", "workers \\ clients");
+    for n in clients {
+        print!("{n:>7}");
+    }
+    println!();
+    for w in &workers {
+        print!("{:<26}", format!("{w} worker shard(s) [Gbps]"));
+        for n in clients {
+            let p = points
+                .iter()
+                .find(|p| p.workers == *w && p.clients == *n)
+                .unwrap();
+            print!("{:>7.2}", p.gbps);
+        }
+        println!();
+        print!("{:<26}", "  rate [Mpps]");
+        for n in clients {
+            let p = points
+                .iter()
+                .find(|p| p.workers == *w && p.clients == *n)
+                .unwrap();
+            print!("{:>7.3}", p.mpps);
+        }
+        println!();
+    }
+}
+
+/// Hand-rolled JSON (no serde in the offline build environment): one
+/// object per (clients × workers) grid cell.
+fn sharded_json(points: &[ShardedScalabilityPoint]) -> String {
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"deployment\": \"{}\", \"clients\": {}, \"workers\": {}, \"batch\": {}, \
+             \"gbps\": {:.4}, \"mpps\": {:.5}, \"server_cpu\": {:.4}}}{}\n",
+            p.deployment,
+            p.clients,
+            p.workers,
+            p.batch,
+            p.gbps,
+            p.mpps,
+            p.server_cpu,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sharded_clients: Vec<usize> = if smoke {
+        vec![1, 5, 10]
+    } else {
+        client_counts().to_vec()
+    };
+
+    if !smoke {
+        println!("=== Fig. 10a: NOP use case, different deployments (Gbps) ===\n");
+        print_series(&fig10a());
+        println!("\n=== Fig. 10b: five use cases, EndBox vs OpenVPN+Click (Gbps) ===\n");
+        let b = fig10b();
+        print_series(&b);
+
+        // Headline factors (paper: 2.6x - 3.8x at 60 clients).
+        println!("\n=== EndBox advantage at 60 clients ===");
+        for uc in ["NOP", "LB", "FW", "IDPS", "DDoS"] {
+            let e = b
+                .iter()
+                .find(|p| p.deployment == format!("EndBox SGX[{uc}]") && p.clients == 60)
+                .unwrap()
+                .gbps;
+            let c = b
+                .iter()
+                .find(|p| p.deployment == format!("OpenVPN+Click[{uc}]") && p.clients == 60)
+                .unwrap()
+                .gbps;
+            println!(
+                "{uc:<6} EndBox {e:.2} Gbps vs central {c:.2} Gbps -> {:.1}x",
+                e / c
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "=== Sharded multi-worker server: batched EndBox SGX[NOP], batch={BATCH} \
+         (clients x workers) ===\n"
+    );
+    let sharded = fig10_sharded(BATCH, &sharded_clients);
+    print_sharded(&sharded, &sharded_clients);
+
+    let last = *sharded_clients.last().unwrap();
+    let at = |w: usize| {
+        sharded
+            .iter()
+            .find(|p| p.workers == w && p.clients == last)
+            .unwrap()
+            .gbps
+    };
+    println!(
+        "\nscaling at {last} clients: 1->2 workers {:.2}x, 1->4 workers {:.2}x, 1->8 workers {:.2}x",
+        at(2) / at(1),
+        at(4) / at(1),
+        at(8) / at(1)
+    );
+
+    let json = sharded_json(&sharded);
+    std::fs::write("BENCH_fig10.json", &json).expect("write BENCH_fig10.json");
+    println!("\nwrote BENCH_fig10.json ({} rows)", sharded.len());
 }

@@ -111,6 +111,10 @@ pub struct Router {
     pending: Vec<VecDeque<(usize, Packet)>>,
     /// Batch handed to `Element::process_batch` (allocation reused).
     scratch_batch: PacketBatch,
+    /// Packets dropped at unconnected ports during a batch traversal,
+    /// recycled to their pools in one `give_many` at the end instead of
+    /// one lock round-trip per packet.
+    scratch_drops: Vec<Packet>,
 }
 
 impl std::fmt::Debug for Router {
@@ -220,6 +224,7 @@ impl Router {
             scratch_outputs: Vec::with_capacity(4),
             pending,
             scratch_batch: PacketBatch::new(),
+            scratch_drops: Vec::new(),
         })
     }
 
@@ -301,6 +306,7 @@ impl Router {
 
         let mut outputs = std::mem::take(&mut self.scratch_outputs);
         let mut work = std::mem::take(&mut self.scratch_batch);
+        let mut drops = std::mem::take(&mut self.scratch_drops);
         while let Some(idx) = (0..self.elements.len()).find(|&i| !pending[i].is_empty()) {
             // Longest same-input-port run currently queued at `idx`.
             let port = pending[idx].front().expect("non-empty").0;
@@ -319,17 +325,28 @@ impl Router {
                     None => {
                         out_pkt.meta.verdict = Verdict::Drop;
                         dropped += 1;
+                        drops.push(out_pkt);
                     }
                 }
             }
         }
+        // Batch-granular recycling: all unconnected-port drops return
+        // their buffers under one pool lock acquisition.
+        endbox_netsim::recycle_packets(drops.drain(..));
         self.pending = pending;
         self.scratch_outputs = outputs;
         self.scratch_batch = work;
+        self.scratch_drops = drops;
 
         let mut verdicts = vec![Verdict::Drop; n_in];
         let mut accepted = 0usize;
         for pkt in &emitted {
+            // The sharded server's re-merge relies on every emission
+            // carrying a valid slot annotation for its originating input.
+            debug_assert!(
+                pkt.meta.batch_slot.is_some_and(|s| (s as usize) < n_in),
+                "batched emission lost its batch_slot annotation"
+            );
             if let Some(slot) = pkt.meta.batch_slot {
                 let v = &mut verdicts[slot as usize];
                 if *v != Verdict::Accept {
@@ -586,6 +603,72 @@ mod tests {
             .emitted
             .iter()
             .all(|p| p.meta.verdict == Verdict::Accept));
+    }
+
+    #[test]
+    fn fan_out_batch_remerge_order_is_pinned() {
+        // Regression pin for the documented fan-out caveat: the batched
+        // scheduler runs per element, so a Tee into two ToDevices emits
+        // *grouped per exit element* (all of branch 0 first, then all of
+        // branch 1), each group in input (batch-slot) order. The sharded
+        // server's deterministic re-merge builds on exactly this order;
+        // if the scheduler changes, this test must be revisited together
+        // with `BatchOutput::first_emissions_by_slot`.
+        let mut r = Router::from_config(
+            "FromDevice(t) -> tee :: Tee(2); tee[0] -> ToDevice(t); tee[1] -> ToDevice(t);",
+            ElementEnv::default(),
+        )
+        .unwrap();
+        let out = r.process_batch((0..3).map(|_| pkt()).collect());
+        let slots: Vec<Option<u32>> = out.emitted.iter().map(|p| p.meta.batch_slot).collect();
+        assert_eq!(
+            slots,
+            vec![Some(0), Some(1), Some(2), Some(0), Some(1), Some(2)],
+            "emissions grouped per exit element, slot-ordered within each group"
+        );
+        assert_eq!(out.accepted, 3);
+        // And the slot-indexed re-merge picks the *first* emission of each
+        // input, in input order.
+        let firsts = out.into_first_emissions();
+        let first_slots: Vec<Option<u32>> = firsts.iter().map(|p| p.meta.batch_slot).collect();
+        assert_eq!(first_slots, vec![None, None, None], "annotation cleared");
+        assert_eq!(firsts.len(), 3);
+    }
+
+    #[test]
+    fn batched_drops_recycle_buffers_under_one_lock() {
+        use endbox_netsim::BufferPool;
+        // Every packet is denied and lands on IPFilter's unconnected deny
+        // port; the batch path must give all buffers back in one
+        // `give_many` call.
+        let mut r = Router::from_config(
+            "FromDevice(t) -> f :: IPFilter(deny dst port 2, allow all) -> ToDevice(t);",
+            ElementEnv::default(),
+        )
+        .unwrap();
+        let pool = BufferPool::new();
+        let batch: PacketBatch = (0..6)
+            .map(|_| {
+                Packet::udp_in(
+                    &pool,
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    Ipv4Addr::new(10, 0, 1, 1),
+                    1,
+                    2,
+                    b"denied",
+                )
+            })
+            .collect();
+        let before = pool.stats();
+        let out = r.process_batch(batch);
+        assert_eq!(out.dropped, 6);
+        let after = pool.stats();
+        assert_eq!(after.returned - before.returned, 6, "all buffers recycled");
+        assert_eq!(
+            after.batched_ops - before.batched_ops,
+            1,
+            "one pool lock for the whole drop batch"
+        );
     }
 
     #[test]

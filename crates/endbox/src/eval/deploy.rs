@@ -187,6 +187,105 @@ fn measure_vpn_stack_batched(
     }
 }
 
+/// Measures per-packet cycle charges on the **sharded** EndBox-SGX stack:
+/// `n_clients` real clients each seal `batch_size`-packet batches, and
+/// every round's datagrams go through a [`crate::ShardedEndBoxServer`]
+/// with `workers` shard threads in one multi-client dispatch. Returned
+/// charges are per packet; the worker threads charge the shared server
+/// meter, so the *total* per-packet work matches the single server — the
+/// sharding win is modelled by the timing layer's worker flows
+/// (`server_worker_shards`), fed by this measured charge.
+///
+/// # Panics
+///
+/// Panics if the deployment cannot be constructed.
+pub fn measure_charge_sharded(
+    use_case: UseCase,
+    payload_len: usize,
+    samples: usize,
+    batch_size: usize,
+    workers: usize,
+) -> PacketCharge {
+    const N_CLIENTS: usize = 2;
+    let mut scenario = Scenario::enterprise(N_CLIENTS, use_case)
+        .trust(TrustLevel::Hardware)
+        .seed(0xbe9c)
+        .build_sharded(workers)
+        .expect("sharded deployment must build");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let payload = benign_payload(payload_len, &mut rng);
+    let client_meters: Vec<CycleMeter> =
+        scenario.clients.iter().map(|c| c.meter().clone()).collect();
+    let server_meter = scenario.server_meter.clone();
+
+    let build_packet = |idx: usize, seq: u32| {
+        Packet::tcp(
+            Scenario::client_addr(idx),
+            Scenario::network_addr(),
+            40_000 + idx as u16,
+            5001,
+            seq,
+            &payload,
+        )
+    };
+    let round_batches = |seq: u32| -> Vec<(usize, Vec<Packet>)> {
+        (0..N_CLIENTS)
+            .map(|idx| {
+                (
+                    idx,
+                    (0..batch_size)
+                        .map(|i| build_packet(idx, seq + i as u32))
+                        .collect(),
+                )
+            })
+            .collect()
+    };
+
+    // Warm-up round (first-use costs stay out of the steady state).
+    scenario
+        .send_packet_batches_from_all(round_batches(0))
+        .expect("warm-up");
+    for m in &client_meters {
+        m.take();
+    }
+    server_meter.take();
+
+    let mut wire_bytes_total = 0usize;
+    let mut fragments_total = 0usize;
+    for round in 0..samples {
+        // Seal on every client, then one sharded server dispatch — the
+        // same split `send_packet_batches_from_all` performs, done here by
+        // hand so the wire datagrams can be measured.
+        let mut datagrams: Vec<(u64, Vec<u8>)> = Vec::new();
+        for (idx, packets) in round_batches((round * batch_size) as u32) {
+            for d in scenario.clients[idx].send_batch(packets).expect("send") {
+                datagrams.push((idx as u64, d));
+            }
+        }
+        fragments_total += datagrams.len();
+        wire_bytes_total += datagrams.iter().map(|(_, d)| d.len()).sum::<usize>();
+        let refs: Vec<(u64, &[u8])> = datagrams
+            .iter()
+            .map(|(peer, d)| (*peer, d.as_slice()))
+            .collect();
+        for result in scenario.server.receive_datagrams(&refs) {
+            result.expect("deliver");
+        }
+    }
+
+    let packets_total = (samples * batch_size * N_CLIENTS) as u64;
+    let client_cycles: u64 = client_meters.iter().map(CycleMeter::take).sum::<u64>();
+    PacketCharge {
+        payload_bytes: payload_len + 40, // payload + IP/TCP headers
+        wire_bytes: wire_bytes_total / packets_total as usize,
+        fragments: (fragments_total.div_ceil(samples * batch_size * N_CLIENTS)).max(1),
+        client_cycles: client_cycles / packets_total,
+        server_cycles: server_meter.take() / packets_total,
+        dropped: false,
+    }
+}
+
 /// Vanilla Click: clients send plain traffic (no VPN); the server runs one
 /// Click process that every packet traverses.
 fn measure_vanilla_click(use_case: UseCase, payload_len: usize, samples: usize) -> PacketCharge {

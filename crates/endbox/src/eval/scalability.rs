@@ -1,7 +1,10 @@
 //! Fig. 10: server-side aggregate throughput and CPU usage as the number
-//! of clients grows (200 Mbps offered per client, 1 500 B packets).
+//! of clients grows (200 Mbps offered per client, 1 500 B packets) — plus
+//! the sharded multi-worker extension: the same sweep on the batched
+//! EndBox-SGX path with the server running N worker shards instead of one
+//! process per client.
 
-use super::deploy::{measure_charge, Deployment};
+use super::deploy::{measure_charge, measure_charge_sharded, Deployment};
 use crate::use_cases::UseCase;
 use endbox_netsim::pipeline::PacketCharge;
 use endbox_netsim::pipeline::{run_scalability, ScalabilityConfig, ScalabilityResult};
@@ -77,6 +80,7 @@ pub fn sweep(deployment: Deployment) -> Vec<ScalabilityPoint> {
                 contention_per_excess_process: 0.0,
                 server_procs_per_client: deployment.server_procs_per_client(),
                 server_single_process: deployment.server_single_process(),
+                server_worker_shards: None,
             };
             let r: ScalabilityResult =
                 run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg);
@@ -110,6 +114,81 @@ pub fn fig10b() -> Vec<ScalabilityPoint> {
     for uc in UseCase::all() {
         out.extend(sweep(Deployment::EndBoxSgx(uc)));
         out.extend(sweep(Deployment::OpenVpnClick(uc)));
+    }
+    out
+}
+
+/// One data point of the sharded multi-worker sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedScalabilityPoint {
+    /// Deployment measured (e.g. `EndBox SGX[NOP] sharded`).
+    pub deployment: String,
+    /// Connected clients.
+    pub clients: usize,
+    /// Server worker shards.
+    pub workers: usize,
+    /// Packets coalesced per sealed record.
+    pub batch: usize,
+    /// Aggregate server-side goodput in Gbps.
+    pub gbps: f64,
+    /// Aggregate server-side packet rate in Mpps.
+    pub mpps: f64,
+    /// Server CPU utilisation in [0, 1].
+    pub server_cpu: f64,
+}
+
+/// Worker-shard counts swept by the sharded Fig. 10 extension.
+pub fn worker_counts() -> [usize; 4] {
+    [1, 2, 4, 8]
+}
+
+/// Runs the sharded sweep for one use case: per-packet charges are
+/// measured on the **real** sharded stack
+/// ([`measure_charge_sharded`]: N worker threads, multi-client batched
+/// dispatch, per-shard pools), then replayed through the timing layer
+/// with the server modelled as one process with `workers` shard flows.
+pub fn sweep_sharded(
+    use_case: UseCase,
+    workers: usize,
+    batch: usize,
+    clients: &[usize],
+) -> Vec<ShardedScalabilityPoint> {
+    let charge = measure_charge_sharded(use_case, 1_500, 8, batch, workers);
+    clients
+        .iter()
+        .map(|&n| {
+            let cfg = ScalabilityConfig {
+                n_clients: n,
+                per_client_bps: 200_000_000,
+                payload_bytes: 1_500,
+                duration: SimDuration::from_millis(20),
+                n_client_machines: 5,
+                contention_per_excess_process: 0.0,
+                server_procs_per_client: 1,
+                server_single_process: false,
+                server_worker_shards: Some(workers),
+            };
+            let r: ScalabilityResult =
+                run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg);
+            ShardedScalabilityPoint {
+                deployment: format!("{} sharded", Deployment::EndBoxSgx(use_case).name()),
+                clients: n,
+                workers,
+                batch,
+                gbps: r.gbps,
+                mpps: r.gbps * 1e9 / (charge.payload_bytes as f64 * 8.0) / 1e6,
+                server_cpu: r.server_cpu,
+            }
+        })
+        .collect()
+}
+
+/// The sharded Fig. 10 extension: the batched EndBox-SGX path (NOP use
+/// case) for every worker count in [`worker_counts`].
+pub fn fig10_sharded(batch: usize, clients: &[usize]) -> Vec<ShardedScalabilityPoint> {
+    let mut out = Vec::new();
+    for workers in worker_counts() {
+        out.extend(sweep_sharded(UseCase::Nop, workers, batch, clients));
     }
     out
 }
@@ -164,6 +243,37 @@ mod tests {
             h < l,
             "IDPS saturates the central server earlier: {h} vs {l}"
         );
+    }
+
+    #[test]
+    fn sharded_batched_path_scales_with_workers() {
+        // The acceptance bar: ≥2x aggregate throughput at 4 workers vs 1
+        // on the batched EndBox-SGX path.
+        let one = sweep_sharded(UseCase::Nop, 1, 16, &[60]);
+        let four = sweep_sharded(UseCase::Nop, 4, 16, &[60]);
+        let (g1, g4) = (one[0].gbps, four[0].gbps);
+        assert!(
+            g4 >= 2.0 * g1,
+            "4 workers must at least double 1 worker: {g1:.2} vs {g4:.2} Gbps"
+        );
+        assert!(one[0].mpps > 0.0 && four[0].mpps > one[0].mpps);
+    }
+
+    #[test]
+    fn sharded_charge_matches_single_server_work() {
+        // Sharding redistributes the per-packet work, it must not change
+        // its total: the measured per-packet server cycles of a 4-worker
+        // sharded stack stay close to the 1-worker stack's.
+        let one = measure_charge_sharded(UseCase::Nop, 1_500, 4, 16, 1);
+        let four = measure_charge_sharded(UseCase::Nop, 1_500, 4, 16, 4);
+        let tol = one.server_cycles / 5;
+        assert!(
+            four.server_cycles.abs_diff(one.server_cycles) <= tol.max(2_000),
+            "per-packet server work must be worker-count independent: {} vs {}",
+            one.server_cycles,
+            four.server_cycles
+        );
+        assert_eq!(one.payload_bytes, four.payload_bytes);
     }
 
     #[test]

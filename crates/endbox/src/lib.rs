@@ -58,4 +58,4 @@ pub mod use_cases;
 pub use ca::CertificateAuthority;
 pub use client::{EndBoxClient, EndBoxClientConfig, TrustLevel};
 pub use error::EndBoxError;
-pub use server::EndBoxServer;
+pub use server::{EndBoxServer, ShardedEndBoxServer};

@@ -6,7 +6,7 @@ use crate::ca::CertificateAuthority;
 use crate::client::{EndBoxClient, EndBoxClientConfig, TrustLevel};
 use crate::config_update::{ConfigServer, SignedConfig};
 use crate::error::EndBoxError;
-use crate::server::{Delivery, EndBoxServer, EndBoxServerConfig};
+use crate::server::{Delivery, EndBoxServer, EndBoxServerConfig, ShardedEndBoxServer};
 use crate::use_cases::UseCase;
 use endbox_crypto::schnorr::SigningKey;
 use endbox_netsim::cost::{CostModel, CycleMeter};
@@ -90,17 +90,14 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Builds the scenario: creates the IAS/CA, enrolls and connects every
-    /// client.
-    ///
-    /// # Errors
-    ///
-    /// Propagates enrollment/handshake failures.
-    pub fn build(self) -> Result<Scenario, EndBoxError> {
+    /// Builds everything both server flavours share: RNG, clock, IAS, CA,
+    /// suite selection, the server configuration and the published
+    /// initial Click configuration.
+    fn setup(&self) -> Result<(ScenarioSetup, EndBoxServerConfig), EndBoxError> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
         let clock = SharedClock::new();
         let cost = CostModel::calibrated();
-        let mut ias = IasSimulator::new(&mut rng);
+        let ias = IasSimulator::new(&mut rng);
         let mut ca = CertificateAuthority::new(ias.public_key(), &mut rng);
 
         let suite = self.suite_override.unwrap_or(match self.kind {
@@ -122,7 +119,7 @@ impl ScenarioBuilder {
             now_secs,
             &mut rng,
         );
-        let mut server = EndBoxServer::new(EndBoxServerConfig {
+        let server_config = EndBoxServerConfig {
             handshake: HandshakeConfig {
                 identity: server_key,
                 certificate: server_cert,
@@ -135,7 +132,7 @@ impl ScenarioBuilder {
             meter: server_meter.clone(),
             clock: clock.clone(),
             rng_seed: self.seed ^ 0x5e44eu64,
-        })?;
+        };
 
         // Publish the initial configuration (version 1).
         let mut config_server = ConfigServer::new();
@@ -152,60 +149,102 @@ impl ScenarioBuilder {
         );
         config_server.upload(initial);
 
-        // Clients: enroll (Fig. 4) and connect.
+        Ok((
+            ScenarioSetup {
+                rng,
+                clock,
+                cost,
+                ias,
+                ca,
+                suite,
+                client_click,
+                server_meter,
+                config_server,
+            },
+            server_config,
+        ))
+    }
+
+    /// Enrolls client `i` (Fig. 4) and drives its handshake through
+    /// `receive` (whichever server flavour is behind it). Returns the
+    /// connected client and its session id.
+    fn connect_client(
+        &self,
+        i: usize,
+        setup: &mut ScenarioSetup,
+        mut receive: impl FnMut(u64, &[u8]) -> Result<Delivery, EndBoxError>,
+    ) -> Result<(EndBoxClient, u64), EndBoxError> {
+        let mut cpu_seed = [0u8; 32];
+        cpu_seed[..8].copy_from_slice(&(self.seed ^ i as u64).to_be_bytes());
+        cpu_seed[8] = 0xcc;
+        let cpu = CpuIdentity::from_seed(cpu_seed);
+        setup.ias.register_platform(cpu.attestation_public());
+
+        let subject = format!("endbox-client-{i}");
+        let mut cfg = EndBoxClientConfig::new(&subject, setup.ca.public_key(), cpu);
+        cfg.trust = self.trust;
+        cfg.suite = setup.suite;
+        cfg.click_config = Some(setup.client_click.clone());
+        cfg.config_version = 1;
+        cfg.offered_version = PROTOCOL_V2;
+        cfg.min_version = PROTOCOL_V1;
+        cfg.c2c_flagging = self.c2c_flagging;
+        cfg.batched_ecalls = self.batched_ecalls;
+        cfg.cost = setup.cost.clone();
+        cfg.clock = setup.clock.clone();
+        cfg.rng_seed = self.seed ^ (i as u64) << 8;
+        let mut client = EndBoxClient::new(cfg)?;
+
+        // Whitelist this build's measurement once.
+        if i == 0 {
+            setup
+                .ca
+                .allow_measurement(client.enclave_app().measurement());
+        }
+        client.enroll(&subject, &mut setup.ca, &setup.ias, &mut setup.rng)?;
+
+        // Connect through the server.
+        let hello_frags = client.connect_start()?;
+        let mut established = None;
+        for frag in &hello_frags {
+            match receive(i as u64, frag)? {
+                Delivery::Pending => {}
+                Delivery::Established {
+                    session_id,
+                    response,
+                } => {
+                    established = Some((session_id, response));
+                }
+                other => {
+                    let _ = other;
+                    return Err(EndBoxError::NotReady("unexpected handshake reply"));
+                }
+            }
+        }
+        let (session_id, response) =
+            established.ok_or(EndBoxError::NotReady("handshake did not complete"))?;
+        for frag in &response {
+            client.connect_complete(frag)?;
+        }
+        Ok((client, session_id))
+    }
+
+    /// Builds the scenario: creates the IAS/CA, enrolls and connects every
+    /// client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enrollment/handshake failures.
+    pub fn build(self) -> Result<Scenario, EndBoxError> {
+        let (mut setup, server_config) = self.setup()?;
+        let mut server = EndBoxServer::new(server_config)?;
+
         let mut clients = Vec::with_capacity(self.n_clients);
         let mut session_ids = Vec::with_capacity(self.n_clients);
         for i in 0..self.n_clients {
-            let mut cpu_seed = [0u8; 32];
-            cpu_seed[..8].copy_from_slice(&(self.seed ^ i as u64).to_be_bytes());
-            cpu_seed[8] = 0xcc;
-            let cpu = CpuIdentity::from_seed(cpu_seed);
-            ias.register_platform(cpu.attestation_public());
-
-            let subject = format!("endbox-client-{i}");
-            let mut cfg = EndBoxClientConfig::new(&subject, ca.public_key(), cpu);
-            cfg.trust = self.trust;
-            cfg.suite = suite;
-            cfg.click_config = Some(client_click.clone());
-            cfg.config_version = 1;
-            cfg.offered_version = PROTOCOL_V2;
-            cfg.min_version = PROTOCOL_V1;
-            cfg.c2c_flagging = self.c2c_flagging;
-            cfg.batched_ecalls = self.batched_ecalls;
-            cfg.cost = cost.clone();
-            cfg.clock = clock.clone();
-            cfg.rng_seed = self.seed ^ (i as u64) << 8;
-            let mut client = EndBoxClient::new(cfg)?;
-
-            // Whitelist this build's measurement once.
-            if i == 0 {
-                ca.allow_measurement(client.enclave_app().measurement());
-            }
-            client.enroll(&subject, &mut ca, &ias, &mut rng)?;
-
-            // Connect through the server.
-            let hello_frags = client.connect_start()?;
-            let mut established = None;
-            for frag in &hello_frags {
-                match server.receive_datagram(i as u64, frag)? {
-                    Delivery::Pending => {}
-                    Delivery::Established {
-                        session_id,
-                        response,
-                    } => {
-                        established = Some((session_id, response));
-                    }
-                    other => {
-                        let _ = other;
-                        return Err(EndBoxError::NotReady("unexpected handshake reply"));
-                    }
-                }
-            }
-            let (session_id, response) =
-                established.ok_or(EndBoxError::NotReady("handshake did not complete"))?;
-            for frag in &response {
-                client.connect_complete(frag)?;
-            }
+            let (client, session_id) = self.connect_client(i, &mut setup, |peer, frag| {
+                server.receive_datagram(peer, frag)
+            })?;
             session_ids.push(session_id);
             clients.push(client);
         }
@@ -213,18 +252,68 @@ impl ScenarioBuilder {
         Ok(Scenario {
             kind: self.kind,
             use_case: self.use_case,
-            ias,
-            ca,
+            ias: setup.ias,
+            ca: setup.ca,
             server,
-            server_meter,
-            config_server,
+            server_meter: setup.server_meter,
+            config_server: setup.config_server,
             clients,
             session_ids,
-            clock,
-            rng,
+            clock: setup.clock,
+            rng: setup.rng,
             next_version: 1,
         })
     }
+
+    /// Builds the scenario around a [`ShardedEndBoxServer`] with `workers`
+    /// shard threads — the multi-client sharded deployment driven by the
+    /// Fig. 10 scalability harness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enrollment/handshake failures, plus
+    /// [`EndBoxError::NotReady`] if a server-side Click was requested
+    /// (the sharded server replaces that baseline).
+    pub fn build_sharded(self, workers: usize) -> Result<ShardedScenario, EndBoxError> {
+        let (mut setup, server_config) = self.setup()?;
+        let mut server = ShardedEndBoxServer::new(server_config, workers)?;
+
+        let mut clients = Vec::with_capacity(self.n_clients);
+        let mut session_ids = Vec::with_capacity(self.n_clients);
+        for i in 0..self.n_clients {
+            let (client, session_id) = self.connect_client(i, &mut setup, |peer, frag| {
+                server.receive_datagram(peer, frag)
+            })?;
+            session_ids.push(session_id);
+            clients.push(client);
+        }
+
+        Ok(ShardedScenario {
+            kind: self.kind,
+            use_case: self.use_case,
+            ias: setup.ias,
+            ca: setup.ca,
+            server,
+            server_meter: setup.server_meter,
+            config_server: setup.config_server,
+            clients,
+            session_ids,
+            clock: setup.clock,
+        })
+    }
+}
+
+/// Shared pieces produced by [`ScenarioBuilder::setup`].
+struct ScenarioSetup {
+    rng: rand::rngs::StdRng,
+    clock: SharedClock,
+    cost: CostModel,
+    ias: IasSimulator,
+    ca: CertificateAuthority,
+    suite: CipherSuite,
+    client_click: String,
+    server_meter: CycleMeter,
+    config_server: ConfigServer,
 }
 
 /// A running deployment: server + clients + management plane.
@@ -512,6 +601,179 @@ impl Scenario {
     }
 }
 
+/// A running sharded deployment: [`ShardedEndBoxServer`] + clients +
+/// management plane, with multi-client batched drivers for the Fig. 10
+/// scalability experiments.
+pub struct ShardedScenario {
+    /// Scenario flavour.
+    pub kind: ScenarioKind,
+    /// Middlebox function deployed.
+    pub use_case: UseCase,
+    /// Attestation service.
+    pub ias: IasSimulator,
+    /// Certificate authority.
+    pub ca: CertificateAuthority,
+    /// The sharded VPN server.
+    pub server: ShardedEndBoxServer,
+    /// Server machine meter (shared with every shard worker).
+    pub server_meter: CycleMeter,
+    /// Configuration file server.
+    pub config_server: ConfigServer,
+    /// Connected clients.
+    pub clients: Vec<EndBoxClient>,
+    session_ids: Vec<u64>,
+    /// Shared simulation clock.
+    pub clock: SharedClock,
+}
+
+impl std::fmt::Debug for ShardedScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedScenario")
+            .field("kind", &self.kind)
+            .field("use_case", &self.use_case)
+            .field("clients", &self.clients.len())
+            .field("workers", &self.server.worker_count())
+            .finish()
+    }
+}
+
+impl ShardedScenario {
+    /// The session id of client `idx`.
+    pub fn session_id(&self, idx: usize) -> u64 {
+        self.session_ids[idx]
+    }
+
+    /// Sends several application payloads from one client as a batch
+    /// through the sharded server (the counterpart of
+    /// [`Scenario::send_batch_from_client`]).
+    ///
+    /// # Errors
+    ///
+    /// VPN failures; middlebox drops of *some* packets are not an error.
+    pub fn send_batch_from_client(
+        &mut self,
+        idx: usize,
+        payloads: &[Vec<u8>],
+    ) -> Result<Vec<Packet>, EndBoxError> {
+        let packets: Vec<Packet> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                Packet::tcp(
+                    Scenario::client_addr(idx),
+                    Scenario::network_addr(),
+                    40_000 + idx as u16,
+                    5_001,
+                    i as u32,
+                    p,
+                )
+            })
+            .collect();
+        self.send_packet_batch_from_client(idx, packets)
+    }
+
+    /// Sends pre-built IP packets from one client through the tunnel as a
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedScenario::send_batch_from_client`].
+    pub fn send_packet_batch_from_client(
+        &mut self,
+        idx: usize,
+        packets: Vec<Packet>,
+    ) -> Result<Vec<Packet>, EndBoxError> {
+        let mut per_client = self.send_packet_batches_from_all(vec![(idx, packets)])?;
+        Ok(per_client.pop().expect("one batch in, one batch out"))
+    }
+
+    /// The multi-client driver: every `(client idx, packets)` entry is
+    /// sealed by its client, then **all** resulting wire datagrams go
+    /// through the server in one
+    /// [`ShardedEndBoxServer::receive_datagrams`] dispatch. Returns the
+    /// delivered packets per input entry, in input order (middlebox drops
+    /// are omitted).
+    ///
+    /// # Errors
+    ///
+    /// The first client-side or server-side failure.
+    pub fn send_packet_batches_from_all(
+        &mut self,
+        batches: Vec<(usize, Vec<Packet>)>,
+    ) -> Result<Vec<Vec<Packet>>, EndBoxError> {
+        // Client side: each client seals its own batch.
+        let mut datagrams: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut slices: Vec<usize> = Vec::with_capacity(batches.len());
+        for (idx, packets) in batches {
+            let sealed = self.clients[idx].send_batch(packets)?;
+            slices.push(sealed.len());
+            datagrams.extend(sealed.into_iter().map(|d| (idx as u64, d)));
+        }
+        // Server side: one sharded dispatch for the whole interleaving.
+        let refs: Vec<(u64, &[u8])> = datagrams
+            .iter()
+            .map(|(peer, d)| (*peer, d.as_slice()))
+            .collect();
+        let results = self.server.receive_datagrams(&refs);
+        // Re-split the input-ordered results back per entry.
+        let mut out = Vec::with_capacity(slices.len());
+        let mut cursor = results.into_iter();
+        for n in slices {
+            let mut delivered = Vec::new();
+            for _ in 0..n {
+                match cursor.next().expect("one result per datagram")? {
+                    Delivery::Pending => {}
+                    Delivery::PacketBatch { packets, .. } => delivered.extend(packets),
+                    Delivery::Packet { packet, .. } => delivered.push(packet),
+                    other => {
+                        let _ = other;
+                        return Err(EndBoxError::NotReady("unexpected delivery type"));
+                    }
+                }
+            }
+            out.push(delivered);
+        }
+        Ok(out)
+    }
+
+    /// Convenience over [`ShardedScenario::send_packet_batches_from_all`]:
+    /// client `i` sends `payloads_per_client[i]` as one batch each, all in
+    /// one server dispatch.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedScenario::send_packet_batches_from_all`].
+    pub fn send_batches_from_all(
+        &mut self,
+        payloads_per_client: &[Vec<Vec<u8>>],
+    ) -> Result<Vec<Vec<Packet>>, EndBoxError> {
+        let batches = payloads_per_client
+            .iter()
+            .enumerate()
+            .map(|(idx, payloads)| {
+                (
+                    idx,
+                    payloads
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| {
+                            Packet::tcp(
+                                Scenario::client_addr(idx),
+                                Scenario::network_addr(),
+                                40_000 + idx as u16,
+                                5_001,
+                                i as u32,
+                                p,
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        self.send_packet_batches_from_all(batches)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -667,6 +929,96 @@ mod tests {
             assert_eq!(pkt.app_payload(), format!("c2c batch {i}").as_bytes());
         }
         assert_eq!(s.clients[1].stats.received, 5);
+    }
+
+    #[test]
+    fn sharded_scenario_end_to_end() {
+        let mut s = Scenario::enterprise(4, UseCase::Firewall)
+            .build_sharded(2)
+            .unwrap();
+        assert_eq!(s.server.session_count(), 4);
+        assert_eq!(s.server.worker_count(), 2);
+        // Every client sends one batch; all batches go through the server
+        // in one multi-client dispatch.
+        let payloads: Vec<Vec<Vec<u8>>> = (0..4)
+            .map(|c| {
+                (0..5)
+                    .map(|i| format!("client {c} payload {i}").into_bytes())
+                    .collect()
+            })
+            .collect();
+        let delivered = s.send_batches_from_all(&payloads).unwrap();
+        assert_eq!(delivered.len(), 4);
+        for (c, per_client) in delivered.iter().enumerate() {
+            assert_eq!(per_client.len(), 5, "client {c}");
+            for (i, pkt) in per_client.iter().enumerate() {
+                assert_eq!(pkt.app_payload(), payloads[c][i].as_slice());
+            }
+        }
+        let (served, rejected) = s.server.counters();
+        assert_eq!(served, 20);
+        assert_eq!(rejected, 0);
+    }
+
+    #[test]
+    fn sharded_scenario_filters_malicious_per_packet() {
+        let mut s = Scenario::enterprise(2, UseCase::Idps)
+            .build_sharded(4)
+            .unwrap();
+        let packets = vec![
+            Packet::tcp(
+                Scenario::client_addr(0),
+                Scenario::network_addr(),
+                40_000,
+                80,
+                0,
+                b"benign one",
+            ),
+            Packet::tcp(
+                Scenario::client_addr(0),
+                Scenario::network_addr(),
+                40_000,
+                80,
+                1,
+                b"xx EB-MAL-0000 xx",
+            ),
+        ];
+        let delivered = s.send_packet_batch_from_client(0, packets).unwrap();
+        assert_eq!(delivered.len(), 1, "client-side Click drops the attack");
+        assert_eq!(delivered[0].app_payload(), b"benign one");
+    }
+
+    #[test]
+    fn sharded_server_ingress_and_ping_roundtrip() {
+        let mut s = Scenario::enterprise(2, UseCase::Nop)
+            .build_sharded(2)
+            .unwrap();
+        // Server ping (config announcement) reaches the client.
+        s.server.announce_config(3, 30);
+        let sid = s.session_id(1);
+        let ping = s.server.make_ping(sid).unwrap();
+        for frag in &ping {
+            s.clients[1].receive_datagram(frag).unwrap();
+        }
+        // Ingress: server seals a batch towards client 1.
+        let pkts: Vec<Packet> = (0..3)
+            .map(|i| {
+                Packet::tcp(
+                    Scenario::network_addr(),
+                    Scenario::client_addr(1),
+                    5_001,
+                    40_001,
+                    i as u32,
+                    format!("ingress {i}").as_bytes(),
+                )
+            })
+            .collect();
+        let datagrams = s.server.send_batch_to_client(sid, &pkts).unwrap();
+        let mut delivered = Vec::new();
+        for d in &datagrams {
+            delivered.extend(s.clients[1].receive_datagram_batch(d).unwrap());
+        }
+        assert_eq!(delivered.len(), 3);
     }
 
     #[test]

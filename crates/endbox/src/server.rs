@@ -20,6 +20,8 @@ use endbox_vpn::handshake::HandshakeConfig;
 use endbox_vpn::ping::PingMessage;
 use endbox_vpn::proto::{Opcode, Record};
 use endbox_vpn::server::{ServerEvent, VpnServer};
+use endbox_vpn::shard::{materialize_frames, ShardEvent, ShardedVpnServer};
+use endbox_vpn::VpnError;
 use std::collections::HashMap;
 
 /// Server configuration.
@@ -83,15 +85,76 @@ pub enum Delivery {
     },
 }
 
+/// Front-end plumbing shared by both server flavours: record
+/// fragmentation and the metered cycle-cost formulas for receiving,
+/// delivering and sealing traffic. Keeping the formulas in one place
+/// guarantees the single-threaded and sharded deployments charge
+/// identically — the Fig. 10 single-vs-sharded comparison relies on it.
+struct ServerIo {
+    fragmenter: Fragmenter,
+    cost: CostModel,
+    meter: CycleMeter,
+    clock: SharedClock,
+}
+
+impl ServerIo {
+    fn new(cost: CostModel, meter: CycleMeter, clock: SharedClock) -> Self {
+        ServerIo {
+            fragmenter: Fragmenter::new(),
+            cost,
+            meter,
+            clock,
+        }
+    }
+
+    fn now_secs(&self) -> u64 {
+        self.clock.now().as_secs_f64() as u64
+    }
+
+    /// Charges the receipt of one wire datagram.
+    fn charge_rx_fragment(&self) {
+        self.meter.add(self.cost.vpn_server_per_fragment);
+    }
+
+    /// Charges delivery into the managed network: one tun write per
+    /// packet.
+    fn charge_delivery(&self, n_packets: usize) {
+        self.meter.add(self.cost.vpn_per_write * n_packets as u64);
+    }
+
+    /// Charges sealing `n_packets` totalling `total_bytes` towards a
+    /// client (write + copy into the record).
+    fn charge_egress(&self, n_packets: usize, total_bytes: usize) {
+        self.meter.add(
+            self.cost.vpn_per_write * n_packets as u64
+                + (self.cost.memcpy_per_byte * total_bytes as f64) as u64,
+        );
+    }
+
+    fn fragment(&mut self, record: &Record) -> Vec<Vec<u8>> {
+        let bytes = record.to_bytes();
+        let frags = self.fragmenter.fragment(&bytes, self.cost.mtu_payload);
+        self.meter
+            .add(self.cost.vpn_server_per_fragment * frags.len() as u64);
+        frags
+    }
+}
+
+/// Clears a spoofed `0xeb` QoS flag on a packet arriving from outside
+/// the managed network, so external traffic cannot skip client-side
+/// Click processing (§IV-A). Shared by both server flavours.
+fn sanitize_external_packet(packet: &mut Packet) {
+    if packet.tos() == QOS_ENDBOX_PROCESSED {
+        packet.set_tos(0);
+    }
+}
+
 /// The EndBox VPN server.
 pub struct EndBoxServer {
     vpn: VpnServer,
     reassemblers: HashMap<u64, Reassembler>,
-    fragmenter: Fragmenter,
     server_click: Option<Router>,
-    cost: CostModel,
-    meter: CycleMeter,
-    clock: SharedClock,
+    io: ServerIo,
     delivered: u64,
     click_dropped: u64,
     rejected: u64,
@@ -141,11 +204,8 @@ impl EndBoxServer {
         Ok(EndBoxServer {
             vpn,
             reassemblers: HashMap::new(),
-            fragmenter: Fragmenter::new(),
             server_click,
-            cost: cfg.cost,
-            meter: cfg.meter,
-            clock: cfg.clock,
+            io: ServerIo::new(cfg.cost, cfg.meter, cfg.clock),
             delivered: 0,
             click_dropped: 0,
             rejected: 0,
@@ -163,7 +223,7 @@ impl EndBoxServer {
         peer_id: u64,
         datagram: &[u8],
     ) -> Result<Delivery, EndBoxError> {
-        self.meter.add(self.cost.vpn_server_per_fragment);
+        self.io.charge_rx_fragment();
         let reasm = self.reassemblers.entry(peer_id).or_default();
         let Some(bytes) = reasm.push(datagram).map_err(|e| {
             self.rejected += 1;
@@ -173,7 +233,7 @@ impl EndBoxServer {
             return Ok(Delivery::Pending);
         };
         let record = Record::from_bytes(&bytes)?;
-        let now_secs = self.clock.now().as_secs_f64() as u64;
+        let now_secs = self.io.now_secs();
         let event = self.vpn.handle_record(&record, now_secs).map_err(|e| {
             self.rejected += 1;
             EndBoxError::Vpn(e)
@@ -184,7 +244,7 @@ impl EndBoxServer {
                 response,
                 ..
             } => {
-                let datagrams = self.fragment(&response);
+                let datagrams = self.io.fragment(&response);
                 Ok(Delivery::Established {
                     session_id,
                     response: datagrams,
@@ -194,7 +254,10 @@ impl EndBoxServer {
                 session_id,
                 payload,
             } => {
-                let mut packet = Packet::from_bytes(payload).map_err(|_| {
+                // Zero-copy adoption: the decrypt allocation becomes the
+                // pool-managed backing store of the delivered packet.
+                let pool = self.vpn.shard().pool().clone();
+                let mut packet = Packet::from_vec_in(&pool, payload).map_err(|_| {
                     EndBoxError::Vpn(endbox_vpn::VpnError::Malformed("bad tunnelled packet"))
                 })?;
                 // Server-side Click (OpenVPN+Click baseline): fetch cost +
@@ -202,10 +265,10 @@ impl EndBoxServer {
                 if let Some(click) = self.server_click.as_mut() {
                     // Handing the packet to the Click process and back:
                     // fetch copies plus inter-process crossings.
-                    self.meter.add(
-                        self.cost.click_fetch_per_packet
-                            + self.cost.click_ipc_per_packet
-                            + (self.cost.click_fetch_per_byte * packet.len() as f64) as u64,
+                    self.io.meter.add(
+                        self.io.cost.click_fetch_per_packet
+                            + self.io.cost.click_ipc_per_packet
+                            + (self.io.cost.click_fetch_per_byte * packet.len() as f64) as u64,
                     );
                     let out = click.process(packet);
                     if !out.accepted {
@@ -215,29 +278,26 @@ impl EndBoxServer {
                     packet = out.emitted.into_iter().next().expect("accepted");
                 }
                 // Deliver into the managed network.
-                self.meter.add(self.cost.vpn_per_write);
+                self.io.charge_delivery(1);
                 self.delivered += 1;
                 Ok(Delivery::Packet { session_id, packet })
             }
-            ServerEvent::DataBatch {
-                session_id,
-                payloads,
-            } => {
-                let mut packets = Vec::with_capacity(payloads.len());
-                for payload in payloads {
-                    packets.push(Packet::from_bytes(payload).map_err(|_| {
-                        EndBoxError::Vpn(endbox_vpn::VpnError::Malformed("bad tunnelled packet"))
-                    })?);
-                }
+            ServerEvent::DataBatch { session_id, frames } => {
+                // One pass, one copy: frames go straight from the
+                // decrypted blob into pool-recycled packet buffers.
+                let pool = self.vpn.shard().pool().clone();
+                let mut packets = materialize_frames(&pool, frames)
+                    .map_err(EndBoxError::Vpn)?
+                    .into_vec();
                 if let Some(click) = self.server_click.as_mut() {
                     // Handing the whole batch to the Click process at
                     // once: the IPC crossing is paid once per batch, the
                     // fetch copies per packet/byte as before.
                     let total: usize = packets.iter().map(Packet::len).sum();
-                    self.meter.add(
-                        self.cost.click_fetch_per_packet * packets.len() as u64
-                            + self.cost.click_ipc_per_packet
-                            + (self.cost.click_fetch_per_byte * total as f64) as u64,
+                    self.io.meter.add(
+                        self.io.cost.click_fetch_per_packet * packets.len() as u64
+                            + self.io.cost.click_ipc_per_packet
+                            + (self.io.cost.click_fetch_per_byte * total as f64) as u64,
                     );
                     let n = packets.len();
                     let out = click.process_batch(PacketBatch::from(packets));
@@ -245,8 +305,7 @@ impl EndBoxServer {
                     packets = out.into_first_emissions();
                 }
                 // Deliver into the managed network: one write per packet.
-                self.meter
-                    .add(self.cost.vpn_per_write * packets.len() as u64);
+                self.io.charge_delivery(packets.len());
                 self.delivered += packets.len() as u64;
                 Ok(Delivery::PacketBatch {
                     session_id,
@@ -277,13 +336,11 @@ impl EndBoxServer {
         session_id: u64,
         packet: &Packet,
     ) -> Result<Vec<Vec<u8>>, EndBoxError> {
-        self.meter.add(
-            self.cost.vpn_per_write + (self.cost.memcpy_per_byte * packet.len() as f64) as u64,
-        );
+        self.io.charge_egress(1, packet.len());
         let record = self
             .vpn
             .seal_to_client(session_id, Opcode::Data, packet.bytes())?;
-        Ok(self.fragment(&record))
+        Ok(self.io.fragment(&record))
     }
 
     /// Seals several packets towards a client as **one** `DataBatch`
@@ -298,27 +355,22 @@ impl EndBoxServer {
         packets: &[Packet],
     ) -> Result<Vec<Vec<u8>>, EndBoxError> {
         let total: usize = packets.iter().map(Packet::len).sum();
-        self.meter.add(
-            self.cost.vpn_per_write * packets.len() as u64
-                + (self.cost.memcpy_per_byte * total as f64) as u64,
-        );
+        self.io.charge_egress(packets.len(), total);
         let payloads: Vec<&[u8]> = packets.iter().map(Packet::bytes).collect();
         let record = self.vpn.seal_batch_to_client(session_id, &payloads)?;
-        Ok(self.fragment(&record))
+        Ok(self.io.fragment(&record))
     }
 
     /// Sanitises a packet arriving from *outside* the managed network:
     /// clears a spoofed `0xeb` QoS flag so external traffic cannot skip
     /// client-side Click processing (§IV-A).
     pub fn sanitize_external(&self, packet: &mut Packet) {
-        if packet.tos() == QOS_ENDBOX_PROCESSED {
-            packet.set_tos(0);
-        }
+        sanitize_external_packet(packet);
     }
 
     /// Announces a configuration update (Fig. 5 steps 2–3).
     pub fn announce_config(&mut self, version: u64, grace_period_secs: u32) {
-        let now_secs = self.clock.now().as_secs_f64() as u64;
+        let now_secs = self.io.now_secs();
         self.vpn
             .announce_config(version, grace_period_secs, now_secs);
     }
@@ -331,8 +383,8 @@ impl EndBoxServer {
     pub fn make_ping(&mut self, session_id: u64) -> Result<Vec<Vec<u8>>, EndBoxError> {
         let record = self
             .vpn
-            .make_ping(session_id, self.clock.now().as_nanos())?;
-        Ok(self.fragment(&record))
+            .make_ping(session_id, self.io.clock.now().as_nanos())?;
+        Ok(self.io.fragment(&record))
     }
 
     /// Connected session ids.
@@ -378,12 +430,297 @@ impl EndBoxServer {
             None => Err(EndBoxError::NotReady("no server-side Click instance")),
         }
     }
+}
 
-    fn fragment(&mut self, record: &Record) -> Vec<Vec<u8>> {
-        let bytes = record.to_bytes();
-        let frags = self.fragmenter.fragment(&bytes, self.cost.mtu_payload);
-        self.meter
-            .add(self.cost.vpn_server_per_fragment * frags.len() as u64);
-        frags
+/// The sharded multi-worker EndBox server front-end: reassembly, record
+/// parsing and fragmentation stay on the front-end thread; everything
+/// per-session (crypto, replay windows, policy, packet materialisation
+/// from per-shard buffer pools) runs on the
+/// [`ShardedVpnServer`]'s worker threads.
+///
+/// # Re-merge ordering guarantee
+///
+/// [`ShardedEndBoxServer::receive_datagrams`] returns exactly one
+/// [`Delivery`] result per input datagram, **in input order**, for any
+/// worker count and thread schedule; per-session record order is
+/// preserved by session-id-affine routing plus per-shard FIFO (see
+/// `endbox_vpn::shard`). With `workers == 1` the observable behaviour is
+/// identical to [`EndBoxServer`] — property-tested in
+/// `tests/shard_parity.rs`.
+///
+/// The sharded server intentionally has no server-side Click instance:
+/// that attachment exists only for the centralised OpenVPN+Click
+/// baseline, which the sharded EndBox deployment replaces.
+pub struct ShardedEndBoxServer {
+    vpn: ShardedVpnServer,
+    reassemblers: HashMap<u64, Reassembler>,
+    io: ServerIo,
+    delivered: u64,
+    rejected: u64,
+}
+
+impl std::fmt::Debug for ShardedEndBoxServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEndBoxServer")
+            .field("workers", &self.vpn.worker_count())
+            .field("sessions", &self.vpn.session_count())
+            .field("delivered", &self.delivered)
+            .finish()
+    }
+}
+
+impl ShardedEndBoxServer {
+    /// Builds the server with `workers` shard threads (minimum 1).
+    ///
+    /// # Errors
+    ///
+    /// [`EndBoxError::NotReady`] if a server-side Click configuration is
+    /// supplied (only the centralised baseline carries one).
+    pub fn new(
+        cfg: EndBoxServerConfig,
+        workers: usize,
+    ) -> Result<ShardedEndBoxServer, EndBoxError> {
+        if cfg.server_click.is_some() {
+            return Err(EndBoxError::NotReady(
+                "sharded server has no server-side Click",
+            ));
+        }
+        let vpn = ShardedVpnServer::new(
+            cfg.handshake,
+            cfg.suite,
+            cfg.meter.clone(),
+            cfg.cost.clone(),
+            cfg.rng_seed,
+            workers,
+        );
+        Ok(ShardedEndBoxServer {
+            vpn,
+            reassemblers: HashMap::new(),
+            io: ServerIo::new(cfg.cost, cfg.meter, cfg.clock),
+            delivered: 0,
+            rejected: 0,
+        })
+    }
+
+    /// Number of worker shards.
+    pub fn worker_count(&self) -> usize {
+        self.vpn.worker_count()
+    }
+
+    /// Receives one wire datagram (the single-datagram convenience over
+    /// [`ShardedEndBoxServer::receive_datagrams`]).
+    ///
+    /// # Errors
+    ///
+    /// Every authentication/policy failure; callers drop the traffic.
+    pub fn receive_datagram(
+        &mut self,
+        peer_id: u64,
+        datagram: &[u8],
+    ) -> Result<Delivery, EndBoxError> {
+        self.receive_datagrams(&[(peer_id, datagram)])
+            .pop()
+            .expect("one result for one datagram")
+    }
+
+    /// Receives a whole batch of wire datagrams — from any mix of clients
+    /// — in one sharded dispatch, returning one result per datagram in
+    /// input order (the re-merge guarantee above).
+    pub fn receive_datagrams(
+        &mut self,
+        datagrams: &[(u64, &[u8])],
+    ) -> Vec<Result<Delivery, EndBoxError>> {
+        let n = datagrams.len();
+        let mut results: Vec<Option<Result<Delivery, EndBoxError>>> =
+            (0..n).map(|_| None).collect();
+        // Phase 1 (front-end): per-peer reassembly and record parsing —
+        // untrusted framing, no session state.
+        let mut records = Vec::new();
+        let mut origins = Vec::new();
+        for (i, (peer_id, datagram)) in datagrams.iter().enumerate() {
+            self.io.charge_rx_fragment();
+            let reasm = self.reassemblers.entry(*peer_id).or_default();
+            match reasm.push(datagram) {
+                Err(e) => {
+                    self.rejected += 1;
+                    results[i] = Some(Err(EndBoxError::Vpn(e)));
+                }
+                Ok(None) => results[i] = Some(Ok(Delivery::Pending)),
+                Ok(Some(bytes)) => match Record::from_bytes(&bytes) {
+                    Err(e) => results[i] = Some(Err(EndBoxError::Vpn(e))),
+                    Ok(record) => {
+                        let barrier = record.opcode == Opcode::Disconnect;
+                        records.push(record);
+                        origins.push(i);
+                        if barrier {
+                            // A *successful* disconnect tears down the
+                            // peer's reassembler; that must happen before
+                            // any later datagram of the same peer is
+                            // pushed into it, exactly as on the
+                            // single-threaded server. Dispatch everything
+                            // queued so far, then resume reassembly.
+                            self.dispatch(&mut records, &mut origins, datagrams, &mut results);
+                        }
+                    }
+                },
+            }
+        }
+        self.dispatch(&mut records, &mut origins, datagrams, &mut results);
+        results
+            .into_iter()
+            .map(|r| r.expect("every datagram produces a result"))
+            .collect()
+    }
+
+    /// Phases 2+3: one sharded dispatch for the queued records, then the
+    /// deterministic re-merge back into input order.
+    fn dispatch(
+        &mut self,
+        records: &mut Vec<Record>,
+        origins: &mut Vec<usize>,
+        datagrams: &[(u64, &[u8])],
+        results: &mut [Option<Result<Delivery, EndBoxError>>],
+    ) {
+        if records.is_empty() {
+            return;
+        }
+        let now_secs = self.io.now_secs();
+        let events = self.vpn.handle_records(std::mem::take(records), now_secs);
+        for (slot, event) in origins.drain(..).zip(events) {
+            let peer_id = datagrams[slot].0;
+            results[slot] = Some(self.finish_event(event, peer_id));
+        }
+    }
+
+    fn finish_event(
+        &mut self,
+        event: Result<ShardEvent, VpnError>,
+        peer_id: u64,
+    ) -> Result<Delivery, EndBoxError> {
+        let event = event.map_err(|e| {
+            self.rejected += 1;
+            EndBoxError::Vpn(e)
+        })?;
+        match event {
+            ShardEvent::Established {
+                session_id,
+                response,
+                ..
+            } => {
+                let datagrams = self.io.fragment(&response);
+                Ok(Delivery::Established {
+                    session_id,
+                    response: datagrams,
+                })
+            }
+            ShardEvent::Packet { session_id, packet } => {
+                self.io.charge_delivery(1);
+                self.delivered += 1;
+                Ok(Delivery::Packet { session_id, packet })
+            }
+            ShardEvent::Batch { session_id, batch } => {
+                self.io.charge_delivery(batch.len());
+                self.delivered += batch.len() as u64;
+                Ok(Delivery::PacketBatch {
+                    session_id,
+                    packets: batch.into_vec(),
+                })
+            }
+            ShardEvent::Ping {
+                session_id,
+                message,
+            } => Ok(Delivery::Ping {
+                session_id,
+                message,
+            }),
+            ShardEvent::Disconnected { session_id } => {
+                self.reassemblers.remove(&peer_id);
+                Ok(Delivery::Disconnected { session_id })
+            }
+        }
+    }
+
+    /// Seals and fragments a packet towards a client (ingress direction).
+    ///
+    /// # Errors
+    ///
+    /// [`EndBoxError::Vpn`] for unknown sessions.
+    pub fn send_to_client(
+        &mut self,
+        session_id: u64,
+        packet: &Packet,
+    ) -> Result<Vec<Vec<u8>>, EndBoxError> {
+        self.io.charge_egress(1, packet.len());
+        let record = self
+            .vpn
+            .seal_to_client(session_id, Opcode::Data, packet.bytes().to_vec())?;
+        Ok(self.io.fragment(&record))
+    }
+
+    /// Seals several packets towards a client as **one** `DataBatch`
+    /// record, then fragments it.
+    ///
+    /// # Errors
+    ///
+    /// [`EndBoxError::Vpn`] for unknown sessions.
+    pub fn send_batch_to_client(
+        &mut self,
+        session_id: u64,
+        packets: &[Packet],
+    ) -> Result<Vec<Vec<u8>>, EndBoxError> {
+        let total: usize = packets.iter().map(Packet::len).sum();
+        self.io.charge_egress(packets.len(), total);
+        let payloads: Vec<Vec<u8>> = packets.iter().map(|p| p.bytes().to_vec()).collect();
+        let record = self.vpn.seal_batch_to_client(session_id, payloads)?;
+        Ok(self.io.fragment(&record))
+    }
+
+    /// Sanitises a packet arriving from *outside* the managed network
+    /// (see [`EndBoxServer::sanitize_external`]).
+    pub fn sanitize_external(&self, packet: &mut Packet) {
+        sanitize_external_packet(packet);
+    }
+
+    /// Announces a configuration update (Fig. 5 steps 2–3), replicated to
+    /// every shard.
+    pub fn announce_config(&mut self, version: u64, grace_period_secs: u32) {
+        let now_secs = self.io.now_secs();
+        self.vpn
+            .announce_config(version, grace_period_secs, now_secs);
+    }
+
+    /// Builds the periodic server ping for a session (Fig. 5 step 4).
+    ///
+    /// # Errors
+    ///
+    /// [`EndBoxError::Vpn`] for unknown sessions.
+    pub fn make_ping(&mut self, session_id: u64) -> Result<Vec<Vec<u8>>, EndBoxError> {
+        let record = self
+            .vpn
+            .make_ping(session_id, self.io.clock.now().as_nanos())?;
+        Ok(self.io.fragment(&record))
+    }
+
+    /// Connected session ids.
+    pub fn session_ids(&self) -> Vec<u64> {
+        self.vpn.session_ids()
+    }
+
+    /// Connected client count.
+    pub fn session_count(&self) -> usize {
+        self.vpn.session_count()
+    }
+
+    /// The config version a session has proved via ping (a cross-shard
+    /// query, hence `&mut`).
+    pub fn client_config_version(&mut self, session_id: u64) -> Option<u64> {
+        self.vpn
+            .session_snapshot(session_id)
+            .map(|s| s.reported_config_version)
+    }
+
+    /// (delivered, rejected) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.delivered, self.rejected)
     }
 }

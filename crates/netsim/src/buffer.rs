@@ -31,6 +31,10 @@ pub struct PoolStats {
     pub returned: u64,
     /// Buffers dropped because the free list was full.
     pub discarded: u64,
+    /// Batch-granular operations ([`BufferPool::take_many`] /
+    /// [`BufferPool::give_many`] calls), each of which acquired the pool
+    /// mutex exactly once for its whole batch.
+    pub batched_ops: u64,
 }
 
 #[derive(Debug, Default)]
@@ -118,6 +122,62 @@ impl BufferPool {
         }
     }
 
+    /// Takes `n` cleared buffers of at least `min_capacity` bytes each,
+    /// acquiring the pool mutex **once** for the whole batch (vs once per
+    /// buffer with [`BufferPool::take`]) — the batch-granular recycling
+    /// that keeps per-shard workers from serialising on the pool lock.
+    pub fn take_many(&self, n: usize, min_capacity: usize) -> Vec<Vec<u8>> {
+        let mut out = Vec::with_capacity(n);
+        let mut inner = self.inner.lock().unwrap();
+        inner.stats.batched_ops += 1;
+        for _ in 0..n {
+            match inner.free.pop() {
+                Some(mut buf) => {
+                    inner.stats.reused += 1;
+                    buf.clear();
+                    if buf.capacity() < min_capacity {
+                        buf.reserve(min_capacity);
+                    }
+                    out.push(buf);
+                }
+                None => {
+                    inner.stats.fresh_allocs += 1;
+                    out.push(Vec::with_capacity(min_capacity));
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns a whole batch of buffers under **one** lock acquisition
+    /// (the batch-granular counterpart of [`BufferPool::give`]).
+    pub fn give_many<I: IntoIterator<Item = Vec<u8>>>(&self, bufs: I) {
+        let max = if self.max_buffers == 0 {
+            DEFAULT_MAX_BUFFERS
+        } else {
+            self.max_buffers
+        };
+        let mut inner = self.inner.lock().unwrap();
+        inner.stats.batched_ops += 1;
+        for mut buf in bufs {
+            if buf.capacity() == 0 {
+                continue;
+            }
+            if inner.free.len() < max {
+                buf.clear();
+                inner.free.push(buf);
+                inner.stats.returned += 1;
+            } else {
+                inner.stats.discarded += 1;
+            }
+        }
+    }
+
+    /// True if `other` shares this pool's free list.
+    pub fn same_pool(&self, other: &BufferPool) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
     /// Current recycling counters.
     pub fn stats(&self) -> PoolStats {
         self.inner.lock().unwrap().stats
@@ -126,6 +186,27 @@ impl BufferPool {
     /// Number of buffers currently on the free list.
     pub fn free_buffers(&self) -> usize {
         self.inner.lock().unwrap().free.len()
+    }
+}
+
+/// Recycles a collection of packets back to their pools with **one**
+/// [`BufferPool::give_many`] call per distinct pool, instead of one lock
+/// round-trip per packet via the `Drop` impl. Non-pooled packets are
+/// simply freed.
+pub fn recycle_packets<I: IntoIterator<Item = Packet>>(packets: I) {
+    // Hot paths feed packets that all share one pool; group by pool
+    // identity so mixed batches still recycle correctly.
+    let mut groups: Vec<(BufferPool, Vec<Vec<u8>>)> = Vec::new();
+    for pkt in packets {
+        let (pool, buf) = pkt.into_parts();
+        let Some(pool) = pool else { continue };
+        match groups.iter_mut().find(|(p, _)| p.same_pool(&pool)) {
+            Some((_, bufs)) => bufs.push(buf),
+            None => groups.push((pool, vec![buf])),
+        }
+    }
+    for (pool, bufs) in groups {
+        pool.give_many(bufs);
     }
 }
 
@@ -335,6 +416,68 @@ mod tests {
             "first round allocates, rest reuse"
         );
         assert_eq!(stats.reused, ((rounds - 1) * per_round) as u64);
+    }
+
+    #[test]
+    fn take_many_locks_once_and_reuses() {
+        let pool = BufferPool::new();
+        let bufs = pool.take_many(8, 64);
+        assert_eq!(bufs.len(), 8);
+        assert_eq!(pool.stats().fresh_allocs, 8);
+        assert_eq!(pool.stats().batched_ops, 1);
+        pool.give_many(bufs);
+        assert_eq!(pool.stats().returned, 8);
+        assert_eq!(pool.stats().batched_ops, 2);
+        let again = pool.take_many(8, 32);
+        assert_eq!(pool.stats().reused, 8, "second batch reuses all buffers");
+        assert_eq!(pool.stats().fresh_allocs, 8, "no new allocations");
+        assert!(again.iter().all(|b| b.capacity() >= 32));
+    }
+
+    #[test]
+    fn give_many_respects_capacity_bound() {
+        let pool = BufferPool::with_capacity(3);
+        pool.give_many((0..5).map(|_| Vec::with_capacity(16)));
+        assert_eq!(pool.free_buffers(), 3);
+        assert_eq!(pool.stats().returned, 3);
+        assert_eq!(pool.stats().discarded, 2);
+        // Zero-capacity buffers are skipped entirely.
+        pool.give_many(vec![Vec::new()]);
+        assert_eq!(pool.free_buffers(), 3);
+    }
+
+    #[test]
+    fn recycle_packets_groups_by_pool() {
+        let pool_a = BufferPool::new();
+        let pool_b = BufferPool::new();
+        let mut packets = Vec::new();
+        for i in 0..4 {
+            packets.push(Packet::udp_in(&pool_a, addr(1), addr(2), 1, i, b"a"));
+        }
+        packets.push(Packet::udp_in(&pool_b, addr(1), addr(2), 1, 9, b"b"));
+        packets.push(Packet::udp(addr(1), addr(2), 1, 10, b"plain"));
+        recycle_packets(packets);
+        assert_eq!(pool_a.stats().returned, 4);
+        assert_eq!(pool_a.stats().batched_ops, 1, "one lock for pool A");
+        assert_eq!(pool_b.stats().returned, 1);
+        assert!(pool_a.same_pool(&pool_a.clone()));
+        assert!(!pool_a.same_pool(&pool_b));
+    }
+
+    #[test]
+    fn into_parts_detaches_without_returning() {
+        let pool = BufferPool::new();
+        let p = Packet::udp_in(&pool, addr(1), addr(2), 1, 2, b"payload");
+        let (got_pool, buf) = p.into_parts();
+        assert!(got_pool.is_some());
+        assert_eq!(
+            pool.stats().returned,
+            0,
+            "Drop must not run after into_parts"
+        );
+        assert!(!buf.is_empty());
+        pool.give(buf);
+        assert_eq!(pool.stats().returned, 1);
     }
 
     #[test]

@@ -265,6 +265,19 @@ impl Drop for Packet {
     }
 }
 
+impl Packet {
+    /// Dismantles the packet into its pool handle (if any) and backing
+    /// store *without* returning the buffer to the pool, so callers can
+    /// recycle many buffers under one lock via [`BufferPool::give_many`]
+    /// (see [`crate::buffer::recycle_packets`]).
+    pub fn into_parts(mut self) -> (Option<BufferPool>, Vec<u8>) {
+        let pool = self.pool.take();
+        let data = std::mem::take(&mut self.data);
+        // `pool` is now None, so Drop has nothing left to give back.
+        (pool, data)
+    }
+}
+
 impl PartialEq for Packet {
     fn eq(&self, other: &Self) -> bool {
         self.data == other.data && self.meta == other.meta

@@ -116,6 +116,12 @@ pub struct ScalabilityConfig {
     /// All server work funnels through ONE single-threaded process (the
     /// vanilla-Click deployment of Fig. 10a, capped at one core).
     pub server_single_process: bool,
+    /// `Some(n)`: the server is ONE process with `n` worker shards
+    /// (session-id-affine assignment, each shard a serial flow competing
+    /// for the machine's cores) — the sharded multi-worker EndBox server.
+    /// `None`: the paper's legacy one-process-per-client model, governed
+    /// by `server_procs_per_client` / `server_single_process`.
+    pub server_worker_shards: Option<usize>,
 }
 
 impl Default for ScalabilityConfig {
@@ -129,6 +135,7 @@ impl Default for ScalabilityConfig {
             contention_per_excess_process: 0.012,
             server_procs_per_client: 1,
             server_single_process: false,
+            server_worker_shards: None,
         }
     }
 }
@@ -158,12 +165,14 @@ pub fn run_scalability(
 ) -> ScalabilityResult {
     let mut server = Machine::new(server_spec);
     // One OpenVPN process per client (§V-E): oversubscription beyond the
-    // hardware threads costs scheduler overhead.
+    // hardware threads costs scheduler overhead. A sharded multi-worker
+    // server is a single process with a bounded thread count, so it never
+    // oversubscribes regardless of the client count.
     let hw_threads = server.spec().cores * 2;
-    let n_procs = if cfg.server_single_process {
-        1
-    } else {
-        cfg.n_clients * cfg.server_procs_per_client
+    let n_procs = match cfg.server_worker_shards {
+        Some(_) => 1,
+        None if cfg.server_single_process => 1,
+        None => cfg.n_clients * cfg.server_procs_per_client,
     };
     let excess = n_procs.saturating_sub(hw_threads);
     server.set_contention(1.0 + excess as f64 * cfg.contention_per_excess_process);
@@ -208,7 +217,14 @@ pub fn run_scalability(
         for _ in 0..charge.fragments.max(1) {
             arrived = link.transmit(done_client, frag_bytes);
         }
-        let flow_idx = if cfg.server_single_process { 0 } else { c };
+        // Session-id-affine shard assignment mirrors the real sharded
+        // server's routing: client c's session always lands on the same
+        // worker flow, so per-session ordering is a serial watermark.
+        let flow_idx = match cfg.server_worker_shards {
+            Some(w) => c % w.max(1),
+            None if cfg.server_single_process => 0,
+            None => c,
+        };
         let done_server =
             server.run_job_flow(arrived, charge.server_cycles, &mut server_flows[flow_idx]);
         // Only packets completing within the window count towards
@@ -388,6 +404,58 @@ mod tests {
         let t10 = tput(10);
         let t20 = tput(20);
         assert!((t20 / t10 - 2.0).abs() < 0.1, "t10={t10} t20={t20}");
+    }
+
+    #[test]
+    fn worker_shards_scale_a_saturated_server() {
+        // Heavy per-packet server work: one worker flow saturates well
+        // below the offered load, so adding shards must scale throughput.
+        let tput = |workers| {
+            let cfg = ScalabilityConfig {
+                n_clients: 32,
+                duration: SimDuration::from_millis(20),
+                server_worker_shards: Some(workers),
+                ..ScalabilityConfig::default()
+            };
+            run_scalability(
+                MachineSpec::class_a(),
+                MachineSpec::class_b(),
+                charge(1500, 20_000, 29_000),
+                &cfg,
+            )
+            .gbps
+        };
+        let one = tput(1);
+        let four = tput(4);
+        assert!(
+            four >= 2.0 * one,
+            "4 worker shards must at least double one: {one} vs {four}"
+        );
+    }
+
+    #[test]
+    fn one_worker_shard_matches_single_process() {
+        let mk = |shards, single| ScalabilityConfig {
+            n_clients: 16,
+            duration: SimDuration::from_millis(20),
+            server_worker_shards: shards,
+            server_single_process: single,
+            ..ScalabilityConfig::default()
+        };
+        let c = charge(1500, 20_000, 29_000);
+        let sharded = run_scalability(
+            MachineSpec::class_a(),
+            MachineSpec::class_b(),
+            c,
+            &mk(Some(1), false),
+        );
+        let single = run_scalability(
+            MachineSpec::class_a(),
+            MachineSpec::class_b(),
+            c,
+            &mk(None, true),
+        );
+        assert_eq!(sharded, single, "1 worker == the single-process model");
     }
 
     #[test]

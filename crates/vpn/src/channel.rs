@@ -80,6 +80,62 @@ impl SessionKeys {
 const TAG_LEN: usize = 32;
 const IV_LEN: usize = 16;
 
+/// The decoded view of a [`Opcode::DataBatch`] record: the decrypted blob
+/// plus the byte range of each frame inside it.
+///
+/// Produced by [`DataChannel::open_batch_frames`] with **one copy total**
+/// (the decrypt itself): frames are offset/length handles into the blob,
+/// not per-frame `Vec`s, so callers materialise packets straight from the
+/// slices (e.g. into pool-recycled buffers) in a single pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchFrames {
+    blob: Vec<u8>,
+    ranges: Vec<std::ops::Range<usize>>,
+}
+
+impl BatchFrames {
+    /// Number of frames in the batch.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True if the batch carries no frames.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The bytes of frame `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn frame(&self, i: usize) -> &[u8] {
+        &self.blob[self.ranges[i].clone()]
+    }
+
+    /// Iterates over the frames in batch order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        self.ranges.iter().map(|r| &self.blob[r.clone()])
+    }
+
+    /// Total frame bytes (excluding framing overhead).
+    pub fn total_bytes(&self) -> usize {
+        self.ranges.iter().map(|r| r.end - r.start).sum()
+    }
+
+    /// Copies every frame out into owned vectors (the legacy
+    /// [`DataChannel::open_batch`] shape).
+    pub fn to_vecs(&self) -> Vec<Vec<u8>> {
+        self.iter().map(<[u8]>::to_vec).collect()
+    }
+
+    /// Consumes the view, returning the decrypted blob so callers can
+    /// recycle its allocation (e.g. hand it to a buffer pool).
+    pub fn into_blob(self) -> Vec<u8> {
+        self.blob
+    }
+}
+
 /// One endpoint's view of an established data channel.
 #[derive(Debug)]
 pub struct DataChannel {
@@ -220,20 +276,31 @@ impl DataChannel {
         self.seal(Opcode::DataBatch, session_id, &blob)
     }
 
-    /// Opens a [`Opcode::DataBatch`] record, returning the packets in
-    /// batch order.
+    /// Opens a [`Opcode::DataBatch`] record as frame handles into the
+    /// decrypted blob — one copy total (the decrypt), no per-frame copy.
     ///
     /// # Errors
     ///
     /// Everything [`DataChannel::open`] raises, plus
     /// [`VpnError::Malformed`] for non-batch records or bad framing.
-    pub fn open_batch(&mut self, record: &Record) -> Result<Vec<Vec<u8>>, VpnError> {
+    pub fn open_batch_frames(&mut self, record: &Record) -> Result<BatchFrames, VpnError> {
         if record.opcode != Opcode::DataBatch {
             return Err(VpnError::Malformed("expected DataBatch record"));
         }
         let blob = self.open(record)?;
         let ranges = crate::proto::frame::decode(&blob)?;
-        Ok(ranges.into_iter().map(|r| blob[r].to_vec()).collect())
+        Ok(BatchFrames { blob, ranges })
+    }
+
+    /// Opens a [`Opcode::DataBatch`] record, copying the packets out in
+    /// batch order. Prefer [`DataChannel::open_batch_frames`] on hot paths
+    /// — it skips the per-frame copy this method performs.
+    ///
+    /// # Errors
+    ///
+    /// See [`DataChannel::open_batch_frames`].
+    pub fn open_batch(&mut self, record: &Record) -> Result<Vec<Vec<u8>>, VpnError> {
+        Ok(self.open_batch_frames(record)?.to_vecs())
     }
 
     /// Number of records sealed so far.

@@ -23,7 +23,11 @@
 //! * [`frag`] — fragmentation/encapsulation of sealed records into
 //!   MTU-sized datagrams; runs *outside* the enclave, matching the
 //!   partitioning of Fig. 3.
-//! * [`server`] — the multi-session VPN server.
+//! * [`server`] — the multi-session VPN server (a handshake front-end
+//!   around one inline [`shard::VpnShard`]).
+//! * [`shard`] — the sharded multi-worker server datapath: the session
+//!   table partitioned across N worker threads with session-id-affine
+//!   routing, per-shard buffer pools and deterministic re-merge.
 
 pub mod cert;
 pub mod channel;
@@ -34,6 +38,7 @@ pub mod ping;
 pub mod proto;
 pub mod replay;
 pub mod server;
+pub mod shard;
 pub mod wire;
 
 pub use cert::Certificate;

@@ -4,36 +4,21 @@
 //!
 //! The paper's scalability experiments run "one OpenVPN server instance
 //! per client, as OpenVPN does not support multithreading" (§V-E); this
-//! implementation multiplexes sessions in one structure and leaves the
-//! process-per-client cost accounting to the evaluation harness.
+//! implementation multiplexes sessions in one structure — concretely,
+//! [`VpnServer`] is a handshake front-end around exactly **one** inline
+//! [`VpnShard`] (the per-shard datapath also used by the multi-worker
+//! [`crate::shard::ShardedVpnServer`]), so the single-threaded and
+//! sharded servers share one record-handling implementation.
 
-use crate::channel::{CipherSuite, DataChannel};
+use crate::channel::{BatchFrames, CipherSuite, DataChannel};
 use crate::error::VpnError;
 use crate::handshake::{server_respond, ClientHello, ClientInfo, HandshakeConfig};
 use crate::ping::PingMessage;
 use crate::proto::{Opcode, Record};
+use crate::shard::{ConfigPolicy, VpnShard};
 use endbox_netsim::cost::{CostModel, CycleMeter};
-use std::collections::HashMap;
 
-/// Server-side state for one client session.
-#[derive(Debug)]
-pub struct ServerSession {
-    /// Authenticated client information from the handshake.
-    pub info: ClientInfo,
-    /// Latest configuration version the client proved via ping.
-    pub reported_config_version: u64,
-    channel: DataChannel,
-}
-
-/// Configuration-version policy (§III-E).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ConfigPolicy {
-    required_version: u64,
-    /// Versions >= `previous_ok_version` are accepted until the deadline.
-    previous_ok_version: u64,
-    grace_deadline_secs: u64,
-    grace_period_secs: u32,
-}
+pub use crate::shard::ServerSession;
 
 /// Events produced by the server when handling records.
 #[derive(Debug)]
@@ -55,12 +40,14 @@ pub enum ServerEvent {
         payload: Vec<u8>,
     },
     /// An authenticated batch record arrived: several tunnel packets
-    /// sealed as one record (§IV batching).
+    /// sealed as one record (§IV batching). Payloads are frame handles
+    /// into the decrypted blob — no per-frame copy was made; callers
+    /// materialise packets straight from the slices.
     DataBatch {
         /// Session it arrived on.
         session_id: u64,
         /// Decrypted tunnel payloads, in batch order.
-        payloads: Vec<Vec<u8>>,
+        frames: BatchFrames,
     },
     /// An authenticated ping arrived (client status update).
     Ping {
@@ -76,23 +63,22 @@ pub enum ServerEvent {
     },
 }
 
-/// The VPN server.
+/// The VPN server: a handshake front-end plus one inline [`VpnShard`].
 pub struct VpnServer {
     handshake: HandshakeConfig,
     suite: CipherSuite,
     meter: CycleMeter,
     cost: CostModel,
-    sessions: HashMap<u64, ServerSession>,
+    shard: VpnShard,
     next_session_id: u64,
-    policy: ConfigPolicy,
     rng: rand::rngs::StdRng,
 }
 
 impl std::fmt::Debug for VpnServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("VpnServer")
-            .field("sessions", &self.sessions.len())
-            .field("required_version", &self.policy.required_version)
+            .field("sessions", &self.shard.session_count())
+            .field("required_version", &self.shard.policy().required_version)
             .finish()
     }
 }
@@ -112,14 +98,8 @@ impl VpnServer {
             suite,
             meter,
             cost,
-            sessions: HashMap::new(),
+            shard: VpnShard::new(),
             next_session_id: 1,
-            policy: ConfigPolicy {
-                required_version: 0,
-                previous_ok_version: 0,
-                grace_deadline_secs: 0,
-                grace_period_secs: 0,
-            },
             rng: rand::rngs::StdRng::seed_from_u64(rng_seed),
         }
     }
@@ -130,17 +110,24 @@ impl VpnServer {
     /// blocks traffic from clients that are not applying the new
     /// configuration", §III-E).
     pub fn announce_config(&mut self, version: u64, grace_period_secs: u32, now_secs: u64) {
-        self.policy = ConfigPolicy {
-            previous_ok_version: self.policy.required_version,
+        let current = self.shard.policy();
+        self.shard.set_policy(ConfigPolicy {
+            previous_ok_version: current.required_version,
             required_version: version,
             grace_deadline_secs: now_secs + grace_period_secs as u64,
             grace_period_secs,
-        };
+        });
     }
 
     /// The currently required configuration version.
     pub fn required_config_version(&self) -> u64 {
-        self.policy.required_version
+        self.shard.policy().required_version
+    }
+
+    /// The session-state shard backing this server (its buffer pool
+    /// recycles the payload allocations).
+    pub fn shard(&self) -> &VpnShard {
+        &self.shard
     }
 
     /// Handles one wire record.
@@ -155,16 +142,8 @@ impl VpnServer {
     ) -> Result<ServerEvent, VpnError> {
         match record.opcode {
             Opcode::HandshakeInit => self.handle_handshake(record, now_secs),
-            Opcode::Data | Opcode::DataBatch => self.handle_data(record, now_secs),
-            Opcode::Ping => self.handle_ping(record),
-            Opcode::Disconnect => {
-                let session_id = record.session_id;
-                self.sessions
-                    .remove(&session_id)
-                    .ok_or(VpnError::UnknownSession(session_id))?;
-                Ok(ServerEvent::Disconnected { session_id })
-            }
             Opcode::HandshakeResp => Err(VpnError::Malformed("server received HandshakeResp")),
+            _ => self.shard.handle_record(record, now_secs),
         }
     }
 
@@ -179,13 +158,13 @@ impl VpnServer {
             &self.handshake,
             &hello,
             session_id,
-            self.policy.required_version,
+            self.shard.policy().required_version,
             now_secs,
             &mut self.rng,
         )?;
         self.next_session_id += 1;
         let channel = DataChannel::server(&keys, self.suite, self.meter.clone(), self.cost.clone());
-        self.sessions.insert(
+        self.shard.install(
             session_id,
             ServerSession {
                 info: info.clone(),
@@ -206,57 +185,6 @@ impl VpnServer {
         })
     }
 
-    fn handle_data(&mut self, record: &Record, now_secs: u64) -> Result<ServerEvent, VpnError> {
-        let policy = self.policy;
-        let session = self
-            .sessions
-            .get_mut(&record.session_id)
-            .ok_or(VpnError::UnknownSession(record.session_id))?;
-        // Config enforcement: after the grace deadline only the required
-        // version may send; during grace, the previous version is also
-        // acceptable.
-        let v = session.reported_config_version;
-        let acceptable = if now_secs >= policy.grace_deadline_secs {
-            v >= policy.required_version
-        } else {
-            v >= policy.previous_ok_version
-        };
-        if !acceptable {
-            return Err(VpnError::StaleConfiguration {
-                client: v,
-                required: policy.required_version,
-            });
-        }
-        if record.opcode == Opcode::DataBatch {
-            let payloads = session.channel.open_batch(record)?;
-            return Ok(ServerEvent::DataBatch {
-                session_id: record.session_id,
-                payloads,
-            });
-        }
-        let payload = session.channel.open(record)?;
-        Ok(ServerEvent::Data {
-            session_id: record.session_id,
-            payload,
-        })
-    }
-
-    fn handle_ping(&mut self, record: &Record) -> Result<ServerEvent, VpnError> {
-        let session = self
-            .sessions
-            .get_mut(&record.session_id)
-            .ok_or(VpnError::UnknownSession(record.session_id))?;
-        let payload = session.channel.open(record)?;
-        let message = PingMessage::from_bytes(&payload)?;
-        // The ping proves which configuration the client runs (§III-E
-        // step 9).
-        session.reported_config_version = message.config_version;
-        Ok(ServerEvent::Ping {
-            session_id: record.session_id,
-            message,
-        })
-    }
-
     /// Seals a payload to a client.
     ///
     /// # Errors
@@ -268,11 +196,7 @@ impl VpnServer {
         opcode: Opcode,
         payload: &[u8],
     ) -> Result<Record, VpnError> {
-        let session = self
-            .sessions
-            .get_mut(&session_id)
-            .ok_or(VpnError::UnknownSession(session_id))?;
-        Ok(session.channel.seal(opcode, session_id, payload))
+        self.shard.seal_to_client(session_id, opcode, payload)
     }
 
     /// Seals several payloads to a client as one `DataBatch` record (§IV
@@ -286,11 +210,7 @@ impl VpnServer {
         session_id: u64,
         payloads: &[&[u8]],
     ) -> Result<Record, VpnError> {
-        let session = self
-            .sessions
-            .get_mut(&session_id)
-            .ok_or(VpnError::UnknownSession(session_id))?;
-        Ok(session.channel.seal_batch(session_id, payloads))
+        self.shard.seal_batch_to_client(session_id, payloads)
     }
 
     /// Builds the periodic server ping for a session, carrying the current
@@ -300,29 +220,22 @@ impl VpnServer {
     ///
     /// [`VpnError::UnknownSession`] for bad ids.
     pub fn make_ping(&mut self, session_id: u64, now_ns: u64) -> Result<Record, VpnError> {
-        let msg = PingMessage {
-            config_version: self.policy.required_version,
-            grace_period_secs: self.policy.grace_period_secs,
-            timestamp_ns: now_ns,
-        };
-        self.seal_to_client(session_id, Opcode::Ping, &msg.to_bytes())
+        self.shard.make_ping(session_id, now_ns)
     }
 
     /// Active session ids.
     pub fn session_ids(&self) -> Vec<u64> {
-        let mut ids: Vec<u64> = self.sessions.keys().copied().collect();
-        ids.sort_unstable();
-        ids
+        self.shard.session_ids()
     }
 
     /// Looks up a session.
     pub fn session(&self, id: u64) -> Option<&ServerSession> {
-        self.sessions.get(&id)
+        self.shard.session(id)
     }
 
     /// Number of connected clients.
     pub fn session_count(&self) -> usize {
-        self.sessions.len()
+        self.shard.session_count()
     }
 }
 
@@ -444,12 +357,9 @@ mod tests {
         let payloads: Vec<&[u8]> = vec![b"pkt one", b"pkt two", b"pkt three"];
         let rec = chan.seal_batch(sid, &payloads);
         match h.server.handle_record(&rec, 1).unwrap() {
-            ServerEvent::DataBatch {
-                session_id,
-                payloads: got,
-            } => {
+            ServerEvent::DataBatch { session_id, frames } => {
                 assert_eq!(session_id, sid);
-                assert_eq!(got, payloads);
+                assert_eq!(frames.to_vecs(), payloads);
             }
             other => panic!("unexpected {other:?}"),
         }

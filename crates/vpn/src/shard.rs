@@ -1,0 +1,1216 @@
+//! The sharded multi-worker server datapath: `VpnServer`'s session table
+//! partitioned across N worker shards, each shard processing traffic
+//! strictly in batch units on its own thread with its own
+//! [`BufferPool`].
+//!
+//! # Architecture
+//!
+//! * [`VpnShard`] is one partition of the server: a session table, the
+//!   config-version policy, and a buffer pool. All per-record logic
+//!   (policy enforcement, record opening, **per-session replay windows**,
+//!   ping handling, disconnects) lives here — [`crate::server::VpnServer`]
+//!   is exactly one inline shard plus the handshake front-end, so the
+//!   single-threaded and sharded servers share one implementation of the
+//!   datapath and cannot drift apart.
+//! * [`ShardedVpnServer`] spawns one worker thread per shard and talks to
+//!   them over crossbeam channels. The front-end keeps the handshake
+//!   state (identity, session-id allocator, RNG) and the authoritative
+//!   copy of the config policy; workers own everything per-session.
+//!
+//! # Routing invariants
+//!
+//! 1. **Session-id affinity.** Session `s` is owned by shard
+//!    `(s - 1) mod N` forever. Session ids are allocated densely from 1,
+//!    so consecutive sessions round-robin across shards. Every record for
+//!    a session is processed by its owning shard, which is what makes
+//!    per-session replay windows and channel state single-writer without
+//!    locks.
+//! 2. **Per-shard FIFO.** Each worker processes its requests in the order
+//!    the front-end sent them. Combined with affinity this preserves the
+//!    per-session record order of the single-threaded server exactly.
+//! 3. **Handshake serialisation.** Handshakes mutate front-end state (the
+//!    RNG and the session-id allocator), so [`ShardedVpnServer`] flushes
+//!    all outstanding shard work before processing one. Session-id and
+//!    key-material assignment is therefore byte-identical to
+//!    `VpnServer`'s for any interleaving of clients.
+//!
+//! # Re-merge ordering guarantee
+//!
+//! [`ShardedVpnServer::handle_records`] returns exactly one result per
+//! input record, **in input order**, regardless of worker count or thread
+//! scheduling: requests are tagged with their input index, workers echo
+//! the tags, and the front-end slots replies back by index before
+//! returning. A sharded server with N workers is therefore
+//! observationally equivalent to the single-threaded server — byte-equal
+//! emissions, identical replay/policy verdicts — which is property-tested
+//! in `tests/shard_parity.rs` for N ∈ {1, 2, 4, 8}.
+
+use crate::channel::{BatchFrames, CipherSuite, DataChannel};
+use crate::error::VpnError;
+use crate::handshake::{server_respond, ClientHello, ClientInfo, HandshakeConfig};
+use crate::ping::PingMessage;
+use crate::proto::{Opcode, Record};
+use crate::server::ServerEvent;
+use endbox_netsim::cost::{CostModel, CycleMeter};
+use endbox_netsim::{BufferPool, Packet, PacketBatch};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+/// Server-side state for one client session.
+#[derive(Debug)]
+pub struct ServerSession {
+    /// Authenticated client information from the handshake.
+    pub info: ClientInfo,
+    /// Latest configuration version the client proved via ping.
+    pub reported_config_version: u64,
+    pub(crate) channel: DataChannel,
+}
+
+/// Configuration-version policy (§III-E), replicated to every shard on
+/// each announcement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct ConfigPolicy {
+    pub(crate) required_version: u64,
+    /// Versions >= `previous_ok_version` are accepted until the deadline.
+    pub(crate) previous_ok_version: u64,
+    pub(crate) grace_deadline_secs: u64,
+    pub(crate) grace_period_secs: u32,
+}
+
+/// What a shard produced for one input record: the packet-level
+/// deliveries of the sharded datapath (handshake results are produced by
+/// the front-end).
+#[derive(Debug)]
+pub enum ShardEvent {
+    /// Handshake completed; send `response` back to the client.
+    Established {
+        /// Assigned session id.
+        session_id: u64,
+        /// ServerHello record to transmit.
+        response: Record,
+        /// Who connected.
+        info: ClientInfo,
+    },
+    /// A single tunnel packet, materialised from the shard's pool.
+    Packet {
+        /// Session it arrived on.
+        session_id: u64,
+        /// The decapsulated IP packet.
+        packet: Packet,
+    },
+    /// A batched record's packets, pool-backed, in batch order.
+    Batch {
+        /// Session it arrived on.
+        session_id: u64,
+        /// The decapsulated IP packets.
+        batch: PacketBatch,
+    },
+    /// An authenticated ping arrived.
+    Ping {
+        /// Session it arrived on.
+        session_id: u64,
+        /// The ping contents.
+        message: PingMessage,
+    },
+    /// Orderly disconnect.
+    Disconnected {
+        /// Session that ended.
+        session_id: u64,
+    },
+}
+
+/// Materialises batch frames into pool-backed packets in **one pass**:
+/// one `take_many` for the whole batch, one copy per frame (out of the
+/// decrypted blob straight into a recycled buffer), and the blob's own
+/// allocation is handed to the pool afterwards.
+///
+/// # Errors
+///
+/// [`VpnError::Malformed`] if any frame is not a valid IPv4 packet (the
+/// whole batch is rejected, matching the single-packet path's per-record
+/// verdict).
+pub fn materialize_frames(pool: &BufferPool, frames: BatchFrames) -> Result<PacketBatch, VpnError> {
+    let n = frames.len();
+    let cap = frames.iter().map(<[u8]>::len).max().unwrap_or(0);
+    let mut bufs = pool.take_many(n, cap).into_iter();
+    let mut batch = PacketBatch::with_capacity(n);
+    let mut bad = false;
+    for frame in frames.iter() {
+        let mut buf = bufs.next().expect("one buffer per frame");
+        buf.extend_from_slice(frame);
+        match Packet::from_vec_in(pool, buf) {
+            Ok(pkt) => batch.push(pkt),
+            Err(_) => {
+                bad = true;
+                break;
+            }
+        }
+    }
+    if bufs.len() > 0 {
+        pool.give_many(bufs);
+    }
+    pool.give(frames.into_blob());
+    if bad {
+        Err(VpnError::Malformed("bad tunnelled packet"))
+    } else {
+        Ok(batch)
+    }
+}
+
+/// One partition of the server's session state. See the module docs for
+/// the invariants; [`crate::server::VpnServer`] embeds exactly one.
+#[derive(Debug, Default)]
+pub struct VpnShard {
+    sessions: HashMap<u64, ServerSession>,
+    policy: ConfigPolicy,
+    pool: BufferPool,
+}
+
+impl VpnShard {
+    /// An empty shard with its own buffer pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shard's buffer pool (packets this shard materialises recycle
+    /// through it).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    pub(crate) fn set_policy(&mut self, policy: ConfigPolicy) {
+        self.policy = policy;
+    }
+
+    pub(crate) fn policy(&self) -> ConfigPolicy {
+        self.policy
+    }
+
+    /// Adds a freshly established session to this shard.
+    pub fn install(&mut self, session_id: u64, session: ServerSession) {
+        self.sessions.insert(session_id, session);
+    }
+
+    /// Removes a session.
+    ///
+    /// # Errors
+    ///
+    /// [`VpnError::UnknownSession`] if absent.
+    pub fn remove(&mut self, session_id: u64) -> Result<(), VpnError> {
+        self.sessions
+            .remove(&session_id)
+            .map(|_| ())
+            .ok_or(VpnError::UnknownSession(session_id))
+    }
+
+    /// Looks up a session.
+    pub fn session(&self, id: u64) -> Option<&ServerSession> {
+        self.sessions.get(&id)
+    }
+
+    /// Session ids owned by this shard, ascending.
+    pub fn session_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.sessions.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of sessions on this shard.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Config-policy gate shared by every data path: after the grace
+    /// deadline only the required version may send; during grace, the
+    /// previous version is also acceptable.
+    fn checked_session(
+        &mut self,
+        session_id: u64,
+        now_secs: u64,
+    ) -> Result<&mut ServerSession, VpnError> {
+        let policy = self.policy;
+        let session = self
+            .sessions
+            .get_mut(&session_id)
+            .ok_or(VpnError::UnknownSession(session_id))?;
+        let v = session.reported_config_version;
+        let acceptable = if now_secs >= policy.grace_deadline_secs {
+            v >= policy.required_version
+        } else {
+            v >= policy.previous_ok_version
+        };
+        if !acceptable {
+            return Err(VpnError::StaleConfiguration {
+                client: v,
+                required: policy.required_version,
+            });
+        }
+        Ok(session)
+    }
+
+    /// Opens a single `Data` record (policy + authentication + replay).
+    ///
+    /// # Errors
+    ///
+    /// Policy, session and channel failures.
+    pub fn open_data(&mut self, record: &Record, now_secs: u64) -> Result<Vec<u8>, VpnError> {
+        self.checked_session(record.session_id, now_secs)?
+            .channel
+            .open(record)
+    }
+
+    /// Opens a `DataBatch` record into frame handles (no per-frame copy).
+    ///
+    /// # Errors
+    ///
+    /// Policy, session and channel failures.
+    pub fn open_data_batch(
+        &mut self,
+        record: &Record,
+        now_secs: u64,
+    ) -> Result<BatchFrames, VpnError> {
+        self.checked_session(record.session_id, now_secs)?
+            .channel
+            .open_batch_frames(record)
+    }
+
+    /// Handles an authenticated ping (the client's config-version proof,
+    /// §III-E step 9).
+    ///
+    /// # Errors
+    ///
+    /// Session and channel failures.
+    pub fn handle_ping(&mut self, record: &Record) -> Result<PingMessage, VpnError> {
+        let session = self
+            .sessions
+            .get_mut(&record.session_id)
+            .ok_or(VpnError::UnknownSession(record.session_id))?;
+        let payload = session.channel.open(record)?;
+        let message = PingMessage::from_bytes(&payload)?;
+        session.reported_config_version = message.config_version;
+        Ok(message)
+    }
+
+    /// Handles one non-handshake record, producing the payload-level
+    /// [`ServerEvent`] used by the single-threaded server.
+    ///
+    /// # Errors
+    ///
+    /// All authentication/policy failures; the caller drops the traffic.
+    pub fn handle_record(
+        &mut self,
+        record: &Record,
+        now_secs: u64,
+    ) -> Result<ServerEvent, VpnError> {
+        match record.opcode {
+            Opcode::Data => Ok(ServerEvent::Data {
+                session_id: record.session_id,
+                payload: self.open_data(record, now_secs)?,
+            }),
+            Opcode::DataBatch => Ok(ServerEvent::DataBatch {
+                session_id: record.session_id,
+                frames: self.open_data_batch(record, now_secs)?,
+            }),
+            Opcode::Ping => Ok(ServerEvent::Ping {
+                session_id: record.session_id,
+                message: self.handle_ping(record)?,
+            }),
+            Opcode::Disconnect => {
+                self.remove(record.session_id)?;
+                Ok(ServerEvent::Disconnected {
+                    session_id: record.session_id,
+                })
+            }
+            Opcode::HandshakeInit | Opcode::HandshakeResp => {
+                Err(VpnError::Malformed("handshake record on the data path"))
+            }
+        }
+    }
+
+    /// Handles one non-handshake record, producing the packet-level
+    /// [`ShardEvent`] of the sharded datapath: tunnel payloads are
+    /// materialised into this shard's pool.
+    ///
+    /// # Errors
+    ///
+    /// All authentication/policy failures, plus
+    /// [`VpnError::Malformed`] for payloads that are not IPv4 packets.
+    pub fn handle_record_delivery(
+        &mut self,
+        record: &Record,
+        now_secs: u64,
+    ) -> Result<ShardEvent, VpnError> {
+        match record.opcode {
+            Opcode::Data => {
+                let payload = self.open_data(record, now_secs)?;
+                // Zero-copy adoption: the decrypt's own allocation becomes
+                // the pool-managed packet backing store.
+                let packet = Packet::from_vec_in(&self.pool, payload)
+                    .map_err(|_| VpnError::Malformed("bad tunnelled packet"))?;
+                Ok(ShardEvent::Packet {
+                    session_id: record.session_id,
+                    packet,
+                })
+            }
+            Opcode::DataBatch => {
+                let frames = self.open_data_batch(record, now_secs)?;
+                let batch = materialize_frames(&self.pool, frames)?;
+                Ok(ShardEvent::Batch {
+                    session_id: record.session_id,
+                    batch,
+                })
+            }
+            Opcode::Ping => Ok(ShardEvent::Ping {
+                session_id: record.session_id,
+                message: self.handle_ping(record)?,
+            }),
+            Opcode::Disconnect => {
+                self.remove(record.session_id)?;
+                Ok(ShardEvent::Disconnected {
+                    session_id: record.session_id,
+                })
+            }
+            Opcode::HandshakeInit | Opcode::HandshakeResp => {
+                Err(VpnError::Malformed("handshake record on the data path"))
+            }
+        }
+    }
+
+    /// Seals a payload to a client on this shard.
+    ///
+    /// # Errors
+    ///
+    /// [`VpnError::UnknownSession`] for bad ids.
+    pub fn seal_to_client(
+        &mut self,
+        session_id: u64,
+        opcode: Opcode,
+        payload: &[u8],
+    ) -> Result<Record, VpnError> {
+        let session = self
+            .sessions
+            .get_mut(&session_id)
+            .ok_or(VpnError::UnknownSession(session_id))?;
+        Ok(session.channel.seal(opcode, session_id, payload))
+    }
+
+    /// Seals several payloads to a client as one `DataBatch` record.
+    ///
+    /// # Errors
+    ///
+    /// [`VpnError::UnknownSession`] for bad ids.
+    pub fn seal_batch_to_client(
+        &mut self,
+        session_id: u64,
+        payloads: &[&[u8]],
+    ) -> Result<Record, VpnError> {
+        let session = self
+            .sessions
+            .get_mut(&session_id)
+            .ok_or(VpnError::UnknownSession(session_id))?;
+        Ok(session.channel.seal_batch(session_id, payloads))
+    }
+
+    /// Builds the periodic server ping for a session, carrying this
+    /// shard's view of the config announcement.
+    ///
+    /// # Errors
+    ///
+    /// [`VpnError::UnknownSession`] for bad ids.
+    pub fn make_ping(&mut self, session_id: u64, now_ns: u64) -> Result<Record, VpnError> {
+        let msg = PingMessage {
+            config_version: self.policy.required_version,
+            grace_period_secs: self.policy.grace_period_secs,
+            timestamp_ns: now_ns,
+        };
+        self.seal_to_client(session_id, Opcode::Ping, &msg.to_bytes())
+    }
+}
+
+/// A read-only snapshot of one session, fetched across the shard
+/// boundary.
+#[derive(Debug, Clone)]
+pub struct SessionSnapshot {
+    /// Authenticated client information.
+    pub info: ClientInfo,
+    /// Latest configuration version the client proved via ping.
+    pub reported_config_version: u64,
+}
+
+enum ShardRequest {
+    /// Process records (tagged with their input index) in order.
+    Records {
+        seq: u64,
+        now_secs: u64,
+        records: Vec<(u32, Record)>,
+    },
+    /// Adopt a freshly established session.
+    Install {
+        session_id: u64,
+        session: Box<ServerSession>,
+    },
+    /// Replace the config policy.
+    Policy(ConfigPolicy),
+    /// Seal one payload to a client (also used for server pings).
+    Seal {
+        seq: u64,
+        session_id: u64,
+        opcode: Opcode,
+        payload: Vec<u8>,
+    },
+    /// Seal several payloads as one batch record.
+    SealBatch {
+        seq: u64,
+        session_id: u64,
+        payloads: Vec<Vec<u8>>,
+    },
+    /// Snapshot one session.
+    Query { seq: u64, session_id: u64 },
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+enum ReplyBody {
+    Records(Vec<(u32, Result<ShardEvent, VpnError>)>),
+    Sealed(Result<Record, VpnError>),
+    Session(Option<SessionSnapshot>),
+}
+
+struct WorkerReply {
+    seq: u64,
+    body: ReplyBody,
+}
+
+fn worker_loop(
+    mut shard: VpnShard,
+    rx: crossbeam::channel::Receiver<ShardRequest>,
+    tx: crossbeam::channel::UnboundedSender<WorkerReply>,
+) {
+    while let Ok(request) = rx.recv() {
+        match request {
+            ShardRequest::Records {
+                seq,
+                now_secs,
+                records,
+            } => {
+                let results = records
+                    .into_iter()
+                    .map(|(idx, record)| (idx, shard.handle_record_delivery(&record, now_secs)))
+                    .collect();
+                let _ = tx.send(WorkerReply {
+                    seq,
+                    body: ReplyBody::Records(results),
+                });
+            }
+            ShardRequest::Install {
+                session_id,
+                session,
+            } => shard.install(session_id, *session),
+            ShardRequest::Policy(policy) => shard.set_policy(policy),
+            ShardRequest::Seal {
+                seq,
+                session_id,
+                opcode,
+                payload,
+            } => {
+                let _ = tx.send(WorkerReply {
+                    seq,
+                    body: ReplyBody::Sealed(shard.seal_to_client(session_id, opcode, &payload)),
+                });
+            }
+            ShardRequest::SealBatch {
+                seq,
+                session_id,
+                payloads,
+            } => {
+                let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+                let _ = tx.send(WorkerReply {
+                    seq,
+                    body: ReplyBody::Sealed(shard.seal_batch_to_client(session_id, &refs)),
+                });
+            }
+            ShardRequest::Query { seq, session_id } => {
+                let snapshot = shard.session(session_id).map(|s| SessionSnapshot {
+                    info: s.info.clone(),
+                    reported_config_version: s.reported_config_version,
+                });
+                let _ = tx.send(WorkerReply {
+                    seq,
+                    body: ReplyBody::Session(snapshot),
+                });
+            }
+            ShardRequest::Shutdown => break,
+        }
+    }
+}
+
+/// The sharded multi-worker VPN server: handshake front-end plus N
+/// [`VpnShard`] worker threads. See the module docs for the routing
+/// invariants and the re-merge ordering guarantee.
+pub struct ShardedVpnServer {
+    handshake: HandshakeConfig,
+    suite: CipherSuite,
+    meter: CycleMeter,
+    cost: CostModel,
+    rng: rand::rngs::StdRng,
+    next_session_id: u64,
+    policy: ConfigPolicy,
+    txs: Vec<crossbeam::channel::UnboundedSender<ShardRequest>>,
+    rx: crossbeam::channel::Receiver<WorkerReply>,
+    joins: Vec<JoinHandle<()>>,
+    /// Front-end registry: which sessions exist and which shard owns each
+    /// (derivable from the id, kept for `session_ids` without a fan-out).
+    session_shard: HashMap<u64, usize>,
+    next_seq: u64,
+}
+
+impl std::fmt::Debug for ShardedVpnServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedVpnServer")
+            .field("workers", &self.txs.len())
+            .field("sessions", &self.session_shard.len())
+            .field("required_version", &self.policy.required_version)
+            .finish()
+    }
+}
+
+impl ShardedVpnServer {
+    /// Creates a server with `workers` shard threads (minimum 1).
+    pub fn new(
+        handshake: HandshakeConfig,
+        suite: CipherSuite,
+        meter: CycleMeter,
+        cost: CostModel,
+        rng_seed: u64,
+        workers: usize,
+    ) -> Self {
+        use rand::SeedableRng;
+        let workers = workers.max(1);
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+        let mut txs = Vec::with_capacity(workers);
+        let mut joins = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = crossbeam::channel::unbounded();
+            let reply_tx = reply_tx.clone();
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("vpn-shard-{i}"))
+                    .spawn(move || worker_loop(VpnShard::new(), rx, reply_tx))
+                    .expect("spawn shard worker"),
+            );
+            txs.push(tx);
+        }
+        ShardedVpnServer {
+            handshake,
+            suite,
+            meter,
+            cost,
+            rng: rand::rngs::StdRng::seed_from_u64(rng_seed),
+            next_session_id: 1,
+            policy: ConfigPolicy::default(),
+            txs,
+            rx: reply_rx,
+            joins,
+            session_shard: HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn worker_count(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// The shard owning `session_id` (session-id-affine, invariant 1).
+    pub fn shard_of(&self, session_id: u64) -> usize {
+        (session_id.wrapping_sub(1) % self.txs.len() as u64) as usize
+    }
+
+    fn send(&self, shard: usize, request: ShardRequest) {
+        self.txs[shard].send(request).expect("shard worker alive");
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Blocks until `expect` replies arrived, returning them unordered
+    /// (callers match on `seq` / embedded indices).
+    fn collect_replies(&mut self, expect: usize) -> Vec<WorkerReply> {
+        (0..expect)
+            .map(|_| self.rx.recv().expect("shard worker alive"))
+            .collect()
+    }
+
+    /// One blocking round-trip expecting a sealed record back.
+    fn sealed_round_trip(
+        &mut self,
+        shard: usize,
+        seq: u64,
+        request: ShardRequest,
+    ) -> Result<Record, VpnError> {
+        self.send(shard, request);
+        match self.collect_replies(1).pop() {
+            Some(WorkerReply {
+                seq: reply_seq,
+                body: ReplyBody::Sealed(result),
+            }) => {
+                debug_assert_eq!(reply_seq, seq, "round-trips are strictly serialised");
+                result
+            }
+            _ => unreachable!("seal requests produce sealed replies"),
+        }
+    }
+
+    /// Dispatches every non-empty per-shard group and slots the replies
+    /// back into `results` by input index.
+    fn flush_groups(
+        &mut self,
+        groups: &mut [Vec<(u32, Record)>],
+        now_secs: u64,
+        results: &mut [Option<Result<ShardEvent, VpnError>>],
+    ) {
+        let mut outstanding = 0usize;
+        for (shard, group) in groups.iter_mut().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let seq = self.next_seq();
+            let records = std::mem::take(group);
+            self.send(
+                shard,
+                ShardRequest::Records {
+                    seq,
+                    now_secs,
+                    records,
+                },
+            );
+            outstanding += 1;
+        }
+        for reply in self.collect_replies(outstanding) {
+            let ReplyBody::Records(items) = reply.body else {
+                unreachable!("record requests produce record replies");
+            };
+            for (idx, result) in items {
+                if let Ok(ShardEvent::Disconnected { session_id }) = &result {
+                    self.session_shard.remove(session_id);
+                }
+                results[idx as usize] = Some(result);
+            }
+        }
+    }
+
+    /// Handles a whole batch of wire records — from any mix of clients —
+    /// and returns one result per record **in input order** (the re-merge
+    /// guarantee in the module docs).
+    pub fn handle_records(
+        &mut self,
+        records: Vec<Record>,
+        now_secs: u64,
+    ) -> Vec<Result<ShardEvent, VpnError>> {
+        let n = records.len();
+        let mut results: Vec<Option<Result<ShardEvent, VpnError>>> = (0..n).map(|_| None).collect();
+        let mut groups: Vec<Vec<(u32, Record)>> = vec![Vec::new(); self.txs.len()];
+        for (i, record) in records.into_iter().enumerate() {
+            match record.opcode {
+                Opcode::HandshakeInit => {
+                    // Invariant 3: drain shard work queued so far, then
+                    // run the handshake on the front-end.
+                    self.flush_groups(&mut groups, now_secs, &mut results);
+                    results[i] = Some(self.handle_handshake(&record, now_secs));
+                }
+                Opcode::HandshakeResp => {
+                    results[i] = Some(Err(VpnError::Malformed("server received HandshakeResp")));
+                }
+                _ => groups[self.shard_of(record.session_id)].push((i as u32, record)),
+            }
+        }
+        self.flush_groups(&mut groups, now_secs, &mut results);
+        results
+            .into_iter()
+            .map(|r| r.expect("every record produces a result"))
+            .collect()
+    }
+
+    /// Handles one wire record (the single-record convenience over
+    /// [`ShardedVpnServer::handle_records`]).
+    ///
+    /// # Errors
+    ///
+    /// All authentication/policy failures; the caller drops the traffic.
+    pub fn handle_record(
+        &mut self,
+        record: &Record,
+        now_secs: u64,
+    ) -> Result<ShardEvent, VpnError> {
+        self.handle_records(vec![record.clone()], now_secs)
+            .pop()
+            .expect("one result for one record")
+    }
+
+    fn handle_handshake(&mut self, record: &Record, now_secs: u64) -> Result<ShardEvent, VpnError> {
+        let hello = ClientHello::from_bytes(&record.payload)?;
+        let session_id = self.next_session_id;
+        let (server_hello, keys, info) = server_respond(
+            &self.handshake,
+            &hello,
+            session_id,
+            self.policy.required_version,
+            now_secs,
+            &mut self.rng,
+        )?;
+        self.next_session_id += 1;
+        let channel = DataChannel::server(&keys, self.suite, self.meter.clone(), self.cost.clone());
+        let shard = self.shard_of(session_id);
+        self.send(
+            shard,
+            ShardRequest::Install {
+                session_id,
+                session: Box::new(ServerSession {
+                    info: info.clone(),
+                    reported_config_version: info.config_version,
+                    channel,
+                }),
+            },
+        );
+        self.session_shard.insert(session_id, shard);
+        Ok(ShardEvent::Established {
+            session_id,
+            response: Record {
+                opcode: Opcode::HandshakeResp,
+                session_id,
+                packet_id: 0,
+                payload: server_hello.to_bytes(),
+            },
+            info,
+        })
+    }
+
+    /// Announces a new required configuration version with a grace period
+    /// (§III-E); the policy is replicated to every shard.
+    pub fn announce_config(&mut self, version: u64, grace_period_secs: u32, now_secs: u64) {
+        self.policy = ConfigPolicy {
+            previous_ok_version: self.policy.required_version,
+            required_version: version,
+            grace_deadline_secs: now_secs + grace_period_secs as u64,
+            grace_period_secs,
+        };
+        let policy = self.policy;
+        for shard in 0..self.txs.len() {
+            self.send(shard, ShardRequest::Policy(policy));
+        }
+    }
+
+    /// The currently required configuration version.
+    pub fn required_config_version(&self) -> u64 {
+        self.policy.required_version
+    }
+
+    /// Seals a payload to a client (routed to the owning shard).
+    ///
+    /// # Errors
+    ///
+    /// [`VpnError::UnknownSession`] for bad ids.
+    pub fn seal_to_client(
+        &mut self,
+        session_id: u64,
+        opcode: Opcode,
+        payload: Vec<u8>,
+    ) -> Result<Record, VpnError> {
+        let shard = self.shard_of(session_id);
+        let seq = self.next_seq();
+        self.sealed_round_trip(
+            shard,
+            seq,
+            ShardRequest::Seal {
+                seq,
+                session_id,
+                opcode,
+                payload,
+            },
+        )
+    }
+
+    /// Seals several payloads to a client as one `DataBatch` record.
+    ///
+    /// # Errors
+    ///
+    /// [`VpnError::UnknownSession`] for bad ids.
+    pub fn seal_batch_to_client(
+        &mut self,
+        session_id: u64,
+        payloads: Vec<Vec<u8>>,
+    ) -> Result<Record, VpnError> {
+        let shard = self.shard_of(session_id);
+        let seq = self.next_seq();
+        self.sealed_round_trip(
+            shard,
+            seq,
+            ShardRequest::SealBatch {
+                seq,
+                session_id,
+                payloads,
+            },
+        )
+    }
+
+    /// Builds the periodic server ping for a session (Fig. 5 step 4).
+    ///
+    /// # Errors
+    ///
+    /// [`VpnError::UnknownSession`] for bad ids.
+    pub fn make_ping(&mut self, session_id: u64, now_ns: u64) -> Result<Record, VpnError> {
+        let msg = PingMessage {
+            config_version: self.policy.required_version,
+            grace_period_secs: self.policy.grace_period_secs,
+            timestamp_ns: now_ns,
+        };
+        self.seal_to_client(session_id, Opcode::Ping, msg.to_bytes())
+    }
+
+    /// Fetches a snapshot of one session from its owning shard.
+    pub fn session_snapshot(&mut self, session_id: u64) -> Option<SessionSnapshot> {
+        if !self.session_shard.contains_key(&session_id) {
+            return None;
+        }
+        let shard = self.shard_of(session_id);
+        let seq = self.next_seq();
+        self.send(shard, ShardRequest::Query { seq, session_id });
+        match self.collect_replies(1).pop() {
+            Some(WorkerReply {
+                body: ReplyBody::Session(snapshot),
+                ..
+            }) => snapshot,
+            _ => unreachable!("query requests produce session replies"),
+        }
+    }
+
+    /// Active session ids, ascending.
+    pub fn session_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.session_shard.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of connected clients.
+    pub fn session_count(&self) -> usize {
+        self.session_shard.len()
+    }
+}
+
+impl Drop for ShardedVpnServer {
+    fn drop(&mut self) {
+        for tx in &self.txs {
+            let _ = tx.send(ShardRequest::Shutdown);
+        }
+        for join in self.joins.drain(..) {
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::Certificate;
+    use crate::channel::SessionKeys;
+    use crate::handshake::{client_complete, client_start};
+    use crate::PROTOCOL_V1;
+    use endbox_crypto::schnorr::SigningKey;
+    use rand::SeedableRng;
+
+    struct Harness {
+        server: ShardedVpnServer,
+        client_cfg: HandshakeConfig,
+        rng: rand::rngs::StdRng,
+    }
+
+    fn harness(workers: usize) -> Harness {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        let ca = SigningKey::generate(&mut rng);
+        let server_key = SigningKey::generate(&mut rng);
+        let client_key = SigningKey::generate(&mut rng);
+        let server_cert =
+            Certificate::issue("server", server_key.verifying_key(), 1 << 40, &ca, &mut rng);
+        let client_cert = Certificate::issue(
+            "client-1",
+            client_key.verifying_key(),
+            1 << 40,
+            &ca,
+            &mut rng,
+        );
+        let server = ShardedVpnServer::new(
+            HandshakeConfig {
+                identity: server_key,
+                certificate: server_cert,
+                ca_public: ca.verifying_key(),
+                min_version: PROTOCOL_V1,
+            },
+            CipherSuite::Aes128CbcHmac,
+            CycleMeter::new(),
+            CostModel::calibrated(),
+            1,
+            workers,
+        );
+        let client_cfg = HandshakeConfig {
+            identity: client_key,
+            certificate: client_cert,
+            ca_public: ca.verifying_key(),
+            min_version: PROTOCOL_V1,
+        };
+        Harness {
+            server,
+            client_cfg,
+            rng,
+        }
+    }
+
+    fn connect(h: &mut Harness, config_version: u64) -> (u64, DataChannel) {
+        let (hello, state) = client_start(&h.client_cfg, PROTOCOL_V1, config_version, &mut h.rng);
+        let record = Record {
+            opcode: Opcode::HandshakeInit,
+            session_id: 0,
+            packet_id: 0,
+            payload: hello.to_bytes(),
+        };
+        let event = h.server.handle_record(&record, 0).unwrap();
+        let ShardEvent::Established {
+            session_id,
+            response,
+            ..
+        } = event
+        else {
+            panic!("expected Established");
+        };
+        let shello = crate::handshake::ServerHello::from_bytes(&response.payload).unwrap();
+        let keys: SessionKeys = client_complete(&h.client_cfg, &state, &shello, 0).unwrap();
+        let channel = DataChannel::client(
+            &keys,
+            CipherSuite::Aes128CbcHmac,
+            CycleMeter::new(),
+            CostModel::calibrated(),
+        );
+        (session_id, channel)
+    }
+
+    #[test]
+    fn sessions_round_robin_across_shards() {
+        let mut h = harness(4);
+        let mut sids = Vec::new();
+        for _ in 0..8 {
+            sids.push(connect(&mut h, 1).0);
+        }
+        assert_eq!(h.server.session_count(), 8);
+        let shards: Vec<usize> = sids.iter().map(|&s| h.server.shard_of(s)).collect();
+        assert_eq!(shards, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn data_roundtrip_and_replay_on_any_worker_count() {
+        for workers in [1, 2, 4] {
+            let mut h = harness(workers);
+            let (sid, mut chan) = connect(&mut h, 1);
+            // A well-formed tunnelled IP packet.
+            let pkt = Packet::udp(
+                std::net::Ipv4Addr::new(10, 0, 0, 1),
+                std::net::Ipv4Addr::new(10, 0, 1, 1),
+                1,
+                2,
+                b"tunnelled",
+            );
+            let rec = chan.seal(Opcode::Data, sid, pkt.bytes());
+            match h.server.handle_record(&rec, 1).unwrap() {
+                ShardEvent::Packet { session_id, packet } => {
+                    assert_eq!(session_id, sid);
+                    assert_eq!(packet.bytes(), pkt.bytes());
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            assert_eq!(
+                h.server.handle_record(&rec, 1).unwrap_err(),
+                VpnError::Replay,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_records_from_many_clients_remerge_in_input_order() {
+        let mut h = harness(4);
+        let mut clients: Vec<(u64, DataChannel)> = (0..6).map(|_| connect(&mut h, 1)).collect();
+        let mk = |i: u8| {
+            Packet::udp(
+                std::net::Ipv4Addr::new(10, 0, 0, i),
+                std::net::Ipv4Addr::new(10, 0, 1, 1),
+                1,
+                2,
+                &[i; 8],
+            )
+        };
+        // Interleave batches from all clients in one call.
+        let mut records = Vec::new();
+        let mut expected_sids = Vec::new();
+        for round in 0..3u8 {
+            for (sid, chan) in clients.iter_mut() {
+                let pkts = [mk(round * 2 + 1), mk(round * 2 + 2)];
+                let refs: Vec<&[u8]> = pkts.iter().map(Packet::bytes).collect();
+                records.push(chan.seal_batch(*sid, &refs));
+                expected_sids.push(*sid);
+            }
+        }
+        let results = h.server.handle_records(records, 1);
+        assert_eq!(results.len(), expected_sids.len());
+        for (result, want_sid) in results.into_iter().zip(expected_sids) {
+            match result.unwrap() {
+                ShardEvent::Batch { session_id, batch } => {
+                    assert_eq!(session_id, want_sid, "results must stay in input order");
+                    assert_eq!(batch.len(), 2);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn policy_broadcast_blocks_stale_clients_on_all_shards() {
+        let mut h = harness(3);
+        let mut clients: Vec<(u64, DataChannel)> = (0..3).map(|_| connect(&mut h, 1)).collect();
+        h.server.announce_config(2, 0, 100);
+        assert_eq!(h.server.required_config_version(), 2);
+        for (sid, chan) in clients.iter_mut() {
+            let rec = chan.seal(Opcode::Data, *sid, b"stale");
+            assert!(matches!(
+                h.server.handle_record(&rec, 101),
+                Err(VpnError::StaleConfiguration { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn ping_updates_snapshot_and_reenables_traffic() {
+        let mut h = harness(2);
+        let (sid, mut chan) = connect(&mut h, 1);
+        h.server.announce_config(2, 0, 100);
+        let ping = PingMessage {
+            config_version: 2,
+            grace_period_secs: 0,
+            timestamp_ns: 0,
+        };
+        let rec = chan.seal(Opcode::Ping, sid, &ping.to_bytes());
+        match h.server.handle_record(&rec, 101).unwrap() {
+            ShardEvent::Ping { message, .. } => assert_eq!(message.config_version, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        let snap = h.server.session_snapshot(sid).unwrap();
+        assert_eq!(snap.reported_config_version, 2);
+        let pkt = Packet::udp(
+            std::net::Ipv4Addr::new(10, 0, 0, 1),
+            std::net::Ipv4Addr::new(10, 0, 1, 1),
+            1,
+            2,
+            b"fresh",
+        );
+        let rec = chan.seal(Opcode::Data, sid, pkt.bytes());
+        assert!(matches!(
+            h.server.handle_record(&rec, 102),
+            Ok(ShardEvent::Packet { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnect_updates_front_end_registry() {
+        let mut h = harness(2);
+        let (sid, _) = connect(&mut h, 1);
+        let rec = Record {
+            opcode: Opcode::Disconnect,
+            session_id: sid,
+            packet_id: 0,
+            payload: vec![],
+        };
+        h.server.handle_record(&rec, 1).unwrap();
+        assert_eq!(h.server.session_count(), 0);
+        assert!(h.server.session_snapshot(sid).is_none());
+    }
+
+    #[test]
+    fn server_sealed_ping_opens_at_client() {
+        let mut h = harness(2);
+        let (sid, mut chan) = connect(&mut h, 1);
+        h.server.announce_config(7, 60, 0);
+        let rec = h.server.make_ping(sid, 42).unwrap();
+        let payload = chan.open(&rec).unwrap();
+        let msg = PingMessage::from_bytes(&payload).unwrap();
+        assert_eq!(msg.config_version, 7);
+        assert_eq!(msg.grace_period_secs, 60);
+    }
+
+    #[test]
+    fn materialize_frames_is_one_copy_and_recycles() {
+        let pool = BufferPool::new();
+        let keys = SessionKeys::derive(&[7u8; 32], &[1u8; 32], &[2u8; 32]);
+        let meter = CycleMeter::new();
+        let cost = CostModel::calibrated();
+        let mut c = DataChannel::client(
+            &keys,
+            CipherSuite::Aes128CbcHmac,
+            meter.clone(),
+            cost.clone(),
+        );
+        let mut s = DataChannel::server(&keys, CipherSuite::Aes128CbcHmac, meter, cost);
+        let pkts: Vec<Packet> = (0..4)
+            .map(|i| {
+                Packet::udp(
+                    std::net::Ipv4Addr::new(10, 0, 0, 1),
+                    std::net::Ipv4Addr::new(10, 0, 1, 1),
+                    1,
+                    i + 1,
+                    &[i as u8; 100],
+                )
+            })
+            .collect();
+        let refs: Vec<&[u8]> = pkts.iter().map(Packet::bytes).collect();
+        let rec = c.seal_batch(5, &refs);
+        let frames = s.open_batch_frames(&rec).unwrap();
+        let batch = materialize_frames(&pool, frames).unwrap();
+        assert_eq!(batch.len(), 4);
+        for (got, want) in batch.iter().zip(&pkts) {
+            assert_eq!(got.bytes(), want.bytes());
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.batched_ops, 1, "one take_many for the whole batch");
+        // Dropping the batch returns every buffer (plus the adopted blob
+        // was already given).
+        drop(batch);
+        assert_eq!(pool.stats().returned, 5);
+    }
+
+    #[test]
+    fn malformed_frame_rejects_whole_batch() {
+        let pool = BufferPool::new();
+        let keys = SessionKeys::derive(&[7u8; 32], &[1u8; 32], &[2u8; 32]);
+        let meter = CycleMeter::new();
+        let cost = CostModel::calibrated();
+        let mut c = DataChannel::client(
+            &keys,
+            CipherSuite::Aes128CbcHmac,
+            meter.clone(),
+            cost.clone(),
+        );
+        let mut s = DataChannel::server(&keys, CipherSuite::Aes128CbcHmac, meter, cost);
+        let good = Packet::udp(
+            std::net::Ipv4Addr::new(10, 0, 0, 1),
+            std::net::Ipv4Addr::new(10, 0, 1, 1),
+            1,
+            2,
+            b"ok",
+        );
+        let rec = c.seal_batch(5, &[good.bytes(), b"not an ip packet"]);
+        let frames = s.open_batch_frames(&rec).unwrap();
+        assert_eq!(
+            materialize_frames(&pool, frames),
+            Err(VpnError::Malformed("bad tunnelled packet"))
+        );
+    }
+}

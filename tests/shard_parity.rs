@@ -1,0 +1,349 @@
+//! Shard determinism: a sharded server with N ∈ {1, 2, 4, 8} workers must
+//! be observationally equivalent to the single-threaded server on
+//! interleaved multi-client traffic — byte-identical per-client
+//! emissions, identical drop/replay verdicts, identical session state —
+//! for any thread schedule.
+//!
+//! Both servers are driven with byte-identical wire traffic: scenarios
+//! built from the same seed produce identical client key material, so
+//! replaying the same (client, action) script through each scenario's own
+//! clients yields the same datagrams bit for bit.
+
+use endbox::scenario::{Scenario, ShardedScenario};
+use endbox::server::Delivery;
+use endbox::use_cases::UseCase;
+use endbox::{EndBoxClient, EndBoxError};
+use endbox_netsim::Packet;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One step of the traffic script.
+#[derive(Debug, Clone)]
+enum Action {
+    /// `client` seals a batch of `n_packets` payloads.
+    SendBatch { client: usize, n_packets: usize },
+    /// `client` seals a single data record.
+    SendSingle { client: usize },
+    /// `client` sends a config-version ping.
+    Ping { client: usize },
+    /// Re-send every datagram of the previous round (replay attack).
+    Replay,
+}
+
+/// The view of a delivery both servers must agree on.
+#[derive(Debug, PartialEq)]
+enum Out {
+    Pending,
+    Packets(Vec<Vec<u8>>),
+    Ping(u64),
+    Disconnected(u64),
+    Rejected(EndBoxError),
+}
+
+fn simplify(result: Result<Delivery, EndBoxError>) -> Out {
+    match result {
+        Ok(Delivery::Pending) => Out::Pending,
+        Ok(Delivery::Packet { packet, .. }) => Out::Packets(vec![packet.bytes().to_vec()]),
+        Ok(Delivery::PacketBatch { packets, .. }) => {
+            Out::Packets(packets.iter().map(|p| p.bytes().to_vec()).collect())
+        }
+        Ok(Delivery::Ping { message, .. }) => Out::Ping(message.config_version),
+        Ok(Delivery::Disconnected { session_id }) => Out::Disconnected(session_id),
+        Ok(other) => panic!("unexpected delivery in parity run: {other:?}"),
+        Err(e) => Out::Rejected(e),
+    }
+}
+
+/// Builds the wire datagrams for one action using the given scenario's
+/// own clients (deterministic: both scenarios produce identical bytes).
+fn seal_action(
+    clients: &mut [EndBoxClient],
+    action: &Action,
+    round: usize,
+    prev_round: &[(u64, Vec<u8>)],
+) -> Vec<(u64, Vec<u8>)> {
+    let payload = |client: usize, i: usize| {
+        format!(
+            "round {round} client {client} packet {i} {}",
+            "x".repeat(round % 37)
+        )
+        .into_bytes()
+    };
+    let mk_packet = |client: usize, i: usize| {
+        Packet::tcp(
+            Scenario::client_addr(client),
+            Scenario::network_addr(),
+            40_000 + client as u16,
+            5_001,
+            i as u32,
+            &payload(client, i),
+        )
+    };
+    match action {
+        Action::SendBatch { client, n_packets } => {
+            let packets: Vec<Packet> = (0..*n_packets).map(|i| mk_packet(*client, i)).collect();
+            clients[*client]
+                .send_batch(packets)
+                .unwrap()
+                .into_iter()
+                .map(|d| (*client as u64, d))
+                .collect()
+        }
+        Action::SendSingle { client } => clients[*client]
+            .send_packet(mk_packet(*client, 0))
+            .unwrap()
+            .into_iter()
+            .map(|d| (*client as u64, d))
+            .collect(),
+        Action::Ping { client } => clients[*client]
+            .build_ping()
+            .unwrap()
+            .into_iter()
+            .map(|d| (*client as u64, d))
+            .collect(),
+        Action::Replay => prev_round.to_vec(),
+    }
+}
+
+/// Drives the script through a single-threaded scenario, one datagram at
+/// a time (the reference behaviour).
+fn run_single(scenario: &mut Scenario, script: &[Action]) -> Vec<Out> {
+    let mut outs = Vec::new();
+    let mut prev: Vec<(u64, Vec<u8>)> = Vec::new();
+    for (round, action) in script.iter().enumerate() {
+        let datagrams = seal_action(&mut scenario.clients, action, round, &prev);
+        for (peer, d) in &datagrams {
+            outs.push(simplify(scenario.server.receive_datagram(*peer, d)));
+        }
+        prev = datagrams;
+    }
+    outs
+}
+
+/// Drives the same script through a sharded scenario; each round's
+/// datagrams go through the server as **one** multi-client dispatch.
+fn run_sharded(scenario: &mut ShardedScenario, script: &[Action]) -> Vec<Out> {
+    let mut outs = Vec::new();
+    let mut prev: Vec<(u64, Vec<u8>)> = Vec::new();
+    for (round, action) in script.iter().enumerate() {
+        let datagrams = seal_action(&mut scenario.clients, action, round, &prev);
+        let refs: Vec<(u64, &[u8])> = datagrams
+            .iter()
+            .map(|(peer, d)| (*peer, d.as_slice()))
+            .collect();
+        outs.extend(
+            scenario
+                .server
+                .receive_datagrams(&refs)
+                .into_iter()
+                .map(simplify),
+        );
+        prev = datagrams;
+    }
+    outs
+}
+
+fn assert_parity(n_clients: usize, use_case: UseCase, seed: u64, script: &[Action]) {
+    let mut single = Scenario::enterprise(n_clients, use_case)
+        .seed(seed)
+        .build()
+        .unwrap();
+    let reference = run_single(&mut single, script);
+    for workers in WORKER_COUNTS {
+        let mut sharded = Scenario::enterprise(n_clients, use_case)
+            .seed(seed)
+            .build_sharded(workers)
+            .unwrap();
+        let got = run_sharded(&mut sharded, script);
+        assert_eq!(
+            got, reference,
+            "N={workers} workers diverged from the single-threaded server \
+             (clients={n_clients}, seed={seed})"
+        );
+        // Session state agrees too.
+        assert_eq!(sharded.server.session_ids(), single.server.session_ids());
+        for idx in 0..n_clients {
+            assert_eq!(
+                sharded
+                    .server
+                    .client_config_version(sharded.session_id(idx)),
+                single.server.client_config_version(single.session_id(idx)),
+                "reported config version diverged for client {idx}"
+            );
+        }
+        let (delivered_single, _, _) = single.server.counters();
+        let (delivered_sharded, _) = sharded.server.counters();
+        assert_eq!(delivered_sharded, delivered_single);
+    }
+}
+
+#[test]
+fn interleaved_batches_with_replays_match_single_server() {
+    let script = vec![
+        Action::SendBatch {
+            client: 0,
+            n_packets: 4,
+        },
+        Action::SendBatch {
+            client: 1,
+            n_packets: 3,
+        },
+        Action::Replay, // both batches replayed -> Replay verdicts
+        Action::SendSingle { client: 2 },
+        Action::SendBatch {
+            client: 2,
+            n_packets: 8,
+        },
+        Action::Ping { client: 0 },
+        Action::SendBatch {
+            client: 0,
+            n_packets: 1,
+        },
+        Action::Replay,
+    ];
+    assert_parity(3, UseCase::Firewall, 0xeb01, &script);
+}
+
+#[test]
+fn config_grace_period_verdicts_match_single_server() {
+    // Announce a new config on both servers, then send stale traffic:
+    // the StaleConfiguration verdicts (and the recovery after a ping)
+    // must agree shard-for-shard.
+    let n_clients = 2;
+    let mut single = Scenario::enterprise(n_clients, UseCase::Nop)
+        .seed(7)
+        .build()
+        .unwrap();
+    for workers in WORKER_COUNTS {
+        let mut sharded = Scenario::enterprise(n_clients, UseCase::Nop)
+            .seed(7)
+            .build_sharded(workers)
+            .unwrap();
+        single.server.announce_config(2, 0);
+        sharded.server.announce_config(2, 0);
+        let script = vec![
+            Action::SendBatch {
+                client: 0,
+                n_packets: 2,
+            },
+            Action::SendSingle { client: 1 },
+        ];
+        let reference = run_single(&mut single, &script);
+        let got = run_sharded(&mut sharded, &script);
+        assert_eq!(got, reference, "N={workers}");
+        assert!(
+            reference
+                .iter()
+                .all(|o| matches!(o, Out::Rejected(_) | Out::Pending)),
+            "stale traffic must be rejected: {reference:?}"
+        );
+        // A fresh single server for the next worker count (its replay
+        // windows advanced).
+        single = Scenario::enterprise(n_clients, UseCase::Nop)
+            .seed(7)
+            .build()
+            .unwrap();
+    }
+}
+
+#[test]
+fn disconnect_followed_by_in_batch_fragment_matches_single_server() {
+    // A successful Disconnect tears down the peer's reassembler. If the
+    // same receive batch carries a *fragment* of the peer's next record
+    // after the Disconnect, the single-threaded server processes the
+    // teardown first and the fragment lands in a fresh reassembler; the
+    // sharded server must sequence it identically (regression: it used
+    // to push the fragment into the old reassembler and then delete it).
+    use endbox_vpn::frag::Fragmenter;
+    use endbox_vpn::proto::{Opcode, Record};
+
+    let mtu = endbox_netsim::CostModel::calibrated().mtu_payload;
+    let craft = |sid: u64| {
+        let mut frag = Fragmenter::new();
+        let disconnect = Record {
+            opcode: Opcode::Disconnect,
+            session_id: sid,
+            packet_id: 0,
+            payload: vec![],
+        };
+        let d = frag.fragment(&disconnect.to_bytes(), mtu);
+        assert_eq!(d.len(), 1);
+        // A record big enough to span two datagrams; its content does not
+        // matter (the session is gone), only that both servers agree.
+        let next = Record {
+            opcode: Opcode::Data,
+            session_id: sid,
+            packet_id: 1,
+            payload: vec![0xab; mtu + 100],
+        };
+        let f = frag.fragment(&next.to_bytes(), mtu);
+        assert_eq!(f.len(), 2);
+        (d.into_iter().next().unwrap(), f)
+    };
+
+    let mut single = Scenario::enterprise(1, UseCase::Nop)
+        .seed(99)
+        .build()
+        .unwrap();
+    let (d, f) = craft(single.session_id(0));
+    let mut reference = vec![simplify(single.server.receive_datagram(0, &d))];
+    reference.push(simplify(single.server.receive_datagram(0, &f[0])));
+    reference.push(simplify(single.server.receive_datagram(0, &f[1])));
+
+    for workers in WORKER_COUNTS {
+        let mut sharded = Scenario::enterprise(1, UseCase::Nop)
+            .seed(99)
+            .build_sharded(workers)
+            .unwrap();
+        let (d, f) = craft(sharded.session_id(0));
+        // Disconnect and the first fragment of the next record arrive in
+        // ONE batch; the second fragment arrives later.
+        let mut got: Vec<Out> = sharded
+            .server
+            .receive_datagrams(&[(0, d.as_slice()), (0, f[0].as_slice())])
+            .into_iter()
+            .map(simplify)
+            .collect();
+        got.push(simplify(sharded.server.receive_datagram(0, &f[1])));
+        assert_eq!(got, reference, "N={workers}");
+    }
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn to_script(raw: &[(usize, usize, usize)], n_clients: usize) -> Vec<Action> {
+        raw.iter()
+            .map(|&(kind, client, n)| {
+                let client = client % n_clients;
+                match kind % 5 {
+                    0 | 1 => Action::SendBatch {
+                        client,
+                        n_packets: 1 + n % 8,
+                    },
+                    2 => Action::SendSingle { client },
+                    3 => Action::Ping { client },
+                    _ => Action::Replay,
+                }
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Any interleaving of batches, singles, pings and replays from
+        /// 2-4 clients produces byte-identical emissions and identical
+        /// verdicts on 1/2/4/8-worker sharded servers.
+        #[test]
+        fn sharded_server_is_observationally_equivalent(
+            n_clients in 2usize..5,
+            seed in 0u64..1_000,
+            raw in prop::collection::vec((0usize..5, 0usize..5, 0usize..8), 2..7),
+        ) {
+            let script = to_script(&raw, n_clients);
+            assert_parity(n_clients, UseCase::Firewall, 0xeb00 + seed, &script);
+        }
+    }
+}
