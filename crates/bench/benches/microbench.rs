@@ -275,11 +275,7 @@ fn bench_shard_scaling(c: &mut Criterion) {
                         datagrams
                     },
                     |datagrams| {
-                        let refs: Vec<(u64, &[u8])> = datagrams
-                            .iter()
-                            .map(|(peer, d)| (*peer, d.as_slice()))
-                            .collect();
-                        let results = server.receive_datagrams(&refs);
+                        let results = server.receive_datagrams(datagrams);
                         assert!(results.iter().all(Result::is_ok));
                         results
                     },

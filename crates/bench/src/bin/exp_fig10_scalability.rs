@@ -17,9 +17,7 @@
 use endbox::eval::scalability::{
     client_counts, fig10_sharded, fig10a, fig10b, ScalabilityPoint, ShardedScalabilityPoint,
 };
-
-/// Packets per sealed record on the sharded/batched rows.
-const BATCH: usize = 16;
+use endbox::eval::throughput::batch_size;
 
 fn print_series(points: &[ScalabilityPoint]) {
     let mut deployments: Vec<String> = Vec::new();
@@ -147,11 +145,12 @@ fn main() {
         println!();
     }
 
+    let batch = batch_size();
     println!(
-        "=== Sharded multi-worker server: batched EndBox SGX[NOP], batch={BATCH} \
+        "=== Sharded multi-worker server: batched EndBox SGX[NOP], batch={batch} \
          (clients x workers) ===\n"
     );
-    let sharded = fig10_sharded(BATCH, &sharded_clients);
+    let sharded = fig10_sharded(batch, &sharded_clients);
     print_sharded(&sharded, &sharded_clients);
 
     let last = *sharded_clients.last().unwrap();

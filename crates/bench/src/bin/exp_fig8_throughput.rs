@@ -7,7 +7,7 @@
 //! EndBox SIM       132 / 586 / 720 / 1514 / 2325 / 2813
 //! EndBox SGX        92 / 401 / 530 / 1044 / 1987 / 2659
 
-use endbox::eval::throughput::{fig8, fig8_batched, fig8_sizes, ThroughputPoint, BATCH_SIZE};
+use endbox::eval::throughput::{batch_size, fig8, fig8_batched, fig8_sizes, ThroughputPoint};
 
 fn print_table(points: &[ThroughputPoint]) {
     let mut current = String::new();
@@ -32,7 +32,11 @@ fn main() {
     }
     println!();
     print_table(&fig8());
-    println!("\n--- batched datapath ({BATCH_SIZE} packets per record/enclave transition) ---");
+    println!(
+        "\n--- batched datapath ({} packets per record/enclave transition; \
+         set ENDBOX_BATCH_SIZE to override) ---",
+        batch_size()
+    );
     print_table(&fig8_batched());
     println!("\nAll values in Mbps. Paper: Fig. 8 (values above in the header comment).");
     println!("Batched rows: this repo's PacketBatch datapath, beyond the paper's per-packet path.");

@@ -1,0 +1,103 @@
+//! Heavy-tailed load-mix dispatcher comparison (beyond the paper).
+//!
+//! Fig. 10's scalability claim assumes every client offers the same load.
+//! Under a heavy-tailed mix (Zipf α = 1.2, elephants whose session ids
+//! collide modulo the worker count), static `(sid-1) mod N` affinity
+//! saturates one shard while the others idle; the load-aware dispatcher
+//! (per-shard/per-session load EWMAs + bounded migration) recovers the
+//! imbalance. Charges are measured on the real sharded stack running the
+//! matching dispatch policy, then replayed through the timing layer with
+//! the same mix.
+//!
+//! Emits the grid as machine-readable `BENCH_heavytail.json`. Pass
+//! `--smoke` for a CI-sized run (fewer client counts).
+
+use endbox::eval::scalability::{fig_heavy_tail, HeavyTailPoint};
+use endbox::eval::throughput::batch_size;
+
+fn print_points(points: &[HeavyTailPoint], clients: &[usize]) {
+    let policies = ["static", "load-aware"];
+    print!("{:<26}", "policy \\ clients");
+    for n in clients {
+        print!("{n:>8}");
+    }
+    println!();
+    for policy in policies {
+        print!("{:<26}", format!("{policy} [Gbps]"));
+        for n in clients {
+            let p = points
+                .iter()
+                .find(|p| p.policy == policy && p.clients == *n)
+                .unwrap();
+            print!("{:>8.2}", p.gbps);
+        }
+        println!();
+        print!("{:<26}", "  migrations");
+        for n in clients {
+            let p = points
+                .iter()
+                .find(|p| p.policy == policy && p.clients == *n)
+                .unwrap();
+            print!("{:>8}", p.migrations);
+        }
+        println!();
+    }
+}
+
+/// Hand-rolled JSON (no serde in the offline build environment).
+fn heavy_tail_json(points: &[HeavyTailPoint]) -> String {
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"policy\": \"{}\", \"clients\": {}, \"workers\": {}, \"batch\": {}, \
+             \"gbps\": {:.4}, \"mpps\": {:.5}, \"server_cpu\": {:.4}, \"migrations\": {}}}{}\n",
+            p.policy,
+            p.clients,
+            p.workers,
+            p.batch,
+            p.gbps,
+            p.mpps,
+            p.server_cpu,
+            p.migrations,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let clients: Vec<usize> = if smoke {
+        vec![20, 60]
+    } else {
+        vec![10, 20, 30, 40, 50, 60]
+    };
+    let batch = batch_size();
+
+    println!(
+        "=== Heavy-tailed load mix (Zipf 1.2, colliding elephants): static affinity vs \
+         load-aware dispatch ===\n    batched EndBox SGX[NOP], batch={batch}, 4 worker shards\n"
+    );
+    let points = fig_heavy_tail(batch, &clients);
+    print_points(&points, &clients);
+
+    let last = *clients.last().unwrap();
+    let at = |policy: &str| {
+        points
+            .iter()
+            .find(|p| p.policy == policy && p.clients == last)
+            .unwrap()
+            .gbps
+    };
+    println!(
+        "\ndispatcher win at {last} clients: {:.2}x (static {:.2} -> load-aware {:.2} Gbps)",
+        at("load-aware") / at("static"),
+        at("static"),
+        at("load-aware")
+    );
+
+    let json = heavy_tail_json(&points);
+    std::fs::write("BENCH_heavytail.json", &json).expect("write BENCH_heavytail.json");
+    println!("\nwrote BENCH_heavytail.json ({} rows)", points.len());
+}

@@ -6,9 +6,10 @@
 //! trusted-time sampling ablation (DESIGN.md design-choice list).
 
 use endbox::eval::optimizations::{
-    batching_ablation, c2c_ablation, epc_ablation, isp_ablation, sampling_sweep,
-    transition_ablation,
+    batch_size_ablation, batching_ablation, c2c_ablation, epc_ablation, isp_ablation,
+    sampling_sweep, transition_ablation,
 };
+use endbox::eval::throughput::{batch_size, DEFAULT_BATCH_SIZE};
 
 fn main() {
     println!("=== §V-G: optimisation ablations ===\n");
@@ -70,4 +71,25 @@ fn main() {
         );
     }
     println!("    (EndBox-SGX NOP at 1500 B; amortises ecall, partition and crypto fixed costs)");
+
+    println!("\n[7] Adaptive batch sizing: latency vs throughput (beyond the paper)");
+    println!(
+        "    {:>6} {:>14} {:>20}",
+        "batch", "Mbps", "added latency [us]"
+    );
+    for p in batch_size_ablation(&[1, 2, 4, 8, 16, 32, 64]) {
+        let marker = if p.batch == batch_size() {
+            "  <- in force"
+        } else {
+            ""
+        };
+        println!(
+            "    {:>6} {:>14.0} {:>20.1}{marker}",
+            p.batch, p.mbps, p.added_latency_us
+        );
+    }
+    println!(
+        "    (fill latency at 200 Mbps offered + client processing; default batch \
+         {DEFAULT_BATCH_SIZE}, override with ENDBOX_BATCH_SIZE)"
+    );
 }

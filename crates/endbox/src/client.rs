@@ -470,6 +470,13 @@ impl EndBoxClient {
         &mut self.app
     }
 
+    /// Recycling counters of the in-enclave ingress buffer pool — the
+    /// client-side counterpart of the server shards' `PoolStats`, so
+    /// ingress reuse is observable on both ends of the tunnel.
+    pub fn ingress_pool_stats(&mut self) -> endbox_netsim::PoolStats {
+        self.app.ingress_pool_stats()
+    }
+
     /// This client's trust level.
     pub fn trust(&self) -> TrustLevel {
         self.trust

@@ -20,7 +20,7 @@ use endbox_crypto::x25519;
 use endbox_netsim::cost::{CostModel, CycleMeter};
 use endbox_netsim::packet::QOS_ENDBOX_PROCESSED;
 use endbox_netsim::time::SharedClock;
-use endbox_netsim::{Packet, PacketBatch};
+use endbox_netsim::{BufferPool, Packet, PacketBatch, PoolStats};
 use endbox_sgx::attestation::{CpuIdentity, Report};
 use endbox_sgx::{Enclave, EnclaveBuilder, SgxMode};
 use endbox_vpn::channel::{CipherSuite, DataChannel};
@@ -121,6 +121,9 @@ struct TrustedState {
     accepted: u64,
     dropped: u64,
     c2c_bypassed: u64,
+    /// In-enclave buffer pool backing ingress packet materialisation —
+    /// the client-side mirror of the server shards' per-shard pools.
+    pool: BufferPool,
 }
 
 impl std::fmt::Debug for TrustedState {
@@ -181,6 +184,7 @@ impl EnclaveApp {
             accepted: 0,
             dropped: 0,
             c2c_bypassed: 0,
+            pool: BufferPool::new(),
         };
         let enclave = EnclaveBuilder::new(b"endbox-client-enclave-v1")
             .embedded_config(&cfg.ca_public.to_bytes())
@@ -557,7 +561,10 @@ impl EnclaveApp {
                         + (services.cost_model().partition_per_byte * payload.len() as f64) as u64,
                 );
                 services.charge_epc_traffic(payload.len());
-                let packet = Packet::from_bytes(payload)
+                // Zero-copy adoption: the decrypt's own allocation becomes
+                // the pool-managed packet backing store, mirroring the
+                // server shards' single-record path.
+                let packet = Packet::from_vec_in(&state.pool, payload)
                     .map_err(|_| EndBoxError::Vpn(VpnError::Malformed("bad tunnelled packet")))?;
 
                 if state.c2c_flagging && packet.tos() == QOS_ENDBOX_PROCESSED {
@@ -582,9 +589,11 @@ impl EnclaveApp {
     }
 
     /// Processes an ingress `DataBatch` record in **one** enclave
-    /// transition: open once, then run every non-bypassed packet through
-    /// Click as a single batch. Delivered packets keep the batch's
-    /// original order.
+    /// transition: open once into frame handles (no per-frame copy),
+    /// materialise pool-backed packets in one pass — the same
+    /// `open_batch_frames` + pooled-materialisation ingress the server
+    /// shards use — then run every non-bypassed packet through Click as a
+    /// single batch. Delivered packets keep the batch's original order.
     ///
     /// # Errors
     ///
@@ -600,26 +609,20 @@ impl EnclaveApp {
                     .channel
                     .as_mut()
                     .ok_or(EndBoxError::NotReady("no established channel"))?;
-                let payloads = channel.open_batch(record)?;
-                let frames = payloads.len();
-                let total_bytes: usize = payloads.iter().map(Vec::len).sum();
+                let batch_frames = channel.open_batch_frames(record)?;
+                let frames = batch_frames.len();
+                let total_bytes = batch_frames.total_bytes();
                 services.charge(
                     services.cost_model().partition_per_packet
                         + (services.cost_model().partition_per_byte * total_bytes as f64) as u64,
                 );
                 services.charge_epc_traffic(total_bytes);
 
-                // Parse every frame before touching any counters, so a
-                // malformed frame aborts the batch without leaving partial
-                // statistics behind.
-                let packets = payloads
-                    .into_iter()
-                    .map(|payload| {
-                        Packet::from_bytes(payload).map_err(|_| {
-                            EndBoxError::Vpn(VpnError::Malformed("bad tunnelled packet"))
-                        })
-                    })
-                    .collect::<Result<Vec<Packet>, _>>()?;
+                // One pass, one copy: frames go straight from the decrypted
+                // blob into pool-recycled buffers, and a malformed frame
+                // aborts the whole batch before any counters move.
+                let packets = endbox_vpn::shard::materialize_frames(&state.pool, batch_frames)
+                    .map_err(EndBoxError::Vpn)?;
 
                 // Split the batch into flagged (client-to-client bypass) and
                 // Click-bound packets, remembering each Click packet's
@@ -807,6 +810,21 @@ impl EnclaveApp {
             })
             .ok()
             .flatten()
+    }
+
+    /// Recycling counters of the in-enclave ingress buffer pool (the
+    /// client-side counterpart of the server shards' pool stats, so both
+    /// ends of the tunnel report ingress reuse).
+    ///
+    /// Rides the `ecall_click_element_count` introspection transition —
+    /// the same counters ecall [`EnclaveApp::packet_counters`] uses — so
+    /// the declared interface keeps the paper's exact 70-call shape
+    /// (§IV-B; the attack battery pins it). Like the other counter reads,
+    /// a destroyed enclave yields default (all-zero) stats.
+    pub fn ingress_pool_stats(&mut self) -> PoolStats {
+        self.enclave
+            .ecall("ecall_click_element_count", |state, _| state.pool.stats())
+            .unwrap_or_default()
     }
 
     /// (accepted, dropped, c2c-bypassed) packet counters.

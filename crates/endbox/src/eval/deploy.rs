@@ -265,11 +265,7 @@ pub fn measure_charge_sharded(
         }
         fragments_total += datagrams.len();
         wire_bytes_total += datagrams.iter().map(|(_, d)| d.len()).sum::<usize>();
-        let refs: Vec<(u64, &[u8])> = datagrams
-            .iter()
-            .map(|(peer, d)| (*peer, d.as_slice()))
-            .collect();
-        for result in scenario.server.receive_datagrams(&refs) {
+        for result in scenario.server.receive_datagrams(datagrams) {
             result.expect("deliver");
         }
     }
@@ -282,6 +278,110 @@ pub fn measure_charge_sharded(
         fragments: (fragments_total.div_ceil(samples * batch_size * N_CLIENTS)).max(1),
         client_cycles: client_cycles / packets_total,
         server_cycles: server_meter.take() / packets_total,
+        dropped: false,
+    }
+}
+
+/// Like [`measure_charge_sharded`], but drives a **heavy-tailed**
+/// multi-client load mix (Zipf weights from
+/// [`crate::eval::scalability::heavy_tail_weights`]) through a sharded
+/// server running the given [`DispatchPolicy`] — the real-stack
+/// measurement behind the dispatcher comparison. Returned charges are per
+/// packet; the throughput difference between the policies is a queueing
+/// effect the timing layer reproduces from this charge plus the same load
+/// mix.
+///
+/// # Panics
+///
+/// Panics if the deployment cannot be constructed.
+pub fn measure_charge_sharded_mix(
+    use_case: UseCase,
+    payload_len: usize,
+    samples: usize,
+    batch_size: usize,
+    workers: usize,
+    dispatch: endbox_vpn::shard::DispatchPolicy,
+) -> PacketCharge {
+    const N_CLIENTS: usize = 8;
+    let mut scenario = Scenario::enterprise(N_CLIENTS, use_case)
+        .trust(TrustLevel::Hardware)
+        .seed(0xbe9c)
+        .dispatch(dispatch)
+        .build_sharded(workers)
+        .expect("sharded deployment must build");
+    let weights = crate::eval::scalability::heavy_tail_weights(N_CLIENTS);
+
+    let sizes = crate::scenario::ShardedScenario::heavy_tail_batch_sizes(&weights, batch_size);
+    let round_packets: usize = sizes.iter().sum();
+
+    let client_meters: Vec<CycleMeter> =
+        scenario.clients.iter().map(|c| c.meter().clone()).collect();
+    let server_meter = scenario.server_meter.clone();
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let payload = benign_payload(payload_len, &mut rng);
+    let round_batches = |seq: u32| -> Vec<(usize, Vec<Packet>)> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(idx, &n)| {
+                (
+                    idx,
+                    (0..n)
+                        .map(|i| {
+                            Packet::tcp(
+                                Scenario::client_addr(idx),
+                                Scenario::network_addr(),
+                                40_000 + idx as u16,
+                                5001,
+                                seq + i as u32,
+                                &payload,
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    };
+
+    // Warm-up round.
+    scenario
+        .send_packet_batches_from_all(round_batches(0))
+        .expect("warm-up");
+    for m in &client_meters {
+        m.take();
+    }
+    server_meter.take();
+
+    // Seal on every client (sized by its weight), then one pipelined
+    // dispatch — the same split `send_heavy_tailed_round` performs, done
+    // by hand so the real wire datagrams can be measured.
+    let mut wire_bytes_total = 0usize;
+    let mut fragments_total = 0usize;
+    for round in 1..=samples {
+        let mut datagrams: Vec<(u64, Vec<u8>)> = Vec::new();
+        for (idx, packets) in round_batches((round * batch_size) as u32) {
+            for d in scenario.clients[idx].send_batch(packets).expect("send") {
+                datagrams.push((idx as u64, d));
+            }
+        }
+        fragments_total += datagrams.len();
+        wire_bytes_total += datagrams.iter().map(|(_, d)| d.len()).sum::<usize>();
+        for result in scenario.server.receive_datagrams(datagrams) {
+            result.expect("deliver");
+        }
+    }
+
+    let packets_total = (samples * round_packets) as u64;
+    let client_cycles: u64 = client_meters.iter().map(CycleMeter::take).sum::<u64>();
+    PacketCharge {
+        payload_bytes: payload_len + 40, // payload + IP/TCP headers
+        wire_bytes: wire_bytes_total / packets_total.max(1) as usize,
+        fragments: (fragments_total as u64)
+            .div_ceil(packets_total.max(1))
+            .max(1) as usize,
+        client_cycles: client_cycles / packets_total.max(1),
+        server_cycles: server_meter.take() / packets_total.max(1),
         dropped: false,
     }
 }

@@ -218,6 +218,54 @@ pub fn batching_ablation(batch_size: usize) -> BatchingAblation {
     }
 }
 
+/// One point of the batch-size latency-vs-throughput ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSizePoint {
+    /// Packets per record/enclave transition.
+    pub batch: usize,
+    /// Batched datapath throughput (Mbps).
+    pub mbps: f64,
+    /// Added latency for the batch's first packet in microseconds: the
+    /// time to *fill* the batch at the reference offered load (a packet
+    /// held back waits for its batch-mates) plus the batch's processing
+    /// time on the client.
+    pub added_latency_us: f64,
+}
+
+/// Offered load used to convert batch depth into batch-fill latency
+/// (the paper's per-client Fig. 10 rate, 200 Mbps).
+const BATCH_FILL_REFERENCE_BPS: f64 = 200e6;
+
+/// The adaptive-batch-sizing ablation: sweeps the batch-size knob
+/// ([`crate::eval::throughput::batch_size`] defaults to 16) and reports
+/// both sides of the trade-off — throughput keeps rising with depth while
+/// the batch-fill latency grows linearly, which is why the default stays
+/// at a modest 16.
+pub fn batch_size_ablation(sizes: &[usize]) -> Vec<BatchSizePoint> {
+    use crate::eval::deploy::{measure_charge_batched, Deployment};
+    sizes
+        .iter()
+        .map(|&batch| {
+            let charge = measure_charge_batched(
+                Deployment::EndBoxSgx(crate::use_cases::UseCase::Nop),
+                1_500,
+                16,
+                batch,
+            );
+            let mbps = replay_mbps(charge);
+            let fill_us =
+                (batch.saturating_sub(1) as f64) * 1_500.0 * 8.0 / BATCH_FILL_REFERENCE_BPS * 1e6;
+            let processing_us =
+                charge.client_cycles as f64 * batch as f64 / CLASS_A_HZ as f64 * 1e6;
+            BatchSizePoint {
+                batch,
+                mbps,
+                added_latency_us: fill_us + processing_us,
+            }
+        })
+        .collect()
+}
+
 /// One point of the EPC-pressure ablation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EpcPoint {
@@ -346,6 +394,20 @@ mod tests {
             r.batched_mbps,
             r4.batched_mbps
         );
+    }
+
+    #[test]
+    fn batch_size_trades_latency_for_throughput() {
+        let sweep = batch_size_ablation(&[1, 8, 32]);
+        assert_eq!(sweep.len(), 3);
+        // Throughput rises with depth …
+        assert!(sweep[1].mbps > sweep[0].mbps, "{sweep:?}");
+        assert!(sweep[2].mbps > sweep[1].mbps, "{sweep:?}");
+        // … and so does the latency cost of filling the batch.
+        assert!(sweep[1].added_latency_us > sweep[0].added_latency_us);
+        assert!(sweep[2].added_latency_us > sweep[1].added_latency_us);
+        // A batch of one adds no fill latency at all.
+        assert!(sweep[0].added_latency_us < 100.0, "{sweep:?}");
     }
 
     #[test]

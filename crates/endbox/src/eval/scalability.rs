@@ -81,6 +81,8 @@ pub fn sweep(deployment: Deployment) -> Vec<ScalabilityPoint> {
                 server_procs_per_client: deployment.server_procs_per_client(),
                 server_single_process: deployment.server_single_process(),
                 server_worker_shards: None,
+                client_load_weights: None,
+                load_aware_dispatch: false,
             };
             let r: ScalabilityResult =
                 run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg);
@@ -167,6 +169,8 @@ pub fn sweep_sharded(
                 server_procs_per_client: 1,
                 server_single_process: false,
                 server_worker_shards: Some(workers),
+                client_load_weights: None,
+                load_aware_dispatch: false,
             };
             let r: ScalabilityResult =
                 run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg);
@@ -189,6 +193,119 @@ pub fn fig10_sharded(batch: usize, clients: &[usize]) -> Vec<ShardedScalabilityP
     let mut out = Vec::new();
     for workers in worker_counts() {
         out.extend(sweep_sharded(UseCase::Nop, workers, batch, clients));
+    }
+    out
+}
+
+/// One data point of the heavy-tailed load-mix sweep: the same sharded
+/// stack, driven by a skewed per-client offered load, under either
+/// dispatch policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeavyTailPoint {
+    /// Dispatch policy (`"static"` or `"load-aware"`).
+    pub policy: String,
+    /// Connected clients.
+    pub clients: usize,
+    /// Server worker shards.
+    pub workers: usize,
+    /// Packets coalesced per sealed record.
+    pub batch: usize,
+    /// Aggregate server-side goodput in Gbps.
+    pub gbps: f64,
+    /// Aggregate server-side packet rate in Mpps.
+    pub mpps: f64,
+    /// Server CPU utilisation in [0, 1].
+    pub server_cpu: f64,
+    /// Session migrations the dispatcher performed in the window.
+    pub migrations: u64,
+}
+
+/// The heavy-tailed per-client load mix: a Zipf(α = 1.2) weight per rank,
+/// with ranks assigned to clients by a fixed permutation that models an
+/// arbitrary connect order. With the default stride the four heaviest
+/// sessions land on session ids congruent modulo 4 — exactly the
+/// collision static `(sid-1) mod N` affinity cannot escape, and the case
+/// the load-aware dispatcher is built for. Aggregate offered load is
+/// normalised by the timing layer, so the mix is directly comparable to
+/// the uniform sweep.
+pub fn heavy_tail_weights(n_clients: usize) -> Vec<f64> {
+    const ALPHA: f64 = 1.2;
+    // The four heaviest ranks land on clients 0, 4, 8, 12 — session ids
+    // 1, 5, 9, 13, all homed on shard 0 at 4 workers.
+    let elephants: Vec<usize> = (0..4).map(|r| 4 * r).filter(|&c| c < n_clients).collect();
+    let mut order = elephants.clone();
+    order.extend((0..n_clients).filter(|c| !elephants.contains(c)));
+    let mut weights = vec![0.0; n_clients];
+    for (rank, &client) in order.iter().enumerate() {
+        weights[client] = 1.0 / ((rank + 1) as f64).powf(ALPHA);
+    }
+    weights
+}
+
+/// Runs the heavy-tailed sweep for one policy: per-packet charges are
+/// measured on the **real** sharded stack running the matching dispatch
+/// policy and a skewed multi-client batch mix
+/// ([`super::deploy::measure_charge_sharded_mix`]), then replayed through
+/// the timing layer with the same Zipf load mix and dispatcher model.
+pub fn sweep_heavy_tail(
+    use_case: UseCase,
+    workers: usize,
+    batch: usize,
+    clients: &[usize],
+    load_aware: bool,
+) -> Vec<HeavyTailPoint> {
+    let policy = if load_aware {
+        endbox_vpn::shard::DispatchPolicy::load_aware()
+    } else {
+        endbox_vpn::shard::DispatchPolicy::Static
+    };
+    let charge =
+        super::deploy::measure_charge_sharded_mix(use_case, 1_500, 8, batch, workers, policy);
+    clients
+        .iter()
+        .map(|&n| {
+            let cfg = ScalabilityConfig {
+                n_clients: n,
+                per_client_bps: 200_000_000,
+                payload_bytes: 1_500,
+                duration: SimDuration::from_millis(20),
+                n_client_machines: 5,
+                contention_per_excess_process: 0.0,
+                server_procs_per_client: 1,
+                server_single_process: false,
+                server_worker_shards: Some(workers),
+                client_load_weights: Some(heavy_tail_weights(n)),
+                load_aware_dispatch: load_aware,
+            };
+            let r: ScalabilityResult =
+                run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg);
+            HeavyTailPoint {
+                policy: if load_aware { "load-aware" } else { "static" }.to_string(),
+                clients: n,
+                workers,
+                batch,
+                gbps: r.gbps,
+                mpps: r.gbps * 1e9 / (charge.payload_bytes as f64 * 8.0) / 1e6,
+                server_cpu: r.server_cpu,
+                migrations: r.migrations,
+            }
+        })
+        .collect()
+}
+
+/// The heavy-tail dispatcher comparison: static affinity vs load-aware
+/// dispatch on the batched EndBox-SGX path (NOP use case) at 4 worker
+/// shards, across `clients`.
+pub fn fig_heavy_tail(batch: usize, clients: &[usize]) -> Vec<HeavyTailPoint> {
+    let mut out = Vec::new();
+    for load_aware in [false, true] {
+        out.extend(sweep_heavy_tail(
+            UseCase::Nop,
+            4,
+            batch,
+            clients,
+            load_aware,
+        ));
     }
     out
 }
@@ -274,6 +391,69 @@ mod tests {
             four.server_cycles
         );
         assert_eq!(one.payload_bytes, four.payload_bytes);
+    }
+
+    #[test]
+    fn load_aware_dispatch_beats_static_affinity_under_heavy_tail() {
+        // The acceptance bar: at 60 clients on 4 workers, a heavy-tailed
+        // load mix whose elephants collide on one home shard must cost
+        // static affinity ≥ 1.3x throughput vs the load-aware dispatcher.
+        let stat = sweep_heavy_tail(UseCase::Nop, 4, 16, &[60], false);
+        let aware = sweep_heavy_tail(UseCase::Nop, 4, 16, &[60], true);
+        let (g_stat, g_aware) = (stat[0].gbps, aware[0].gbps);
+        assert!(
+            g_aware >= 1.3 * g_stat,
+            "load-aware must win ≥1.3x under the heavy tail: \
+             static {g_stat:.2} vs load-aware {g_aware:.2} Gbps"
+        );
+        assert_eq!(stat[0].migrations, 0);
+        assert!(aware[0].migrations > 0, "the win must come from migrations");
+    }
+
+    #[test]
+    fn load_aware_dispatch_keeps_uniform_fig10_numbers() {
+        // The guard-rail: under the *uniform* Fig. 10 load the dispatcher
+        // must be within 5% of static affinity.
+        let charge = measure_charge_sharded(UseCase::Nop, 1_500, 8, 16, 4);
+        let run = |load_aware: bool| {
+            let cfg = ScalabilityConfig {
+                n_clients: 60,
+                per_client_bps: 200_000_000,
+                payload_bytes: 1_500,
+                duration: SimDuration::from_millis(20),
+                n_client_machines: 5,
+                contention_per_excess_process: 0.0,
+                server_procs_per_client: 1,
+                server_single_process: false,
+                server_worker_shards: Some(4),
+                client_load_weights: None,
+                load_aware_dispatch: load_aware,
+            };
+            run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg).gbps
+        };
+        let (g_stat, g_aware) = (run(false), run(true));
+        assert!(
+            (g_aware - g_stat).abs() / g_stat < 0.05,
+            "uniform load must not regress: static {g_stat:.2} vs load-aware {g_aware:.2} Gbps"
+        );
+    }
+
+    #[test]
+    fn heavy_tail_weights_are_normalisable_and_skewed() {
+        let w = heavy_tail_weights(60);
+        assert_eq!(w.len(), 60);
+        assert!(w.iter().all(|&x| x > 0.0));
+        // Elephants sit on clients 0, 4, 8, 12 in descending order.
+        assert!(w[0] > w[4] && w[4] > w[8] && w[8] > w[12]);
+        // The four elephants (one home shard at 4 workers) carry the
+        // majority of the offered load.
+        let total: f64 = w.iter().sum();
+        let elephants = w[0] + w[4] + w[8] + w[12];
+        assert!(
+            elephants / total > 0.5,
+            "heavy tail must be heavy: {:.2}",
+            elephants / total
+        );
     }
 
     #[test]

@@ -10,8 +10,26 @@ use endbox_netsim::resource::{Link, MachineSpec};
 const REPLAY_PACKETS: usize = 2_000;
 /// Real packets pushed through the functional stack per data point.
 const MEASURE_SAMPLES: usize = 16;
-/// Packets coalesced per record on the batched datapath data points.
-pub const BATCH_SIZE: usize = 16;
+/// Default packets coalesced per record on the batched datapath data
+/// points (overridable via the `ENDBOX_BATCH_SIZE` environment variable —
+/// see [`batch_size`]; the latency-vs-throughput trade-off behind the
+/// choice is quantified by
+/// [`crate::eval::optimizations::batch_size_ablation`]).
+pub const DEFAULT_BATCH_SIZE: usize = 16;
+
+/// Parses a batch-size override; `None`/garbage/0 fall back to
+/// [`DEFAULT_BATCH_SIZE`].
+pub fn parse_batch_size(raw: Option<&str>) -> usize {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&b| b >= 1)
+        .unwrap_or(DEFAULT_BATCH_SIZE)
+}
+
+/// The batch size in force for batched eval rows: `ENDBOX_BATCH_SIZE`
+/// from the environment, or [`DEFAULT_BATCH_SIZE`].
+pub fn batch_size() -> usize {
+    parse_batch_size(std::env::var("ENDBOX_BATCH_SIZE").ok().as_deref())
+}
 
 /// One measured point.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,10 +102,11 @@ pub fn fig8() -> Vec<ThroughputPoint> {
 }
 
 /// Fig. 8 companion: the same sweep on the batched datapath
-/// ([`BATCH_SIZE`] packets per record) for the two bracketing set-ups —
+/// ([`batch_size`] packets per record) for the two bracketing set-ups —
 /// vanilla OpenVPN (record coalescing only) and EndBox SGX (record
 /// coalescing + one enclave transition per batch).
 pub fn fig8_batched() -> Vec<ThroughputPoint> {
+    let batch = batch_size();
     let mut out = Vec::new();
     for deployment in [
         Deployment::VanillaOpenVpn,
@@ -95,9 +114,9 @@ pub fn fig8_batched() -> Vec<ThroughputPoint> {
     ] {
         for payload in fig8_sizes() {
             out.push(ThroughputPoint {
-                deployment: format!("{} +batch{BATCH_SIZE}", deployment.name()),
+                deployment: format!("{} +batch{batch}", deployment.name()),
                 payload,
-                mbps: single_flow_mbps_batched(deployment, payload, BATCH_SIZE),
+                mbps: single_flow_mbps_batched(deployment, payload, batch),
             });
         }
     }
@@ -155,7 +174,7 @@ mod tests {
         // transition is the largest fixed cost.
         let single = single_flow_mbps(Deployment::EndBoxSgx(UseCase::Nop), 256);
         let batched =
-            single_flow_mbps_batched(Deployment::EndBoxSgx(UseCase::Nop), 256, BATCH_SIZE);
+            single_flow_mbps_batched(Deployment::EndBoxSgx(UseCase::Nop), 256, DEFAULT_BATCH_SIZE);
         assert!(
             batched > 1.5 * single,
             "batched={batched} single={single}: batching must amortise fixed costs"
@@ -171,6 +190,15 @@ mod tests {
             diff < 0.02,
             "batch=1 must degrade to the single path: {single} vs {batch1}"
         );
+    }
+
+    #[test]
+    fn batch_size_knob_parses_and_defaults() {
+        assert_eq!(parse_batch_size(None), DEFAULT_BATCH_SIZE);
+        assert_eq!(parse_batch_size(Some("8")), 8);
+        assert_eq!(parse_batch_size(Some(" 32 ")), 32);
+        assert_eq!(parse_batch_size(Some("0")), DEFAULT_BATCH_SIZE);
+        assert_eq!(parse_batch_size(Some("not a number")), DEFAULT_BATCH_SIZE);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use endbox_netsim::Packet;
 use endbox_sgx::attestation::{CpuIdentity, IasSimulator};
 use endbox_vpn::channel::CipherSuite;
 use endbox_vpn::handshake::HandshakeConfig;
+use endbox_vpn::shard::DispatchPolicy;
 use endbox_vpn::{PROTOCOL_V1, PROTOCOL_V2};
 use rand::SeedableRng;
 use std::net::Ipv4Addr;
@@ -43,6 +44,7 @@ pub struct ScenarioBuilder {
     suite_override: Option<CipherSuite>,
     server_click: Option<String>,
     custom_client_click: Option<String>,
+    dispatch: DispatchPolicy,
 }
 
 impl ScenarioBuilder {
@@ -87,6 +89,14 @@ impl ScenarioBuilder {
     /// one (e.g. a TLSDecrypt + IDS chain for the encrypted-DPI tests).
     pub fn custom_client_click(mut self, config: &str) -> Self {
         self.custom_client_click = Some(config.to_string());
+        self
+    }
+
+    /// Shard dispatch policy of a sharded build (default: load-aware with
+    /// bounded migration; `DispatchPolicy::Static` restores the fixed
+    /// session-id affinity baseline).
+    pub fn dispatch(mut self, dispatch: DispatchPolicy) -> Self {
+        self.dispatch = dispatch;
         self
     }
 
@@ -276,7 +286,7 @@ impl ScenarioBuilder {
     /// (the sharded server replaces that baseline).
     pub fn build_sharded(self, workers: usize) -> Result<ShardedScenario, EndBoxError> {
         let (mut setup, server_config) = self.setup()?;
-        let mut server = ShardedEndBoxServer::new(server_config, workers)?;
+        let mut server = ShardedEndBoxServer::with_dispatch(server_config, workers, self.dispatch)?;
 
         let mut clients = Vec::with_capacity(self.n_clients);
         let mut session_ids = Vec::with_capacity(self.n_clients);
@@ -365,6 +375,7 @@ impl Scenario {
             suite_override: None,
             server_click: None,
             custom_client_click: None,
+            dispatch: DispatchPolicy::default(),
         }
     }
 
@@ -381,6 +392,7 @@ impl Scenario {
             suite_override: None,
             server_click: None,
             custom_client_click: None,
+            dispatch: DispatchPolicy::default(),
         }
     }
 
@@ -709,12 +721,9 @@ impl ShardedScenario {
             slices.push(sealed.len());
             datagrams.extend(sealed.into_iter().map(|d| (idx as u64, d)));
         }
-        // Server side: one sharded dispatch for the whole interleaving.
-        let refs: Vec<(u64, &[u8])> = datagrams
-            .iter()
-            .map(|(peer, d)| (*peer, d.as_slice()))
-            .collect();
-        let results = self.server.receive_datagrams(&refs);
+        // Server side: one pipelined dispatch for the whole interleaving
+        // (ownership of the wire bytes moves into the RX stage).
+        let results = self.server.receive_datagrams(datagrams);
         // Re-split the input-ordered results back per entry.
         let mut out = Vec::with_capacity(slices.len());
         let mut cursor = results.into_iter();
@@ -734,6 +743,54 @@ impl ShardedScenario {
             out.push(delivered);
         }
         Ok(out)
+    }
+
+    /// Per-client packet counts for one round of a heavy-tailed load mix:
+    /// client `i` contributes `ceil(weights[i] * base_batch)` packets
+    /// (minimum 1, so every session stays active). With the Zipf weights
+    /// of `eval::scalability::heavy_tail_weights`, a few elephant clients
+    /// seal deep batches while the mice send single packets — the skew
+    /// the load-aware dispatcher is measured against.
+    pub fn heavy_tail_batch_sizes(weights: &[f64], base_batch: usize) -> Vec<usize> {
+        let max = weights.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+        weights
+            .iter()
+            .map(|w| ((w / max) * base_batch as f64).ceil().max(1.0) as usize)
+            .collect()
+    }
+
+    /// Drives one round of a heavy-tailed multi-client load mix: every
+    /// client seals a batch sized by its weight, and the whole skewed
+    /// interleaving goes through the server in one pipelined dispatch.
+    /// Returns the delivered packets per client.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedScenario::send_packet_batches_from_all`].
+    pub fn send_heavy_tailed_round(
+        &mut self,
+        weights: &[f64],
+        base_batch: usize,
+        payload_len: usize,
+        round: usize,
+    ) -> Result<Vec<Vec<Packet>>, EndBoxError> {
+        assert_eq!(weights.len(), self.clients.len(), "one weight per client");
+        let sizes = Self::heavy_tail_batch_sizes(weights, base_batch);
+        let payloads: Vec<Vec<Vec<u8>>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(c, &n)| {
+                (0..n)
+                    .map(|i| {
+                        let mut p = format!("ht round {round} client {c} pkt {i} ").into_bytes();
+                        p.resize(payload_len.max(p.len()), b'x');
+                        p.truncate(payload_len.max(1));
+                        p
+                    })
+                    .collect()
+            })
+            .collect();
+        self.send_batches_from_all(&payloads)
     }
 
     /// Convenience over [`ShardedScenario::send_packet_batches_from_all`]:
@@ -929,6 +986,79 @@ mod tests {
             assert_eq!(pkt.app_payload(), format!("c2c batch {i}").as_bytes());
         }
         assert_eq!(s.clients[1].stats.received, 5);
+    }
+
+    #[test]
+    fn client_ingress_reuses_pooled_buffers_like_the_server() {
+        // Ingress is now symmetric: both ends open batch records as frame
+        // handles and materialise pool-backed packets, so the client's
+        // in-enclave pool must show steady-state reuse just like the
+        // server shards' pools.
+        let mut s = Scenario::enterprise(2, UseCase::Nop).build().unwrap();
+        let sid = s.session_id(1);
+        let rounds = 6u32;
+        let per_round = 8u32;
+        for round in 0..rounds {
+            let pkts: Vec<Packet> = (0..per_round)
+                .map(|i| {
+                    Packet::tcp(
+                        Scenario::network_addr(),
+                        Scenario::client_addr(1),
+                        5_001,
+                        40_001,
+                        round * per_round + i,
+                        &[0x5a; 300],
+                    )
+                })
+                .collect();
+            let datagrams = s.server.send_batch_to_client(sid, &pkts).unwrap();
+            let mut delivered = Vec::new();
+            for d in &datagrams {
+                delivered.extend(s.clients[1].receive_datagram_batch(d).unwrap());
+            }
+            assert_eq!(delivered.len(), per_round as usize);
+            // `delivered` drops here, returning the pooled buffers.
+        }
+        let stats = s.clients[1].ingress_pool_stats();
+        assert!(
+            stats.batched_ops >= rounds as u64,
+            "one take_many per ingress batch: {stats:?}"
+        );
+        assert_eq!(
+            stats.fresh_allocs, per_round as u64,
+            "only the first round may allocate: {stats:?}"
+        );
+        assert!(
+            stats.reuse_fraction() > 0.7,
+            "steady-state ingress must recycle: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn heavy_tailed_round_skews_batches_and_triggers_migration() {
+        use endbox_vpn::shard::DispatchPolicy;
+        let mut s = Scenario::enterprise(8, UseCase::Nop)
+            .dispatch(DispatchPolicy::LoadAware {
+                imbalance_bytes: 2_000,
+                max_migrations_per_dispatch: 2,
+            })
+            .build_sharded(4)
+            .unwrap();
+        let weights = crate::eval::scalability::heavy_tail_weights(8);
+        let sizes = ShardedScenario::heavy_tail_batch_sizes(&weights, 16);
+        assert_eq!(sizes[0], 16, "the heaviest client seals a full batch");
+        assert!(sizes.iter().all(|&n| n >= 1), "mice stay active: {sizes:?}");
+        assert!(sizes[0] > sizes[1], "the mix must actually skew: {sizes:?}");
+        for round in 0..4 {
+            let delivered = s.send_heavy_tailed_round(&weights, 16, 600, round).unwrap();
+            for (c, per_client) in delivered.iter().enumerate() {
+                assert_eq!(per_client.len(), sizes[c], "round {round} client {c}");
+            }
+        }
+        assert!(
+            s.server.migrations() > 0,
+            "colliding elephants (sessions 1 and 5 on shard 0) must migrate"
+        );
     }
 
     #[test]

@@ -20,9 +20,10 @@ use endbox_vpn::handshake::HandshakeConfig;
 use endbox_vpn::ping::PingMessage;
 use endbox_vpn::proto::{Opcode, Record};
 use endbox_vpn::server::{ServerEvent, VpnServer};
-use endbox_vpn::shard::{materialize_frames, ShardEvent, ShardedVpnServer};
+use endbox_vpn::shard::{materialize_frames, DispatchPolicy, ShardEvent, ShardedVpnServer};
 use endbox_vpn::VpnError;
 use std::collections::HashMap;
+use std::thread::JoinHandle;
 
 /// Server configuration.
 #[derive(Debug)]
@@ -432,20 +433,134 @@ impl EndBoxServer {
     }
 }
 
-/// The sharded multi-worker EndBox server front-end: reassembly, record
-/// parsing and fragmentation stay on the front-end thread; everything
-/// per-session (crypto, replay windows, policy, packet materialisation
-/// from per-shard buffer pools) runs on the
-/// [`ShardedVpnServer`]'s worker threads.
+/// What the RX stage concluded about one wire datagram.
+enum RxOutcome {
+    /// More fragments pending.
+    Pending,
+    /// Reassembly failed (counted against `rejected`, like the
+    /// single-threaded server).
+    Reassembly(VpnError),
+    /// The reassembled bytes are not a valid record.
+    Malformed(VpnError),
+    /// A complete parsed record, ready for the sharded dispatch.
+    Record(Record),
+}
+
+struct RxEvent {
+    idx: u32,
+    peer: u64,
+    outcome: RxOutcome,
+}
+
+enum RxRequest {
+    /// Reassemble and parse these `(input index, peer, datagram)`
+    /// entries, in order.
+    Batch(Vec<(u32, u64, Vec<u8>)>),
+    /// Verdict for the Disconnect record the RX stage paused on:
+    /// `confirmed` tears the peer's reassembler down before any later
+    /// datagram of that peer is pushed into it.
+    Teardown { peer: u64, confirmed: bool },
+    /// Exit the RX loop.
+    Shutdown,
+}
+
+enum RxReply {
+    Event(RxEvent),
+    /// Every datagram of the current [`RxRequest::Batch`] was processed.
+    BatchDone,
+}
+
+/// The RX stage: per-peer datagram reassembly and record framing on a
+/// dedicated thread, streaming parsed records to the front-end so framing
+/// overlaps with shard crypto. Reassembly state is **pinned** here — it
+/// is per-peer, not per-session, and never migrates with a session.
+fn rx_loop(
+    rx: crossbeam::channel::Receiver<RxRequest>,
+    tx: crossbeam::channel::UnboundedSender<RxReply>,
+    meter: CycleMeter,
+    cost: CostModel,
+) {
+    let mut reassemblers: HashMap<u64, Reassembler> = HashMap::new();
+    while let Ok(request) = rx.recv() {
+        match request {
+            RxRequest::Batch(datagrams) => {
+                for (idx, peer, datagram) in datagrams {
+                    meter.add(cost.vpn_server_per_fragment);
+                    let reasm = reassemblers.entry(peer).or_default();
+                    let outcome = match reasm.push(&datagram) {
+                        Err(e) => RxOutcome::Reassembly(e),
+                        Ok(None) => RxOutcome::Pending,
+                        Ok(Some(bytes)) => match Record::from_bytes(&bytes) {
+                            Err(e) => RxOutcome::Malformed(e),
+                            Ok(record) => RxOutcome::Record(record),
+                        },
+                    };
+                    let disconnect = matches!(&outcome, RxOutcome::Record(r)
+                        if r.opcode == Opcode::Disconnect);
+                    if tx
+                        .send(RxReply::Event(RxEvent { idx, peer, outcome }))
+                        .is_err()
+                    {
+                        return;
+                    }
+                    if disconnect {
+                        // A *successful* disconnect tears down the peer's
+                        // reassembler, and that must happen before any
+                        // later datagram of the same peer is pushed into
+                        // it — exactly the single-threaded sequencing.
+                        // Pause until the front-end reports the verdict.
+                        match rx.recv() {
+                            Ok(RxRequest::Teardown { peer, confirmed }) => {
+                                if confirmed {
+                                    reassemblers.remove(&peer);
+                                }
+                            }
+                            _ => return,
+                        }
+                    }
+                }
+                if tx.send(RxReply::BatchDone).is_err() {
+                    return;
+                }
+            }
+            // A stray teardown outside a pause cannot occur in the
+            // request protocol; ignore it defensively.
+            RxRequest::Teardown { .. } => {}
+            RxRequest::Shutdown => return,
+        }
+    }
+}
+
+/// Records accumulated from the RX stage before a sharded dispatch is cut.
+/// Small enough that shard crypto starts while the RX stage still parses
+/// the tail of a large receive batch; large enough to amortise the
+/// channel round-trip.
+const RX_DISPATCH_CHUNK: usize = 32;
+
+/// The sharded multi-worker EndBox server front-end, now a **staged
+/// pipeline**:
+///
+/// 1. **RX stage** (dedicated thread): per-peer datagram reassembly and
+///    record framing ([`rx_loop`]). Reassembly state is pinned here and
+///    never migrates.
+/// 2. **Dispatch** (front-end thread): parsed records are grouped and
+///    handed to the [`ShardedVpnServer`] in chunks of
+///    [`RX_DISPATCH_CHUNK`], so shard crypto for early records overlaps
+///    with RX framing of later ones.
+/// 3. **Workers**: everything per-session (crypto, replay windows,
+///    policy, packet materialisation from per-shard buffer pools) runs on
+///    the shard threads, placed by the configured [`DispatchPolicy`].
 ///
 /// # Re-merge ordering guarantee
 ///
 /// [`ShardedEndBoxServer::receive_datagrams`] returns exactly one
 /// [`Delivery`] result per input datagram, **in input order**, for any
-/// worker count and thread schedule; per-session record order is
-/// preserved by session-id-affine routing plus per-shard FIFO (see
-/// `endbox_vpn::shard`). With `workers == 1` the observable behaviour is
-/// identical to [`EndBoxServer`] — property-tested in
+/// worker count, chunking and thread schedule; per-session record order
+/// is preserved by single-owner routing plus per-shard FIFO (see
+/// `endbox_vpn::shard`), and a Disconnect pauses the RX stage until its
+/// verdict is known so reassembler teardown sequences exactly like the
+/// single-threaded server. With `workers == 1` the observable behaviour
+/// is identical to [`EndBoxServer`] — property-tested in
 /// `tests/shard_parity.rs`.
 ///
 /// The sharded server intentionally has no server-side Click instance:
@@ -453,7 +568,9 @@ impl EndBoxServer {
 /// baseline, which the sharded EndBox deployment replaces.
 pub struct ShardedEndBoxServer {
     vpn: ShardedVpnServer,
-    reassemblers: HashMap<u64, Reassembler>,
+    rx_tx: crossbeam::channel::UnboundedSender<RxRequest>,
+    rx_rx: crossbeam::channel::Receiver<RxReply>,
+    rx_join: Option<JoinHandle<()>>,
     io: ServerIo,
     delivered: u64,
     rejected: u64,
@@ -470,7 +587,8 @@ impl std::fmt::Debug for ShardedEndBoxServer {
 }
 
 impl ShardedEndBoxServer {
-    /// Builds the server with `workers` shard threads (minimum 1).
+    /// Builds the server with `workers` shard threads (minimum 1) and the
+    /// default load-aware dispatch policy.
     ///
     /// # Errors
     ///
@@ -480,22 +598,45 @@ impl ShardedEndBoxServer {
         cfg: EndBoxServerConfig,
         workers: usize,
     ) -> Result<ShardedEndBoxServer, EndBoxError> {
+        Self::with_dispatch(cfg, workers, DispatchPolicy::default())
+    }
+
+    /// Builds the server with an explicit [`DispatchPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedEndBoxServer::new`].
+    pub fn with_dispatch(
+        cfg: EndBoxServerConfig,
+        workers: usize,
+        dispatch: DispatchPolicy,
+    ) -> Result<ShardedEndBoxServer, EndBoxError> {
         if cfg.server_click.is_some() {
             return Err(EndBoxError::NotReady(
                 "sharded server has no server-side Click",
             ));
         }
-        let vpn = ShardedVpnServer::new(
+        let vpn = ShardedVpnServer::with_dispatch(
             cfg.handshake,
             cfg.suite,
             cfg.meter.clone(),
             cfg.cost.clone(),
             cfg.rng_seed,
             workers,
+            dispatch,
         );
+        let (rx_tx, rx_requests) = crossbeam::channel::unbounded();
+        let (rx_replies_tx, rx_rx) = crossbeam::channel::unbounded();
+        let (rx_meter, rx_cost) = (cfg.meter.clone(), cfg.cost.clone());
+        let rx_join = std::thread::Builder::new()
+            .name("endbox-rx".into())
+            .spawn(move || rx_loop(rx_requests, rx_replies_tx, rx_meter, rx_cost))
+            .expect("spawn RX stage");
         Ok(ShardedEndBoxServer {
             vpn,
-            reassemblers: HashMap::new(),
+            rx_tx,
+            rx_rx,
+            rx_join: Some(rx_join),
             io: ServerIo::new(cfg.cost, cfg.meter, cfg.clock),
             delivered: 0,
             rejected: 0,
@@ -507,8 +648,19 @@ impl ShardedEndBoxServer {
         self.vpn.worker_count()
     }
 
+    /// The dispatch policy in force.
+    pub fn dispatch_policy(&self) -> DispatchPolicy {
+        self.vpn.dispatch_policy()
+    }
+
+    /// Sessions the load-aware dispatcher migrated so far.
+    pub fn migrations(&self) -> u64 {
+        self.vpn.migrations()
+    }
+
     /// Receives one wire datagram (the single-datagram convenience over
-    /// [`ShardedEndBoxServer::receive_datagrams`]).
+    /// [`ShardedEndBoxServer::receive_datagrams`]; the copy it makes is
+    /// what handing the datagram to the RX stage costs on this path).
     ///
     /// # Errors
     ///
@@ -518,84 +670,105 @@ impl ShardedEndBoxServer {
         peer_id: u64,
         datagram: &[u8],
     ) -> Result<Delivery, EndBoxError> {
-        self.receive_datagrams(&[(peer_id, datagram)])
+        self.receive_datagrams(vec![(peer_id, datagram.to_vec())])
             .pop()
             .expect("one result for one datagram")
     }
 
     /// Receives a whole batch of wire datagrams — from any mix of clients
-    /// — in one sharded dispatch, returning one result per datagram in
-    /// input order (the re-merge guarantee above).
+    /// — through the staged pipeline, returning one result per datagram
+    /// in input order (the re-merge guarantee above). Takes the datagrams
+    /// by value: ownership moves into the RX stage, so the ingress path
+    /// performs no wire-level copy.
     pub fn receive_datagrams(
         &mut self,
-        datagrams: &[(u64, &[u8])],
+        datagrams: Vec<(u64, Vec<u8>)>,
     ) -> Vec<Result<Delivery, EndBoxError>> {
         let n = datagrams.len();
+        if n == 0 {
+            return Vec::new();
+        }
         let mut results: Vec<Option<Result<Delivery, EndBoxError>>> =
             (0..n).map(|_| None).collect();
-        // Phase 1 (front-end): per-peer reassembly and record parsing —
-        // untrusted framing, no session state.
-        let mut records = Vec::new();
-        let mut origins = Vec::new();
-        for (i, (peer_id, datagram)) in datagrams.iter().enumerate() {
-            self.io.charge_rx_fragment();
-            let reasm = self.reassemblers.entry(*peer_id).or_default();
-            match reasm.push(datagram) {
-                Err(e) => {
+        // Stage 1: ship the whole receive batch to the RX thread; it
+        // streams outcomes back while we dispatch completed records.
+        let indexed: Vec<(u32, u64, Vec<u8>)> = datagrams
+            .into_iter()
+            .enumerate()
+            .map(|(i, (peer, d))| (i as u32, peer, d))
+            .collect();
+        self.rx_tx
+            .send(RxRequest::Batch(indexed))
+            .expect("RX stage alive");
+        // Stages 2+3: cut a sharded dispatch whenever a chunk of records
+        // accumulated (shard crypto overlaps RX framing of the tail) or a
+        // Disconnect needs its verdict before reassembly may continue.
+        let mut pending: Vec<(u32, Record)> = Vec::new();
+        // `BatchDone` (the only other reply) ends the receive loop.
+        while let RxReply::Event(RxEvent { idx, peer, outcome }) =
+            self.rx_rx.recv().expect("RX stage alive")
+        {
+            match outcome {
+                RxOutcome::Pending => results[idx as usize] = Some(Ok(Delivery::Pending)),
+                RxOutcome::Reassembly(e) => {
                     self.rejected += 1;
-                    results[i] = Some(Err(EndBoxError::Vpn(e)));
+                    results[idx as usize] = Some(Err(EndBoxError::Vpn(e)));
                 }
-                Ok(None) => results[i] = Some(Ok(Delivery::Pending)),
-                Ok(Some(bytes)) => match Record::from_bytes(&bytes) {
-                    Err(e) => results[i] = Some(Err(EndBoxError::Vpn(e))),
-                    Ok(record) => {
-                        let barrier = record.opcode == Opcode::Disconnect;
-                        records.push(record);
-                        origins.push(i);
-                        if barrier {
-                            // A *successful* disconnect tears down the
-                            // peer's reassembler; that must happen before
-                            // any later datagram of the same peer is
-                            // pushed into it, exactly as on the
-                            // single-threaded server. Dispatch everything
-                            // queued so far, then resume reassembly.
-                            self.dispatch(&mut records, &mut origins, datagrams, &mut results);
-                        }
+                RxOutcome::Malformed(e) => results[idx as usize] = Some(Err(EndBoxError::Vpn(e))),
+                RxOutcome::Record(record) => {
+                    let disconnect = record.opcode == Opcode::Disconnect;
+                    pending.push((idx, record));
+                    if disconnect {
+                        // Drain the pipeline up to and including the
+                        // Disconnect, then release the paused RX stage
+                        // with the verdict.
+                        self.dispatch_pending(&mut pending, &mut results);
+                        let confirmed = matches!(
+                            results[idx as usize],
+                            Some(Ok(Delivery::Disconnected { .. }))
+                        );
+                        self.rx_tx
+                            .send(RxRequest::Teardown { peer, confirmed })
+                            .expect("RX stage alive");
+                    } else if pending.len() >= RX_DISPATCH_CHUNK {
+                        self.dispatch_pending(&mut pending, &mut results);
                     }
-                },
+                }
             }
         }
-        self.dispatch(&mut records, &mut origins, datagrams, &mut results);
+        self.dispatch_pending(&mut pending, &mut results);
         results
             .into_iter()
             .map(|r| r.expect("every datagram produces a result"))
             .collect()
     }
 
-    /// Phases 2+3: one sharded dispatch for the queued records, then the
+    /// One sharded dispatch for the queued records, then the
     /// deterministic re-merge back into input order.
-    fn dispatch(
+    fn dispatch_pending(
         &mut self,
-        records: &mut Vec<Record>,
-        origins: &mut Vec<usize>,
-        datagrams: &[(u64, &[u8])],
+        pending: &mut Vec<(u32, Record)>,
         results: &mut [Option<Result<Delivery, EndBoxError>>],
     ) {
-        if records.is_empty() {
+        if pending.is_empty() {
             return;
         }
         let now_secs = self.io.now_secs();
-        let events = self.vpn.handle_records(std::mem::take(records), now_secs);
-        for (slot, event) in origins.drain(..).zip(events) {
-            let peer_id = datagrams[slot].0;
-            results[slot] = Some(self.finish_event(event, peer_id));
+        let mut origins = Vec::with_capacity(pending.len());
+        let mut records = Vec::with_capacity(pending.len());
+        for (idx, record) in pending.drain(..) {
+            origins.push(idx);
+            records.push(record);
+        }
+        let events = self.vpn.handle_records(records, now_secs);
+        for (idx, event) in origins.into_iter().zip(events) {
+            results[idx as usize] = Some(self.finish_event(event));
         }
     }
 
     fn finish_event(
         &mut self,
         event: Result<ShardEvent, VpnError>,
-        peer_id: u64,
     ) -> Result<Delivery, EndBoxError> {
         let event = event.map_err(|e| {
             self.rejected += 1;
@@ -633,10 +806,9 @@ impl ShardedEndBoxServer {
                 session_id,
                 message,
             }),
-            ShardEvent::Disconnected { session_id } => {
-                self.reassemblers.remove(&peer_id);
-                Ok(Delivery::Disconnected { session_id })
-            }
+            // Reassembler teardown is the RX stage's job (it owns the
+            // per-peer state and is paused awaiting the verdict).
+            ShardEvent::Disconnected { session_id } => Ok(Delivery::Disconnected { session_id }),
         }
     }
 
@@ -722,5 +894,14 @@ impl ShardedEndBoxServer {
     /// (delivered, rejected) counters.
     pub fn counters(&self) -> (u64, u64) {
         (self.delivered, self.rejected)
+    }
+}
+
+impl Drop for ShardedEndBoxServer {
+    fn drop(&mut self) {
+        let _ = self.rx_tx.send(RxRequest::Shutdown);
+        if let Some(join) = self.rx_join.take() {
+            let _ = join.join();
+        }
     }
 }

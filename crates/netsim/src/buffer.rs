@@ -37,6 +37,23 @@ pub struct PoolStats {
     pub batched_ops: u64,
 }
 
+impl PoolStats {
+    /// Buffers handed out in total (fresh + reused).
+    pub fn handed_out(&self) -> u64 {
+        self.fresh_allocs + self.reused
+    }
+
+    /// Fraction of hand-outs served from the free list, in [0, 1] —
+    /// the steady-state figure of merit for a recycling datapath.
+    pub fn reuse_fraction(&self) -> f64 {
+        if self.handed_out() == 0 {
+            0.0
+        } else {
+            self.reused as f64 / self.handed_out() as f64
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct PoolInner {
     free: Vec<Vec<u8>>,

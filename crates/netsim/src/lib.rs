@@ -40,7 +40,7 @@ pub mod stats;
 pub mod time;
 pub mod traffic;
 
-pub use buffer::{recycle_packets, BufferPool, PacketBatch};
+pub use buffer::{recycle_packets, BufferPool, PacketBatch, PoolStats};
 pub use cost::{CostModel, CycleMeter};
 pub use packet::Packet;
 pub use time::SimTime;

@@ -122,7 +122,26 @@ pub struct ScalabilityConfig {
     /// `None`: the paper's legacy one-process-per-client model, governed
     /// by `server_procs_per_client` / `server_single_process`.
     pub server_worker_shards: Option<usize>,
+    /// `Some(w)`: relative offered-load weight per client (heavy-tailed
+    /// mixes). Weights are normalised so the *aggregate* offered load
+    /// stays `n_clients * per_client_bps` — a skewed mix is directly
+    /// comparable to the uniform one. `None`: every client offers
+    /// `per_client_bps` (the paper's uniform setup).
+    pub client_load_weights: Option<Vec<f64>>,
+    /// With `server_worker_shards`, dispatch sessions to worker flows
+    /// load-awarely: a session migrates to the least-backlogged shard when
+    /// its current shard's backlog exceeds the minimum by more than
+    /// [`MIGRATION_BACKLOG_JOBS`] jobs' worth of service time (bounded
+    /// migration — the timing-layer model of the real
+    /// `ShardedVpnServer`'s load-aware dispatcher). `false`: fixed
+    /// session-id affinity (`client mod workers`).
+    pub load_aware_dispatch: bool,
 }
+
+/// Backlog gap (in per-packet server jobs) that triggers a session
+/// migration under `load_aware_dispatch`. Small enough to react within a
+/// measurement window, large enough that uniform load never migrates.
+pub const MIGRATION_BACKLOG_JOBS: u64 = 16;
 
 impl Default for ScalabilityConfig {
     fn default() -> Self {
@@ -136,6 +155,8 @@ impl Default for ScalabilityConfig {
             server_procs_per_client: 1,
             server_single_process: false,
             server_worker_shards: None,
+            client_load_weights: None,
+            load_aware_dispatch: false,
         }
     }
 }
@@ -151,6 +172,9 @@ pub struct ScalabilityResult {
     pub client_cpu: f64,
     /// Fraction of offered packets delivered within the window.
     pub delivery_ratio: f64,
+    /// Session-to-shard migrations performed by the load-aware dispatcher
+    /// (always 0 with static affinity).
+    pub migrations: u64,
 }
 
 /// Runs the Fig. 10 experiment: `n_clients` paced flows of
@@ -176,23 +200,73 @@ pub fn run_scalability(
     };
     let excess = n_procs.saturating_sub(hw_threads);
     server.set_contention(1.0 + excess as f64 * cfg.contention_per_excess_process);
+    if let Some(w) = cfg.server_worker_shards {
+        // Each worker shard is ONE thread: its jobs run serially on its
+        // own lane and a queued packet does not occupy a core while it
+        // waits (shard queues live in channels, not on the run queue).
+        // When shards outnumber the execution slots, the lanes fair-share
+        // the machine.
+        let slots = server.spec().slots();
+        if w.max(1) > slots {
+            server.set_contention(w.max(1) as f64 / slots as f64);
+        }
+    }
+
+    // Per-client offered rates: uniform, or weighted by the (normalised)
+    // load mix so the aggregate offered load is identical either way.
+    let weights: Vec<f64> = match &cfg.client_load_weights {
+        None => vec![1.0; cfg.n_clients],
+        Some(w) => {
+            assert_eq!(w.len(), cfg.n_clients, "one weight per client");
+            let sum: f64 = w.iter().sum();
+            w.iter().map(|x| x * cfg.n_clients as f64 / sum).collect()
+        }
+    };
 
     let mut client_machines: Vec<Machine> = (0..cfg.n_client_machines)
-        .map(|_| Machine::new(client_spec.clone()))
+        .map(|m| {
+            let mut machine = Machine::new(client_spec.clone());
+            // Client lanes are serial (one single-threaded VPN process per
+            // client, scheduled below with `run_job_serial`), so queued
+            // packets never reserve execution slots — but the machine's
+            // aggregate capacity still has to bind. Expected duty per
+            // lane is its offered packet rate times the per-packet service
+            // time, capped at one core (a serial lane cannot use more);
+            // when the machine's summed duty exceeds its execution slots,
+            // the lanes fair-share it.
+            let service_secs = charge.client_cycles as f64 / machine.spec().freq_hz as f64;
+            let duty: f64 = (0..cfg.n_clients)
+                .filter(|c| c % cfg.n_client_machines == m)
+                .map(|c| {
+                    let pps =
+                        cfg.per_client_bps as f64 * weights[c] / (cfg.payload_bytes as f64 * 8.0);
+                    (pps * service_secs).min(1.0)
+                })
+                .sum();
+            let slots = machine.spec().slots() as f64;
+            if duty > slots {
+                machine.set_contention(duty / slots);
+            }
+            machine
+        })
         .collect();
     let mut link = Link::ten_gbps();
 
-    let interval =
-        SimDuration::from_secs_f64(cfg.payload_bytes as f64 * 8.0 / cfg.per_client_bps as f64);
-    let packets_per_client = (cfg.duration.as_nanos() / interval.as_nanos().max(1)) as usize;
-
     // Build the globally time-ordered arrival schedule. Clients are offset
-    // by a fraction of the interval so arrivals interleave.
-    let mut events: Vec<(SimTime, usize)> = Vec::with_capacity(packets_per_client * cfg.n_clients);
-    for c in 0..cfg.n_clients {
+    // by a fraction of their interval so arrivals interleave.
+    let mut events: Vec<(SimTime, usize)> = Vec::new();
+    let mut offered = 0u64;
+    for (c, weight) in weights.iter().enumerate() {
+        let rate_bps = cfg.per_client_bps as f64 * weight;
+        if rate_bps <= 0.0 {
+            continue;
+        }
+        let interval = SimDuration::from_secs_f64(cfg.payload_bytes as f64 * 8.0 / rate_bps);
+        let packets = (cfg.duration.as_nanos() / interval.as_nanos().max(1)) as usize;
+        offered += packets as u64;
         let offset =
             SimDuration::from_nanos(interval.as_nanos() * c as u64 / cfg.n_clients.max(1) as u64);
-        for i in 0..packets_per_client {
+        for i in 0..packets {
             let t =
                 SimTime::ZERO + offset + SimDuration::from_nanos(interval.as_nanos() * i as u64);
             events.push((t, c));
@@ -206,27 +280,73 @@ pub fn run_scalability(
     let mut delivered = 0u64;
     let deadline = SimTime::ZERO + cfg.duration;
 
+    // Current session-to-shard assignment: static affinity to start with
+    // (the real dispatcher also places new sessions at `(sid-1) mod N`),
+    // rebalanced on the fly when load-aware dispatch is on.
+    let workers = cfg.server_worker_shards.unwrap_or(0).max(1);
+    let mut assignment: Vec<usize> = (0..cfg.n_clients).map(|c| c % workers).collect();
+    let mut migrations = 0u64;
+    let migration_threshold = SimDuration::from_secs_f64(
+        MIGRATION_BACKLOG_JOBS as f64 * charge.server_cycles as f64 / server.spec().freq_hz as f64,
+    );
+
+    // Client stage: per-client serial lane — one single-threaded VPN
+    // process per client. A backlogged client (e.g. a heavy-tailed
+    // elephant) is capped at one core's throughput, but its *queued*
+    // packets must not reserve execution slots and starve the other
+    // clients sharing the machine.
+    let mut wire_events: Vec<(SimTime, usize)> = Vec::with_capacity(events.len());
     for (arrival, c) in events {
         let machine = &mut client_machines[c % cfg.n_client_machines];
-        let done_client = machine.run_job_flow(arrival, charge.client_cycles, &mut client_flows[c]);
+        let done_client =
+            machine.run_job_serial(arrival, charge.client_cycles, &mut client_flows[c]);
         if charge.dropped {
             continue;
         }
+        wire_events.push((done_client, c));
+    }
+    // Wire + server stages, in the order packets actually hit the wire
+    // (the link serialises real transmit instants; a client whose queue
+    // delays its packets must not inflate earlier transmissions). Sorting
+    // is stable per client because each client lane is serial.
+    wire_events.sort_unstable();
+
+    for (done_client, c) in wire_events {
         let frag_bytes = charge.wire_bytes / charge.fragments.max(1);
         let mut arrived = done_client;
         for _ in 0..charge.fragments.max(1) {
             arrived = link.transmit(done_client, frag_bytes);
         }
-        // Session-id-affine shard assignment mirrors the real sharded
-        // server's routing: client c's session always lands on the same
-        // worker flow, so per-session ordering is a serial watermark.
-        let flow_idx = match cfg.server_worker_shards {
-            Some(w) => c % w.max(1),
-            None if cfg.server_single_process => 0,
-            None => c,
+        // Shard assignment mirrors the real sharded server's routing:
+        // client c's session lands on exactly one worker flow at a time,
+        // so per-session ordering stays a serial watermark. Load-aware
+        // dispatch migrates a session (watermark and all) when its shard's
+        // backlog exceeds the least-loaded shard's by the threshold.
+        let done_server = match cfg.server_worker_shards {
+            Some(w) => {
+                let w = w.max(1);
+                let flow_idx = if cfg.load_aware_dispatch && w > 1 {
+                    let cur = assignment[c];
+                    let backlog = |s: usize| server_flows[s].saturating_sub(arrived);
+                    let best = (0..w).min_by_key(|&s| backlog(s)).unwrap_or(cur);
+                    if backlog(cur) > backlog(best) + migration_threshold {
+                        assignment[c] = best;
+                        migrations += 1;
+                    }
+                    assignment[c]
+                } else {
+                    c % w
+                };
+                // Serial lane per shard thread (see the contention set-up
+                // above): queued packets wait in the shard's channel, so
+                // they must not reserve execution slots ahead of time.
+                server.run_job_serial(arrived, charge.server_cycles, &mut server_flows[flow_idx])
+            }
+            None if cfg.server_single_process => {
+                server.run_job_flow(arrived, charge.server_cycles, &mut server_flows[0])
+            }
+            None => server.run_job_flow(arrived, charge.server_cycles, &mut server_flows[c]),
         };
-        let done_server =
-            server.run_job_flow(arrived, charge.server_cycles, &mut server_flows[flow_idx]);
         // Only packets completing within the window count towards
         // steady-state throughput (a saturated server accumulates backlog).
         if done_server <= deadline {
@@ -236,7 +356,6 @@ pub fn run_scalability(
     }
 
     let elapsed = cfg.duration;
-    let offered = (packets_per_client * cfg.n_clients) as u64;
     ScalabilityResult {
         gbps: delivered_bits as f64 / elapsed.as_secs_f64() / 1e9,
         server_cpu: server.utilisation(elapsed),
@@ -249,6 +368,7 @@ pub fn run_scalability(
         } else {
             delivered as f64 / offered as f64
         },
+        migrations,
     }
 }
 
@@ -456,6 +576,86 @@ mod tests {
             &mk(None, true),
         );
         assert_eq!(sharded, single, "1 worker == the single-process model");
+    }
+
+    #[test]
+    fn uniform_weights_match_unweighted_run() {
+        let base = ScalabilityConfig {
+            n_clients: 12,
+            duration: SimDuration::from_millis(20),
+            server_worker_shards: Some(4),
+            ..ScalabilityConfig::default()
+        };
+        let weighted = ScalabilityConfig {
+            client_load_weights: Some(vec![3.0; 12]), // uniform, just scaled
+            ..base.clone()
+        };
+        let c = charge(1500, 20_000, 29_000);
+        let a = run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), c, &base);
+        let b = run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), c, &weighted);
+        assert_eq!(a, b, "normalised uniform weights are a no-op");
+    }
+
+    #[test]
+    fn load_aware_dispatch_recovers_a_skewed_shard() {
+        // Elephants at clients 0, 4, 8, 12 all map to shard 0 under
+        // static `c mod 4` affinity; the hot shard (a serial flow capped
+        // at one core) saturates while the others idle. Load-aware
+        // dispatch migrates sessions off the backlog.
+        let n = 16;
+        let mut weights = vec![0.2; n];
+        for c in (0..n).step_by(4) {
+            weights[c] = 3.0;
+        }
+        let mk = |load_aware| ScalabilityConfig {
+            n_clients: n,
+            duration: SimDuration::from_millis(20),
+            server_worker_shards: Some(4),
+            client_load_weights: Some(weights.clone()),
+            load_aware_dispatch: load_aware,
+            ..ScalabilityConfig::default()
+        };
+        let c = charge(1500, 20_000, 60_000);
+        let stat = run_scalability(
+            MachineSpec::class_a(),
+            MachineSpec::class_b(),
+            c,
+            &mk(false),
+        );
+        let aware = run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), c, &mk(true));
+        assert_eq!(stat.migrations, 0);
+        assert!(aware.migrations > 0, "skew must trigger migrations");
+        assert!(
+            aware.gbps >= 1.3 * stat.gbps,
+            "load-aware must recover the hot shard: static {:.2} vs aware {:.2} Gbps",
+            stat.gbps,
+            aware.gbps
+        );
+    }
+
+    #[test]
+    fn load_aware_dispatch_is_a_noop_under_uniform_load() {
+        let mk = |load_aware| ScalabilityConfig {
+            n_clients: 16,
+            duration: SimDuration::from_millis(20),
+            server_worker_shards: Some(4),
+            load_aware_dispatch: load_aware,
+            ..ScalabilityConfig::default()
+        };
+        let c = charge(1500, 20_000, 29_000);
+        let stat = run_scalability(
+            MachineSpec::class_a(),
+            MachineSpec::class_b(),
+            c,
+            &mk(false),
+        );
+        let aware = run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), c, &mk(true));
+        assert!(
+            (aware.gbps - stat.gbps).abs() / stat.gbps < 0.05,
+            "uniform load must not regress: {} vs {}",
+            stat.gbps,
+            aware.gbps
+        );
     }
 
     #[test]

@@ -123,8 +123,9 @@ impl BatchFrames {
         self.ranges.iter().map(|r| r.end - r.start).sum()
     }
 
-    /// Copies every frame out into owned vectors (the legacy
-    /// [`DataChannel::open_batch`] shape).
+    /// Copies every frame out into owned vectors (test/diagnostic
+    /// convenience; the datapath materialises straight from the frame
+    /// slices instead).
     pub fn to_vecs(&self) -> Vec<Vec<u8>> {
         self.iter().map(<[u8]>::to_vec).collect()
     }
@@ -292,17 +293,6 @@ impl DataChannel {
         Ok(BatchFrames { blob, ranges })
     }
 
-    /// Opens a [`Opcode::DataBatch`] record, copying the packets out in
-    /// batch order. Prefer [`DataChannel::open_batch_frames`] on hot paths
-    /// — it skips the per-frame copy this method performs.
-    ///
-    /// # Errors
-    ///
-    /// See [`DataChannel::open_batch_frames`].
-    pub fn open_batch(&mut self, record: &Record) -> Result<Vec<Vec<u8>>, VpnError> {
-        Ok(self.open_batch_frames(record)?.to_vecs())
-    }
-
     /// Number of records sealed so far.
     pub fn sealed_count(&self) -> u64 {
         self.next_send_id - 1
@@ -458,7 +448,11 @@ mod tests {
             let payloads: Vec<&[u8]> = vec![b"first packet", b"", b"third tunnelled packet"];
             let rec = c.seal_batch(7, &payloads);
             assert_eq!(rec.opcode, Opcode::DataBatch);
-            assert_eq!(s.open_batch(&rec).unwrap(), payloads, "{suite:?}");
+            assert_eq!(
+                s.open_batch_frames(&rec).unwrap().to_vecs(),
+                payloads,
+                "{suite:?}"
+            );
         }
     }
 
@@ -506,13 +500,16 @@ mod tests {
         let (mut c, mut s) = pair(CipherSuite::Aes128CbcHmac);
         let rec = c.seal(Opcode::Data, 1, b"plain data record");
         assert!(
-            s.open_batch(&rec).is_err(),
+            s.open_batch_frames(&rec).is_err(),
             "plain Data record is not a batch"
         );
 
         let mut rec = c.seal_batch(1, &[b"aaaa", b"bbbb"]);
         rec.payload[9] ^= 1;
-        assert_eq!(s.open_batch(&rec), Err(VpnError::AuthenticationFailed));
+        assert_eq!(
+            s.open_batch_frames(&rec).unwrap_err(),
+            VpnError::AuthenticationFailed
+        );
     }
 
     #[test]

@@ -19,15 +19,25 @@
 //!
 //! # Routing invariants
 //!
-//! 1. **Session-id affinity.** Session `s` is owned by shard
-//!    `(s - 1) mod N` forever. Session ids are allocated densely from 1,
-//!    so consecutive sessions round-robin across shards. Every record for
-//!    a session is processed by its owning shard, which is what makes
-//!    per-session replay windows and channel state single-writer without
-//!    locks.
+//! 1. **Single-owner sessions.** Session `s` is owned by exactly one
+//!    shard at any instant. Initial placement is the *home shard*
+//!    `(s - 1) mod N` (session ids are allocated densely from 1, so
+//!    consecutive sessions round-robin across shards). Under
+//!    [`DispatchPolicy::LoadAware`] the dispatcher may *migrate* a
+//!    session to another shard, but only at a dispatch boundary and via
+//!    an explicit extract/install round-trip, so every record for a
+//!    session is still processed by its (current) owning shard — which is
+//!    what keeps per-session replay windows and channel state
+//!    single-writer without locks. The replay window and channel state
+//!    travel inside the [`ServerSession`] when it migrates; per-peer
+//!    reassembly state never lives on a shard (it is pinned to the RX
+//!    front-end) and never migrates.
 //! 2. **Per-shard FIFO.** Each worker processes its requests in the order
-//!    the front-end sent them. Combined with affinity this preserves the
-//!    per-session record order of the single-threaded server exactly.
+//!    the front-end sent them. Combined with single-owner routing and
+//!    boundary-only migration this preserves the per-session record order
+//!    of the single-threaded server exactly: the extract round-trip
+//!    blocks until the old shard drained every earlier record of the
+//!    session, and the install is enqueued before any later one.
 //! 3. **Handshake serialisation.** Handshakes mutate front-end state (the
 //!    RNG and the session-id allocator), so [`ShardedVpnServer`] flushes
 //!    all outstanding shard work before processing one. Session-id and
@@ -44,6 +54,20 @@
 //! observationally equivalent to the single-threaded server — byte-equal
 //! emissions, identical replay/policy verdicts — which is property-tested
 //! in `tests/shard_parity.rs` for N ∈ {1, 2, 4, 8}.
+//!
+//! # Load-aware dispatch
+//!
+//! Static affinity keeps shards independent, but a handful of heavy
+//! sessions whose ids collide modulo N can saturate one shard while the
+//! others idle. [`DispatchPolicy::LoadAware`] therefore keeps an
+//! exponentially-weighted moving average of dispatched bytes per shard
+//! and per session; when the hottest shard's EWMA exceeds the coldest's
+//! by more than the configured imbalance threshold, the dispatcher
+//! migrates the heaviest movable session from hot to cold (bounded per
+//! dispatch). Because migration only changes *which* shard processes a
+//! session — never the order of its records, nor any verdict — the
+//! load-aware server stays byte-identical to the single-threaded one;
+//! the parity property tests run under both policies.
 
 use crate::channel::{BatchFrames, CipherSuite, DataChannel};
 use crate::error::VpnError;
@@ -76,6 +100,48 @@ pub(crate) struct ConfigPolicy {
     pub(crate) grace_deadline_secs: u64,
     pub(crate) grace_period_secs: u32,
 }
+
+/// How the front-end assigns sessions (and their traffic) to shards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DispatchPolicy {
+    /// Fixed session-id affinity: session `s` stays on its home shard
+    /// `(s - 1) mod N` forever (the PR 2 behaviour).
+    Static,
+    /// Home-shard initial placement plus bounded migration: when the
+    /// hottest shard's load EWMA exceeds the coldest's by more than
+    /// `imbalance_bytes`, up to `max_migrations_per_dispatch` heavy
+    /// sessions move hot → cold at the next dispatch boundary.
+    LoadAware {
+        /// EWMA byte gap between the hottest and coldest shard that
+        /// triggers a migration.
+        imbalance_bytes: u64,
+        /// Migration budget per dispatch (bounds the extract/install
+        /// round-trips a single batch can spend).
+        max_migrations_per_dispatch: usize,
+    },
+}
+
+impl DispatchPolicy {
+    /// The default load-aware configuration: react to a sustained
+    /// imbalance of a dozen MTU-sized packets, at most two migrations per
+    /// dispatch.
+    pub fn load_aware() -> Self {
+        DispatchPolicy::LoadAware {
+            imbalance_bytes: 16 * 1_500,
+            max_migrations_per_dispatch: 2,
+        }
+    }
+}
+
+impl Default for DispatchPolicy {
+    fn default() -> Self {
+        DispatchPolicy::load_aware()
+    }
+}
+
+/// Decay factor of the per-shard / per-session load EWMAs (the weight of
+/// the newest dispatch).
+const LOAD_EWMA_ALPHA: f64 = 0.5;
 
 /// What a shard produced for one input record: the packet-level
 /// deliveries of the sharded datapath (handshake results are produced by
@@ -201,6 +267,12 @@ impl VpnShard {
             .remove(&session_id)
             .map(|_| ())
             .ok_or(VpnError::UnknownSession(session_id))
+    }
+
+    /// Detaches a session (replay window and channel state included) so
+    /// the dispatcher can install it on another shard.
+    pub fn extract(&mut self, session_id: u64) -> Option<ServerSession> {
+        self.sessions.remove(&session_id)
     }
 
     /// Looks up a session.
@@ -466,6 +538,8 @@ enum ShardRequest {
     },
     /// Snapshot one session.
     Query { seq: u64, session_id: u64 },
+    /// Detach a session so it can migrate to another shard.
+    Extract { seq: u64, session_id: u64 },
     /// Exit the worker loop.
     Shutdown,
 }
@@ -474,6 +548,7 @@ enum ReplyBody {
     Records(Vec<(u32, Result<ShardEvent, VpnError>)>),
     Sealed(Result<Record, VpnError>),
     Session(Option<SessionSnapshot>),
+    Extracted(Option<Box<ServerSession>>),
 }
 
 struct WorkerReply {
@@ -539,6 +614,12 @@ fn worker_loop(
                     body: ReplyBody::Session(snapshot),
                 });
             }
+            ShardRequest::Extract { seq, session_id } => {
+                let _ = tx.send(WorkerReply {
+                    seq,
+                    body: ReplyBody::Extracted(shard.extract(session_id).map(Box::new)),
+                });
+            }
             ShardRequest::Shutdown => break,
         }
     }
@@ -558,10 +639,17 @@ pub struct ShardedVpnServer {
     txs: Vec<crossbeam::channel::UnboundedSender<ShardRequest>>,
     rx: crossbeam::channel::Receiver<WorkerReply>,
     joins: Vec<JoinHandle<()>>,
-    /// Front-end registry: which sessions exist and which shard owns each
-    /// (derivable from the id, kept for `session_ids` without a fan-out).
+    /// Front-end registry: which sessions exist and which shard *currently*
+    /// owns each (home shard at placement; load-aware migration may move
+    /// a session later).
     session_shard: HashMap<u64, usize>,
     next_seq: u64,
+    dispatch: DispatchPolicy,
+    /// EWMA of dispatched payload bytes per shard.
+    shard_load: Vec<f64>,
+    /// EWMA of dispatched payload bytes per session.
+    session_load: HashMap<u64, f64>,
+    migrations: u64,
 }
 
 impl std::fmt::Debug for ShardedVpnServer {
@@ -575,7 +663,8 @@ impl std::fmt::Debug for ShardedVpnServer {
 }
 
 impl ShardedVpnServer {
-    /// Creates a server with `workers` shard threads (minimum 1).
+    /// Creates a server with `workers` shard threads (minimum 1) and the
+    /// default [`DispatchPolicy::load_aware`] dispatcher.
     pub fn new(
         handshake: HandshakeConfig,
         suite: CipherSuite,
@@ -583,6 +672,28 @@ impl ShardedVpnServer {
         cost: CostModel,
         rng_seed: u64,
         workers: usize,
+    ) -> Self {
+        Self::with_dispatch(
+            handshake,
+            suite,
+            meter,
+            cost,
+            rng_seed,
+            workers,
+            DispatchPolicy::default(),
+        )
+    }
+
+    /// Creates a server with an explicit dispatch policy.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_dispatch(
+        handshake: HandshakeConfig,
+        suite: CipherSuite,
+        meter: CycleMeter,
+        cost: CostModel,
+        rng_seed: u64,
+        workers: usize,
+        dispatch: DispatchPolicy,
     ) -> Self {
         use rand::SeedableRng;
         let workers = workers.max(1);
@@ -613,6 +724,10 @@ impl ShardedVpnServer {
             joins,
             session_shard: HashMap::new(),
             next_seq: 0,
+            dispatch,
+            shard_load: vec![0.0; workers],
+            session_load: HashMap::new(),
+            migrations: 0,
         }
     }
 
@@ -621,9 +736,30 @@ impl ShardedVpnServer {
         self.txs.len()
     }
 
-    /// The shard owning `session_id` (session-id-affine, invariant 1).
-    pub fn shard_of(&self, session_id: u64) -> usize {
+    /// The dispatch policy in force.
+    pub fn dispatch_policy(&self) -> DispatchPolicy {
+        self.dispatch
+    }
+
+    /// Sessions migrated by the load-aware dispatcher so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// A session's *home* shard, `(s - 1) mod N` — its initial placement.
+    fn home_shard(&self, session_id: u64) -> usize {
         (session_id.wrapping_sub(1) % self.txs.len() as u64) as usize
+    }
+
+    /// The shard *currently* owning `session_id` (invariant 1). Unknown
+    /// sessions route to their home shard, which reports
+    /// [`VpnError::UnknownSession`] — the same verdict the single-threaded
+    /// server gives.
+    pub fn shard_of(&self, session_id: u64) -> usize {
+        self.session_shard
+            .get(&session_id)
+            .copied()
+            .unwrap_or_else(|| self.home_shard(session_id))
     }
 
     fn send(&self, shard: usize, request: ShardRequest) {
@@ -696,9 +832,121 @@ impl ShardedVpnServer {
             for (idx, result) in items {
                 if let Ok(ShardEvent::Disconnected { session_id }) = &result {
                     self.session_shard.remove(session_id);
+                    self.session_load.remove(session_id);
                 }
                 results[idx as usize] = Some(result);
             }
+        }
+    }
+
+    /// Folds one dispatch's per-shard / per-session payload bytes into the
+    /// load EWMAs (all entries decay, the dispatched ones gain).
+    fn note_dispatch_loads(&mut self, shard_bytes: &[u64], session_bytes: &HashMap<u64, u64>) {
+        for (load, &bytes) in self.shard_load.iter_mut().zip(shard_bytes) {
+            *load = *load * (1.0 - LOAD_EWMA_ALPHA) + bytes as f64 * LOAD_EWMA_ALPHA;
+        }
+        for load in self.session_load.values_mut() {
+            *load *= 1.0 - LOAD_EWMA_ALPHA;
+        }
+        for (&sid, &bytes) in session_bytes {
+            // Only live sessions accrue load: a session disconnected in
+            // this very dispatch was just dropped from the registry, and
+            // records with bogus session ids (rejected as UnknownSession)
+            // must not grow the map — it would otherwise leak one entry
+            // per spoofed id.
+            if self.session_shard.contains_key(&sid) {
+                *self.session_load.entry(sid).or_insert(0.0) += bytes as f64 * LOAD_EWMA_ALPHA;
+            }
+        }
+    }
+
+    /// Load-aware rebalancing at a dispatch boundary: migrate up to the
+    /// policy's budget of heavy sessions from the hottest shard to the
+    /// coldest while the EWMA gap exceeds the imbalance threshold. A
+    /// candidate must satisfy `2 * load <= gap`, which guarantees the gap
+    /// strictly shrinks and the hot shard stays at least as loaded as the
+    /// cold one — so a single dominant session (load == gap) never moves,
+    /// and the dispatcher cannot ping-pong it between shards.
+    fn rebalance(&mut self) {
+        let DispatchPolicy::LoadAware {
+            imbalance_bytes,
+            max_migrations_per_dispatch,
+        } = self.dispatch
+        else {
+            return;
+        };
+        if self.txs.len() < 2 {
+            return;
+        }
+        for _ in 0..max_migrations_per_dispatch {
+            let (mut hot, mut cold) = (0usize, 0usize);
+            for s in 1..self.shard_load.len() {
+                if self.shard_load[s] > self.shard_load[hot] {
+                    hot = s;
+                }
+                if self.shard_load[s] < self.shard_load[cold] {
+                    cold = s;
+                }
+            }
+            let gap = self.shard_load[hot] - self.shard_load[cold];
+            if gap <= imbalance_bytes as f64 {
+                return;
+            }
+            // Heaviest movable session on the hot shard; deterministic
+            // tie-break on the lowest session id.
+            let candidate = self
+                .session_shard
+                .iter()
+                .filter(|&(_, &shard)| shard == hot)
+                .map(|(&sid, _)| (sid, self.session_load.get(&sid).copied().unwrap_or(0.0)))
+                .filter(|&(_, load)| load > 0.0 && 2.0 * load <= gap)
+                .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)));
+            let Some((sid, load)) = candidate else {
+                return;
+            };
+            if self.migrate(sid, hot, cold) {
+                self.shard_load[hot] -= load;
+                self.shard_load[cold] += load;
+            }
+        }
+    }
+
+    /// Moves one session's state from `from` to `to`: a blocking extract
+    /// round-trip (so the old shard has drained every earlier record of
+    /// the session) followed by an install enqueued ahead of any later
+    /// one. Per-session record order is therefore preserved across the
+    /// migration. Returns whether the session actually moved (callers
+    /// must not shift load accounting otherwise).
+    fn migrate(&mut self, session_id: u64, from: usize, to: usize) -> bool {
+        let seq = self.next_seq();
+        self.send(from, ShardRequest::Extract { seq, session_id });
+        match self.collect_replies(1).pop() {
+            Some(WorkerReply {
+                body: ReplyBody::Extracted(Some(session)),
+                ..
+            }) => {
+                self.send(
+                    to,
+                    ShardRequest::Install {
+                        session_id,
+                        session,
+                    },
+                );
+                self.session_shard.insert(session_id, to);
+                self.migrations += 1;
+                true
+            }
+            Some(WorkerReply {
+                body: ReplyBody::Extracted(None),
+                ..
+            }) => {
+                // The registry said the session lived here; it is gone on
+                // the shard too, so drop it from the front-end maps.
+                self.session_shard.remove(&session_id);
+                self.session_load.remove(&session_id);
+                false
+            }
+            _ => unreachable!("extract requests produce extracted replies"),
         }
     }
 
@@ -710,9 +958,14 @@ impl ShardedVpnServer {
         records: Vec<Record>,
         now_secs: u64,
     ) -> Vec<Result<ShardEvent, VpnError>> {
+        // Dispatch boundary: rebalance before any of this batch's records
+        // are assigned, so a session's whole batch lands on one shard.
+        self.rebalance();
         let n = records.len();
         let mut results: Vec<Option<Result<ShardEvent, VpnError>>> = (0..n).map(|_| None).collect();
         let mut groups: Vec<Vec<(u32, Record)>> = vec![Vec::new(); self.txs.len()];
+        let mut shard_bytes = vec![0u64; self.txs.len()];
+        let mut session_bytes: HashMap<u64, u64> = HashMap::new();
         for (i, record) in records.into_iter().enumerate() {
             match record.opcode {
                 Opcode::HandshakeInit => {
@@ -724,10 +977,17 @@ impl ShardedVpnServer {
                 Opcode::HandshakeResp => {
                     results[i] = Some(Err(VpnError::Malformed("server received HandshakeResp")));
                 }
-                _ => groups[self.shard_of(record.session_id)].push((i as u32, record)),
+                _ => {
+                    let shard = self.shard_of(record.session_id);
+                    shard_bytes[shard] += record.payload.len() as u64;
+                    *session_bytes.entry(record.session_id).or_insert(0) +=
+                        record.payload.len() as u64;
+                    groups[shard].push((i as u32, record));
+                }
             }
         }
         self.flush_groups(&mut groups, now_secs, &mut results);
+        self.note_dispatch_loads(&shard_bytes, &session_bytes);
         results
             .into_iter()
             .map(|r| r.expect("every record produces a result"))
@@ -928,6 +1188,10 @@ mod tests {
     }
 
     fn harness(workers: usize) -> Harness {
+        harness_with(workers, DispatchPolicy::default())
+    }
+
+    fn harness_with(workers: usize, dispatch: DispatchPolicy) -> Harness {
         let mut rng = rand::rngs::StdRng::seed_from_u64(123);
         let ca = SigningKey::generate(&mut rng);
         let server_key = SigningKey::generate(&mut rng);
@@ -941,7 +1205,7 @@ mod tests {
             &ca,
             &mut rng,
         );
-        let server = ShardedVpnServer::new(
+        let server = ShardedVpnServer::with_dispatch(
             HandshakeConfig {
                 identity: server_key,
                 certificate: server_cert,
@@ -953,6 +1217,7 @@ mod tests {
             CostModel::calibrated(),
             1,
             workers,
+            dispatch,
         );
         let client_cfg = HandshakeConfig {
             identity: client_key,
@@ -1144,6 +1409,172 @@ mod tests {
         let msg = PingMessage::from_bytes(&payload).unwrap();
         assert_eq!(msg.config_version, 7);
         assert_eq!(msg.grace_period_secs, 60);
+    }
+
+    /// Drives `rounds` of skewed traffic: each `(client, batch)` entry in
+    /// `heavy` seals a `batch`-packet record per round, every other client
+    /// one small record, all through one `handle_records` dispatch.
+    fn skewed_rounds(
+        h: &mut Harness,
+        clients: &mut [(u64, DataChannel)],
+        heavy: &[(usize, usize)],
+        rounds: usize,
+    ) {
+        for round in 0..rounds {
+            let mut records = Vec::new();
+            for (i, (sid, chan)) in clients.iter_mut().enumerate() {
+                let pkt = Packet::udp(
+                    std::net::Ipv4Addr::new(10, 0, 0, (i + 1) as u8),
+                    std::net::Ipv4Addr::new(10, 0, 1, 1),
+                    1,
+                    2,
+                    &[round as u8; 64],
+                );
+                if let Some(&(_, batch)) = heavy.iter().find(|&&(c, _)| c == i) {
+                    let refs: Vec<&[u8]> = (0..batch).map(|_| pkt.bytes()).collect();
+                    records.push(chan.seal_batch(*sid, &refs));
+                } else {
+                    records.push(chan.seal(Opcode::Data, *sid, pkt.bytes()));
+                }
+            }
+            for result in h.server.handle_records(records, 1) {
+                result.expect("all traffic is well-formed");
+            }
+        }
+    }
+
+    #[test]
+    fn load_aware_dispatcher_migrates_colliding_heavy_sessions() {
+        // Sessions 1 and 5 both live on shard 0 of a 4-worker server
+        // (home shard (sid-1) mod 4 = 0). Both are heavy: the dispatcher
+        // must move one of them off the hot shard — and the session keeps
+        // working (channel state, replay window) after the move.
+        let mut h = harness_with(
+            4,
+            DispatchPolicy::LoadAware {
+                imbalance_bytes: 2_000,
+                max_migrations_per_dispatch: 2,
+            },
+        );
+        let mut clients: Vec<(u64, DataChannel)> = (0..8).map(|_| connect(&mut h, 1)).collect();
+        assert_eq!(h.server.shard_of(1), 0);
+        assert_eq!(h.server.shard_of(5), 0);
+        skewed_rounds(&mut h, &mut clients, &[(0, 24), (4, 12)], 6);
+        assert!(h.server.migrations() > 0, "sustained skew must migrate");
+        assert!(
+            h.server.shard_of(1) != 0 || h.server.shard_of(5) != 0,
+            "one of the colliding heavy sessions must have moved off shard 0"
+        );
+        // The migrated session's replay window travelled with it.
+        let (sid, chan) = &mut clients[if h.server.shard_of(1) != 0 { 0 } else { 4 }];
+        let pkt = Packet::udp(
+            std::net::Ipv4Addr::new(10, 0, 0, 1),
+            std::net::Ipv4Addr::new(10, 0, 1, 1),
+            1,
+            2,
+            b"post-migration",
+        );
+        let rec = chan.seal(Opcode::Data, *sid, pkt.bytes());
+        assert!(matches!(
+            h.server.handle_record(&rec, 1),
+            Ok(ShardEvent::Packet { .. })
+        ));
+        assert_eq!(
+            h.server.handle_record(&rec, 1).unwrap_err(),
+            VpnError::Replay
+        );
+    }
+
+    #[test]
+    fn static_policy_never_migrates() {
+        let mut h = harness_with(4, DispatchPolicy::Static);
+        let mut clients: Vec<(u64, DataChannel)> = (0..8).map(|_| connect(&mut h, 1)).collect();
+        skewed_rounds(&mut h, &mut clients, &[(0, 24), (4, 12)], 6);
+        assert_eq!(h.server.migrations(), 0);
+        for (i, (sid, _)) in clients.iter().enumerate() {
+            assert_eq!(h.server.shard_of(*sid), i % 4, "affinity must be fixed");
+        }
+    }
+
+    #[test]
+    fn uniform_load_does_not_migrate_under_load_aware_dispatch() {
+        let mut h = harness_with(4, DispatchPolicy::default());
+        let mut clients: Vec<(u64, DataChannel)> = (0..8).map(|_| connect(&mut h, 1)).collect();
+        skewed_rounds(&mut h, &mut clients, &[], 6);
+        assert_eq!(h.server.migrations(), 0, "balanced shards must stay put");
+    }
+
+    #[test]
+    fn single_dominant_session_never_ping_pongs() {
+        // One session carries essentially all traffic: migrating it can
+        // never reduce the imbalance (it just swaps hot and cold), so the
+        // `2 * load <= gap` filter must keep it pinned — no per-dispatch
+        // extract/install churn.
+        let mut h = harness_with(
+            4,
+            DispatchPolicy::LoadAware {
+                imbalance_bytes: 500,
+                max_migrations_per_dispatch: 2,
+            },
+        );
+        let mut clients: Vec<(u64, DataChannel)> = (0..8).map(|_| connect(&mut h, 1)).collect();
+        skewed_rounds(&mut h, &mut clients, &[(0, 24)], 6);
+        // Co-located light sessions may rebalance away once, then the
+        // assignment must be stable: further rounds add no migrations.
+        let settled = h.server.migrations();
+        skewed_rounds(&mut h, &mut clients, &[(0, 24)], 6);
+        assert_eq!(
+            h.server.migrations(),
+            settled,
+            "a dominant session must not ping-pong between shards"
+        );
+        assert_eq!(h.server.shard_of(1), 0, "it stays on its home shard");
+    }
+
+    #[test]
+    fn bogus_and_disconnected_sessions_leave_no_load_entries() {
+        let mut h = harness_with(2, DispatchPolicy::default());
+        let (sid, mut chan) = connect(&mut h, 1);
+        let pkt = Packet::udp(
+            std::net::Ipv4Addr::new(10, 0, 0, 1),
+            std::net::Ipv4Addr::new(10, 0, 1, 1),
+            1,
+            2,
+            b"traffic",
+        );
+        // A record for a session that never existed is rejected — and must
+        // not grow the dispatcher's load map (one entry per spoofed id
+        // would be an unbounded leak).
+        let bogus = Record {
+            opcode: Opcode::Data,
+            session_id: 999,
+            packet_id: 1,
+            payload: vec![0xee; 120],
+        };
+        let data = chan.seal(Opcode::Data, sid, pkt.bytes());
+        let disconnect = Record {
+            opcode: Opcode::Disconnect,
+            session_id: sid,
+            packet_id: 0,
+            payload: vec![],
+        };
+        // Data + Disconnect for the same session in ONE dispatch: the load
+        // accounting after the flush must not resurrect the removed entry.
+        let results = h.server.handle_records(vec![bogus, data, disconnect], 1);
+        assert_eq!(
+            results[0].as_ref().unwrap_err(),
+            &VpnError::UnknownSession(999)
+        );
+        assert!(matches!(results[1], Ok(ShardEvent::Packet { .. })));
+        assert!(matches!(results[2], Ok(ShardEvent::Disconnected { .. })));
+        assert!(
+            !h.server.session_load.contains_key(&999),
+            "spoofed session ids must not leak load entries"
+        );
+        assert!(
+            !h.server.session_load.contains_key(&sid),
+            "disconnect in the same dispatch must not resurrect the entry"
+        );
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! be observationally equivalent to the single-threaded server on
 //! interleaved multi-client traffic — byte-identical per-client
 //! emissions, identical drop/replay verdicts, identical session state —
-//! for any thread schedule.
+//! for any thread schedule, under **both** dispatch policies (static
+//! session-id affinity and the load-aware dispatcher with bounded
+//! migration) and with the pipelined RX front-end in between.
 //!
 //! Both servers are driven with byte-identical wire traffic: scenarios
 //! built from the same seed produce identical client key material, so
@@ -14,8 +16,23 @@ use endbox::server::Delivery;
 use endbox::use_cases::UseCase;
 use endbox::{EndBoxClient, EndBoxError};
 use endbox_netsim::Packet;
+use endbox_vpn::shard::DispatchPolicy;
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// An aggressive load-aware configuration so that even the small parity
+/// scripts cross the migration threshold — parity must hold *across*
+/// migrations, not just in their absence.
+fn eager_load_aware() -> DispatchPolicy {
+    DispatchPolicy::LoadAware {
+        imbalance_bytes: 1_000,
+        max_migrations_per_dispatch: 2,
+    }
+}
+
+fn parity_policies() -> [DispatchPolicy; 2] {
+    [DispatchPolicy::Static, eager_load_aware()]
+}
 
 /// One step of the traffic script.
 #[derive(Debug, Clone)]
@@ -121,20 +138,17 @@ fn run_single(scenario: &mut Scenario, script: &[Action]) -> Vec<Out> {
 }
 
 /// Drives the same script through a sharded scenario; each round's
-/// datagrams go through the server as **one** multi-client dispatch.
+/// datagrams go through the server as **one** pipelined multi-client
+/// dispatch (ownership moves into the RX stage).
 fn run_sharded(scenario: &mut ShardedScenario, script: &[Action]) -> Vec<Out> {
     let mut outs = Vec::new();
     let mut prev: Vec<(u64, Vec<u8>)> = Vec::new();
     for (round, action) in script.iter().enumerate() {
         let datagrams = seal_action(&mut scenario.clients, action, round, &prev);
-        let refs: Vec<(u64, &[u8])> = datagrams
-            .iter()
-            .map(|(peer, d)| (*peer, d.as_slice()))
-            .collect();
         outs.extend(
             scenario
                 .server
-                .receive_datagrams(&refs)
+                .receive_datagrams(datagrams.clone())
                 .into_iter()
                 .map(simplify),
         );
@@ -143,22 +157,32 @@ fn run_sharded(scenario: &mut ShardedScenario, script: &[Action]) -> Vec<Out> {
     outs
 }
 
-fn assert_parity(n_clients: usize, use_case: UseCase, seed: u64, script: &[Action]) {
+/// Asserts parity for every worker count under `policy`; returns the
+/// total migrations the dispatcher performed across all worker counts.
+fn assert_parity_with(
+    n_clients: usize,
+    use_case: UseCase,
+    seed: u64,
+    script: &[Action],
+    policy: DispatchPolicy,
+) -> u64 {
     let mut single = Scenario::enterprise(n_clients, use_case)
         .seed(seed)
         .build()
         .unwrap();
     let reference = run_single(&mut single, script);
+    let mut migrations = 0;
     for workers in WORKER_COUNTS {
         let mut sharded = Scenario::enterprise(n_clients, use_case)
             .seed(seed)
+            .dispatch(policy)
             .build_sharded(workers)
             .unwrap();
         let got = run_sharded(&mut sharded, script);
         assert_eq!(
             got, reference,
-            "N={workers} workers diverged from the single-threaded server \
-             (clients={n_clients}, seed={seed})"
+            "N={workers} workers ({policy:?}) diverged from the single-threaded \
+             server (clients={n_clients}, seed={seed})"
         );
         // Session state agrees too.
         assert_eq!(sharded.server.session_ids(), single.server.session_ids());
@@ -174,6 +198,14 @@ fn assert_parity(n_clients: usize, use_case: UseCase, seed: u64, script: &[Actio
         let (delivered_single, _, _) = single.server.counters();
         let (delivered_sharded, _) = sharded.server.counters();
         assert_eq!(delivered_sharded, delivered_single);
+        migrations += sharded.server.migrations();
+    }
+    migrations
+}
+
+fn assert_parity(n_clients: usize, use_case: UseCase, seed: u64, script: &[Action]) {
+    for policy in parity_policies() {
+        assert_parity_with(n_clients, use_case, seed, script, policy);
     }
 }
 
@@ -219,6 +251,8 @@ fn config_grace_period_verdicts_match_single_server() {
             .seed(7)
             .build_sharded(workers)
             .unwrap();
+        // (Policy default: load-aware; the stale-config verdicts must be
+        // identical regardless.)
         single.server.announce_config(2, 0);
         sharded.server.announce_config(2, 0);
         let script = vec![
@@ -247,45 +281,116 @@ fn config_grace_period_verdicts_match_single_server() {
 }
 
 #[test]
+fn heavy_tailed_load_mix_matches_single_server_and_migrates() {
+    // Clients 0 and 4 (session ids 1 and 5 — both homed on shard 0 at 4
+    // workers) are elephants; the rest are mice. The load-aware
+    // dispatcher must migrate under this mix, and the output must stay
+    // byte-identical to the single-threaded server across the migration.
+    let mut script = Vec::new();
+    for round in 0..6 {
+        script.push(Action::SendBatch {
+            client: 0,
+            n_packets: 24,
+        });
+        script.push(Action::SendBatch {
+            client: 4,
+            n_packets: 16,
+        });
+        for client in [1, 2, 3] {
+            script.push(Action::SendBatch {
+                client,
+                n_packets: 1,
+            });
+        }
+        if round % 2 == 1 {
+            script.push(Action::Replay);
+        }
+    }
+    assert_parity_with(
+        5,
+        UseCase::Firewall,
+        0xeb77,
+        &script,
+        DispatchPolicy::Static,
+    );
+    let migrations = assert_parity_with(5, UseCase::Firewall, 0xeb77, &script, eager_load_aware());
+    assert!(
+        migrations > 0,
+        "the heavy-tailed mix must exercise actual migrations"
+    );
+}
+
+#[test]
+fn adversarial_single_session_load_matches_single_server() {
+    // All traffic from ONE session: the worst case for any dispatcher (a
+    // session is unsplittable, so migration cannot help and must not
+    // fire pathologically or corrupt the replay window).
+    let mut script = Vec::new();
+    for _ in 0..5 {
+        script.push(Action::SendBatch {
+            client: 0,
+            n_packets: 8,
+        });
+        script.push(Action::SendSingle { client: 0 });
+        script.push(Action::Replay);
+        script.push(Action::Ping { client: 0 });
+    }
+    assert_parity_with(
+        3,
+        UseCase::Firewall,
+        0xeb78,
+        &script,
+        DispatchPolicy::Static,
+    );
+    let migrations = assert_parity_with(3, UseCase::Firewall, 0xeb78, &script, eager_load_aware());
+    assert_eq!(
+        migrations, 0,
+        "an unsplittable dominant session must never ping-pong"
+    );
+}
+
+/// Crafts a single-datagram Disconnect plus a two-fragment follow-up
+/// record for `sid` (contents irrelevant — the session is gone; only the
+/// sequencing verdicts matter).
+fn craft_disconnect_and_fragments(sid: u64) -> (Vec<u8>, Vec<Vec<u8>>) {
+    use endbox_vpn::frag::Fragmenter;
+    use endbox_vpn::proto::{Opcode, Record};
+
+    let mtu = endbox_netsim::CostModel::calibrated().mtu_payload;
+    let mut frag = Fragmenter::new();
+    let disconnect = Record {
+        opcode: Opcode::Disconnect,
+        session_id: sid,
+        packet_id: 0,
+        payload: vec![],
+    };
+    let d = frag.fragment(&disconnect.to_bytes(), mtu);
+    assert_eq!(d.len(), 1);
+    let next = Record {
+        opcode: Opcode::Data,
+        session_id: sid,
+        packet_id: 1,
+        payload: vec![0xab; mtu + 100],
+    };
+    let f = frag.fragment(&next.to_bytes(), mtu);
+    assert_eq!(f.len(), 2);
+    (d.into_iter().next().unwrap(), f)
+}
+
+#[test]
 fn disconnect_followed_by_in_batch_fragment_matches_single_server() {
     // A successful Disconnect tears down the peer's reassembler. If the
     // same receive batch carries a *fragment* of the peer's next record
     // after the Disconnect, the single-threaded server processes the
     // teardown first and the fragment lands in a fresh reassembler; the
-    // sharded server must sequence it identically (regression: it used
-    // to push the fragment into the old reassembler and then delete it).
-    use endbox_vpn::frag::Fragmenter;
-    use endbox_vpn::proto::{Opcode, Record};
-
-    let mtu = endbox_netsim::CostModel::calibrated().mtu_payload;
-    let craft = |sid: u64| {
-        let mut frag = Fragmenter::new();
-        let disconnect = Record {
-            opcode: Opcode::Disconnect,
-            session_id: sid,
-            packet_id: 0,
-            payload: vec![],
-        };
-        let d = frag.fragment(&disconnect.to_bytes(), mtu);
-        assert_eq!(d.len(), 1);
-        // A record big enough to span two datagrams; its content does not
-        // matter (the session is gone), only that both servers agree.
-        let next = Record {
-            opcode: Opcode::Data,
-            session_id: sid,
-            packet_id: 1,
-            payload: vec![0xab; mtu + 100],
-        };
-        let f = frag.fragment(&next.to_bytes(), mtu);
-        assert_eq!(f.len(), 2);
-        (d.into_iter().next().unwrap(), f)
-    };
-
+    // pipelined server must sequence it identically even though the
+    // teardown now happens on the RX stage, across the pipeline boundary
+    // (the RX stage pauses on the Disconnect until its verdict is known).
     let mut single = Scenario::enterprise(1, UseCase::Nop)
         .seed(99)
         .build()
         .unwrap();
-    let (d, f) = craft(single.session_id(0));
+    let (d, f) = craft_disconnect_and_fragments(single.session_id(0));
     let mut reference = vec![simplify(single.server.receive_datagram(0, &d))];
     reference.push(simplify(single.server.receive_datagram(0, &f[0])));
     reference.push(simplify(single.server.receive_datagram(0, &f[1])));
@@ -295,16 +400,68 @@ fn disconnect_followed_by_in_batch_fragment_matches_single_server() {
             .seed(99)
             .build_sharded(workers)
             .unwrap();
-        let (d, f) = craft(sharded.session_id(0));
+        let (d, f) = craft_disconnect_and_fragments(sharded.session_id(0));
         // Disconnect and the first fragment of the next record arrive in
         // ONE batch; the second fragment arrives later.
         let mut got: Vec<Out> = sharded
             .server
-            .receive_datagrams(&[(0, d.as_slice()), (0, f[0].as_slice())])
+            .receive_datagrams(vec![(0, d), (0, f[0].clone())])
             .into_iter()
             .map(simplify)
             .collect();
         got.push(simplify(sharded.server.receive_datagram(0, &f[1])));
+        assert_eq!(got, reference, "N={workers}");
+    }
+}
+
+#[test]
+fn disconnect_race_interleaved_with_other_peers_matches_single_server() {
+    // The Disconnect races the RX stage while OTHER peers' fragments are
+    // in flight in the same batch: pausing the RX stage for peer 0's
+    // teardown must not reorder or stall peer 1's reassembly, and a
+    // REPLAYED (now-invalid) Disconnect later in the same batch must NOT
+    // tear the fresh reassembler down.
+    let mut single = Scenario::enterprise(2, UseCase::Nop)
+        .seed(101)
+        .build()
+        .unwrap();
+    let mk_inputs = |sid0: u64, sid1: u64| {
+        let (d0, f0) = craft_disconnect_and_fragments(sid0);
+        let (_, f1) = craft_disconnect_and_fragments(sid1);
+        // peer0: disconnect, then its next record's two fragments with the
+        // replayed disconnect wedged between them; peer1's fragments
+        // interleave throughout.
+        vec![
+            (0u64, d0.clone()),
+            (1u64, f1[0].clone()),
+            (0u64, f0[0].clone()),
+            (0u64, d0), // replayed Disconnect: session unknown now
+            (1u64, f1[1].clone()),
+            (0u64, f0[1].clone()),
+        ]
+    };
+    let reference: Vec<Out> = mk_inputs(single.session_id(0), single.session_id(1))
+        .into_iter()
+        .map(|(peer, d)| simplify(single.server.receive_datagram(peer, &d)))
+        .collect();
+    // Sanity: peer 0's record completes (the replayed Disconnect fails and
+    // must not reset reassembly) and is then rejected at the session layer.
+    assert!(matches!(reference[0], Out::Disconnected(_)));
+    assert!(matches!(reference[3], Out::Rejected(_)));
+    assert!(matches!(reference[5], Out::Rejected(_)));
+
+    for workers in WORKER_COUNTS {
+        let mut sharded = Scenario::enterprise(2, UseCase::Nop)
+            .seed(101)
+            .build_sharded(workers)
+            .unwrap();
+        let inputs = mk_inputs(sharded.session_id(0), sharded.session_id(1));
+        let got: Vec<Out> = sharded
+            .server
+            .receive_datagrams(inputs)
+            .into_iter()
+            .map(simplify)
+            .collect();
         assert_eq!(got, reference, "N={workers}");
     }
 }
