@@ -1,0 +1,105 @@
+//! RX front-end scaling (beyond the paper).
+//!
+//! PR 3 pipelined server ingress behind a single RX stage thread; under a
+//! many-peer **small-record** mix (no record coalescing, one wire
+//! datagram per record) per-datagram reassembly/framing dominates the
+//! per-packet server work and that one thread becomes the serial
+//! bottleneck. The `RxShardPool` shards framing across K threads by
+//! `peer_id mod K`; charges are measured on the real sharded stack
+//! running the pool at each K, then replayed through the timing layer
+//! with the RX front-end as K serial framing lanes (completion-ordered
+//! hand-off into the worker-shard dispatch).
+//!
+//! Emits the grid as machine-readable `BENCH_rx.json`. Pass `--smoke`
+//! for a CI-sized run (fewer client counts).
+
+use endbox::eval::scalability::{
+    fig_rx_scaling, rx_shard_counts, RxScalingPoint, RX_MIX_PAYLOAD, RX_MIX_PER_CLIENT_BPS,
+};
+
+fn print_points(points: &[RxScalingPoint], clients: &[usize]) {
+    print!("{:<26}", "RX shards \\ clients");
+    for n in clients {
+        print!("{n:>8}");
+    }
+    println!();
+    for k in rx_shard_counts() {
+        print!("{:<26}", format!("K={k} [Mpps]"));
+        for n in clients {
+            let p = points
+                .iter()
+                .find(|p| p.rx_shards == k && p.clients == *n)
+                .unwrap();
+            print!("{:>8.3}", p.mpps);
+        }
+        println!();
+        print!("{:<26}", "  server CPU [%]");
+        for n in clients {
+            let p = points
+                .iter()
+                .find(|p| p.rx_shards == k && p.clients == *n)
+                .unwrap();
+            print!("{:>8.0}", p.server_cpu * 100.0);
+        }
+        println!();
+    }
+}
+
+/// Hand-rolled JSON (no serde in the offline build environment).
+fn rx_json(points: &[RxScalingPoint]) -> String {
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"clients\": {}, \"rx_shards\": {}, \"workers\": {}, \
+             \"gbps\": {:.4}, \"mpps\": {:.5}, \"server_cpu\": {:.4}}}{}\n",
+            p.clients,
+            p.rx_shards,
+            p.workers,
+            p.gbps,
+            p.mpps,
+            p.server_cpu,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let clients: Vec<usize> = if smoke {
+        vec![40, 120]
+    } else {
+        vec![20, 40, 60, 80, 100, 120]
+    };
+
+    println!(
+        "=== Many-peer small-record mix ({} B payloads, {} Mbps/peer, single-record \
+         datagrams): RX front-end sharding ===\n    batched EndBox SGX[NOP] stack, \
+         4 worker shards, RX shards K in {:?}\n",
+        RX_MIX_PAYLOAD,
+        RX_MIX_PER_CLIENT_BPS / 1_000_000,
+        rx_shard_counts()
+    );
+    let points = fig_rx_scaling(&clients);
+    print_points(&points, &clients);
+
+    let last = *clients.last().unwrap();
+    let at = |k: usize| {
+        points
+            .iter()
+            .find(|p| p.rx_shards == k && p.clients == last)
+            .unwrap()
+            .gbps
+    };
+    println!(
+        "\nRX-sharding win at {last} peers: {:.2}x (K=1 {:.2} -> K=4 {:.2} Gbps)",
+        at(4) / at(1),
+        at(1),
+        at(4)
+    );
+
+    let json = rx_json(&points);
+    std::fs::write("BENCH_rx.json", &json).expect("write BENCH_rx.json");
+    println!("\nwrote BENCH_rx.json ({} rows)", points.len());
+}

@@ -183,6 +183,7 @@ fn measure_vpn_stack_batched(
         fragments: (fragments_total.div_ceil(samples * batch_size)).max(1),
         client_cycles: client_meter.take() / packets_total,
         server_cycles: server_meter.take() / packets_total,
+        rx_cycles: 0,
         dropped: false,
     }
 }
@@ -278,6 +279,107 @@ pub fn measure_charge_sharded(
         fragments: (fragments_total.div_ceil(samples * batch_size * N_CLIENTS)).max(1),
         client_cycles: client_cycles / packets_total,
         server_cycles: server_meter.take() / packets_total,
+        // The RX pool's amortised per-packet framing share: one
+        // `vpn_server_per_fragment` per wire datagram, spread over the
+        // packets a batched record coalesces.
+        rx_cycles: CostModel::calibrated().vpn_server_per_fragment * fragments_total as u64
+            / packets_total,
+        dropped: false,
+    }
+}
+
+/// Measures per-packet charges on the sharded stack under the
+/// **many-peer small-record mix** that stresses the RX front-end:
+/// `n_peers` real clients each seal single-packet records (no record
+/// coalescing, so per-datagram reassembly/framing dominates the server
+/// work), and every round's interleaved datagrams go through one
+/// [`crate::ShardedEndBoxServer::receive_datagrams`] dispatch against a
+/// server running `rx_shards` RX framing threads and `workers` crypto
+/// shards. The returned charge splits out [`PacketCharge::rx_cycles`] —
+/// the framing cost the RX pool paid (`vpn_server_per_fragment` per wire
+/// datagram) — so the timing layer can run the RX lanes separately from
+/// the worker lanes; the per-packet total is the measured total either
+/// way.
+///
+/// # Panics
+///
+/// Panics if the deployment cannot be constructed.
+pub fn measure_charge_rx(
+    use_case: UseCase,
+    payload_len: usize,
+    samples: usize,
+    workers: usize,
+    rx_shards: usize,
+) -> PacketCharge {
+    const N_PEERS: usize = 6;
+    const SINGLES_PER_PEER: usize = 4;
+    let mut scenario = Scenario::enterprise(N_PEERS, use_case)
+        .trust(TrustLevel::Hardware)
+        .seed(0xbe9c)
+        .rx_shards(rx_shards)
+        .build_sharded(workers)
+        .expect("sharded deployment must build");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let payload = benign_payload(payload_len, &mut rng);
+    let client_meters: Vec<CycleMeter> =
+        scenario.clients.iter().map(|c| c.meter().clone()).collect();
+    let server_meter = scenario.server_meter.clone();
+
+    let mut round = |seq: u32| -> Vec<(u64, Vec<u8>)> {
+        let mut datagrams: Vec<(u64, Vec<u8>)> = Vec::new();
+        // Peers interleave datagram-by-datagram: every record is its own
+        // datagram (small-record mix), so the RX pool sees the worst-case
+        // per-datagram framing load.
+        for i in 0..SINGLES_PER_PEER {
+            for idx in 0..N_PEERS {
+                let pkt = Packet::tcp(
+                    Scenario::client_addr(idx),
+                    Scenario::network_addr(),
+                    40_000 + idx as u16,
+                    5001,
+                    seq + i as u32,
+                    &payload,
+                );
+                for d in scenario.clients[idx].send_packet(pkt).expect("send") {
+                    datagrams.push((idx as u64, d));
+                }
+            }
+        }
+        datagrams
+    };
+
+    // Warm-up round (first-use costs stay out of the steady state).
+    for result in scenario.server.receive_datagrams(round(0)) {
+        result.expect("deliver");
+    }
+    for m in &client_meters {
+        m.take();
+    }
+    server_meter.take();
+
+    let mut wire_bytes_total = 0usize;
+    let mut fragments_total = 0usize;
+    for r in 1..=samples {
+        let datagrams = round((r * SINGLES_PER_PEER) as u32);
+        fragments_total += datagrams.len();
+        wire_bytes_total += datagrams.iter().map(|(_, d)| d.len()).sum::<usize>();
+        for result in scenario.server.receive_datagrams(datagrams) {
+            result.expect("deliver");
+        }
+    }
+
+    let packets_total = (samples * SINGLES_PER_PEER * N_PEERS) as u64;
+    let fragments = (fragments_total as u64).div_ceil(packets_total).max(1) as usize;
+    let client_cycles: u64 = client_meters.iter().map(CycleMeter::take).sum::<u64>();
+    let cost = CostModel::calibrated();
+    PacketCharge {
+        payload_bytes: payload_len + 40, // payload + IP/TCP headers
+        wire_bytes: wire_bytes_total / packets_total as usize,
+        fragments,
+        client_cycles: client_cycles / packets_total,
+        server_cycles: server_meter.take() / packets_total,
+        rx_cycles: cost.vpn_server_per_fragment * fragments as u64,
         dropped: false,
     }
 }
@@ -382,6 +484,8 @@ pub fn measure_charge_sharded_mix(
             .max(1) as usize,
         client_cycles: client_cycles / packets_total.max(1),
         server_cycles: server_meter.take() / packets_total.max(1),
+        rx_cycles: CostModel::calibrated().vpn_server_per_fragment * fragments_total as u64
+            / packets_total.max(1),
         dropped: false,
     }
 }
@@ -428,6 +532,7 @@ fn measure_vanilla_click(use_case: UseCase, payload_len: usize, samples: usize) 
         fragments: cost.fragments(pkt.len()),
         client_cycles: KERNEL_SEND_FIXED + (KERNEL_SEND_PER_BYTE * pkt.len() as f64) as u64,
         server_cycles,
+        rx_cycles: 0,
         dropped: false,
     }
 }

@@ -45,6 +45,7 @@ pub struct ScenarioBuilder {
     server_click: Option<String>,
     custom_client_click: Option<String>,
     dispatch: DispatchPolicy,
+    rx_shards: usize,
 }
 
 impl ScenarioBuilder {
@@ -97,6 +98,14 @@ impl ScenarioBuilder {
     /// session-id affinity baseline).
     pub fn dispatch(mut self, dispatch: DispatchPolicy) -> Self {
         self.dispatch = dispatch;
+        self
+    }
+
+    /// RX framing shards of a sharded build (default 1): datagram
+    /// reassembly and record framing run on `k` threads sharded by
+    /// `peer_id mod k` in front of the worker shards.
+    pub fn rx_shards(mut self, k: usize) -> Self {
+        self.rx_shards = k.max(1);
         self
     }
 
@@ -286,7 +295,12 @@ impl ScenarioBuilder {
     /// (the sharded server replaces that baseline).
     pub fn build_sharded(self, workers: usize) -> Result<ShardedScenario, EndBoxError> {
         let (mut setup, server_config) = self.setup()?;
-        let mut server = ShardedEndBoxServer::with_dispatch(server_config, workers, self.dispatch)?;
+        let mut server = ShardedEndBoxServer::with_pipeline(
+            server_config,
+            workers,
+            self.dispatch,
+            self.rx_shards,
+        )?;
 
         let mut clients = Vec::with_capacity(self.n_clients);
         let mut session_ids = Vec::with_capacity(self.n_clients);
@@ -376,6 +390,7 @@ impl Scenario {
             server_click: None,
             custom_client_click: None,
             dispatch: DispatchPolicy::default(),
+            rx_shards: 1,
         }
     }
 
@@ -393,6 +408,7 @@ impl Scenario {
             server_click: None,
             custom_client_click: None,
             dispatch: DispatchPolicy::default(),
+            rx_shards: 1,
         }
     }
 

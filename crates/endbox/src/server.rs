@@ -454,38 +454,81 @@ struct RxEvent {
 
 enum RxRequest {
     /// Reassemble and parse these `(input index, peer, datagram)`
-    /// entries, in order.
+    /// entries, in order. Indices are global over the receive batch; the
+    /// sub-batch a shard sees contains only its own peers' entries.
     Batch(Vec<(u32, u64, Vec<u8>)>),
-    /// Verdict for the Disconnect record the RX stage paused on:
+    /// Verdict for the Disconnect record the RX shard paused on:
     /// `confirmed` tears the peer's reassembler down before any later
     /// datagram of that peer is pushed into it.
     Teardown { peer: u64, confirmed: bool },
+    /// Report this shard's [`RxShardStats`].
+    Stats,
     /// Exit the RX loop.
     Shutdown,
 }
 
 enum RxReply {
     Event(RxEvent),
-    /// Every datagram of the current [`RxRequest::Batch`] was processed.
-    BatchDone,
+    Stats {
+        shard: usize,
+        stats: RxShardStats,
+    },
+    /// The shard's thread panicked. Sibling shards keep the shared reply
+    /// channel open, so without this marker a dead shard would make the
+    /// front-end block forever instead of failing loudly.
+    ShardDead {
+        shard: usize,
+    },
 }
 
-/// The RX stage: per-peer datagram reassembly and record framing on a
+/// Observability counters for one RX shard (the RX-side analogue of the
+/// buffer pools' `PoolStats` and the dispatcher's `migrations`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RxShardStats {
+    /// Wire datagrams this shard pushed into its reassemblers.
+    pub datagrams: u64,
+    /// Complete records this shard framed (including records the session
+    /// layer later rejected — framing happened either way).
+    pub records_framed: u64,
+    /// Bytes currently buffered in this shard's incomplete reassemblies.
+    pub reassembly_bytes_held: usize,
+    /// Records currently awaiting more fragments on this shard.
+    pub pending_records: usize,
+    /// Live per-peer reassemblers pinned to this shard.
+    pub peers: usize,
+    /// Times this shard paused on a Disconnect awaiting its verdict.
+    pub disconnect_pauses: u64,
+}
+
+/// One RX shard: per-peer datagram reassembly and record framing on a
 /// dedicated thread, streaming parsed records to the front-end so framing
 /// overlaps with shard crypto. Reassembly state is **pinned** here — it
 /// is per-peer, not per-session, and never migrates with a session.
-fn rx_loop(
+fn rx_shard_loop(
+    shard: usize,
     rx: crossbeam::channel::Receiver<RxRequest>,
-    tx: crossbeam::channel::UnboundedSender<RxReply>,
+    tx: &crossbeam::channel::UnboundedSender<RxReply>,
     meter: CycleMeter,
     cost: CostModel,
+    stall_micros: std::sync::Arc<std::sync::atomic::AtomicU64>,
 ) {
     let mut reassemblers: HashMap<u64, Reassembler> = HashMap::new();
+    let mut datagrams = 0u64;
+    let mut framed = 0u64;
+    let mut pauses = 0u64;
     while let Ok(request) = rx.recv() {
         match request {
-            RxRequest::Batch(datagrams) => {
-                for (idx, peer, datagram) in datagrams {
+            RxRequest::Batch(entries) => {
+                for (idx, peer, datagram) in entries {
+                    // Deterministic-schedule hook: a stalled shard frames
+                    // slowly, forcing adversarial cross-shard arrival
+                    // orders at the front-end re-merge (tests/support).
+                    let stall = stall_micros.load(std::sync::atomic::Ordering::Relaxed);
+                    if stall > 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(stall));
+                    }
                     meter.add(cost.vpn_server_per_fragment);
+                    datagrams += 1;
                     let reasm = reassemblers.entry(peer).or_default();
                     let outcome = match reasm.push(&datagram) {
                         Err(e) => RxOutcome::Reassembly(e),
@@ -495,6 +538,9 @@ fn rx_loop(
                             Ok(record) => RxOutcome::Record(record),
                         },
                     };
+                    if matches!(&outcome, RxOutcome::Record(_)) {
+                        framed += 1;
+                    }
                     let disconnect = matches!(&outcome, RxOutcome::Record(r)
                         if r.opcode == Opcode::Disconnect);
                     if tx
@@ -508,7 +554,10 @@ fn rx_loop(
                         // reassembler, and that must happen before any
                         // later datagram of the same peer is pushed into
                         // it — exactly the single-threaded sequencing.
-                        // Pause until the front-end reports the verdict.
+                        // Pause **this shard only** until the front-end
+                        // reports the verdict; sibling shards keep
+                        // framing their own peers.
+                        pauses += 1;
                         match rx.recv() {
                             Ok(RxRequest::Teardown { peer, confirmed }) => {
                                 if confirmed {
@@ -519,14 +568,154 @@ fn rx_loop(
                         }
                     }
                 }
-                if tx.send(RxReply::BatchDone).is_err() {
-                    return;
-                }
             }
             // A stray teardown outside a pause cannot occur in the
             // request protocol; ignore it defensively.
             RxRequest::Teardown { .. } => {}
+            RxRequest::Stats => {
+                let stats = RxShardStats {
+                    datagrams,
+                    records_framed: framed,
+                    reassembly_bytes_held: reassemblers
+                        .values()
+                        .map(Reassembler::pending_bytes)
+                        .sum(),
+                    pending_records: reassemblers.values().map(Reassembler::pending).sum(),
+                    peers: reassemblers.len(),
+                    disconnect_pauses: pauses,
+                };
+                if tx.send(RxReply::Stats { shard, stats }).is_err() {
+                    return;
+                }
+            }
             RxRequest::Shutdown => return,
+        }
+    }
+}
+
+/// The sharded RX front-end: `K` RX threads, each owning the per-peer
+/// reassembly state of the peers with `peer_id mod K == shard`.
+///
+/// # Per-peer order contract
+///
+/// * A peer's datagrams are framed **in input order**: the front-end
+///   appends each datagram to its owning shard's sub-batch in input
+///   order, and the shard processes its sub-batch sequentially. Records
+///   of one peer therefore frame exactly as on the single RX thread.
+/// * **Cross-peer** interleaving is unconstrained: shards run
+///   concurrently and their events reach the front-end in any order. The
+///   front-end re-merges events by input index before dispatching, so the
+///   observable results are byte-identical to the single-threaded server
+///   for every thread schedule (pinned by `tests/rx_interleaving.rs` and
+///   `tests/shard_parity.rs`).
+/// * Reassembly state is pinned to its RX shard and never migrates; a
+///   Disconnect pauses **only the owning shard** until the front-end
+///   reports the session-layer verdict, so reassembler teardown sequences
+///   exactly like the single-threaded server while sibling shards keep
+///   framing.
+pub struct RxShardPool {
+    requests: Vec<crossbeam::channel::UnboundedSender<RxRequest>>,
+    replies: crossbeam::channel::Receiver<RxReply>,
+    joins: Vec<JoinHandle<()>>,
+    stalls: Vec<std::sync::Arc<std::sync::atomic::AtomicU64>>,
+}
+
+impl std::fmt::Debug for RxShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RxShardPool")
+            .field("shards", &self.requests.len())
+            .finish()
+    }
+}
+
+impl RxShardPool {
+    fn new(shards: usize, meter: &CycleMeter, cost: &CostModel) -> RxShardPool {
+        let shards = shards.max(1);
+        let (replies_tx, replies) = crossbeam::channel::unbounded();
+        let mut requests = Vec::with_capacity(shards);
+        let mut joins = Vec::with_capacity(shards);
+        let mut stalls = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = crossbeam::channel::unbounded();
+            let stall = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let (reply_tx, m, c, s) = (
+                replies_tx.clone(),
+                meter.clone(),
+                cost.clone(),
+                stall.clone(),
+            );
+            let join = std::thread::Builder::new()
+                .name(format!("endbox-rx-{shard}"))
+                .spawn(move || {
+                    // A panicking shard must announce its death: its
+                    // sibling shards keep the shared reply channel open,
+                    // so the front-end would otherwise wait forever for
+                    // the dead shard's remaining events.
+                    let loop_result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            rx_shard_loop(shard, rx, &reply_tx, m, c, s)
+                        }));
+                    if loop_result.is_err() {
+                        let _ = reply_tx.send(RxReply::ShardDead { shard });
+                    }
+                })
+                .expect("spawn RX shard");
+            requests.push(tx);
+            joins.push(join);
+            stalls.push(stall);
+        }
+        RxShardPool {
+            requests,
+            replies,
+            joins,
+            stalls,
+        }
+    }
+
+    /// Number of RX shards.
+    pub fn shard_count(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// The shard owning `peer`'s reassembly state (`peer_id mod K`).
+    pub fn shard_of(&self, peer: u64) -> usize {
+        (peer % self.requests.len() as u64) as usize
+    }
+
+    /// Test hook: make RX shard `shard` sleep `micros` before each
+    /// datagram it frames. The deterministic-schedule harness uses this to
+    /// force specific cross-shard arrival orders at the re-merge; the
+    /// datapath itself never sets it.
+    pub fn set_stall_micros(&self, shard: usize, micros: u64) {
+        self.stalls[shard].store(micros, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Snapshot of every shard's counters, indexed by shard.
+    fn stats(&self) -> Vec<RxShardStats> {
+        for tx in &self.requests {
+            tx.send(RxRequest::Stats).expect("RX shard alive");
+        }
+        let mut out = vec![RxShardStats::default(); self.requests.len()];
+        for _ in 0..self.requests.len() {
+            match self.replies.recv().expect("RX shard alive") {
+                RxReply::Stats { shard, stats } => out[shard] = stats,
+                RxReply::ShardDead { shard } => panic!("RX shard {shard} died"),
+                RxReply::Event(_) => {
+                    unreachable!("no receive batch is in flight during a stats query")
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Drop for RxShardPool {
+    fn drop(&mut self) {
+        for tx in &self.requests {
+            let _ = tx.send(RxRequest::Shutdown);
+        }
+        for join in self.joins.drain(..) {
+            let _ = join.join();
         }
     }
 }
@@ -540,13 +729,13 @@ const RX_DISPATCH_CHUNK: usize = 32;
 /// The sharded multi-worker EndBox server front-end, now a **staged
 /// pipeline**:
 ///
-/// 1. **RX stage** (dedicated thread): per-peer datagram reassembly and
-///    record framing ([`rx_loop`]). Reassembly state is pinned here and
-///    never migrates.
-/// 2. **Dispatch** (front-end thread): parsed records are grouped and
-///    handed to the [`ShardedVpnServer`] in chunks of
-///    [`RX_DISPATCH_CHUNK`], so shard crypto for early records overlaps
-///    with RX framing of later ones.
+/// 1. **RX stage** ([`RxShardPool`], `K` threads): per-peer datagram
+///    reassembly and record framing, sharded by `peer_id mod K`.
+///    Reassembly state is pinned to its RX shard and never migrates.
+/// 2. **Dispatch** (front-end thread): shard events are re-merged into
+///    input-index order and handed to the [`ShardedVpnServer`] in chunks
+///    of [`RX_DISPATCH_CHUNK`], so shard crypto for early records
+///    overlaps with RX framing of later ones on every RX shard.
 /// 3. **Workers**: everything per-session (crypto, replay windows,
 ///    policy, packet materialisation from per-shard buffer pools) runs on
 ///    the shard threads, placed by the configured [`DispatchPolicy`].
@@ -555,31 +744,38 @@ const RX_DISPATCH_CHUNK: usize = 32;
 ///
 /// [`ShardedEndBoxServer::receive_datagrams`] returns exactly one
 /// [`Delivery`] result per input datagram, **in input order**, for any
-/// worker count, chunking and thread schedule; per-session record order
-/// is preserved by single-owner routing plus per-shard FIFO (see
-/// `endbox_vpn::shard`), and a Disconnect pauses the RX stage until its
-/// verdict is known so reassembler teardown sequences exactly like the
-/// single-threaded server. With `workers == 1` the observable behaviour
-/// is identical to [`EndBoxServer`] — property-tested in
-/// `tests/shard_parity.rs`.
+/// RX shard count, worker count, chunking and thread schedule;
+/// per-session record order is preserved by per-peer RX order (see
+/// [`RxShardPool`]) plus single-owner routing and per-shard FIFO (see
+/// `endbox_vpn::shard`), and a Disconnect pauses its owning RX shard
+/// until its verdict is known so reassembler teardown sequences exactly
+/// like the single-threaded server. With any `(rx_shards, workers)` the
+/// observable behaviour is identical to [`EndBoxServer`] —
+/// property-tested in `tests/shard_parity.rs` and replayed under named
+/// deterministic schedules in `tests/rx_interleaving.rs`.
 ///
 /// The sharded server intentionally has no server-side Click instance:
 /// that attachment exists only for the centralised OpenVPN+Click
 /// baseline, which the sharded EndBox deployment replaces.
 pub struct ShardedEndBoxServer {
     vpn: ShardedVpnServer,
-    rx_tx: crossbeam::channel::UnboundedSender<RxRequest>,
-    rx_rx: crossbeam::channel::Receiver<RxReply>,
-    rx_join: Option<JoinHandle<()>>,
+    rx: RxShardPool,
     io: ServerIo,
     delivered: u64,
     rejected: u64,
+    /// Records the front-end re-merged from the RX shards (reconciles
+    /// with the sum of per-shard `records_framed`).
+    rx_records_merged: u64,
+    /// Disconnect verdicts the front-end sent back to paused RX shards
+    /// (reconciles with the sum of per-shard `disconnect_pauses`).
+    rx_disconnect_verdicts: u64,
 }
 
 impl std::fmt::Debug for ShardedEndBoxServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedEndBoxServer")
             .field("workers", &self.vpn.worker_count())
+            .field("rx_shards", &self.rx.shard_count())
             .field("sessions", &self.vpn.session_count())
             .field("delivered", &self.delivered)
             .finish()
@@ -587,8 +783,8 @@ impl std::fmt::Debug for ShardedEndBoxServer {
 }
 
 impl ShardedEndBoxServer {
-    /// Builds the server with `workers` shard threads (minimum 1) and the
-    /// default load-aware dispatch policy.
+    /// Builds the server with `workers` shard threads (minimum 1), one RX
+    /// shard and the default load-aware dispatch policy.
     ///
     /// # Errors
     ///
@@ -601,7 +797,8 @@ impl ShardedEndBoxServer {
         Self::with_dispatch(cfg, workers, DispatchPolicy::default())
     }
 
-    /// Builds the server with an explicit [`DispatchPolicy`].
+    /// Builds the server with an explicit [`DispatchPolicy`] and one RX
+    /// shard.
     ///
     /// # Errors
     ///
@@ -610,6 +807,22 @@ impl ShardedEndBoxServer {
         cfg: EndBoxServerConfig,
         workers: usize,
         dispatch: DispatchPolicy,
+    ) -> Result<ShardedEndBoxServer, EndBoxError> {
+        Self::with_pipeline(cfg, workers, dispatch, 1)
+    }
+
+    /// Builds the fully-knobbed pipeline: `workers` crypto shard threads,
+    /// `rx_shards` RX framing threads (minimum 1 each) and an explicit
+    /// [`DispatchPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedEndBoxServer::new`].
+    pub fn with_pipeline(
+        cfg: EndBoxServerConfig,
+        workers: usize,
+        dispatch: DispatchPolicy,
+        rx_shards: usize,
     ) -> Result<ShardedEndBoxServer, EndBoxError> {
         if cfg.server_click.is_some() {
             return Err(EndBoxError::NotReady(
@@ -625,27 +838,45 @@ impl ShardedEndBoxServer {
             workers,
             dispatch,
         );
-        let (rx_tx, rx_requests) = crossbeam::channel::unbounded();
-        let (rx_replies_tx, rx_rx) = crossbeam::channel::unbounded();
-        let (rx_meter, rx_cost) = (cfg.meter.clone(), cfg.cost.clone());
-        let rx_join = std::thread::Builder::new()
-            .name("endbox-rx".into())
-            .spawn(move || rx_loop(rx_requests, rx_replies_tx, rx_meter, rx_cost))
-            .expect("spawn RX stage");
+        let rx = RxShardPool::new(rx_shards, &cfg.meter, &cfg.cost);
         Ok(ShardedEndBoxServer {
             vpn,
-            rx_tx,
-            rx_rx,
-            rx_join: Some(rx_join),
+            rx,
             io: ServerIo::new(cfg.cost, cfg.meter, cfg.clock),
             delivered: 0,
             rejected: 0,
+            rx_records_merged: 0,
+            rx_disconnect_verdicts: 0,
         })
     }
 
     /// Number of worker shards.
     pub fn worker_count(&self) -> usize {
         self.vpn.worker_count()
+    }
+
+    /// Number of RX shards.
+    pub fn rx_shard_count(&self) -> usize {
+        self.rx.shard_count()
+    }
+
+    /// Per-RX-shard observability counters (records framed, reassembly
+    /// bytes held, disconnect pauses, …), indexed by shard. A cross-thread
+    /// query, hence `&mut` — like [`ShardedEndBoxServer::client_config_version`].
+    pub fn rx_shard_stats(&mut self) -> Vec<RxShardStats> {
+        self.rx.stats()
+    }
+
+    /// Front-end re-merge totals `(records merged, disconnect verdicts)`,
+    /// for reconciling against [`ShardedEndBoxServer::rx_shard_stats`].
+    pub fn rx_merge_counters(&self) -> (u64, u64) {
+        (self.rx_records_merged, self.rx_disconnect_verdicts)
+    }
+
+    /// Test hook: stall RX shard `shard` by `micros` per datagram (see
+    /// [`RxShardPool::set_stall_micros`]).
+    pub fn set_rx_stall_micros(&self, shard: usize, micros: u64) {
+        self.rx.set_stall_micros(shard, micros);
     }
 
     /// The dispatch policy in force.
@@ -658,9 +889,11 @@ impl ShardedEndBoxServer {
         self.vpn.migrations()
     }
 
-    /// Receives one wire datagram (the single-datagram convenience over
-    /// [`ShardedEndBoxServer::receive_datagrams`]; the copy it makes is
-    /// what handing the datagram to the RX stage costs on this path).
+    /// Receives one wire datagram. This is *not* a special-cased path: the
+    /// datagram routes through the [`RxShardPool`] exactly like a batch of
+    /// one, so singular and batch calls may be mixed freely without
+    /// perturbing per-peer reassembly order (the copy it makes is what
+    /// handing the datagram to the RX stage costs on this path).
     ///
     /// # Errors
     ///
@@ -678,7 +911,7 @@ impl ShardedEndBoxServer {
     /// Receives a whole batch of wire datagrams — from any mix of clients
     /// — through the staged pipeline, returning one result per datagram
     /// in input order (the re-merge guarantee above). Takes the datagrams
-    /// by value: ownership moves into the RX stage, so the ingress path
+    /// by value: ownership moves into the RX shards, so the ingress path
     /// performs no wire-level copy.
     pub fn receive_datagrams(
         &mut self,
@@ -688,52 +921,80 @@ impl ShardedEndBoxServer {
         if n == 0 {
             return Vec::new();
         }
+        // Stage 1: split the receive batch into per-RX-shard sub-batches
+        // by `peer_id mod K` (per-peer order is preserved — a peer's
+        // datagrams all land on one shard, in input order) and ship them;
+        // the shards stream outcomes back while we dispatch records.
+        let shards = self.rx.shard_count();
+        let mut per_shard: Vec<Vec<(u32, u64, Vec<u8>)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        for (i, (peer, d)) in datagrams.into_iter().enumerate() {
+            per_shard[self.rx.shard_of(peer)].push((i as u32, peer, d));
+        }
+        for (shard, batch) in per_shard.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.rx.requests[shard]
+                    .send(RxRequest::Batch(batch))
+                    .expect("RX shard alive");
+            }
+        }
+        // Stages 2+3: re-merge shard events into **input-index order**
+        // (cross-peer interleaving across shards is arbitrary; `stash`
+        // holds early arrivals until the cursor reaches them), cutting a
+        // sharded dispatch whenever a chunk of records accumulated (shard
+        // crypto overlaps RX framing of the tail) or a Disconnect needs
+        // its verdict before its shard's reassembly may continue.
         let mut results: Vec<Option<Result<Delivery, EndBoxError>>> =
             (0..n).map(|_| None).collect();
-        // Stage 1: ship the whole receive batch to the RX thread; it
-        // streams outcomes back while we dispatch completed records.
-        let indexed: Vec<(u32, u64, Vec<u8>)> = datagrams
-            .into_iter()
-            .enumerate()
-            .map(|(i, (peer, d))| (i as u32, peer, d))
-            .collect();
-        self.rx_tx
-            .send(RxRequest::Batch(indexed))
-            .expect("RX stage alive");
-        // Stages 2+3: cut a sharded dispatch whenever a chunk of records
-        // accumulated (shard crypto overlaps RX framing of the tail) or a
-        // Disconnect needs its verdict before reassembly may continue.
+        let mut stash: Vec<Option<(u64, RxOutcome)>> = (0..n).map(|_| None).collect();
         let mut pending: Vec<(u32, Record)> = Vec::new();
-        // `BatchDone` (the only other reply) ends the receive loop.
-        while let RxReply::Event(RxEvent { idx, peer, outcome }) =
-            self.rx_rx.recv().expect("RX stage alive")
-        {
-            match outcome {
-                RxOutcome::Pending => results[idx as usize] = Some(Ok(Delivery::Pending)),
-                RxOutcome::Reassembly(e) => {
-                    self.rejected += 1;
-                    results[idx as usize] = Some(Err(EndBoxError::Vpn(e)));
-                }
-                RxOutcome::Malformed(e) => results[idx as usize] = Some(Err(EndBoxError::Vpn(e))),
-                RxOutcome::Record(record) => {
-                    let disconnect = record.opcode == Opcode::Disconnect;
-                    pending.push((idx, record));
-                    if disconnect {
-                        // Drain the pipeline up to and including the
-                        // Disconnect, then release the paused RX stage
-                        // with the verdict.
-                        self.dispatch_pending(&mut pending, &mut results);
-                        let confirmed = matches!(
-                            results[idx as usize],
-                            Some(Ok(Delivery::Disconnected { .. }))
-                        );
-                        self.rx_tx
-                            .send(RxRequest::Teardown { peer, confirmed })
-                            .expect("RX stage alive");
-                    } else if pending.len() >= RX_DISPATCH_CHUNK {
-                        self.dispatch_pending(&mut pending, &mut results);
+        let mut cursor = 0usize;
+        let mut received = 0usize;
+        while received < n {
+            let RxEvent { idx, peer, outcome } =
+                match self.rx.replies.recv().expect("an RX shard is alive") {
+                    RxReply::Event(event) => event,
+                    RxReply::ShardDead { shard } => {
+                        panic!("RX shard {shard} died mid-receive")
+                    }
+                    RxReply::Stats { .. } => {
+                        unreachable!("no stats query is in flight during a receive")
+                    }
+                };
+            received += 1;
+            stash[idx as usize] = Some((peer, outcome));
+            while cursor < n {
+                let Some((peer, outcome)) = stash[cursor].take() else {
+                    break;
+                };
+                match outcome {
+                    RxOutcome::Pending => results[cursor] = Some(Ok(Delivery::Pending)),
+                    RxOutcome::Reassembly(e) => {
+                        self.rejected += 1;
+                        results[cursor] = Some(Err(EndBoxError::Vpn(e)));
+                    }
+                    RxOutcome::Malformed(e) => results[cursor] = Some(Err(EndBoxError::Vpn(e))),
+                    RxOutcome::Record(record) => {
+                        self.rx_records_merged += 1;
+                        let disconnect = record.opcode == Opcode::Disconnect;
+                        pending.push((cursor as u32, record));
+                        if disconnect {
+                            // Drain the pipeline up to and including the
+                            // Disconnect, then release the paused owning
+                            // shard with the verdict.
+                            self.dispatch_pending(&mut pending, &mut results);
+                            let confirmed =
+                                matches!(results[cursor], Some(Ok(Delivery::Disconnected { .. })));
+                            self.rx_disconnect_verdicts += 1;
+                            self.rx.requests[self.rx.shard_of(peer)]
+                                .send(RxRequest::Teardown { peer, confirmed })
+                                .expect("RX shard alive");
+                        } else if pending.len() >= RX_DISPATCH_CHUNK {
+                            self.dispatch_pending(&mut pending, &mut results);
+                        }
                     }
                 }
+                cursor += 1;
             }
         }
         self.dispatch_pending(&mut pending, &mut results);
@@ -894,14 +1155,5 @@ impl ShardedEndBoxServer {
     /// (delivered, rejected) counters.
     pub fn counters(&self) -> (u64, u64) {
         (self.delivered, self.rejected)
-    }
-}
-
-impl Drop for ShardedEndBoxServer {
-    fn drop(&mut self) {
-        let _ = self.rx_tx.send(RxRequest::Shutdown);
-        if let Some(join) = self.rx_join.take() {
-            let _ = join.join();
-        }
     }
 }

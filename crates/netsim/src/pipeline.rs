@@ -17,8 +17,15 @@ pub struct PacketCharge {
     pub fragments: usize,
     /// Cycles charged on the client machine.
     pub client_cycles: u64,
-    /// Cycles charged on the server machine.
+    /// Cycles charged on the server machine (total — includes
+    /// `rx_cycles`).
     pub server_cycles: u64,
+    /// The portion of `server_cycles` attributable to the RX front-end
+    /// (datagram reassembly and record framing). Only consulted when
+    /// [`ScalabilityConfig::rx_shards`] models a separate RX stage: those
+    /// cycles then run on serial RX lanes instead of the worker-shard
+    /// lanes, leaving the per-packet total unchanged.
+    pub rx_cycles: u64,
     /// True if the middlebox dropped the packet (still consumes client
     /// cycles, but no wire/server cost).
     pub dropped: bool,
@@ -136,6 +143,13 @@ pub struct ScalabilityConfig {
     /// `ShardedVpnServer`'s load-aware dispatcher). `false`: fixed
     /// session-id affinity (`client mod workers`).
     pub load_aware_dispatch: bool,
+    /// `Some(k)` (only meaningful with `server_worker_shards`): model the
+    /// RX front-end as `k` serial framing lanes sharded by
+    /// `client mod k`, each charging [`PacketCharge::rx_cycles`] per
+    /// packet, with **completion-ordered** hand-off to the worker-shard
+    /// dispatch stage. `None`: the RX work stays folded into the worker
+    /// lanes (the pre-RX-pool model; exact legacy behaviour).
+    pub rx_shards: Option<usize>,
 }
 
 /// Backlog gap (in per-packet server jobs) that triggers a session
@@ -157,6 +171,7 @@ impl Default for ScalabilityConfig {
             server_worker_shards: None,
             client_load_weights: None,
             load_aware_dispatch: false,
+            rx_shards: None,
         }
     }
 }
@@ -200,15 +215,23 @@ pub fn run_scalability(
     };
     let excess = n_procs.saturating_sub(hw_threads);
     server.set_contention(1.0 + excess as f64 * cfg.contention_per_excess_process);
+    // With worker shards the RX front-end may run as its own thread pool
+    // (`rx_shards`); RX lanes and worker lanes together make up the
+    // server's thread count.
+    let rx_shards = match (cfg.server_worker_shards, cfg.rx_shards) {
+        (Some(_), Some(k)) => Some(k.max(1)),
+        _ => None,
+    };
     if let Some(w) = cfg.server_worker_shards {
-        // Each worker shard is ONE thread: its jobs run serially on its
-        // own lane and a queued packet does not occupy a core while it
-        // waits (shard queues live in channels, not on the run queue).
-        // When shards outnumber the execution slots, the lanes fair-share
-        // the machine.
+        // Each worker shard (and RX shard) is ONE thread: its jobs run
+        // serially on its own lane and a queued packet does not occupy a
+        // core while it waits (shard queues live in channels, not on the
+        // run queue). When the threads outnumber the execution slots, the
+        // lanes fair-share the machine.
+        let threads = w.max(1) + rx_shards.unwrap_or(0);
         let slots = server.spec().slots();
-        if w.max(1) > slots {
-            server.set_contention(w.max(1) as f64 / slots as f64);
+        if threads > slots {
+            server.set_contention(threads as f64 / slots as f64);
         }
     }
 
@@ -311,12 +334,41 @@ pub fn run_scalability(
     // is stable per client because each client lane is serial.
     wire_events.sort_unstable();
 
+    // Wire stage: serialise real transmit instants in wire order.
+    let mut server_ready: Vec<(SimTime, usize)> = Vec::with_capacity(wire_events.len());
     for (done_client, c) in wire_events {
         let frag_bytes = charge.wire_bytes / charge.fragments.max(1);
         let mut arrived = done_client;
         for _ in 0..charge.fragments.max(1) {
             arrived = link.transmit(done_client, frag_bytes);
         }
+        server_ready.push((arrived, c));
+    }
+
+    // RX stage (the sharded front-end model): each packet is framed on
+    // its client's RX lane (`client mod k`, serial — reassembly state is
+    // pinned to one RX shard), then handed to the dispatch stage in
+    // RX-**completion** order, mirroring the real `RxShardPool` whose
+    // events reach the front-end re-merge as shards finish. The framing
+    // cycles move from the worker lanes to the RX lanes; the per-packet
+    // total is unchanged.
+    let rx_cycles = charge.rx_cycles.min(charge.server_cycles);
+    let shard_cycles = match rx_shards {
+        Some(_) => charge.server_cycles - rx_cycles,
+        None => charge.server_cycles,
+    };
+    if let Some(k) = rx_shards {
+        let mut rx_flows = vec![SimTime::ZERO; k];
+        for entry in server_ready.iter_mut() {
+            let (arrived, c) = *entry;
+            entry.0 = server.run_job_serial(arrived, rx_cycles, &mut rx_flows[c % k]);
+        }
+        // Completion-ordered hand-off (stable sort: a client's RX lane is
+        // serial, so its own completions stay in input order).
+        server_ready.sort_by_key(|&(t, _)| t);
+    }
+
+    for (arrived, c) in server_ready {
         // Shard assignment mirrors the real sharded server's routing:
         // client c's session lands on exactly one worker flow at a time,
         // so per-session ordering stays a serial watermark. Load-aware
@@ -340,12 +392,12 @@ pub fn run_scalability(
                 // Serial lane per shard thread (see the contention set-up
                 // above): queued packets wait in the shard's channel, so
                 // they must not reserve execution slots ahead of time.
-                server.run_job_serial(arrived, charge.server_cycles, &mut server_flows[flow_idx])
+                server.run_job_serial(arrived, shard_cycles, &mut server_flows[flow_idx])
             }
             None if cfg.server_single_process => {
-                server.run_job_flow(arrived, charge.server_cycles, &mut server_flows[0])
+                server.run_job_flow(arrived, shard_cycles, &mut server_flows[0])
             }
-            None => server.run_job_flow(arrived, charge.server_cycles, &mut server_flows[c]),
+            None => server.run_job_flow(arrived, shard_cycles, &mut server_flows[c]),
         };
         // Only packets completing within the window count towards
         // steady-state throughput (a saturated server accumulates backlog).
@@ -424,6 +476,7 @@ mod tests {
             fragments: 1,
             client_cycles: client,
             server_cycles: server,
+            rx_cycles: 0,
             dropped: false,
         }
     }
@@ -631,6 +684,78 @@ mod tests {
             stat.gbps,
             aware.gbps
         );
+    }
+
+    #[test]
+    fn rx_model_with_zero_rx_cycles_matches_legacy_sharded_run() {
+        // With no framing cost split out, the RX lanes are zero-duration
+        // pass-throughs and the completion-ordered hand-off degenerates to
+        // arrival order: the model must be bit-identical to the legacy
+        // folded-RX run (as long as the extra RX thread does not push the
+        // machine into fair-sharing).
+        let mk = |rx| ScalabilityConfig {
+            n_clients: 16,
+            duration: SimDuration::from_millis(20),
+            server_worker_shards: Some(4),
+            rx_shards: rx,
+            ..ScalabilityConfig::default()
+        };
+        let c = charge(1500, 20_000, 29_000);
+        let legacy = run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), c, &mk(None));
+        let rx = run_scalability(
+            MachineSpec::class_a(),
+            MachineSpec::class_b(),
+            c,
+            &mk(Some(1)),
+        );
+        assert_eq!(legacy, rx, "zero rx_cycles must be a model no-op");
+    }
+
+    #[test]
+    fn rx_lanes_scale_a_framing_bound_ingress() {
+        // Framing dominates the per-packet server work (small records):
+        // one RX lane saturates while the worker shards idle; K=4 RX
+        // shards must recover well over 1.3x.
+        let mut c = charge(296, 20_000, 36_000);
+        c.rx_cycles = 24_000;
+        let tput = |k| {
+            let cfg = ScalabilityConfig {
+                n_clients: 48,
+                per_client_bps: 20_000_000,
+                payload_bytes: 296,
+                duration: SimDuration::from_millis(20),
+                server_worker_shards: Some(4),
+                rx_shards: Some(k),
+                ..ScalabilityConfig::default()
+            };
+            run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), c, &cfg).gbps
+        };
+        let (one, four) = (tput(1), tput(4));
+        assert!(
+            four >= 1.3 * one,
+            "4 RX shards must beat 1 by >=1.3x on a framing-bound mix: {one:.3} vs {four:.3}"
+        );
+    }
+
+    #[test]
+    fn rx_model_ignores_rx_shards_without_worker_shards() {
+        // rx_shards is a refinement of the sharded-server model only.
+        let mk = |rx| ScalabilityConfig {
+            n_clients: 8,
+            duration: SimDuration::from_millis(20),
+            rx_shards: rx,
+            ..ScalabilityConfig::default()
+        };
+        let mut c = charge(1500, 20_000, 29_000);
+        c.rx_cycles = 10_000;
+        let a = run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), c, &mk(None));
+        let b = run_scalability(
+            MachineSpec::class_a(),
+            MachineSpec::class_b(),
+            c,
+            &mk(Some(4)),
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

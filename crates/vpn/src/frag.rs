@@ -147,6 +147,16 @@ impl Reassembler {
     pub fn pending(&self) -> usize {
         self.partials.len()
     }
+
+    /// Bytes currently buffered across incomplete records — the memory an
+    /// RX shard is holding for this peer (surfaced by
+    /// `ShardedEndBoxServer::rx_shard_stats`).
+    pub fn pending_bytes(&self) -> usize {
+        self.partials
+            .values()
+            .map(|p| p.pieces.iter().flatten().map(Vec::len).sum::<usize>())
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -171,9 +181,12 @@ mod tests {
         let frags = f.fragment(&data, 1000);
         assert_eq!(frags.len(), 3);
         assert!(r.push(&frags[0]).unwrap().is_none());
+        assert_eq!(r.pending_bytes(), 1000);
         assert!(r.push(&frags[1]).unwrap().is_none());
+        assert_eq!(r.pending_bytes(), 2000);
         assert_eq!(r.push(&frags[2]).unwrap().unwrap(), data);
         assert_eq!(r.pending(), 0);
+        assert_eq!(r.pending_bytes(), 0);
     }
 
     #[test]

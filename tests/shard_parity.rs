@@ -11,14 +11,21 @@
 //! replaying the same (client, action) script through each scenario's own
 //! clients yields the same datagrams bit for bit.
 
+#[path = "support/mod.rs"]
+#[allow(dead_code)]
+mod support;
+
 use endbox::scenario::{Scenario, ShardedScenario};
-use endbox::server::Delivery;
 use endbox::use_cases::UseCase;
-use endbox::{EndBoxClient, EndBoxError};
+use endbox::EndBoxClient;
 use endbox_netsim::Packet;
 use endbox_vpn::shard::DispatchPolicy;
 
-const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// `(workers, rx_shards)` pairs the named parity tests run: every worker
+/// count, with the RX pool width varied alongside (the full
+/// rx × workers × policy cross-product runs in `tests/rx_interleaving.rs`
+/// and the proptests below).
+const PARITY_GRID: [(usize, usize); 4] = [(1, 4), (2, 2), (4, 1), (8, 4)];
 
 /// An aggressive load-aware configuration so that even the small parity
 /// scripts cross the migration threshold — parity must hold *across*
@@ -47,29 +54,10 @@ enum Action {
     Replay,
 }
 
-/// The view of a delivery both servers must agree on.
-#[derive(Debug, PartialEq)]
-enum Out {
-    Pending,
-    Packets(Vec<Vec<u8>>),
-    Ping(u64),
-    Disconnected(u64),
-    Rejected(EndBoxError),
-}
-
-fn simplify(result: Result<Delivery, EndBoxError>) -> Out {
-    match result {
-        Ok(Delivery::Pending) => Out::Pending,
-        Ok(Delivery::Packet { packet, .. }) => Out::Packets(vec![packet.bytes().to_vec()]),
-        Ok(Delivery::PacketBatch { packets, .. }) => {
-            Out::Packets(packets.iter().map(|p| p.bytes().to_vec()).collect())
-        }
-        Ok(Delivery::Ping { message, .. }) => Out::Ping(message.config_version),
-        Ok(Delivery::Disconnected { session_id }) => Out::Disconnected(session_id),
-        Ok(other) => panic!("unexpected delivery in parity run: {other:?}"),
-        Err(e) => Out::Rejected(e),
-    }
-}
+// The per-delivery view both servers must agree on lives in the shared
+// harness, so this file and the schedule-based tests compare the same
+// thing.
+use support::{simplify, Out};
 
 /// Builds the wire datagrams for one action using the given scenario's
 /// own clients (deterministic: both scenarios produce identical bytes).
@@ -172,17 +160,18 @@ fn assert_parity_with(
         .unwrap();
     let reference = run_single(&mut single, script);
     let mut migrations = 0;
-    for workers in WORKER_COUNTS {
+    for (workers, rx_shards) in PARITY_GRID {
         let mut sharded = Scenario::enterprise(n_clients, use_case)
             .seed(seed)
             .dispatch(policy)
+            .rx_shards(rx_shards)
             .build_sharded(workers)
             .unwrap();
         let got = run_sharded(&mut sharded, script);
         assert_eq!(
             got, reference,
-            "N={workers} workers ({policy:?}) diverged from the single-threaded \
-             server (clients={n_clients}, seed={seed})"
+            "N={workers} workers, K={rx_shards} RX shards ({policy:?}) diverged from \
+             the single-threaded server (clients={n_clients}, seed={seed})"
         );
         // Session state agrees too.
         assert_eq!(sharded.server.session_ids(), single.server.session_ids());
@@ -246,9 +235,10 @@ fn config_grace_period_verdicts_match_single_server() {
         .seed(7)
         .build()
         .unwrap();
-    for workers in WORKER_COUNTS {
+    for (workers, rx_shards) in PARITY_GRID {
         let mut sharded = Scenario::enterprise(n_clients, UseCase::Nop)
             .seed(7)
+            .rx_shards(rx_shards)
             .build_sharded(workers)
             .unwrap();
         // (Policy default: load-aware; the stale-config verdicts must be
@@ -395,9 +385,10 @@ fn disconnect_followed_by_in_batch_fragment_matches_single_server() {
     reference.push(simplify(single.server.receive_datagram(0, &f[0])));
     reference.push(simplify(single.server.receive_datagram(0, &f[1])));
 
-    for workers in WORKER_COUNTS {
+    for (workers, rx_shards) in PARITY_GRID {
         let mut sharded = Scenario::enterprise(1, UseCase::Nop)
             .seed(99)
+            .rx_shards(rx_shards)
             .build_sharded(workers)
             .unwrap();
         let (d, f) = craft_disconnect_and_fragments(sharded.session_id(0));
@@ -450,9 +441,10 @@ fn disconnect_race_interleaved_with_other_peers_matches_single_server() {
     assert!(matches!(reference[3], Out::Rejected(_)));
     assert!(matches!(reference[5], Out::Rejected(_)));
 
-    for workers in WORKER_COUNTS {
+    for (workers, rx_shards) in PARITY_GRID {
         let mut sharded = Scenario::enterprise(2, UseCase::Nop)
             .seed(101)
+            .rx_shards(rx_shards)
             .build_sharded(workers)
             .unwrap();
         let inputs = mk_inputs(sharded.session_id(0), sharded.session_id(1));
@@ -501,6 +493,93 @@ mod proptests {
         ) {
             let script = to_script(&raw, n_clients);
             assert_parity(n_clients, UseCase::Firewall, 0xeb00 + seed, &script);
+        }
+    }
+
+    /// Adversarial peer-mix proptests: these drive the schedule harness
+    /// (`tests/support`) so the peer ids, split points and batch
+    /// boundaries are chosen hostile to the RX pool, and assert the
+    /// input-order re-merge over the FULL (rx_shards × workers × policy)
+    /// grid.
+    mod adversarial {
+        use super::*;
+        use support::{assert_schedule_parity, PeerMap, Schedule, Step};
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(3))]
+
+            /// All peers collide on ONE RX shard via chosen `peer_id`s
+            /// (stride 4 ≡ shard 0 for every K in the grid): the collided
+            /// shard must sequence everything exactly like the single RX
+            /// thread.
+            #[test]
+            fn colliding_peer_ids_match_single_server(
+                seed in 0u64..500,
+                raw in prop::collection::vec((0usize..5, 0usize..3, 0usize..8), 3..8),
+            ) {
+                let mut schedule =
+                    Schedule::new("prop-colliding-peers", 3, 0xeb20 + seed).peers(PeerMap::Stride(4));
+                for &(kind, client, n) in &raw {
+                    schedule = schedule.step(match kind {
+                        0 | 1 => Step::Batch { client, n_packets: 1 + n % 6 },
+                        2 => Step::Single { client },
+                        3 => Step::Replay,
+                        _ => Step::Flush,
+                    });
+                }
+                assert_schedule_parity(&schedule);
+            }
+
+            /// A single peer floods the server (deep batches, splits,
+            /// replays, a disconnect race) — one RX shard does all the
+            /// work while its siblings idle, and order must still hold.
+            #[test]
+            fn single_peer_flood_matches_single_server(
+                seed in 0u64..500,
+                raw in prop::collection::vec((0usize..6, 1usize..9), 3..8),
+            ) {
+                let mut schedule = Schedule::new("prop-single-peer-flood", 1, 0xeb30 + seed)
+                    .stall(0, 80);
+                for &(kind, n) in &raw {
+                    schedule = schedule.step(match kind {
+                        0 | 1 => Step::Batch { client: 0, n_packets: n },
+                        2 => Step::Single { client: 0 },
+                        3 => Step::Replay,
+                        4 => Step::SplitRecord {
+                            client: 0,
+                            payload_len: 30 + n * 17,
+                            splits: vec![n, n * 5, 70],
+                        },
+                        _ => Step::Flush,
+                    });
+                }
+                assert_schedule_parity(&schedule);
+            }
+
+            /// Interleaved tiny datagrams: every peer's records split
+            /// into 1-byte-ish fragments, alternating datagram-by-datagram
+            /// across flush boundaries.
+            #[test]
+            fn interleaved_tiny_datagrams_match_single_server(
+                seed in 0u64..500,
+                cuts in prop::collection::vec(1usize..32, 2..10),
+            ) {
+                let mut schedule = Schedule::new("prop-tiny-datagrams", 2, 0xeb40 + seed)
+                    .stall((seed % 2) as usize, 100);
+                for (i, &c) in cuts.iter().enumerate() {
+                    schedule = schedule
+                        .step(Step::SplitRecord {
+                            client: i % 2,
+                            payload_len: 8 + c,
+                            splits: (1..(8 + c)).collect(),
+                        })
+                        .step(Step::Single { client: (i + 1) % 2 });
+                    if c % 3 == 0 {
+                        schedule = schedule.step(Step::Flush);
+                    }
+                }
+                assert_schedule_parity(&schedule);
+            }
         }
     }
 }

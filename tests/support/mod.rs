@@ -1,0 +1,442 @@
+//! Deterministic interleaving/fault harness for the sharded RX front-end.
+//!
+//! A [`Schedule`] is an explicit, named description of one interleaving
+//! class: which client produces which wire datagrams in which order,
+//! where the `receive_datagrams` batch boundaries fall ([`Step::Flush`]),
+//! which `peer_id`s the datagrams carry (steering them onto chosen RX
+//! shards), how records are split into partial datagrams (including
+//! splits inside record headers), and which RX shards are artificially
+//! stalled so their events reach the front-end re-merge late.
+//!
+//! [`assert_schedule_parity`] replays the schedule through the
+//! single-threaded reference server and through the sharded server for
+//! every `(rx_shards, workers, dispatch policy)` in the grid, asserting
+//! byte-identical outcomes. Because the sharded server re-merges by input
+//! index, the assertions hold for *every* thread schedule — the stalls
+//! only force the adversarial arrival orders to actually occur, so each
+//! interleaving class is a reproducible named test instead of a timing
+//! accident.
+
+use endbox::scenario::{Scenario, ShardedScenario};
+use endbox::server::Delivery;
+use endbox::use_cases::UseCase;
+use endbox::{EndBoxClient, EndBoxError};
+use endbox_netsim::Packet;
+use endbox_vpn::proto::{Opcode, Record};
+use endbox_vpn::shard::DispatchPolicy;
+use endbox_vpn::wire::Writer;
+
+/// RX shard counts the grid covers.
+pub const RX_GRID: [usize; 3] = [1, 2, 4];
+/// Worker shard counts the grid covers.
+pub const WORKER_GRID: [usize; 4] = [1, 2, 4, 8];
+
+/// An aggressive load-aware configuration so even short schedules cross
+/// the migration threshold — parity must hold *across* migrations.
+pub fn eager_load_aware() -> DispatchPolicy {
+    DispatchPolicy::LoadAware {
+        imbalance_bytes: 1_000,
+        max_migrations_per_dispatch: 2,
+    }
+}
+
+/// The dispatch policies the grid covers.
+pub fn policies() -> [DispatchPolicy; 2] {
+    [DispatchPolicy::Static, eager_load_aware()]
+}
+
+/// How client indices map to wire-level `peer_id`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerMap {
+    /// `peer = client` (peers spread across RX shards as `client mod K`).
+    Identity,
+    /// `peer = client * stride`. With a stride divisible by every RX
+    /// shard count in the grid (e.g. 4), **all** peers collide on RX
+    /// shard 0 — the adversarial placement where sharding buys nothing
+    /// but must still be correct.
+    Stride(u64),
+}
+
+impl PeerMap {
+    pub fn peer(self, client: usize) -> u64 {
+        match self {
+            PeerMap::Identity => client as u64,
+            PeerMap::Stride(s) => client as u64 * s,
+        }
+    }
+}
+
+/// One step of a schedule.
+#[derive(Debug, Clone)]
+pub enum Step {
+    /// `client` seals `n_packets` payloads as one `DataBatch` record.
+    Batch { client: usize, n_packets: usize },
+    /// `client` seals one `Data` record.
+    Single { client: usize },
+    /// `client` sends its config-version ping.
+    Ping { client: usize },
+    /// Re-queue the datagrams produced by the previous datagram-producing
+    /// step (replay attack; after a [`Step::Disconnect`] this is the
+    /// *failed replayed Disconnect* — the session is gone, so the verdict
+    /// fails and the fresh reassembler must NOT be torn down).
+    Replay,
+    /// A crafted single-datagram `Disconnect` record for `client`'s
+    /// session.
+    Disconnect { client: usize },
+    /// A crafted `Data` record for `client`'s session, split into partial
+    /// datagrams at the given byte offsets of the record body (0 < split
+    /// < body len; offsets may fall inside the record header). The
+    /// fragments are emitted in order, so a [`Step::Flush`] between other
+    /// steps lets a partial record straddle dispatch boundaries.
+    SplitRecord {
+        client: usize,
+        payload_len: usize,
+        splits: Vec<usize>,
+    },
+    /// Emit only fragments `lo..hi` of a crafted split record; the other
+    /// fragments come from a sibling part-step carrying the same `tag`
+    /// (and identical `payload_len`/`splits`). This is how a partial
+    /// record **straddles** `Flush`/dispatch boundaries: the head lands
+    /// in one `receive_datagrams` batch, the tail in a later one, with
+    /// other peers' traffic in between.
+    SplitRecordPart {
+        client: usize,
+        payload_len: usize,
+        splits: Vec<usize>,
+        tag: u32,
+        lo: usize,
+        hi: usize,
+    },
+    /// Cut a `receive_datagrams` batch boundary here (no-op for the
+    /// single-threaded reference, which always goes datagram-at-a-time).
+    Flush,
+}
+
+/// A named, reproducible interleaving class.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    pub name: &'static str,
+    pub n_clients: usize,
+    pub seed: u64,
+    pub peers: PeerMap,
+    /// `(rx_shard, micros)` stalls installed before the sharded run;
+    /// entries whose shard index exceeds the run's RX count are skipped.
+    pub stalls: Vec<(usize, u64)>,
+    pub steps: Vec<Step>,
+}
+
+impl Schedule {
+    pub fn new(name: &'static str, n_clients: usize, seed: u64) -> Schedule {
+        Schedule {
+            name,
+            n_clients,
+            seed,
+            peers: PeerMap::Identity,
+            stalls: Vec::new(),
+            steps: Vec::new(),
+        }
+    }
+
+    pub fn peers(mut self, peers: PeerMap) -> Schedule {
+        self.peers = peers;
+        self
+    }
+
+    pub fn stall(mut self, shard: usize, micros: u64) -> Schedule {
+        self.stalls.push((shard, micros));
+        self
+    }
+
+    pub fn step(mut self, step: Step) -> Schedule {
+        self.steps.push(step);
+        self
+    }
+}
+
+/// The view of a delivery both servers must agree on.
+#[derive(Debug, PartialEq)]
+pub enum Out {
+    Pending,
+    Packets(Vec<Vec<u8>>),
+    Ping(u64),
+    Disconnected(u64),
+    Rejected(EndBoxError),
+}
+
+pub fn simplify(result: Result<Delivery, EndBoxError>) -> Out {
+    match result {
+        Ok(Delivery::Pending) => Out::Pending,
+        Ok(Delivery::Packet { packet, .. }) => Out::Packets(vec![packet.bytes().to_vec()]),
+        Ok(Delivery::PacketBatch { packets, .. }) => {
+            Out::Packets(packets.iter().map(|p| p.bytes().to_vec()).collect())
+        }
+        Ok(Delivery::Ping { message, .. }) => Out::Ping(message.config_version),
+        Ok(Delivery::Disconnected { session_id }) => Out::Disconnected(session_id),
+        Ok(other) => panic!("unexpected delivery in parity run: {other:?}"),
+        Err(e) => Out::Rejected(e),
+    }
+}
+
+/// Splits raw record bytes into fragment datagrams at the given offsets,
+/// writing the fragment headers by hand — so a split may fall anywhere,
+/// including inside the record header or 1 byte in. `id` must be unique
+/// per (peer, in-flight record); crafted ids live far above the clients'
+/// own fragmenter sequence.
+pub fn split_raw(record_bytes: &[u8], splits: &[usize], id: u32) -> Vec<Vec<u8>> {
+    let mut cuts: Vec<usize> = splits
+        .iter()
+        .copied()
+        .filter(|&s| s > 0 && s < record_bytes.len())
+        .collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut bounds = vec![0usize];
+    bounds.extend(cuts);
+    bounds.push(record_bytes.len());
+    let total = (bounds.len() - 1) as u16;
+    (0..total as usize)
+        .map(|i| {
+            let mut w = Writer::new();
+            w.u32(id)
+                .u16(i as u16)
+                .u16(total)
+                .raw(&record_bytes[bounds[i]..bounds[i + 1]]);
+            w.finish()
+        })
+        .collect()
+}
+
+/// Frag-id namespace for crafted records (clients' own fragmenters count
+/// up from 0; crafted records must not collide with their in-flight ids).
+const CRAFT_ID_BASE: u32 = 0xC0DE_0000;
+/// Separate namespace for [`Step::SplitRecordPart`] tags (stable across
+/// the sibling part-steps of one record).
+const CRAFT_PART_BASE: u32 = 0xD0DE_0000;
+
+/// Seals one step into wire datagrams using the scenario's own clients.
+/// Deterministic: scenarios built from the same seed hold identical key
+/// material, so the single and sharded runs see identical bytes.
+#[allow(clippy::too_many_arguments)]
+fn seal_step(
+    clients: &mut [EndBoxClient],
+    session_ids: &[u64],
+    peers: PeerMap,
+    step: &Step,
+    round: usize,
+    prev: &[(u64, Vec<u8>)],
+    craft_seq: &mut u32,
+) -> Vec<(u64, Vec<u8>)> {
+    let mk_packet = |client: usize, i: usize| {
+        let payload = format!(
+            "sched round {round} client {client} packet {i} {}",
+            "y".repeat(round % 29)
+        );
+        Packet::tcp(
+            Scenario::client_addr(client),
+            Scenario::network_addr(),
+            41_000 + client as u16,
+            5_001,
+            i as u32,
+            payload.as_bytes(),
+        )
+    };
+    match step {
+        Step::Batch { client, n_packets } => {
+            let packets: Vec<Packet> = (0..*n_packets).map(|i| mk_packet(*client, i)).collect();
+            clients[*client]
+                .send_batch(packets)
+                .unwrap()
+                .into_iter()
+                .map(|d| (peers.peer(*client), d))
+                .collect()
+        }
+        Step::Single { client } => clients[*client]
+            .send_packet(mk_packet(*client, 0))
+            .unwrap()
+            .into_iter()
+            .map(|d| (peers.peer(*client), d))
+            .collect(),
+        Step::Ping { client } => clients[*client]
+            .build_ping()
+            .unwrap()
+            .into_iter()
+            .map(|d| (peers.peer(*client), d))
+            .collect(),
+        Step::Replay => prev.to_vec(),
+        Step::Disconnect { client } => {
+            *craft_seq += 1;
+            let record = Record {
+                opcode: Opcode::Disconnect,
+                session_id: session_ids[*client],
+                packet_id: 0,
+                payload: vec![],
+            };
+            split_raw(&record.to_bytes(), &[], CRAFT_ID_BASE + *craft_seq)
+                .into_iter()
+                .map(|d| (peers.peer(*client), d))
+                .collect()
+        }
+        Step::SplitRecord {
+            client,
+            payload_len,
+            splits,
+        } => {
+            *craft_seq += 1;
+            let record = Record {
+                opcode: Opcode::Data,
+                session_id: session_ids[*client],
+                packet_id: 1 + *craft_seq as u64,
+                payload: vec![0xab; *payload_len],
+            };
+            split_raw(&record.to_bytes(), splits, CRAFT_ID_BASE + *craft_seq)
+                .into_iter()
+                .map(|d| (peers.peer(*client), d))
+                .collect()
+        }
+        Step::SplitRecordPart {
+            client,
+            payload_len,
+            splits,
+            tag,
+            lo,
+            hi,
+        } => {
+            let record = Record {
+                opcode: Opcode::Data,
+                session_id: session_ids[*client],
+                packet_id: 0x7000 + *tag as u64,
+                payload: vec![0xcd; *payload_len],
+            };
+            split_raw(&record.to_bytes(), splits, CRAFT_PART_BASE + *tag)
+                .drain(..)
+                .skip(*lo)
+                .take(hi.saturating_sub(*lo))
+                .map(|d| (peers.peer(*client), d))
+                .collect()
+        }
+        Step::Flush => Vec::new(),
+    }
+}
+
+/// Replays the schedule through the single-threaded reference server,
+/// one datagram at a time.
+pub fn run_single(schedule: &Schedule) -> Vec<Out> {
+    let mut scenario = Scenario::enterprise(schedule.n_clients, UseCase::Nop)
+        .seed(schedule.seed)
+        .build()
+        .unwrap();
+    let session_ids: Vec<u64> = (0..schedule.n_clients)
+        .map(|i| scenario.session_id(i))
+        .collect();
+    let mut outs = Vec::new();
+    let mut prev: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut craft_seq = 0u32;
+    for (round, step) in schedule.steps.iter().enumerate() {
+        let datagrams = seal_step(
+            &mut scenario.clients,
+            &session_ids,
+            schedule.peers,
+            step,
+            round,
+            &prev,
+            &mut craft_seq,
+        );
+        for (peer, d) in &datagrams {
+            outs.push(simplify(scenario.server.receive_datagram(*peer, d)));
+        }
+        if !datagrams.is_empty() {
+            prev = datagrams;
+        }
+    }
+    outs
+}
+
+/// Replays the schedule through a sharded scenario: datagrams accumulate
+/// until a [`Step::Flush`] (or the end), then go through the server as
+/// one pipelined `receive_datagrams` dispatch.
+pub fn run_sharded(
+    schedule: &Schedule,
+    rx_shards: usize,
+    workers: usize,
+    policy: DispatchPolicy,
+) -> Vec<Out> {
+    let mut scenario: ShardedScenario = Scenario::enterprise(schedule.n_clients, UseCase::Nop)
+        .seed(schedule.seed)
+        .dispatch(policy)
+        .rx_shards(rx_shards)
+        .build_sharded(workers)
+        .unwrap();
+    for &(shard, micros) in &schedule.stalls {
+        if shard < rx_shards {
+            scenario.server.set_rx_stall_micros(shard, micros);
+        }
+    }
+    let session_ids: Vec<u64> = (0..schedule.n_clients)
+        .map(|i| scenario.session_id(i))
+        .collect();
+    let mut outs = Vec::new();
+    let mut prev: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut segment: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut craft_seq = 0u32;
+    for (round, step) in schedule.steps.iter().enumerate() {
+        if matches!(step, Step::Flush) {
+            outs.extend(
+                scenario
+                    .server
+                    .receive_datagrams(std::mem::take(&mut segment))
+                    .into_iter()
+                    .map(simplify),
+            );
+            continue;
+        }
+        let datagrams = seal_step(
+            &mut scenario.clients,
+            &session_ids,
+            schedule.peers,
+            step,
+            round,
+            &prev,
+            &mut craft_seq,
+        );
+        segment.extend(datagrams.iter().cloned());
+        if !datagrams.is_empty() {
+            prev = datagrams;
+        }
+    }
+    outs.extend(
+        scenario
+            .server
+            .receive_datagrams(segment)
+            .into_iter()
+            .map(simplify),
+    );
+    outs
+}
+
+/// Asserts byte-identical outcomes between the single-threaded reference
+/// and the sharded server for every `(rx_shards, workers, policy)` in
+/// the grid.
+pub fn assert_schedule_parity(schedule: &Schedule) {
+    let grid: Vec<(usize, usize)> = RX_GRID
+        .iter()
+        .flat_map(|&rx| WORKER_GRID.iter().map(move |&w| (rx, w)))
+        .collect();
+    assert_schedule_parity_on(schedule, &grid);
+}
+
+/// Like [`assert_schedule_parity`], but over a caller-chosen sub-grid
+/// (proptest keeps case counts low; the named tests run the full grid).
+pub fn assert_schedule_parity_on(schedule: &Schedule, grid: &[(usize, usize)]) {
+    let reference = run_single(schedule);
+    for policy in policies() {
+        for &(rx, workers) in grid {
+            let got = run_sharded(schedule, rx, workers, policy);
+            assert_eq!(
+                got, reference,
+                "schedule `{}` diverged from the single-threaded server at \
+                 rx_shards={rx} workers={workers} policy={policy:?}",
+                schedule.name
+            );
+        }
+    }
+}
