@@ -14,7 +14,9 @@ fn main() {
         "exp_fig8_throughput",
         "exp_fig9_usecases",
         "exp_fig10_scalability",
+        "exp_heavytail_dispatch",
         "exp_rx_scaling",
+        "exp_async_ingress",
         "exp_table2_reconfig",
         "exp_fig11_reconfig_latency",
         "exp_optimizations",

@@ -1,0 +1,120 @@
+//! Event-driven vs call-driven socket front-end (beyond the paper).
+//!
+//! PR 4 sharded the RX framing stage, but ingress was still *call-driven*:
+//! someone has to hand `receive_datagrams` its batches, and a real server
+//! doing one blocking receive per wire datagram pays a full event-loop
+//! wakeup per datagram. The `AsyncFrontEnd` hangs one readiness poll
+//! group per RX shard off the per-shard request channels: readable
+//! sockets drain into owned-datagram batches, so the wakeup cost
+//! amortises over however many datagrams each wakeup finds ready. Charges
+//! *and* the measured amortisation ratio come from the real stack with
+//! the front-end in the loop; the timing layer prices the wakeups on the
+//! RX lanes (`ScalabilityConfig::async_front_end`).
+//!
+//! Emits the grid as machine-readable `BENCH_async.json`. Pass `--smoke`
+//! for a CI-sized run (fewer client counts).
+
+use endbox::eval::scalability::{
+    fig_async_ingress, AsyncIngressPoint, RX_MIX_PAYLOAD, RX_MIX_PER_CLIENT_BPS,
+};
+
+fn print_points(points: &[AsyncIngressPoint], clients: &[usize]) {
+    print!("{:<26}", "front-end \\ clients");
+    for n in clients {
+        print!("{n:>8}");
+    }
+    println!();
+    for mode in ["call-driven", "event-driven"] {
+        print!("{:<26}", format!("{mode} [Mpps]"));
+        for n in clients {
+            let p = points
+                .iter()
+                .find(|p| p.mode == mode && p.clients == *n)
+                .unwrap();
+            print!("{:>8.3}", p.mpps);
+        }
+        println!();
+        print!("{:<26}", "  server CPU [%]");
+        for n in clients {
+            let p = points
+                .iter()
+                .find(|p| p.mode == mode && p.clients == *n)
+                .unwrap();
+            print!("{:>8.0}", p.server_cpu * 100.0);
+        }
+        println!();
+    }
+}
+
+/// Hand-rolled JSON (no serde in the offline build environment).
+fn async_json(points: &[AsyncIngressPoint]) -> String {
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"mode\": \"{}\", \"clients\": {}, \"rx_shards\": {}, \"workers\": {}, \
+             \"gbps\": {:.4}, \"mpps\": {:.5}, \"server_cpu\": {:.4}, \
+             \"wakeups_per_packet\": {:.4}}}{}\n",
+            p.mode,
+            p.clients,
+            p.rx_shards,
+            p.workers,
+            p.gbps,
+            p.mpps,
+            p.server_cpu,
+            p.wakeups_per_packet,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let clients: Vec<usize> = if smoke {
+        vec![40, 120]
+    } else {
+        vec![20, 40, 60, 80, 100, 120]
+    };
+
+    println!(
+        "=== Many-peer small-record mix ({} B payloads, {} Mbps/peer, single-record \
+         datagrams): socket front-end comparison ===\n    batched EndBox SGX[NOP] stack, \
+         4 worker shards, 4 RX shards (one poll group each)\n",
+        RX_MIX_PAYLOAD,
+        RX_MIX_PER_CLIENT_BPS / 1_000_000,
+    );
+    let points = fig_async_ingress(&clients);
+    print_points(&points, &clients);
+
+    let amortisation = points
+        .iter()
+        .find(|p| p.mode == "event-driven")
+        .unwrap()
+        .wakeups_per_packet;
+    println!("\nmeasured event-loop amortisation: {amortisation:.3} wakeups/datagram");
+
+    let last = *clients.last().unwrap();
+    let at = |mode: &str| {
+        points
+            .iter()
+            .find(|p| p.mode == mode && p.clients == last)
+            .unwrap()
+            .gbps
+    };
+    let (call, event) = (at("call-driven"), at("event-driven"));
+    println!(
+        "event-driven win at {last} peers: {:.2}x (call-driven {call:.2} -> \
+         event-driven {event:.2} Gbps)",
+        event / call,
+    );
+    assert!(
+        event >= 1.3 * call,
+        "event-driven front-end win regressed below 1.3x: {:.2}x",
+        event / call
+    );
+
+    let json = async_json(&points);
+    std::fs::write("BENCH_async.json", &json).expect("write BENCH_async.json");
+    println!("\nwrote BENCH_async.json ({} rows)", points.len());
+}

@@ -1,1 +1,14 @@
-//! Experiment binaries and benchmarks for the EndBox reproduction; see `src/bin/`.
+//! Experiment binaries and microbenchmarks for the EndBox reproduction.
+//!
+//! The library itself is empty; everything lives in `src/bin/` (one
+//! `exp_*` binary per figure/table of the paper's §V evaluation, plus
+//! the scaling experiments this repo adds on top) and in
+//! `benches/microbench.rs` (Criterion groups: `batch_vs_single`,
+//! `shard_scaling`). Run an experiment with
+//! `cargo run --release -p endbox-bench --bin <name>`; the scaling
+//! binaries (`exp_fig10_scalability`, `exp_heavytail_dispatch`,
+//! `exp_rx_scaling`, `exp_async_ingress`) accept `--smoke` for a
+//! CI-sized run and emit machine-readable `BENCH_*.json` artifacts that
+//! CI validates and diffs. The full catalogue — what each binary
+//! measures and which artifact it writes — is tabulated in the
+//! repository `README.md`.

@@ -139,7 +139,7 @@ impl<'a> ElementContext<'a> {
     }
 
     /// Emits `pkt` out of the router (ToDevice): marks it accepted. This is
-    /// the EndBox `ToDevice` modification — it "signal[s] OpenVPN when a
+    /// the EndBox `ToDevice` modification — it "signal\[s\] OpenVPN when a
     /// packet was accepted or rejected" (§IV).
     pub fn emit(&mut self, mut pkt: Packet) {
         pkt.meta.verdict = endbox_netsim::packet::Verdict::Accept;

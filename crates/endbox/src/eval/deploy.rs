@@ -288,6 +288,37 @@ pub fn measure_charge_sharded(
     }
 }
 
+/// Condenses the totals of a small-record measurement run into a
+/// per-packet [`PacketCharge`]. Shared by [`measure_charge_rx`] and
+/// [`measure_charge_async`] so the charge arithmetic (header constant,
+/// fragment rounding, RX-lane share) cannot drift between the
+/// call-driven and event-driven measurements their comparison rests on;
+/// `socket_rx_cycles_total` is the socket-receive work the RX lanes paid
+/// (0 when ingress is call-driven — no sockets in the loop).
+fn small_record_charge(
+    payload_len: usize,
+    packets_total: u64,
+    wire_bytes_total: usize,
+    fragments_total: usize,
+    client_cycles: u64,
+    server_cycles: u64,
+    socket_rx_cycles_total: u64,
+) -> PacketCharge {
+    let fragments = (fragments_total as u64).div_ceil(packets_total).max(1) as usize;
+    PacketCharge {
+        payload_bytes: payload_len + 40, // payload + IP/TCP headers
+        wire_bytes: wire_bytes_total / packets_total as usize,
+        fragments,
+        client_cycles: client_cycles / packets_total,
+        server_cycles: server_cycles / packets_total,
+        // The RX-lane share: per-datagram framing plus whatever socket
+        // receives the front-end performed (both run on RX threads).
+        rx_cycles: CostModel::calibrated().vpn_server_per_fragment * fragments as u64
+            + socket_rx_cycles_total / packets_total,
+        dropped: false,
+    }
+}
+
 /// Measures per-packet charges on the sharded stack under the
 /// **many-peer small-record mix** that stresses the RX front-end:
 /// `n_peers` real clients each seal single-packet records (no record
@@ -370,24 +401,133 @@ pub fn measure_charge_rx(
     }
 
     let packets_total = (samples * SINGLES_PER_PEER * N_PEERS) as u64;
-    let fragments = (fragments_total as u64).div_ceil(packets_total).max(1) as usize;
+    let client_cycles: u64 = client_meters.iter().map(CycleMeter::take).sum::<u64>();
+    small_record_charge(
+        payload_len,
+        packets_total,
+        wire_bytes_total,
+        fragments_total,
+        client_cycles,
+        server_meter.take(),
+        0,
+    )
+}
+
+/// Measures per-packet charges on the sharded stack with the
+/// **event-driven socket front-end** in the loop: the many-peer
+/// small-record mix of [`measure_charge_rx`], but every datagram rides
+/// the virtual wire into a per-peer server socket and the
+/// [`crate::server::AsyncFrontEnd`] drains it (one poll group per RX
+/// shard). Socket receives charge the server meter, so
+/// [`PacketCharge::server_cycles`] includes the socket-layer work, and
+/// [`PacketCharge::rx_cycles`] carries the framing + socket share that
+/// runs on the RX lanes.
+///
+/// Returns the charge plus the measured **wakeups-per-datagram** ratio of
+/// the event loop ([`crate::server::AsyncIngressStats`]): the
+/// amortisation input to
+/// [`endbox_netsim::pipeline::AsyncFrontEndModel::event_driven`] (a
+/// call-driven front-end pays one wakeup per datagram by definition; the
+/// event-loop cost itself is priced by the timing layer, not metered
+/// here).
+///
+/// # Panics
+///
+/// Panics if the deployment cannot be constructed.
+pub fn measure_charge_async(
+    use_case: UseCase,
+    payload_len: usize,
+    samples: usize,
+    workers: usize,
+    rx_shards: usize,
+) -> (PacketCharge, f64) {
+    const N_PEERS: usize = 8;
+    const SINGLES_PER_PEER: usize = 8;
+    let mut scenario = Scenario::enterprise(N_PEERS, use_case)
+        .trust(TrustLevel::Hardware)
+        .seed(0xbe9c)
+        .rx_shards(rx_shards)
+        .async_ingress(true)
+        .build_sharded(workers)
+        .expect("sharded deployment must build");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let payload = benign_payload(payload_len, &mut rng);
+    let client_meters: Vec<CycleMeter> =
+        scenario.clients.iter().map(|c| c.meter().clone()).collect();
+    let server_meter = scenario.server_meter.clone();
+
+    // One round: peers interleave single-packet records (the small-record
+    // RX mix), each sealed datagram shipped through the peer's socket,
+    // then one event-loop drain.
+    let run_round = |scenario: &mut crate::scenario::ShardedScenario, seq: u32| -> (usize, usize) {
+        let mut datagrams = 0usize;
+        let mut wire_bytes = 0usize;
+        for i in 0..SINGLES_PER_PEER {
+            for idx in 0..N_PEERS {
+                let pkt = Packet::tcp(
+                    Scenario::client_addr(idx),
+                    Scenario::network_addr(),
+                    40_000 + idx as u16,
+                    5001,
+                    seq + i as u32,
+                    &payload,
+                );
+                let sealed = scenario.clients[idx].send_packet(pkt).expect("send");
+                datagrams += sealed.len();
+                wire_bytes += sealed.iter().map(Vec::len).sum::<usize>();
+                scenario.send_wire_datagrams(idx as u64, sealed);
+            }
+        }
+        for (_, result) in scenario.pump_async() {
+            result.expect("deliver");
+        }
+        (datagrams, wire_bytes)
+    };
+
+    // Warm-up round (first-use costs stay out of the steady state).
+    run_round(&mut scenario, 0);
+    for m in &client_meters {
+        m.take();
+    }
+    server_meter.take();
+    let warm_stats = scenario.async_stats();
+
+    let mut wire_bytes_total = 0usize;
+    let mut fragments_total = 0usize;
+    for r in 1..=samples {
+        let (frags, bytes) = run_round(&mut scenario, (r * SINGLES_PER_PEER) as u32);
+        fragments_total += frags;
+        wire_bytes_total += bytes;
+    }
+    let stats = scenario.async_stats();
+    let wakeups = stats.wakeups - warm_stats.wakeups;
+    let drained = stats.datagrams - warm_stats.datagrams;
+    assert_eq!(drained as usize, fragments_total, "every datagram drained");
+    let wakeups_per_datagram = wakeups as f64 / drained.max(1) as f64;
+
+    let packets_total = (samples * SINGLES_PER_PEER * N_PEERS) as u64;
     let client_cycles: u64 = client_meters.iter().map(CycleMeter::take).sum::<u64>();
     let cost = CostModel::calibrated();
-    PacketCharge {
-        payload_bytes: payload_len + 40, // payload + IP/TCP headers
-        wire_bytes: wire_bytes_total / packets_total as usize,
-        fragments,
-        client_cycles: client_cycles / packets_total,
-        server_cycles: server_meter.take() / packets_total,
-        rx_cycles: cost.vpn_server_per_fragment * fragments as u64,
-        dropped: false,
-    }
+    let socket_rx_cycles = cost.socket_recv_fixed * fragments_total as u64
+        + (cost.socket_per_byte * wire_bytes_total as f64) as u64;
+    let charge = small_record_charge(
+        payload_len,
+        packets_total,
+        wire_bytes_total,
+        fragments_total,
+        client_cycles,
+        server_meter.take(),
+        socket_rx_cycles,
+    );
+    (charge, wakeups_per_datagram)
 }
 
 /// Like [`measure_charge_sharded`], but drives a **heavy-tailed**
 /// multi-client load mix (Zipf weights from
 /// [`crate::eval::scalability::heavy_tail_weights`]) through a sharded
-/// server running the given [`DispatchPolicy`] — the real-stack
+/// server running the given [`endbox_vpn::shard::DispatchPolicy`] — the
+/// real-stack
 /// measurement behind the dispatcher comparison. Returned charges are per
 /// packet; the throughput difference between the policies is a queueing
 /// effect the timing layer reproduces from this charge plus the same load

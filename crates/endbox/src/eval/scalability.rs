@@ -84,6 +84,7 @@ pub fn sweep(deployment: Deployment) -> Vec<ScalabilityPoint> {
                 client_load_weights: None,
                 load_aware_dispatch: false,
                 rx_shards: None,
+                async_front_end: None,
             };
             let r: ScalabilityResult =
                 run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg);
@@ -173,6 +174,7 @@ pub fn sweep_sharded(
                 client_load_weights: None,
                 load_aware_dispatch: false,
                 rx_shards: None,
+                async_front_end: None,
             };
             let r: ScalabilityResult =
                 run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg);
@@ -279,6 +281,7 @@ pub fn sweep_heavy_tail(
                 client_load_weights: Some(heavy_tail_weights(n)),
                 load_aware_dispatch: load_aware,
                 rx_shards: None,
+                async_front_end: None,
             };
             let r: ScalabilityResult =
                 run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg);
@@ -378,6 +381,7 @@ pub fn sweep_rx_shards(
                 client_load_weights: None,
                 load_aware_dispatch: false,
                 rx_shards: Some(rx_shards),
+                async_front_end: None,
             };
             let r: ScalabilityResult =
                 run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg);
@@ -400,6 +404,139 @@ pub fn fig_rx_scaling(clients: &[usize]) -> Vec<RxScalingPoint> {
     let mut out = Vec::new();
     for k in rx_shard_counts() {
         out.extend(sweep_rx_shards(UseCase::Nop, k, 4, clients));
+    }
+    out
+}
+
+/// One data point of the socket-front-end comparison: the sharded stack
+/// under the many-peer small-record mix, ingesting either through a
+/// call-driven front-end (one blocking receive — one event-loop wakeup —
+/// per wire datagram) or through the event-driven
+/// [`crate::server::AsyncFrontEnd`] (wakeups amortised over the drain
+/// batch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncIngressPoint {
+    /// `"call-driven"` or `"event-driven"`.
+    pub mode: String,
+    /// Connected clients (peers).
+    pub clients: usize,
+    /// RX framing shards (== poll groups).
+    pub rx_shards: usize,
+    /// Server worker shards.
+    pub workers: usize,
+    /// Aggregate server-side goodput in Gbps.
+    pub gbps: f64,
+    /// Aggregate server-side packet rate in Mpps.
+    pub mpps: f64,
+    /// Server CPU utilisation in [0, 1].
+    pub server_cpu: f64,
+    /// Event-loop wakeups per packet priced by the timing model
+    /// (per-datagram ratio × fragments; 1.0 for the call-driven
+    /// front-end on the single-datagram small-record mix).
+    pub wakeups_per_packet: f64,
+}
+
+/// Runs the socket-front-end sweep for one mode: the per-packet charge
+/// *and* the event loop's wakeups-per-datagram amortisation are measured
+/// on the **real** stack with the `AsyncFrontEnd` in the loop
+/// ([`super::deploy::measure_charge_async`]), then replayed through the
+/// timing layer with the event-loop wakeup priced per packet on the RX
+/// lanes ([`endbox_netsim::pipeline::AsyncFrontEndModel`]). The
+/// call-driven baseline replays the **same measured charge** with one
+/// wakeup per datagram — the only modelled difference between the modes
+/// is the wakeup amortisation, which is precisely the event-driven
+/// front-end's contribution.
+pub fn sweep_async_ingress(
+    use_case: UseCase,
+    rx_shards: usize,
+    workers: usize,
+    clients: &[usize],
+    event_driven: bool,
+) -> Vec<AsyncIngressPoint> {
+    let (charge, measured_ratio) =
+        super::deploy::measure_charge_async(use_case, RX_MIX_PAYLOAD, 6, workers, rx_shards);
+    sweep_async_ingress_measured(
+        charge,
+        measured_ratio,
+        rx_shards,
+        workers,
+        clients,
+        event_driven,
+    )
+}
+
+/// The replay half of [`sweep_async_ingress`], for callers comparing both
+/// modes against **one** real-stack measurement (the comparison's whole
+/// point is that only the modelled wakeup amortisation differs).
+pub fn sweep_async_ingress_measured(
+    charge: PacketCharge,
+    measured_ratio: f64,
+    rx_shards: usize,
+    workers: usize,
+    clients: &[usize],
+    event_driven: bool,
+) -> Vec<AsyncIngressPoint> {
+    let wakeup = endbox_netsim::cost::CostModel::calibrated().event_loop_wakeup;
+    let model = if event_driven {
+        endbox_netsim::pipeline::AsyncFrontEndModel::event_driven(wakeup, measured_ratio)
+    } else {
+        endbox_netsim::pipeline::AsyncFrontEndModel::call_driven(wakeup)
+    };
+    clients
+        .iter()
+        .map(|&n| {
+            let cfg = ScalabilityConfig {
+                n_clients: n,
+                per_client_bps: RX_MIX_PER_CLIENT_BPS,
+                payload_bytes: charge.payload_bytes,
+                duration: SimDuration::from_millis(20),
+                n_client_machines: 5,
+                contention_per_excess_process: 0.0,
+                server_procs_per_client: 1,
+                server_single_process: false,
+                server_worker_shards: Some(workers),
+                client_load_weights: None,
+                load_aware_dispatch: false,
+                rx_shards: Some(rx_shards),
+                async_front_end: Some(model),
+            };
+            let r: ScalabilityResult =
+                run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg);
+            AsyncIngressPoint {
+                mode: if event_driven {
+                    "event-driven"
+                } else {
+                    "call-driven"
+                }
+                .to_string(),
+                clients: n,
+                rx_shards,
+                workers,
+                gbps: r.gbps,
+                mpps: r.gbps * 1e9 / (charge.payload_bytes as f64 * 8.0) / 1e6,
+                server_cpu: r.server_cpu,
+                wakeups_per_packet: model.wakeups_per_datagram * charge.fragments.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// The socket-front-end comparison: call-driven vs event-driven ingestion
+/// of the many-peer small-record mix on the batched EndBox-SGX stack
+/// (NOP use case, 4 RX shards, 4 worker shards), across `clients`.
+pub fn fig_async_ingress(clients: &[usize]) -> Vec<AsyncIngressPoint> {
+    let (charge, ratio) =
+        super::deploy::measure_charge_async(UseCase::Nop, RX_MIX_PAYLOAD, 6, 4, 4);
+    let mut out = Vec::new();
+    for event_driven in [false, true] {
+        out.extend(sweep_async_ingress_measured(
+            charge,
+            ratio,
+            4,
+            4,
+            clients,
+            event_driven,
+        ));
     }
     out
 }
@@ -523,6 +660,7 @@ mod tests {
                 client_load_weights: None,
                 load_aware_dispatch: load_aware,
                 rx_shards: None,
+                async_front_end: None,
             };
             run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg).gbps
         };
@@ -603,6 +741,47 @@ mod tests {
             charge.rx_cycles,
             charge.server_cycles
         );
+    }
+
+    #[test]
+    fn event_loop_amortises_wakeups_on_the_small_record_mix() {
+        // The measured input to the async model must show real
+        // amortisation: with 8 ready peers per round, the event loop
+        // drains many datagrams per wakeup, so the ratio sits far below
+        // the call-driven front-end's 1.0.
+        let (charge, ratio) =
+            super::super::deploy::measure_charge_async(UseCase::Nop, RX_MIX_PAYLOAD, 4, 4, 4);
+        assert!(
+            ratio < 0.5,
+            "event loop must amortise wakeups well below call-driven: {ratio:.3}"
+        );
+        assert!(ratio > 0.0, "wakeups must be counted at all");
+        assert_eq!(charge.fragments, 1, "small records must not fragment");
+        assert!(
+            charge.rx_cycles <= charge.server_cycles,
+            "rx share (framing + socket) within the measured total: rx {} of {}",
+            charge.rx_cycles,
+            charge.server_cycles
+        );
+    }
+
+    #[test]
+    fn event_driven_front_end_beats_call_driven_at_high_peer_counts() {
+        // The acceptance bar: at 120 peers on the small-record mix, the
+        // event-driven front-end must deliver >= 1.3x the aggregate
+        // throughput of the call-driven one (same measured charge; the
+        // only difference is the wakeup amortisation).
+        let (charge, ratio) =
+            super::super::deploy::measure_charge_async(UseCase::Nop, RX_MIX_PAYLOAD, 6, 4, 4);
+        let call = sweep_async_ingress_measured(charge, ratio, 4, 4, &[120], false);
+        let event = sweep_async_ingress_measured(charge, ratio, 4, 4, &[120], true);
+        let (g_call, g_event) = (call[0].gbps, event[0].gbps);
+        assert!(
+            g_event >= 1.3 * g_call,
+            "event-driven must win >=1.3x at 120 peers: {g_call:.3} vs {g_event:.3} Gbps"
+        );
+        assert!(call[0].wakeups_per_packet == 1.0);
+        assert!(event[0].wakeups_per_packet < 0.5);
     }
 
     #[test]

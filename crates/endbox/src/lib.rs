@@ -30,6 +30,10 @@
 //! * [`eval`] — deployments and experiment runners regenerating every
 //!   table and figure of §V.
 //!
+//! The repository-level `README.md` carries the crate map and datapath
+//! diagram; `docs/architecture.md` carries the per-subsystem invariants
+//! and the map from each invariant to the test that pins it.
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -6,18 +6,24 @@ use crate::ca::CertificateAuthority;
 use crate::client::{EndBoxClient, EndBoxClientConfig, TrustLevel};
 use crate::config_update::{ConfigServer, SignedConfig};
 use crate::error::EndBoxError;
-use crate::server::{Delivery, EndBoxServer, EndBoxServerConfig, ShardedEndBoxServer};
+use crate::server::{
+    AsyncFrontEnd, AsyncIngressStats, Delivery, EndBoxServer, EndBoxServerConfig,
+    ShardedEndBoxServer,
+};
 use crate::use_cases::UseCase;
 use endbox_crypto::schnorr::SigningKey;
 use endbox_netsim::cost::{CostModel, CycleMeter};
+use endbox_netsim::net::VirtualWire;
 use endbox_netsim::time::SharedClock;
 use endbox_netsim::Packet;
 use endbox_sgx::attestation::{CpuIdentity, IasSimulator};
 use endbox_vpn::channel::CipherSuite;
+use endbox_vpn::endpoint::FramedSender;
 use endbox_vpn::handshake::HandshakeConfig;
 use endbox_vpn::shard::DispatchPolicy;
 use endbox_vpn::{PROTOCOL_V1, PROTOCOL_V2};
 use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
 /// Which §II-A scenario a deployment models.
@@ -31,7 +37,39 @@ pub enum ScenarioKind {
     Isp,
 }
 
-/// Builder for [`Scenario`].
+/// Builder for [`Scenario`] (entry points:
+/// [`Scenario::enterprise`] / [`Scenario::isp`]).
+///
+/// Knobs chain; [`ScenarioBuilder::build`] produces a single-threaded
+/// deployment, [`ScenarioBuilder::build_sharded`] the pipelined
+/// multi-worker one. See `examples/quickstart.rs` and
+/// `examples/enterprise_network.rs` for the long-form versions of these
+/// snippets.
+///
+/// # Example
+///
+/// ```
+/// use endbox::scenario::Scenario;
+/// use endbox::use_cases::UseCase;
+/// use endbox_vpn::shard::DispatchPolicy;
+///
+/// // Single-threaded reference deployment: one client, one firewall.
+/// let mut s = Scenario::enterprise(1, UseCase::Firewall).build().unwrap();
+/// let delivered = s.send_from_client(0, b"hello").unwrap();
+/// assert_eq!(delivered.app_payload(), b"hello");
+///
+/// // Fully-knobbed sharded pipeline: 2 RX framing shards, static
+/// // dispatch, 2 crypto workers, event-driven socket ingress.
+/// let s = Scenario::enterprise(2, UseCase::Nop)
+///     .seed(42)
+///     .rx_shards(2)
+///     .dispatch(DispatchPolicy::Static)
+///     .async_ingress(true)
+///     .build_sharded(2)
+///     .unwrap();
+/// assert_eq!(s.server.worker_count(), 2);
+/// assert!(s.async_ingress_enabled());
+/// ```
 #[derive(Debug)]
 pub struct ScenarioBuilder {
     kind: ScenarioKind,
@@ -46,6 +84,7 @@ pub struct ScenarioBuilder {
     custom_client_click: Option<String>,
     dispatch: DispatchPolicy,
     rx_shards: usize,
+    async_ingress: bool,
 }
 
 impl ScenarioBuilder {
@@ -106,6 +145,18 @@ impl ScenarioBuilder {
     /// `peer_id mod k` in front of the worker shards.
     pub fn rx_shards(mut self, k: usize) -> Self {
         self.rx_shards = k.max(1);
+        self
+    }
+
+    /// Event-driven socket ingress for a sharded build (default off):
+    /// every peer gets a virtual server-side UDP socket registered with
+    /// an [`AsyncFrontEnd`] poll group (one group per RX shard), and the
+    /// data-path drivers route wire datagrams through the event loop
+    /// instead of calling `receive_datagrams` directly. The
+    /// handshake/control path stays call-driven — it is off the fast
+    /// path. See [`ShardedScenario::pump_async`].
+    pub fn async_ingress(mut self, on: bool) -> Self {
+        self.async_ingress = on;
         self
     }
 
@@ -293,6 +344,27 @@ impl ScenarioBuilder {
     /// Propagates enrollment/handshake failures, plus
     /// [`EndBoxError::NotReady`] if a server-side Click was requested
     /// (the sharded server replaces that baseline).
+    ///
+    /// # Example
+    ///
+    /// Four clients through a 2-worker / 2-RX-shard pipeline, all batches
+    /// in one multi-client dispatch (see also `examples/enterprise_network.rs`):
+    ///
+    /// ```
+    /// use endbox::scenario::Scenario;
+    /// use endbox::use_cases::UseCase;
+    ///
+    /// let mut s = Scenario::enterprise(4, UseCase::Firewall)
+    ///     .rx_shards(2)
+    ///     .build_sharded(2)
+    ///     .unwrap();
+    /// let payloads: Vec<Vec<Vec<u8>>> = (0..4)
+    ///     .map(|c| (0..3).map(|i| format!("client {c} pkt {i}").into_bytes()).collect())
+    ///     .collect();
+    /// let delivered = s.send_batches_from_all(&payloads).unwrap();
+    /// assert_eq!(delivered.len(), 4);
+    /// assert!(delivered.iter().all(|per_client| per_client.len() == 3));
+    /// ```
     pub fn build_sharded(self, workers: usize) -> Result<ShardedScenario, EndBoxError> {
         let (mut setup, server_config) = self.setup()?;
         let mut server = ShardedEndBoxServer::with_pipeline(
@@ -312,6 +384,9 @@ impl ScenarioBuilder {
             clients.push(client);
         }
 
+        let front_end = self
+            .async_ingress
+            .then(|| AsyncFrontEnd::new(server.rx_shard_count()));
         Ok(ShardedScenario {
             kind: self.kind,
             use_case: self.use_case,
@@ -323,6 +398,10 @@ impl ScenarioBuilder {
             clients,
             session_ids,
             clock: setup.clock,
+            cost: setup.cost,
+            wire: self.async_ingress.then(VirtualWire::new),
+            front_end,
+            links: HashMap::new(),
         })
     }
 }
@@ -391,6 +470,7 @@ impl Scenario {
             custom_client_click: None,
             dispatch: DispatchPolicy::default(),
             rx_shards: 1,
+            async_ingress: false,
         }
     }
 
@@ -409,6 +489,7 @@ impl Scenario {
             custom_client_click: None,
             dispatch: DispatchPolicy::default(),
             rx_shards: 1,
+            async_ingress: false,
         }
     }
 
@@ -652,6 +733,15 @@ pub struct ShardedScenario {
     session_ids: Vec<u64>,
     /// Shared simulation clock.
     pub clock: SharedClock,
+    cost: CostModel,
+    /// The in-process wire behind the virtual sockets
+    /// (`Some` iff built with [`ScenarioBuilder::async_ingress`]).
+    wire: Option<VirtualWire>,
+    /// The event-driven socket front-end
+    /// (`Some` iff built with [`ScenarioBuilder::async_ingress`]).
+    front_end: Option<AsyncFrontEnd>,
+    /// Per-peer client-side sending halves, bound lazily on first send.
+    links: HashMap<u64, FramedSender>,
 }
 
 impl std::fmt::Debug for ShardedScenario {
@@ -665,10 +755,149 @@ impl std::fmt::Debug for ShardedScenario {
     }
 }
 
+/// Folds the next `n` datagram results of `results` into the packets
+/// they delivered (`Pending` contributes nothing; middlebox-dropped
+/// packets are already absent from batch deliveries). Shared by the
+/// call-driven and event-driven batch drivers so the two regroupings
+/// cannot drift apart.
+fn collect_delivered(
+    results: &mut impl Iterator<Item = Result<Delivery, EndBoxError>>,
+    n: usize,
+) -> Result<Vec<Packet>, EndBoxError> {
+    let mut delivered = Vec::new();
+    for _ in 0..n {
+        match results.next().expect("one result per datagram")? {
+            Delivery::Pending => {}
+            Delivery::PacketBatch { packets, .. } => delivered.extend(packets),
+            Delivery::Packet { packet, .. } => delivered.push(packet),
+            _ => return Err(EndBoxError::NotReady("unexpected delivery type")),
+        }
+    }
+    Ok(delivered)
+}
+
+/// Port bit distinguishing client-side sockets from server-side ones on
+/// the scenario's virtual wire (server port for peer `p` is `p` itself).
+const CLIENT_PORT_BIT: u64 = 1 << 63;
+
 impl ShardedScenario {
     /// The session id of client `idx`.
     pub fn session_id(&self, idx: usize) -> u64 {
         self.session_ids[idx]
+    }
+
+    /// Whether this scenario routes data-path ingress through the
+    /// event-driven socket front-end
+    /// ([`ScenarioBuilder::async_ingress`]).
+    pub fn async_ingress_enabled(&self) -> bool {
+        self.front_end.is_some()
+    }
+
+    /// Ensures `peer` has a server-side socket registered with the
+    /// front-end and a client-side sending half, binding both lazily.
+    /// The server socket is metered: socket receives charge the server
+    /// meter like every other server-side cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if async ingress is off.
+    fn ensure_async_peer(&mut self, peer: u64) {
+        let wire = self.wire.as_ref().expect("async ingress enabled");
+        let front_end = self.front_end.as_mut().expect("async ingress enabled");
+        if self.links.contains_key(&peer) {
+            return;
+        }
+        let server_ep = wire
+            .bind_metered(peer, self.server_meter.clone(), &self.cost)
+            .expect("unique server port per peer");
+        front_end.register_peer(peer, server_ep);
+        let client_ep = wire
+            .bind(CLIENT_PORT_BIT | peer)
+            .expect("unique client port per peer");
+        self.links
+            .insert(peer, FramedSender::new(client_ep, self.cost.mtu_payload));
+    }
+
+    /// Ships already-sealed wire datagrams from `peer`'s client-side
+    /// socket to the server-side socket the front-end polls for that
+    /// peer. Nothing is processed until [`ShardedScenario::pump_async`]
+    /// runs the event loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if async ingress is off.
+    pub fn send_wire_datagrams(&mut self, peer: u64, datagrams: Vec<Vec<u8>>) {
+        self.ensure_async_peer(peer);
+        self.links
+            .get(&peer)
+            .expect("just ensured")
+            .forward(peer, datagrams)
+            .expect("server socket bound");
+    }
+
+    /// Runs the event loop until every registered socket is drained,
+    /// returning one `(peer, result)` per datagram in dispatch order
+    /// (see [`AsyncFrontEnd::run_until_idle`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if async ingress is off.
+    pub fn pump_async(&mut self) -> Vec<(u64, Result<Delivery, EndBoxError>)> {
+        self.front_end
+            .as_mut()
+            .expect("async ingress enabled")
+            .run_until_idle(&mut self.server)
+    }
+
+    /// One event-loop round only (budget-bounded) — the knob the
+    /// backpressure tests turn. See [`AsyncFrontEnd::pump`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if async ingress is off.
+    pub fn pump_async_round(&mut self) -> Vec<(u64, Result<Delivery, EndBoxError>)> {
+        self.front_end
+            .as_mut()
+            .expect("async ingress enabled")
+            .pump(&mut self.server)
+    }
+
+    /// Front-end counters (wakeups, rounds, datagrams, deferrals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if async ingress is off.
+    pub fn async_stats(&self) -> AsyncIngressStats {
+        self.front_end
+            .as_ref()
+            .expect("async ingress enabled")
+            .stats()
+    }
+
+    /// Datagrams queued in server-side sockets, not yet drained by the
+    /// event loop (see [`AsyncFrontEnd::backlog`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if async ingress is off.
+    pub fn backlog(&self) -> usize {
+        self.front_end
+            .as_ref()
+            .expect("async ingress enabled")
+            .backlog()
+    }
+
+    /// Tightens the event loop's fairness quota / per-shard budget
+    /// (defaults: [`crate::server::DEFAULT_DRAIN_QUOTA`],
+    /// [`crate::server::DEFAULT_SHARD_BUDGET`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if async ingress is off.
+    pub fn set_async_budget(&mut self, drain_quota: usize, shard_budget: usize) {
+        let fe = self.front_end.as_mut().expect("async ingress enabled");
+        fe.set_drain_quota(drain_quota);
+        fe.set_shard_budget(shard_budget);
     }
 
     /// Sends several application payloads from one client as a batch
@@ -729,6 +958,9 @@ impl ShardedScenario {
         &mut self,
         batches: Vec<(usize, Vec<Packet>)>,
     ) -> Result<Vec<Vec<Packet>>, EndBoxError> {
+        if self.async_ingress_enabled() {
+            return self.send_packet_batches_async(batches);
+        }
         // Client side: each client seals its own batch.
         let mut datagrams: Vec<(u64, Vec<u8>)> = Vec::new();
         let mut slices: Vec<usize> = Vec::with_capacity(batches.len());
@@ -744,19 +976,49 @@ impl ShardedScenario {
         let mut out = Vec::with_capacity(slices.len());
         let mut cursor = results.into_iter();
         for n in slices {
-            let mut delivered = Vec::new();
-            for _ in 0..n {
-                match cursor.next().expect("one result per datagram")? {
-                    Delivery::Pending => {}
-                    Delivery::PacketBatch { packets, .. } => delivered.extend(packets),
-                    Delivery::Packet { packet, .. } => delivered.push(packet),
-                    other => {
-                        let _ = other;
-                        return Err(EndBoxError::NotReady("unexpected delivery type"));
-                    }
-                }
-            }
-            out.push(delivered);
+            out.push(collect_delivered(&mut cursor, n)?);
+        }
+        Ok(out)
+    }
+
+    /// The event-driven flavour of
+    /// [`ShardedScenario::send_packet_batches_from_all`]: sealed
+    /// datagrams ride the virtual wire into per-peer server sockets and
+    /// the [`AsyncFrontEnd`] drains them through the same pipelined
+    /// dispatch. Results are regrouped **per peer** (per-peer order is
+    /// exact for any backpressure setting; see [`AsyncFrontEnd`]).
+    fn send_packet_batches_async(
+        &mut self,
+        batches: Vec<(usize, Vec<Packet>)>,
+    ) -> Result<Vec<Vec<Packet>>, EndBoxError> {
+        // A backlog from an earlier budget-bounded pump would be drained
+        // first and mis-attributed to this batch's datagrams; callers
+        // mixing manual pump rounds with the batch drivers must drain
+        // (`pump_async`) before sealing new traffic.
+        assert_eq!(
+            self.backlog(),
+            0,
+            "drain the socket backlog with pump_async() before sending a new batch"
+        );
+        let mut expected: Vec<(u64, usize)> = Vec::with_capacity(batches.len());
+        for (idx, packets) in batches {
+            let peer = idx as u64;
+            let sealed = self.clients[idx].send_batch(packets)?;
+            expected.push((peer, sealed.len()));
+            self.send_wire_datagrams(peer, sealed);
+        }
+        let mut by_peer: HashMap<u64, VecDeque<Result<Delivery, EndBoxError>>> = HashMap::new();
+        for (peer, result) in self.pump_async() {
+            by_peer.entry(peer).or_default().push_back(result);
+        }
+        let mut out = Vec::with_capacity(expected.len());
+        for (peer, n) in expected {
+            // Take exactly this entry's results, leaving the remainder for
+            // a later entry of the same client (per-peer order is the
+            // order the entries sealed in).
+            let queue = by_peer.entry(peer).or_default();
+            assert!(queue.len() >= n, "one result per datagram");
+            out.push(collect_delivered(&mut queue.drain(..n), n)?);
         }
         Ok(out)
     }
@@ -1104,6 +1366,92 @@ mod tests {
         let (served, rejected) = s.server.counters();
         assert_eq!(served, 20);
         assert_eq!(rejected, 0);
+    }
+
+    #[test]
+    fn duplicate_client_entries_regroup_identically_in_both_modes() {
+        // One client may appear in several batch entries of one driver
+        // call; both ingress modes must split its results back per entry.
+        let build = |async_ingress: bool| {
+            Scenario::enterprise(2, UseCase::Nop)
+                .seed(0xd0b1)
+                .rx_shards(2)
+                .async_ingress(async_ingress)
+                .build_sharded(2)
+                .unwrap()
+        };
+        let mk = |idx: usize, tag: &str, n: usize| -> Vec<Packet> {
+            (0..n)
+                .map(|i| {
+                    Packet::tcp(
+                        Scenario::client_addr(idx),
+                        Scenario::network_addr(),
+                        40_000 + idx as u16,
+                        5_001,
+                        i as u32,
+                        format!("{tag} {i}").as_bytes(),
+                    )
+                })
+                .collect()
+        };
+        let batches = || {
+            vec![
+                (0, mk(0, "first", 2)),
+                (1, mk(1, "other", 1)),
+                (0, mk(0, "second", 3)),
+            ]
+        };
+        let mut sync = build(false);
+        let mut async_ = build(true);
+        let a = sync.send_packet_batches_from_all(batches()).unwrap();
+        let b = async_.send_packet_batches_from_all(batches()).unwrap();
+        let bytes = |v: &Vec<Vec<Packet>>| -> Vec<Vec<Vec<u8>>> {
+            v.iter()
+                .map(|ps| ps.iter().map(|p| p.bytes().to_vec()).collect())
+                .collect()
+        };
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].len(), 2);
+        assert_eq!(a[1].len(), 1);
+        assert_eq!(a[2].len(), 3);
+        assert_eq!(bytes(&a), bytes(&b));
+    }
+
+    #[test]
+    fn async_ingress_delivers_identically_to_call_driven_ingress() {
+        let payloads: Vec<Vec<Vec<u8>>> = (0..4)
+            .map(|c| {
+                (0..5)
+                    .map(|i| format!("async client {c} payload {i}").into_bytes())
+                    .collect()
+            })
+            .collect();
+        let mut sync = Scenario::enterprise(4, UseCase::Firewall)
+            .rx_shards(2)
+            .build_sharded(2)
+            .unwrap();
+        let mut async_ = Scenario::enterprise(4, UseCase::Firewall)
+            .rx_shards(2)
+            .async_ingress(true)
+            .build_sharded(2)
+            .unwrap();
+        assert!(!sync.async_ingress_enabled());
+        assert!(async_.async_ingress_enabled());
+        for round in 0..3 {
+            let a = sync.send_batches_from_all(&payloads).unwrap();
+            let b = async_.send_batches_from_all(&payloads).unwrap();
+            let bytes = |v: &Vec<Vec<Packet>>| -> Vec<Vec<Vec<u8>>> {
+                v.iter()
+                    .map(|ps| ps.iter().map(|p| p.bytes().to_vec()).collect())
+                    .collect()
+            };
+            assert_eq!(bytes(&a), bytes(&b), "round {round}");
+        }
+        let stats = async_.async_stats();
+        assert_eq!(stats.datagrams, 4 * 3, "one record datagram per batch");
+        assert!(stats.wakeups >= stats.rounds, "every round polls");
+        assert_eq!(stats.deferred_rounds, 0, "no backpressure at this load");
+        assert_eq!(sync.server.counters(), async_.server.counters());
     }
 
     #[test]

@@ -6,6 +6,43 @@
 //! on packets entering from outside ("the ENDBOX server removes the QoS
 //! byte if it is set to 0xeb", §IV-A) and optionally runs a *server-side*
 //! Click instance (the OpenVPN+Click baseline of §V).
+//!
+//! # Two flavours, one behaviour
+//!
+//! * [`EndBoxServer`] — the single-threaded reference: one reassembler
+//!   map, one inline VPN shard, strict input-order processing. It is the
+//!   *oracle* every concurrent deployment is compared against.
+//! * [`ShardedEndBoxServer`] — the scaled deployment: a staged pipeline
+//!   of `K` RX framing threads ([`RxShardPool`], `peer_id mod K`), a
+//!   re-merging dispatch stage, and `N` session-crypto worker shards
+//!   (`endbox_vpn::shard`), optionally fed by an event-driven socket
+//!   front-end ([`AsyncFrontEnd`], one poll group per RX shard).
+//!
+//! # Ordering / parity invariants
+//!
+//! The sharded server is **byte-identical** to [`EndBoxServer`] for any
+//! `(rx_shards, workers, dispatch policy)` and any thread schedule.
+//! The invariants that carry the proof, each pinned by tests:
+//!
+//! 1. *Input-order re-merge* — `receive_datagrams` returns exactly one
+//!    result per datagram in input order; RX shard events are re-merged
+//!    by input index before dispatch (`tests/shard_parity.rs`,
+//!    `tests/rx_interleaving.rs`).
+//! 2. *Per-peer pinning* — a peer's reassembly state lives on exactly
+//!    one RX shard and never migrates; per-peer framing order equals the
+//!    single-thread order.
+//! 3. *Disconnect sequencing* — a Disconnect pauses only the owning RX
+//!    shard until its session-layer verdict, so reassembler teardown
+//!    sequences exactly like the single server.
+//! 4. *Single-owner sessions* — each session is owned by one worker
+//!    shard at every instant; migration drains earlier records first
+//!    (`endbox_vpn::shard`).
+//! 5. *Wire-order drain* — the event-driven front-end re-merges drained
+//!    datagrams by wire arrival stamp; per-peer order is exact under any
+//!    backpressure setting (`tests/async_ingress.rs`).
+//!
+//! The full walk-through lives in `docs/architecture.md` at the
+//! repository root.
 
 use crate::error::EndBoxError;
 use endbox_click::element::ElementEnv;
@@ -724,7 +761,7 @@ impl Drop for RxShardPool {
 /// Small enough that shard crypto starts while the RX stage still parses
 /// the tail of a large receive batch; large enough to amortise the
 /// channel round-trip.
-const RX_DISPATCH_CHUNK: usize = 32;
+pub const RX_DISPATCH_CHUNK: usize = 32;
 
 /// The sharded multi-worker EndBox server front-end, now a **staged
 /// pipeline**:
@@ -1155,5 +1192,296 @@ impl ShardedEndBoxServer {
     /// (delivered, rejected) counters.
     pub fn counters(&self) -> (u64, u64) {
         (self.delivered, self.rejected)
+    }
+}
+
+/// Observability counters for the event-driven socket front-end (the
+/// socket-layer analogue of [`RxShardStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AsyncIngressStats {
+    /// Event-loop wakeups: [`endbox_netsim::net::PollGroup::poll`] calls
+    /// summed over all poll groups. `datagrams / wakeups` is the
+    /// amortisation the event loop achieved — the measured input to the
+    /// timing-layer [`endbox_netsim::pipeline::AsyncFrontEndModel`].
+    pub wakeups: u64,
+    /// Pump rounds (one poll of every group + one pipelined dispatch).
+    pub rounds: u64,
+    /// Wire datagrams drained from sockets into the datapath.
+    pub datagrams: u64,
+    /// Rounds in which at least one shard's budget ran out while its
+    /// sockets still held data — the backpressure deferrals that keep one
+    /// flooding peer from monopolising a dispatch. Never exceeds
+    /// [`AsyncIngressStats::rounds`].
+    pub deferred_rounds: u64,
+}
+
+/// Default per-socket drain quota per scheduling pass (matches
+/// [`RX_DISPATCH_CHUNK`]: one pass contributes at most one dispatch chunk
+/// per peer).
+pub const DEFAULT_DRAIN_QUOTA: usize = RX_DISPATCH_CHUNK;
+
+/// Default per-shard datagram budget per pump round. Generous enough that
+/// ordinary traffic drains in one round (so the event-driven results are
+/// byte-identical to a single `receive_datagrams` call, in wire order);
+/// small enough to bound the memory one dispatch can pin under flood.
+pub const DEFAULT_SHARD_BUDGET: usize = 1024;
+
+/// The event-driven socket front-end: **one poll group per RX shard**,
+/// with each peer's server-side socket registered in the group of the
+/// shard that owns the peer's reassembly state (`peer_id mod K` — the
+/// same map as [`RxShardPool`], so a poll group only ever feeds its own
+/// shard).
+///
+/// Each [`AsyncFrontEnd::pump`] round polls every group, drains readable
+/// sockets into an owned-datagram batch and hands the batch to
+/// [`ShardedEndBoxServer::receive_datagrams`] — the zero-copy ingress
+/// path: datagram ownership moves from the socket queue into the RX
+/// shards without a wire-level copy.
+///
+/// # Ordering
+///
+/// Drained datagrams are re-merged by their wire arrival stamp
+/// ([`endbox_netsim::net::Datagram::seq`]) before dispatch, so a round
+/// that drains everything processes datagrams in exact wire order and the
+/// results are **byte-identical to the synchronous front-end** (and
+/// therefore to the single-threaded reference server) — pinned across the
+/// `tests/support/` schedule grid by `tests/async_ingress.rs`. When
+/// backpressure splits a flood across rounds, *per-peer* order is still
+/// exact (sockets are FIFO and the stamp sort is total), which is the
+/// order the session layer depends on; only the interleaving *between*
+/// peers moves, exactly as it would under real socket scheduling.
+///
+/// # Backpressure
+///
+/// Shard queue depth propagates to socket read scheduling: each round a
+/// shard drains at most [`AsyncFrontEnd::set_shard_budget`] datagrams,
+/// taken round-robin over its readable sockets in passes of at most
+/// [`AsyncFrontEnd::set_drain_quota`] datagrams per socket. A peer
+/// flooding its socket therefore yields to its shard-mates every pass:
+/// the mates' traffic rides in every round while the flood's tail stays
+/// queued in *its own* socket ([`AsyncIngressStats::deferred_rounds`]
+/// counts these deferrals) — it cannot starve the shard, and other
+/// shards' poll groups are untouched by construction.
+///
+/// # Example
+///
+/// The scenario layer owns the wiring
+/// ([`crate::scenario::ScenarioBuilder::async_ingress`] binds one server
+/// socket per peer and registers it here); driving the loop is three
+/// calls (long-form version: `examples/async_ingress.rs`):
+///
+/// ```
+/// use endbox::scenario::Scenario;
+/// use endbox::use_cases::UseCase;
+///
+/// let mut s = Scenario::enterprise(2, UseCase::Nop)
+///     .rx_shards(2)
+///     .async_ingress(true)
+///     .build_sharded(2)
+///     .unwrap();
+/// // Seal a packet on client 0, put the datagrams on the wire…
+/// let pkt = endbox_netsim::Packet::tcp(
+///     Scenario::client_addr(0),
+///     Scenario::network_addr(),
+///     40_000, 5_001, 0,
+///     b"through the event loop",
+/// );
+/// let sealed = s.clients[0].send_packet(pkt).unwrap();
+/// s.send_wire_datagrams(0, sealed);
+/// // …and run the event loop: poll, drain, dispatch.
+/// let results = s.pump_async();
+/// assert_eq!(results.len(), 1);
+/// assert_eq!(results[0].0, 0, "tagged with the sending peer");
+/// assert!(s.async_stats().wakeups > 0);
+/// ```
+#[derive(Debug)]
+pub struct AsyncFrontEnd {
+    groups: Vec<endbox_netsim::net::PollGroup>,
+    /// Slot-indexed `(peer, socket)` registry; `Token(slot)` keys events.
+    sockets: Vec<(u64, endbox_netsim::net::UdpEndpoint)>,
+    /// Slots registered per group, in registration order.
+    group_slots: Vec<Vec<usize>>,
+    /// Each slot's position within its group's registration order
+    /// (parallel to `sockets`; used to rotate the ready list fairly).
+    slot_pos: Vec<usize>,
+    /// Per-group round-robin cursor into `group_slots` (fairness across
+    /// rounds: the next round starts scanning after the last drained
+    /// socket).
+    rr: Vec<usize>,
+    drain_quota: usize,
+    shard_budget: usize,
+    rounds: u64,
+    datagrams: u64,
+    deferred_rounds: u64,
+}
+
+impl AsyncFrontEnd {
+    /// A front-end with one poll group per RX shard and the default
+    /// drain quota / shard budget.
+    pub fn new(rx_shards: usize) -> AsyncFrontEnd {
+        let rx_shards = rx_shards.max(1);
+        AsyncFrontEnd {
+            groups: (0..rx_shards)
+                .map(|_| endbox_netsim::net::PollGroup::new())
+                .collect(),
+            sockets: Vec::new(),
+            group_slots: vec![Vec::new(); rx_shards],
+            slot_pos: Vec::new(),
+            rr: vec![0; rx_shards],
+            drain_quota: DEFAULT_DRAIN_QUOTA,
+            shard_budget: DEFAULT_SHARD_BUDGET,
+            rounds: 0,
+            datagrams: 0,
+            deferred_rounds: 0,
+        }
+    }
+
+    /// Number of poll groups (== RX shards).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Registers `peer`'s server-side socket with the poll group of the
+    /// RX shard owning the peer (`peer mod K`).
+    pub fn register_peer(&mut self, peer: u64, endpoint: endbox_netsim::net::UdpEndpoint) {
+        let group = (peer % self.groups.len() as u64) as usize;
+        let slot = self.sockets.len();
+        self.groups[group].register(&endpoint, endbox_netsim::net::Token(slot));
+        self.slot_pos.push(self.group_slots[group].len());
+        self.group_slots[group].push(slot);
+        self.sockets.push((peer, endpoint));
+    }
+
+    /// Per-socket datagrams drained per scheduling pass (fairness grain).
+    pub fn set_drain_quota(&mut self, quota: usize) {
+        self.drain_quota = quota.max(1);
+    }
+
+    /// Per-shard datagram budget per pump round (backpressure bound).
+    pub fn set_shard_budget(&mut self, budget: usize) {
+        self.shard_budget = budget.max(1);
+    }
+
+    /// Front-end counters.
+    pub fn stats(&self) -> AsyncIngressStats {
+        AsyncIngressStats {
+            wakeups: self.groups.iter().map(|g| g.wakeups()).sum(),
+            rounds: self.rounds,
+            datagrams: self.datagrams,
+            deferred_rounds: self.deferred_rounds,
+        }
+    }
+
+    /// Datagrams still queued in registered sockets (not yet drained).
+    pub fn backlog(&self) -> usize {
+        self.sockets.iter().map(|(_, ep)| ep.pending()).sum()
+    }
+
+    /// One event-loop round: polls every group, drains readable sockets
+    /// under the fairness quota and shard budget, re-merges the drained
+    /// datagrams into wire order and runs them through one pipelined
+    /// [`ShardedEndBoxServer::receive_datagrams`] dispatch. Returns one
+    /// `(peer, result)` per drained datagram, in dispatch order; an empty
+    /// vector means no socket was readable.
+    pub fn pump(
+        &mut self,
+        server: &mut ShardedEndBoxServer,
+    ) -> Vec<(u64, Result<Delivery, EndBoxError>)> {
+        debug_assert_eq!(
+            self.groups.len(),
+            server.rx_shard_count(),
+            "one poll group per RX shard"
+        );
+        let mut drained: Vec<(u64, u64, Vec<u8>)> = Vec::new(); // (seq, peer, payload)
+        let mut deferred = false;
+        let mut events = Vec::new();
+        for group in 0..self.groups.len() {
+            events.clear();
+            if self.groups[group].poll(&mut events) == 0 {
+                continue;
+            }
+            // Drain only the sockets the poll just reported ready (the
+            // event list is in registration order), rotated so scanning
+            // resumes after the previous round's last service — each
+            // wakeup costs O(ready sockets), not O(registered sockets).
+            let ready: Vec<usize> = events.iter().map(|e| e.token.0).collect();
+            let group_len = self.group_slots[group].len().max(1);
+            let cursor = self.rr[group] % group_len;
+            let start = ready
+                .iter()
+                .position(|&slot| self.slot_pos[slot] >= cursor)
+                .unwrap_or(0);
+            let mut budget = self.shard_budget;
+            let mut last_drained = None;
+            // Scheduling passes: round-robin over the ready sockets, at
+            // most `drain_quota` per socket per pass, until the budget is
+            // spent or every ready socket is dry.
+            loop {
+                let mut drained_this_pass = 0usize;
+                for i in 0..ready.len() {
+                    let slot = ready[(start + i) % ready.len()];
+                    let (peer, ep) = &self.sockets[slot];
+                    let mut taken = 0;
+                    while taken < self.drain_quota && budget > 0 {
+                        let Some(d) = ep.try_recv() else { break };
+                        drained.push((d.seq, *peer, d.payload));
+                        taken += 1;
+                        budget -= 1;
+                    }
+                    if taken > 0 {
+                        drained_this_pass += taken;
+                        last_drained = Some(self.slot_pos[slot]);
+                    }
+                    if budget == 0 {
+                        break;
+                    }
+                }
+                if budget == 0 || drained_this_pass == 0 {
+                    break;
+                }
+            }
+            if let Some(pos) = last_drained {
+                self.rr[group] = (pos + 1) % group_len;
+            }
+            if budget == 0 && ready.iter().any(|&slot| self.sockets[slot].1.readable()) {
+                deferred = true;
+            }
+        }
+        if drained.is_empty() {
+            return Vec::new();
+        }
+        self.rounds += 1;
+        self.datagrams += drained.len() as u64;
+        if deferred {
+            self.deferred_rounds += 1;
+        }
+        // Re-merge into wire order (the stamp sort is total, so per-peer
+        // FIFO order is preserved exactly).
+        drained.sort_unstable_by_key(|&(seq, _, _)| seq);
+        let peers: Vec<u64> = drained.iter().map(|&(_, peer, _)| peer).collect();
+        let batch: Vec<(u64, Vec<u8>)> = drained
+            .into_iter()
+            .map(|(_, peer, payload)| (peer, payload))
+            .collect();
+        peers
+            .into_iter()
+            .zip(server.receive_datagrams(batch))
+            .collect()
+    }
+
+    /// Pumps until no registered socket is readable, concatenating the
+    /// per-round results.
+    pub fn run_until_idle(
+        &mut self,
+        server: &mut ShardedEndBoxServer,
+    ) -> Vec<(u64, Result<Delivery, EndBoxError>)> {
+        let mut out = Vec::new();
+        loop {
+            let round = self.pump(server);
+            if round.is_empty() {
+                return out;
+            }
+            out.extend(round);
+        }
     }
 }

@@ -100,6 +100,22 @@ pub struct CostModel {
     /// EPC paging: cost per 4 KB page evicted/loaded beyond the 128 MB EPC.
     pub epc_page_fault: u64,
 
+    // --- Socket front-end (the `net` reactor layer) -----------------------
+    /// One non-blocking `recvfrom` on a ready socket: syscall entry/exit
+    /// plus socket-buffer bookkeeping (the copy is `socket_per_byte`).
+    pub socket_recv_fixed: u64,
+    /// One `sendto` on an unblocked socket.
+    pub socket_send_fixed: u64,
+    /// Per-byte copy across the socket buffer (either direction).
+    pub socket_per_byte: f64,
+    /// One event-loop wakeup: `epoll_wait` returning, the thread being
+    /// rescheduled, and the readiness dispatch — paid once per *wakeup*,
+    /// not per datagram, which is exactly the amortisation an
+    /// event-driven front-end buys (see
+    /// [`crate::pipeline::AsyncFrontEndModel`]). A call-driven front-end
+    /// pays it per datagram (one blocking receive per wire datagram).
+    pub event_loop_wakeup: u64,
+
     // --- Click ------------------------------------------------------------
     /// Handing a packet from OpenVPN/kernel to a server-side Click process
     /// and back (socket + queue), fixed part.
@@ -174,6 +190,11 @@ impl CostModel {
             partition_per_byte: 1.0,
             trusted_time_read: 40_000,
             epc_page_fault: 40_000,
+
+            socket_recv_fixed: 3_800,
+            socket_send_fixed: 3_500,
+            socket_per_byte: 0.3,
+            event_loop_wakeup: 18_000,
 
             click_fetch_per_packet: 900,
             click_fetch_per_byte: 3.0,

@@ -1,7 +1,7 @@
 //! Deterministic link impairments: loss, duplication and reordering.
 //!
 //! The paper's testbed uses clean 10 Gbps LAN links, but a client-side
-//! deployment also serves remote workers "connect[ing] remotely (e.g.
+//! deployment also serves remote workers "connect\[ing\] remotely (e.g.
 //! employees in home office)" (§III-A) over lossy paths. This module
 //! impairs a sequence of datagrams deterministically (seeded) so the
 //! robustness tests can assert the stack survives real-world wire

@@ -11,6 +11,10 @@
 //!   [`buffer::BufferPool`] recycles packet backing stores and
 //!   [`buffer::PacketBatch`] moves many packets through each layer
 //!   boundary (router, enclave, VPN record) as one unit.
+//! * [`net`] — a vendored non-blocking socket/reactor layer: virtual UDP
+//!   endpoints backed by an in-process wire with global arrival stamping,
+//!   plus a deterministic level-triggered [`net::PollGroup`] — the
+//!   substrate of the event-driven server front-end.
 //! * [`time`] — virtual nanosecond clock ([`time::SimTime`]).
 //! * [`cost`] — the calibrated cycle-cost model ([`cost::CostModel`]) and
 //!   the [`cost::CycleMeter`] that functional components charge as they
@@ -33,6 +37,7 @@ pub mod buffer;
 pub mod cost;
 pub mod http;
 pub mod impair;
+pub mod net;
 pub mod packet;
 pub mod pipeline;
 pub mod resource;

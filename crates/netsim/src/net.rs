@@ -1,0 +1,384 @@
+//! A vendored non-blocking socket/reactor layer: virtual UDP endpoints
+//! backed by an in-process wire, plus a readiness-based poll API.
+//!
+//! The sharded EndBox server of [`pipeline`](crate::pipeline) fame is
+//! driven by synchronous `receive_datagrams` calls; serving *thousands*
+//! of VPN peers without a thread per connection needs an event-driven
+//! front-end instead (Slick and LightBox make the same move in front of
+//! their protected datapaths). The build environment is offline and the
+//! whole reproduction must stay deterministic, so this module vendors the
+//! minimal `mio`-shaped subset the front-end needs instead of binding OS
+//! sockets:
+//!
+//! * [`VirtualWire`] — the in-process wire: a registry of bound ports.
+//!   Every datagram sent through it is stamped with a **globally
+//!   monotonic sequence number** (the analogue of kernel receive
+//!   timestamping), so a reader draining several sockets can reconstruct
+//!   the exact wire arrival order.
+//! * [`UdpEndpoint`] — a bound, cloneable, non-blocking endpoint:
+//!   [`UdpEndpoint::send_to`] enqueues at the destination port,
+//!   [`UdpEndpoint::try_recv`] never blocks (returns `None` instead of
+//!   `EWOULDBLOCK`). Endpoints bound with [`VirtualWire::bind_metered`]
+//!   charge the calibrated socket costs ([`CostModel::socket_send_fixed`],
+//!   [`CostModel::socket_recv_fixed`], [`CostModel::socket_per_byte`]) to
+//!   a [`CycleMeter`], so socket I/O shows up in measured
+//!   [`PacketCharge`](crate::pipeline::PacketCharge)s like every other
+//!   layer.
+//! * [`PollGroup`] — a level-triggered readiness poller over registered
+//!   endpoints. [`PollGroup::poll`] scans in registration order (no OS,
+//!   no timing races: readiness is deterministic given the send order)
+//!   and counts wakeups; the *cost* of a wakeup is modelled by the timing
+//!   layer ([`crate::pipeline::AsyncFrontEndModel`]), not charged here,
+//!   so the same functional run can be replayed under both the
+//!   call-driven and the event-driven cost model.
+//!
+//! # Determinism
+//!
+//! Everything is driven by the caller: there are no background threads,
+//! readiness is a pure function of what has been sent and not yet
+//! received, and poll scans follow registration order. Two runs that
+//! perform the same sends observe byte-identical datagrams, sequence
+//! numbers and poll results — which is what lets
+//! `tests/async_ingress.rs` replay the `tests/support/` schedule grid
+//! through the event-driven front-end and assert byte-identical parity
+//! with the single-threaded reference server.
+
+use crate::cost::{CostModel, CycleMeter};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Errors of the virtual socket layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The port is already bound.
+    AddrInUse(u64),
+    /// No endpoint is bound at the destination port.
+    Unreachable(u64),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::AddrInUse(p) => write!(f, "port {p} already bound"),
+            NetError::Unreachable(p) => write!(f, "no endpoint bound at port {p}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// One received datagram, with its source port and the wire-global
+/// arrival sequence number (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Port of the sending endpoint.
+    pub src: u64,
+    /// Globally monotonic arrival stamp: sorting datagrams drained from
+    /// *different* sockets by `seq` reconstructs wire order.
+    pub seq: u64,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Receive queue of one bound port.
+#[derive(Debug, Default)]
+struct PortQueue {
+    queue: VecDeque<Datagram>,
+}
+
+#[derive(Debug, Default)]
+struct WireState {
+    ports: HashMap<u64, Arc<Mutex<PortQueue>>>,
+    next_seq: u64,
+}
+
+/// The in-process wire: a registry of bound ports with global arrival
+/// stamping. Cloning is cheap and clones share the wire.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualWire {
+    state: Arc<Mutex<WireState>>,
+}
+
+impl VirtualWire {
+    /// A fresh, empty wire.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `port`, returning its endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::AddrInUse`] if the port is already bound.
+    pub fn bind(&self, port: u64) -> Result<UdpEndpoint, NetError> {
+        self.bind_inner(port, None)
+    }
+
+    /// Binds `port` with socket-cost metering: sends and receives on the
+    /// returned endpoint charge [`CostModel`] socket costs to `meter`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::AddrInUse`] if the port is already bound.
+    pub fn bind_metered(
+        &self,
+        port: u64,
+        meter: CycleMeter,
+        cost: &CostModel,
+    ) -> Result<UdpEndpoint, NetError> {
+        self.bind_inner(port, Some((meter, cost.clone())))
+    }
+
+    fn bind_inner(
+        &self,
+        port: u64,
+        metering: Option<(CycleMeter, CostModel)>,
+    ) -> Result<UdpEndpoint, NetError> {
+        let mut state = self.state.lock().expect("wire lock");
+        if state.ports.contains_key(&port) {
+            return Err(NetError::AddrInUse(port));
+        }
+        let queue = Arc::new(Mutex::new(PortQueue::default()));
+        state.ports.insert(port, queue.clone());
+        Ok(UdpEndpoint {
+            wire: self.clone(),
+            port,
+            queue,
+            metering: metering.map(|(m, c)| Arc::new((m, c))),
+        })
+    }
+}
+
+/// A bound, non-blocking virtual UDP endpoint. Cloning is cheap; clones
+/// share the receive queue (like `dup`ed file descriptors).
+#[derive(Clone)]
+pub struct UdpEndpoint {
+    wire: VirtualWire,
+    port: u64,
+    queue: Arc<Mutex<PortQueue>>,
+    metering: Option<Arc<(CycleMeter, CostModel)>>,
+}
+
+impl std::fmt::Debug for UdpEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdpEndpoint")
+            .field("port", &self.port)
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+impl UdpEndpoint {
+    /// The port this endpoint is bound to.
+    pub fn port(&self) -> u64 {
+        self.port
+    }
+
+    /// Sends one datagram to the endpoint bound at `dst`. The datagram is
+    /// stamped with the wire-global arrival sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Unreachable`] if no endpoint is bound at `dst`.
+    pub fn send_to(&self, dst: u64, payload: Vec<u8>) -> Result<(), NetError> {
+        if let Some(m) = &self.metering {
+            m.0.add(m.1.socket_send_fixed + (m.1.socket_per_byte * payload.len() as f64) as u64);
+        }
+        // Stamp AND enqueue under the wire lock: releasing it between the
+        // two would let a concurrent sender win the port-queue lock with a
+        // later stamp, breaking the per-port FIFO-by-`seq` invariant the
+        // event-driven front-end's ordering proof rests on. (Lock order is
+        // wire → port; `try_recv` takes only the port lock, so receivers
+        // never deadlock against senders.)
+        let mut state = self.wire.state.lock().expect("wire lock");
+        let queue = state
+            .ports
+            .get(&dst)
+            .ok_or(NetError::Unreachable(dst))?
+            .clone();
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        queue.lock().expect("port lock").queue.push_back(Datagram {
+            src: self.port,
+            seq,
+            payload,
+        });
+        Ok(())
+    }
+
+    /// Receives one datagram without blocking: `None` is the
+    /// `EWOULDBLOCK` analogue.
+    pub fn try_recv(&self) -> Option<Datagram> {
+        let d = self.queue.lock().expect("port lock").queue.pop_front()?;
+        if let Some(m) = &self.metering {
+            m.0.add(m.1.socket_recv_fixed + (m.1.socket_per_byte * d.payload.len() as f64) as u64);
+        }
+        Some(d)
+    }
+
+    /// Whether a datagram is waiting (level-triggered readiness).
+    pub fn readable(&self) -> bool {
+        !self.queue.lock().expect("port lock").queue.is_empty()
+    }
+
+    /// Queue depth: datagrams received by the wire but not yet drained.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().expect("port lock").queue.len()
+    }
+}
+
+/// Caller-chosen identifier for a registered endpoint, echoed back in
+/// [`Event`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub usize);
+
+/// One readiness event: the endpoint registered under `token` has at
+/// least one datagram waiting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Token supplied at registration.
+    pub token: Token,
+}
+
+/// A level-triggered readiness poller over registered endpoints — the
+/// `epoll`/`mio::Poll` analogue of the virtual socket layer.
+///
+/// [`PollGroup::poll`] scans registered endpoints **in registration
+/// order** and reports every readable one, so readiness is deterministic
+/// given the send history. The poller counts wakeups
+/// ([`PollGroup::wakeups`]): the event-driven front-end's amortisation —
+/// how many datagrams each wakeup drains — is the measured input to the
+/// timing-layer event-loop charge
+/// ([`crate::pipeline::AsyncFrontEndModel`]).
+#[derive(Debug, Default)]
+pub struct PollGroup {
+    entries: Vec<(Token, UdpEndpoint)>,
+    wakeups: u64,
+}
+
+impl PollGroup {
+    /// An empty poll group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `endpoint` under `token` (readable interest — the only
+    /// interest virtual endpoints have: sends never block).
+    pub fn register(&mut self, endpoint: &UdpEndpoint, token: Token) {
+        self.entries.push((token, endpoint.clone()));
+    }
+
+    /// Deregisters every endpoint registered under `token`.
+    pub fn deregister(&mut self, token: Token) {
+        self.entries.retain(|(t, _)| *t != token);
+    }
+
+    /// Registered endpoint count.
+    pub fn registered(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Scans the registered endpoints and appends one [`Event`] per
+    /// readable endpoint (level-triggered; registration order). Returns
+    /// the number of events found. Counts one wakeup.
+    pub fn poll(&mut self, events: &mut Vec<Event>) -> usize {
+        self.wakeups += 1;
+        let before = events.len();
+        for (token, ep) in &self.entries {
+            if ep.readable() {
+                events.push(Event { token: *token });
+            }
+        }
+        events.len() - before
+    }
+
+    /// Times [`PollGroup::poll`] was called.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_send_recv_roundtrip() {
+        let wire = VirtualWire::new();
+        let a = wire.bind(1).unwrap();
+        let b = wire.bind(2).unwrap();
+        assert_eq!(wire.bind(1).err(), Some(NetError::AddrInUse(1)));
+        a.send_to(2, b"hello".to_vec()).unwrap();
+        assert!(b.readable());
+        let d = b.try_recv().unwrap();
+        assert_eq!(d.src, 1);
+        assert_eq!(d.payload, b"hello");
+        assert!(!b.readable());
+        assert_eq!(b.try_recv(), None);
+        assert_eq!(a.send_to(99, vec![]), Err(NetError::Unreachable(99)));
+    }
+
+    #[test]
+    fn sequence_numbers_reconstruct_wire_order() {
+        let wire = VirtualWire::new();
+        let tx = wire.bind(10).unwrap();
+        let r1 = wire.bind(11).unwrap();
+        let r2 = wire.bind(12).unwrap();
+        tx.send_to(11, vec![1]).unwrap();
+        tx.send_to(12, vec![2]).unwrap();
+        tx.send_to(11, vec![3]).unwrap();
+        let mut drained = [
+            r2.try_recv().unwrap(),
+            r1.try_recv().unwrap(),
+            r1.try_recv().unwrap(),
+        ];
+        drained.sort_by_key(|d| d.seq);
+        let payloads: Vec<u8> = drained.iter().map(|d| d.payload[0]).collect();
+        assert_eq!(payloads, vec![1, 2, 3], "seq sort == wire send order");
+    }
+
+    #[test]
+    fn poll_reports_readable_endpoints_in_registration_order() {
+        let wire = VirtualWire::new();
+        let tx = wire.bind(1).unwrap();
+        let a = wire.bind(2).unwrap();
+        let b = wire.bind(3).unwrap();
+        let mut poll = PollGroup::new();
+        poll.register(&a, Token(0));
+        poll.register(&b, Token(1));
+        let mut events = Vec::new();
+        assert_eq!(poll.poll(&mut events), 0);
+        tx.send_to(3, vec![9]).unwrap();
+        tx.send_to(2, vec![8]).unwrap();
+        events.clear();
+        assert_eq!(poll.poll(&mut events), 2);
+        assert_eq!(
+            events[0].token,
+            Token(0),
+            "registration order, not send order"
+        );
+        assert_eq!(events[1].token, Token(1));
+        // Level-triggered: still readable until drained.
+        events.clear();
+        assert_eq!(poll.poll(&mut events), 2);
+        a.try_recv().unwrap();
+        b.try_recv().unwrap();
+        events.clear();
+        assert_eq!(poll.poll(&mut events), 0);
+        assert_eq!(poll.wakeups(), 4);
+    }
+
+    #[test]
+    fn metered_endpoints_charge_socket_costs() {
+        let wire = VirtualWire::new();
+        let cost = CostModel::calibrated();
+        let meter = CycleMeter::new();
+        let tx = wire.bind(1).unwrap();
+        let rx = wire.bind_metered(2, meter.clone(), &cost).unwrap();
+        tx.send_to(2, vec![0u8; 100]).unwrap();
+        assert_eq!(meter.read(), 0, "unmetered sender, undrained receiver");
+        rx.try_recv().unwrap();
+        let expected = cost.socket_recv_fixed + (cost.socket_per_byte * 100.0) as u64;
+        assert_eq!(meter.take(), expected);
+    }
+}

@@ -1,6 +1,36 @@
 //! The timing layer: replays per-packet cycle charges (measured by running
 //! the real EndBox code) through simulated machines and links, producing
 //! the throughput / latency / CPU-utilisation numbers of §V.
+//!
+//! # Model
+//!
+//! Functional code charges [`crate::cost::CycleMeter`]s as it processes
+//! packets; a measurement harness condenses those charges into a
+//! [`PacketCharge`] per deployment, and [`run_scalability`] replays the
+//! charge through client machines, a link and a server machine as a
+//! sequence of *serial lanes*:
+//!
+//! * **Client lanes** — one single-threaded VPN process per client;
+//!   queued packets never reserve execution slots.
+//! * **Wire** — transmissions serialise in actual client-completion
+//!   order.
+//! * **RX lanes** ([`ScalabilityConfig::rx_shards`]) — `K` serial framing
+//!   lanes (`client mod K`) charging [`PacketCharge::rx_cycles`] each,
+//!   with completion-ordered hand-off to dispatch. The socket front-end
+//!   ([`ScalabilityConfig::async_front_end`]) adds the event-loop wakeup
+//!   charge here: per datagram when call-driven, amortised over the
+//!   measured drain batch when event-driven.
+//! * **Worker lanes** ([`ScalabilityConfig::server_worker_shards`]) —
+//!   one serial flow per worker shard; sessions are placed by static
+//!   affinity or the load-aware migration model
+//!   ([`ScalabilityConfig::load_aware_dispatch`]).
+//!
+//! # Compatibility invariant
+//!
+//! Every refinement is gated on an `Option`: `rx_shards: None` and
+//! `async_front_end: None` keep the legacy folded models **bit-identical**
+//! (regression-tested below), so shipped figures never move when a new
+//! stage is added to the model.
 
 use crate::resource::{Link, Machine, MachineSpec};
 use crate::time::{SimDuration, SimTime};
@@ -150,6 +180,65 @@ pub struct ScalabilityConfig {
     /// dispatch stage. `None`: the RX work stays folded into the worker
     /// lanes (the pre-RX-pool model; exact legacy behaviour).
     pub rx_shards: Option<usize>,
+    /// `Some(m)` (only consulted when `rx_shards` models a separate RX
+    /// stage): model the socket front-end ahead of the RX lanes. Each
+    /// packet charges `m.per_packet_cycles(fragments)` extra event-loop
+    /// cycles on its RX lane — the wakeup cost of the I/O front-end per
+    /// wire datagram, amortised over however many datagrams each wakeup
+    /// drains (see [`AsyncFrontEndModel`]). `None`: socket wakeups are
+    /// free (exact legacy behaviour, bit-identical).
+    pub async_front_end: Option<AsyncFrontEndModel>,
+}
+
+/// Timing model of the socket front-end in front of the RX lanes.
+///
+/// A **call-driven** front-end does one blocking receive per wire
+/// datagram: every datagram pays a full wakeup
+/// (`wakeups_per_datagram == 1`). An **event-driven** front-end
+/// (`endbox::server::AsyncFrontEnd`) drains every readable socket per
+/// poll wakeup, so the wakeup cost amortises over the drain batch:
+/// `wakeups_per_datagram` is the *measured* `wakeups / datagrams` ratio of
+/// a real front-end run (many ready peers → far below 1). The per-datagram
+/// socket receive cost itself is identical in both modes and is part of
+/// the measured [`PacketCharge`] (the `net` layer charges it to the
+/// server meter); only the wakeup amortisation differs, and that is what
+/// this model prices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsyncFrontEndModel {
+    /// Cycles per event-loop wakeup
+    /// ([`crate::cost::CostModel::event_loop_wakeup`]).
+    pub wakeup_cycles: u64,
+    /// Wakeups per **wire datagram**: 1.0 for a call-driven front-end,
+    /// the measured `wakeups / datagrams` ratio for an event-driven one.
+    /// A fragmenting mix pays this once per fragment (see
+    /// [`AsyncFrontEndModel::per_packet_cycles`]).
+    pub wakeups_per_datagram: f64,
+}
+
+impl AsyncFrontEndModel {
+    /// The call-driven baseline: one wakeup per datagram.
+    pub fn call_driven(wakeup_cycles: u64) -> Self {
+        AsyncFrontEndModel {
+            wakeup_cycles,
+            wakeups_per_datagram: 1.0,
+        }
+    }
+
+    /// The event-driven model with a measured amortisation ratio.
+    pub fn event_driven(wakeup_cycles: u64, wakeups_per_datagram: f64) -> Self {
+        AsyncFrontEndModel {
+            wakeup_cycles,
+            wakeups_per_datagram,
+        }
+    }
+
+    /// Amortised event-loop cycles charged per packet on its RX lane: a
+    /// packet spanning `fragments` wire datagrams pays the per-datagram
+    /// wakeup share once per datagram.
+    pub fn per_packet_cycles(&self, fragments: usize) -> u64 {
+        (self.wakeup_cycles as f64 * self.wakeups_per_datagram * fragments.max(1) as f64).round()
+            as u64
+    }
 }
 
 /// Backlog gap (in per-packet server jobs) that triggers a session
@@ -172,6 +261,7 @@ impl Default for ScalabilityConfig {
             client_load_weights: None,
             load_aware_dispatch: false,
             rx_shards: None,
+            async_front_end: None,
         }
     }
 }
@@ -358,10 +448,19 @@ pub fn run_scalability(
         None => charge.server_cycles,
     };
     if let Some(k) = rx_shards {
+        // Socket front-end: the event-loop wakeup charge runs on the RX
+        // lane that drains the peer's socket (one poll group per RX
+        // shard). Call-driven: one wakeup per datagram; event-driven: the
+        // measured amortisation. `None` keeps wakeups free (legacy).
+        let io_cycles = cfg
+            .async_front_end
+            .as_ref()
+            .map(|m| m.per_packet_cycles(charge.fragments))
+            .unwrap_or(0);
         let mut rx_flows = vec![SimTime::ZERO; k];
         for entry in server_ready.iter_mut() {
             let (arrived, c) = *entry;
-            entry.0 = server.run_job_serial(arrived, rx_cycles, &mut rx_flows[c % k]);
+            entry.0 = server.run_job_serial(arrived, rx_cycles + io_cycles, &mut rx_flows[c % k]);
         }
         // Completion-ordered hand-off (stable sort: a client's RX lane is
         // serial, so its own completions stay in input order).
@@ -734,6 +833,81 @@ mod tests {
         assert!(
             four >= 1.3 * one,
             "4 RX shards must beat 1 by >=1.3x on a framing-bound mix: {one:.3} vs {four:.3}"
+        );
+    }
+
+    #[test]
+    fn async_model_zero_ratio_or_absent_is_a_noop() {
+        let mk = |fe| ScalabilityConfig {
+            n_clients: 16,
+            duration: SimDuration::from_millis(20),
+            server_worker_shards: Some(4),
+            rx_shards: Some(2),
+            async_front_end: fe,
+            ..ScalabilityConfig::default()
+        };
+        let mut c = charge(1500, 20_000, 29_000);
+        c.rx_cycles = 10_000;
+        let off = run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), c, &mk(None));
+        let zero = run_scalability(
+            MachineSpec::class_a(),
+            MachineSpec::class_b(),
+            c,
+            &mk(Some(AsyncFrontEndModel::event_driven(18_000, 0.0))),
+        );
+        assert_eq!(off, zero, "zero wakeups/packet must price nothing");
+    }
+
+    #[test]
+    fn async_model_is_ignored_without_rx_lanes() {
+        // The socket front-end is a refinement of the RX-stage model only
+        // (like `rx_shards` itself is of the sharded-server model).
+        let mk = |fe| ScalabilityConfig {
+            n_clients: 16,
+            duration: SimDuration::from_millis(20),
+            server_worker_shards: Some(4),
+            rx_shards: None,
+            async_front_end: fe,
+            ..ScalabilityConfig::default()
+        };
+        let c = charge(1500, 20_000, 29_000);
+        let off = run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), c, &mk(None));
+        let on = run_scalability(
+            MachineSpec::class_a(),
+            MachineSpec::class_b(),
+            c,
+            &mk(Some(AsyncFrontEndModel::call_driven(18_000))),
+        );
+        assert_eq!(off, on);
+    }
+
+    #[test]
+    fn event_driven_front_end_recovers_a_wakeup_bound_ingress() {
+        // Many cheap peers, small records: with one blocking receive per
+        // datagram the wakeup cost rivals the framing cost and the RX
+        // lanes saturate; an event loop draining ~10 datagrams per wakeup
+        // must recover well over 1.3x.
+        let mut c = charge(296, 20_000, 36_000);
+        c.rx_cycles = 24_000;
+        let tput = |fe| {
+            let cfg = ScalabilityConfig {
+                n_clients: 120,
+                per_client_bps: 20_000_000,
+                payload_bytes: 296,
+                duration: SimDuration::from_millis(20),
+                server_worker_shards: Some(4),
+                rx_shards: Some(4),
+                async_front_end: Some(fe),
+                ..ScalabilityConfig::default()
+            };
+            run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), c, &cfg).gbps
+        };
+        let call = tput(AsyncFrontEndModel::call_driven(18_000));
+        let event = tput(AsyncFrontEndModel::event_driven(18_000, 0.1));
+        assert!(
+            event >= 1.3 * call,
+            "event-driven must beat call-driven >=1.3x on a wakeup-bound mix: \
+             {call:.3} vs {event:.3} Gbps"
         );
     }
 

@@ -1,5 +1,5 @@
 //! Aho–Corasick multi-pattern string matching, built from scratch
-//! (Aho & Corasick, CACM 1975 — the paper's reference [41]).
+//! (Aho & Corasick, CACM 1975 — the paper's reference \[41\]).
 //!
 //! The automaton is built with a dense goto table and BFS-resolved failure
 //! transitions, yielding a deterministic automaton with O(1) per-byte

@@ -7,7 +7,7 @@
 //! port predicates, single- and multi-content rules and `nocase`
 //! modifiers. Every content pattern carries the prefix `EB-` followed by
 //! uppercase/digit characters, so the all-lowercase benign traffic of
-//! [`endbox-netsim`]'s generators can never match — the same no-match
+//! `endbox-netsim`'s generators can never match — the same no-match
 //! property the paper relies on.
 
 use crate::rule::{parse_rules, Rule};

@@ -2,7 +2,7 @@
 //! a from-scratch Aho–Corasick multi-pattern matcher, and a matching
 //! engine.
 //!
-//! The paper's IDPS use case "support[s] Snort rule sets and execute[s] its
+//! The paper's IDPS use case "support\[s\] Snort rule sets and execute\[s\] its
 //! string matching algorithm \[Aho–Corasick\]" with "a subset of 377 rules
 //! of the Snort community rule set" that do not match the generated
 //! traffic (§V-B). The community rule set itself is licensed content and

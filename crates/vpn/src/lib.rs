@@ -23,6 +23,9 @@
 //! * [`frag`] — fragmentation/encapsulation of sealed records into
 //!   MTU-sized datagrams; runs *outside* the enclave, matching the
 //!   partitioning of Fig. 3.
+//! * [`endpoint`] — framing glue between sealed records and the virtual
+//!   socket layer ([`endbox_netsim::net`]): fragments records into
+//!   datagrams and ships them through non-blocking endpoints.
 //! * [`server`] — the multi-session VPN server (a handshake front-end
 //!   around one inline [`shard::VpnShard`]).
 //! * [`shard`] — the sharded multi-worker server datapath: the session
@@ -31,6 +34,7 @@
 
 pub mod cert;
 pub mod channel;
+pub mod endpoint;
 pub mod error;
 pub mod frag;
 pub mod handshake;

@@ -1,6 +1,13 @@
 //! Quickstart: bring up a complete EndBox deployment — attestation
 //! service, certificate authority, VPN server and one client running a
-//! firewall middlebox inside its enclave — then push traffic through it.
+//! firewall middlebox inside its enclave — then push traffic through it,
+//! single packets and batches alike.
+//!
+//! The condensed version of this walk-through lives as runnable rustdoc
+//! examples on `endbox::scenario::ScenarioBuilder` and
+//! `endbox::scenario::ScenarioBuilder::build_sharded`; the sharded and
+//! event-driven deployments are shown in
+//! `examples/enterprise_network.rs` and `examples/async_ingress.rs`.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -48,6 +55,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scenario.clients[0]
             .click_handler("fw", "rules")
             .unwrap_or_default(),
+    );
+
+    // Batched send (§IV batching): many packets, ONE enclave transition,
+    // ONE Click traversal, ONE sealed record on the wire.
+    let payloads: Vec<Vec<u8>> = (0..8)
+        .map(|i| format!("batched payload {i}").into_bytes())
+        .collect();
+    let datagrams_before = scenario.clients[0].stats.datagrams_out;
+    let batch = scenario.send_batch_from_client(0, &payloads)?;
+    println!(
+        "\nbatched send: {} packets delivered in {} wire record(s)",
+        batch.len(),
+        scenario.clients[0].stats.datagrams_out - datagrams_before,
     );
 
     // Push a configuration update through the Fig. 5 protocol.

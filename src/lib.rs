@@ -1,5 +1,8 @@
 //! Umbrella crate for the EndBox reproduction: hosts the runnable examples
 //! in `examples/` and the cross-crate integration tests in `tests/`.
 //!
-//! See the individual crates (`endbox`, `endbox-vpn`, `endbox-click`, …)
-//! for the actual library code.
+//! Start with the repository's `README.md` (crate map, datapath diagram,
+//! experiment catalogue) and `docs/architecture.md` (per-subsystem
+//! invariants, knobs, and the tests that pin them). The library code
+//! lives in the individual crates (`endbox`, `endbox-vpn`,
+//! `endbox-click`, `endbox-netsim`, …) — see their crate-level rustdoc.

@@ -11,9 +11,14 @@
 //! [`assert_schedule_parity`] replays the schedule through the
 //! single-threaded reference server and through the sharded server for
 //! every `(rx_shards, workers, dispatch policy)` in the grid, asserting
-//! byte-identical outcomes. Because the sharded server re-merges by input
-//! index, the assertions hold for *every* thread schedule — the stalls
-//! only force the adversarial arrival orders to actually occur, so each
+//! byte-identical outcomes; [`assert_schedule_parity_async`] does the
+//! same through the **event-driven** socket front-end
+//! (`ScenarioBuilder::async_ingress`), where a [`Step::Flush`] becomes a
+//! poll-round boundary instead of a `receive_datagrams` batch boundary.
+//! Because the sharded server re-merges by input index (and the event
+//! loop re-merges drained datagrams by wire arrival stamp), the
+//! assertions hold for *every* thread schedule — the stalls only force
+//! the adversarial arrival orders to actually occur, so each
 //! interleaving class is a reproducible named test instead of a timing
 //! accident.
 
@@ -411,6 +416,105 @@ pub fn run_sharded(
             .map(simplify),
     );
     outs
+}
+
+/// Replays the schedule through an **event-driven** sharded scenario
+/// ([`ScenarioBuilder::async_ingress`]): datagrams accumulate until a
+/// [`Step::Flush`] (or the end), then ride the virtual wire into the
+/// per-peer server sockets — one `send` per datagram, in input order, so
+/// the wire stamps reproduce the exact interleaving — and one
+/// run-until-idle event loop drains them through the pipelined dispatch.
+///
+/// With the default (generous) shard budget everything drains in one
+/// poll round per flush segment, so the event loop re-merges the drained
+/// datagrams into exact wire order and the flat output sequence is
+/// comparable 1:1 with the single-threaded reference.
+pub fn run_async(
+    schedule: &Schedule,
+    rx_shards: usize,
+    workers: usize,
+    policy: DispatchPolicy,
+) -> Vec<Out> {
+    let mut scenario: ShardedScenario = Scenario::enterprise(schedule.n_clients, UseCase::Nop)
+        .seed(schedule.seed)
+        .dispatch(policy)
+        .rx_shards(rx_shards)
+        .async_ingress(true)
+        .build_sharded(workers)
+        .unwrap();
+    for &(shard, micros) in &schedule.stalls {
+        if shard < rx_shards {
+            scenario.server.set_rx_stall_micros(shard, micros);
+        }
+    }
+    let session_ids: Vec<u64> = (0..schedule.n_clients)
+        .map(|i| scenario.session_id(i))
+        .collect();
+    let mut outs = Vec::new();
+    let mut prev: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut segment: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut craft_seq = 0u32;
+    let flush =
+        |scenario: &mut ShardedScenario, segment: &mut Vec<(u64, Vec<u8>)>, outs: &mut Vec<Out>| {
+            for (peer, d) in segment.drain(..) {
+                scenario.send_wire_datagrams(peer, vec![d]);
+            }
+            outs.extend(
+                scenario
+                    .pump_async()
+                    .into_iter()
+                    .map(|(_, result)| simplify(result)),
+            );
+        };
+    for (round, step) in schedule.steps.iter().enumerate() {
+        if matches!(step, Step::Flush) {
+            flush(&mut scenario, &mut segment, &mut outs);
+            continue;
+        }
+        let datagrams = seal_step(
+            &mut scenario.clients,
+            &session_ids,
+            schedule.peers,
+            step,
+            round,
+            &prev,
+            &mut craft_seq,
+        );
+        segment.extend(datagrams.iter().cloned());
+        if !datagrams.is_empty() {
+            prev = datagrams;
+        }
+    }
+    flush(&mut scenario, &mut segment, &mut outs);
+    outs
+}
+
+/// Asserts byte-identical outcomes between the single-threaded reference
+/// and the **event-driven** front-end for every
+/// `(rx_shards, workers, policy)` in the grid.
+pub fn assert_schedule_parity_async(schedule: &Schedule) {
+    let grid: Vec<(usize, usize)> = RX_GRID
+        .iter()
+        .flat_map(|&rx| WORKER_GRID.iter().map(move |&w| (rx, w)))
+        .collect();
+    assert_schedule_parity_async_on(schedule, &grid);
+}
+
+/// Like [`assert_schedule_parity_async`], but over a caller-chosen
+/// sub-grid.
+pub fn assert_schedule_parity_async_on(schedule: &Schedule, grid: &[(usize, usize)]) {
+    let reference = run_single(schedule);
+    for policy in policies() {
+        for &(rx, workers) in grid {
+            let got = run_async(schedule, rx, workers, policy);
+            assert_eq!(
+                got, reference,
+                "schedule `{}` diverged from the single-threaded server through the \
+                 event-driven front-end at rx_shards={rx} workers={workers} policy={policy:?}",
+                schedule.name
+            );
+        }
+    }
 }
 
 /// Asserts byte-identical outcomes between the single-threaded reference
