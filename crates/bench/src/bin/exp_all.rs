@@ -17,6 +17,7 @@ fn main() {
         "exp_heavytail_dispatch",
         "exp_rx_scaling",
         "exp_async_ingress",
+        "exp_syscall_batch",
         "exp_table2_reconfig",
         "exp_fig11_reconfig_latency",
         "exp_optimizations",

@@ -1,0 +1,117 @@
+//! Syscall-batched transport: bulk vs per-datagram socket I/O (beyond
+//! the paper).
+//!
+//! PR 5 made ingress event-driven, but every ready socket was still
+//! drained one `recvfrom` at a time: one kernel crossing per wire
+//! datagram, which dominates the small-record mix where the per-datagram
+//! work is tiny. The transport layer now exposes `send_many`/`recv_many`
+//! bulk operations (`sendmmsg`/`recvmmsg` shape) and the `AsyncFrontEnd`
+//! drains each readable socket with vectors of up to `bulk` datagrams.
+//! Charges *and* the measured datagrams-per-call amortisation come from
+//! the real stack draining through `recv_many`; the timing layer spreads
+//! the per-call syscall cost over that ratio on the RX lanes
+//! (`ScalabilityConfig::syscall_batch`).
+//!
+//! Emits the grid as machine-readable `BENCH_wire.json`. Pass `--smoke`
+//! for a CI-sized run (fewer client counts).
+
+use endbox::eval::scalability::{
+    fig_syscall_batch, SyscallBatchPoint, RX_MIX_PAYLOAD, RX_MIX_PER_CLIENT_BPS, WIRE_BULK_SIZES,
+};
+
+fn print_points(points: &[SyscallBatchPoint], clients: &[usize]) {
+    print!("{:<26}", "bulk size \\ clients");
+    for n in clients {
+        print!("{n:>8}");
+    }
+    println!();
+    for bulk in WIRE_BULK_SIZES {
+        print!("{:<26}", format!("bulk {bulk} [Mpps]"));
+        for n in clients {
+            let p = points
+                .iter()
+                .find(|p| p.bulk == bulk && p.clients == *n)
+                .unwrap();
+            print!("{:>8.3}", p.mpps);
+        }
+        println!();
+        print!("{:<26}", "  server CPU [%]");
+        for n in clients {
+            let p = points
+                .iter()
+                .find(|p| p.bulk == bulk && p.clients == *n)
+                .unwrap();
+            print!("{:>8.0}", p.server_cpu * 100.0);
+        }
+        println!();
+    }
+}
+
+/// Hand-rolled JSON (no serde in the offline build environment).
+fn wire_json(points: &[SyscallBatchPoint]) -> String {
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"bulk\": {}, \"clients\": {}, \"rx_shards\": {}, \"workers\": {}, \
+             \"gbps\": {:.4}, \"mpps\": {:.5}, \"server_cpu\": {:.4}, \
+             \"datagrams_per_call\": {:.4}}}{}\n",
+            p.bulk,
+            p.clients,
+            p.rx_shards,
+            p.workers,
+            p.gbps,
+            p.mpps,
+            p.server_cpu,
+            p.datagrams_per_call,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let clients: Vec<usize> = if smoke { vec![120] } else { vec![40, 80, 120] };
+
+    println!(
+        "=== Many-peer small-record mix ({} B payloads, {} Mbps/peer, single-record \
+         datagrams): syscall-batched transport comparison ===\n    batched EndBox SGX[NOP] \
+         stack, 4 worker shards, 2 RX shards, recv_many bulk sizes {:?}\n",
+        RX_MIX_PAYLOAD,
+        RX_MIX_PER_CLIENT_BPS / 1_000_000,
+        WIRE_BULK_SIZES,
+    );
+    let points = fig_syscall_batch(&clients);
+    print_points(&points, &clients);
+
+    println!("\nmeasured syscall amortisation (datagrams per socket call):");
+    for bulk in WIRE_BULK_SIZES {
+        let p = points.iter().find(|p| p.bulk == bulk).unwrap();
+        println!("  bulk {bulk:>3}: {:.2}", p.datagrams_per_call);
+    }
+
+    let last = *clients.last().unwrap();
+    let at = |bulk: usize| {
+        points
+            .iter()
+            .find(|p| p.bulk == bulk && p.clients == last)
+            .unwrap()
+            .gbps
+    };
+    let (per, bulk32) = (at(1), at(32));
+    println!(
+        "\nbulk-32 win at {last} peers: {:.2}x (per-datagram {per:.2} -> bulk-32 \
+         {bulk32:.2} Gbps)",
+        bulk32 / per,
+    );
+    assert!(
+        bulk32 >= 1.5 * per,
+        "bulk-32 transport win regressed below 1.5x: {:.2}x",
+        bulk32 / per
+    );
+
+    let json = wire_json(&points);
+    std::fs::write("BENCH_wire.json", &json).expect("write BENCH_wire.json");
+    println!("\nwrote BENCH_wire.json ({} rows)", points.len());
+}

@@ -523,6 +523,122 @@ pub fn measure_charge_async(
     (charge, wakeups_per_datagram)
 }
 
+/// Measures per-packet charges on the sharded stack with **bulk socket
+/// I/O** in the loop: the event-driven mix of [`measure_charge_async`],
+/// but the front-end drains each socket with `recv_many` calls of up to
+/// `recv_bulk` datagrams (the `recvmmsg` shape; `1` degenerates to the
+/// per-datagram transport). The drained datagrams, their dispatch order
+/// and the metered charge are identical at every bulk size — only the
+/// call count moves, which is exactly why one measured charge replays
+/// honestly under every [`endbox_netsim::pipeline::SyscallBatchModel`].
+///
+/// Returns the charge plus the measured **datagrams-per-call** ratio
+/// ([`crate::server::AsyncIngressStats::io_calls`]): the amortisation
+/// input to [`endbox_netsim::pipeline::SyscallBatchModel::bulk`]. The
+/// queue depth bounds the achievable ratio (a call cannot move more
+/// than is waiting), so this mix queues twice as deep per peer as the
+/// async mix before each drain.
+///
+/// # Panics
+///
+/// Panics if the deployment cannot be constructed.
+pub fn measure_charge_wire(
+    use_case: UseCase,
+    payload_len: usize,
+    samples: usize,
+    workers: usize,
+    rx_shards: usize,
+    recv_bulk: usize,
+) -> (PacketCharge, f64) {
+    const N_PEERS: usize = 8;
+    const SINGLES_PER_PEER: usize = 16;
+    let mut scenario = Scenario::enterprise(N_PEERS, use_case)
+        .trust(TrustLevel::Hardware)
+        .seed(0xbe9c)
+        .rx_shards(rx_shards)
+        .async_ingress(true)
+        .build_sharded(workers)
+        .expect("sharded deployment must build");
+    scenario.set_recv_bulk(recv_bulk);
+    // Let one scheduling pass cover a whole bulk batch: the fairness
+    // quota must not artificially cap the measured amortisation.
+    scenario.set_async_budget(
+        recv_bulk.max(crate::server::DEFAULT_DRAIN_QUOTA),
+        crate::server::DEFAULT_SHARD_BUDGET,
+    );
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let payload = benign_payload(payload_len, &mut rng);
+    let client_meters: Vec<CycleMeter> =
+        scenario.clients.iter().map(|c| c.meter().clone()).collect();
+    let server_meter = scenario.server_meter.clone();
+
+    // One round: peers interleave single-packet records, all datagrams
+    // queue in the per-peer sockets, then one event-loop drain moves
+    // them with bulk receives.
+    let run_round = |scenario: &mut crate::scenario::ShardedScenario, seq: u32| -> (usize, usize) {
+        let mut datagrams = 0usize;
+        let mut wire_bytes = 0usize;
+        for i in 0..SINGLES_PER_PEER {
+            for idx in 0..N_PEERS {
+                let pkt = Packet::tcp(
+                    Scenario::client_addr(idx),
+                    Scenario::network_addr(),
+                    40_000 + idx as u16,
+                    5001,
+                    seq + i as u32,
+                    &payload,
+                );
+                let sealed = scenario.clients[idx].send_packet(pkt).expect("send");
+                datagrams += sealed.len();
+                wire_bytes += sealed.iter().map(Vec::len).sum::<usize>();
+                scenario.send_wire_datagrams(idx as u64, sealed);
+            }
+        }
+        for (_, result) in scenario.pump_async() {
+            result.expect("deliver");
+        }
+        (datagrams, wire_bytes)
+    };
+
+    // Warm-up round (first-use costs stay out of the steady state).
+    run_round(&mut scenario, 0);
+    for m in &client_meters {
+        m.take();
+    }
+    server_meter.take();
+    let warm_stats = scenario.async_stats();
+
+    let mut wire_bytes_total = 0usize;
+    let mut fragments_total = 0usize;
+    for r in 1..=samples {
+        let (frags, bytes) = run_round(&mut scenario, (r * SINGLES_PER_PEER) as u32);
+        fragments_total += frags;
+        wire_bytes_total += bytes;
+    }
+    let stats = scenario.async_stats();
+    let io_calls = stats.io_calls - warm_stats.io_calls;
+    let drained = stats.datagrams - warm_stats.datagrams;
+    assert_eq!(drained as usize, fragments_total, "every datagram drained");
+    let datagrams_per_call = drained as f64 / io_calls.max(1) as f64;
+
+    let packets_total = (samples * SINGLES_PER_PEER * N_PEERS) as u64;
+    let client_cycles: u64 = client_meters.iter().map(CycleMeter::take).sum::<u64>();
+    let cost = CostModel::calibrated();
+    let socket_rx_cycles = cost.socket_recv_fixed * fragments_total as u64
+        + (cost.socket_per_byte * wire_bytes_total as f64) as u64;
+    let charge = small_record_charge(
+        payload_len,
+        packets_total,
+        wire_bytes_total,
+        fragments_total,
+        client_cycles,
+        server_meter.take(),
+        socket_rx_cycles,
+    );
+    (charge, datagrams_per_call)
+}
+
 /// Like [`measure_charge_sharded`], but drives a **heavy-tailed**
 /// multi-client load mix (Zipf weights from
 /// [`crate::eval::scalability::heavy_tail_weights`]) through a sharded

@@ -85,6 +85,7 @@ pub fn sweep(deployment: Deployment) -> Vec<ScalabilityPoint> {
                 load_aware_dispatch: false,
                 rx_shards: None,
                 async_front_end: None,
+                syscall_batch: None,
             };
             let r: ScalabilityResult =
                 run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg);
@@ -175,6 +176,7 @@ pub fn sweep_sharded(
                 load_aware_dispatch: false,
                 rx_shards: None,
                 async_front_end: None,
+                syscall_batch: None,
             };
             let r: ScalabilityResult =
                 run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg);
@@ -282,6 +284,7 @@ pub fn sweep_heavy_tail(
                 load_aware_dispatch: load_aware,
                 rx_shards: None,
                 async_front_end: None,
+                syscall_batch: None,
             };
             let r: ScalabilityResult =
                 run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg);
@@ -382,6 +385,7 @@ pub fn sweep_rx_shards(
                 load_aware_dispatch: false,
                 rx_shards: Some(rx_shards),
                 async_front_end: None,
+                syscall_batch: None,
             };
             let r: ScalabilityResult =
                 run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg);
@@ -499,6 +503,7 @@ pub fn sweep_async_ingress_measured(
                 load_aware_dispatch: false,
                 rx_shards: Some(rx_shards),
                 async_front_end: Some(model),
+                syscall_batch: None,
             };
             let r: ScalabilityResult =
                 run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg);
@@ -537,6 +542,123 @@ pub fn fig_async_ingress(clients: &[usize]) -> Vec<AsyncIngressPoint> {
             clients,
             event_driven,
         ));
+    }
+    out
+}
+
+/// Bulk sizes swept by the syscall-batching comparison: `1` is the
+/// per-datagram transport (one `recvfrom` per wire datagram), the rest
+/// hand the kernel a `recvmmsg`-shaped vector of up to N datagrams per
+/// crossing.
+pub const WIRE_BULK_SIZES: [usize; 4] = [1, 8, 32, 128];
+
+/// One data point of the syscall-batching comparison: the sharded stack
+/// under the many-peer small-record mix, draining its sockets with bulk
+/// `recv_many` calls of up to `bulk` datagrams. The per-datagram socket
+/// work is metered identically at every bulk size; only the per-call
+/// syscall charge ([`endbox_netsim::pipeline::SyscallBatchModel`]) is
+/// amortised over the *measured* datagrams-per-call ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyscallBatchPoint {
+    /// Requested bulk size (datagrams per `recv_many` call).
+    pub bulk: usize,
+    /// Connected clients (peers).
+    pub clients: usize,
+    /// RX framing shards (== poll groups).
+    pub rx_shards: usize,
+    /// Server worker shards.
+    pub workers: usize,
+    /// Aggregate server-side goodput in Gbps.
+    pub gbps: f64,
+    /// Aggregate server-side packet rate in Mpps.
+    pub mpps: f64,
+    /// Server CPU utilisation in [0, 1].
+    pub server_cpu: f64,
+    /// Datagrams moved per socket call, measured on the real stack
+    /// (bounded above by the per-socket queue depth at drain time).
+    pub datagrams_per_call: f64,
+}
+
+/// The replay half of [`sweep_syscall_batch`], for callers replaying one
+/// real-stack measurement across client counts. `measured_ratio` below
+/// 1.0 (the per-datagram front-end pays a final empty dry-check call per
+/// socket) is clamped: a syscall never moves less than one datagram.
+pub fn sweep_syscall_batch_measured(
+    charge: PacketCharge,
+    bulk: usize,
+    measured_ratio: f64,
+    rx_shards: usize,
+    workers: usize,
+    clients: &[usize],
+) -> Vec<SyscallBatchPoint> {
+    let per_call = endbox_netsim::cost::CostModel::calibrated().syscall_per_call;
+    let model = if bulk <= 1 {
+        endbox_netsim::pipeline::SyscallBatchModel::per_datagram(per_call)
+    } else {
+        endbox_netsim::pipeline::SyscallBatchModel::bulk(per_call, measured_ratio.max(1.0))
+    };
+    clients
+        .iter()
+        .map(|&n| {
+            let cfg = ScalabilityConfig {
+                n_clients: n,
+                per_client_bps: RX_MIX_PER_CLIENT_BPS,
+                payload_bytes: charge.payload_bytes,
+                duration: SimDuration::from_millis(20),
+                n_client_machines: 5,
+                contention_per_excess_process: 0.0,
+                server_procs_per_client: 1,
+                server_single_process: false,
+                server_worker_shards: Some(workers),
+                client_load_weights: None,
+                load_aware_dispatch: false,
+                rx_shards: Some(rx_shards),
+                async_front_end: None,
+                syscall_batch: Some(model),
+            };
+            let r: ScalabilityResult =
+                run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg);
+            SyscallBatchPoint {
+                bulk,
+                clients: n,
+                rx_shards,
+                workers,
+                gbps: r.gbps,
+                mpps: r.gbps * 1e9 / (charge.payload_bytes as f64 * 8.0) / 1e6,
+                server_cpu: r.server_cpu,
+                datagrams_per_call: model.datagrams_per_call,
+            }
+        })
+        .collect()
+}
+
+/// Runs the syscall-batching sweep for one bulk size: the per-packet
+/// charge *and* the datagrams-per-call amortisation are measured on the
+/// **real** stack draining through `recv_many(bulk)`
+/// ([`super::deploy::measure_charge_wire`]), then replayed through the
+/// timing layer with the per-call syscall cost spread over the measured
+/// ratio on the RX lanes. All bulk sizes replay the same metered
+/// per-datagram work — the only modelled difference is how many kernel
+/// crossings that work needs.
+pub fn sweep_syscall_batch(
+    use_case: UseCase,
+    bulk: usize,
+    rx_shards: usize,
+    workers: usize,
+    clients: &[usize],
+) -> Vec<SyscallBatchPoint> {
+    let (charge, ratio) =
+        super::deploy::measure_charge_wire(use_case, RX_MIX_PAYLOAD, 6, workers, rx_shards, bulk);
+    sweep_syscall_batch_measured(charge, bulk, ratio, rx_shards, workers, clients)
+}
+
+/// The syscall-batching comparison: the many-peer small-record mix on
+/// the batched EndBox-SGX stack (NOP use case, 2 RX shards, 4 worker
+/// shards) for every bulk size in [`WIRE_BULK_SIZES`], across `clients`.
+pub fn fig_syscall_batch(clients: &[usize]) -> Vec<SyscallBatchPoint> {
+    let mut out = Vec::new();
+    for bulk in WIRE_BULK_SIZES {
+        out.extend(sweep_syscall_batch(UseCase::Nop, bulk, 2, 4, clients));
     }
     out
 }
@@ -661,6 +783,7 @@ mod tests {
                 load_aware_dispatch: load_aware,
                 rx_shards: None,
                 async_front_end: None,
+                syscall_batch: None,
             };
             run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg).gbps
         };
@@ -782,6 +905,49 @@ mod tests {
         );
         assert!(call[0].wakeups_per_packet == 1.0);
         assert!(event[0].wakeups_per_packet < 0.5);
+    }
+
+    #[test]
+    fn bulk_socket_io_amortises_syscalls_on_the_small_record_mix() {
+        // The measured input to the syscall model must show real
+        // amortisation: with 16 datagrams queued per peer socket at
+        // drain time, a bulk-32 `recv_many` front-end moves many
+        // datagrams per call, while the per-datagram front-end cannot
+        // exceed one (its dry-check tail even drags it slightly below).
+        let (charge_1, ratio_1) =
+            super::super::deploy::measure_charge_wire(UseCase::Nop, RX_MIX_PAYLOAD, 4, 4, 2, 1);
+        let (charge_32, ratio_32) =
+            super::super::deploy::measure_charge_wire(UseCase::Nop, RX_MIX_PAYLOAD, 4, 4, 2, 32);
+        assert!(ratio_1 <= 1.0, "per-datagram drain: {ratio_1:.3}");
+        assert!(
+            ratio_32 >= 8.0,
+            "bulk-32 must amortise across deep queues: {ratio_32:.3}"
+        );
+        // The drained application work is bulk-invariant: identical
+        // record mix, identical fragment shape.
+        assert_eq!(charge_1.fragments, charge_32.fragments);
+        assert_eq!(charge_1.payload_bytes, charge_32.payload_bytes);
+    }
+
+    #[test]
+    fn bulk_32_beats_per_datagram_at_120_peers() {
+        // The acceptance bar: at 120 peers on the small-record mix, the
+        // bulk-32 transport must deliver >= 1.5x the aggregate
+        // throughput of the per-datagram one (same metered work; the
+        // only modelled difference is the syscall amortisation).
+        let (charge_1, ratio_1) =
+            super::super::deploy::measure_charge_wire(UseCase::Nop, RX_MIX_PAYLOAD, 6, 4, 2, 1);
+        let (charge_32, ratio_32) =
+            super::super::deploy::measure_charge_wire(UseCase::Nop, RX_MIX_PAYLOAD, 6, 4, 2, 32);
+        let per = sweep_syscall_batch_measured(charge_1, 1, ratio_1, 2, 4, &[120]);
+        let bulk = sweep_syscall_batch_measured(charge_32, 32, ratio_32, 2, 4, &[120]);
+        let (g_per, g_bulk) = (per[0].gbps, bulk[0].gbps);
+        assert!(
+            g_bulk >= 1.5 * g_per,
+            "bulk-32 must win >=1.5x at 120 peers: {g_per:.3} vs {g_bulk:.3} Gbps"
+        );
+        assert!(per[0].datagrams_per_call == 1.0);
+        assert!(bulk[0].datagrams_per_call >= 8.0);
     }
 
     #[test]

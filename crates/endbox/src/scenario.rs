@@ -8,14 +8,14 @@ use crate::config_update::{ConfigServer, SignedConfig};
 use crate::error::EndBoxError;
 use crate::server::{
     AsyncFrontEnd, AsyncIngressStats, Delivery, EndBoxServer, EndBoxServerConfig,
-    ShardedEndBoxServer,
+    ShardedEndBoxServer, TxBatchStats, TxBatcher,
 };
 use crate::use_cases::UseCase;
 use endbox_crypto::schnorr::SigningKey;
 use endbox_netsim::cost::{CostModel, CycleMeter};
-use endbox_netsim::net::VirtualWire;
+use endbox_netsim::net::{OsWire, Transport, VirtualWire};
 use endbox_netsim::time::SharedClock;
-use endbox_netsim::Packet;
+use endbox_netsim::{BufferPool, Packet};
 use endbox_sgx::attestation::{CpuIdentity, IasSimulator};
 use endbox_vpn::channel::CipherSuite;
 use endbox_vpn::endpoint::FramedSender;
@@ -25,6 +25,7 @@ use endbox_vpn::{PROTOCOL_V1, PROTOCOL_V2};
 use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Which §II-A scenario a deployment models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +86,7 @@ pub struct ScenarioBuilder {
     dispatch: DispatchPolicy,
     rx_shards: usize,
     async_ingress: bool,
+    os_transport: bool,
 }
 
 impl ScenarioBuilder {
@@ -157,6 +159,19 @@ impl ScenarioBuilder {
     /// path. See [`ShardedScenario::pump_async`].
     pub fn async_ingress(mut self, on: bool) -> Self {
         self.async_ingress = on;
+        self
+    }
+
+    /// Runs the async wire over the real OS-socket backend
+    /// ([`OsWire`]: loopback UDP sockets) instead of the in-process
+    /// [`VirtualWire`] (default off; only meaningful together with
+    /// [`ScenarioBuilder::async_ingress`]). Application-level results
+    /// are byte-identical across backends — the stamp-carrying wire
+    /// header preserves the re-merge ordering contract — which the
+    /// parity tests assert. Check [`OsWire::available`] first in
+    /// environments that may forbid socket creation.
+    pub fn os_transport(mut self, on: bool) -> Self {
+        self.os_transport = on;
         self
     }
 
@@ -387,6 +402,23 @@ impl ScenarioBuilder {
         let front_end = self
             .async_ingress
             .then(|| AsyncFrontEnd::new(server.rx_shard_count()));
+        let wire: Option<Arc<dyn Transport>> = self.async_ingress.then(|| {
+            if self.os_transport {
+                Arc::new(OsWire::new()) as Arc<dyn Transport>
+            } else {
+                Arc::new(VirtualWire::new()) as Arc<dyn Transport>
+            }
+        });
+        // The server's dedicated TX socket: all egress towards clients
+        // goes through the TX-batching stage (one bulk send per flush)
+        // rather than per-datagram writes. Metered like every other
+        // server-side socket.
+        let tx = wire.as_ref().map(|w| {
+            TxBatcher::new(
+                w.bind_metered(SERVER_TX_PORT, setup.server_meter.clone(), &setup.cost)
+                    .expect("TX port unique"),
+            )
+        });
         Ok(ShardedScenario {
             kind: self.kind,
             use_case: self.use_case,
@@ -399,9 +431,11 @@ impl ScenarioBuilder {
             session_ids,
             clock: setup.clock,
             cost: setup.cost,
-            wire: self.async_ingress.then(VirtualWire::new),
+            wire,
             front_end,
+            tx,
             links: HashMap::new(),
+            egress_pool: BufferPool::new(),
         })
     }
 }
@@ -471,6 +505,7 @@ impl Scenario {
             dispatch: DispatchPolicy::default(),
             rx_shards: 1,
             async_ingress: false,
+            os_transport: false,
         }
     }
 
@@ -490,6 +525,7 @@ impl Scenario {
             dispatch: DispatchPolicy::default(),
             rx_shards: 1,
             async_ingress: false,
+            os_transport: false,
         }
     }
 
@@ -734,14 +770,22 @@ pub struct ShardedScenario {
     /// Shared simulation clock.
     pub clock: SharedClock,
     cost: CostModel,
-    /// The in-process wire behind the virtual sockets
+    /// The pluggable wire behind the sockets: [`VirtualWire`] by
+    /// default, [`OsWire`] with [`ScenarioBuilder::os_transport`]
     /// (`Some` iff built with [`ScenarioBuilder::async_ingress`]).
-    wire: Option<VirtualWire>,
+    wire: Option<Arc<dyn Transport>>,
     /// The event-driven socket front-end
     /// (`Some` iff built with [`ScenarioBuilder::async_ingress`]).
     front_end: Option<AsyncFrontEnd>,
+    /// The TX-batching egress stage over the server's dedicated TX
+    /// socket (`Some` iff built with
+    /// [`ScenarioBuilder::async_ingress`]).
+    tx: Option<TxBatcher>,
     /// Per-peer client-side sending halves, bound lazily on first send.
     links: HashMap<u64, FramedSender>,
+    /// Egress fragment buffers of the client links (pool-backed — no
+    /// fresh allocation per datagram once warm).
+    egress_pool: BufferPool,
 }
 
 impl std::fmt::Debug for ShardedScenario {
@@ -780,6 +824,12 @@ fn collect_delivered(
 /// the scenario's virtual wire (server port for peer `p` is `p` itself).
 const CLIENT_PORT_BIT: u64 = 1 << 63;
 
+/// The server's dedicated TX socket (all egress towards clients leaves
+/// through the [`TxBatcher`] bound here). Disjoint from both the
+/// server-side per-peer ports (small integers) and the client-side ones
+/// ([`CLIENT_PORT_BIT`]).
+const SERVER_TX_PORT: u64 = 1 << 62;
+
 impl ShardedScenario {
     /// The session id of client `idx`.
     pub fn session_id(&self, idx: usize) -> u64 {
@@ -814,8 +864,10 @@ impl ShardedScenario {
         let client_ep = wire
             .bind(CLIENT_PORT_BIT | peer)
             .expect("unique client port per peer");
-        self.links
-            .insert(peer, FramedSender::new(client_ep, self.cost.mtu_payload));
+        self.links.insert(
+            peer,
+            FramedSender::with_pool(client_ep, self.cost.mtu_payload, self.egress_pool.clone()),
+        );
     }
 
     /// Ships already-sealed wire datagrams from `peer`'s client-side
@@ -898,6 +950,87 @@ impl ShardedScenario {
         let fe = self.front_end.as_mut().expect("async ingress enabled");
         fe.set_drain_quota(drain_quota);
         fe.set_shard_budget(shard_budget);
+    }
+
+    /// Sets the bulk size of ingress `recv_many` calls (see
+    /// [`AsyncFrontEnd::set_recv_bulk`]; `1` = per-datagram transport
+    /// shape). Results are identical at every setting; only
+    /// [`AsyncIngressStats::io_calls`] moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if async ingress is off.
+    pub fn set_recv_bulk(&mut self, bulk: usize) {
+        self.front_end
+            .as_mut()
+            .expect("async ingress enabled")
+            .set_recv_bulk(bulk);
+    }
+
+    /// The wire backend name (`"virtual"` or `"os-socket"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if async ingress is off.
+    pub fn wire_backend(&self) -> &'static str {
+        self.wire.as_ref().expect("async ingress enabled").backend()
+    }
+
+    /// Recycling counters of the client links' egress buffer pool.
+    pub fn egress_pool_stats(&self) -> endbox_netsim::PoolStats {
+        self.egress_pool.stats()
+    }
+
+    /// Counters of the TX-batching egress stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if async ingress is off.
+    pub fn tx_stats(&self) -> TxBatchStats {
+        self.tx.as_ref().expect("async ingress enabled").stats()
+    }
+
+    /// Seals `packets` towards client `idx` as one `DataBatch` record
+    /// and ships the fragments through the TX-batching egress stage
+    /// (enqueue → one bulk `send_many` per flush), then drains the
+    /// client-side socket and returns the wire datagrams it received,
+    /// in wire order — the egress mirror of the bulk ingress path.
+    ///
+    /// # Errors
+    ///
+    /// [`EndBoxError::Vpn`] for unknown sessions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if async ingress is off.
+    pub fn egress_batch_to_client(
+        &mut self,
+        idx: usize,
+        packets: &[Packet],
+    ) -> Result<Vec<Vec<u8>>, EndBoxError> {
+        let peer = idx as u64;
+        self.ensure_async_peer(peer);
+        let session_id = self.session_ids[idx];
+        let fragments = self.server.send_batch_to_client(session_id, packets)?;
+        let expected = fragments.len();
+        let tx = self.tx.as_mut().expect("async ingress enabled");
+        tx.enqueue(CLIENT_PORT_BIT | peer, fragments);
+        tx.flush().expect("client socket bound");
+        // Drain the client side. The OS backend crosses the kernel, so
+        // give delivery a bounded moment; the virtual wire is immediate.
+        let client_ep = self.links.get(&peer).expect("just ensured").endpoint();
+        let mut got = Vec::with_capacity(expected);
+        for _ in 0..100_000 {
+            client_ep.recv_many(expected - got.len(), &mut got);
+            if got.len() >= expected {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(got.len(), expected, "egress datagrams all delivered");
+        // Wire order (one TX socket → stamps are its send order).
+        got.sort_by_key(|d| d.seq);
+        Ok(got.into_iter().map(|d| d.payload).collect())
     }
 
     /// Sends several application payloads from one client as a batch

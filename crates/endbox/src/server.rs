@@ -1213,6 +1213,14 @@ pub struct AsyncIngressStats {
     /// flooding peer from monopolising a dispatch. Never exceeds
     /// [`AsyncIngressStats::rounds`].
     pub deferred_rounds: u64,
+    /// Bulk `recv_many` calls issued against registered sockets (each
+    /// one "syscall"). `datagrams / io_calls` is the syscall
+    /// amortisation the bulk transport achieved — the measured input to
+    /// the timing-layer
+    /// [`endbox_netsim::pipeline::SyscallBatchModel`]. A per-datagram
+    /// front-end (`recv_bulk == 1`) pays roughly one call per datagram;
+    /// a bulk one pays one per batch.
+    pub io_calls: u64,
 }
 
 /// Default per-socket drain quota per scheduling pass (matches
@@ -1310,9 +1318,13 @@ pub struct AsyncFrontEnd {
     rr: Vec<usize>,
     drain_quota: usize,
     shard_budget: usize,
+    /// Max datagrams moved per bulk `recv_many` call (the `recvmmsg`
+    /// vector length).
+    recv_bulk: usize,
     rounds: u64,
     datagrams: u64,
     deferred_rounds: u64,
+    io_calls: u64,
 }
 
 impl AsyncFrontEnd {
@@ -1330,9 +1342,11 @@ impl AsyncFrontEnd {
             rr: vec![0; rx_shards],
             drain_quota: DEFAULT_DRAIN_QUOTA,
             shard_budget: DEFAULT_SHARD_BUDGET,
+            recv_bulk: DEFAULT_DRAIN_QUOTA,
             rounds: 0,
             datagrams: 0,
             deferred_rounds: 0,
+            io_calls: 0,
         }
     }
 
@@ -1362,6 +1376,17 @@ impl AsyncFrontEnd {
         self.shard_budget = budget.max(1);
     }
 
+    /// Max datagrams moved per bulk `recv_many` call — the `recvmmsg`
+    /// vector length. `1` degenerates to the per-datagram transport
+    /// shape (one call per datagram); larger values amortise the
+    /// syscall boundary over the batch. Drained datagrams and their
+    /// dispatch order are **identical** at every setting (the bulk op
+    /// is contractually equivalent to N singles); only
+    /// [`AsyncIngressStats::io_calls`] moves.
+    pub fn set_recv_bulk(&mut self, bulk: usize) {
+        self.recv_bulk = bulk.max(1);
+    }
+
     /// Front-end counters.
     pub fn stats(&self) -> AsyncIngressStats {
         AsyncIngressStats {
@@ -1369,6 +1394,7 @@ impl AsyncFrontEnd {
             rounds: self.rounds,
             datagrams: self.datagrams,
             deferred_rounds: self.deferred_rounds,
+            io_calls: self.io_calls,
         }
     }
 
@@ -1415,7 +1441,11 @@ impl AsyncFrontEnd {
             let mut last_drained = None;
             // Scheduling passes: round-robin over the ready sockets, at
             // most `drain_quota` per socket per pass, until the budget is
-            // spent or every ready socket is dry.
+            // spent or every ready socket is dry. Each socket is drained
+            // with bulk `recv_many` calls of up to `recv_bulk` datagrams
+            // — the datagrams and their order are identical to the
+            // per-datagram shape; only the call count changes.
+            let mut scratch: Vec<endbox_netsim::net::Datagram> = Vec::new();
             loop {
                 let mut drained_this_pass = 0usize;
                 for i in 0..ready.len() {
@@ -1423,10 +1453,18 @@ impl AsyncFrontEnd {
                     let (peer, ep) = &self.sockets[slot];
                     let mut taken = 0;
                     while taken < self.drain_quota && budget > 0 {
-                        let Some(d) = ep.try_recv() else { break };
-                        drained.push((d.seq, *peer, d.payload));
-                        taken += 1;
-                        budget -= 1;
+                        let want = self.recv_bulk.min(self.drain_quota - taken).min(budget);
+                        scratch.clear();
+                        let got = ep.recv_many(want, &mut scratch);
+                        self.io_calls += 1;
+                        for d in scratch.drain(..) {
+                            drained.push((d.seq, *peer, d.payload));
+                        }
+                        taken += got;
+                        budget -= got;
+                        if got < want {
+                            break; // socket dry
+                        }
                     }
                     if taken > 0 {
                         drained_this_pass += taken;
@@ -1483,5 +1521,120 @@ impl AsyncFrontEnd {
             }
             out.extend(round);
         }
+    }
+}
+
+/// Counters of the TX-batching egress stage ([`TxBatcher`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TxBatchStats {
+    /// Datagrams accepted by [`TxBatcher::enqueue`].
+    pub enqueued: u64,
+    /// Datagrams shipped onto the wire.
+    pub sent: u64,
+    /// [`TxBatcher::flush`] calls.
+    pub flushes: u64,
+    /// Bulk `send_many` calls issued (each one "syscall").
+    /// `sent / io_calls` is the egress syscall amortisation — the TX
+    /// mirror of [`AsyncIngressStats::io_calls`].
+    pub io_calls: u64,
+    /// `send_many` calls that shipped only part of their batch (OS
+    /// socket backpressure; the tail stayed queued for the next flush).
+    pub partial_sends: u64,
+}
+
+/// The TX-batching egress stage: collects the fragments the server
+/// produces towards clients ([`ShardedEndBoxServer::send_to_client`] /
+/// [`ShardedEndBoxServer::send_batch_to_client`]) into per-destination
+/// queues and ships each queue with **one** bulk
+/// [`UdpEndpoint::send_many`](endbox_netsim::net::UdpEndpoint::send_many)
+/// call per flush — the `sendmmsg` shape on the egress side, replacing
+/// per-datagram `send_to` writes.
+///
+/// # Ordering and partial sends
+///
+/// Per-destination FIFO order is preserved unconditionally: a queue is
+/// only ever appended to, and `send_many` ships a prefix. A partial send
+/// (OS-socket backpressure) leaves the unshipped tail **at the head of
+/// its queue** for the next flush; nothing is reordered or dropped, and
+/// [`TxBatchStats::partial_sends`] counts the occurrences. Destinations
+/// flush in first-enqueue order, mirroring the wire-order discipline of
+/// the ingress side.
+#[derive(Debug)]
+pub struct TxBatcher {
+    endpoint: endbox_netsim::net::UdpEndpoint,
+    /// Per-destination queues in first-enqueue order (a `Vec`, not a
+    /// `HashMap`, to keep flush order deterministic; destination counts
+    /// are small — one per connected peer at most).
+    queues: Vec<(u64, Vec<Vec<u8>>)>,
+    stats: TxBatchStats,
+}
+
+impl TxBatcher {
+    /// A batcher sending through `endpoint` (typically the server's
+    /// dedicated TX socket).
+    pub fn new(endpoint: endbox_netsim::net::UdpEndpoint) -> TxBatcher {
+        TxBatcher {
+            endpoint,
+            queues: Vec::new(),
+            stats: TxBatchStats::default(),
+        }
+    }
+
+    /// The endpoint this batcher sends through.
+    pub fn endpoint(&self) -> &endbox_netsim::net::UdpEndpoint {
+        &self.endpoint
+    }
+
+    /// Queues `datagrams` for `dst`, preserving order behind anything
+    /// already queued there.
+    pub fn enqueue(&mut self, dst: u64, datagrams: impl IntoIterator<Item = Vec<u8>>) {
+        let queue = match self.queues.iter_mut().find(|(d, _)| *d == dst) {
+            Some((_, q)) => q,
+            None => {
+                self.queues.push((dst, Vec::new()));
+                &mut self.queues.last_mut().expect("just pushed").1
+            }
+        };
+        let before = queue.len();
+        queue.extend(datagrams);
+        self.stats.enqueued += (queue.len() - before) as u64;
+    }
+
+    /// Datagrams queued and not yet shipped.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(|(_, q)| q.len()).sum()
+    }
+
+    /// Ships every queue with one bulk call each, in first-enqueue
+    /// order. Returns the number of datagrams shipped; tails that hit
+    /// backpressure stay queued (see the type docs).
+    ///
+    /// # Errors
+    ///
+    /// [`endbox_netsim::net::NetError::Unreachable`] if a destination
+    /// has no bound endpoint (its queue is left intact; earlier
+    /// destinations' sends stand).
+    pub fn flush(&mut self) -> Result<usize, endbox_netsim::net::NetError> {
+        self.stats.flushes += 1;
+        let mut shipped = 0;
+        for (dst, queue) in &mut self.queues {
+            if queue.is_empty() {
+                continue;
+            }
+            self.stats.io_calls += 1;
+            let sent = self.endpoint.send_many(*dst, queue)?;
+            shipped += sent;
+            self.stats.sent += sent as u64;
+            if !queue.is_empty() {
+                self.stats.partial_sends += 1;
+            }
+        }
+        self.queues.retain(|(_, q)| !q.is_empty());
+        Ok(shipped)
+    }
+
+    /// Egress counters.
+    pub fn stats(&self) -> TxBatchStats {
+        self.stats
     }
 }

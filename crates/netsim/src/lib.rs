@@ -11,10 +11,14 @@
 //!   [`buffer::BufferPool`] recycles packet backing stores and
 //!   [`buffer::PacketBatch`] moves many packets through each layer
 //!   boundary (router, enclave, VPN record) as one unit.
-//! * [`net`] — a vendored non-blocking socket/reactor layer: virtual UDP
-//!   endpoints backed by an in-process wire with global arrival stamping,
-//!   plus a deterministic level-triggered [`net::PollGroup`] — the
-//!   substrate of the event-driven server front-end.
+//! * [`net`] — a vendored non-blocking socket/reactor layer behind a
+//!   pluggable [`net::Transport`] trait: the deterministic in-process
+//!   [`net::VirtualWire`] (global arrival stamping) and a real loopback
+//!   [`net::OsWire`] UDP backend, both with `sendmmsg`/`recvmmsg`-shaped
+//!   bulk I/O ([`net::UdpEndpoint::send_many`] /
+//!   [`net::UdpEndpoint::recv_many`]) and a level-triggered
+//!   [`net::PollGroup`] — the substrate of the event-driven server
+//!   front-end.
 //! * [`time`] — virtual nanosecond clock ([`time::SimTime`]).
 //! * [`cost`] — the calibrated cycle-cost model ([`cost::CostModel`]) and
 //!   the [`cost::CycleMeter`] that functional components charge as they

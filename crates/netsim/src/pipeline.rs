@@ -19,7 +19,10 @@
 //!   with completion-ordered hand-off to dispatch. The socket front-end
 //!   ([`ScalabilityConfig::async_front_end`]) adds the event-loop wakeup
 //!   charge here: per datagram when call-driven, amortised over the
-//!   measured drain batch when event-driven.
+//!   measured drain batch when event-driven. The syscall boundary
+//!   ([`ScalabilityConfig::syscall_batch`]) likewise adds the per-call
+//!   kernel-crossing charge, amortised over the measured bulk
+//!   `recv_many` batch size.
 //! * **Worker lanes** ([`ScalabilityConfig::server_worker_shards`]) —
 //!   one serial flow per worker shard; sessions are placed by static
 //!   affinity or the load-aware migration model
@@ -27,10 +30,10 @@
 //!
 //! # Compatibility invariant
 //!
-//! Every refinement is gated on an `Option`: `rx_shards: None` and
-//! `async_front_end: None` keep the legacy folded models **bit-identical**
-//! (regression-tested below), so shipped figures never move when a new
-//! stage is added to the model.
+//! Every refinement is gated on an `Option`: `rx_shards: None`,
+//! `async_front_end: None` and `syscall_batch: None` keep the legacy
+//! folded models **bit-identical** (regression-tested below), so shipped
+//! figures never move when a new stage is added to the model.
 
 use crate::resource::{Link, Machine, MachineSpec};
 use crate::time::{SimDuration, SimTime};
@@ -188,6 +191,16 @@ pub struct ScalabilityConfig {
     /// drains (see [`AsyncFrontEndModel`]). `None`: socket wakeups are
     /// free (exact legacy behaviour, bit-identical).
     pub async_front_end: Option<AsyncFrontEndModel>,
+    /// `Some(m)` (only consulted when `rx_shards` models a separate RX
+    /// stage): price the kernel-boundary crossings of socket I/O. Each
+    /// packet charges `m.per_packet_cycles(fragments)` on its RX lane —
+    /// the per-call syscall cost divided by how many datagrams each bulk
+    /// `recv_many` call moves (see [`SyscallBatchModel`]). `None`:
+    /// syscall crossings are free (exact legacy behaviour,
+    /// bit-identical), matching the `net` layer's metering, which
+    /// charges per-datagram socket costs but never the per-call
+    /// boundary cost.
+    pub syscall_batch: Option<SyscallBatchModel>,
 }
 
 /// Timing model of the socket front-end in front of the RX lanes.
@@ -241,6 +254,71 @@ impl AsyncFrontEndModel {
     }
 }
 
+/// Timing model of the syscall boundary under bulk socket I/O.
+///
+/// Every socket receive crosses the kernel boundary
+/// ([`crate::cost::CostModel::syscall_per_call`]): trap, register
+/// save/restore, mitigation flushes, scheduler wake of the blocked
+/// reader. A **per-datagram** transport (`try_recv`/`send_to`) pays
+/// that once per wire datagram; the **bulk** `sendmmsg`/`recvmmsg`
+/// shape (`UdpEndpoint::recv_many`/`send_many`) pays it once per call
+/// and moves `datagrams_per_call` datagrams with it — the measured
+/// amortisation ratio of a real `AsyncFrontEnd` run (its
+/// `AsyncIngressStats::io_calls` counter against datagrams drained).
+/// The per-datagram socket costs themselves
+/// (`socket_recv_fixed`/`socket_per_byte`) are identical in both
+/// shapes and already live in the measured [`PacketCharge`]; only the
+/// per-call boundary cost differs, and that is what this model prices
+/// — the direct analogue of [`AsyncFrontEndModel`] for the syscall
+/// boundary instead of the event loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyscallBatchModel {
+    /// Cycles per kernel crossing
+    /// ([`crate::cost::CostModel::syscall_per_call`]).
+    pub call_cycles: u64,
+    /// Wire datagrams moved per call: 1.0 for the per-datagram
+    /// transport shape, the measured `datagrams / io_calls` ratio for a
+    /// bulk front-end (bounded above by the configured bulk size, and
+    /// below it whenever sockets run dry mid-batch).
+    pub datagrams_per_call: f64,
+}
+
+impl SyscallBatchModel {
+    /// The per-datagram baseline: one kernel crossing per datagram.
+    pub fn per_datagram(call_cycles: u64) -> Self {
+        SyscallBatchModel {
+            call_cycles,
+            datagrams_per_call: 1.0,
+        }
+    }
+
+    /// The bulk model with a measured amortisation ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `datagrams_per_call < 1.0` — a call cannot move less
+    /// than one datagram on a productive front-end.
+    pub fn bulk(call_cycles: u64, datagrams_per_call: f64) -> Self {
+        assert!(
+            datagrams_per_call >= 1.0,
+            "a syscall moves at least one datagram, got {datagrams_per_call}"
+        );
+        SyscallBatchModel {
+            call_cycles,
+            datagrams_per_call,
+        }
+    }
+
+    /// Amortised syscall cycles charged per packet on its RX lane: a
+    /// packet spanning `fragments` wire datagrams pays the per-call
+    /// cost divided by the datagrams each call moves, once per
+    /// datagram.
+    pub fn per_packet_cycles(&self, fragments: usize) -> u64 {
+        (self.call_cycles as f64 * fragments.max(1) as f64 / self.datagrams_per_call.max(1.0))
+            .round() as u64
+    }
+}
+
 /// Backlog gap (in per-packet server jobs) that triggers a session
 /// migration under `load_aware_dispatch`. Small enough to react within a
 /// measurement window, large enough that uniform load never migrates.
@@ -262,6 +340,7 @@ impl Default for ScalabilityConfig {
             load_aware_dispatch: false,
             rx_shards: None,
             async_front_end: None,
+            syscall_batch: None,
         }
     }
 }
@@ -456,7 +535,15 @@ pub fn run_scalability(
             .async_front_end
             .as_ref()
             .map(|m| m.per_packet_cycles(charge.fragments))
-            .unwrap_or(0);
+            .unwrap_or(0)
+            // Syscall boundary: per-call cost amortised over the bulk
+            // receive batch, charged on the same RX lane. `None` = free,
+            // bit-identical to the pre-bulk-transport model.
+            + cfg
+                .syscall_batch
+                .as_ref()
+                .map(|m| m.per_packet_cycles(charge.fragments))
+                .unwrap_or(0);
         let mut rx_flows = vec![SimTime::ZERO; k];
         for entry in server_ready.iter_mut() {
             let (arrived, c) = *entry;
@@ -909,6 +996,91 @@ mod tests {
             "event-driven must beat call-driven >=1.3x on a wakeup-bound mix: \
              {call:.3} vs {event:.3} Gbps"
         );
+    }
+
+    #[test]
+    fn syscall_model_absent_is_a_noop() {
+        let mk = |sb| ScalabilityConfig {
+            n_clients: 16,
+            duration: SimDuration::from_millis(20),
+            server_worker_shards: Some(4),
+            rx_shards: Some(2),
+            syscall_batch: sb,
+            ..ScalabilityConfig::default()
+        };
+        let mut c = charge(1500, 20_000, 29_000);
+        c.rx_cycles = 10_000;
+        let off = run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), c, &mk(None));
+        let free = run_scalability(
+            MachineSpec::class_a(),
+            MachineSpec::class_b(),
+            c,
+            &mk(Some(SyscallBatchModel::bulk(0, 1.0))),
+        );
+        assert_eq!(off, free, "zero call cycles must price nothing");
+    }
+
+    #[test]
+    fn syscall_model_is_ignored_without_rx_lanes() {
+        // Like the async model, the syscall boundary is a refinement of
+        // the RX-stage model only.
+        let mk = |sb| ScalabilityConfig {
+            n_clients: 16,
+            duration: SimDuration::from_millis(20),
+            server_worker_shards: Some(4),
+            rx_shards: None,
+            syscall_batch: sb,
+            ..ScalabilityConfig::default()
+        };
+        let c = charge(1500, 20_000, 29_000);
+        let off = run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), c, &mk(None));
+        let on = run_scalability(
+            MachineSpec::class_a(),
+            MachineSpec::class_b(),
+            c,
+            &mk(Some(SyscallBatchModel::per_datagram(21_000))),
+        );
+        assert_eq!(off, on);
+    }
+
+    #[test]
+    fn bulk_syscalls_recover_a_syscall_bound_ingress() {
+        // Small records, many peers: per-datagram kernel crossings rival
+        // the framing cost and the RX lanes saturate; a bulk transport
+        // moving ~30 datagrams per call must recover well over 1.5x.
+        let mut c = charge(296, 20_000, 36_000);
+        c.rx_cycles = 24_000;
+        let tput = |m| {
+            let cfg = ScalabilityConfig {
+                n_clients: 120,
+                per_client_bps: 20_000_000,
+                payload_bytes: 296,
+                duration: SimDuration::from_millis(20),
+                server_worker_shards: Some(4),
+                rx_shards: Some(2),
+                syscall_batch: Some(m),
+                ..ScalabilityConfig::default()
+            };
+            run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), c, &cfg).gbps
+        };
+        let per_datagram = tput(SyscallBatchModel::per_datagram(21_000));
+        let bulk = tput(SyscallBatchModel::bulk(21_000, 30.0));
+        assert!(
+            bulk >= 1.5 * per_datagram,
+            "bulk syscalls must beat per-datagram >=1.5x on a syscall-bound mix: \
+             {per_datagram:.3} vs {bulk:.3} Gbps"
+        );
+    }
+
+    #[test]
+    fn syscall_amortisation_is_monotone_in_bulk_ratio() {
+        let m = |r| SyscallBatchModel::bulk(21_000, r).per_packet_cycles(1);
+        assert_eq!(m(1.0), 21_000);
+        assert!(m(8.0) < m(2.0));
+        assert!(m(128.0) < m(32.0));
+        // Fragmenting packets pay per datagram, amortised the same way.
+        let frag = SyscallBatchModel::bulk(21_000, 4.0);
+        assert_eq!(frag.per_packet_cycles(8), 42_000);
     }
 
     #[test]

@@ -6,11 +6,15 @@
 //! it fragments a record into MTU-sized datagrams
 //! ([`crate::frag::Fragmenter`], fragment ids scoped to this sender — one
 //! sender per peer, exactly like one [`Fragmenter`] per client today) and
-//! ships each datagram through a non-blocking [`UdpEndpoint`]. The
-//! receiving side needs no glue of its own: the server's RX shards
-//! already reassemble per-peer datagram streams, so a drained
-//! [`endbox_netsim::net::Datagram`] payload feeds straight into
-//! `receive_datagrams`.
+//! ships the whole batch through a non-blocking [`UdpEndpoint`] with ONE
+//! bulk [`UdpEndpoint::send_many`] call (`sendmmsg` shape): a record is
+//! one syscall, not one per fragment. Built with
+//! [`FramedSender::with_pool`], the fragment buffers come from a
+//! [`BufferPool`] instead of fresh allocations, closing the egress half
+//! of the zero-copy loop. The receiving side needs no glue of its own:
+//! the server's RX shards already reassemble per-peer datagram streams,
+//! so a drained [`endbox_netsim::net::Datagram`] payload feeds straight
+//! into `receive_datagrams`.
 //!
 //! Fragmentation runs *outside* the enclave (§III-B) and so does this
 //! module: it only ever touches ciphertext.
@@ -18,6 +22,12 @@
 use crate::frag::Fragmenter;
 use crate::proto::Record;
 use endbox_netsim::net::{NetError, UdpEndpoint};
+use endbox_netsim::BufferPool;
+
+/// Bounded retries after partial bulk sends before the stall is
+/// surfaced as an error (only the OS backend can ever send partially;
+/// each stall yields the thread so the kernel can drain the socket).
+const MAX_SEND_STALLS: usize = 64;
 
 /// A per-peer sending half: fragments sealed records and ships the
 /// datagrams through a virtual UDP endpoint.
@@ -26,6 +36,7 @@ pub struct FramedSender {
     endpoint: UdpEndpoint,
     fragmenter: Fragmenter,
     mtu_payload: usize,
+    pool: Option<BufferPool>,
 }
 
 impl FramedSender {
@@ -36,6 +47,16 @@ impl FramedSender {
             endpoint,
             fragmenter: Fragmenter::new(),
             mtu_payload,
+            pool: None,
+        }
+    }
+
+    /// Like [`FramedSender::new`], with fragment buffers drawn from
+    /// `pool` (returned to it by whoever consumes the datagrams).
+    pub fn with_pool(endpoint: UdpEndpoint, mtu_payload: usize, pool: BufferPool) -> FramedSender {
+        FramedSender {
+            pool: Some(pool),
+            ..FramedSender::new(endpoint, mtu_payload)
         }
     }
 
@@ -44,14 +65,24 @@ impl FramedSender {
         &self.endpoint
     }
 
+    /// The egress buffer pool, if built with [`FramedSender::with_pool`].
+    pub fn pool(&self) -> Option<&BufferPool> {
+        self.pool.as_ref()
+    }
+
     /// Fragments a sealed record's bytes and sends every datagram to
-    /// `dst`. Returns the number of datagrams shipped.
+    /// `dst` with one bulk call. Returns the number of datagrams shipped.
     ///
     /// # Errors
     ///
     /// [`NetError::Unreachable`] if no endpoint is bound at `dst`.
     pub fn send_sealed(&mut self, dst: u64, record_bytes: &[u8]) -> Result<usize, NetError> {
-        let datagrams = self.fragmenter.fragment(record_bytes, self.mtu_payload);
+        let datagrams = match &self.pool {
+            Some(pool) => self
+                .fragmenter
+                .fragment_in(record_bytes, self.mtu_payload, pool),
+            None => self.fragmenter.fragment(record_bytes, self.mtu_payload),
+        };
         self.forward(dst, datagrams)
     }
 
@@ -68,23 +99,41 @@ impl FramedSender {
     }
 
     /// Ships already-fragmented wire datagrams (the output of the client
-    /// stack's own fragmenter) to `dst`, in order. Returns the number of
-    /// datagrams shipped.
+    /// stack's own fragmenter) to `dst`, in order, coalesced into bulk
+    /// [`UdpEndpoint::send_many`] calls — one syscall per record batch
+    /// instead of one per datagram. Partial sends (OS-socket
+    /// backpressure) are retried with bounded stalls; on the virtual
+    /// wire a bulk send never splits. Returns the number of datagrams
+    /// shipped.
     ///
     /// # Errors
     ///
-    /// See [`FramedSender::send_sealed`].
+    /// [`NetError::Unreachable`] if no endpoint is bound at `dst`
+    /// (nothing shipped); [`NetError::Io`] if the socket stalls beyond
+    /// the retry bound mid-batch.
     pub fn forward(
         &self,
         dst: u64,
         datagrams: impl IntoIterator<Item = Vec<u8>>,
     ) -> Result<usize, NetError> {
-        let mut n = 0;
-        for d in datagrams {
-            self.endpoint.send_to(dst, d)?;
-            n += 1;
+        let mut batch: Vec<Vec<u8>> = datagrams.into_iter().collect();
+        let total = batch.len();
+        let mut sent = 0;
+        let mut stalls = 0;
+        while !batch.is_empty() {
+            sent += self.endpoint.send_many(dst, &mut batch)?;
+            if !batch.is_empty() {
+                stalls += 1;
+                if stalls > MAX_SEND_STALLS {
+                    return Err(NetError::Io(format!(
+                        "bulk send to {dst} stalled: {sent}/{total} shipped"
+                    )));
+                }
+                std::thread::yield_now();
+            }
         }
-        Ok(n)
+        debug_assert_eq!(sent, total);
+        Ok(sent)
     }
 }
 
@@ -117,5 +166,45 @@ mod tests {
         }
         let got = Record::from_bytes(&out.expect("record completes")).unwrap();
         assert_eq!(got, record);
+    }
+
+    #[test]
+    fn pooled_sender_recycles_egress_buffers_and_reconciles() {
+        let wire = VirtualWire::new();
+        let server = wire.bind(1).unwrap();
+        let pool = BufferPool::new();
+        let mut sender = FramedSender::with_pool(wire.bind(100).unwrap(), 16, pool.clone());
+        let record = Record {
+            opcode: Opcode::Data,
+            session_id: 7,
+            packet_id: 3,
+            payload: vec![0xab; 50],
+        };
+        // Round 1 populates the pool; the receiver recycles payloads.
+        let n = sender.send_record(1, &record).unwrap();
+        let cold_allocs = pool.stats().fresh_allocs;
+        assert_eq!(cold_allocs, n as u64, "cold pool: one alloc per datagram");
+        while let Some(d) = server.try_recv() {
+            pool.give(d.payload);
+        }
+        // Round 2 runs entirely on recycled buffers.
+        sender.send_record(1, &record).unwrap();
+        assert_eq!(
+            pool.stats().fresh_allocs,
+            cold_allocs,
+            "warm pool: egress allocates nothing new"
+        );
+        let mut held = 0u64;
+        while let Some(d) = server.try_recv() {
+            held += 1;
+            drop(d); // receiver chose not to recycle these
+        }
+        let stats = pool.stats();
+        assert_eq!(
+            stats.handed_out(),
+            stats.returned + stats.discarded + held,
+            "pool reconciles: handed out == returned + discarded + in flight"
+        );
+        assert!(stats.reuse_fraction() > 0.4, "stats: {stats:?}");
     }
 }

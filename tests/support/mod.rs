@@ -435,13 +435,57 @@ pub fn run_async(
     workers: usize,
     policy: DispatchPolicy,
 ) -> Vec<Out> {
+    run_async_configured(schedule, rx_shards, workers, policy, None, false)
+}
+
+/// [`run_async`] with an explicit ingress `recv_many` bulk size (`1` =
+/// the per-datagram transport shape; the default is the production bulk
+/// of `DEFAULT_DRAIN_QUOTA`). Outcomes must not depend on the setting —
+/// that is the invariant the bulk parity grid pins.
+pub fn run_async_bulk(
+    schedule: &Schedule,
+    rx_shards: usize,
+    workers: usize,
+    policy: DispatchPolicy,
+    recv_bulk: usize,
+) -> Vec<Out> {
+    run_async_configured(schedule, rx_shards, workers, policy, Some(recv_bulk), false)
+}
+
+/// [`run_async_bulk`] over the **OS-socket** backend: the same schedule
+/// rides real loopback UDP sockets (wire stamps survive the kernel
+/// round-trip in the OS wire header), so the outcomes must still be
+/// byte-identical to the single-threaded reference. Only call when
+/// [`endbox_netsim::net::OsWire::available`].
+pub fn run_async_os(
+    schedule: &Schedule,
+    rx_shards: usize,
+    workers: usize,
+    policy: DispatchPolicy,
+    recv_bulk: usize,
+) -> Vec<Out> {
+    run_async_configured(schedule, rx_shards, workers, policy, Some(recv_bulk), true)
+}
+
+fn run_async_configured(
+    schedule: &Schedule,
+    rx_shards: usize,
+    workers: usize,
+    policy: DispatchPolicy,
+    recv_bulk: Option<usize>,
+    os_transport: bool,
+) -> Vec<Out> {
     let mut scenario: ShardedScenario = Scenario::enterprise(schedule.n_clients, UseCase::Nop)
         .seed(schedule.seed)
         .dispatch(policy)
         .rx_shards(rx_shards)
         .async_ingress(true)
+        .os_transport(os_transport)
         .build_sharded(workers)
         .unwrap();
+    if let Some(bulk) = recv_bulk {
+        scenario.set_recv_bulk(bulk);
+    }
     for &(shard, micros) in &schedule.stalls {
         if shard < rx_shards {
             scenario.server.set_rx_stall_micros(shard, micros);
@@ -454,21 +498,43 @@ pub fn run_async(
     let mut prev: Vec<(u64, Vec<u8>)> = Vec::new();
     let mut segment: Vec<(u64, Vec<u8>)> = Vec::new();
     let mut craft_seq = 0u32;
-    let flush =
-        |scenario: &mut ShardedScenario, segment: &mut Vec<(u64, Vec<u8>)>, outs: &mut Vec<Out>| {
-            for (peer, d) in segment.drain(..) {
-                scenario.send_wire_datagrams(peer, vec![d]);
-            }
+    let mut sent_total = 0usize;
+    // Every datagram yields exactly one outcome, so after a flush the
+    // loop pumps until the output count catches up with the send count —
+    // immediate on the virtual wire, a bounded wait for the kernel to
+    // deliver on the OS backend.
+    let flush = |scenario: &mut ShardedScenario,
+                 segment: &mut Vec<(u64, Vec<u8>)>,
+                 outs: &mut Vec<Out>,
+                 sent_total: &mut usize| {
+        *sent_total += segment.len();
+        for (peer, d) in segment.drain(..) {
+            scenario.send_wire_datagrams(peer, vec![d]);
+        }
+        let mut spins = 0;
+        loop {
             outs.extend(
                 scenario
                     .pump_async()
                     .into_iter()
                     .map(|(_, result)| simplify(result)),
             );
-        };
+            if outs.len() >= *sent_total {
+                break;
+            }
+            spins += 1;
+            assert!(
+                spins < 100_000,
+                "wire lost datagrams: {} of {}",
+                outs.len(),
+                *sent_total
+            );
+            std::thread::yield_now();
+        }
+    };
     for (round, step) in schedule.steps.iter().enumerate() {
         if matches!(step, Step::Flush) {
-            flush(&mut scenario, &mut segment, &mut outs);
+            flush(&mut scenario, &mut segment, &mut outs, &mut sent_total);
             continue;
         }
         let datagrams = seal_step(
@@ -485,7 +551,7 @@ pub fn run_async(
             prev = datagrams;
         }
     }
-    flush(&mut scenario, &mut segment, &mut outs);
+    flush(&mut scenario, &mut segment, &mut outs, &mut sent_total);
     outs
 }
 
@@ -539,6 +605,73 @@ pub fn assert_schedule_parity_on(schedule: &Schedule, grid: &[(usize, usize)]) {
                 got, reference,
                 "schedule `{}` diverged from the single-threaded server at \
                  rx_shards={rx} workers={workers} policy={policy:?}",
+                schedule.name
+            );
+        }
+    }
+}
+
+/// Ingress `recv_many` bulk sizes the bulk parity grid covers: the
+/// per-datagram transport shape (1), a tiny bulk that forces call
+/// boundaries mid-queue (2), and the production default (32).
+pub const BULK_GRID: [usize; 3] = [1, 2, 32];
+
+/// Asserts byte-identical outcomes between the single-threaded reference
+/// and the event-driven front-end draining through bulk `recv_many`
+/// calls, for every `(rx_shards, workers, policy, bulk)` in the full
+/// grid × [`BULK_GRID`].
+pub fn assert_schedule_parity_bulk(schedule: &Schedule) {
+    let grid: Vec<(usize, usize)> = RX_GRID
+        .iter()
+        .flat_map(|&rx| WORKER_GRID.iter().map(move |&w| (rx, w)))
+        .collect();
+    assert_schedule_parity_bulk_on(schedule, &grid);
+}
+
+/// Like [`assert_schedule_parity_bulk`], but over a caller-chosen
+/// sub-grid of `(rx_shards, workers)` points.
+pub fn assert_schedule_parity_bulk_on(schedule: &Schedule, grid: &[(usize, usize)]) {
+    let reference = run_single(schedule);
+    for policy in policies() {
+        for &(rx, workers) in grid {
+            for bulk in BULK_GRID {
+                let got = run_async_bulk(schedule, rx, workers, policy, bulk);
+                assert_eq!(
+                    got, reference,
+                    "schedule `{}` diverged from the single-threaded server through \
+                     bulk recv_many ingress at rx_shards={rx} workers={workers} \
+                     policy={policy:?} bulk={bulk}",
+                    schedule.name
+                );
+            }
+        }
+    }
+}
+
+/// Asserts byte-identical outcomes between the single-threaded reference
+/// and the **OS-socket** backend (real loopback UDP) over `grid`, at
+/// both the per-datagram and the production bulk size. Skips (with a
+/// note) when the sandbox forbids loopback sockets — set
+/// `ENDBOX_REQUIRE_OS_SOCKET=1` to turn the skip into a failure.
+pub fn assert_schedule_parity_os(schedule: &Schedule, grid: &[(usize, usize)]) {
+    if !endbox_netsim::net::OsWire::available() {
+        if std::env::var("ENDBOX_REQUIRE_OS_SOCKET").as_deref() == Ok("1") {
+            panic!("ENDBOX_REQUIRE_OS_SOCKET=1 but loopback UDP is unavailable");
+        }
+        eprintln!(
+            "skipping OS-socket parity for `{}`: loopback UDP unavailable",
+            schedule.name
+        );
+        return;
+    }
+    let reference = run_single(schedule);
+    for &(rx, workers) in grid {
+        for bulk in [1usize, 32] {
+            let got = run_async_os(schedule, rx, workers, DispatchPolicy::Static, bulk);
+            assert_eq!(
+                got, reference,
+                "schedule `{}` diverged from the single-threaded server over the \
+                 OS-socket backend at rx_shards={rx} workers={workers} bulk={bulk}",
                 schedule.name
             );
         }
