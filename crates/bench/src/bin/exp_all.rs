@@ -18,6 +18,7 @@ fn main() {
         "exp_rx_scaling",
         "exp_async_ingress",
         "exp_syscall_batch",
+        "exp_transport_backend",
         "exp_table2_reconfig",
         "exp_fig11_reconfig_latency",
         "exp_optimizations",

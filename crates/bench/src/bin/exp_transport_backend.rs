@@ -1,0 +1,135 @@
+//! Kernel-bypass transport backends: bulk sockets vs submission/
+//! completion ring vs zero-copy frame bypass (beyond the paper).
+//!
+//! PR 6 amortised the syscall boundary with `sendmmsg`/`recvmmsg`-shaped
+//! bulk operations; this experiment swaps the transport *under* the
+//! sockets. The `RingWire` backend submits descriptor batches into
+//! SQ/CQ rings and pays one doorbell charge per submitted batch instead
+//! of one syscall per bulk call; the `XdpWire` backend hands frames to
+//! the datapath by descriptor from a shared UMEM-style arena — zero
+//! per-byte copy, no kernel receive path at all. All three backends
+//! drain the identical many-peer small-record mix with `recv_many(32)`
+//! vectors, so the socket row reproduces the bulk-32 row of
+//! `BENCH_wire.json` and every win is attributable to the calibrated
+//! boundary model alone.
+//!
+//! Emits the grid as machine-readable `BENCH_transport.json`. Pass
+//! `--smoke` for a CI-sized run (fewer client counts).
+
+use endbox::eval::scalability::{
+    fig_transport_backend, TransportBackendPoint, RX_MIX_PAYLOAD, RX_MIX_PER_CLIENT_BPS,
+    TRANSPORT_BACKEND_BULK,
+};
+
+const BACKENDS: [&str; 3] = ["socket", "ring", "xdp-frame"];
+
+fn print_points(points: &[TransportBackendPoint], clients: &[usize]) {
+    print!("{:<26}", "backend \\ clients");
+    for n in clients {
+        print!("{n:>8}");
+    }
+    println!();
+    for backend in BACKENDS {
+        print!("{:<26}", format!("{backend} [Mpps]"));
+        for n in clients {
+            let p = points
+                .iter()
+                .find(|p| p.backend == backend && p.clients == *n)
+                .unwrap();
+            print!("{:>8.3}", p.mpps);
+        }
+        println!();
+        print!("{:<26}", "  server CPU [%]");
+        for n in clients {
+            let p = points
+                .iter()
+                .find(|p| p.backend == backend && p.clients == *n)
+                .unwrap();
+            print!("{:>8.0}", p.server_cpu * 100.0);
+        }
+        println!();
+    }
+}
+
+/// Hand-rolled JSON (no serde in the offline build environment).
+fn transport_json(points: &[TransportBackendPoint]) -> String {
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"backend\": \"{}\", \"clients\": {}, \"rx_shards\": {}, \"workers\": {}, \
+             \"bulk\": {}, \"gbps\": {:.4}, \"mpps\": {:.5}, \"server_cpu\": {:.4}, \
+             \"datagrams_per_call\": {:.4}}}{}\n",
+            p.backend,
+            p.clients,
+            p.rx_shards,
+            p.workers,
+            TRANSPORT_BACKEND_BULK,
+            p.gbps,
+            p.mpps,
+            p.server_cpu,
+            p.datagrams_per_call,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let clients: Vec<usize> = if smoke { vec![120] } else { vec![40, 80, 120] };
+
+    println!(
+        "=== Many-peer small-record mix ({} B payloads, {} Mbps/peer, single-record \
+         datagrams): transport-backend comparison ===\n    batched EndBox SGX[NOP] stack, \
+         4 worker shards, 2 RX shards, recv_many bulk {}; boundary models: bulk socket \
+         vs SQ/CQ ring doorbell vs zero-copy frame bypass\n",
+        RX_MIX_PAYLOAD,
+        RX_MIX_PER_CLIENT_BPS / 1_000_000,
+        TRANSPORT_BACKEND_BULK,
+    );
+    let points = fig_transport_backend(&clients);
+    print_points(&points, &clients);
+
+    println!("\nmeasured boundary amortisation (datagrams per crossing):");
+    for backend in BACKENDS {
+        let p = points.iter().find(|p| p.backend == backend).unwrap();
+        println!("  {backend:>9}: {:.2}", p.datagrams_per_call);
+    }
+
+    let last = *clients.last().unwrap();
+    let at = |backend: &str| {
+        points
+            .iter()
+            .find(|p| p.backend == backend && p.clients == last)
+            .unwrap()
+            .gbps
+    };
+    let (socket, ring, xdp) = (at("socket"), at("ring"), at("xdp-frame"));
+    println!(
+        "\nring win at {last} peers: {:.2}x (socket {socket:.2} -> ring {ring:.2} Gbps)",
+        ring / socket,
+    );
+    println!(
+        "xdp-frame win at {last} peers: {:.2}x (socket {socket:.2} -> xdp {xdp:.2} Gbps)",
+        xdp / socket,
+    );
+    assert!(
+        ring >= 1.3 * socket,
+        "ring transport win regressed below 1.3x: {:.2}x",
+        ring / socket
+    );
+    assert!(
+        xdp >= 1.6 * socket,
+        "xdp-frame transport win regressed below 1.6x: {:.2}x",
+        xdp / socket
+    );
+    assert!(
+        xdp >= ring,
+        "zero-copy must not lose to the ring: {ring:.2} vs {xdp:.2} Gbps"
+    );
+
+    let json = transport_json(&points);
+    std::fs::write("BENCH_transport.json", &json).expect("write BENCH_transport.json");
+    println!("\nwrote BENCH_transport.json ({} rows)", points.len());
+}

@@ -12,6 +12,7 @@ use crate::use_cases::UseCase;
 use endbox_click::element::ElementEnv;
 use endbox_click::Router;
 use endbox_netsim::cost::{CostModel, CycleMeter};
+use endbox_netsim::net::TransportKind;
 use endbox_netsim::pipeline::PacketCharge;
 use endbox_netsim::traffic::benign_payload;
 use endbox_netsim::Packet;
@@ -550,6 +551,56 @@ pub fn measure_charge_wire(
     rx_shards: usize,
     recv_bulk: usize,
 ) -> (PacketCharge, f64) {
+    measure_charge_transport(
+        use_case,
+        payload_len,
+        samples,
+        workers,
+        rx_shards,
+        recv_bulk,
+        TransportKind::Virtual,
+    )
+}
+
+/// Generalises [`measure_charge_wire`] over the transport backend: the
+/// identical bulk small-record mix, but the async wire runs on `kind`
+/// and the charge carries that backend's boundary costs.
+///
+/// Three things move with the backend, nothing else:
+///
+/// 1. **Metered boundary charges** — the server-side sockets are
+///    metered through
+///    [`endbox_netsim::net::WireEndpoint::cost_profile`], so ring/XDP
+///    receives charge `descriptor_per_frame` (and, for XDP, zero
+///    per-byte copy) instead of the socket shape. The measured
+///    `server_cycles` reflect this automatically.
+/// 2. **The RX-lane boundary share** — the analytic socket share handed
+///    to the charge split uses [`TransportKind::profile`], matching
+///    what the meter was actually charged.
+/// 3. **The in-kernel receive path** — backends with
+///    [`TransportKind::bypasses_kernel_rx`] deliver frames by
+///    descriptor from the shared arena, shedding the in-kernel share of
+///    the per-fragment receive work
+///    ([`CostModel::kernel_rx_per_fragment`], a strict part of
+///    `vpn_server_per_fragment`). That share is subtracted from both
+///    the server total and the RX-lane framing share, keeping
+///    `rx_cycles ⊆ server_cycles` consistent.
+///
+/// Returns the charge plus the measured datagrams-per-call ratio, as
+/// [`measure_charge_wire`] does.
+///
+/// # Panics
+///
+/// Panics if the deployment cannot be constructed.
+pub fn measure_charge_transport(
+    use_case: UseCase,
+    payload_len: usize,
+    samples: usize,
+    workers: usize,
+    rx_shards: usize,
+    recv_bulk: usize,
+    kind: TransportKind,
+) -> (PacketCharge, f64) {
     const N_PEERS: usize = 8;
     const SINGLES_PER_PEER: usize = 16;
     let mut scenario = Scenario::enterprise(N_PEERS, use_case)
@@ -557,6 +608,7 @@ pub fn measure_charge_wire(
         .seed(0xbe9c)
         .rx_shards(rx_shards)
         .async_ingress(true)
+        .transport(kind)
         .build_sharded(workers)
         .expect("sharded deployment must build");
     scenario.set_recv_bulk(recv_bulk);
@@ -625,17 +677,34 @@ pub fn measure_charge_wire(
     let packets_total = (samples * SINGLES_PER_PEER * N_PEERS) as u64;
     let client_cycles: u64 = client_meters.iter().map(CycleMeter::take).sum::<u64>();
     let cost = CostModel::calibrated();
-    let socket_rx_cycles = cost.socket_recv_fixed * fragments_total as u64
-        + (cost.socket_per_byte * wire_bytes_total as f64) as u64;
-    let charge = small_record_charge(
+    let profile = kind.profile(&cost);
+    let boundary_rx_cycles = profile.recv_fixed * fragments_total as u64
+        + (profile.per_byte * wire_bytes_total as f64) as u64;
+    let mut server_cycles_total = server_meter.take();
+    if kind.bypasses_kernel_rx() {
+        // Descriptor delivery from the shared arena skips the in-kernel
+        // receive path; shed its share of the per-fragment receive work
+        // from the server total (the framing share is adjusted below).
+        server_cycles_total = server_cycles_total
+            .saturating_sub(cost.kernel_rx_per_fragment * fragments_total as u64);
+    }
+    let mut charge = small_record_charge(
         payload_len,
         packets_total,
         wire_bytes_total,
         fragments_total,
         client_cycles,
-        server_meter.take(),
-        socket_rx_cycles,
+        server_cycles_total,
+        boundary_rx_cycles,
     );
+    if kind.bypasses_kernel_rx() {
+        // The RX-lane framing share sheds the same in-kernel cycles
+        // (kernel_rx_per_fragment < vpn_server_per_fragment is asserted
+        // in the cost model, so this never underflows the framing part).
+        charge.rx_cycles = charge
+            .rx_cycles
+            .saturating_sub(cost.kernel_rx_per_fragment * charge.fragments as u64);
+    }
     (charge, datagrams_per_call)
 }
 

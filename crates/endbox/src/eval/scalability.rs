@@ -6,6 +6,7 @@
 
 use super::deploy::{measure_charge, measure_charge_sharded, Deployment};
 use crate::use_cases::UseCase;
+use endbox_netsim::net::TransportKind;
 use endbox_netsim::pipeline::PacketCharge;
 use endbox_netsim::pipeline::{run_scalability, ScalabilityConfig, ScalabilityResult};
 use endbox_netsim::resource::MachineSpec;
@@ -663,6 +664,154 @@ pub fn fig_syscall_batch(clients: &[usize]) -> Vec<SyscallBatchPoint> {
     out
 }
 
+/// Bulk size of the transport-backend comparison: every backend drains
+/// with `recv_many(32)` vectors, so the socket baseline is exactly the
+/// bulk-32 row of [`fig_syscall_batch`] and the ring/bypass wins are
+/// attributable to the boundary model alone, not to batching depth.
+pub const TRANSPORT_BACKEND_BULK: usize = 32;
+
+/// One data point of the transport-backend comparison
+/// ([`fig_transport_backend`]): the sharded stack under the many-peer
+/// small-record mix on one wire backend, with that backend's calibrated
+/// boundary costs in both the metered charge and the replayed boundary
+/// model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportBackendPoint {
+    /// Boundary model of the row: `"socket"` (bulk-32 `recvmmsg`
+    /// shape), `"ring"` (SQ/CQ doorbell) or `"xdp-frame"` (zero-copy
+    /// descriptor hand-off).
+    pub backend: &'static str,
+    /// Connected clients (peers).
+    pub clients: usize,
+    /// RX framing shards (== poll groups).
+    pub rx_shards: usize,
+    /// Server worker shards.
+    pub workers: usize,
+    /// Aggregate server-side goodput in Gbps.
+    pub gbps: f64,
+    /// Aggregate server-side packet rate in Mpps.
+    pub mpps: f64,
+    /// Server CPU utilisation in [0, 1].
+    pub server_cpu: f64,
+    /// Datagrams moved per boundary crossing, measured on the real
+    /// stack (doorbell batches for the ring; moot for the bypass
+    /// backend, whose crossings are free).
+    pub datagrams_per_call: f64,
+}
+
+/// Display label of `kind`'s boundary model in the transport-backend
+/// comparison. [`TransportKind::Virtual`] carries the calibrated
+/// OS-socket cost shape ([`endbox_netsim::net::WireCostProfile::socket`]
+/// — identical metered charges to the real-socket backend, which the
+/// parity suite asserts), so both socket-shaped backends label as
+/// `"socket"`.
+fn backend_label(kind: TransportKind) -> &'static str {
+    match kind {
+        TransportKind::Virtual | TransportKind::OsSocket => "socket",
+        TransportKind::Ring => "ring",
+        TransportKind::XdpFrame => "xdp-frame",
+    }
+}
+
+/// Runs the transport-backend sweep for one backend: the per-packet
+/// charge (with `kind`'s boundary costs, via
+/// [`super::deploy::measure_charge_transport`]) and the
+/// datagrams-per-call amortisation are measured on the **real** stack
+/// draining through `recv_many(32)`, then replayed through the timing
+/// layer with `kind`'s boundary model on the RX lanes:
+///
+/// - socket shape: [`SyscallBatchModel::bulk`] with the calibrated
+///   per-syscall cost over the measured ratio (the bulk-32 row of the
+///   syscall-batching sweep, bit-identical baseline);
+/// - ring: [`SyscallBatchModel::ring_doorbell`] — one
+///   [`endbox_netsim::cost::CostModel::doorbell_per_batch`] charge per
+///   submitted batch, amortised over the same measured ratio;
+/// - XDP frame: [`SyscallBatchModel::kernel_bypass`] — boundary
+///   crossings are free; frames arrive by descriptor from the shared
+///   arena.
+///
+/// [`SyscallBatchModel::bulk`]: endbox_netsim::pipeline::SyscallBatchModel::bulk
+/// [`SyscallBatchModel::ring_doorbell`]: endbox_netsim::pipeline::SyscallBatchModel::ring_doorbell
+/// [`SyscallBatchModel::kernel_bypass`]: endbox_netsim::pipeline::SyscallBatchModel::kernel_bypass
+pub fn sweep_transport_backend(
+    use_case: UseCase,
+    kind: TransportKind,
+    rx_shards: usize,
+    workers: usize,
+    clients: &[usize],
+) -> Vec<TransportBackendPoint> {
+    let (charge, ratio) = super::deploy::measure_charge_transport(
+        use_case,
+        RX_MIX_PAYLOAD,
+        6,
+        workers,
+        rx_shards,
+        TRANSPORT_BACKEND_BULK,
+        kind,
+    );
+    let cost = endbox_netsim::cost::CostModel::calibrated();
+    let model = match kind {
+        TransportKind::Virtual | TransportKind::OsSocket => {
+            endbox_netsim::pipeline::SyscallBatchModel::bulk(cost.syscall_per_call, ratio.max(1.0))
+        }
+        TransportKind::Ring => endbox_netsim::pipeline::SyscallBatchModel::ring_doorbell(
+            cost.doorbell_per_batch,
+            ratio.max(1.0),
+        ),
+        TransportKind::XdpFrame => endbox_netsim::pipeline::SyscallBatchModel::kernel_bypass(),
+    };
+    clients
+        .iter()
+        .map(|&n| {
+            let cfg = ScalabilityConfig {
+                n_clients: n,
+                per_client_bps: RX_MIX_PER_CLIENT_BPS,
+                payload_bytes: charge.payload_bytes,
+                duration: SimDuration::from_millis(20),
+                n_client_machines: 5,
+                contention_per_excess_process: 0.0,
+                server_procs_per_client: 1,
+                server_single_process: false,
+                server_worker_shards: Some(workers),
+                client_load_weights: None,
+                load_aware_dispatch: false,
+                rx_shards: Some(rx_shards),
+                async_front_end: None,
+                syscall_batch: Some(model),
+            };
+            let r: ScalabilityResult =
+                run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg);
+            TransportBackendPoint {
+                backend: backend_label(kind),
+                clients: n,
+                rx_shards,
+                workers,
+                gbps: r.gbps,
+                mpps: r.gbps * 1e9 / (charge.payload_bytes as f64 * 8.0) / 1e6,
+                server_cpu: r.server_cpu,
+                datagrams_per_call: model.datagrams_per_call,
+            }
+        })
+        .collect()
+}
+
+/// The transport-backend comparison behind `BENCH_transport.json`: the
+/// many-peer small-record mix on the batched EndBox-SGX stack (NOP use
+/// case, 2 RX shards, 4 worker shards, bulk-32 drains) for the three
+/// boundary models — bulk socket, submission/completion ring and
+/// zero-copy frame bypass — across `clients`.
+pub fn fig_transport_backend(clients: &[usize]) -> Vec<TransportBackendPoint> {
+    let mut out = Vec::new();
+    for kind in [
+        TransportKind::Virtual,
+        TransportKind::Ring,
+        TransportKind::XdpFrame,
+    ] {
+        out.extend(sweep_transport_backend(UseCase::Nop, kind, 2, 4, clients));
+    }
+    out
+}
+
 /// Convenience: the aggregate throughput at a specific client count.
 pub fn gbps_at(points: &[ScalabilityPoint], deployment: &str, clients: usize) -> Option<f64> {
     points
@@ -948,6 +1097,92 @@ mod tests {
         );
         assert!(per[0].datagrams_per_call == 1.0);
         assert!(bulk[0].datagrams_per_call >= 8.0);
+    }
+
+    #[test]
+    fn transport_backend_charges_shed_boundary_and_kernel_costs() {
+        // The measured inputs to the backend comparison must separate
+        // cleanly: the record mix and fragment shape are
+        // backend-invariant, while ring/XDP charges shed the in-kernel
+        // receive share and the socket boundary costs.
+        let socket = super::super::deploy::measure_charge_transport(
+            UseCase::Nop,
+            RX_MIX_PAYLOAD,
+            4,
+            4,
+            2,
+            TRANSPORT_BACKEND_BULK,
+            TransportKind::Virtual,
+        )
+        .0;
+        let ring = super::super::deploy::measure_charge_transport(
+            UseCase::Nop,
+            RX_MIX_PAYLOAD,
+            4,
+            4,
+            2,
+            TRANSPORT_BACKEND_BULK,
+            TransportKind::Ring,
+        )
+        .0;
+        let xdp = super::super::deploy::measure_charge_transport(
+            UseCase::Nop,
+            RX_MIX_PAYLOAD,
+            4,
+            4,
+            2,
+            TRANSPORT_BACKEND_BULK,
+            TransportKind::XdpFrame,
+        )
+        .0;
+        assert_eq!(socket.fragments, ring.fragments);
+        assert_eq!(socket.fragments, xdp.fragments);
+        assert_eq!(socket.payload_bytes, xdp.payload_bytes);
+        // Kernel-bypass delivery sheds at least the in-kernel receive
+        // share per fragment from both the server total and the RX lane.
+        let cost = endbox_netsim::cost::CostModel::calibrated();
+        let shed = cost.kernel_rx_per_fragment * socket.fragments as u64;
+        assert!(
+            ring.server_cycles + shed <= socket.server_cycles,
+            "ring server: {} vs socket {}",
+            ring.server_cycles,
+            socket.server_cycles
+        );
+        assert!(ring.rx_cycles + shed <= socket.rx_cycles);
+        // The zero-copy backend additionally drops the per-byte copy, so
+        // its RX lane is the cheapest of the three.
+        assert!(xdp.rx_cycles < ring.rx_cycles);
+        assert!(xdp.server_cycles <= ring.server_cycles);
+    }
+
+    #[test]
+    fn ring_and_bypass_beat_bulk_sockets_at_120_peers() {
+        // The acceptance bars: at 120 peers on the small-record mix,
+        // the ring backend must deliver >= 1.3x and the zero-copy frame
+        // backend >= 1.6x the aggregate throughput of the bulk-32
+        // socket baseline (identical drained work; the differences are
+        // the calibrated boundary models).
+        let points = fig_transport_backend(&[120]);
+        let gbps = |backend: &str| {
+            points
+                .iter()
+                .find(|p| p.backend == backend && p.clients == 120)
+                .map(|p| p.gbps)
+                .expect("one row per backend")
+        };
+        let (socket, ring, xdp) = (gbps("socket"), gbps("ring"), gbps("xdp-frame"));
+        assert!(
+            ring >= 1.3 * socket,
+            "ring must win >=1.3x at 120 peers: {socket:.3} vs {ring:.3} Gbps"
+        );
+        assert!(
+            xdp >= 1.6 * socket,
+            "xdp must win >=1.6x at 120 peers: {socket:.3} vs {xdp:.3} Gbps"
+        );
+        assert!(
+            xdp >= ring,
+            "zero-copy must not lose to the ring: {ring:.3} vs {xdp:.3} Gbps"
+        );
     }
 
     #[test]

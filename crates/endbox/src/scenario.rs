@@ -13,7 +13,7 @@ use crate::server::{
 use crate::use_cases::UseCase;
 use endbox_crypto::schnorr::SigningKey;
 use endbox_netsim::cost::{CostModel, CycleMeter};
-use endbox_netsim::net::{OsWire, Transport, VirtualWire};
+use endbox_netsim::net::{OsWire, RingWire, Transport, TransportKind, VirtualWire, XdpWire};
 use endbox_netsim::time::SharedClock;
 use endbox_netsim::{BufferPool, Packet};
 use endbox_sgx::attestation::{CpuIdentity, IasSimulator};
@@ -86,7 +86,7 @@ pub struct ScenarioBuilder {
     dispatch: DispatchPolicy,
     rx_shards: usize,
     async_ingress: bool,
-    os_transport: bool,
+    transport: TransportKind,
 }
 
 impl ScenarioBuilder {
@@ -169,9 +169,29 @@ impl ScenarioBuilder {
     /// are byte-identical across backends — the stamp-carrying wire
     /// header preserves the re-merge ordering contract — which the
     /// parity tests assert. Check [`OsWire::available`] first in
-    /// environments that may forbid socket creation.
+    /// environments that may forbid socket creation. Sugar for
+    /// [`ScenarioBuilder::transport`] with
+    /// [`TransportKind::OsSocket`].
     pub fn os_transport(mut self, on: bool) -> Self {
-        self.os_transport = on;
+        self.transport = if on {
+            TransportKind::OsSocket
+        } else {
+            TransportKind::Virtual
+        };
+        self
+    }
+
+    /// Selects the async wire backend (default
+    /// [`TransportKind::Virtual`]; only meaningful together with
+    /// [`ScenarioBuilder::async_ingress`]). Application-level results
+    /// are byte-identical across all four backends; only the metered
+    /// boundary costs differ ([`TransportKind::profile`]). For the
+    /// [`TransportKind::Ring`] and [`TransportKind::XdpFrame`] backends
+    /// the client links' egress buffers come from the backend's
+    /// pre-registered arena ([`RingWire::pool`] / [`XdpWire::umem`]),
+    /// so egress frames are ring-registered from birth.
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
         self
     }
 
@@ -402,11 +422,23 @@ impl ScenarioBuilder {
         let front_end = self
             .async_ingress
             .then(|| AsyncFrontEnd::new(server.rx_shard_count()));
-        let wire: Option<Arc<dyn Transport>> = self.async_ingress.then(|| {
-            if self.os_transport {
-                Arc::new(OsWire::new()) as Arc<dyn Transport>
-            } else {
-                Arc::new(VirtualWire::new()) as Arc<dyn Transport>
+        // Ring/XDP backends share their pre-registered arena with the
+        // client links' egress pool, so every egress fragment buffer is
+        // arena-registered from birth (the zero-copy loop closes:
+        // arena → wire → drain → recycle).
+        let mut egress_pool = BufferPool::new();
+        let wire: Option<Arc<dyn Transport>> = self.async_ingress.then(|| match self.transport {
+            TransportKind::Virtual => Arc::new(VirtualWire::new()) as Arc<dyn Transport>,
+            TransportKind::OsSocket => Arc::new(OsWire::new()) as Arc<dyn Transport>,
+            TransportKind::Ring => {
+                let w = RingWire::new();
+                egress_pool = w.pool().clone();
+                Arc::new(w) as Arc<dyn Transport>
+            }
+            TransportKind::XdpFrame => {
+                let w = XdpWire::new();
+                egress_pool = w.umem().clone();
+                Arc::new(w) as Arc<dyn Transport>
             }
         });
         // The server's dedicated TX socket: all egress towards clients
@@ -435,7 +467,7 @@ impl ScenarioBuilder {
             front_end,
             tx,
             links: HashMap::new(),
-            egress_pool: BufferPool::new(),
+            egress_pool,
         })
     }
 }
@@ -505,7 +537,7 @@ impl Scenario {
             dispatch: DispatchPolicy::default(),
             rx_shards: 1,
             async_ingress: false,
-            os_transport: false,
+            transport: TransportKind::Virtual,
         }
     }
 
@@ -525,7 +557,7 @@ impl Scenario {
             dispatch: DispatchPolicy::default(),
             rx_shards: 1,
             async_ingress: false,
-            os_transport: false,
+            transport: TransportKind::Virtual,
         }
     }
 
@@ -967,7 +999,8 @@ impl ShardedScenario {
             .set_recv_bulk(bulk);
     }
 
-    /// The wire backend name (`"virtual"` or `"os-socket"`).
+    /// The wire backend name (`"virtual"`, `"os-socket"`, `"ring"` or
+    /// `"xdp-frame"` — see [`TransportKind::name`]).
     ///
     /// # Panics
     ///

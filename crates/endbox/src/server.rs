@@ -1444,12 +1444,21 @@ impl AsyncFrontEnd {
             // spent or every ready socket is dry. Each socket is drained
             // with bulk `recv_many` calls of up to `recv_bulk` datagrams
             // — the datagrams and their order are identical to the
-            // per-datagram shape; only the call count changes.
+            // per-datagram shape; only the call count changes. A socket
+            // that returns short (`got < want`) is dry for the rest of
+            // this round: later passes skip it instead of paying a
+            // zero-yield `recv_many`, so `io_calls` counts only calls
+            // that could have moved data.
             let mut scratch: Vec<endbox_netsim::net::Datagram> = Vec::new();
+            let mut dry = vec![false; ready.len()];
             loop {
                 let mut drained_this_pass = 0usize;
                 for i in 0..ready.len() {
-                    let slot = ready[(start + i) % ready.len()];
+                    let idx = (start + i) % ready.len();
+                    if dry[idx] {
+                        continue;
+                    }
+                    let slot = ready[idx];
                     let (peer, ep) = &self.sockets[slot];
                     let mut taken = 0;
                     while taken < self.drain_quota && budget > 0 {
@@ -1463,7 +1472,8 @@ impl AsyncFrontEnd {
                         taken += got;
                         budget -= got;
                         if got < want {
-                            break; // socket dry
+                            dry[idx] = true;
+                            break; // socket dry until the next round
                         }
                     }
                     if taken > 0 {

@@ -12,10 +12,13 @@
 //! transport boundary:
 //!
 //! * [`Transport`] — the pluggable wire: anything that can bind a port
-//!   and hand out a [`UdpEndpoint`]. Two backends implement it:
-//!   [`VirtualWire`] (the deterministic in-process default) and
-//!   [`OsWire`] (real non-blocking `std::net::UdpSocket`s on the
-//!   loopback device).
+//!   and hand out a [`UdpEndpoint`]. Four backends implement it:
+//!   [`VirtualWire`] (the deterministic in-process default), [`OsWire`]
+//!   (real non-blocking `std::net::UdpSocket`s on the loopback device),
+//!   [`RingWire`] (io_uring-style submission/completion rings) and
+//!   [`XdpWire`] (an AF_XDP/DPDK-shaped zero-copy frame backend);
+//!   [`TransportKind`] selects between them and [`ShortSendWire`]
+//!   decorates any of them with partial-send fault injection.
 //! * [`WireEndpoint`] — the per-socket operations a backend provides:
 //!   single-datagram `send_to`/`try_recv` plus the **bulk**
 //!   `send_many`/`recv_many` pair shaped like `sendmmsg`/`recvmmsg` (one
@@ -35,6 +38,27 @@
 //!   parity tests assert byte-identical application-level results across
 //!   backends. Receive buffers come from a [`BufferPool`], so ingress
 //!   performs no per-datagram allocation in steady state.
+//! * [`RingWire`] — the io_uring-style backend: per-endpoint
+//!   submission/completion descriptor rings over a wire-shared
+//!   pre-registered [`BufferPool`]. A bulk send fills SQEs and rings
+//!   **one doorbell per submitted batch** (counted in [`RingStats`];
+//!   priced by [`CostModel::doorbell_per_batch`] instead of a full
+//!   syscall per call); completions are harvested from shared memory by
+//!   the ordinary `recv_many` drain, so [`PollGroup`]-driven front-ends
+//!   ride it unchanged. Stamping is the virtual wire's — the parity
+//!   contract transfers as-is.
+//! * [`XdpWire`] — the zero-copy frame backend: a UMEM-style frame
+//!   arena ([`XdpWire::umem`]) with fill/completion accounting
+//!   ([`XdpStats`]). Frames are handed to the datapath **by
+//!   descriptor** — the received payload is the sender's buffer, no
+//!   copy (pinned by a pointer-identity test), which is why its metering
+//!   profile has a zero per-byte charge.
+//! * [`WireCostProfile`] — what one send/receive charges on a metered
+//!   endpoint, per backend: the socket shape pays
+//!   [`CostModel::socket_recv_fixed`]-class fixed costs plus the
+//!   socket-buffer copy; the ring shape swaps the fixed part for
+//!   [`CostModel::descriptor_per_frame`]; the XDP shape additionally
+//!   drops the copy.
 //! * [`UdpEndpoint`] — the bound, cloneable, non-blocking handle over
 //!   either backend: [`UdpEndpoint::send_to`] enqueues at the
 //!   destination port, [`UdpEndpoint::try_recv`] never blocks (returns
@@ -118,6 +142,103 @@ pub struct Datagram {
     pub payload: Vec<u8>,
 }
 
+/// Per-datagram metering profile of a transport backend: what one send
+/// or one receive charges to a metered endpoint's [`CycleMeter`]. The
+/// per-*call* boundary cost (syscall or ring doorbell) is priced by the
+/// timing layer ([`crate::pipeline::SyscallBatchModel`]), never here, so
+/// one measured charge replays honestly under every bulk size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireCostProfile {
+    /// Fixed cycles per datagram sent.
+    pub send_fixed: u64,
+    /// Fixed cycles per datagram received.
+    pub recv_fixed: u64,
+    /// Copy cycles per payload byte (either direction); zero on a
+    /// zero-copy frame backend.
+    pub per_byte: f64,
+}
+
+impl WireCostProfile {
+    /// The socket shape ([`VirtualWire`]/[`OsWire`]): per-datagram
+    /// socket-buffer bookkeeping plus the copy across the socket buffer.
+    pub fn socket(cost: &CostModel) -> Self {
+        WireCostProfile {
+            send_fixed: cost.socket_send_fixed,
+            recv_fixed: cost.socket_recv_fixed,
+            per_byte: cost.socket_per_byte,
+        }
+    }
+
+    /// The ring shape ([`RingWire`]): SQE/CQE descriptor bookkeeping
+    /// replaces the socket-buffer fixed cost; payloads still copy
+    /// between the pre-registered buffers and the application.
+    pub fn ring(cost: &CostModel) -> Self {
+        WireCostProfile {
+            send_fixed: cost.descriptor_per_frame,
+            recv_fixed: cost.descriptor_per_frame,
+            per_byte: cost.socket_per_byte,
+        }
+    }
+
+    /// The zero-copy frame shape ([`XdpWire`]): descriptor bookkeeping
+    /// only — frames are handed to the datapath by descriptor, no copy.
+    pub fn xdp(cost: &CostModel) -> Self {
+        WireCostProfile {
+            send_fixed: cost.descriptor_per_frame,
+            recv_fixed: cost.descriptor_per_frame,
+            per_byte: 0.0,
+        }
+    }
+}
+
+/// Selector for the wire backend a scenario or benchmark builds its
+/// transport from — one name per [`Transport`] implementation, with the
+/// backend's metering profile and kernel-bypass shape attached so the
+/// measurement layer (`measure_charge_wire` and friends) can price a
+/// backend without instantiating it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// The deterministic in-process wire ([`VirtualWire`]).
+    #[default]
+    Virtual,
+    /// Real loopback UDP sockets ([`OsWire`]).
+    OsSocket,
+    /// io_uring-style submission/completion rings ([`RingWire`]).
+    Ring,
+    /// AF_XDP/DPDK-shaped zero-copy frames ([`XdpWire`]).
+    XdpFrame,
+}
+
+impl TransportKind {
+    /// Short name, equal to [`Transport::backend`] of the constructed
+    /// wire.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::Virtual => "virtual",
+            TransportKind::OsSocket => "os-socket",
+            TransportKind::Ring => "ring",
+            TransportKind::XdpFrame => "xdp-frame",
+        }
+    }
+
+    /// The per-datagram metering profile of this backend.
+    pub fn profile(self, cost: &CostModel) -> WireCostProfile {
+        match self {
+            TransportKind::Virtual | TransportKind::OsSocket => WireCostProfile::socket(cost),
+            TransportKind::Ring => WireCostProfile::ring(cost),
+            TransportKind::XdpFrame => WireCostProfile::xdp(cost),
+        }
+    }
+
+    /// Whether delivery lands in user-visible descriptor rings instead
+    /// of the kernel socket path — such a backend sheds the in-kernel
+    /// receive share [`CostModel::kernel_rx_per_fragment`] from the lane
+    /// that drains it.
+    pub fn bypasses_kernel_rx(self) -> bool {
+        matches!(self, TransportKind::Ring | TransportKind::XdpFrame)
+    }
+}
+
 /// The per-socket operations a wire backend provides — the seam between
 /// the reactor layer and the transport that actually moves bytes.
 ///
@@ -167,6 +288,13 @@ pub trait WireEndpoint: Send + Sync + std::fmt::Debug {
     /// The OS backend cannot see kernel queue depth and reports `1` when
     /// readable, `0` otherwise.
     fn pending(&self) -> usize;
+
+    /// The per-datagram metering profile of this backend — what metered
+    /// handles charge per send/receive. Defaults to the socket shape;
+    /// ring and frame backends override it.
+    fn cost_profile(&self, cost: &CostModel) -> WireCostProfile {
+        WireCostProfile::socket(cost)
+    }
 }
 
 /// A pluggable wire: anything that can bind ports and hand out
@@ -213,6 +341,78 @@ struct WireState {
     next_seq: u64,
 }
 
+/// Binds `port` on an in-process wire, creating its receive queue.
+fn bind_port(state: &Mutex<WireState>, port: u64) -> Result<Arc<Mutex<PortQueue>>, NetError> {
+    let mut state = state.lock().expect("wire lock");
+    if state.ports.contains_key(&port) {
+        return Err(NetError::AddrInUse(port));
+    }
+    let queue = Arc::new(Mutex::new(PortQueue::default()));
+    state.ports.insert(port, queue.clone());
+    Ok(queue)
+}
+
+/// Locks an in-process wire and resolves the destination port queue —
+/// in that order. Stamping and enqueueing under ONE wire-lock
+/// acquisition is the bulk path's whole point, and also what keeps the
+/// per-port FIFO-by-`seq` invariant: releasing the wire lock between
+/// stamp and enqueue would let a concurrent sender win the port-queue
+/// lock with a later stamp. (`try_recv` takes only the port lock, so
+/// receivers never deadlock against senders.)
+fn lock_wire_dst<'a>(
+    state: &'a Mutex<WireState>,
+    dst: u64,
+) -> Result<(std::sync::MutexGuard<'a, WireState>, Arc<Mutex<PortQueue>>), NetError> {
+    let state = state.lock().expect("wire lock");
+    let queue = state
+        .ports
+        .get(&dst)
+        .ok_or(NetError::Unreachable(dst))?
+        .clone();
+    Ok((state, queue))
+}
+
+/// Stamps one payload with the wire-global sequence number and enqueues
+/// it at `dst`.
+fn stamp_enqueue_one(
+    state: &Mutex<WireState>,
+    src: u64,
+    dst: u64,
+    payload: Vec<u8>,
+) -> Result<(), NetError> {
+    let (mut state, queue) = lock_wire_dst(state, dst)?;
+    let seq = state.next_seq;
+    state.next_seq += 1;
+    queue
+        .lock()
+        .expect("port lock")
+        .queue
+        .push_back(Datagram { src, seq, payload });
+    Ok(())
+}
+
+/// Stamps `payloads` with consecutive wire-global sequence numbers and
+/// enqueues them at `dst`. In-process wires never block, so a bulk send
+/// is all-or-nothing — success consumes everything, Unreachable consumes
+/// nothing (the lookup happens before the drain, so a failed send leaves
+/// the caller's batch intact for error reporting or retry).
+fn stamp_enqueue_batch(
+    state: &Mutex<WireState>,
+    src: u64,
+    dst: u64,
+    payloads: &mut Vec<Vec<u8>>,
+) -> Result<usize, NetError> {
+    let (mut state, queue) = lock_wire_dst(state, dst)?;
+    let mut port = queue.lock().expect("port lock");
+    let n = payloads.len();
+    for payload in payloads.drain(..) {
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        port.queue.push_back(Datagram { src, seq, payload });
+    }
+    Ok(n)
+}
+
 /// The in-process wire: a registry of bound ports with global arrival
 /// stamping. Cloning is cheap and clones share the wire.
 #[derive(Debug, Clone, Default)]
@@ -232,12 +432,7 @@ impl VirtualWire {
     ///
     /// [`NetError::AddrInUse`] if the port is already bound.
     pub fn bind(&self, port: u64) -> Result<UdpEndpoint, NetError> {
-        let mut state = self.state.lock().expect("wire lock");
-        if state.ports.contains_key(&port) {
-            return Err(NetError::AddrInUse(port));
-        }
-        let queue = Arc::new(Mutex::new(PortQueue::default()));
-        state.ports.insert(port, queue.clone());
+        let queue = bind_port(&self.state, port)?;
         Ok(UdpEndpoint {
             inner: Arc::new(VirtualEndpoint {
                 wire: self.clone(),
@@ -291,63 +486,17 @@ impl std::fmt::Debug for VirtualEndpoint {
     }
 }
 
-impl VirtualEndpoint {
-    /// Locks the wire and the destination port queue — in that order.
-    /// Stamping and enqueueing under ONE wire-lock acquisition is the
-    /// bulk path's whole point, and also what keeps the per-port
-    /// FIFO-by-`seq` invariant: releasing the wire lock between stamp
-    /// and enqueue would let a concurrent sender win the port-queue lock
-    /// with a later stamp. (`try_recv` takes only the port lock, so
-    /// receivers never deadlock against senders.)
-    fn lock_dst(
-        &self,
-        dst: u64,
-    ) -> Result<(std::sync::MutexGuard<'_, WireState>, Arc<Mutex<PortQueue>>), NetError> {
-        let state = self.wire.state.lock().expect("wire lock");
-        let queue = state
-            .ports
-            .get(&dst)
-            .ok_or(NetError::Unreachable(dst))?
-            .clone();
-        Ok((state, queue))
-    }
-}
-
 impl WireEndpoint for VirtualEndpoint {
     fn port(&self) -> u64 {
         self.port
     }
 
     fn send_to(&self, dst: u64, payload: Vec<u8>) -> Result<(), NetError> {
-        let (mut state, queue) = self.lock_dst(dst)?;
-        let seq = state.next_seq;
-        state.next_seq += 1;
-        queue.lock().expect("port lock").queue.push_back(Datagram {
-            src: self.port,
-            seq,
-            payload,
-        });
-        Ok(())
+        stamp_enqueue_one(&self.wire.state, self.port, dst, payload)
     }
 
     fn send_many(&self, dst: u64, payloads: &mut Vec<Vec<u8>>) -> Result<usize, NetError> {
-        // The virtual wire never blocks: a bulk send is all-or-nothing —
-        // success consumes everything, Unreachable consumes nothing (the
-        // lookup happens before the drain, so a failed send leaves the
-        // caller's batch intact for error reporting or retry).
-        let (mut state, queue) = self.lock_dst(dst)?;
-        let mut port = queue.lock().expect("port lock");
-        let n = payloads.len();
-        for payload in payloads.drain(..) {
-            let seq = state.next_seq;
-            state.next_seq += 1;
-            port.queue.push_back(Datagram {
-                src: self.port,
-                seq,
-                payload,
-            });
-        }
-        Ok(n)
+        stamp_enqueue_batch(&self.wire.state, self.port, dst, payloads)
     }
 
     fn try_recv(&self) -> Option<Datagram> {
@@ -591,6 +740,476 @@ impl WireEndpoint for OsEndpoint {
     }
 }
 
+/// Submission-ring depth of [`RingWire`]: the most SQEs one doorbell
+/// flushes. A batch larger than the ring splits into multiple
+/// doorbells, exactly like a real ring forcing an extra
+/// `io_uring_enter` when the submission queue fills.
+pub const RING_DEPTH: usize = 1024;
+
+#[derive(Debug, Default)]
+struct RingCounters {
+    doorbells: AtomicU64,
+    sqes: AtomicU64,
+    cqes: AtomicU64,
+}
+
+/// Wire-wide submission/completion accounting of a [`RingWire`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingStats {
+    /// Doorbell rings: one per submitted batch (`send_many`/`send_to`
+    /// call), plus one per extra [`RING_DEPTH`] chunk of an oversized
+    /// batch. Completion harvesting never rings the doorbell.
+    pub doorbells: u64,
+    /// Submission descriptors filled — one per datagram sent.
+    pub sqes: u64,
+    /// Completion descriptors harvested — one per datagram received.
+    pub cqes: u64,
+}
+
+/// The io_uring-style backend: per-endpoint submission/completion
+/// descriptor rings over a wire-shared pre-registered [`BufferPool`].
+///
+/// Functionally the ring is the virtual wire — datagrams are stamped
+/// with the wire-global sequence number under one wire-lock acquisition,
+/// so every parity proof over [`VirtualWire`] transfers unchanged. What
+/// the ring changes is the *shape of the kernel boundary*, which the
+/// accounting pins and the cost model prices:
+///
+/// * a bulk send fills one SQE per datagram and rings **one doorbell
+///   per submitted batch** ([`RingStats::doorbells`]; priced by
+///   [`CostModel::doorbell_per_batch`] in place of a full
+///   [`CostModel::syscall_per_call`]);
+/// * completions land in the destination's completion ring and are
+///   harvested by the ordinary `recv_many` drain straight from shared
+///   memory — no kernel crossing, one CQE per datagram
+///   ([`RingStats::cqes`], metered as
+///   [`CostModel::descriptor_per_frame`] instead of the socket-buffer
+///   fixed cost — see [`WireCostProfile::ring`]);
+/// * egress frames are drawn from the wire's pre-registered buffer
+///   arena ([`RingWire::pool`]), so steady-state submission allocates
+///   nothing.
+///
+/// Cloning is cheap and clones share the wire (ports, stamp counter,
+/// registered buffers and counters).
+#[derive(Debug, Clone, Default)]
+pub struct RingWire {
+    state: Arc<Mutex<WireState>>,
+    pool: BufferPool,
+    counters: Arc<RingCounters>,
+}
+
+impl RingWire {
+    /// A fresh wire with empty rings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The pre-registered buffer arena: draw egress frames here (and
+    /// return drained payloads) to keep submission allocation-free.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Recycling counters of the registered buffer arena.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Wire-wide doorbell/SQE/CQE counters.
+    pub fn ring_stats(&self) -> RingStats {
+        RingStats {
+            doorbells: self.counters.doorbells.load(Ordering::Relaxed),
+            sqes: self.counters.sqes.load(Ordering::Relaxed),
+            cqes: self.counters.cqes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Transport for RingWire {
+    fn bind(&self, port: u64) -> Result<UdpEndpoint, NetError> {
+        let queue = bind_port(&self.state, port)?;
+        Ok(UdpEndpoint {
+            inner: Arc::new(RingEndpoint {
+                state: self.state.clone(),
+                port,
+                queue,
+                counters: self.counters.clone(),
+            }),
+            metering: None,
+        })
+    }
+
+    fn backend(&self) -> &'static str {
+        "ring"
+    }
+}
+
+/// The ring implementation of [`WireEndpoint`].
+struct RingEndpoint {
+    state: Arc<Mutex<WireState>>,
+    port: u64,
+    queue: Arc<Mutex<PortQueue>>,
+    counters: Arc<RingCounters>,
+}
+
+impl std::fmt::Debug for RingEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingEndpoint")
+            .field("port", &self.port)
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+impl WireEndpoint for RingEndpoint {
+    fn port(&self) -> u64 {
+        self.port
+    }
+
+    fn send_to(&self, dst: u64, payload: Vec<u8>) -> Result<(), NetError> {
+        // A single send is a one-SQE batch: one descriptor, one
+        // doorbell. Failed lookups reserve no descriptors (the wire
+        // resolves the destination before the submission is filled).
+        stamp_enqueue_one(&self.state, self.port, dst, payload)?;
+        self.counters.sqes.fetch_add(1, Ordering::Relaxed);
+        self.counters.doorbells.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn send_many(&self, dst: u64, payloads: &mut Vec<Vec<u8>>) -> Result<usize, NetError> {
+        let n = stamp_enqueue_batch(&self.state, self.port, dst, payloads)?;
+        self.counters.sqes.fetch_add(n as u64, Ordering::Relaxed);
+        self.counters
+            .doorbells
+            .fetch_add(n.div_ceil(RING_DEPTH) as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    fn try_recv(&self) -> Option<Datagram> {
+        let d = self.queue.lock().expect("port lock").queue.pop_front()?;
+        self.counters.cqes.fetch_add(1, Ordering::Relaxed);
+        Some(d)
+    }
+
+    fn recv_many(&self, max: usize, out: &mut Vec<Datagram>) -> usize {
+        let mut q = self.queue.lock().expect("port lock");
+        let take = max.min(q.queue.len());
+        out.extend(q.queue.drain(..take));
+        self.counters.cqes.fetch_add(take as u64, Ordering::Relaxed);
+        take
+    }
+
+    fn readable(&self) -> bool {
+        !self.queue.lock().expect("port lock").queue.is_empty()
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.lock().expect("port lock").queue.len()
+    }
+
+    fn cost_profile(&self, cost: &CostModel) -> WireCostProfile {
+        WireCostProfile::ring(cost)
+    }
+}
+
+/// UMEM frame size of [`XdpWire`]: the largest payload one frame
+/// descriptor can carry (sized for the biggest fragment the VPN layer
+/// emits, with headroom — same budget as the OS backend's receive
+/// buffer).
+pub const XDP_FRAME_SIZE: usize = 16 * 1024;
+
+#[derive(Debug, Default)]
+struct XdpCounters {
+    tx_descriptors: AtomicU64,
+    rx_descriptors: AtomicU64,
+    fills: AtomicU64,
+}
+
+/// Wire-wide fill/completion accounting of an [`XdpWire`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XdpStats {
+    /// TX descriptors submitted — one per datagram sent.
+    pub tx_descriptors: u64,
+    /// RX descriptors consumed — one per datagram received.
+    pub rx_descriptors: u64,
+    /// Fill-ring replenishments: one frame returned to the "NIC" per
+    /// consumed RX descriptor.
+    pub fills: u64,
+}
+
+/// The AF_XDP/DPDK-shaped zero-copy frame backend: a UMEM-style shared
+/// frame arena with fill/completion rings.
+///
+/// Functionally the frame wire is the virtual wire — same wire-global
+/// stamping, same parity contract. The difference is *how payload bytes
+/// reach the datapath*: a sent frame is handed to the receiver **by
+/// descriptor**, so the payload the datapath sees is the very buffer
+/// the sender filled (pointer identity, pinned by test) — zero copies
+/// from "NIC" to reassembly, which is why the metering profile
+/// ([`WireCostProfile::xdp`]) has a zero per-byte charge and only pays
+/// [`CostModel::descriptor_per_frame`]. Frames larger than
+/// [`XDP_FRAME_SIZE`] don't fit a descriptor and are rejected without
+/// consuming anything. Egress frames come from the shared arena
+/// ([`XdpWire::umem`]); each consumed RX descriptor replenishes the
+/// fill ring ([`XdpStats::fills`]).
+///
+/// Cloning is cheap and clones share the wire (ports, stamp counter,
+/// frame arena and counters).
+#[derive(Debug, Clone, Default)]
+pub struct XdpWire {
+    state: Arc<Mutex<WireState>>,
+    umem: BufferPool,
+    counters: Arc<XdpCounters>,
+}
+
+impl XdpWire {
+    /// A fresh wire with an empty frame arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared UMEM frame arena: draw egress frames here (and return
+    /// drained payloads) to keep the datapath allocation-free.
+    pub fn umem(&self) -> &BufferPool {
+        &self.umem
+    }
+
+    /// Recycling counters of the frame arena.
+    pub fn umem_stats(&self) -> PoolStats {
+        self.umem.stats()
+    }
+
+    /// Wire-wide descriptor/fill counters.
+    pub fn xdp_stats(&self) -> XdpStats {
+        XdpStats {
+            tx_descriptors: self.counters.tx_descriptors.load(Ordering::Relaxed),
+            rx_descriptors: self.counters.rx_descriptors.load(Ordering::Relaxed),
+            fills: self.counters.fills.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Transport for XdpWire {
+    fn bind(&self, port: u64) -> Result<UdpEndpoint, NetError> {
+        let queue = bind_port(&self.state, port)?;
+        Ok(UdpEndpoint {
+            inner: Arc::new(XdpEndpoint {
+                state: self.state.clone(),
+                port,
+                queue,
+                counters: self.counters.clone(),
+            }),
+            metering: None,
+        })
+    }
+
+    fn backend(&self) -> &'static str {
+        "xdp-frame"
+    }
+}
+
+/// The zero-copy frame implementation of [`WireEndpoint`].
+struct XdpEndpoint {
+    state: Arc<Mutex<WireState>>,
+    port: u64,
+    queue: Arc<Mutex<PortQueue>>,
+    counters: Arc<XdpCounters>,
+}
+
+impl std::fmt::Debug for XdpEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("XdpEndpoint")
+            .field("port", &self.port)
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+fn check_frame_size(payload: &[u8]) -> Result<(), NetError> {
+    if payload.len() > XDP_FRAME_SIZE {
+        return Err(NetError::Io(format!(
+            "frame of {} bytes exceeds the {XDP_FRAME_SIZE}-byte UMEM frame size",
+            payload.len()
+        )));
+    }
+    Ok(())
+}
+
+impl WireEndpoint for XdpEndpoint {
+    fn port(&self) -> u64 {
+        self.port
+    }
+
+    fn send_to(&self, dst: u64, payload: Vec<u8>) -> Result<(), NetError> {
+        check_frame_size(&payload)?;
+        stamp_enqueue_one(&self.state, self.port, dst, payload)?;
+        self.counters.tx_descriptors.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn send_many(&self, dst: u64, payloads: &mut Vec<Vec<u8>>) -> Result<usize, NetError> {
+        // Validate every frame before consuming anything, matching the
+        // all-or-nothing Unreachable contract.
+        for payload in payloads.iter() {
+            check_frame_size(payload)?;
+        }
+        let n = stamp_enqueue_batch(&self.state, self.port, dst, payloads)?;
+        self.counters
+            .tx_descriptors
+            .fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    fn try_recv(&self) -> Option<Datagram> {
+        let d = self.queue.lock().expect("port lock").queue.pop_front()?;
+        self.counters.rx_descriptors.fetch_add(1, Ordering::Relaxed);
+        self.counters.fills.fetch_add(1, Ordering::Relaxed);
+        Some(d)
+    }
+
+    fn recv_many(&self, max: usize, out: &mut Vec<Datagram>) -> usize {
+        let mut q = self.queue.lock().expect("port lock");
+        let take = max.min(q.queue.len());
+        out.extend(q.queue.drain(..take));
+        self.counters
+            .rx_descriptors
+            .fetch_add(take as u64, Ordering::Relaxed);
+        self.counters
+            .fills
+            .fetch_add(take as u64, Ordering::Relaxed);
+        take
+    }
+
+    fn readable(&self) -> bool {
+        !self.queue.lock().expect("port lock").queue.is_empty()
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.lock().expect("port lock").queue.len()
+    }
+
+    fn cost_profile(&self, cost: &CostModel) -> WireCostProfile {
+        WireCostProfile::xdp(cost)
+    }
+}
+
+/// A fault-injecting [`Transport`] decorator: forces scheduled bulk
+/// `send_many` calls on its endpoints to return **short** — at most the
+/// scheduled cap is sent, the unsent tail stays at the front of the
+/// caller's vector — exercising the partial-send retry paths
+/// (`FramedSender::forward`'s bounded-stall loop, `TxBatcher`'s
+/// tail-in-place reflush) on any backend, including the in-process ones
+/// that never block on their own.
+///
+/// Caps are consumed in FIFO order, one per bulk call, wire-wide; calls
+/// with no scheduled cap (and all `send_to` singles) pass through
+/// untouched.
+#[derive(Debug, Clone)]
+pub struct ShortSendWire {
+    inner: Arc<dyn Transport>,
+    caps: Arc<Mutex<VecDeque<usize>>>,
+}
+
+impl ShortSendWire {
+    /// Decorates `inner` with an empty fault schedule.
+    pub fn new(inner: Arc<dyn Transport>) -> Self {
+        ShortSendWire {
+            inner,
+            caps: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Schedules a short return: the next bulk send anywhere on the
+    /// wire ships at most `cap` datagrams (zero caps force a full
+    /// stall).
+    pub fn push_short_send(&self, cap: usize) {
+        self.caps.lock().expect("fault lock").push_back(cap);
+    }
+
+    /// Scheduled faults not yet consumed.
+    pub fn pending_faults(&self) -> usize {
+        self.caps.lock().expect("fault lock").len()
+    }
+}
+
+impl Transport for ShortSendWire {
+    fn bind(&self, port: u64) -> Result<UdpEndpoint, NetError> {
+        let ep = self.inner.bind(port)?;
+        Ok(UdpEndpoint {
+            inner: Arc::new(ShortSendEndpoint {
+                inner: ep.inner,
+                caps: self.caps.clone(),
+            }),
+            metering: None,
+        })
+    }
+
+    fn backend(&self) -> &'static str {
+        self.inner.backend()
+    }
+}
+
+/// The fault-injecting endpoint wrapper of [`ShortSendWire`].
+struct ShortSendEndpoint {
+    inner: Arc<dyn WireEndpoint>,
+    caps: Arc<Mutex<VecDeque<usize>>>,
+}
+
+impl std::fmt::Debug for ShortSendEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShortSendEndpoint")
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl WireEndpoint for ShortSendEndpoint {
+    fn port(&self) -> u64 {
+        self.inner.port()
+    }
+
+    fn send_to(&self, dst: u64, payload: Vec<u8>) -> Result<(), NetError> {
+        self.inner.send_to(dst, payload)
+    }
+
+    fn send_many(&self, dst: u64, payloads: &mut Vec<Vec<u8>>) -> Result<usize, NetError> {
+        let cap = self.caps.lock().expect("fault lock").pop_front();
+        let Some(cap) = cap else {
+            return self.inner.send_many(dst, payloads);
+        };
+        // Ship only the capped head through the real backend; whatever
+        // it leaves unsent (or everything, on error) is spliced back in
+        // front so the caller's tail-in-place contract holds exactly.
+        let take = cap.min(payloads.len());
+        let mut head: Vec<Vec<u8>> = payloads.drain(..take).collect();
+        let result = self.inner.send_many(dst, &mut head);
+        for (i, p) in head.drain(..).enumerate() {
+            payloads.insert(i, p);
+        }
+        result
+    }
+
+    fn try_recv(&self) -> Option<Datagram> {
+        self.inner.try_recv()
+    }
+
+    fn recv_many(&self, max: usize, out: &mut Vec<Datagram>) -> usize {
+        self.inner.recv_many(max, out)
+    }
+
+    fn readable(&self) -> bool {
+        self.inner.readable()
+    }
+
+    fn pending(&self) -> usize {
+        self.inner.pending()
+    }
+
+    fn cost_profile(&self, cost: &CostModel) -> WireCostProfile {
+        self.inner.cost_profile(cost)
+    }
+}
+
 /// A bound, non-blocking endpoint over a pluggable [`Transport`]
 /// backend. Cloning is cheap; clones share the receive queue (like
 /// `dup`ed file descriptors).
@@ -624,13 +1243,15 @@ impl UdpEndpoint {
 
     fn charge_send(&self, n: usize, bytes: usize) {
         if let Some(m) = &self.metering {
-            m.0.add(m.1.socket_send_fixed * n as u64 + (m.1.socket_per_byte * bytes as f64) as u64);
+            let p = self.inner.cost_profile(&m.1);
+            m.0.add(p.send_fixed * n as u64 + (p.per_byte * bytes as f64) as u64);
         }
     }
 
     fn charge_recv(&self, n: usize, bytes: usize) {
         if let Some(m) = &self.metering {
-            m.0.add(m.1.socket_recv_fixed * n as u64 + (m.1.socket_per_byte * bytes as f64) as u64);
+            let p = self.inner.cost_profile(&m.1);
+            m.0.add(p.recv_fixed * n as u64 + (p.per_byte * bytes as f64) as u64);
         }
     }
 
@@ -734,7 +1355,7 @@ pub struct Event {
 /// tombstones the slot, and the slot list compacts (order-preserving)
 /// once tombstones outnumber live entries — a churning peer population
 /// costs constant work per register/deregister instead of a linear scan.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PollGroup {
     /// Registration-ordered slots; `None` marks a deregistered entry
     /// awaiting compaction.
@@ -744,12 +1365,48 @@ pub struct PollGroup {
     index: HashMap<Token, Vec<usize>>,
     live: usize,
     wakeups: u64,
+    /// Tombstone threshold: slot lists no longer than this never
+    /// compact. See [`PollGroup::set_compact_min_entries`].
+    compact_min_entries: usize,
+}
+
+/// Default [`PollGroup`] compaction threshold: slot lists of at most
+/// this many entries are scanned as-is rather than compacted.
+pub const DEFAULT_COMPACT_MIN_ENTRIES: usize = 16;
+
+impl Default for PollGroup {
+    fn default() -> Self {
+        PollGroup {
+            entries: Vec::new(),
+            index: HashMap::new(),
+            live: 0,
+            wakeups: 0,
+            compact_min_entries: DEFAULT_COMPACT_MIN_ENTRIES,
+        }
+    }
 }
 
 impl PollGroup {
     /// An empty poll group.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Sets the compaction threshold: deregistration compacts the slot
+    /// list only once it is longer than `min_entries` **and** tombstones
+    /// outnumber live entries. `0` compacts as eagerly as the
+    /// tombstone-majority rule allows; `usize::MAX` disables compaction
+    /// entirely (polls then scan tombstones, but register/deregister
+    /// never pay a rebuild). The default is
+    /// [`DEFAULT_COMPACT_MIN_ENTRIES`]; the amortised-O(1) churn bound
+    /// holds at both extremes (regression-tested).
+    pub fn set_compact_min_entries(&mut self, min_entries: usize) {
+        self.compact_min_entries = min_entries;
+    }
+
+    /// Current compaction threshold.
+    pub fn compact_min_entries(&self) -> usize {
+        self.compact_min_entries
     }
 
     /// Registers `endpoint` under `token` (readable interest — the only
@@ -774,7 +1431,7 @@ impl PollGroup {
         }
         // Compact once tombstones dominate, preserving registration
         // order; amortised O(1) per deregistration.
-        if self.entries.len() > 16 && self.live * 2 < self.entries.len() {
+        if self.entries.len() > self.compact_min_entries && self.live * 2 < self.entries.len() {
             self.entries.retain(Option::is_some);
             self.index.clear();
             for (slot, entry) in self.entries.iter().enumerate() {
@@ -928,16 +1585,19 @@ mod tests {
         assert_eq!(poll.wakeups(), 4);
     }
 
-    #[test]
-    fn poll_group_churn_is_fast_and_order_preserving() {
-        // The O(1) register/deregister regression test: 10k sockets of
-        // churn must complete promptly (the old linear `retain` made
-        // this quadratic) and keep registration order for survivors.
+    /// The O(1) register/deregister churn body, shared by the default
+    /// and both-extremes threshold tests: 10k sockets of churn must
+    /// complete promptly (the old linear `retain` made this quadratic)
+    /// and keep registration order for survivors.
+    fn churn_10k(compact_min_entries: Option<usize>) {
         const N: usize = 10_000;
         let wire = VirtualWire::new();
         let tx = wire.bind(u64::MAX).unwrap();
         let endpoints: Vec<UdpEndpoint> = (0..N as u64).map(|p| wire.bind(p).unwrap()).collect();
         let mut poll = PollGroup::new();
+        if let Some(t) = compact_min_entries {
+            poll.set_compact_min_entries(t);
+        }
         let started = std::time::Instant::now();
         for (i, ep) in endpoints.iter().enumerate() {
             poll.register(ep, Token(i));
@@ -972,6 +1632,20 @@ mod tests {
         assert_eq!(poll.poll(&mut events), 3);
         let tokens: Vec<usize> = events.iter().map(|e| e.token.0).collect();
         assert_eq!(tokens, vec![3, 7, 9_999], "registration order preserved");
+    }
+
+    #[test]
+    fn poll_group_churn_is_fast_and_order_preserving() {
+        churn_10k(None);
+    }
+
+    /// The compaction threshold is a knob, and the churn bound holds at
+    /// both extremes: compact as eagerly as tombstone-majority allows,
+    /// and never compact at all.
+    #[test]
+    fn poll_group_churn_holds_at_compaction_extremes() {
+        churn_10k(Some(0));
+        churn_10k(Some(usize::MAX));
     }
 
     #[test]
@@ -1084,5 +1758,192 @@ mod tests {
             stats.returned + stats.discarded,
             "pool reconciles after payload return: {stats:?} (held {held})"
         );
+    }
+
+    #[test]
+    fn ring_backend_counts_one_doorbell_per_submitted_batch() {
+        let wire = RingWire::new();
+        let tx = Transport::bind(&wire, 1).unwrap();
+        let rx = Transport::bind(&wire, 2).unwrap();
+        assert_eq!(wire.backend(), "ring");
+
+        // A five-datagram bulk submit: five SQEs, ONE doorbell.
+        let mut batch: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 4]).collect();
+        assert_eq!(tx.send_many(2, &mut batch).unwrap(), 5);
+        let s = wire.ring_stats();
+        assert_eq!((s.doorbells, s.sqes, s.cqes), (1, 5, 0));
+
+        // Five singles: five doorbells — the shape the batch amortises.
+        for i in 0..5u8 {
+            tx.send_to(2, vec![i; 4]).unwrap();
+        }
+        let s = wire.ring_stats();
+        assert_eq!((s.doorbells, s.sqes), (6, 10));
+
+        // Harvesting completions is a shared-memory drain: CQEs tick,
+        // doorbells don't.
+        let mut out = Vec::new();
+        assert_eq!(rx.recv_many(16, &mut out), 10);
+        let s = wire.ring_stats();
+        assert_eq!((s.doorbells, s.cqes), (6, 10));
+        let seqs: Vec<u64> = out.iter().map(|d| d.seq).collect();
+        assert!(
+            seqs.windows(2).all(|w| w[0] < w[1]),
+            "stamp order: {seqs:?}"
+        );
+
+        // Failed lookups reserve nothing.
+        assert_eq!(tx.send_to(9, vec![1]), Err(NetError::Unreachable(9)));
+        let mut batch = vec![vec![1u8]];
+        assert_eq!(tx.send_many(9, &mut batch), Err(NetError::Unreachable(9)));
+        assert_eq!(batch.len(), 1, "failed bulk send keeps the payloads");
+        assert_eq!(wire.ring_stats(), s);
+    }
+
+    #[test]
+    fn ring_oversized_batch_splits_doorbells_at_ring_depth() {
+        let wire = RingWire::new();
+        let tx = Transport::bind(&wire, 1).unwrap();
+        let _rx = Transport::bind(&wire, 2).unwrap();
+        let mut batch: Vec<Vec<u8>> = (0..RING_DEPTH + 1).map(|_| vec![0u8]).collect();
+        assert_eq!(tx.send_many(2, &mut batch).unwrap(), RING_DEPTH + 1);
+        assert_eq!(
+            wire.ring_stats().doorbells,
+            2,
+            "a batch one past the ring depth needs a second doorbell"
+        );
+    }
+
+    #[test]
+    fn xdp_frames_reach_the_receiver_without_copying() {
+        let wire = XdpWire::new();
+        let tx = Transport::bind(&wire, 1).unwrap();
+        let rx = Transport::bind(&wire, 2).unwrap();
+        assert_eq!(wire.backend(), "xdp-frame");
+
+        // Descriptor hand-off: the received payload IS the sender's
+        // buffer (pointer identity), the zero-copy contract the cost
+        // profile's zero per-byte charge models.
+        let frame = wire.umem().take(64);
+        let mut frame = frame;
+        frame.extend_from_slice(b"by descriptor");
+        let ptr = frame.as_ptr();
+        tx.send_to(2, frame).unwrap();
+        let d = rx.try_recv().unwrap();
+        assert_eq!(d.payload, b"by descriptor");
+        assert_eq!(
+            d.payload.as_ptr(),
+            ptr,
+            "frame must be handed by descriptor"
+        );
+        let s = wire.xdp_stats();
+        assert_eq!((s.tx_descriptors, s.rx_descriptors, s.fills), (1, 1, 1));
+        wire.umem().give(d.payload);
+
+        // Bulk path ticks one descriptor per frame on both sides.
+        let mut batch: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i; 8]).collect();
+        assert_eq!(tx.send_many(2, &mut batch).unwrap(), 3);
+        let mut out = Vec::new();
+        assert_eq!(rx.recv_many(16, &mut out), 3);
+        let s = wire.xdp_stats();
+        assert_eq!((s.tx_descriptors, s.rx_descriptors, s.fills), (4, 4, 4));
+    }
+
+    #[test]
+    fn xdp_rejects_frames_larger_than_the_umem_frame_size() {
+        let wire = XdpWire::new();
+        let tx = Transport::bind(&wire, 1).unwrap();
+        let _rx = Transport::bind(&wire, 2).unwrap();
+        assert!(matches!(
+            tx.send_to(2, vec![0u8; XDP_FRAME_SIZE + 1]),
+            Err(NetError::Io(_))
+        ));
+        // Bulk: one oversized frame anywhere rejects the whole batch
+        // without consuming anything (all-or-nothing, like Unreachable).
+        let mut batch = vec![vec![1u8; 8], vec![0u8; XDP_FRAME_SIZE + 1], vec![2u8; 8]];
+        assert!(matches!(tx.send_many(2, &mut batch), Err(NetError::Io(_))));
+        assert_eq!(batch.len(), 3, "rejected bulk send keeps the payloads");
+        let s = wire.xdp_stats();
+        assert_eq!((s.tx_descriptors, s.rx_descriptors), (0, 0));
+    }
+
+    #[test]
+    fn backend_profiles_drive_metered_charges() {
+        let cost = CostModel::calibrated();
+        let meter = CycleMeter::new();
+
+        // Ring: descriptor fixed cost + the registered-buffer copy.
+        let ring = RingWire::new();
+        let tx = Transport::bind(&ring, 1).unwrap();
+        let rx = ring.bind_metered(2, meter.clone(), &cost).unwrap();
+        tx.send_to(2, vec![0u8; 100]).unwrap();
+        rx.try_recv().unwrap();
+        assert_eq!(
+            meter.take(),
+            cost.descriptor_per_frame + (cost.socket_per_byte * 100.0) as u64
+        );
+
+        // XDP: descriptor fixed cost only — zero per-byte, the zero-copy
+        // half of the backend's story.
+        let xdp = XdpWire::new();
+        let tx = Transport::bind(&xdp, 1).unwrap();
+        let rx = xdp.bind_metered(2, meter.clone(), &cost).unwrap();
+        tx.send_to(2, vec![0u8; 100]).unwrap();
+        rx.try_recv().unwrap();
+        assert_eq!(meter.take(), cost.descriptor_per_frame);
+
+        // TransportKind profiles agree with what the endpoints charge.
+        assert_eq!(
+            TransportKind::Ring.profile(&cost),
+            WireCostProfile::ring(&cost)
+        );
+        assert_eq!(
+            TransportKind::XdpFrame.profile(&cost),
+            WireCostProfile::xdp(&cost)
+        );
+        assert_eq!(
+            TransportKind::Virtual.profile(&cost),
+            WireCostProfile::socket(&cost)
+        );
+        assert!(TransportKind::Ring.bypasses_kernel_rx());
+        assert!(TransportKind::XdpFrame.bypasses_kernel_rx());
+        assert!(!TransportKind::OsSocket.bypasses_kernel_rx());
+    }
+
+    #[test]
+    fn short_send_faults_leave_the_tail_in_place_in_order() {
+        for kind in [
+            TransportKind::Virtual,
+            TransportKind::Ring,
+            TransportKind::XdpFrame,
+        ] {
+            let inner: Arc<dyn Transport> = match kind {
+                TransportKind::Virtual => Arc::new(VirtualWire::new()),
+                TransportKind::Ring => Arc::new(RingWire::new()),
+                TransportKind::XdpFrame => Arc::new(XdpWire::new()),
+                TransportKind::OsSocket => unreachable!(),
+            };
+            let wire = ShortSendWire::new(inner);
+            let tx = Transport::bind(&wire, 1).unwrap();
+            let rx = Transport::bind(&wire, 2).unwrap();
+            assert_eq!(wire.backend(), kind.name());
+
+            wire.push_short_send(2);
+            wire.push_short_send(0); // a full stall
+            let mut batch: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i]).collect();
+            assert_eq!(tx.send_many(2, &mut batch).unwrap(), 2, "{kind:?}");
+            let tail: Vec<u8> = batch.iter().map(|p| p[0]).collect();
+            assert_eq!(tail, vec![2, 3, 4], "unsent tail in place, in order");
+            assert_eq!(tx.send_many(2, &mut batch).unwrap(), 0, "stalled");
+            assert_eq!(batch.len(), 3);
+            // Unfaulted retry drains the tail; the receiver sees the
+            // original order with no duplicates.
+            assert_eq!(tx.send_many(2, &mut batch).unwrap(), 3);
+            assert_eq!(wire.pending_faults(), 0);
+            let mut out = Vec::new();
+            assert_eq!(rx.recv_many(16, &mut out), 5);
+            let seen: Vec<u8> = out.iter().map(|d| d.payload[0]).collect();
+            assert_eq!(seen, vec![0, 1, 2, 3, 4], "{kind:?}: no reorder, no dup");
+        }
     }
 }

@@ -23,11 +23,28 @@ use crate::frag::Fragmenter;
 use crate::proto::Record;
 use endbox_netsim::net::{NetError, UdpEndpoint};
 use endbox_netsim::BufferPool;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bounded retries after partial bulk sends before the stall is
 /// surfaced as an error (only the OS backend can ever send partially;
 /// each stall yields the thread so the kernel can drain the socket).
 const MAX_SEND_STALLS: usize = 64;
+
+/// Cumulative send totals of a [`FramedSender`] — the egress mirror of
+/// the server's `AsyncIngressStats`, counted the same way: one
+/// `io_calls` tick per bulk `send_many` issued (including retries after
+/// a partial send), so `datagrams / io_calls` is the egress syscall
+/// amortisation and the totals reconcile exactly against a downstream
+/// `TxBatchStats` carrying the same datagrams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SendStats {
+    /// Datagrams shipped onto the wire.
+    pub datagrams: u64,
+    /// Bulk `send_many` calls issued (each one "syscall").
+    pub io_calls: u64,
+    /// Partial-send stalls retried (OS-socket backpressure).
+    pub stalls: u64,
+}
 
 /// A per-peer sending half: fragments sealed records and ships the
 /// datagrams through a virtual UDP endpoint.
@@ -37,6 +54,9 @@ pub struct FramedSender {
     fragmenter: Fragmenter,
     mtu_payload: usize,
     pool: Option<BufferPool>,
+    sent_datagrams: AtomicU64,
+    io_calls: AtomicU64,
+    stalls: AtomicU64,
 }
 
 impl FramedSender {
@@ -48,6 +68,9 @@ impl FramedSender {
             fragmenter: Fragmenter::new(),
             mtu_payload,
             pool: None,
+            sent_datagrams: AtomicU64::new(0),
+            io_calls: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
         }
     }
 
@@ -68,6 +91,16 @@ impl FramedSender {
     /// The egress buffer pool, if built with [`FramedSender::with_pool`].
     pub fn pool(&self) -> Option<&BufferPool> {
         self.pool.as_ref()
+    }
+
+    /// Cumulative send totals across every [`FramedSender::forward`] /
+    /// [`FramedSender::send_sealed`] call on this sender.
+    pub fn send_stats(&self) -> SendStats {
+        SendStats {
+            datagrams: self.sent_datagrams.load(Ordering::Relaxed),
+            io_calls: self.io_calls.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+        }
     }
 
     /// Fragments a sealed record's bytes and sends every datagram to
@@ -121,9 +154,14 @@ impl FramedSender {
         let mut sent = 0;
         let mut stalls = 0;
         while !batch.is_empty() {
-            sent += self.endpoint.send_many(dst, &mut batch)?;
+            self.io_calls.fetch_add(1, Ordering::Relaxed);
+            let shipped = self.endpoint.send_many(dst, &mut batch)?;
+            sent += shipped;
+            self.sent_datagrams
+                .fetch_add(shipped as u64, Ordering::Relaxed);
             if !batch.is_empty() {
                 stalls += 1;
+                self.stalls.fetch_add(1, Ordering::Relaxed);
                 if stalls > MAX_SEND_STALLS {
                     return Err(NetError::Io(format!(
                         "bulk send to {dst} stalled: {sent}/{total} shipped"
@@ -166,6 +204,33 @@ mod tests {
         }
         let got = Record::from_bytes(&out.expect("record completes")).unwrap();
         assert_eq!(got, record);
+    }
+
+    #[test]
+    fn send_stats_count_bulk_calls_like_the_ingress_side() {
+        let wire = VirtualWire::new();
+        let server = wire.bind(1).unwrap();
+        let mut sender = FramedSender::new(wire.bind(100).unwrap(), 16);
+        let record = Record {
+            opcode: Opcode::Data,
+            session_id: 9,
+            packet_id: 1,
+            payload: vec![0xcd; 50],
+        };
+        let n = sender.send_record(1, &record).unwrap();
+        let n2 = sender.send_record(1, &record).unwrap();
+        let stats = sender.send_stats();
+        assert_eq!(stats.datagrams, (n + n2) as u64);
+        assert_eq!(stats.io_calls, 2, "one bulk call per record batch");
+        assert_eq!(stats.stalls, 0, "the virtual wire never splits a bulk send");
+        let mut received = 0u64;
+        while server.try_recv().is_some() {
+            received += 1;
+        }
+        assert_eq!(
+            received, stats.datagrams,
+            "wire reconciles with send totals"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ use endbox::scenario::{Scenario, ShardedScenario};
 use endbox::server::Delivery;
 use endbox::use_cases::UseCase;
 use endbox::{EndBoxClient, EndBoxError};
+use endbox_netsim::net::TransportKind;
 use endbox_netsim::Packet;
 use endbox_vpn::proto::{Opcode, Record};
 use endbox_vpn::shard::DispatchPolicy;
@@ -435,7 +436,14 @@ pub fn run_async(
     workers: usize,
     policy: DispatchPolicy,
 ) -> Vec<Out> {
-    run_async_configured(schedule, rx_shards, workers, policy, None, false)
+    run_async_configured(
+        schedule,
+        rx_shards,
+        workers,
+        policy,
+        None,
+        TransportKind::Virtual,
+    )
 }
 
 /// [`run_async`] with an explicit ingress `recv_many` bulk size (`1` =
@@ -449,7 +457,14 @@ pub fn run_async_bulk(
     policy: DispatchPolicy,
     recv_bulk: usize,
 ) -> Vec<Out> {
-    run_async_configured(schedule, rx_shards, workers, policy, Some(recv_bulk), false)
+    run_async_configured(
+        schedule,
+        rx_shards,
+        workers,
+        policy,
+        Some(recv_bulk),
+        TransportKind::Virtual,
+    )
 }
 
 /// [`run_async_bulk`] over the **OS-socket** backend: the same schedule
@@ -464,7 +479,33 @@ pub fn run_async_os(
     policy: DispatchPolicy,
     recv_bulk: usize,
 ) -> Vec<Out> {
-    run_async_configured(schedule, rx_shards, workers, policy, Some(recv_bulk), true)
+    run_async_configured(
+        schedule,
+        rx_shards,
+        workers,
+        policy,
+        Some(recv_bulk),
+        TransportKind::OsSocket,
+    )
+}
+
+/// [`run_async_bulk`] over an arbitrary wire backend
+/// ([`ScenarioBuilder::transport`]): the same schedule rides the chosen
+/// transport — SQ/CQ descriptor rings for [`TransportKind::Ring`],
+/// zero-copy frame descriptors for [`TransportKind::XdpFrame`] — and
+/// the outcomes must still be byte-identical to the single-threaded
+/// reference.
+///
+/// [`ScenarioBuilder::transport`]: endbox::scenario::ScenarioBuilder::transport
+pub fn run_async_backend(
+    schedule: &Schedule,
+    rx_shards: usize,
+    workers: usize,
+    policy: DispatchPolicy,
+    recv_bulk: usize,
+    kind: TransportKind,
+) -> Vec<Out> {
+    run_async_configured(schedule, rx_shards, workers, policy, Some(recv_bulk), kind)
 }
 
 fn run_async_configured(
@@ -473,14 +514,14 @@ fn run_async_configured(
     workers: usize,
     policy: DispatchPolicy,
     recv_bulk: Option<usize>,
-    os_transport: bool,
+    transport: TransportKind,
 ) -> Vec<Out> {
     let mut scenario: ShardedScenario = Scenario::enterprise(schedule.n_clients, UseCase::Nop)
         .seed(schedule.seed)
         .dispatch(policy)
         .rx_shards(rx_shards)
         .async_ingress(true)
-        .os_transport(os_transport)
+        .transport(transport)
         .build_sharded(workers)
         .unwrap();
     if let Some(bulk) = recv_bulk {
@@ -674,6 +715,47 @@ pub fn assert_schedule_parity_os(schedule: &Schedule, grid: &[(usize, usize)]) {
                  OS-socket backend at rx_shards={rx} workers={workers} bulk={bulk}",
                 schedule.name
             );
+        }
+    }
+}
+
+/// Asserts byte-identical outcomes between the single-threaded reference
+/// and the event-driven front-end over the given wire backend, for every
+/// `(rx_shards, workers, policy, bulk)` in the full grid ×
+/// [`BULK_GRID`] — the kernel-bypass mirror of
+/// [`assert_schedule_parity_bulk`]. Unlike the OS backend, the ring and
+/// frame backends are in-process and always available, so there is no
+/// skip path.
+pub fn assert_schedule_parity_backend(schedule: &Schedule, kind: TransportKind) {
+    let grid: Vec<(usize, usize)> = RX_GRID
+        .iter()
+        .flat_map(|&rx| WORKER_GRID.iter().map(move |&w| (rx, w)))
+        .collect();
+    assert_schedule_parity_backend_on(schedule, &grid, kind);
+}
+
+/// Like [`assert_schedule_parity_backend`], but over a caller-chosen
+/// sub-grid of `(rx_shards, workers)` points.
+pub fn assert_schedule_parity_backend_on(
+    schedule: &Schedule,
+    grid: &[(usize, usize)],
+    kind: TransportKind,
+) {
+    let reference = run_single(schedule);
+    for policy in policies() {
+        for &(rx, workers) in grid {
+            for bulk in BULK_GRID {
+                let got = run_async_backend(schedule, rx, workers, policy, bulk, kind);
+                assert_eq!(
+                    got,
+                    reference,
+                    "schedule `{}` diverged from the single-threaded server over the \
+                     {} backend at rx_shards={rx} workers={workers} policy={policy:?} \
+                     bulk={bulk}",
+                    schedule.name,
+                    kind.name()
+                );
+            }
         }
     }
 }
