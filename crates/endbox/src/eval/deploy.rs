@@ -524,6 +524,144 @@ pub fn measure_charge_async(
     (charge, wakeups_per_datagram)
 }
 
+/// Measures per-packet charges of one **datapath configuration** under
+/// the heavy-tailed small-record mix that the self-tuning control plane
+/// targets: every peer seals single-packet records sized by the Zipf
+/// weights of [`crate::eval::scalability::heavy_tail_weights`] (a few
+/// elephants dominate the socket backlog), every datagram rides the wire
+/// into a per-peer server socket, and the
+/// [`crate::server::AsyncFrontEnd`] drains it.
+///
+/// The configuration is the experiment's independent variable:
+///
+/// * `dispatch` — the worker placement policy
+///   ([`endbox_vpn::shard::DispatchPolicy`]), including
+///   `DispatchPolicy::Adaptive` (rate-derived thresholds plus work
+///   stealing);
+/// * `knobs` — `Some((drain_quota, shard_budget))` pins the front-end's
+///   static scheduling knobs; `None` arms the closed-loop controller
+///   instead (demand-proportional budgets, token buckets, online peer
+///   remap — zero knobs).
+///
+/// Returns the per-packet charge, the measured wakeups-per-datagram
+/// amortisation of the event loop (the input to
+/// [`endbox_netsim::pipeline::AsyncFrontEndModel::event_driven`]: tight
+/// static budgets force extra drain rounds under skew, and that shows up
+/// here as a worse ratio), and the final
+/// [`crate::server::ControllerStats`] snapshot (all zeros for static
+/// configurations).
+///
+/// # Panics
+///
+/// Panics if the deployment cannot be constructed.
+pub fn measure_charge_adaptive(
+    use_case: UseCase,
+    payload_len: usize,
+    samples: usize,
+    workers: usize,
+    rx_shards: usize,
+    dispatch: endbox_vpn::shard::DispatchPolicy,
+    knobs: Option<(usize, usize)>,
+) -> (PacketCharge, f64, crate::server::ControllerStats) {
+    // 8 peers at 2 RX shards puts both Zipf elephants (peers 0 and 4)
+    // in poll group 0; base batch 24 makes that group's per-round
+    // backlog (~43 datagrams) deep enough that starved static budgets
+    // pay extra drain rounds and the controller's hot-group law
+    // (2x the other groups' mean, 3-round debounce) actually fires.
+    const N_PEERS: usize = 8;
+    const BASE_BATCH: usize = 24;
+    let mut builder = Scenario::enterprise(N_PEERS, use_case)
+        .trust(TrustLevel::Hardware)
+        .seed(0xbe9c)
+        .rx_shards(rx_shards)
+        .dispatch(dispatch)
+        .async_ingress(true);
+    if knobs.is_none() {
+        builder = builder.adaptive_control(true);
+    }
+    let mut scenario = builder.build_sharded(workers).expect("sharded deployment");
+    if let Some((quota, budget)) = knobs {
+        scenario.set_async_budget(quota, budget);
+    }
+
+    let weights = crate::eval::scalability::heavy_tail_weights(N_PEERS);
+    let sizes = crate::scenario::ShardedScenario::heavy_tail_batch_sizes(&weights, BASE_BATCH);
+    let round_packets: usize = sizes.iter().sum();
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let payload = benign_payload(payload_len, &mut rng);
+    let client_meters: Vec<CycleMeter> =
+        scenario.clients.iter().map(|c| c.meter().clone()).collect();
+    let server_meter = scenario.server_meter.clone();
+
+    // One round: every peer seals its weighted share of single-packet
+    // records (elephants flood their own sockets), all datagrams go on
+    // the wire, then the event loop drains to idle — under tight static
+    // knobs that takes many pump rounds; under the controller the
+    // budgets follow the skew.
+    let run_round = |scenario: &mut crate::scenario::ShardedScenario, seq: u32| -> (usize, usize) {
+        let mut datagrams = 0usize;
+        let mut wire_bytes = 0usize;
+        for (idx, &n) in sizes.iter().enumerate() {
+            for i in 0..n {
+                let pkt = Packet::tcp(
+                    Scenario::client_addr(idx),
+                    Scenario::network_addr(),
+                    40_000 + idx as u16,
+                    5001,
+                    seq + i as u32,
+                    &payload,
+                );
+                let sealed = scenario.clients[idx].send_packet(pkt).expect("send");
+                datagrams += sealed.len();
+                wire_bytes += sealed.iter().map(Vec::len).sum::<usize>();
+                scenario.send_wire_datagrams(idx as u64, sealed);
+            }
+        }
+        for (_, result) in scenario.pump_async() {
+            result.expect("deliver");
+        }
+        (datagrams, wire_bytes)
+    };
+
+    // Warm-up round (first-use costs stay out of the steady state).
+    run_round(&mut scenario, 0);
+    for m in &client_meters {
+        m.take();
+    }
+    server_meter.take();
+    let warm_stats = scenario.async_stats();
+
+    let mut wire_bytes_total = 0usize;
+    let mut fragments_total = 0usize;
+    for r in 1..=samples {
+        let (frags, bytes) = run_round(&mut scenario, (r * BASE_BATCH) as u32);
+        fragments_total += frags;
+        wire_bytes_total += bytes;
+    }
+    let stats = scenario.async_stats();
+    let wakeups = stats.wakeups - warm_stats.wakeups;
+    let drained = stats.datagrams - warm_stats.datagrams;
+    assert_eq!(drained as usize, fragments_total, "every datagram drained");
+    let wakeups_per_datagram = wakeups as f64 / drained.max(1) as f64;
+
+    let packets_total = (samples * round_packets) as u64;
+    let client_cycles: u64 = client_meters.iter().map(CycleMeter::take).sum::<u64>();
+    let cost = CostModel::calibrated();
+    let socket_rx_cycles = cost.socket_recv_fixed * fragments_total as u64
+        + (cost.socket_per_byte * wire_bytes_total as f64) as u64;
+    let charge = small_record_charge(
+        payload_len,
+        packets_total,
+        wire_bytes_total,
+        fragments_total,
+        client_cycles,
+        server_meter.take(),
+        socket_rx_cycles,
+    );
+    (charge, wakeups_per_datagram, scenario.controller_stats())
+}
+
 /// Measures per-packet charges on the sharded stack with **bulk socket
 /// I/O** in the loop: the event-driven mix of [`measure_charge_async`],
 /// but the front-end drains each socket with `recv_many` calls of up to

@@ -86,6 +86,7 @@ pub struct ScenarioBuilder {
     dispatch: DispatchPolicy,
     rx_shards: usize,
     async_ingress: bool,
+    adaptive_control: bool,
     transport: TransportKind,
 }
 
@@ -159,6 +160,24 @@ impl ScenarioBuilder {
     /// path. See [`ShardedScenario::pump_async`].
     pub fn async_ingress(mut self, on: bool) -> Self {
         self.async_ingress = on;
+        self
+    }
+
+    /// Zero-knob self-tuning datapath (default off). Sugar that turns
+    /// the whole closed-loop control plane on in one call: implies
+    /// [`ScenarioBuilder::async_ingress`], switches the dispatch policy
+    /// to [`DispatchPolicy::Adaptive`] (rate-derived migration
+    /// thresholds plus idle-worker work stealing) and arms the
+    /// front-end's budget/remap controller
+    /// ([`AsyncFrontEnd::set_adaptive`]). Every decision lands at a
+    /// round boundary, so results stay byte-identical to the static
+    /// configurations — only scheduling moves.
+    pub fn adaptive_control(mut self, on: bool) -> Self {
+        self.adaptive_control = on;
+        if on {
+            self.async_ingress = true;
+            self.dispatch = DispatchPolicy::Adaptive;
+        }
         self
     }
 
@@ -419,9 +438,11 @@ impl ScenarioBuilder {
             clients.push(client);
         }
 
-        let front_end = self
-            .async_ingress
-            .then(|| AsyncFrontEnd::new(server.rx_shard_count()));
+        let front_end = self.async_ingress.then(|| {
+            let mut fe = AsyncFrontEnd::new(server.rx_shard_count());
+            fe.set_adaptive(self.adaptive_control);
+            fe
+        });
         // Ring/XDP backends share their pre-registered arena with the
         // client links' egress pool, so every egress fragment buffer is
         // arena-registered from birth (the zero-copy loop closes:
@@ -537,6 +558,7 @@ impl Scenario {
             dispatch: DispatchPolicy::default(),
             rx_shards: 1,
             async_ingress: false,
+            adaptive_control: false,
             transport: TransportKind::Virtual,
         }
     }
@@ -557,6 +579,7 @@ impl Scenario {
             dispatch: DispatchPolicy::default(),
             rx_shards: 1,
             async_ingress: false,
+            adaptive_control: false,
             transport: TransportKind::Virtual,
         }
     }
@@ -982,6 +1005,57 @@ impl ShardedScenario {
         let fe = self.front_end.as_mut().expect("async ingress enabled");
         fe.set_drain_quota(drain_quota);
         fe.set_shard_budget(shard_budget);
+    }
+
+    /// Switches the closed-loop controller on or off at runtime (see
+    /// [`AsyncFrontEnd::set_adaptive`]; the builder-time equivalent is
+    /// [`ScenarioBuilder::adaptive_control`], which also selects the
+    /// adaptive dispatch policy — this runtime toggle moves only the
+    /// front-end's budget/remap loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if async ingress is off.
+    pub fn set_adaptive_control(&mut self, on: bool) {
+        self.front_end
+            .as_mut()
+            .expect("async ingress enabled")
+            .set_adaptive(on);
+    }
+
+    /// Snapshot of the control plane's actions so far (budget grants,
+    /// remaps with their drained partial records, steals, migrations) —
+    /// see [`crate::server::ControllerStats`] for the reconciliation
+    /// contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if async ingress is off.
+    pub fn controller_stats(&self) -> crate::server::ControllerStats {
+        self.front_end
+            .as_ref()
+            .expect("async ingress enabled")
+            .controller_stats(&self.server)
+    }
+
+    /// Re-homes `peer` onto RX shard / poll group `to` by hand: the RX
+    /// reassembly state moves first (quiesced and drained, see
+    /// [`ShardedEndBoxServer::remap_rx_peer`]), then the socket
+    /// registration follows ([`AsyncFrontEnd::rehome_peer`]). Returns
+    /// the drained partial-record count. The controller performs exactly
+    /// this pair on its own; the manual hook exists for the adversarial
+    /// remap schedules in `tests/`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if async ingress is off.
+    pub fn remap_peer(&mut self, peer: u64, to: usize) -> usize {
+        let drained = self.server.remap_rx_peer(peer, to);
+        self.front_end
+            .as_mut()
+            .expect("async ingress enabled")
+            .rehome_peer(peer, to);
+        drained
     }
 
     /// Sets the bulk size of ingress `recv_many` calls (see

@@ -498,6 +498,17 @@ enum RxRequest {
     /// `confirmed` tears the peer's reassembler down before any later
     /// datagram of that peer is pushed into it.
     Teardown { peer: u64, confirmed: bool },
+    /// Detach `peer`'s reassembler (with any in-flight partial records)
+    /// so the peer can be re-homed to another RX shard. Only sent
+    /// between receive batches — the extract round-trip is the remap's
+    /// quiesce point: when the reply arrives, this shard has processed
+    /// every datagram of the peer it was ever given.
+    ExtractPeer { peer: u64 },
+    /// Adopt a re-homed peer's reassembly state.
+    InstallPeer {
+        peer: u64,
+        reassembler: Box<Reassembler>,
+    },
     /// Report this shard's [`RxShardStats`].
     Stats,
     /// Exit the RX loop.
@@ -506,6 +517,13 @@ enum RxRequest {
 
 enum RxReply {
     Event(RxEvent),
+    /// A peer's detached reassembly state (`None` if the peer never sent
+    /// this shard a datagram); `pending` counts the partial records that
+    /// were drained along (in flight at the quiesce point).
+    PeerState {
+        pending: usize,
+        reassembler: Option<Box<Reassembler>>,
+    },
     Stats {
         shard: usize,
         stats: RxShardStats,
@@ -609,6 +627,26 @@ fn rx_shard_loop(
             // A stray teardown outside a pause cannot occur in the
             // request protocol; ignore it defensively.
             RxRequest::Teardown { .. } => {}
+            RxRequest::ExtractPeer { peer } => {
+                let reassembler = reassemblers.remove(&peer);
+                let pending = reassembler.as_ref().map_or(0, Reassembler::pending);
+                if tx
+                    .send(RxReply::PeerState {
+                        pending,
+                        reassembler: reassembler.map(Box::new),
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            RxRequest::InstallPeer { peer, reassembler } => {
+                let prior = reassemblers.insert(peer, *reassembler);
+                debug_assert!(
+                    prior.is_none(),
+                    "remap must extract before it installs; peer {peer} already lives here"
+                );
+            }
             RxRequest::Stats => {
                 let stats = RxShardStats {
                     datagrams,
@@ -655,6 +693,9 @@ pub struct RxShardPool {
     replies: crossbeam::channel::Receiver<RxReply>,
     joins: Vec<JoinHandle<()>>,
     stalls: Vec<std::sync::Arc<std::sync::atomic::AtomicU64>>,
+    /// Live remap overrides: peers whose reassembly state has been
+    /// re-homed away from their static `peer_id mod K` shard.
+    overrides: HashMap<u64, usize>,
 }
 
 impl std::fmt::Debug for RxShardPool {
@@ -706,6 +747,7 @@ impl RxShardPool {
             replies,
             joins,
             stalls,
+            overrides: HashMap::new(),
         }
     }
 
@@ -714,9 +756,50 @@ impl RxShardPool {
         self.requests.len()
     }
 
-    /// The shard owning `peer`'s reassembly state (`peer_id mod K`).
+    /// The shard owning `peer`'s reassembly state: a live remap override
+    /// if one exists, else the static `peer_id mod K` home.
     pub fn shard_of(&self, peer: u64) -> usize {
-        (peer % self.requests.len() as u64) as usize
+        let home = (peer % self.requests.len() as u64) as usize;
+        self.overrides.get(&peer).copied().unwrap_or(home)
+    }
+
+    /// Re-homes `peer`'s reassembly state to RX shard `to`, returning the
+    /// number of in-flight partial records drained along with it.
+    ///
+    /// Must only be called between receive batches (the same quiescence
+    /// discipline as a stats query). The extract round-trip is the
+    /// remap's drain point: when the old shard replies it has framed
+    /// every datagram the peer was ever routed to it, so moving the
+    /// owned [`Reassembler`] wholesale is invisible in the record stream
+    /// — byte-identical to the peer having been homed on `to` all along.
+    pub fn remap_peer(&mut self, peer: u64, to: usize) -> usize {
+        let to = to % self.requests.len();
+        let from = self.shard_of(peer);
+        if from == to {
+            return 0;
+        }
+        self.requests[from]
+            .send(RxRequest::ExtractPeer { peer })
+            .expect("RX shard alive");
+        let (pending, reassembler) = match self.replies.recv().expect("RX shard alive") {
+            RxReply::PeerState {
+                pending,
+                reassembler,
+            } => (pending, reassembler),
+            RxReply::ShardDead { shard } => panic!("RX shard {shard} died"),
+            _ => unreachable!("no receive batch is in flight during a remap"),
+        };
+        if let Some(reassembler) = reassembler {
+            self.requests[to]
+                .send(RxRequest::InstallPeer { peer, reassembler })
+                .expect("RX shard alive");
+        }
+        if to == (peer % self.requests.len() as u64) as usize {
+            self.overrides.remove(&peer);
+        } else {
+            self.overrides.insert(peer, to);
+        }
+        pending
     }
 
     /// Test hook: make RX shard `shard` sleep `micros` before each
@@ -737,8 +820,8 @@ impl RxShardPool {
             match self.replies.recv().expect("RX shard alive") {
                 RxReply::Stats { shard, stats } => out[shard] = stats,
                 RxReply::ShardDead { shard } => panic!("RX shard {shard} died"),
-                RxReply::Event(_) => {
-                    unreachable!("no receive batch is in flight during a stats query")
+                RxReply::Event(_) | RxReply::PeerState { .. } => {
+                    unreachable!("no receive batch or remap is in flight during a stats query")
                 }
             }
         }
@@ -806,6 +889,11 @@ pub struct ShardedEndBoxServer {
     /// Disconnect verdicts the front-end sent back to paused RX shards
     /// (reconciles with the sum of per-shard `disconnect_pauses`).
     rx_disconnect_verdicts: u64,
+    /// Peers the control plane re-homed to a different RX shard.
+    rx_remaps: u64,
+    /// Partial records drained along with those remaps (in flight inside
+    /// the moved reassemblers at their quiesce points).
+    rx_drained_partials: u64,
 }
 
 impl std::fmt::Debug for ShardedEndBoxServer {
@@ -884,6 +972,8 @@ impl ShardedEndBoxServer {
             rejected: 0,
             rx_records_merged: 0,
             rx_disconnect_verdicts: 0,
+            rx_remaps: 0,
+            rx_drained_partials: 0,
         })
     }
 
@@ -924,6 +1014,32 @@ impl ShardedEndBoxServer {
     /// Sessions the load-aware dispatcher migrated so far.
     pub fn migrations(&self) -> u64 {
         self.vpn.migrations()
+    }
+
+    /// Idle-worker steals performed by the adaptive dispatcher (a subset
+    /// of [`ShardedEndBoxServer::migrations`]).
+    pub fn steals(&self) -> u64 {
+        self.vpn.steals()
+    }
+
+    /// Re-homes `peer`'s reassembly state to RX shard `to` (see
+    /// [`RxShardPool::remap_peer`] for the quiescence contract), returning
+    /// the number of in-flight partial records drained along. Only legal
+    /// between `receive_datagrams` calls.
+    pub fn remap_rx_peer(&mut self, peer: u64, to: usize) -> usize {
+        let before = self.rx.shard_of(peer);
+        let drained = self.rx.remap_peer(peer, to);
+        if self.rx.shard_of(peer) != before {
+            self.rx_remaps += 1;
+            self.rx_drained_partials += drained as u64;
+        }
+        drained
+    }
+
+    /// `(remaps, drained partial records)` performed so far via
+    /// [`ShardedEndBoxServer::remap_rx_peer`].
+    pub fn rx_remap_counters(&self) -> (u64, u64) {
+        (self.rx_remaps, self.rx_drained_partials)
     }
 
     /// Receives one wire datagram. This is *not* a special-cased path: the
@@ -994,8 +1110,8 @@ impl ShardedEndBoxServer {
                     RxReply::ShardDead { shard } => {
                         panic!("RX shard {shard} died mid-receive")
                     }
-                    RxReply::Stats { .. } => {
-                        unreachable!("no stats query is in flight during a receive")
+                    RxReply::Stats { .. } | RxReply::PeerState { .. } => {
+                        unreachable!("no stats query or remap is in flight during a receive")
                     }
                 };
             received += 1;
@@ -1234,6 +1350,59 @@ pub const DEFAULT_DRAIN_QUOTA: usize = RX_DISPATCH_CHUNK;
 /// small enough to bound the memory one dispatch can pin under flood.
 pub const DEFAULT_SHARD_BUDGET: usize = 1024;
 
+/// EWMA smoothing factor for the controller's per-group demand signal
+/// (same weighting as the dispatcher's `LOAD_EWMA_ALPHA`: recent rounds
+/// dominate, one quiet round does not erase a hot spot).
+const DEMAND_EWMA_ALPHA: f64 = 0.5;
+
+/// A poll group is *hot* when its smoothed demand exceeds this multiple
+/// of the **other** groups' mean. Part of the control law, not a tuning
+/// knob: carrying twice what everyone else averages is the smallest
+/// imbalance a single-peer remap can meaningfully halve.
+const REMAP_HOT_FACTOR: f64 = 2.0;
+
+/// Consecutive hot rounds before the controller re-homes a peer — the
+/// debounce that keeps one bursty round from triggering a remap whose
+/// drain cost outweighs its benefit.
+const REMAP_HOT_ROUNDS: u32 = 3;
+
+/// Token-bucket cap in fair shares: a socket may bank at most this many
+/// rounds' worth of unused fair share, bounding the burst a hot peer can
+/// borrow from idle shard-mates in a single round.
+const TOKEN_BURST_SHARES: f64 = 4.0;
+
+/// Snapshot of the self-tuning control plane's actions, assembled by
+/// [`AsyncFrontEnd::controller_stats`] from the front-end's budget
+/// controller, the RX remap counters and the adaptive dispatcher. Each
+/// field reconciles against an independent datapath counter (pinned in
+/// `tests/adaptive_control.rs`): drained datagrams never exceed
+/// `budget_grants`, `drained_partials` rides along `remaps`, and
+/// `steals <= migrations`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ControllerStats {
+    /// Pump rounds the adaptive budget controller planned (subset of
+    /// [`AsyncIngressStats::rounds`] — only rounds that drained count).
+    pub budget_rounds: u64,
+    /// Total datagram budget granted across those rounds (sum of the
+    /// per-group demand-proportional budgets of every polled-ready
+    /// group). Always >= [`AsyncIngressStats::datagrams`] drained while
+    /// the controller was active.
+    pub budget_grants: u64,
+    /// Datagrams a socket drained beyond its fair share of the group
+    /// budget — capacity borrowed from idle shard-mates via the token
+    /// buckets.
+    pub tokens_borrowed: u64,
+    /// Peers re-homed to a different RX shard (and poll group).
+    pub remaps: u64,
+    /// In-flight partial records drained along with those remaps.
+    pub drained_partials: u64,
+    /// Idle-worker session steals by [`DispatchPolicy::Adaptive`].
+    pub steals: u64,
+    /// Total dispatcher migrations (rate-based rebalance + steals), so
+    /// `steals <= migrations` by construction.
+    pub migrations: u64,
+}
+
 /// The event-driven socket front-end: **one poll group per RX shard**,
 /// with each peer's server-side socket registered in the group of the
 /// shard that owns the peer's reassembly state (`peer_id mod K` — the
@@ -1325,6 +1494,22 @@ pub struct AsyncFrontEnd {
     datagrams: u64,
     deferred_rounds: u64,
     io_calls: u64,
+    /// Closed-loop controller switch ([`AsyncFrontEnd::set_adaptive`]).
+    /// When off, the static knobs above govern and the drain path is
+    /// byte-identical to earlier revisions.
+    adaptive: bool,
+    /// Per-slot token buckets (fractional datagrams of drain allowance;
+    /// only consulted when `adaptive`).
+    tokens: Vec<f64>,
+    /// Per-group smoothed socket-backlog demand (the controller's load
+    /// signal).
+    demand_ewma: Vec<f64>,
+    /// Per-group consecutive rounds above the hot threshold (remap
+    /// debounce).
+    hot_rounds: Vec<u32>,
+    budget_rounds: u64,
+    budget_grants: u64,
+    tokens_borrowed: u64,
 }
 
 impl AsyncFrontEnd {
@@ -1347,6 +1532,13 @@ impl AsyncFrontEnd {
             datagrams: 0,
             deferred_rounds: 0,
             io_calls: 0,
+            adaptive: false,
+            tokens: Vec::new(),
+            demand_ewma: vec![0.0; rx_shards],
+            hot_rounds: vec![0; rx_shards],
+            budget_rounds: 0,
+            budget_grants: 0,
+            tokens_borrowed: 0,
         }
     }
 
@@ -1364,6 +1556,7 @@ impl AsyncFrontEnd {
         self.slot_pos.push(self.group_slots[group].len());
         self.group_slots[group].push(slot);
         self.sockets.push((peer, endpoint));
+        self.tokens.push(0.0);
     }
 
     /// Per-socket datagrams drained per scheduling pass (fairness grain).
@@ -1385,6 +1578,185 @@ impl AsyncFrontEnd {
     /// [`AsyncIngressStats::io_calls`] moves.
     pub fn set_recv_bulk(&mut self, bulk: usize) {
         self.recv_bulk = bulk.max(1);
+    }
+
+    /// Switches the closed-loop controller on or off. When on, the
+    /// static [`AsyncFrontEnd::set_drain_quota`] /
+    /// [`AsyncFrontEnd::set_shard_budget`] knobs are superseded each
+    /// round by demand-proportional shard budgets with per-socket token
+    /// buckets, and a persistently hot poll group has its hottest peer
+    /// re-homed to the coldest group (socket registration **and** RX
+    /// reassembly state, quiesced and drained — see
+    /// [`ShardedEndBoxServer::remap_rx_peer`]). Every decision lands at
+    /// a round boundary, so drained datagrams still re-merge into exact
+    /// wire order and results stay byte-identical to the static
+    /// front-end for any drain split. Off by default.
+    pub fn set_adaptive(&mut self, on: bool) {
+        self.adaptive = on;
+    }
+
+    /// Whether the closed-loop controller is active.
+    pub fn adaptive(&self) -> bool {
+        self.adaptive
+    }
+
+    /// Assembles the full control-plane snapshot: this front-end's
+    /// budget counters plus `server`'s remap and dispatcher counters.
+    pub fn controller_stats(&self, server: &ShardedEndBoxServer) -> ControllerStats {
+        let (remaps, drained_partials) = server.rx_remap_counters();
+        ControllerStats {
+            budget_rounds: self.budget_rounds,
+            budget_grants: self.budget_grants,
+            tokens_borrowed: self.tokens_borrowed,
+            remaps,
+            drained_partials,
+            steals: server.steals(),
+            migrations: server.migrations(),
+        }
+    }
+
+    /// Moves `peer`'s socket registration from its current poll group to
+    /// `new_group`, keeping registration order and the round-robin
+    /// cursors consistent. The RX-shard side of a re-home is
+    /// [`ShardedEndBoxServer::remap_rx_peer`]; callers do both (the
+    /// controller does, and so must tests driving remaps by hand) so a
+    /// poll group keeps feeding exactly its own shard.
+    pub fn rehome_peer(&mut self, peer: u64, new_group: usize) {
+        let new_group = new_group % self.groups.len();
+        let slot = self
+            .sockets
+            .iter()
+            .position(|(p, _)| *p == peer)
+            .expect("rehome of a registered peer");
+        let old_group = (0..self.groups.len())
+            .find(|&g| self.group_slots[g].contains(&slot))
+            .expect("slot registered in a group");
+        if old_group == new_group {
+            return;
+        }
+        self.groups[old_group].deregister(endbox_netsim::net::Token(slot));
+        self.groups[new_group].register(&self.sockets[slot].1, endbox_netsim::net::Token(slot));
+        self.group_slots[old_group].retain(|&s| s != slot);
+        self.group_slots[new_group].push(slot);
+        for g in [old_group, new_group] {
+            for (pos, &s) in self.group_slots[g].iter().enumerate() {
+                self.slot_pos[s] = pos;
+            }
+            self.rr[g] %= self.group_slots[g].len().max(1);
+        }
+    }
+
+    /// One control-law evaluation at the round boundary: fold each
+    /// group's queued socket backlog into its demand EWMA; when one
+    /// group has stayed [`REMAP_HOT_FACTOR`]x above the cross-group mean
+    /// for [`REMAP_HOT_ROUNDS`] consecutive rounds, re-home its hottest
+    /// peer to the coldest group. Runs before any socket is polled, so
+    /// no receive batch is in flight — the remap's quiescence
+    /// requirement holds by construction.
+    fn control_round(&mut self, server: &mut ShardedEndBoxServer) {
+        let k = self.groups.len();
+        for g in 0..k {
+            let demand: usize = self.group_slots[g]
+                .iter()
+                .map(|&s| self.sockets[s].1.pending())
+                .sum();
+            self.demand_ewma[g] =
+                DEMAND_EWMA_ALPHA * demand as f64 + (1.0 - DEMAND_EWMA_ALPHA) * self.demand_ewma[g];
+        }
+        if k < 2 {
+            return;
+        }
+        let sum = self.demand_ewma.iter().sum::<f64>();
+        if sum <= 0.0 {
+            return;
+        }
+        for g in 0..k {
+            // Hot = carrying more than REMAP_HOT_FACTOR times what the
+            // *other* groups average (against the overall mean a group
+            // could never qualify at small K: with two groups the
+            // hottest possible share is exactly 2x the mean). A one-peer
+            // group has nothing left to shed — moving its only peer
+            // would just relocate the hot spot.
+            let others = (sum - self.demand_ewma[g]) / (k - 1) as f64;
+            let hot = self.demand_ewma[g] > REMAP_HOT_FACTOR * others.max(1.0)
+                && self.group_slots[g].len() >= 2;
+            self.hot_rounds[g] = if hot { self.hot_rounds[g] + 1 } else { 0 };
+        }
+        let Some(hot) = (0..k)
+            .filter(|&g| self.hot_rounds[g] >= REMAP_HOT_ROUNDS)
+            .max_by(|&a, &b| self.demand_ewma[a].total_cmp(&self.demand_ewma[b]))
+        else {
+            return;
+        };
+        let cold = (0..k)
+            .min_by(|&a, &b| self.demand_ewma[a].total_cmp(&self.demand_ewma[b]))
+            .expect("at least two groups");
+        if cold == hot {
+            return;
+        }
+        // Shed the *largest* peer that still fits in half the live gap:
+        // moving more than that would overshoot and invert the imbalance
+        // (the re-homed elephant makes the cold group the new hot spot,
+        // and the law would ping-pong it straight back). If no peer fits
+        // — one monster session IS the backlog — skip; relocating it
+        // would only relocate the hot spot.
+        let live = |g: usize| -> usize {
+            self.group_slots[g]
+                .iter()
+                .map(|&s| self.sockets[s].1.pending())
+                .sum()
+        };
+        let half_gap = live(hot).saturating_sub(live(cold)) / 2;
+        let Some(&slot) = self.group_slots[hot]
+            .iter()
+            .filter(|&&s| self.sockets[s].1.pending() <= half_gap)
+            .max_by_key(|&&s| self.sockets[s].1.pending())
+        else {
+            return;
+        };
+        let moved = self.sockets[slot].1.pending();
+        if moved == 0 {
+            return;
+        }
+        let peer = self.sockets[slot].0;
+        server.remap_rx_peer(peer, cold);
+        self.rehome_peer(peer, cold);
+        self.hot_rounds[hot] = 0;
+        // Shift the moved backlog between the demand estimates so the
+        // law sees the remap's effect now instead of re-firing while the
+        // EWMA catches up.
+        self.demand_ewma[hot] = (self.demand_ewma[hot] - moved as f64).max(0.0);
+        self.demand_ewma[cold] += moved as f64;
+    }
+
+    /// Demand-proportional per-group budgets for this round. Every group
+    /// keeps a floor of one dispatch chunk (liveness); the rest of the
+    /// aggregate capacity — `DEFAULT_SHARD_BUDGET * K`, the same total
+    /// the static knobs grant — is split proportionally to queued
+    /// backlog, so a hot shard inherits exactly the headroom its idle
+    /// shard-mates are not using.
+    fn plan_budgets(&self) -> Vec<usize> {
+        let k = self.groups.len();
+        let spread = (DEFAULT_SHARD_BUDGET * k).saturating_sub(RX_DISPATCH_CHUNK * k);
+        let demand: Vec<usize> = (0..k)
+            .map(|g| {
+                self.group_slots[g]
+                    .iter()
+                    .map(|&s| self.sockets[s].1.pending())
+                    .sum()
+            })
+            .collect();
+        let total: usize = demand.iter().sum();
+        (0..k)
+            .map(|g| {
+                if total == 0 {
+                    DEFAULT_SHARD_BUDGET
+                } else {
+                    RX_DISPATCH_CHUNK
+                        + (spread as f64 * demand[g] as f64 / total as f64).round() as usize
+                }
+            })
+            .collect()
     }
 
     /// Front-end counters.
@@ -1418,6 +1790,16 @@ impl AsyncFrontEnd {
             server.rx_shard_count(),
             "one poll group per RX shard"
         );
+        // Closed-loop control, evaluated strictly at the round boundary
+        // (before any socket is polled): remap persistent hot spots,
+        // then derive this round's per-group budgets from live queue
+        // depth. `None` = static knobs in force, drain path unchanged.
+        let budgets = if self.adaptive {
+            self.control_round(server);
+            Some(self.plan_budgets())
+        } else {
+            None
+        };
         let mut drained: Vec<(u64, u64, Vec<u8>)> = Vec::new(); // (seq, peer, payload)
         let mut deferred = false;
         let mut events = Vec::new();
@@ -1437,7 +1819,27 @@ impl AsyncFrontEnd {
                 .iter()
                 .position(|&slot| self.slot_pos[slot] >= cursor)
                 .unwrap_or(0);
-            let mut budget = self.shard_budget;
+            let mut budget = match &budgets {
+                Some(b) => {
+                    self.budget_grants += b[group] as u64;
+                    b[group]
+                }
+                None => self.shard_budget,
+            };
+            // Token buckets (adaptive only): every ready socket banks its
+            // fair share of the group budget each round, capped at a few
+            // shares — a hot peer's per-pass allowance is its banked
+            // tokens, so it spends exactly what idle shard-mates left
+            // unclaimed instead of a fixed per-socket quota.
+            let fair = if budgets.is_some() {
+                let fair = (budget as f64 / ready.len() as f64).max(1.0);
+                for &slot in &ready {
+                    self.tokens[slot] = (self.tokens[slot] + fair).min(TOKEN_BURST_SHARES * fair);
+                }
+                fair
+            } else {
+                0.0
+            };
             let mut last_drained = None;
             // Scheduling passes: round-robin over the ready sockets, at
             // most `drain_quota` per socket per pass, until the budget is
@@ -1459,10 +1861,17 @@ impl AsyncFrontEnd {
                         continue;
                     }
                     let slot = ready[idx];
+                    let quota = if budgets.is_some() {
+                        // Allowance = banked tokens, floored at one so a
+                        // starved socket still makes progress every pass.
+                        self.tokens[slot].floor().max(1.0) as usize
+                    } else {
+                        self.drain_quota
+                    };
                     let (peer, ep) = &self.sockets[slot];
                     let mut taken = 0;
-                    while taken < self.drain_quota && budget > 0 {
-                        let want = self.recv_bulk.min(self.drain_quota - taken).min(budget);
+                    while taken < quota && budget > 0 {
+                        let want = self.recv_bulk.min(quota - taken).min(budget);
                         scratch.clear();
                         let got = ep.recv_many(want, &mut scratch);
                         self.io_calls += 1;
@@ -1479,6 +1888,12 @@ impl AsyncFrontEnd {
                     if taken > 0 {
                         drained_this_pass += taken;
                         last_drained = Some(self.slot_pos[slot]);
+                        if budgets.is_some() {
+                            self.tokens[slot] = (self.tokens[slot] - taken as f64).max(0.0);
+                            if taken as f64 > fair {
+                                self.tokens_borrowed += (taken as f64 - fair).ceil() as u64;
+                            }
+                        }
                     }
                     if budget == 0 {
                         break;
@@ -1499,6 +1914,9 @@ impl AsyncFrontEnd {
             return Vec::new();
         }
         self.rounds += 1;
+        if budgets.is_some() {
+            self.budget_rounds += 1;
+        }
         self.datagrams += drained.len() as u64;
         if deferred {
             self.deferred_rounds += 1;

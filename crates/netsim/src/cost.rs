@@ -77,6 +77,12 @@ pub struct CostModel {
     /// HMAC-SHA256 authentication.
     pub hmac_per_byte: f64,
     /// Fixed crypto cost per packet (IV generation, padding, MAC setup).
+    /// AES key-schedule expansion is **not** part of this fixed cost:
+    /// the data channel expands each direction's schedule once at
+    /// session establishment and caches it (`vpn::channel::DataChannel`).
+    /// Earlier revisions re-ran the expansion inside every seal/open,
+    /// which would belong here; after the caching fix the per-record
+    /// fixed work is exactly what this constant charges.
     pub crypto_per_packet: u64,
     /// memcpy within user space.
     pub memcpy_per_byte: f64,

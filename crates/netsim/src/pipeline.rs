@@ -183,6 +183,17 @@ pub struct ScalabilityConfig {
     /// dispatch stage. `None`: the RX work stays folded into the worker
     /// lanes (the pre-RX-pool model; exact legacy behaviour).
     pub rx_shards: Option<usize>,
+    /// With `rx_shards`, model the control plane's **online peer→shard
+    /// remap**: a client re-homes to the least-backlogged RX lane when
+    /// its current lane's backlog exceeds the minimum by more than
+    /// [`MIGRATION_BACKLOG_JOBS`] RX jobs' worth of service time — the
+    /// timing-layer counterpart of the real `RxShardPool` remap that the
+    /// adaptive front-end drives from its hot-group law. `false`: RX
+    /// homing is fixed `client mod k` for the whole run (every static
+    /// configuration; reassembly pinning without a control plane cannot
+    /// move). Only the self-tuning controller earns this flag, and only
+    /// when its *measured* run actually performed remaps.
+    pub rx_remap: bool,
     /// `Some(m)` (only consulted when `rx_shards` models a separate RX
     /// stage): model the socket front-end ahead of the RX lanes. Each
     /// packet charges `m.per_packet_cycles(fragments)` extra event-loop
@@ -368,6 +379,7 @@ impl Default for ScalabilityConfig {
             client_load_weights: None,
             load_aware_dispatch: false,
             rx_shards: None,
+            rx_remap: false,
             async_front_end: None,
             syscall_batch: None,
         }
@@ -388,6 +400,9 @@ pub struct ScalabilityResult {
     /// Session-to-shard migrations performed by the load-aware dispatcher
     /// (always 0 with static affinity).
     pub migrations: u64,
+    /// Client→RX-lane re-homings performed by the modelled online remap
+    /// (always 0 without [`ScalabilityConfig::rx_remap`]).
+    pub rx_remaps: u64,
 }
 
 /// Runs the Fig. 10 experiment: `n_clients` paced flows of
@@ -507,6 +522,7 @@ pub fn run_scalability(
     let workers = cfg.server_worker_shards.unwrap_or(0).max(1);
     let mut assignment: Vec<usize> = (0..cfg.n_clients).map(|c| c % workers).collect();
     let mut migrations = 0u64;
+    let mut rx_remaps = 0u64;
     let migration_threshold = SimDuration::from_secs_f64(
         MIGRATION_BACKLOG_JOBS as f64 * charge.server_cycles as f64 / server.spec().freq_hz as f64,
     );
@@ -574,9 +590,31 @@ pub fn run_scalability(
                 .map(|m| m.per_packet_cycles(charge.fragments))
                 .unwrap_or(0);
         let mut rx_flows = vec![SimTime::ZERO; k];
+        // RX homing: fixed `client mod k` (reassembly pinning), or —
+        // with the controller's online remap modelled — re-home a client
+        // whose lane has fallen behind the least-backlogged lane by the
+        // remap threshold. Mirrors the worker stage's bounded-migration
+        // model; an RX job here costs `rx_cycles + io_cycles`.
+        let mut rx_assignment: Vec<usize> = (0..cfg.n_clients).map(|c| c % k).collect();
+        let rx_remap_threshold = SimDuration::from_secs_f64(
+            MIGRATION_BACKLOG_JOBS as f64 * (rx_cycles + io_cycles) as f64
+                / server.spec().freq_hz as f64,
+        );
         for entry in server_ready.iter_mut() {
             let (arrived, c) = *entry;
-            entry.0 = server.run_job_serial(arrived, rx_cycles + io_cycles, &mut rx_flows[c % k]);
+            let lane = if cfg.rx_remap && k > 1 {
+                let cur = rx_assignment[c];
+                let backlog = |l: usize| rx_flows[l].saturating_sub(arrived);
+                let best = (0..k).min_by_key(|&l| backlog(l)).unwrap_or(cur);
+                if backlog(cur) > backlog(best) + rx_remap_threshold {
+                    rx_assignment[c] = best;
+                    rx_remaps += 1;
+                }
+                rx_assignment[c]
+            } else {
+                c % k
+            };
+            entry.0 = server.run_job_serial(arrived, rx_cycles + io_cycles, &mut rx_flows[lane]);
         }
         // Completion-ordered hand-off (stable sort: a client's RX lane is
         // serial, so its own completions stay in input order).
@@ -636,6 +674,7 @@ pub fn run_scalability(
             delivered as f64 / offered as f64
         },
         migrations,
+        rx_remaps,
     }
 }
 
@@ -941,6 +980,7 @@ mod tests {
                 duration: SimDuration::from_millis(20),
                 server_worker_shards: Some(4),
                 rx_shards: Some(k),
+                rx_remap: false,
                 ..ScalabilityConfig::default()
             };
             run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), c, &cfg).gbps
@@ -959,6 +999,7 @@ mod tests {
             duration: SimDuration::from_millis(20),
             server_worker_shards: Some(4),
             rx_shards: Some(2),
+            rx_remap: false,
             async_front_end: fe,
             ..ScalabilityConfig::default()
         };
@@ -983,6 +1024,7 @@ mod tests {
             duration: SimDuration::from_millis(20),
             server_worker_shards: Some(4),
             rx_shards: None,
+            rx_remap: false,
             async_front_end: fe,
             ..ScalabilityConfig::default()
         };
@@ -1013,6 +1055,7 @@ mod tests {
                 duration: SimDuration::from_millis(20),
                 server_worker_shards: Some(4),
                 rx_shards: Some(4),
+                rx_remap: false,
                 async_front_end: Some(fe),
                 ..ScalabilityConfig::default()
             };
@@ -1034,6 +1077,7 @@ mod tests {
             duration: SimDuration::from_millis(20),
             server_worker_shards: Some(4),
             rx_shards: Some(2),
+            rx_remap: false,
             syscall_batch: sb,
             ..ScalabilityConfig::default()
         };
@@ -1058,6 +1102,7 @@ mod tests {
             duration: SimDuration::from_millis(20),
             server_worker_shards: Some(4),
             rx_shards: None,
+            rx_remap: false,
             syscall_batch: sb,
             ..ScalabilityConfig::default()
         };
@@ -1087,6 +1132,7 @@ mod tests {
                 duration: SimDuration::from_millis(20),
                 server_worker_shards: Some(4),
                 rx_shards: Some(2),
+                rx_remap: false,
                 syscall_batch: Some(m),
                 ..ScalabilityConfig::default()
             };
@@ -1138,6 +1184,7 @@ mod tests {
             duration: SimDuration::from_millis(20),
             server_worker_shards: Some(4),
             rx_shards: Some(2),
+            rx_remap: false,
             syscall_batch: sb,
             ..ScalabilityConfig::default()
         };

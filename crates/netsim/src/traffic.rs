@@ -93,6 +93,89 @@ pub fn ping_train(src: Ipv4Addr, dst: Ipv4Addr, count: u16) -> Vec<Packet> {
         .collect()
 }
 
+/// One step of a deterministic offered-load trace
+/// ([`flash_crowd_trace`] / [`diurnal_trace`]): how many peers are
+/// connected at that step, and whether the step sits in the trace's
+/// *crowd* phase — the load is then heavy-tailed (a few elephants carry
+/// most of the offered bytes) rather than uniform. The adaptive-control
+/// bench and the controller tests both replay these traces, so the
+/// shapes are pinned by unit tests below.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Position in the trace (0-based).
+    pub step: usize,
+    /// Connected peers offering load at this step.
+    pub clients: usize,
+    /// True in the skewed (flash-crowd / peak-hour) phase.
+    pub crowd: bool,
+}
+
+/// A flash-crowd offered-load trace: a flat base load for the first
+/// third of the trace, a sharp spike to `peak` clients (one step, the
+/// crowd arriving at once), then an exponential decay back towards the
+/// base with a half-life of one eighth of the trace. Steps at or above
+/// the midpoint between base and peak are flagged as the crowd phase
+/// (their load mix is heavy-tailed: the crowd hammers a handful of hot
+/// destinations).
+///
+/// Purely arithmetic and deterministic — same arguments, same trace.
+///
+/// # Panics
+///
+/// Panics if `peak < base` or `points < 4`.
+pub fn flash_crowd_trace(base: usize, peak: usize, points: usize) -> Vec<TraceStep> {
+    assert!(peak >= base, "a flash crowd grows the load");
+    assert!(points >= 4, "need room for base, spike and decay");
+    let spike_at = points / 3;
+    let half_life = (points as f64 / 8.0).max(1.0);
+    let crowd_floor = base + (peak - base) / 2;
+    (0..points)
+        .map(|i| {
+            let clients = if i < spike_at {
+                base
+            } else {
+                let age = (i - spike_at) as f64;
+                let decayed = (peak - base) as f64 * 0.5f64.powf(age / half_life);
+                base + decayed.round() as usize
+            };
+            TraceStep {
+                step: i,
+                clients,
+                crowd: clients >= crowd_floor && peak > base,
+            }
+        })
+        .collect()
+}
+
+/// A diurnal offered-load trace: a raised cosine over one synthetic day
+/// — trough (`min` clients) at both ends, peak (`max` clients) in the
+/// middle of the trace. The top quarter of the swing is flagged as the
+/// crowd phase (peak-hour load skews heavy-tailed just like the flash
+/// crowd, only it arrives and leaves smoothly).
+///
+/// Purely arithmetic and deterministic — same arguments, same trace.
+///
+/// # Panics
+///
+/// Panics if `max < min` or `points < 4`.
+pub fn diurnal_trace(min: usize, max: usize, points: usize) -> Vec<TraceStep> {
+    assert!(max >= min, "peak hour cannot undercut the trough");
+    assert!(points >= 4, "need room for trough, ramp and peak");
+    let crowd_floor = min + (max - min) * 3 / 4;
+    (0..points)
+        .map(|i| {
+            let phase = 2.0 * std::f64::consts::PI * i as f64 / (points - 1) as f64;
+            let swing = (1.0 - phase.cos()) / 2.0; // 0 at ends, 1 mid-trace
+            let clients = min + ((max - min) as f64 * swing).round() as usize;
+            TraceStep {
+                step: i,
+                clients,
+                crowd: clients >= crowd_floor && max > min,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +237,65 @@ mod tests {
         let a = benign_payload(64, &mut rng());
         let b = benign_payload(64, &mut rng());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flash_crowd_shape_is_flat_spike_decay() {
+        let t = flash_crowd_trace(20, 120, 12);
+        assert_eq!(t.len(), 12);
+        let spike_at = 12 / 3;
+        // Flat base before the spike, none of it crowd-flagged.
+        assert!(t[..spike_at].iter().all(|s| s.clients == 20 && !s.crowd));
+        // The spike step hits the full peak and is the trace maximum.
+        assert_eq!(t[spike_at].clients, 120);
+        assert!(t[spike_at].crowd);
+        assert_eq!(t.iter().map(|s| s.clients).max(), Some(120));
+        // Monotone non-increasing decay back towards the base.
+        assert!(t[spike_at..]
+            .windows(2)
+            .all(|w| w[1].clients <= w[0].clients));
+        let last = t.last().unwrap();
+        assert!(last.clients < 120 && last.clients >= 20);
+        // The crowd flag marks exactly the upper half of the swing.
+        for s in &t {
+            assert_eq!(s.crowd, s.clients >= 70, "step {}: {}", s.step, s.clients);
+        }
+        // Steps are consecutively numbered from zero.
+        assert!(t.iter().enumerate().all(|(i, s)| s.step == i));
+    }
+
+    #[test]
+    fn diurnal_shape_is_a_raised_cosine() {
+        let t = diurnal_trace(10, 90, 13);
+        assert_eq!(t.len(), 13);
+        // Troughs at both ends, peak mid-trace.
+        assert_eq!(t[0].clients, 10);
+        assert_eq!(t[12].clients, 10);
+        assert_eq!(t[6].clients, 90);
+        // Rising half then falling half, mirror-symmetric.
+        assert!(t[..=6].windows(2).all(|w| w[1].clients >= w[0].clients));
+        assert!(t[6..].windows(2).all(|w| w[1].clients <= w[0].clients));
+        for i in 0..13 {
+            assert_eq!(t[i].clients, t[12 - i].clients, "symmetry at {i}");
+        }
+        // Crowd phase = the top quarter of the swing, and only there.
+        for s in &t {
+            assert_eq!(s.crowd, s.clients >= 70, "step {}: {}", s.step, s.clients);
+        }
+        assert!(t.iter().any(|s| s.crowd) && t.iter().any(|s| !s.crowd));
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_flat_when_degenerate() {
+        assert_eq!(
+            flash_crowd_trace(20, 120, 12),
+            flash_crowd_trace(20, 120, 12)
+        );
+        assert_eq!(diurnal_trace(10, 90, 13), diurnal_trace(10, 90, 13));
+        // A crowd that never comes: flat trace, no crowd phase.
+        let flat = flash_crowd_trace(30, 30, 6);
+        assert!(flat.iter().all(|s| s.clients == 30 && !s.crowd));
+        let flat = diurnal_trace(30, 30, 6);
+        assert!(flat.iter().all(|s| s.clients == 30 && !s.crowd));
     }
 }

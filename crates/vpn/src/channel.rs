@@ -138,11 +138,18 @@ impl BatchFrames {
 }
 
 /// One endpoint's view of an established data channel.
+///
+/// The AES key schedules are expanded **once per direction** at channel
+/// construction and cached (`send_aes`/`recv_aes`): the session keys are
+/// fixed for the channel's lifetime, so `seal`/`open` must never re-run
+/// the 10-round key expansion on the per-record hot path.
 #[derive(Debug)]
 pub struct DataChannel {
     suite: CipherSuite,
     send: DirectionKeys,
     recv: DirectionKeys,
+    send_aes: Aes128,
+    recv_aes: Aes128,
     next_send_id: u64,
     replay: ReplayWindow,
     meter: CycleMeter,
@@ -157,10 +164,14 @@ impl DataChannel {
         meter: CycleMeter,
         cost: CostModel,
     ) -> Self {
+        let send = keys.client_to_server.clone();
+        let recv = keys.server_to_client.clone();
         DataChannel {
             suite,
-            send: keys.client_to_server.clone(),
-            recv: keys.server_to_client.clone(),
+            send_aes: Aes128::new(&send.enc),
+            recv_aes: Aes128::new(&recv.enc),
+            send,
+            recv,
             next_send_id: 1,
             replay: ReplayWindow::new(),
             meter,
@@ -175,10 +186,14 @@ impl DataChannel {
         meter: CycleMeter,
         cost: CostModel,
     ) -> Self {
+        let send = keys.server_to_client.clone();
+        let recv = keys.client_to_server.clone();
         DataChannel {
             suite,
-            send: keys.server_to_client.clone(),
-            recv: keys.client_to_server.clone(),
+            send_aes: Aes128::new(&send.enc),
+            recv_aes: Aes128::new(&recv.enc),
+            send,
+            recv,
             next_send_id: 1,
             replay: ReplayWindow::new(),
             meter,
@@ -199,8 +214,7 @@ impl DataChannel {
         let payload = match self.suite {
             CipherSuite::Aes128CbcHmac => {
                 let iv = self.derive_iv(packet_id);
-                let aes = Aes128::new(&self.send.enc);
-                let ct = cbc_encrypt(&aes, &iv, plaintext);
+                let ct = cbc_encrypt(&self.send_aes, &iv, plaintext);
                 let mut body = Vec::with_capacity(IV_LEN + ct.len() + TAG_LEN);
                 body.extend_from_slice(&iv);
                 body.extend_from_slice(&ct);
@@ -261,8 +275,8 @@ impl DataChannel {
                     return Err(VpnError::Malformed("ciphertext too short"));
                 }
                 let iv: [u8; IV_LEN] = body[..IV_LEN].try_into().unwrap();
-                let aes = Aes128::new(&self.recv.enc);
-                cbc_decrypt(&aes, &iv, &body[IV_LEN..]).map_err(|_| VpnError::AuthenticationFailed)
+                cbc_decrypt(&self.recv_aes, &iv, &body[IV_LEN..])
+                    .map_err(|_| VpnError::AuthenticationFailed)
             }
             CipherSuite::IntegrityOnly | CipherSuite::SampledPayload => Ok(body.to_vec()),
         }
@@ -296,6 +310,13 @@ impl DataChannel {
     /// Number of records sealed so far.
     pub fn sealed_count(&self) -> u64 {
         self.next_send_id - 1
+    }
+
+    /// True while the receive-side replay window has never accepted a
+    /// packet (see [`ReplayWindow::is_empty`]) — the steal-safety
+    /// predicate of the adaptive dispatcher.
+    pub fn replay_is_empty(&self) -> bool {
+        self.replay.is_empty()
     }
 
     fn charge(&self, bytes: usize) {

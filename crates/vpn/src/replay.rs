@@ -52,6 +52,17 @@ impl ReplayWindow {
     pub fn highest(&self) -> u64 {
         self.highest
     }
+
+    /// True while no packet has ever been accepted — the session carries
+    /// no anti-replay state yet, so its server-side state can move
+    /// between owners without dragging an in-flight window along. The
+    /// work-stealing dispatcher uses exactly this predicate to pick
+    /// steal-safe sessions ([`DispatchPolicy::Adaptive`]).
+    ///
+    /// [`DispatchPolicy::Adaptive`]: crate::shard::DispatchPolicy::Adaptive
+    pub fn is_empty(&self) -> bool {
+        self.highest == 0
+    }
 }
 
 #[cfg(test)]
@@ -91,6 +102,16 @@ mod tests {
     fn zero_id_rejected() {
         let mut w = ReplayWindow::new();
         assert!(!w.accept(0));
+    }
+
+    #[test]
+    fn emptiness_tracks_first_acceptance() {
+        let mut w = ReplayWindow::new();
+        assert!(w.is_empty(), "fresh window is empty");
+        assert!(!w.accept(0));
+        assert!(w.is_empty(), "rejected ids leave no state");
+        assert!(w.accept(3));
+        assert!(!w.is_empty(), "any accepted id pins the window");
     }
 
     #[test]

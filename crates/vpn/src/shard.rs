@@ -119,6 +119,16 @@ pub enum DispatchPolicy {
         /// round-trips a single batch can spend).
         max_migrations_per_dispatch: usize,
     },
+    /// Zero-knob self-tuning dispatch (the PR 8 controller): the
+    /// migration threshold is derived at every dispatch boundary from
+    /// the measured per-shard service rates (the mean of the per-shard
+    /// byte EWMAs, floored at one MTU packet), the migration budget is
+    /// structural (one per worker), and after the migration pass idle
+    /// workers *steal* steal-safe sessions — sessions whose replay
+    /// windows are still empty ([`crate::replay::ReplayWindow::is_empty`]),
+    /// verified authoritatively on the owning shard thread — from the
+    /// busiest worker. There is nothing to configure.
+    Adaptive,
 }
 
 impl DispatchPolicy {
@@ -142,6 +152,17 @@ impl Default for DispatchPolicy {
 /// Decay factor of the per-shard / per-session load EWMAs (the weight of
 /// the newest dispatch).
 const LOAD_EWMA_ALPHA: f64 = 0.5;
+
+/// Structural floor of the adaptive dispatcher's derived imbalance
+/// threshold: one MTU-sized packet. Below this a "gap" is a single
+/// packet of jitter, not an imbalance — it is a physical unit, not a
+/// tuning knob (the threshold itself is the measured mean shard rate).
+const ADAPTIVE_MIN_IMBALANCE: f64 = 1_500.0;
+
+/// A shard whose byte EWMA has decayed below one byte is idle for the
+/// purposes of work stealing (the EWMA halves every dispatch, so any
+/// real traffic keeps it far above this).
+const ADAPTIVE_IDLE_EWMA: f64 = 1.0;
 
 /// What a shard produced for one input record: the packet-level
 /// deliveries of the sharded datapath (handshake results are produced by
@@ -273,6 +294,18 @@ impl VpnShard {
     /// the dispatcher can install it on another shard.
     pub fn extract(&mut self, session_id: u64) -> Option<ServerSession> {
         self.sessions.remove(&session_id)
+    }
+
+    /// Detaches `session_id` only while its replay window has never
+    /// accepted a packet ([`DataChannel::replay_is_empty`]) — the
+    /// steal-safety predicate of [`DispatchPolicy::Adaptive`]. A busy or
+    /// unknown session stays put and `None` is returned.
+    pub fn extract_if_idle(&mut self, session_id: u64) -> Option<ServerSession> {
+        if self.sessions.get(&session_id)?.channel.replay_is_empty() {
+            self.sessions.remove(&session_id)
+        } else {
+            None
+        }
     }
 
     /// Looks up a session.
@@ -540,6 +573,13 @@ enum ShardRequest {
     Query { seq: u64, session_id: u64 },
     /// Detach a session so it can migrate to another shard.
     Extract { seq: u64, session_id: u64 },
+    /// Detach a session **only if** its replay window is still empty —
+    /// the steal-safety predicate, evaluated authoritatively on the
+    /// owning shard thread (the front-end's view of "fresh" could race
+    /// a record the shard already accepted). Replies
+    /// [`ReplyBody::Extracted`]`(None)` if the session is busy or gone,
+    /// and the session stays put.
+    ExtractIfIdle { seq: u64, session_id: u64 },
     /// Exit the worker loop.
     Shutdown,
 }
@@ -620,6 +660,12 @@ fn worker_loop(
                     body: ReplyBody::Extracted(shard.extract(session_id).map(Box::new)),
                 });
             }
+            ShardRequest::ExtractIfIdle { seq, session_id } => {
+                let _ = tx.send(WorkerReply {
+                    seq,
+                    body: ReplyBody::Extracted(shard.extract_if_idle(session_id).map(Box::new)),
+                });
+            }
             ShardRequest::Shutdown => break,
         }
     }
@@ -650,6 +696,9 @@ pub struct ShardedVpnServer {
     /// EWMA of dispatched payload bytes per session.
     session_load: HashMap<u64, f64>,
     migrations: u64,
+    /// The subset of `migrations` performed by the adaptive work-stealing
+    /// pass (idle workers pulling steal-safe sessions).
+    steals: u64,
 }
 
 impl std::fmt::Debug for ShardedVpnServer {
@@ -728,6 +777,7 @@ impl ShardedVpnServer {
             shard_load: vec![0.0; workers],
             session_load: HashMap::new(),
             migrations: 0,
+            steals: 0,
         }
     }
 
@@ -741,9 +791,16 @@ impl ShardedVpnServer {
         self.dispatch
     }
 
-    /// Sessions migrated by the load-aware dispatcher so far.
+    /// Sessions migrated by the dispatcher so far (load-aware imbalance
+    /// moves **plus** adaptive steals — every steal is a migration).
     pub fn migrations(&self) -> u64 {
         self.migrations
+    }
+
+    /// Sessions pulled by idle workers in the adaptive work-stealing
+    /// pass — always a subset of [`ShardedVpnServer::migrations`].
+    pub fn steals(&self) -> u64 {
+        self.steals
     }
 
     /// A session's *home* shard, `(s - 1) mod N` — its initial placement.
@@ -868,17 +925,27 @@ impl ShardedVpnServer {
     /// cold one — so a single dominant session (load == gap) never moves,
     /// and the dispatcher cannot ping-pong it between shards.
     fn rebalance(&mut self) {
-        let DispatchPolicy::LoadAware {
-            imbalance_bytes,
-            max_migrations_per_dispatch,
-        } = self.dispatch
-        else {
-            return;
+        let (imbalance_bytes, max_migrations, adaptive) = match self.dispatch {
+            DispatchPolicy::Static => return,
+            DispatchPolicy::LoadAware {
+                imbalance_bytes,
+                max_migrations_per_dispatch,
+            } => (imbalance_bytes as f64, max_migrations_per_dispatch, false),
+            // The adaptive threshold is the measured mean per-shard
+            // service rate (the byte EWMAs *are* the rate proxy: bytes
+            // per dispatch with exponential decay), floored at one MTU
+            // packet; the migration budget is one per worker —
+            // structural, not tuned.
+            DispatchPolicy::Adaptive => {
+                let mean =
+                    self.shard_load.iter().sum::<f64>() / self.shard_load.len().max(1) as f64;
+                (mean.max(ADAPTIVE_MIN_IMBALANCE), self.txs.len(), true)
+            }
         };
         if self.txs.len() < 2 {
             return;
         }
-        for _ in 0..max_migrations_per_dispatch {
+        for _ in 0..max_migrations {
             let (mut hot, mut cold) = (0usize, 0usize);
             for s in 1..self.shard_load.len() {
                 if self.shard_load[s] > self.shard_load[hot] {
@@ -889,8 +956,8 @@ impl ShardedVpnServer {
                 }
             }
             let gap = self.shard_load[hot] - self.shard_load[cold];
-            if gap <= imbalance_bytes as f64 {
-                return;
+            if gap <= imbalance_bytes {
+                break;
             }
             // Heaviest movable session on the hot shard; deterministic
             // tie-break on the lowest session id.
@@ -902,11 +969,106 @@ impl ShardedVpnServer {
                 .filter(|&(_, load)| load > 0.0 && 2.0 * load <= gap)
                 .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)));
             let Some((sid, load)) = candidate else {
-                return;
+                break;
             };
             if self.migrate(sid, hot, cold) {
                 self.shard_load[hot] -= load;
                 self.shard_load[cold] += load;
+            }
+        }
+        if adaptive {
+            self.steal_idle();
+        }
+    }
+
+    /// The adaptive work-stealing pass, run after the migration pass at
+    /// the same dispatch boundary: while some worker is idle (its byte
+    /// EWMA has decayed to nothing) and the busiest worker holds more
+    /// sessions, the idle worker pulls one *steal-safe* session — one
+    /// that has never accepted a data packet, so no replay-window or
+    /// re-ordering state moves with it. The front-end nominates fresh
+    /// sessions (zero load EWMA, deterministic lowest-id tie-break) and
+    /// the owning shard confirms the predicate authoritatively
+    /// ([`ShardRequest::ExtractIfIdle`]): a session the shard has
+    /// already fed stays put and the nomination is dropped. At most one
+    /// steal per worker per dispatch — a structural bound, not a knob.
+    fn steal_idle(&mut self) {
+        if self.txs.len() < 2 {
+            return;
+        }
+        let mut counts = vec![0usize; self.txs.len()];
+        for &shard in self.session_shard.values() {
+            counts[shard] += 1;
+        }
+        let mut rejected: Vec<u64> = Vec::new();
+        let mut stole = vec![false; self.txs.len()];
+        for _ in 0..self.txs.len() {
+            let max_count = counts.iter().copied().max().unwrap_or(0);
+            let Some(thief) = (0..self.txs.len()).find(|&s| {
+                !stole[s] && self.shard_load[s] < ADAPTIVE_IDLE_EWMA && counts[s] < max_count
+            }) else {
+                return;
+            };
+            let victim = (0..self.txs.len())
+                .max_by(|&a, &b| {
+                    counts[a]
+                        .cmp(&counts[b])
+                        .then(self.shard_load[a].total_cmp(&self.shard_load[b]))
+                })
+                .expect("at least two shards");
+            if victim == thief
+                || counts[victim] <= counts[thief] + 1
+                || self.shard_load[victim] < ADAPTIVE_IDLE_EWMA
+            {
+                return;
+            }
+            let candidate = self
+                .session_shard
+                .iter()
+                .filter(|&(sid, &shard)| shard == victim && !rejected.contains(sid))
+                .map(|(&sid, _)| sid)
+                .filter(|sid| self.session_load.get(sid).copied().unwrap_or(0.0) == 0.0)
+                .min();
+            let Some(sid) = candidate else {
+                return;
+            };
+            let seq = self.next_seq();
+            self.send(
+                victim,
+                ShardRequest::ExtractIfIdle {
+                    seq,
+                    session_id: sid,
+                },
+            );
+            match self.collect_replies(1).pop() {
+                Some(WorkerReply {
+                    body: ReplyBody::Extracted(Some(session)),
+                    ..
+                }) => {
+                    self.send(
+                        thief,
+                        ShardRequest::Install {
+                            session_id: sid,
+                            session,
+                        },
+                    );
+                    self.session_shard.insert(sid, thief);
+                    counts[victim] -= 1;
+                    counts[thief] += 1;
+                    stole[thief] = true;
+                    self.migrations += 1;
+                    self.steals += 1;
+                }
+                Some(WorkerReply {
+                    body: ReplyBody::Extracted(None),
+                    ..
+                }) => {
+                    // The shard vetoed the steal (the session already
+                    // accepted traffic the front-end has not accounted
+                    // yet); never re-nominate it this pass.
+                    rejected.push(sid);
+                }
+                _ => unreachable!("extract requests produce extracted replies"),
             }
         }
     }

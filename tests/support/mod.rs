@@ -20,7 +20,10 @@
 //! assertions hold for *every* thread schedule — the stalls only force
 //! the adversarial arrival orders to actually occur, so each
 //! interleaving class is a reproducible named test instead of a timing
-//! accident.
+//! accident. [`assert_schedule_parity_adaptive`] replays a schedule with
+//! the whole **self-tuning control plane** live
+//! (`ScenarioBuilder::adaptive_control`), where [`Step::Remap`] steps
+//! additionally fire manual peer re-homes at exact schedule positions.
 
 use endbox::scenario::{Scenario, ShardedScenario};
 use endbox::server::Delivery;
@@ -113,6 +116,16 @@ pub enum Step {
         lo: usize,
         hi: usize,
     },
+    /// Re-home `client`'s peer onto RX shard / poll group `to` at this
+    /// exact schedule position, via the manual control-plane hook
+    /// ([`ShardedScenario::remap_peer`]: reassembly state moves first —
+    /// quiesced, in-flight partial records drained and reinstalled —
+    /// then the socket registration follows). `to` is clamped onto the
+    /// run's RX shard count so one schedule drives every grid point. A
+    /// no-op for the single-threaded reference and the call-driven
+    /// sharded runs — the parity claim is precisely that re-homing
+    /// never changes outcomes, only where reassembly happens.
+    Remap { client: usize, to: usize },
     /// Cut a `receive_datagrams` batch boundary here (no-op for the
     /// single-threaded reference, which always goes datagram-at-a-time).
     Flush,
@@ -320,7 +333,7 @@ fn seal_step(
                 .map(|d| (peers.peer(*client), d))
                 .collect()
         }
-        Step::Flush => Vec::new(),
+        Step::Flush | Step::Remap { .. } => Vec::new(),
     }
 }
 
@@ -440,8 +453,50 @@ pub fn run_async(
         schedule,
         rx_shards,
         workers,
-        policy,
+        Some(policy),
         None,
+        TransportKind::Virtual,
+    )
+}
+
+/// [`run_async`] with the whole **self-tuning control plane** live
+/// ([`ScenarioBuilder::adaptive_control`]): closed-loop per-shard
+/// budgets with per-socket token buckets, the autonomous hot-peer remap
+/// law, [`DispatchPolicy::Adaptive`] rate-derived migration and
+/// idle-worker stealing. There is no policy parameter — the controller
+/// owns the policy; that is the configuration under test. [`Step::Remap`]
+/// steps additionally fire the manual remap hook at their exact schedule
+/// position, racing re-homes against whatever the schedule interleaves
+/// them with.
+///
+/// [`ScenarioBuilder::adaptive_control`]: endbox::scenario::ScenarioBuilder::adaptive_control
+pub fn run_async_adaptive(schedule: &Schedule, rx_shards: usize, workers: usize) -> Vec<Out> {
+    run_async_configured(
+        schedule,
+        rx_shards,
+        workers,
+        None,
+        None,
+        TransportKind::Virtual,
+    )
+}
+
+/// [`run_async_adaptive`] with an explicit ingress `recv_many` bulk
+/// size, so the controller-on grid also covers the bulk axis: the
+/// closed-loop budgets must not depend on how many datagrams each
+/// transport call returns.
+pub fn run_async_adaptive_bulk(
+    schedule: &Schedule,
+    rx_shards: usize,
+    workers: usize,
+    recv_bulk: usize,
+) -> Vec<Out> {
+    run_async_configured(
+        schedule,
+        rx_shards,
+        workers,
+        None,
+        Some(recv_bulk),
         TransportKind::Virtual,
     )
 }
@@ -461,7 +516,7 @@ pub fn run_async_bulk(
         schedule,
         rx_shards,
         workers,
-        policy,
+        Some(policy),
         Some(recv_bulk),
         TransportKind::Virtual,
     )
@@ -483,7 +538,7 @@ pub fn run_async_os(
         schedule,
         rx_shards,
         workers,
-        policy,
+        Some(policy),
         Some(recv_bulk),
         TransportKind::OsSocket,
     )
@@ -505,25 +560,38 @@ pub fn run_async_backend(
     recv_bulk: usize,
     kind: TransportKind,
 ) -> Vec<Out> {
-    run_async_configured(schedule, rx_shards, workers, policy, Some(recv_bulk), kind)
+    run_async_configured(
+        schedule,
+        rx_shards,
+        workers,
+        Some(policy),
+        Some(recv_bulk),
+        kind,
+    )
 }
 
+/// `policy: None` selects the self-tuning control plane
+/// (`ScenarioBuilder::adaptive_control` — the controller owns the
+/// dispatch policy); `Some(policy)` pins the classic static
+/// configuration.
 fn run_async_configured(
     schedule: &Schedule,
     rx_shards: usize,
     workers: usize,
-    policy: DispatchPolicy,
+    policy: Option<DispatchPolicy>,
     recv_bulk: Option<usize>,
     transport: TransportKind,
 ) -> Vec<Out> {
-    let mut scenario: ShardedScenario = Scenario::enterprise(schedule.n_clients, UseCase::Nop)
+    let builder = Scenario::enterprise(schedule.n_clients, UseCase::Nop)
         .seed(schedule.seed)
-        .dispatch(policy)
         .rx_shards(rx_shards)
         .async_ingress(true)
-        .transport(transport)
-        .build_sharded(workers)
-        .unwrap();
+        .transport(transport);
+    let builder = match policy {
+        Some(policy) => builder.dispatch(policy),
+        None => builder.adaptive_control(true),
+    };
+    let mut scenario: ShardedScenario = builder.build_sharded(workers).unwrap();
     if let Some(bulk) = recv_bulk {
         scenario.set_recv_bulk(bulk);
     }
@@ -578,6 +646,18 @@ fn run_async_configured(
             flush(&mut scenario, &mut segment, &mut outs, &mut sent_total);
             continue;
         }
+        if let Step::Remap { client, to } = step {
+            // Socket registration is lazy on first send; an empty send
+            // forces it so a schedule may re-home a peer that has not
+            // produced traffic yet. Datagrams still buffered in
+            // `segment` are deliberately NOT flushed first: they arrive
+            // *after* the re-home, which is one of the races the remap
+            // schedules pin.
+            let peer = schedule.peers.peer(*client);
+            scenario.send_wire_datagrams(peer, Vec::new());
+            scenario.remap_peer(peer, to % rx_shards);
+            continue;
+        }
         let datagrams = seal_step(
             &mut scenario.clients,
             &session_ids,
@@ -618,6 +698,44 @@ pub fn assert_schedule_parity_async_on(schedule: &Schedule, grid: &[(usize, usiz
                 got, reference,
                 "schedule `{}` diverged from the single-threaded server through the \
                  event-driven front-end at rx_shards={rx} workers={workers} policy={policy:?}",
+                schedule.name
+            );
+        }
+    }
+}
+
+/// Asserts byte-identical outcomes between the single-threaded reference
+/// and the event-driven front-end with the **self-tuning control plane**
+/// live, for every `(rx_shards, workers, bulk)` in the grid ×
+/// [`BULK_GRID`] (no policy axis — the controller owns the policy).
+/// Adaptive budgets, token buckets,
+/// the autonomous remap law and idle-worker stealing are all armed
+/// while the schedule replays; any [`Step::Remap`] steps fire the
+/// manual re-home hook at their exact position. The claim under test:
+/// every controller decision lands at a round boundary, so outcomes
+/// never move — only scheduling does.
+pub fn assert_schedule_parity_adaptive(schedule: &Schedule) {
+    let grid: Vec<(usize, usize)> = RX_GRID
+        .iter()
+        .flat_map(|&rx| WORKER_GRID.iter().map(move |&w| (rx, w)))
+        .collect();
+    assert_schedule_parity_adaptive_on(schedule, &grid);
+}
+
+/// Like [`assert_schedule_parity_adaptive`], but over a caller-chosen
+/// sub-grid. Every `(rx, workers)` point additionally sweeps the
+/// ingress `recv_many` bulk axis ([`BULK_GRID`]) — the budget
+/// controller sits *above* the transport drain, so the bulk shape must
+/// not leak into outcomes either.
+pub fn assert_schedule_parity_adaptive_on(schedule: &Schedule, grid: &[(usize, usize)]) {
+    let reference = run_single(schedule);
+    for &(rx, workers) in grid {
+        for bulk in BULK_GRID {
+            let got = run_async_adaptive_bulk(schedule, rx, workers, bulk);
+            assert_eq!(
+                got, reference,
+                "schedule `{}` diverged from the single-threaded server under the \
+                 self-tuning control plane at rx_shards={rx} workers={workers} bulk={bulk}",
                 schedule.name
             );
         }
