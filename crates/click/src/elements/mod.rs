@@ -8,6 +8,7 @@ mod basic;
 mod classify;
 mod ids;
 mod ipfilter;
+mod nf;
 mod rewrite;
 mod splitter;
 mod tlsdecrypt;
@@ -18,6 +19,7 @@ pub use basic::{
 pub use classify::{CheckIpHeader, Classifier, IpClassifier, RoundRobinSwitch};
 pub use ids::IdsMatcher;
 pub use ipfilter::{evaluation_rules, IpFilter};
+pub use nf::{ConnTracker, StatefulNat, TokenBucket};
 pub use rewrite::{IpAddrRewriter, Meter};
 pub use splitter::{TrustedSplitter, UntrustedSplitter};
 pub use tlsdecrypt::{open_record, seal_record, TlsDecrypt};
@@ -43,6 +45,9 @@ pub fn register_all(r: &mut ElementRegistry) {
     r.register("IPFilter", ipfilter::IpFilter::factory);
     r.register("IPAddrRewriter", rewrite::IpAddrRewriter::factory);
     r.register("Meter", rewrite::Meter::factory);
+    r.register("IPRewriter", nf::StatefulNat::factory);
+    r.register("TokenBucket", nf::TokenBucket::factory);
+    r.register("ConnTracker", nf::ConnTracker::factory);
     r.register("IDSMatcher", ids::IdsMatcher::factory);
     r.register("TrustedSplitter", splitter::TrustedSplitter::factory);
     r.register("UntrustedSplitter", splitter::UntrustedSplitter::factory);

@@ -101,6 +101,9 @@ mod tests {
             "CheckIPHeader",
             "IPFilter",
             "IPAddrRewriter",
+            "IPRewriter",
+            "TokenBucket",
+            "ConnTracker",
             "Meter",
             "RoundRobinSwitch",
             "AverageCounter",

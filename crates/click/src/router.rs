@@ -9,21 +9,35 @@
 //! element's [`Element::process_batch`] over every packet queued at that
 //! element. All per-traversal state (the work queues, the per-element
 //! pending queues, the output scratch) lives in the `Router` and is
-//! recycled across calls, so the steady-state hot path allocates nothing.
+//! recycled across calls; the only steady-state allocations on the hot
+//! path are the small per-hop sequence keys described below.
 //!
-//! Batch processing is equivalent to pushing the same packets one at a
-//! time for **linear pipelines** (every evaluation use case): per-element
-//! arrival order preserves the input order, handler-visible element state
-//! evolves identically, total cycle charges match, and the emitted packet
-//! sequence is byte-identical — property-tested in
-//! `tests/batch_parity.rs`. For fan-out configurations the batched
-//! scheduler processes per element rather than depth-first per packet, so
-//! emission order differs (`Tee` into several `ToDevice`s groups
-//! emissions per exit element), and where fan-out paths *re-merge* into
-//! an order-sensitive stateful element (e.g. two `Tee` branches feeding
-//! one `RoundRobinSwitch`) the interleaving seen by that element — and
-//! hence its routing decisions — can diverge from the single-packet
-//! path's.
+//! ## Order preservation
+//!
+//! Batch processing is observably equivalent to pushing the same packets
+//! one at a time for **arbitrary graphs**, including fan-out (`Tee`) and
+//! fan-out paths that *re-merge* into order-sensitive stateful elements
+//! (e.g. two `Tee` branches feeding one `RoundRobinSwitch`): per-element
+//! arrival order, handler-visible element state, total cycle charges,
+//! and the emitted byte sequence all match the single-packet path.
+//!
+//! The scheduler achieves this by tagging every in-flight packet with a
+//! hierarchical sequence key `(batch_slot, emission_path)` — the path
+//! records, hop by hop, which output of its parent each packet was — and
+//! ordering keys *shortlex* per slot (shorter paths first, then
+//! lexicographic), which is exactly the breadth-first order the
+//! single-packet traversal visits events in. Each element's pending
+//! queue is kept key-sorted; each step runs the element whose queued
+//! front key is globally minimal, over the longest front run that no
+//! other queued packet can still preempt (bounded by the smallest front
+//! key among elements with a graph path into it). Linear pipelines and
+//! independent fan-out sinks therefore still process whole batches per
+//! element; only genuine re-merge points degrade to the interleaving the
+//! single-packet path would produce.
+//!
+//! The invariant is pinned by `tests/batch_parity.rs` (a property-test
+//! grid over random fan-out/re-merge graphs with stateful elements) and
+//! by `fan_out_batch_remerge_order_is_pinned` below.
 
 use crate::config::ConfigGraph;
 use crate::element::{Element, ElementContext, ElementEnv};
@@ -68,17 +82,31 @@ impl BatchOutput {
     ///
     /// This mirrors the single-packet hot path, which seals exactly the
     /// *first* emission of each accepted packet.
+    ///
+    /// Packets not kept — non-first emissions for a slot, and packets
+    /// whose slot annotation is missing or out of range (possible after a
+    /// mid-batch hot-swap) — are recycled to their [`BufferPool`]s in one
+    /// batched `give_many` pass per pool instead of one lock round-trip
+    /// per packet.
+    ///
+    /// [`BufferPool`]: endbox_netsim::BufferPool
     pub fn first_emissions_by_slot(self) -> Vec<Option<Packet>> {
         let mut by_slot: Vec<Option<Packet>> = (0..self.verdicts.len()).map(|_| None).collect();
+        let mut extras: Vec<Packet> = Vec::new();
         for mut pkt in self.emitted {
-            if let Some(slot) = pkt.meta.batch_slot {
-                let cell = &mut by_slot[slot as usize];
-                if cell.is_none() {
+            match pkt
+                .meta
+                .batch_slot
+                .and_then(|slot| by_slot.get_mut(slot as usize))
+            {
+                Some(cell) if cell.is_none() => {
                     pkt.meta.batch_slot = None;
                     *cell = Some(pkt);
                 }
+                _ => extras.push(pkt),
             }
         }
+        endbox_netsim::recycle_packets(extras);
         by_slot
     }
 
@@ -92,6 +120,92 @@ impl BatchOutput {
     }
 }
 
+/// Hierarchical sequence key ordering in-flight packets of a batch
+/// traversal by their single-packet traversal order.
+///
+/// `slot` is the packet's position in the input batch; `path` records,
+/// hop by hop, the sibling index each descendant was assigned when its
+/// parent's outputs were drained (the input packet itself has an empty
+/// path). Keys compare *shortlex* within a slot — shorter paths first,
+/// then lexicographic — which is exactly the order the single-packet
+/// breadth-first traversal visits events in, and keys are globally
+/// unique per traversal (each packet instance is processed once).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SeqKey {
+    slot: u32,
+    path: Vec<u32>,
+}
+
+impl Ord for SeqKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.slot
+            .cmp(&other.slot)
+            .then_with(|| self.path.len().cmp(&other.path.len()))
+            .then_with(|| self.path.cmp(&other.path))
+    }
+}
+
+impl PartialOrd for SeqKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One entry of an element's pending queue during a batch traversal.
+#[derive(Debug)]
+struct PendingPacket {
+    key: SeqKey,
+    port: usize,
+    pkt: Packet,
+}
+
+/// One input event of the element run currently being processed: where
+/// its packet sat in the sequence order, and how many children (output
+/// packets) it has produced so far — the next sibling index.
+#[derive(Debug)]
+struct RunEvent {
+    slot: u32,
+    path: Vec<u32>,
+    children: u32,
+}
+
+/// Inserts `entry` into a key-sorted queue. Arrivals are mostly already
+/// in order (whole upstream runs drain in key order), so appending is the
+/// fast path; re-merges falling back to a binary-search insert.
+fn insert_sorted(queue: &mut VecDeque<PendingPacket>, entry: PendingPacket) {
+    match queue.back() {
+        Some(last) if last.key <= entry.key => queue.push_back(entry),
+        None => queue.push_back(entry),
+        Some(_) => {
+            let pos = queue.partition_point(|e| e.key < entry.key);
+            queue.insert(pos, entry);
+        }
+    }
+}
+
+/// Transitive closure of the element graph: `reach[a][b]` is true when a
+/// packet leaving `a` can arrive at `b` after one or more hops. The
+/// batched scheduler uses it to bound how far ahead an element may run
+/// before a packet still queued elsewhere could preempt it.
+fn compute_reach(out_edges: &[Vec<Option<(usize, usize)>>]) -> Vec<Vec<bool>> {
+    let n = out_edges.len();
+    let adj: Vec<Vec<usize>> = out_edges
+        .iter()
+        .map(|ports| ports.iter().filter_map(|e| e.map(|(to, _)| to)).collect())
+        .collect();
+    let mut reach = vec![vec![false; n]; n];
+    for (start, row) in reach.iter_mut().enumerate() {
+        let mut stack: Vec<usize> = adj[start].clone();
+        while let Some(x) = stack.pop() {
+            if !row[x] {
+                row[x] = true;
+                stack.extend(adj[x].iter().copied());
+            }
+        }
+    }
+    reach
+}
+
 /// A running Click router.
 pub struct Router {
     elements: Vec<Box<dyn Element>>,
@@ -103,18 +217,25 @@ pub struct Router {
     env: ElementEnv,
     config_text: String,
     hotswaps: u64,
+    /// Transitive closure of the element graph (recomputed on hot-swap).
+    reach: Vec<Vec<bool>>,
     /// Single-packet traversal worklist (allocation reused across calls).
     scratch_queue: VecDeque<(usize, usize, Packet)>,
     /// Element-output scratch handed to every `ElementContext`.
     scratch_outputs: Vec<(usize, Packet)>,
-    /// Per-element pending queues for batch traversal.
-    pending: Vec<VecDeque<(usize, Packet)>>,
+    /// Per-element key-sorted pending queues for batch traversal. Kept in
+    /// `self` (not moved out) during traversal so an element panic leaves
+    /// in-flight packets observable and recyclable instead of lost.
+    pending: Vec<VecDeque<PendingPacket>>,
     /// Batch handed to `Element::process_batch` (allocation reused).
     scratch_batch: PacketBatch,
     /// Packets dropped at unconnected ports during a batch traversal,
     /// recycled to their pools in one `give_many` at the end instead of
     /// one lock round-trip per packet.
     scratch_drops: Vec<Packet>,
+    /// Packets recovered from stale pending queues (after an element
+    /// panicked mid-batch) and recycled to their pools.
+    stale_recycled: u64,
 }
 
 impl std::fmt::Debug for Router {
@@ -211,6 +332,7 @@ impl Router {
         let n = built.elements.len();
         let mut pending = Vec::with_capacity(n);
         pending.resize_with(n, VecDeque::new);
+        let reach = compute_reach(&built.out_edges);
         Ok(Router {
             elements: built.elements,
             names: built.names,
@@ -220,11 +342,13 @@ impl Router {
             env,
             config_text: config_text.to_string(),
             hotswaps: 0,
+            reach,
             scratch_queue: VecDeque::with_capacity(4),
             scratch_outputs: Vec::with_capacity(4),
             pending,
             scratch_batch: PacketBatch::new(),
             scratch_drops: Vec::new(),
+            stale_recycled: 0,
         })
     }
 
@@ -276,14 +400,19 @@ impl Router {
     /// Pushes a whole batch through the router in one traversal.
     ///
     /// Packets are queued per element and handed to
-    /// [`Element::process_batch`] together, so hot elements amortise their
-    /// fixed costs across the batch. See the module docs for the
-    /// equivalence guarantees relative to N single [`Router::process`]
-    /// calls.
+    /// [`Element::process_batch`] in runs, so hot elements amortise their
+    /// fixed costs across the batch, while the key-ordered scheduler
+    /// keeps every element's arrival order — and hence its state and the
+    /// emitted sequence — identical to N single [`Router::process`]
+    /// calls. See the module docs for the scheduling discipline.
     pub fn process_batch(&mut self, mut batch: PacketBatch) -> BatchOutput {
         let n_in = batch.len();
         let mut emitted: Vec<Packet> = Vec::with_capacity(n_in);
+        let mut emitted_keys: Vec<SeqKey> = Vec::with_capacity(n_in);
         let mut dropped = 0u64;
+        // A panic during an earlier traversal may have left in-flight
+        // packets queued; recover them before seeding the new batch.
+        self.drain_stale_pending();
         let Some(entry) = self.entry else {
             batch.clear();
             return BatchOutput {
@@ -294,34 +423,143 @@ impl Router {
             };
         };
 
-        let mut pending = std::mem::take(&mut self.pending);
-        if pending.len() != self.elements.len() {
-            pending.clear();
-            pending.resize_with(self.elements.len(), VecDeque::new);
-        }
         for (slot, mut pkt) in batch.drain().enumerate() {
-            pkt.meta.batch_slot = Some(slot as u32);
-            pending[entry].push_back((0usize, pkt));
+            let slot = slot as u32;
+            pkt.meta.batch_slot = Some(slot);
+            self.pending[entry].push_back(PendingPacket {
+                key: SeqKey {
+                    slot,
+                    path: Vec::new(),
+                },
+                port: 0,
+                pkt,
+            });
         }
 
         let mut outputs = std::mem::take(&mut self.scratch_outputs);
         let mut work = std::mem::take(&mut self.scratch_batch);
         let mut drops = std::mem::take(&mut self.scratch_drops);
-        while let Some(idx) = (0..self.elements.len()).find(|&i| !pending[i].is_empty()) {
-            // Longest same-input-port run currently queued at `idx`.
-            let port = pending[idx].front().expect("non-empty").0;
-            work.clear();
-            while pending[idx].front().is_some_and(|&(p, _)| p == port) {
-                work.push(pending[idx].pop_front().expect("checked front").1);
+        let mut run_events: Vec<RunEvent> = Vec::new();
+        loop {
+            // Run the element whose queued front key is globally minimal.
+            let mut min_idx: Option<usize> = None;
+            for (i, queue) in self.pending.iter().enumerate() {
+                let Some(front) = queue.front() else { continue };
+                let better = match min_idx {
+                    None => true,
+                    Some(m) => front.key < self.pending[m].front().expect("non-empty").key,
+                };
+                if better {
+                    min_idx = Some(i);
+                }
             }
+            let Some(idx) = min_idx else { break };
+
+            // Preemption bound: the smallest front key among *other*
+            // elements with a graph path into `idx`. Entries at or past
+            // the bound could still gain earlier-keyed predecessors from
+            // those packets' descendants, so they wait for a later run.
+            let mut bound: Option<SeqKey> = None;
+            for (i, queue) in self.pending.iter().enumerate() {
+                if i == idx || !self.reach[i][idx] {
+                    continue;
+                }
+                if let Some(front) = queue.front() {
+                    if bound.as_ref().is_none_or(|b| front.key < *b) {
+                        bound = Some(front.key.clone());
+                    }
+                }
+            }
+            let self_loop = self.reach[idx][idx];
+
+            // Longest front run with one input port, below the bound, and
+            // with pairwise-distinct slots (output→input attribution
+            // below keys on `batch_slot`).
+            let port = self.pending[idx].front().expect("non-empty").port;
+            work.clear();
+            run_events.clear();
+            while let Some(front) = self.pending[idx].front() {
+                if front.port != port
+                    || bound.as_ref().is_some_and(|b| front.key >= *b)
+                    || run_events.iter().any(|e| e.slot == front.key.slot)
+                {
+                    break;
+                }
+                let entry_pkt = self.pending[idx].pop_front().expect("checked front");
+                run_events.push(RunEvent {
+                    slot: entry_pkt.key.slot,
+                    path: entry_pkt.key.path,
+                    children: 0,
+                });
+                work.push(entry_pkt.pkt);
+                if self_loop {
+                    // An element that can reach itself may enqueue
+                    // descendants keyed between this entry and the next;
+                    // process one packet at a time so they get their turn.
+                    break;
+                }
+            }
+            if work.is_empty() {
+                // The front entry is at/past the bound: some other element
+                // holds the globally minimal key — impossible, since `idx`
+                // was chosen as the global minimum and bounds only come
+                // from other elements' front keys.
+                unreachable!("scheduler made no progress");
+            }
+
             self.env
                 .meter
                 .add(self.env.cost.click_element_base * work.len() as u64);
+            let emitted_before = emitted.len();
             let mut ctx = ElementContext::new(&mut outputs, &mut emitted, &self.env);
             self.elements[idx].process_batch(port, &mut work, &mut ctx);
+
+            // Emissions carry the key of the event that produced them;
+            // the final stable sort restores single-packet order.
+            for pkt in emitted.iter().skip(emitted_before) {
+                let ev_idx = pkt
+                    .meta
+                    .batch_slot
+                    .and_then(|s| run_events.iter().position(|e| e.slot == s))
+                    .unwrap_or_else(|| {
+                        debug_assert!(false, "batched emission lost its batch_slot annotation");
+                        0
+                    });
+                let ev = &run_events[ev_idx];
+                emitted_keys.push(SeqKey {
+                    slot: ev.slot,
+                    path: ev.path.clone(),
+                });
+            }
+
+            // Outputs extend their parent's path by the next sibling
+            // index, in drain order — the order the single-packet path
+            // would have enqueued them in.
             for (out_port, mut out_pkt) in outputs.drain(..) {
+                let ev_idx = out_pkt
+                    .meta
+                    .batch_slot
+                    .and_then(|s| run_events.iter().position(|e| e.slot == s))
+                    .unwrap_or_else(|| {
+                        debug_assert!(false, "element output lost its batch_slot annotation");
+                        0
+                    });
+                let ev = &mut run_events[ev_idx];
+                let mut path = ev.path.clone();
+                path.push(ev.children);
+                ev.children += 1;
                 match self.out_edges[idx].get(out_port).copied().flatten() {
-                    Some((to, to_port)) => pending[to].push_back((to_port, out_pkt)),
+                    Some((to, to_port)) => insert_sorted(
+                        &mut self.pending[to],
+                        PendingPacket {
+                            key: SeqKey {
+                                slot: ev.slot,
+                                path,
+                            },
+                            port: to_port,
+                            pkt: out_pkt,
+                        },
+                    ),
                     None => {
                         out_pkt.meta.verdict = Verdict::Drop;
                         dropped += 1;
@@ -333,10 +571,22 @@ impl Router {
         // Batch-granular recycling: all unconnected-port drops return
         // their buffers under one pool lock acquisition.
         endbox_netsim::recycle_packets(drops.drain(..));
-        self.pending = pending;
         self.scratch_outputs = outputs;
         self.scratch_batch = work;
         self.scratch_drops = drops;
+
+        // Restore the single-packet emission order: stable argsort by the
+        // producing event's key (ties — several emissions from one event —
+        // keep their call order).
+        let mut order: Vec<usize> = (0..emitted.len()).collect();
+        order.sort_by(|&a, &b| emitted_keys[a].cmp(&emitted_keys[b]).then(a.cmp(&b)));
+        if order.iter().enumerate().any(|(i, &o)| i != o) {
+            let mut cells: Vec<Option<Packet>> = emitted.into_iter().map(Some).collect();
+            emitted = order
+                .iter()
+                .map(|&o| cells[o].take().expect("permutation"))
+                .collect();
+        }
 
         let mut verdicts = vec![Verdict::Drop; n_in];
         let mut accepted = 0usize;
@@ -400,6 +650,11 @@ impl Router {
             }
         }
 
+        // A hot-swap requested while a traversal sits interrupted (an
+        // element panicked mid-batch) must not leak or misroute the
+        // in-flight packets: drain them back to their pools first, then
+        // size the queues for the new graph.
+        self.drain_stale_pending();
         self.elements = built.elements;
         self.names = built.names;
         self.classes = built.classes;
@@ -407,10 +662,43 @@ impl Router {
         self.entry = built.entry;
         self.config_text = new_config.to_string();
         self.hotswaps += 1;
+        self.reach = compute_reach(&self.out_edges);
         // The per-element pending queues must track the new graph size.
         self.pending.clear();
         self.pending.resize_with(self.elements.len(), VecDeque::new);
         Ok(())
+    }
+
+    /// Recycles packets stranded in the pending queues by a traversal
+    /// that did not run to completion (an element panic caught by the
+    /// caller). Deterministic: buffers return to their pools in one
+    /// batched pass and the count is recorded in
+    /// [`Router::stale_recycled`]. Called automatically at the start of
+    /// every [`Router::process_batch`] and by [`Router::hot_swap`].
+    fn drain_stale_pending(&mut self) {
+        let stale: usize = self.pending.iter().map(VecDeque::len).sum();
+        if stale == 0 {
+            return;
+        }
+        self.stale_recycled += stale as u64;
+        endbox_netsim::recycle_packets(
+            self.pending
+                .iter_mut()
+                .flat_map(|queue| queue.drain(..))
+                .map(|entry| entry.pkt),
+        );
+    }
+
+    /// Number of packets currently queued inside an interrupted batch
+    /// traversal (always 0 after a `process_batch` that returned).
+    pub fn pending_depth(&self) -> usize {
+        self.pending.iter().map(VecDeque::len).sum()
+    }
+
+    /// Total packets recovered from interrupted traversals and recycled
+    /// to their buffer pools.
+    pub fn stale_recycled(&self) -> u64 {
+        self.stale_recycled
     }
 
     /// Reads a handler on a named element (e.g. `("counter", "count")`).
@@ -607,13 +895,12 @@ mod tests {
 
     #[test]
     fn fan_out_batch_remerge_order_is_pinned() {
-        // Regression pin for the documented fan-out caveat: the batched
-        // scheduler runs per element, so a Tee into two ToDevices emits
-        // *grouped per exit element* (all of branch 0 first, then all of
-        // branch 1), each group in input (batch-slot) order. The sharded
-        // server's deterministic re-merge builds on exactly this order;
-        // if the scheduler changes, this test must be revisited together
-        // with `BatchOutput::first_emissions_by_slot`.
+        // Pin of the order-preservation invariant at a fan-out: a Tee
+        // into two ToDevices emits exactly as N single `process` calls
+        // would — per input slot, both branch emissions together (Tee
+        // pushes its clone ports first, then port 0), slots in input
+        // order. This is the order the module docs promise and the
+        // sharded server's deterministic re-merge consumes.
         let mut r = Router::from_config(
             "FromDevice(t) -> tee :: Tee(2); tee[0] -> ToDevice(t); tee[1] -> ToDevice(t);",
             ElementEnv::default(),
@@ -623,8 +910,8 @@ mod tests {
         let slots: Vec<Option<u32>> = out.emitted.iter().map(|p| p.meta.batch_slot).collect();
         assert_eq!(
             slots,
-            vec![Some(0), Some(1), Some(2), Some(0), Some(1), Some(2)],
-            "emissions grouped per exit element, slot-ordered within each group"
+            vec![Some(0), Some(0), Some(1), Some(1), Some(2), Some(2)],
+            "emissions interleave per input slot, matching the single-packet path"
         );
         assert_eq!(out.accepted, 3);
         // And the slot-indexed re-merge picks the *first* emission of each
@@ -633,6 +920,106 @@ mod tests {
         let first_slots: Vec<Option<u32>> = firsts.iter().map(|p| p.meta.batch_slot).collect();
         assert_eq!(first_slots, vec![None, None, None], "annotation cleared");
         assert_eq!(firsts.len(), 3);
+    }
+
+    #[test]
+    fn fan_out_remerge_into_round_robin_matches_single_path() {
+        // The re-merge bug this PR fixes: two Tee branches of different
+        // depth re-merging into one order-sensitive RoundRobinSwitch.
+        // Batched and single-packet routers must make identical routing
+        // decisions (same `next` evolution, same per-port counts).
+        let config = "rr :: RoundRobinSwitch(2); \
+                      FromDevice(t) -> tee :: Tee(2); \
+                      tee[0] -> c0 :: Counter -> rr; \
+                      tee[1] -> rr; \
+                      rr[0] -> a :: Counter -> ToDevice(t); \
+                      rr[1] -> b :: Counter -> ToDevice(t);";
+        let mut single = Router::from_config(config, ElementEnv::default()).unwrap();
+        let mut batched = Router::from_config(config, ElementEnv::default()).unwrap();
+
+        let packets: Vec<Packet> = (0..7).map(|_| pkt()).collect();
+        let mut single_emitted = Vec::new();
+        for p in packets.iter().cloned() {
+            single_emitted.extend(single.process(p).emitted);
+        }
+        let out = batched.process_batch(PacketBatch::from(packets));
+
+        let batch_bytes: Vec<&[u8]> = out.emitted.iter().map(Packet::bytes).collect();
+        let single_bytes: Vec<&[u8]> = single_emitted.iter().map(Packet::bytes).collect();
+        assert_eq!(batch_bytes, single_bytes, "byte-identical emission order");
+        for (name, handler) in [("c0", "count"), ("a", "count"), ("b", "count")] {
+            let s = single.read_handler(name, handler);
+            let b = batched.read_handler(name, handler);
+            assert_eq!(s, b, "{name}.{handler} diverged");
+        }
+    }
+
+    #[test]
+    fn first_emissions_recycles_non_kept_packets() {
+        use endbox_netsim::BufferPool;
+        // A Tee doubles every pooled packet; `first_emissions_by_slot`
+        // keeps one per slot and must recycle the rest back to the pool
+        // in one batched pass — the satellite fix for the buffer leak.
+        let mut r = Router::from_config(
+            "FromDevice(t) -> tee :: Tee(2); tee[0] -> ToDevice(t); tee[1] -> ToDevice(t);",
+            ElementEnv::default(),
+        )
+        .unwrap();
+        let pool = BufferPool::new();
+        let batch: PacketBatch = (0..4)
+            .map(|_| {
+                Packet::udp_in(
+                    &pool,
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    Ipv4Addr::new(10, 0, 1, 1),
+                    1,
+                    2,
+                    b"dup",
+                )
+            })
+            .collect();
+        let before = pool.stats();
+        let out = r.process_batch(batch);
+        assert_eq!(out.emitted.len(), 8, "tee duplicated each packet");
+        let firsts = out.first_emissions_by_slot();
+        let after = pool.stats();
+        assert_eq!(firsts.iter().flatten().count(), 4);
+        assert_eq!(
+            after.returned - before.returned,
+            4,
+            "the non-first emissions went back to the pool"
+        );
+        assert_eq!(
+            after.batched_ops - before.batched_ops,
+            1,
+            "one pool lock for all non-kept emissions"
+        );
+        drop(firsts);
+        let end = pool.stats();
+        assert_eq!(
+            end.returned - before.returned,
+            8,
+            "pool reconciles: every buffer eventually returned"
+        );
+    }
+
+    #[test]
+    fn first_emissions_survives_stale_slots() {
+        // Emissions whose slot annotation is out of range (e.g. produced
+        // before a mid-batch reconfiguration) must be recycled, not
+        // panic the slot-indexed re-merge.
+        let mut r =
+            Router::from_config("FromDevice(t) -> ToDevice(t);", ElementEnv::default()).unwrap();
+        let out = r.process_batch((0..3).map(|_| pkt()).collect());
+        let shrunk = BatchOutput {
+            emitted: out.emitted,
+            verdicts: out.verdicts[..1].to_vec(), // pretend only 1 input
+            accepted: 1,
+            dropped: 0,
+        };
+        let firsts = shrunk.first_emissions_by_slot();
+        assert_eq!(firsts.len(), 1);
+        assert!(firsts[0].is_some());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 pub mod deploy;
 pub mod latency;
+pub mod nf_catalogue;
 pub mod optimizations;
 pub mod reconfig;
 pub mod scalability;

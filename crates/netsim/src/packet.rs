@@ -611,6 +611,36 @@ impl Packet {
         self.fix_checksums_after_addr_change();
     }
 
+    /// Rewrites the TCP/UDP source port (NAPT-style), fixing the L4
+    /// checksum. No-op for other protocols.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.set_l4_port(0, port);
+    }
+
+    /// Rewrites the TCP/UDP destination port, fixing the L4 checksum.
+    /// No-op for other protocols.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.set_l4_port(2, port);
+    }
+
+    fn set_l4_port(&mut self, field_off: usize, port: u16) {
+        let header = self.header();
+        let csum_off = match header.protocol {
+            IpProtocol::Tcp => IPV4_HEADER_LEN + 16,
+            IpProtocol::Udp => IPV4_HEADER_LEN + 6,
+            _ => return,
+        };
+        let off = IPV4_HEADER_LEN + field_off;
+        if self.data.len() < off + 2 || self.data.len() < csum_off + 2 {
+            return;
+        }
+        self.data[off..off + 2].copy_from_slice(&port.to_be_bytes());
+        self.data[csum_off] = 0;
+        self.data[csum_off + 1] = 0;
+        let csum = l4_checksum(&header, &self.data[IPV4_HEADER_LEN..]);
+        self.data[csum_off..csum_off + 2].copy_from_slice(&csum.to_be_bytes());
+    }
+
     fn fix_checksums_after_addr_change(&mut self) {
         // IP header checksum.
         self.data[10] = 0;

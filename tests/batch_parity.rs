@@ -1,8 +1,11 @@
 //! Batch/single parity: pushing N packets as one `PacketBatch` must yield
 //! byte-identical emitted packets and identical verdicts to N single
-//! `Router::process` calls — across the quickstart (firewall), IDS and
-//! IPFilter configurations, for arbitrary traffic (property-tested), and
-//! regardless of whether the packets are pool-backed.
+//! `Router::process` calls — across the quickstart (firewall), IDS,
+//! IPFilter and stateful-NF configurations, for arbitrary traffic
+//! (property-tested), regardless of whether the packets are pool-backed,
+//! and — since the order-preserving batched scheduler — for arbitrary
+//! random fan-out/re-merge graphs mixing stateless and order-sensitive
+//! stateful elements (`random_fanout_graphs_have_exact_parity` below).
 
 use endbox::use_cases::UseCase;
 use endbox_click::element::ElementEnv;
@@ -12,9 +15,10 @@ use endbox_netsim::{BufferPool, Packet, PacketBatch};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
-/// The three configurations the parity guarantee is specified over:
-/// the quickstart example's firewall, the IDPS chain, and a plain
-/// IPFilter with both ports wired up.
+/// The configurations the parity guarantee is specified over: the
+/// quickstart example's firewall, the IDPS chain, a plain IPFilter with
+/// both ports wired up, and the stateful NF catalogue chain
+/// (connection tracker → NAT → token bucket).
 fn parity_configs() -> Vec<(&'static str, String)> {
     vec![
         ("quickstart-firewall", UseCase::Firewall.click_config()),
@@ -25,8 +29,39 @@ fn parity_configs() -> Vec<(&'static str, String)> {
              -> ToDevice(tun0); f[1] -> Discard;"
                 .to_string(),
         ),
+        (
+            "nf-chain",
+            "FromDevice(tun0) -> ct :: ConnTracker(MAX 12) \
+             -> nat :: IPRewriter(SRC 198.51.100.1, PORTS 6000 6009) \
+             -> tb :: TokenBucket(RATE 200000, BURST 24) -> ToDevice(tun0); \
+             ct[1] -> Discard; nat[1] -> Discard; tb[1] -> Discard;"
+                .to_string(),
+        ),
     ]
 }
+
+/// Handlers compared between the single-packet and batched routers —
+/// the union of every element's observable state.
+const PARITY_HANDLERS: &[&str] = &[
+    "count",
+    "allowed",
+    "denied",
+    "alerts",
+    "drops",
+    "scanned_bytes",
+    "bad",
+    "flows",
+    "rewritten",
+    "reversed",
+    "passthrough",
+    "exhausted",
+    "conformed",
+    "exceeded",
+    "tokens",
+    "new_flows",
+    "established",
+    "rejected",
+];
 
 /// Runs `packets` through `config` both ways and asserts byte/verdict
 /// equality plus identical element state and cycle totals.
@@ -79,14 +114,7 @@ fn assert_parity(name: &str, config: &str, packets: Vec<Packet>) {
 
     // Handler-visible element state evolved identically.
     for element in router_single.element_names().to_vec() {
-        for handler in [
-            "count",
-            "allowed",
-            "denied",
-            "alerts",
-            "drops",
-            "scanned_bytes",
-        ] {
+        for handler in PARITY_HANDLERS {
             assert_eq!(
                 router_single.read_handler(&element, handler),
                 router_batch.read_handler(&element, handler),
@@ -184,7 +212,7 @@ proptest! {
             (any::<u16>(), any::<u16>(), prop::collection::vec(any::<u8>(), 0..200)),
             1..32,
         ),
-        config_idx in 0usize..3,
+        config_idx in 0usize..4,
     ) {
         let (name, config) = parity_configs().swap_remove(config_idx);
         let packets: Vec<Packet> = specs
@@ -201,5 +229,133 @@ proptest! {
             })
             .collect();
         assert_parity(name, &config, packets);
+    }
+}
+
+#[test]
+fn fan_out_remerge_into_stateful_elements_has_exact_parity() {
+    // The re-merge shape the order-preserving scheduler exists for: two
+    // Tee branches of different depth re-merging into one
+    // RoundRobinSwitch, whose ports feed order-sensitive NFs.
+    let config = "rr :: RoundRobinSwitch(2); \
+                  FromDevice(t) -> tee :: Tee(2); \
+                  tee[0] -> c :: Counter -> rr; \
+                  tee[1] -> rr; \
+                  rr[0] -> ct :: ConnTracker(MAX 4) -> ToDevice(t); \
+                  rr[1] -> tb :: TokenBucket(RATE 1000, BURST 5) -> ToDevice(t); \
+                  ct[1] -> Discard; tb[1] -> Discard;";
+    assert_parity("tee-remerge-rr", config, mixed_traffic(17));
+}
+
+/// Element classes the random graph generator draws from. Entries are
+/// `(declaration, n_outputs, is_tee)`.
+const GRAPH_CLASSES: &[(&str, usize, bool)] = &[
+    ("Counter", 1, false),
+    ("Tee(2)", 2, true),
+    ("RoundRobinSwitch(2)", 2, false),
+    ("TokenBucket(RATE 1000, BURST 3)", 2, false),
+    ("ConnTracker(MAX 3)", 2, false),
+    ("IPRewriter(SRC 198.51.100.1, PORTS 7000 7004)", 2, false),
+];
+
+/// Builds a random acyclic fan-out/re-merge configuration from a byte
+/// spec. Every edge goes from an earlier-created element to a
+/// later-created one, so the graph is a DAG by construction; `Tee`
+/// nesting is capped at depth 3. Roughly one in four steps re-merges an
+/// open output into an existing downstream element instead of growing a
+/// new branch, and half the leftover outputs stay unconnected
+/// (exercising the drop path).
+fn random_fanout_config(spec: &[u8]) -> String {
+    struct Node {
+        decl: &'static str,
+        tee_depth: usize,
+    }
+    let mut nodes = vec![Node {
+        decl: "FromDevice(t)",
+        tee_depth: 0,
+    }];
+    // Open output stubs: (element index, output port).
+    let mut stubs: std::collections::VecDeque<(usize, usize)> =
+        std::collections::VecDeque::from([(0usize, 0usize)]);
+    let mut conns: Vec<(usize, usize, usize)> = Vec::new();
+
+    for &b in spec {
+        let Some((from, port)) = stubs.pop_front() else {
+            break;
+        };
+        let merge_candidates = nodes.len() - from - 1;
+        if b % 4 == 3 && merge_candidates > 0 {
+            // Re-merge into a strictly later-created element.
+            let target = from + 1 + (b as usize / 4) % merge_candidates;
+            conns.push((from, port, target));
+            continue;
+        }
+        let mut choice = (b as usize / 4) % GRAPH_CLASSES.len();
+        if GRAPH_CLASSES[choice].2 && nodes[from].tee_depth >= 3 {
+            choice = 0; // Tee depth cap reached: degrade to Counter.
+        }
+        let (decl, n_out, is_tee) = GRAPH_CLASSES[choice];
+        let idx = nodes.len();
+        nodes.push(Node {
+            decl,
+            tee_depth: nodes[from].tee_depth + usize::from(is_tee),
+        });
+        conns.push((from, port, idx));
+        for p in 0..n_out {
+            stubs.push_back((idx, p));
+        }
+    }
+    // Close half the remaining stubs with exits, leave the rest
+    // unconnected (dropped packets must still have parity).
+    for (i, (from, port)) in stubs.into_iter().enumerate() {
+        if i % 2 == 0 {
+            let idx = nodes.len();
+            nodes.push(Node {
+                decl: "ToDevice(t)",
+                tee_depth: 0,
+            });
+            conns.push((from, port, idx));
+        }
+    }
+
+    let mut cfg = String::new();
+    for (i, node) in nodes.iter().enumerate() {
+        cfg.push_str(&format!("e{i} :: {};\n", node.decl));
+    }
+    for (from, port, to) in conns {
+        cfg.push_str(&format!("e{from}[{port}] -> e{to};\n"));
+    }
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole property: random fan-out/re-merge graphs (Tee depth
+    /// ≤ 3, stateless and order-sensitive stateful elements mixed, some
+    /// outputs deliberately unconnected) have byte-identical emissions,
+    /// verdicts, drops, element state and cycle totals between the
+    /// batched and the single-packet path.
+    #[test]
+    fn random_fanout_graphs_have_exact_parity(
+        graph_spec in prop::collection::vec(any::<u8>(), 0..24),
+        traffic in prop::collection::vec((0u16..6, 0u16..4, 1u16..5), 1..24),
+    ) {
+        let config = random_fanout_config(&graph_spec);
+        // Few distinct endpoints so the stateful elements see flow reuse,
+        // table pressure and port-range exhaustion.
+        let packets: Vec<Packet> = traffic
+            .iter()
+            .map(|&(s, d, len)| {
+                Packet::udp(
+                    Ipv4Addr::new(10, 0, 0, 10 + s as u8),
+                    Ipv4Addr::new(10, 0, 1, 1),
+                    30_000 + s,
+                    50 + d,
+                    &vec![b'r'; len as usize],
+                )
+            })
+            .collect();
+        assert_parity("random-fanout", &config, packets);
     }
 }

@@ -212,3 +212,196 @@ fn wrong_config_key_cannot_decrypt() {
     let err = s1.clients[0].enclave_app().apply_config(&cfg).unwrap_err();
     assert_eq!(err, EndBoxError::ConfigUpdate("decryption failed"));
 }
+
+/// Test element that panics on its N-th packet — used to interrupt a
+/// batch traversal halfway so packets are stranded in the router's
+/// pending queues.
+#[derive(Debug)]
+struct PanicAfter {
+    remaining: u64,
+}
+
+impl endbox_click::element::Element for PanicAfter {
+    fn class_name(&self) -> &'static str {
+        "PanicAfter"
+    }
+
+    fn process(
+        &mut self,
+        _port: usize,
+        pkt: endbox_netsim::Packet,
+        ctx: &mut endbox_click::element::ElementContext<'_>,
+    ) {
+        if self.remaining == 0 {
+            // Disarm before unwinding: the fault fires exactly once.
+            self.remaining = u64::MAX;
+            panic!("injected element fault");
+        }
+        self.remaining -= 1;
+        ctx.output(0, pkt);
+    }
+}
+
+fn panic_after_factory(
+    args: &[String],
+    _env: &endbox_click::element::ElementEnv,
+) -> Result<Box<dyn endbox_click::element::Element>, String> {
+    let remaining = args
+        .first()
+        .and_then(|a| a.parse().ok())
+        .ok_or("PanicAfter needs a packet count")?;
+    Ok(Box::new(PanicAfter { remaining }))
+}
+
+#[test]
+fn hot_swap_mid_batch_drains_stranded_packets_deterministically() {
+    use endbox_click::element::ElementEnv;
+    use endbox_click::registry::ElementRegistry;
+    use endbox_click::Router;
+    use endbox_netsim::{BufferPool, Packet, PacketBatch};
+    use std::net::Ipv4Addr;
+
+    let mut registry = ElementRegistry::standard();
+    registry.register("PanicAfter", panic_after_factory);
+    // Tee fans out: branch 1 runs (Counter, then queues at ToDevice)
+    // before branch 0's PanicAfter run — so when PanicAfter dies on its
+    // third packet, ToDevice still holds a full batch of clones.
+    let config = "FromDevice(t) -> tee :: Tee(2); \
+                  tee[0] -> p :: PanicAfter(2) -> Discard; \
+                  tee[1] -> c :: Counter -> ToDevice(t);";
+    let mut router =
+        Router::from_config_with_registry(config, ElementEnv::default(), &registry).unwrap();
+
+    let pool = BufferPool::new();
+    let batch: PacketBatch = (0..6)
+        .map(|i| {
+            Packet::udp_in(
+                &pool,
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 1, 1),
+                1000 + i as u16,
+                2000,
+                b"mid-batch swap",
+            )
+        })
+        .collect();
+
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| router.process_batch(batch)));
+    assert!(result.is_err(), "the injected element fault must surface");
+    assert_eq!(
+        router.pending_depth(),
+        6,
+        "the ToDevice queue still holds the surviving branch"
+    );
+
+    // Swapping mid-batch must drain the stranded packets back to their
+    // pools — deterministically, and observably via `stale_recycled`.
+    let before = pool.stats();
+    router
+        .hot_swap("FromDevice(t) -> c :: Counter -> ToDevice(t);")
+        .unwrap();
+    let after = pool.stats();
+    assert_eq!(router.pending_depth(), 0);
+    assert_eq!(router.stale_recycled(), 6);
+    assert_eq!(
+        after.returned - before.returned,
+        6,
+        "stranded packets recycled by the swap"
+    );
+    assert_eq!(
+        after.batched_ops - before.batched_ops,
+        1,
+        "one pool lock for the whole stranded queue"
+    );
+    // Pool reconciliation: every buffer ever taken is back.
+    assert_eq!(
+        after.fresh_allocs + after.reused,
+        after.returned + after.discarded,
+        "no pooled buffer leaked across the interrupted traversal: {after:?}"
+    );
+    // Counter state survived the swap (same name, same class) and the
+    // new graph processes traffic normally.
+    assert_eq!(router.read_handler("c", "count").as_deref(), Some("6"));
+    let out = router.process_batch(
+        (0..3)
+            .map(|_| {
+                Packet::udp_in(
+                    &pool,
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    Ipv4Addr::new(10, 0, 1, 1),
+                    1,
+                    2,
+                    b"after swap",
+                )
+            })
+            .collect(),
+    );
+    assert_eq!(
+        out.accepted, 3,
+        "new config is live after the mid-batch swap"
+    );
+}
+
+#[test]
+fn interrupted_batch_drains_on_next_traversal_without_a_swap() {
+    use endbox_click::element::ElementEnv;
+    use endbox_click::registry::ElementRegistry;
+    use endbox_click::Router;
+    use endbox_netsim::{BufferPool, Packet, PacketBatch};
+    use std::net::Ipv4Addr;
+
+    let mut registry = ElementRegistry::standard();
+    registry.register("PanicAfter", panic_after_factory);
+    // As above: the Counter hop makes ToDevice's sequence keys longer
+    // than PanicAfter's, so the panic fires while ToDevice still queues
+    // the surviving branch.
+    let config = "FromDevice(t) -> tee :: Tee(2); \
+                  tee[0] -> p :: PanicAfter(1) -> Discard; \
+                  tee[1] -> Counter -> ToDevice(t);";
+    let mut router =
+        Router::from_config_with_registry(config, ElementEnv::default(), &registry).unwrap();
+
+    let pool = BufferPool::new();
+    let batch: PacketBatch = (0..4)
+        .map(|_| {
+            Packet::udp_in(
+                &pool,
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 1, 1),
+                7,
+                8,
+                b"x",
+            )
+        })
+        .collect();
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| router.process_batch(batch)));
+    assert!(result.is_err());
+    assert_eq!(router.pending_depth(), 4);
+
+    // The next batch drains the stale queue before seeding — old packets
+    // cannot leak into the new traversal's output.
+    let out = router.process_batch(
+        (0..2)
+            .map(|_| {
+                Packet::udp_in(
+                    &pool,
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    Ipv4Addr::new(10, 0, 1, 1),
+                    7,
+                    8,
+                    b"y",
+                )
+            })
+            .collect(),
+    );
+    assert_eq!(router.stale_recycled(), 4);
+    assert_eq!(out.emitted.len(), 2, "only the new batch's packets emit");
+    let stats = pool.stats();
+    assert_eq!(
+        stats.fresh_allocs + stats.reused,
+        stats.returned + stats.discarded + 2,
+        "everything but the two just-emitted packets is back in the pool"
+    );
+}
