@@ -20,6 +20,7 @@ fn main() {
         "exp_syscall_batch",
         "exp_transport_backend",
         "exp_adaptive_control",
+        "exp_elastic_resize",
         "exp_nf_catalogue",
         "exp_table2_reconfig",
         "exp_fig11_reconfig_latency",

@@ -1069,6 +1069,286 @@ pub fn adaptive_control_margins(points: &[AdaptiveControlPoint]) -> (f64, f64) {
     (worst_vs_best, peak_vs_worst)
 }
 
+/// One rung of the fixed capacity ladder the elastic server competes
+/// against: an operator who picked this `(rx_shards, workers)` geometry
+/// up front and cannot change it as the diurnal load moves.
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticConfig {
+    /// Row label (`"fixed-small"`, `"fixed-mid"`, `"fixed-large"`).
+    pub name: &'static str,
+    /// RX framing shards, fixed for the whole trace.
+    pub rx_shards: usize,
+    /// Worker shards, fixed for the whole trace.
+    pub workers: usize,
+}
+
+/// The fixed ladder behind `BENCH_elastic.json`. The rungs bracket the
+/// diurnal demand range: `fixed-small` is right-sized for the trough
+/// (and saturates at the peak), `fixed-large` is right-sized for the
+/// peak (and idles at the trough), `fixed-mid` splits the difference.
+/// The elastic row moves along exactly this ladder — its per-step
+/// geometry is a rung, so "elastic within 10% of the best rung at every
+/// step" means online resizing recovers the whole fixed tuning space.
+pub const ELASTIC_LADDER: [ElasticConfig; 3] = [
+    ElasticConfig {
+        name: "fixed-small",
+        rx_shards: 1,
+        workers: 1,
+    },
+    ElasticConfig {
+        name: "fixed-mid",
+        rx_shards: 2,
+        workers: 4,
+    },
+    ElasticConfig {
+        name: "fixed-large",
+        rx_shards: 4,
+        workers: 8,
+    },
+];
+
+/// One data point of the structural-elasticity comparison: one capacity
+/// configuration (a fixed ladder rung, or the elastic server at the
+/// geometry its resize law holds at this step) replayed at one step of
+/// the diurnal trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticResizePoint {
+    /// Row label: a [`ELASTIC_LADDER`] rung name, or `"elastic"`.
+    pub config: &'static str,
+    /// Step index within the diurnal trace.
+    pub step: usize,
+    /// Connected clients at this step.
+    pub clients: usize,
+    /// Whether the step sits in the trace's heavy-tailed peak phase.
+    pub crowd: bool,
+    /// RX shards serving this step.
+    pub rx_shards: usize,
+    /// Worker shards serving this step.
+    pub workers: usize,
+    /// Aggregate server-side goodput in Gbps.
+    pub gbps: f64,
+    /// Aggregate server-side packet rate in Mpps.
+    pub mpps: f64,
+    /// Server CPU utilisation in [0, 1].
+    pub server_cpu: f64,
+}
+
+/// The ladder rung the resize law settles on for one trace step: the
+/// trace-level projection of the control law in
+/// `AsyncFrontEnd::control_round` (the live law folds socket backlog
+/// into demand EWMAs each round; over a whole step the EWMA converges
+/// onto the offered load, so the step's client count is the demand
+/// proxy). Demand maps linearly onto the ladder's RX range — the
+/// trough picks the smallest rung, the peak the largest — mirroring
+/// `desired = ceil(demand / RESIZE_TARGET_DEMAND)` with the trace's
+/// peak normalised onto `fixed-large`.
+pub fn elastic_rung_for(clients: usize, peak: usize) -> &'static ElasticConfig {
+    let top = ELASTIC_LADDER[ELASTIC_LADDER.len() - 1].rx_shards;
+    let desired = (clients * top).div_ceil(peak.max(1)).max(1);
+    ELASTIC_LADDER
+        .iter()
+        .find(|c| c.rx_shards >= desired)
+        .unwrap_or(&ELASTIC_LADDER[ELASTIC_LADDER.len() - 1])
+}
+
+/// Measures one `(rx_shards, workers)` geometry on the real stack (the
+/// per-packet charge and the event loop's wakeup amortisation, with the
+/// full adaptive control plane live, as in [`sweep_adaptive_control`])
+/// and replays every step of the diurnal trace through the timing layer
+/// at that geometry. `config` is the row label; `geometry_of` picks the
+/// per-step geometry — a fixed rung returns itself, the elastic row
+/// follows [`elastic_rung_for`].
+/// Memoized real-stack measurement for one `(rx_shards, workers)`
+/// geometry: the per-packet charge, the wakeup amortisation ratio, and
+/// whether the measured run performed RX re-homes.
+type MeasuredGeometry = (PacketCharge, f64, bool);
+
+pub fn sweep_elastic(
+    use_case: UseCase,
+    config: &'static str,
+    trace: &[endbox_netsim::traffic::TraceStep],
+    geometry_of: impl Fn(&endbox_netsim::traffic::TraceStep) -> (usize, usize),
+) -> Vec<ElasticResizePoint> {
+    let mut out = Vec::new();
+    let mut measured: Vec<((usize, usize), MeasuredGeometry)> = Vec::new();
+    for s in trace {
+        let (rx_shards, workers) = geometry_of(s);
+        let (charge, ratio, rx_remap) =
+            match measured.iter().find(|(g, _)| *g == (rx_shards, workers)) {
+                Some((_, m)) => *m,
+                None => {
+                    let (charge, ratio, stats) = super::deploy::measure_charge_adaptive(
+                        use_case,
+                        RX_MIX_PAYLOAD,
+                        6,
+                        workers,
+                        rx_shards,
+                        endbox_vpn::shard::DispatchPolicy::Adaptive,
+                        None,
+                    );
+                    let m = (charge, ratio, stats.remaps > 0);
+                    measured.push(((rx_shards, workers), m));
+                    m
+                }
+            };
+        let wakeup = endbox_netsim::cost::CostModel::calibrated().event_loop_wakeup;
+        let model = endbox_netsim::pipeline::AsyncFrontEndModel::event_driven(wakeup, ratio);
+        let cfg = ScalabilityConfig {
+            n_clients: s.clients,
+            per_client_bps: RX_MIX_PER_CLIENT_BPS,
+            payload_bytes: charge.payload_bytes,
+            duration: SimDuration::from_millis(20),
+            n_client_machines: 5,
+            contention_per_excess_process: 0.0,
+            server_procs_per_client: 1,
+            server_single_process: false,
+            server_worker_shards: Some(workers),
+            client_load_weights: s.crowd.then(|| heavy_tail_weights(s.clients)),
+            load_aware_dispatch: true,
+            rx_shards: Some(rx_shards),
+            rx_remap,
+            async_front_end: Some(model),
+            syscall_batch: None,
+        };
+        let r: ScalabilityResult =
+            run_scalability(MachineSpec::class_a(), MachineSpec::class_b(), charge, &cfg);
+        out.push(ElasticResizePoint {
+            config,
+            step: s.step,
+            clients: s.clients,
+            crowd: s.crowd,
+            rx_shards,
+            workers,
+            gbps: r.gbps,
+            mpps: r.gbps * 1e9 / (charge.payload_bytes as f64 * 8.0) / 1e6,
+            server_cpu: r.server_cpu,
+        });
+    }
+    out
+}
+
+/// The structural-elasticity comparison behind `BENCH_elastic.json`:
+/// every fixed rung of [`ELASTIC_LADDER`] plus the elastic row replayed
+/// over a diurnal trace of `points` steps ([`ADAPTIVE_TRACE_BASE`] →
+/// [`ADAPTIVE_TRACE_PEAK`] clients, NOP use case). Fixed rungs keep one
+/// geometry for the whole trace; the elastic row's geometry follows the
+/// resize law step by step ([`elastic_rung_for`]), so capacity tracks
+/// the diurnal curve.
+pub fn fig_elastic_resize(points: usize) -> Vec<ElasticResizePoint> {
+    let trace =
+        endbox_netsim::traffic::diurnal_trace(ADAPTIVE_TRACE_BASE, ADAPTIVE_TRACE_PEAK, points);
+    let mut out = Vec::new();
+    for rung in &ELASTIC_LADDER {
+        out.extend(sweep_elastic(UseCase::Nop, rung.name, &trace, |_| {
+            (rung.rx_shards, rung.workers)
+        }));
+    }
+    out.extend(sweep_elastic(UseCase::Nop, "elastic", &trace, |s| {
+        let rung = elastic_rung_for(s.clients, ADAPTIVE_TRACE_PEAK);
+        (rung.rx_shards, rung.workers)
+    }));
+    out
+}
+
+/// The elasticity acceptance margins over a [`fig_elastic_resize`]
+/// result set: `(worst_vs_best, peak_vs_smallest)` where
+///
+/// * `worst_vs_best` is the elastic row's throughput relative to the
+///   **best** fixed rung, minimised over every diurnal step — the
+///   "elastic never needed a pre-sized pool" bar (>= 0.90 required);
+/// * `peak_vs_smallest` is the elastic row's throughput relative to the
+///   smallest fixed rung at the trace's peak step — the "under-sizing
+///   costs real throughput" bar (>= 1.3 required).
+///
+/// # Panics
+///
+/// Panics if `points` lacks an elastic row or fixed rows for some step
+/// (a malformed sweep).
+pub fn elastic_margins(points: &[ElasticResizePoint]) -> (f64, f64) {
+    let max_step = points
+        .iter()
+        .map(|p| p.step)
+        .max()
+        .expect("sweep has steps");
+    let peak_step = points
+        .iter()
+        .max_by(|a, b| (a.clients, a.crowd).cmp(&(b.clients, b.crowd)))
+        .expect("sweep has steps")
+        .step;
+    let mut worst_vs_best = f64::INFINITY;
+    let mut peak_vs_smallest = f64::INFINITY;
+    for step in 0..=max_step {
+        let at = |config: &str| -> f64 {
+            points
+                .iter()
+                .find(|p| p.step == step && p.config == config)
+                .unwrap_or_else(|| panic!("missing {config} at step {step}"))
+                .gbps
+        };
+        let elastic = at("elastic");
+        let best = ELASTIC_LADDER
+            .iter()
+            .map(|c| at(c.name))
+            .fold(f64::MIN, f64::max);
+        worst_vs_best = worst_vs_best.min(elastic / best);
+        if step == peak_step {
+            peak_vs_smallest = elastic / at(ELASTIC_LADDER[0].name);
+        }
+    }
+    (worst_vs_best, peak_vs_smallest)
+}
+
+/// Real-stack elasticity demo for the bench bin: drives a flood then
+/// sustained idleness through a live elastic scenario
+/// (`ScenarioBuilder::elastic`) and returns the resulting
+/// [`crate::server::ResizeStats`] — the law must have both grown and
+/// shrunk the pool ([`crate::server::ResizeStats::rx_grows`] and
+/// [`crate::server::ResizeStats::rx_shrinks`] >= 1) for the replayed
+/// elastic row to be an honest model of the implementation.
+pub fn elastic_capacity_demo() -> crate::server::ResizeStats {
+    use crate::scenario::Scenario;
+    let mut scenario = Scenario::enterprise(4, UseCase::Nop)
+        .seed(0xe1a5)
+        .rx_shards(1)
+        .elastic(true)
+        .build_sharded(2)
+        .expect("elastic scenario");
+    let mut round = 0;
+    while scenario.resize_stats().rx_grows == 0 && round < 12 {
+        let mut sent = 0;
+        for client in 0..4 {
+            for i in 0..75 {
+                let payload = format!("demo round {round} client {client} packet {i}");
+                let packet = endbox_netsim::Packet::tcp(
+                    Scenario::client_addr(client),
+                    Scenario::network_addr(),
+                    41_000 + client as u16,
+                    5_001,
+                    (round * 1_000 + i) as u32,
+                    payload.as_bytes(),
+                );
+                let datagrams = scenario.clients[client]
+                    .send_packet(packet)
+                    .expect("seal demo packet");
+                sent += datagrams.len();
+                scenario.send_wire_datagrams(client as u64, datagrams);
+            }
+        }
+        let mut got = 0;
+        let mut spins = 0;
+        while got < sent {
+            got += scenario.pump_async().len();
+            spins += 1;
+            assert!(spins < 100_000, "demo lost datagrams: {got} of {sent}");
+        }
+        round += 1;
+    }
+    for _ in 0..60 {
+        scenario.pump_async();
+    }
+    scenario.resize_stats()
+}
+
 /// Convenience: the aggregate throughput at a specific client count.
 pub fn gbps_at(points: &[ScalabilityPoint], deployment: &str, clients: usize) -> Option<f64> {
     points
@@ -1460,6 +1740,54 @@ mod tests {
             "controller win over the worst static config regressed at the peak: \
              {peak_vs_worst:.2}x"
         );
+    }
+
+    #[test]
+    fn elastic_resize_holds_both_margin_bars() {
+        // The acceptance bars for structural elasticity, on the
+        // CI-sized trace: within 10% of the *best* fixed (K, N) rung at
+        // every diurnal step, and >= 1.3x the smallest fixed rung at
+        // the peak.
+        let points = fig_elastic_resize(6);
+        let (worst_vs_best, peak_vs_smallest) = elastic_margins(&points);
+        assert!(
+            worst_vs_best >= 0.90,
+            "elastic fell behind the best fixed rung: {worst_vs_best:.3}x"
+        );
+        assert!(
+            peak_vs_smallest >= 1.3,
+            "elastic win over the smallest fixed rung regressed at the peak: \
+             {peak_vs_smallest:.2}x"
+        );
+    }
+
+    #[test]
+    fn elastic_rung_tracks_the_diurnal_curve() {
+        // The trough picks the smallest rung, the peak the largest,
+        // and the rung never shrinks while demand grows.
+        let peak = ADAPTIVE_TRACE_PEAK;
+        assert_eq!(elastic_rung_for(1, peak).name, "fixed-small");
+        assert_eq!(elastic_rung_for(peak, peak).name, "fixed-large");
+        let mut last = 0;
+        for clients in 1..=peak {
+            let rung = elastic_rung_for(clients, peak);
+            assert!(
+                rung.rx_shards >= last,
+                "rung shrank while demand grew at {clients} clients"
+            );
+            last = rung.rx_shards;
+        }
+    }
+
+    #[test]
+    fn elastic_demo_grows_and_shrinks_the_real_stack() {
+        // The replayed elastic row is only honest if the real resize
+        // law both grows under the flood and shrinks back when idle.
+        let stats = elastic_capacity_demo();
+        assert!(stats.rx_grows >= 1, "demo never grew: {stats:?}");
+        assert!(stats.rx_shrinks >= 1, "demo never shrank: {stats:?}");
+        assert_eq!(stats.worker_grows, stats.rx_grows);
+        assert_eq!(stats.worker_shrinks, stats.rx_shrinks);
     }
 
     #[test]

@@ -87,6 +87,7 @@ pub struct ScenarioBuilder {
     rx_shards: usize,
     async_ingress: bool,
     adaptive_control: bool,
+    elastic: bool,
     transport: TransportKind,
 }
 
@@ -177,6 +178,21 @@ impl ScenarioBuilder {
         if on {
             self.async_ingress = true;
             self.dispatch = DispatchPolicy::Adaptive;
+        }
+        self
+    }
+
+    /// Structural elasticity (default off). Implies
+    /// [`ScenarioBuilder::adaptive_control`]: on top of the budget/remap
+    /// loop, the control round may grow or shrink the RX shard pool and
+    /// worker pool themselves from the demand EWMAs
+    /// ([`AsyncFrontEnd::set_elastic`] documents the law's hysteresis and
+    /// cooldown). The builder's `rx_shards`/`workers` become the
+    /// *starting* geometry rather than a fixed one.
+    pub fn elastic(mut self, on: bool) -> Self {
+        self.elastic = on;
+        if on {
+            self = self.adaptive_control(true);
         }
         self
     }
@@ -441,6 +457,7 @@ impl ScenarioBuilder {
         let front_end = self.async_ingress.then(|| {
             let mut fe = AsyncFrontEnd::new(server.rx_shard_count());
             fe.set_adaptive(self.adaptive_control);
+            fe.set_elastic(self.elastic);
             fe
         });
         // Ring/XDP backends share their pre-registered arena with the
@@ -559,6 +576,7 @@ impl Scenario {
             rx_shards: 1,
             async_ingress: false,
             adaptive_control: false,
+            elastic: false,
             transport: TransportKind::Virtual,
         }
     }
@@ -580,6 +598,7 @@ impl Scenario {
             rx_shards: 1,
             async_ingress: false,
             adaptive_control: false,
+            elastic: false,
             transport: TransportKind::Virtual,
         }
     }
@@ -1050,12 +1069,62 @@ impl ShardedScenario {
     ///
     /// Panics if async ingress is off.
     pub fn remap_peer(&mut self, peer: u64, to: usize) -> usize {
+        // Clamp against the *live* shard count: a resize may have shrunk
+        // the pool since the caller captured its target index, and
+        // `rehome_peer` (deliberately) panics on stale group indices.
+        let to = to % self.server.rx_shard_count();
         let drained = self.server.remap_rx_peer(peer, to);
         self.front_end
             .as_mut()
             .expect("async ingress enabled")
             .rehome_peer(peer, to);
         drained
+    }
+
+    /// Resizes the RX framing pool to `shards` threads online (see
+    /// [`ShardedEndBoxServer::resize_rx_shards`] for the
+    /// quiesce/drain/install discipline), then — when the event-driven
+    /// front-end is attached — rebuilds the poll groups so every socket
+    /// is registered with its peer's new owning shard
+    /// ([`AsyncFrontEnd::resize_groups`]). Returns `(peers rehashed,
+    /// in-flight partials drained)`. Works in both the call-driven and
+    /// event-driven modes; the resize law performs exactly this pair on
+    /// its own — the manual hook exists for the `Step::Resize` schedules
+    /// in `tests/`.
+    pub fn resize_rx_shards(&mut self, shards: usize) -> (usize, usize) {
+        let moved = self.server.resize_rx_shards(shards);
+        if let Some(fe) = self.front_end.as_mut() {
+            fe.resize_groups(&self.server);
+        }
+        moved
+    }
+
+    /// Resizes the worker pool to `workers` shard threads online (see
+    /// [`ShardedEndBoxServer::resize_workers`]); retiring workers drain
+    /// their sessions to survivors before exit. Returns the sessions
+    /// moved.
+    pub fn resize_workers(&mut self, workers: usize) -> usize {
+        self.server.resize_workers(workers)
+    }
+
+    /// Structural-elasticity counters accumulated so far (see
+    /// [`crate::server::ResizeStats`]).
+    pub fn resize_stats(&self) -> crate::server::ResizeStats {
+        self.server.resize_stats()
+    }
+
+    /// Arms or disarms the resize law at runtime (see
+    /// [`AsyncFrontEnd::set_elastic`]; the builder-time equivalent is
+    /// [`ScenarioBuilder::elastic`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if async ingress is off.
+    pub fn set_elastic_control(&mut self, on: bool) {
+        self.front_end
+            .as_mut()
+            .expect("async ingress enabled")
+            .set_elastic(on);
     }
 
     /// Sets the bulk size of ingress `recv_many` calls (see

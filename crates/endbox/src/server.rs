@@ -509,6 +509,13 @@ enum RxRequest {
         peer: u64,
         reassembler: Box<Reassembler>,
     },
+    /// Surrender **every** peer's reassembly state (with any in-flight
+    /// partial records) for a structural resize. Like
+    /// [`RxRequest::ExtractPeer`] this is only sent between receive
+    /// batches; the round-trip is the resize's quiesce point — when the
+    /// reply arrives this shard has framed every datagram it was ever
+    /// given and holds no peer state at all.
+    ExtractAllPeers,
     /// Report this shard's [`RxShardStats`].
     Stats,
     /// Exit the RX loop.
@@ -523,6 +530,13 @@ enum RxReply {
     PeerState {
         pending: usize,
         reassembler: Option<Box<Reassembler>>,
+    },
+    /// Every peer this shard owned, in ascending peer order:
+    /// `(peer, in-flight partial records, reassembler)`. The shard that
+    /// sent this holds no peer state afterwards.
+    AllPeers {
+        shard: usize,
+        peers: Vec<(u64, usize, Box<Reassembler>)>,
     },
     Stats {
         shard: usize,
@@ -647,6 +661,19 @@ fn rx_shard_loop(
                     "remap must extract before it installs; peer {peer} already lives here"
                 );
             }
+            RxRequest::ExtractAllPeers => {
+                let mut peers: Vec<(u64, usize, Box<Reassembler>)> = reassemblers
+                    .drain()
+                    .map(|(peer, reasm)| {
+                        let pending = reasm.pending();
+                        (peer, pending, Box::new(reasm))
+                    })
+                    .collect();
+                peers.sort_unstable_by_key(|&(peer, _, _)| peer);
+                if tx.send(RxReply::AllPeers { shard, peers }).is_err() {
+                    return;
+                }
+            }
             RxRequest::Stats => {
                 let stats = RxShardStats {
                     datagrams,
@@ -691,6 +718,12 @@ fn rx_shard_loop(
 pub struct RxShardPool {
     requests: Vec<crossbeam::channel::UnboundedSender<RxRequest>>,
     replies: crossbeam::channel::Receiver<RxReply>,
+    /// Sending half of the shared reply channel plus the meter/cost
+    /// handles, kept so [`RxShardPool::resize`] can spawn fresh shard
+    /// threads at runtime (each thread holds its own clones).
+    replies_tx: crossbeam::channel::UnboundedSender<RxReply>,
+    meter: CycleMeter,
+    cost: CostModel,
     joins: Vec<JoinHandle<()>>,
     stalls: Vec<std::sync::Arc<std::sync::atomic::AtomicU64>>,
     /// Live remap overrides: peers whose reassembly state has been
@@ -710,45 +743,50 @@ impl RxShardPool {
     fn new(shards: usize, meter: &CycleMeter, cost: &CostModel) -> RxShardPool {
         let shards = shards.max(1);
         let (replies_tx, replies) = crossbeam::channel::unbounded();
-        let mut requests = Vec::with_capacity(shards);
-        let mut joins = Vec::with_capacity(shards);
-        let mut stalls = Vec::with_capacity(shards);
-        for shard in 0..shards {
-            let (tx, rx) = crossbeam::channel::unbounded();
-            let stall = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
-            let (reply_tx, m, c, s) = (
-                replies_tx.clone(),
-                meter.clone(),
-                cost.clone(),
-                stall.clone(),
-            );
-            let join = std::thread::Builder::new()
-                .name(format!("endbox-rx-{shard}"))
-                .spawn(move || {
-                    // A panicking shard must announce its death: its
-                    // sibling shards keep the shared reply channel open,
-                    // so the front-end would otherwise wait forever for
-                    // the dead shard's remaining events.
-                    let loop_result =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            rx_shard_loop(shard, rx, &reply_tx, m, c, s)
-                        }));
-                    if loop_result.is_err() {
-                        let _ = reply_tx.send(RxReply::ShardDead { shard });
-                    }
-                })
-                .expect("spawn RX shard");
-            requests.push(tx);
-            joins.push(join);
-            stalls.push(stall);
-        }
-        RxShardPool {
-            requests,
+        let mut pool = RxShardPool {
+            requests: Vec::with_capacity(shards),
             replies,
-            joins,
-            stalls,
+            replies_tx,
+            meter: meter.clone(),
+            cost: cost.clone(),
+            joins: Vec::with_capacity(shards),
+            stalls: Vec::with_capacity(shards),
             overrides: HashMap::new(),
+        };
+        for shard in 0..shards {
+            pool.spawn_shard(shard);
         }
+        pool
+    }
+
+    /// Spawns one RX shard thread feeding the shared reply channel.
+    fn spawn_shard(&mut self, shard: usize) {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let stall = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let (reply_tx, m, c, s) = (
+            self.replies_tx.clone(),
+            self.meter.clone(),
+            self.cost.clone(),
+            stall.clone(),
+        );
+        let join = std::thread::Builder::new()
+            .name(format!("endbox-rx-{shard}"))
+            .spawn(move || {
+                // A panicking shard must announce its death: its
+                // sibling shards keep the shared reply channel open,
+                // so the front-end would otherwise wait forever for
+                // the dead shard's remaining events.
+                let loop_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    rx_shard_loop(shard, rx, &reply_tx, m, c, s)
+                }));
+                if loop_result.is_err() {
+                    let _ = reply_tx.send(RxReply::ShardDead { shard });
+                }
+            })
+            .expect("spawn RX shard");
+        self.requests.push(tx);
+        self.joins.push(join);
+        self.stalls.push(stall);
     }
 
     /// Number of RX shards.
@@ -802,6 +840,79 @@ impl RxShardPool {
         pending
     }
 
+    /// Grows or shrinks the pool to `shards` RX threads online, returning
+    /// `(peers rehashed, in-flight partial records drained along)`.
+    ///
+    /// The rehash uses the same quiesce/drain/install discipline as
+    /// [`RxShardPool::remap_peer`], generalised to every peer at once:
+    ///
+    /// 1. **Quiesce + drain**: every existing shard surrenders its whole
+    ///    peer map via a blocking `RxRequest::ExtractAllPeers`
+    ///    round-trip — when the replies are in, each shard has framed
+    ///    every datagram it was ever given and owns no peer state.
+    /// 2. **Retire/spawn**: shrinking shuts down and joins the doomed
+    ///    tail threads (they are already empty — retiring shards drain to
+    ///    their successors before their thread exits); growing spawns the
+    ///    new ones.
+    /// 3. **Install**: each peer's reassembler (with any in-flight
+    ///    partial records and replay-relevant framing state) is installed
+    ///    at its static home under the **new** modulus, in ascending peer
+    ///    order. Remap overrides do not survive a resize — the demand
+    ///    pattern that motivated them predates the capacity change.
+    ///
+    /// Must only be called between receive batches. A resize is invisible
+    /// in the record stream: byte-identical to the new geometry having
+    /// been configured from the start (pinned by `tests/elastic_resize.rs`).
+    pub fn resize(&mut self, shards: usize) -> (usize, usize) {
+        let new = shards.max(1);
+        let old = self.requests.len();
+        if new == old {
+            return (0, 0);
+        }
+        let mut extracted: Vec<(usize, u64, usize, Box<Reassembler>)> = Vec::new();
+        for tx in &self.requests {
+            tx.send(RxRequest::ExtractAllPeers).expect("RX shard alive");
+        }
+        for _ in 0..old {
+            match self.replies.recv().expect("RX shard alive") {
+                RxReply::AllPeers { shard, peers } => extracted.extend(
+                    peers
+                        .into_iter()
+                        .map(|(peer, pending, reasm)| (shard, peer, pending, reasm)),
+                ),
+                RxReply::ShardDead { shard } => panic!("RX shard {shard} died"),
+                _ => unreachable!("no receive batch is in flight during a resize"),
+            }
+        }
+        if new > old {
+            for shard in old..new {
+                self.spawn_shard(shard);
+            }
+        } else {
+            for tx in self.requests.drain(new..) {
+                let _ = tx.send(RxRequest::Shutdown);
+            }
+            for join in self.joins.drain(new..) {
+                let _ = join.join();
+            }
+            self.stalls.truncate(new);
+        }
+        self.overrides.clear();
+        extracted.sort_unstable_by_key(|&(_, peer, _, _)| peer);
+        let (mut moved, mut drained) = (0, 0);
+        for (from, peer, pending, reassembler) in extracted {
+            let to = (peer % new as u64) as usize;
+            self.requests[to]
+                .send(RxRequest::InstallPeer { peer, reassembler })
+                .expect("RX shard alive");
+            if to != from {
+                moved += 1;
+                drained += pending;
+            }
+        }
+        (moved, drained)
+    }
+
     /// Test hook: make RX shard `shard` sleep `micros` before each
     /// datagram it frames. The deterministic-schedule harness uses this to
     /// force specific cross-shard arrival orders at the re-merge; the
@@ -820,8 +931,10 @@ impl RxShardPool {
             match self.replies.recv().expect("RX shard alive") {
                 RxReply::Stats { shard, stats } => out[shard] = stats,
                 RxReply::ShardDead { shard } => panic!("RX shard {shard} died"),
-                RxReply::Event(_) | RxReply::PeerState { .. } => {
-                    unreachable!("no receive batch or remap is in flight during a stats query")
+                RxReply::Event(_) | RxReply::PeerState { .. } | RxReply::AllPeers { .. } => {
+                    unreachable!(
+                        "no receive batch, remap, or resize is in flight during a stats query"
+                    )
                 }
             }
         }
@@ -845,6 +958,36 @@ impl Drop for RxShardPool {
 /// the tail of a large receive batch; large enough to amortise the
 /// channel round-trip.
 pub const RX_DISPATCH_CHUNK: usize = 32;
+
+/// Observability counters for structural elasticity: every online
+/// grow/shrink of the RX shard pool or worker pool, and the state that
+/// migrated across those rehashes. Reconciles with the datapath — a
+/// resize never loses or duplicates a record (pinned by
+/// `tests/elastic_resize.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResizeStats {
+    /// RX pool grow operations (`K` increased).
+    pub rx_grows: u64,
+    /// RX pool shrink operations (`K` decreased; retiring shards drained
+    /// to their successors before their threads exited).
+    pub rx_shrinks: u64,
+    /// Worker pool grow operations (`N` increased).
+    pub worker_grows: u64,
+    /// Worker pool shrink operations (`N` decreased).
+    pub worker_shrinks: u64,
+    /// Peers whose reassembly state moved to a different RX shard across
+    /// all resizes (peers whose home is unchanged under the new modulus
+    /// do not count).
+    pub peers_rehashed: u64,
+    /// In-flight partial records that rode along inside rehashed
+    /// reassemblers (distinct from the remap law's
+    /// [`ShardedEndBoxServer::rx_remap_counters`] drain count).
+    pub partials_drained: u64,
+    /// Sessions migrated off retiring workers (replay windows and crypto
+    /// state move with them, via the same extract→install round-trip as
+    /// a load-aware migration).
+    pub sessions_moved: u64,
+}
 
 /// The sharded multi-worker EndBox server front-end, now a **staged
 /// pipeline**:
@@ -894,6 +1037,8 @@ pub struct ShardedEndBoxServer {
     /// Partial records drained along with those remaps (in flight inside
     /// the moved reassemblers at their quiesce points).
     rx_drained_partials: u64,
+    /// Structural elasticity counters (grow/shrink of `K` and `N`).
+    resize: ResizeStats,
 }
 
 impl std::fmt::Debug for ShardedEndBoxServer {
@@ -974,6 +1119,7 @@ impl ShardedEndBoxServer {
             rx_disconnect_verdicts: 0,
             rx_remaps: 0,
             rx_drained_partials: 0,
+            resize: ResizeStats::default(),
         })
     }
 
@@ -1042,6 +1188,54 @@ impl ShardedEndBoxServer {
         (self.rx_remaps, self.rx_drained_partials)
     }
 
+    /// The RX shard currently owning `peer`'s reassembly state.
+    pub fn rx_shard_of(&self, peer: u64) -> usize {
+        self.rx.shard_of(peer)
+    }
+
+    /// Resizes the RX framing pool to `shards` threads online (minimum
+    /// 1), rehashing every peer's reassembly state to its home under the
+    /// new modulus with the quiesce/drain/install discipline of
+    /// [`RxShardPool::resize`]. Returns `(peers rehashed, in-flight
+    /// partials drained along)`. Only legal between `receive_datagrams`
+    /// calls — a no-op if `shards` already matches.
+    pub fn resize_rx_shards(&mut self, shards: usize) -> (usize, usize) {
+        let before = self.rx.shard_count();
+        let (moved, drained) = self.rx.resize(shards);
+        let after = self.rx.shard_count();
+        if after > before {
+            self.resize.rx_grows += 1;
+        } else if after < before {
+            self.resize.rx_shrinks += 1;
+        }
+        self.resize.peers_rehashed += moved as u64;
+        self.resize.partials_drained += drained as u64;
+        (moved, drained)
+    }
+
+    /// Resizes the worker pool to `workers` shard threads online (minimum
+    /// 1); retiring workers drain every session they own (replay windows
+    /// included) to their successors before exit. Returns how many
+    /// sessions moved. Only legal at a dispatch boundary — a no-op if
+    /// `workers` already matches.
+    pub fn resize_workers(&mut self, workers: usize) -> usize {
+        let before = self.vpn.worker_count();
+        let moved = self.vpn.resize_workers(workers);
+        let after = self.vpn.worker_count();
+        if after > before {
+            self.resize.worker_grows += 1;
+        } else if after < before {
+            self.resize.worker_shrinks += 1;
+        }
+        self.resize.sessions_moved += moved as u64;
+        moved
+    }
+
+    /// Structural-elasticity counters accumulated so far.
+    pub fn resize_stats(&self) -> ResizeStats {
+        self.resize
+    }
+
     /// Receives one wire datagram. This is *not* a special-cased path: the
     /// datagram routes through the [`RxShardPool`] exactly like a batch of
     /// one, so singular and batch calls may be mixed freely without
@@ -1104,16 +1298,20 @@ impl ShardedEndBoxServer {
         let mut cursor = 0usize;
         let mut received = 0usize;
         while received < n {
-            let RxEvent { idx, peer, outcome } =
-                match self.rx.replies.recv().expect("an RX shard is alive") {
-                    RxReply::Event(event) => event,
-                    RxReply::ShardDead { shard } => {
-                        panic!("RX shard {shard} died mid-receive")
-                    }
-                    RxReply::Stats { .. } | RxReply::PeerState { .. } => {
-                        unreachable!("no stats query or remap is in flight during a receive")
-                    }
-                };
+            let RxEvent { idx, peer, outcome } = match self
+                .rx
+                .replies
+                .recv()
+                .expect("an RX shard is alive")
+            {
+                RxReply::Event(event) => event,
+                RxReply::ShardDead { shard } => {
+                    panic!("RX shard {shard} died mid-receive")
+                }
+                RxReply::Stats { .. } | RxReply::PeerState { .. } | RxReply::AllPeers { .. } => {
+                    unreachable!("no stats query, remap, or resize is in flight during a receive")
+                }
+            };
             received += 1;
             stash[idx as usize] = Some((peer, outcome));
             while cursor < n {
@@ -1371,6 +1569,30 @@ const REMAP_HOT_ROUNDS: u32 = 3;
 /// borrow from idle shard-mates in a single round.
 const TOKEN_BURST_SHARES: f64 = 4.0;
 
+/// Smoothed backlog per RX shard the resize law sizes the pool for: one
+/// dispatch chunk of queued work per shard per round is "full" — less
+/// means capacity is idle, more means the pool is behind demand.
+pub const RESIZE_TARGET_DEMAND: f64 = RX_DISPATCH_CHUNK as f64;
+
+/// Consecutive rounds the demanded shard count must exceed the live one
+/// before the law grows the pool (growth debounce).
+pub const RESIZE_GROW_ROUNDS: u32 = 3;
+
+/// Consecutive rounds of excess capacity before the law shrinks —
+/// deliberately longer than the growth debounce (hysteresis: giving
+/// capacity back is cheap to defer, falling behind is not).
+pub const RESIZE_SHRINK_ROUNDS: u32 = 6;
+
+/// Rounds after any resize during which the law stays quiet, so the
+/// trace's noise cannot thrash the pool through repeated rehashes.
+pub const RESIZE_COOLDOWN_ROUNDS: u32 = 8;
+
+/// Hard ceiling on the RX shard count the law will grow to.
+pub const RESIZE_MAX_RX: usize = 8;
+
+/// Worker threads the law provisions per RX shard when it resizes.
+pub const RESIZE_WORKERS_PER_SHARD: usize = 2;
+
 /// Snapshot of the self-tuning control plane's actions, assembled by
 /// [`AsyncFrontEnd::controller_stats`] from the front-end's budget
 /// controller, the RX remap counters and the adaptive dispatcher. Each
@@ -1510,6 +1732,19 @@ pub struct AsyncFrontEnd {
     budget_rounds: u64,
     budget_grants: u64,
     tokens_borrowed: u64,
+    /// Structural-elasticity switch ([`AsyncFrontEnd::set_elastic`]):
+    /// when on (implies `adaptive`), the control round may resize the RX
+    /// pool and worker pool themselves.
+    elastic: bool,
+    /// Consecutive control rounds demanding more shards than are live.
+    grow_rounds: u32,
+    /// Consecutive control rounds demanding fewer shards than are live.
+    shrink_rounds: u32,
+    /// Control rounds remaining before the resize law may fire again.
+    resize_cooldown: u32,
+    /// Wakeups accumulated by poll groups retired across resizes, so
+    /// [`AsyncIngressStats::wakeups`] stays monotonic through a resize.
+    retired_wakeups: u64,
 }
 
 impl AsyncFrontEnd {
@@ -1539,6 +1774,11 @@ impl AsyncFrontEnd {
             budget_rounds: 0,
             budget_grants: 0,
             tokens_borrowed: 0,
+            elastic: false,
+            grow_rounds: 0,
+            shrink_rounds: 0,
+            resize_cooldown: 0,
+            retired_wakeups: 0,
         }
     }
 
@@ -1600,6 +1840,97 @@ impl AsyncFrontEnd {
         self.adaptive
     }
 
+    /// Switches structural elasticity on or off (implies
+    /// [`AsyncFrontEnd::set_adaptive`] when enabled). When on, the
+    /// control round also evaluates the resize law: it sizes the RX pool
+    /// for [`RESIZE_TARGET_DEMAND`] smoothed backlog per shard, growing
+    /// after [`RESIZE_GROW_ROUNDS`] consecutive rounds of excess demand
+    /// and shrinking only after [`RESIZE_SHRINK_ROUNDS`] rounds of excess
+    /// capacity, with a [`RESIZE_COOLDOWN_ROUNDS`]-round quiet period
+    /// after every resize (hysteresis + cooldown so trace noise cannot
+    /// thrash the pool). Workers track the shard count at
+    /// [`RESIZE_WORKERS_PER_SHARD`] per shard. Every resize lands at a
+    /// round boundary — quiesced by construction — so results stay
+    /// byte-identical to any fixed geometry. Off by default.
+    pub fn set_elastic(&mut self, on: bool) {
+        self.elastic = on;
+        if on {
+            self.adaptive = true;
+        }
+    }
+
+    /// Whether the resize law is armed.
+    pub fn elastic(&self) -> bool {
+        self.elastic
+    }
+
+    /// Rebuilds the poll-group set to match `server`'s RX shard count
+    /// after a resize: one fresh group per shard, every registered socket
+    /// re-registered in the group of the shard that now owns its peer.
+    /// Callers that resize the server by hand while the event-driven
+    /// front-end is attached must call this (the resize law does), or
+    /// the one-group-per-shard invariant breaks at the next pump.
+    ///
+    /// Retired groups' wakeup counts are folded into
+    /// [`AsyncFrontEnd::stats`] so the counter stays monotonic; the
+    /// demand signal is spread evenly over the new groups (signal
+    /// continuity for the law — the cooldown covers re-learning).
+    pub fn resize_groups(&mut self, server: &ShardedEndBoxServer) {
+        let new = server.rx_shard_count();
+        let total_demand: f64 = self.demand_ewma.iter().sum();
+        self.retired_wakeups += self.groups.iter().map(|g| g.wakeups()).sum::<u64>();
+        self.groups = (0..new)
+            .map(|_| endbox_netsim::net::PollGroup::new())
+            .collect();
+        self.group_slots = vec![Vec::new(); new];
+        self.rr = vec![0; new];
+        self.demand_ewma = vec![total_demand / new as f64; new];
+        self.hot_rounds = vec![0; new];
+        for (slot, (peer, endpoint)) in self.sockets.iter().enumerate() {
+            let group = server.rx_shard_of(*peer);
+            self.groups[group].register(endpoint, endbox_netsim::net::Token(slot));
+            self.slot_pos[slot] = self.group_slots[group].len();
+            self.group_slots[group].push(slot);
+        }
+    }
+
+    /// One resize-law evaluation (armed by [`AsyncFrontEnd::set_elastic`]).
+    /// Returns whether a resize fired this round; the remap law skips the
+    /// rest of its round when one did, since the group geometry it was
+    /// reasoning about no longer exists.
+    fn resize_round(&mut self, server: &mut ShardedEndBoxServer) -> bool {
+        if self.resize_cooldown > 0 {
+            self.resize_cooldown -= 1;
+            return false;
+        }
+        let k = self.groups.len();
+        let total: f64 = self.demand_ewma.iter().sum();
+        let desired = ((total / RESIZE_TARGET_DEMAND).ceil() as usize).clamp(1, RESIZE_MAX_RX);
+        if desired > k {
+            self.grow_rounds += 1;
+            self.shrink_rounds = 0;
+        } else if desired < k {
+            self.shrink_rounds += 1;
+            self.grow_rounds = 0;
+        } else {
+            self.grow_rounds = 0;
+            self.shrink_rounds = 0;
+            return false;
+        }
+        let fire = (desired > k && self.grow_rounds >= RESIZE_GROW_ROUNDS)
+            || (desired < k && self.shrink_rounds >= RESIZE_SHRINK_ROUNDS);
+        if !fire {
+            return false;
+        }
+        self.grow_rounds = 0;
+        self.shrink_rounds = 0;
+        self.resize_cooldown = RESIZE_COOLDOWN_ROUNDS;
+        server.resize_rx_shards(desired);
+        server.resize_workers(desired * RESIZE_WORKERS_PER_SHARD);
+        self.resize_groups(server);
+        true
+    }
+
     /// Assembles the full control-plane snapshot: this front-end's
     /// budget counters plus `server`'s remap and dispatcher counters.
     pub fn controller_stats(&self, server: &ShardedEndBoxServer) -> ControllerStats {
@@ -1621,8 +1952,21 @@ impl AsyncFrontEnd {
     /// [`ShardedEndBoxServer::remap_rx_peer`]; callers do both (the
     /// controller does, and so must tests driving remaps by hand) so a
     /// poll group keeps feeding exactly its own shard.
+    ///
+    /// # Panics
+    ///
+    /// If `new_group` is not a live poll group. Structural resizes make
+    /// stale group indices reachable (a caller may hold an index from
+    /// before a shrink); silently wrapping such an index modulo the live
+    /// count would re-home the peer's socket to a group that does *not*
+    /// feed the shard owning its reassembly state, so the front-end fails
+    /// loudly instead.
     pub fn rehome_peer(&mut self, peer: u64, new_group: usize) {
-        let new_group = new_group % self.groups.len();
+        assert!(
+            new_group < self.groups.len(),
+            "rehome target group {new_group} is not live ({} poll groups)",
+            self.groups.len()
+        );
         let slot = self
             .sockets
             .iter()
@@ -1663,6 +2007,13 @@ impl AsyncFrontEnd {
             self.demand_ewma[g] =
                 DEMAND_EWMA_ALPHA * demand as f64 + (1.0 - DEMAND_EWMA_ALPHA) * self.demand_ewma[g];
         }
+        // The resize law sees the fresh demand signal first; when it
+        // fires, the group geometry the remap law would reason about no
+        // longer exists, so the remap law resumes next round.
+        if self.elastic && self.resize_round(server) {
+            return;
+        }
+        let k = self.groups.len();
         if k < 2 {
             return;
         }
@@ -1762,7 +2113,7 @@ impl AsyncFrontEnd {
     /// Front-end counters.
     pub fn stats(&self) -> AsyncIngressStats {
         AsyncIngressStats {
-            wakeups: self.groups.iter().map(|g| g.wakeups()).sum(),
+            wakeups: self.retired_wakeups + self.groups.iter().map(|g| g.wakeups()).sum::<u64>(),
             rounds: self.rounds,
             datagrams: self.datagrams,
             deferred_rounds: self.deferred_rounds,

@@ -684,6 +684,10 @@ pub struct ShardedVpnServer {
     policy: ConfigPolicy,
     txs: Vec<crossbeam::channel::UnboundedSender<ShardRequest>>,
     rx: crossbeam::channel::Receiver<WorkerReply>,
+    /// Sending half of the shared reply channel, kept so
+    /// [`ShardedVpnServer::resize_workers`] can spawn new worker threads
+    /// at runtime (each worker holds its own clone).
+    reply_tx: crossbeam::channel::UnboundedSender<WorkerReply>,
     joins: Vec<JoinHandle<()>>,
     /// Front-end registry: which sessions exist and which shard *currently*
     /// owns each (home shard at placement; load-aware migration may move
@@ -750,15 +754,9 @@ impl ShardedVpnServer {
         let mut txs = Vec::with_capacity(workers);
         let mut joins = Vec::with_capacity(workers);
         for i in 0..workers {
-            let (tx, rx) = crossbeam::channel::unbounded();
-            let reply_tx = reply_tx.clone();
-            joins.push(
-                std::thread::Builder::new()
-                    .name(format!("vpn-shard-{i}"))
-                    .spawn(move || worker_loop(VpnShard::new(), rx, reply_tx))
-                    .expect("spawn shard worker"),
-            );
+            let (tx, join) = Self::spawn_worker(i, &reply_tx);
             txs.push(tx);
+            joins.push(join);
         }
         ShardedVpnServer {
             handshake,
@@ -770,6 +768,7 @@ impl ShardedVpnServer {
             policy: ConfigPolicy::default(),
             txs,
             rx: reply_rx,
+            reply_tx,
             joins,
             session_shard: HashMap::new(),
             next_seq: 0,
@@ -781,9 +780,87 @@ impl ShardedVpnServer {
         }
     }
 
+    /// Spawns one worker thread feeding the shared reply channel.
+    fn spawn_worker(
+        index: usize,
+        reply_tx: &crossbeam::channel::UnboundedSender<WorkerReply>,
+    ) -> (
+        crossbeam::channel::UnboundedSender<ShardRequest>,
+        JoinHandle<()>,
+    ) {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let reply_tx = reply_tx.clone();
+        let join = std::thread::Builder::new()
+            .name(format!("vpn-shard-{index}"))
+            .spawn(move || worker_loop(VpnShard::new(), rx, reply_tx))
+            .expect("spawn shard worker");
+        (tx, join)
+    }
+
     /// Number of worker shards.
     pub fn worker_count(&self) -> usize {
         self.txs.len()
+    }
+
+    /// Grows or shrinks the worker pool to `workers` threads online,
+    /// returning how many sessions were migrated off retiring workers.
+    ///
+    /// Growing spawns fresh workers and replicates the current
+    /// [`ConfigPolicy`] to each before any record can route there, so a
+    /// new worker never sees a stale policy. Shrinking drains every
+    /// session a retiring worker owns to its new home under the reduced
+    /// count via the same blocking extract→install round-trip a
+    /// load-aware migration uses (per-session record order is preserved),
+    /// then shuts the retired threads down and joins them. Sessions on
+    /// surviving workers keep their placement — the registry stays
+    /// authoritative — so a resize never changes any record's outcome,
+    /// only where it is computed.
+    ///
+    /// Must be called at a dispatch boundary (no batch in flight), which
+    /// every front-end caller guarantees by construction.
+    pub fn resize_workers(&mut self, workers: usize) -> usize {
+        let new = workers.max(1);
+        let old = self.txs.len();
+        if new == old {
+            return 0;
+        }
+        let mut moved = 0;
+        if new > old {
+            for i in old..new {
+                let (tx, join) = Self::spawn_worker(i, &self.reply_tx);
+                tx.send(ShardRequest::Policy(self.policy))
+                    .expect("shard worker alive");
+                self.txs.push(tx);
+                self.joins.push(join);
+            }
+            self.shard_load.resize(new, 0.0);
+        } else {
+            // Retiring workers drain to their successors before exit: in
+            // deterministic session order, move every session homed on a
+            // doomed worker to its static home under the new count.
+            let mut evicted: Vec<u64> = self
+                .session_shard
+                .iter()
+                .filter(|&(_, &shard)| shard >= new)
+                .map(|(&sid, _)| sid)
+                .collect();
+            evicted.sort_unstable();
+            for sid in evicted {
+                let from = self.session_shard[&sid];
+                let to = (sid.wrapping_sub(1) % new as u64) as usize;
+                if self.migrate(sid, from, to) {
+                    moved += 1;
+                }
+            }
+            for tx in self.txs.drain(new..) {
+                let _ = tx.send(ShardRequest::Shutdown);
+            }
+            for join in self.joins.drain(new..) {
+                let _ = join.join();
+            }
+            self.shard_load.truncate(new);
+        }
+        moved
     }
 
     /// The dispatch policy in force.

@@ -405,3 +405,125 @@ fn interrupted_batch_drains_on_next_traversal_without_a_swap() {
         "everything but the two just-emitted packets is back in the pool"
     );
 }
+
+#[path = "support/mod.rs"]
+#[allow(dead_code)]
+mod support;
+
+/// The PR 9 seam under structural elasticity: a config hot-swap lands
+/// while a **resize drain is in flight** — the RX pool has just shrunk,
+/// moving a parked partial record to its new home, and the record's tail
+/// has not yet arrived — and the swapped router itself holds packets
+/// stranded by an interrupted traversal. `drain_stale_pending` must
+/// recover every stranded packet back to its pool, and the resize drain
+/// must still complete the in-flight record exactly once: the two drain
+/// disciplines (router pending queues, RX reassembly state) never eat
+/// each other's packets.
+#[test]
+fn hot_swap_during_resize_drain_recovers_every_inflight_packet() {
+    use endbox::scenario::ShardedScenario;
+    use endbox_click::element::ElementEnv;
+    use endbox_click::registry::ElementRegistry;
+    use endbox_click::Router;
+    use endbox_netsim::{BufferPool, Packet, PacketBatch};
+    use endbox_vpn::proto::{Opcode, Record};
+    use std::net::Ipv4Addr;
+    use support::{simplify, split_raw, Out};
+
+    // Datapath side: peer 1's record head parks on RX shard 1 — the
+    // shard the shrink below retires.
+    let mut scenario: ShardedScenario = Scenario::enterprise(2, UseCase::Nop)
+        .seed(0x9e1)
+        .rx_shards(2)
+        .async_ingress(true)
+        .build_sharded(2)
+        .unwrap();
+    let record = Record {
+        opcode: Opcode::Data,
+        session_id: scenario.session_id(1),
+        packet_id: 0x8001,
+        payload: vec![0x5a; 140],
+    };
+    let frags = split_raw(&record.to_bytes(), &[9, 50], 0xBEEF_0003);
+    assert_eq!(frags.len(), 3);
+    scenario.send_wire_datagrams(1, frags[..2].to_vec());
+    let mut outs: Vec<Out> = Vec::new();
+    let mut spins = 0;
+    while outs.len() < 2 {
+        outs.extend(scenario.pump_async().into_iter().map(|(_, r)| simplify(r)));
+        spins += 1;
+        assert!(spins < 100_000, "wire lost the record head");
+    }
+    assert!(outs.iter().all(|o| matches!(o, Out::Pending)));
+
+    // The resize drain fires: the shrink retires shard 1 and the parked
+    // partial migrates to the survivor. The drain is now "in flight" —
+    // reassembly state has moved but the record is still incomplete.
+    let (_, drained) = scenario.resize_rx_shards(1);
+    assert_eq!(drained, 1, "the parked partial must ride the shrink");
+
+    // Mid-drain, the operator hot-swaps a config whose router holds a
+    // batch stranded by an interrupted traversal (the PR 9 scenario).
+    let mut registry = ElementRegistry::standard();
+    registry.register("PanicAfter", panic_after_factory);
+    let config = "FromDevice(t) -> tee :: Tee(2); \
+                  tee[0] -> p :: PanicAfter(2) -> Discard; \
+                  tee[1] -> c :: Counter -> ToDevice(t);";
+    let mut router =
+        Router::from_config_with_registry(config, ElementEnv::default(), &registry).unwrap();
+    let pool = BufferPool::new();
+    let batch: PacketBatch = (0..6)
+        .map(|i| {
+            Packet::udp_in(
+                &pool,
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 1, 1),
+                3000 + i as u16,
+                4000,
+                b"swap during resize drain",
+            )
+        })
+        .collect();
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| router.process_batch(batch)));
+    assert!(result.is_err(), "the injected element fault must surface");
+    assert_eq!(router.pending_depth(), 6);
+
+    let before = pool.stats();
+    router
+        .hot_swap("FromDevice(t) -> c :: Counter -> ToDevice(t);")
+        .unwrap();
+    let after = pool.stats();
+    assert_eq!(router.pending_depth(), 0);
+    assert_eq!(router.stale_recycled(), 6);
+    assert_eq!(
+        after.returned - before.returned,
+        6,
+        "drain_stale_pending must recover every stranded packet"
+    );
+    assert_eq!(
+        after.fresh_allocs + after.reused,
+        after.returned + after.discarded,
+        "no pooled buffer leaked across the swap: {after:?}"
+    );
+
+    // The resize drain completes: the tail arrives at the rehashed home
+    // and the in-flight record resolves exactly once — neither lost to
+    // the shrink nor duplicated by the swap.
+    scenario.send_wire_datagrams(1, vec![frags[2].clone()]);
+    let mut tail: Vec<Out> = Vec::new();
+    let mut spins = 0;
+    while tail.is_empty() {
+        tail.extend(scenario.pump_async().into_iter().map(|(_, r)| simplify(r)));
+        spins += 1;
+        assert!(spins < 100_000, "wire lost the record tail");
+    }
+    assert_eq!(tail.len(), 1, "the record must resolve exactly once");
+    assert!(
+        !matches!(tail[0], Out::Pending),
+        "the tail must complete the record: {tail:?}"
+    );
+    let stats = scenario.resize_stats();
+    assert_eq!(stats.rx_shrinks, 1);
+    assert_eq!(stats.partials_drained, 1);
+}

@@ -126,6 +126,19 @@ pub enum Step {
     /// sharded runs — the parity claim is precisely that re-homing
     /// never changes outcomes, only where reassembly happens.
     Remap { client: usize, to: usize },
+    /// Resize the sharded server's structure at this exact schedule
+    /// position — RX framing shards to `rx` and worker shards to
+    /// `workers` — via the manual elasticity hooks
+    /// ([`ShardedScenario::resize_rx_shards`] /
+    /// [`ShardedScenario::resize_workers`]: every peer's reassembly
+    /// state rehashes to its home under the new modulus, quiesced and
+    /// drained; retiring workers drain their sessions to survivors).
+    /// Both counts are clamped to `1..=8`. Like [`Step::Remap`], buffered
+    /// datagrams are deliberately NOT flushed first — they arrive after
+    /// the rehash, racing buffered traffic against the resize. A no-op
+    /// for the single-threaded reference — the parity claim is precisely
+    /// that capacity changes never change outcomes.
+    Resize { rx: usize, workers: usize },
     /// Cut a `receive_datagrams` batch boundary here (no-op for the
     /// single-threaded reference, which always goes datagram-at-a-time).
     Flush,
@@ -333,7 +346,7 @@ fn seal_step(
                 .map(|d| (peers.peer(*client), d))
                 .collect()
         }
-        Step::Flush | Step::Remap { .. } => Vec::new(),
+        Step::Flush | Step::Remap { .. } | Step::Resize { .. } => Vec::new(),
     }
 }
 
@@ -379,6 +392,22 @@ pub fn run_sharded(
     workers: usize,
     policy: DispatchPolicy,
 ) -> Vec<Out> {
+    run_sharded_elastic(schedule, rx_shards, workers, policy).0
+}
+
+/// Like [`run_sharded`], but also returns the server's [`ResizeStats`]
+/// after the replay, so property tests can reconcile the resize counters
+/// against the schedule that drove them (e.g. grows + shrinks never
+/// exceed the number of [`Step::Resize`] steps, and a schedule without
+/// resizes leaves the stats at zero).
+///
+/// [`ResizeStats`]: endbox::server::ResizeStats
+pub fn run_sharded_elastic(
+    schedule: &Schedule,
+    rx_shards: usize,
+    workers: usize,
+    policy: DispatchPolicy,
+) -> (Vec<Out>, endbox::server::ResizeStats) {
     let mut scenario: ShardedScenario = Scenario::enterprise(schedule.n_clients, UseCase::Nop)
         .seed(schedule.seed)
         .dispatch(policy)
@@ -408,6 +437,15 @@ pub fn run_sharded(
             );
             continue;
         }
+        if let Step::Resize { rx, workers } = step {
+            // Between receive batches by construction (the segment has
+            // not been dispatched yet), so the resize's quiescence
+            // requirement holds; the buffered segment then rides through
+            // the *resized* server.
+            scenario.resize_rx_shards((*rx).clamp(1, 8));
+            scenario.resize_workers((*workers).clamp(1, 8));
+            continue;
+        }
         let datagrams = seal_step(
             &mut scenario.clients,
             &session_ids,
@@ -429,7 +467,8 @@ pub fn run_sharded(
             .into_iter()
             .map(simplify),
     );
-    outs
+    let stats = scenario.resize_stats();
+    (outs, stats)
 }
 
 /// Replays the schedule through an **event-driven** sharded scenario
@@ -658,6 +697,15 @@ fn run_async_configured(
             scenario.remap_peer(peer, to % rx_shards);
             continue;
         }
+        if let Step::Resize { rx, workers } = step {
+            // Like Remap: buffered datagrams are deliberately NOT
+            // flushed first — they ride sockets registered before the
+            // rehash and arrive after it, which is exactly the
+            // resize-races-buffered-traffic class these schedules pin.
+            scenario.resize_rx_shards((*rx).clamp(1, 8));
+            scenario.resize_workers((*workers).clamp(1, 8));
+            continue;
+        }
         let datagrams = seal_step(
             &mut scenario.clients,
             &session_ids,
@@ -736,6 +784,58 @@ pub fn assert_schedule_parity_adaptive_on(schedule: &Schedule, grid: &[(usize, u
                 got, reference,
                 "schedule `{}` diverged from the single-threaded server under the \
                  self-tuning control plane at rx_shards={rx} workers={workers} bulk={bulk}",
+                schedule.name
+            );
+        }
+    }
+}
+
+/// The dispatch-policy axis of the elastic resize grid: the two static
+/// configurations plus the self-tuning controller (`None` — the
+/// controller owns the policy, including the resize law's worker
+/// placement).
+pub fn elastic_policies() -> [Option<DispatchPolicy>; 3] {
+    [Some(DispatchPolicy::Static), Some(eager_load_aware()), None]
+}
+
+/// Asserts byte-identical outcomes between the single-threaded reference
+/// and the resizing sharded server for every **starting**
+/// `(rx_shards, workers)` in the full grid × {Static, LoadAware,
+/// Adaptive}. Schedules are expected to carry [`Step::Resize`] steps —
+/// the grid point is only the starting geometry; the schedule moves it.
+/// Every point replays through both doorways: the call-driven
+/// `receive_datagrams` path (static policies) and the event-driven
+/// front-end (all three policies — there a resize additionally rebuilds
+/// the poll groups around the live sockets).
+pub fn assert_schedule_parity_elastic(schedule: &Schedule) {
+    let grid: Vec<(usize, usize)> = RX_GRID
+        .iter()
+        .flat_map(|&rx| WORKER_GRID.iter().map(move |&w| (rx, w)))
+        .collect();
+    assert_schedule_parity_elastic_on(schedule, &grid);
+}
+
+/// Like [`assert_schedule_parity_elastic`], but over a caller-chosen
+/// sub-grid of starting `(rx_shards, workers)` points.
+pub fn assert_schedule_parity_elastic_on(schedule: &Schedule, grid: &[(usize, usize)]) {
+    let reference = run_single(schedule);
+    for policy in elastic_policies() {
+        for &(rx, workers) in grid {
+            if let Some(policy) = policy {
+                let got = run_sharded(schedule, rx, workers, policy);
+                assert_eq!(
+                    got, reference,
+                    "schedule `{}` diverged from the single-threaded server across a \
+                     call-driven resize at rx_shards={rx} workers={workers} policy={policy:?}",
+                    schedule.name
+                );
+            }
+            let got =
+                run_async_configured(schedule, rx, workers, policy, None, TransportKind::Virtual);
+            assert_eq!(
+                got, reference,
+                "schedule `{}` diverged from the single-threaded server across an \
+                 event-driven resize at rx_shards={rx} workers={workers} policy={policy:?}",
                 schedule.name
             );
         }
